@@ -1,0 +1,51 @@
+"""Shared infrastructure for the benchmark harness.
+
+All experiments run on one shared synthetic world (the DESIGN.md §2
+substitution for DBLP-2019 ⋈ AMiner-V11) at CPU scale, with the three
+Table-I networks derived from it.  Datasets and the headline trained model
+are cached per process so the case-study benches reuse the Table-II run.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from pathlib import Path
+from typing import Dict
+
+from repro.core import CATEHGN, CATEHGNConfig
+from repro.data import CitationDataset, WorldConfig, make_all_datasets
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+# Benchmark world: large enough for stable tiers, small enough for CPU.
+BENCH_WORLD = dict(num_papers=1000, num_authors=200, seed=3)
+
+# CATE-HGN settings shared by every experiment (Section IV-A3, CPU scale).
+CATE_SETTINGS = dict(dim=24, attention_heads=2, outer_iters=18, mini_iters=8,
+                     lr=0.01, kappa=40, patience=8, seed=0)
+
+
+def bench_config(**overrides) -> CATEHGNConfig:
+    params = dict(CATE_SETTINGS)
+    params.update(overrides)
+    return CATEHGNConfig(**params)
+
+
+@lru_cache(maxsize=1)
+def bench_datasets() -> Dict[str, CitationDataset]:
+    return make_all_datasets(WorldConfig(**BENCH_WORLD))
+
+
+@lru_cache(maxsize=1)
+def trained_cate_full() -> CATEHGN:
+    """The headline CATE-HGN, trained once on DBLP-full and shared by the
+    Table-III and Figure-5 case studies."""
+    return CATEHGN(bench_config()).fit(bench_datasets()["full"])
+
+
+def save_artifact(name: str, text: str) -> None:
+    """Persist a rendered table/figure and echo it to the bench log."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / name).write_text(text + "\n")
+    print()
+    print(text)

@@ -1,0 +1,75 @@
+"""Figure 4(a): ablation study of CATE-HGN's components.
+
+Three groups, matching the paper's bars:
+
+- HGN:      sub / mult compositions, no MI, no attention, full (corr);
+- CA-HGN:   no self-training, no consistency, no disparity, full CA;
+- CATE-HGN: no BERT init, no TF-IDF linking, no iterative refinement,
+            full TE.
+"""
+
+from repro.core import CATEHGN
+from repro.eval import render_bar_chart, rmse
+
+from .common import bench_config, bench_datasets, save_artifact
+
+HGN_GROUP = {
+    "HGN (sub)": dict(use_ca=False, use_te=False, composition="sub"),
+    "HGN (mult)": dict(use_ca=False, use_te=False, composition="mult"),
+    "HGN (-MI)": dict(use_ca=False, use_te=False, use_mi=False),
+    "HGN (-attention)": dict(use_ca=False, use_te=False,
+                             use_attention=False),
+    "HGN (full)": dict(use_ca=False, use_te=False),
+}
+
+CA_GROUP = {
+    "CA-HGN (-self-train)": dict(use_te=False, use_self_training=False),
+    "CA-HGN (-consistency)": dict(use_te=False, use_consistency=False),
+    "CA-HGN (-disparity)": dict(use_te=False, use_disparity=False),
+    "CA-HGN (full)": dict(use_te=False),
+}
+
+TE_GROUP = {
+    "CATE-HGN (-bert-init)": dict(te_bert_init=False),
+    "CATE-HGN (-tfidf)": dict(te_tfidf=False),
+    "CATE-HGN (-iterative)": dict(te_iterative=False),
+    "CATE-HGN (full)": dict(),
+}
+
+
+def _run_group(dataset, group):
+    scores = {}
+    for name, overrides in group.items():
+        model = CATEHGN(bench_config(**overrides)).fit(dataset)
+        preds = model.predict()
+        scores[name] = rmse(dataset.labels[dataset.test_idx],
+                            preds[dataset.test_idx])
+        print(f"  {name:<26s} {scores[name]:.4f}")
+    return scores
+
+
+def _run_all():
+    dataset = bench_datasets()["full"]
+    results = {}
+    for group in (HGN_GROUP, CA_GROUP, TE_GROUP):
+        results.update(_run_group(dataset, group))
+    return results
+
+
+def test_fig4a_component_ablations(benchmark):
+    scores = benchmark.pedantic(_run_all, rounds=1, iterations=1)
+    chart = render_bar_chart(list(scores), list(scores.values()),
+                             title="Fig. 4(a): CATE-HGN ablations "
+                                   "(test RMSE, lower is better)")
+    save_artifact("fig4a_ablations.txt", chart)
+
+    # Direction checks (kept loose — single-seed CPU-scale runs).  The
+    # full variant of each group should be within a small factor of its
+    # own best ablation: removing a component must never produce a large
+    # improvement.
+    for group in ({k: scores[k] for k in HGN_GROUP},
+                  {k: scores[k] for k in CA_GROUP},
+                  {k: scores[k] for k in TE_GROUP}):
+        full_key = next(k for k in group if k.endswith("(full)"))
+        best_ablated = min(v for k, v in group.items() if k != full_key)
+        assert group[full_key] <= best_ablated * 1.15, group

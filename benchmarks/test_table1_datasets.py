@@ -1,0 +1,32 @@
+"""Table I: statistics of the constructed publication networks.
+
+Regenerates the dataset-statistics table (papers / authors / venues /
+terms / links per network) for the three DBLP analogues.
+"""
+
+from repro.eval import render_table
+
+from .common import bench_datasets, save_artifact
+
+
+def test_table1_dataset_statistics(benchmark):
+    datasets = benchmark.pedantic(bench_datasets, rounds=1, iterations=1)
+
+    headers = ["Dataset", "#papers", "#authors", "#venues", "#terms", "#links"]
+    rows = []
+    for name, ds in datasets.items():
+        stats = ds.statistics()
+        rows.append([ds.name, stats["#paper"], stats["#author"],
+                     stats["#venue"], stats["#term"], stats["#links"]])
+    table = render_table(headers, rows,
+                         title="Table I: statistics of the constructed "
+                               "networks (CPU-scale analogue)")
+    save_artifact("table1_datasets.txt", table)
+
+    full, single, random_ = (datasets["full"], datasets["single"],
+                             datasets["random"])
+    # Paper's structure: full and random share sizes; single is the
+    # data-domain slice and much smaller.
+    assert full.statistics() == random_.statistics()
+    assert single.num_papers < full.num_papers / 3
+    assert full.graph.total_edges > 10_000

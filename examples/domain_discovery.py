@@ -1,0 +1,58 @@
+"""Latent research-domain discovery with the cluster-aware module.
+
+Trains CATE-HGN, then inspects what the CA module learned: which cluster
+each research domain landed in, cluster occupancies per node type, and
+the domain purity of paper clusters against the generator's ground truth
+(which a real deployment would not have — here it grades the discovery).
+
+Run:  python examples/domain_discovery.py
+"""
+
+import numpy as np
+
+from repro.core import CATEHGN, CATEHGNConfig
+from repro.data import WorldConfig, make_dblp_full
+from repro.hetnet import PAPER, TERM
+
+
+def main() -> None:
+    dataset = make_dblp_full(WorldConfig(num_papers=700, num_authors=150,
+                                         seed=4))
+    config = CATEHGNConfig(dim=16, attention_heads=2, outer_iters=12,
+                           mini_iters=6, lr=0.015, kappa=30, patience=8,
+                           seed=0)
+    model = CATEHGN(config).fit(dataset)
+
+    print("domain -> learned cluster (via the domain-name anchor term):")
+    for d, name in enumerate(dataset.domain_names):
+        print(f"  {name:<10s} -> cluster {model.domain_cluster(d, layer=1)}")
+
+    assignments = model.cluster_assignments()
+    print("\ncluster occupancy by node type:")
+    for node_type, hard in assignments.items():
+        counts = np.bincount(hard, minlength=config.num_clusters)
+        print(f"  {node_type:<7s} {counts}")
+
+    # Grade paper clusters against the planted domains: majority-domain
+    # purity per cluster, weighted by cluster size.
+    truth = np.array([p.domain for p in dataset.world.papers])
+    hard = assignments[PAPER]
+    purities, weights = [], []
+    for k in range(config.num_clusters):
+        members = truth[hard == k]
+        if len(members) == 0:
+            continue
+        purities.append(np.bincount(members).max() / len(members))
+        weights.append(len(members))
+    weighted = float(np.average(purities, weights=weights))
+    chance = 1.0 / len(dataset.domain_names)
+    print(f"\npaper-cluster majority-domain purity: {weighted:.3f} "
+          f"(chance {chance:.3f})")
+
+    print("\nmined quality terms per domain (first 8 each):")
+    for name, terms in zip(dataset.domain_names, model.term_sets):
+        print(f"  {name:<10s} {', '.join(terms[:8])}")
+
+
+if __name__ == "__main__":
+    main()

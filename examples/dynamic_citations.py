@@ -1,0 +1,48 @@
+"""Dynamic citation trajectories (the paper's Section III-G future work).
+
+Extends the static average-rate prediction to per-year citation
+trajectories: an empirical aging profile (rise-peak-decay of citation
+histories, estimated from training-period citation links) redistributes
+each paper's predicted rate over its first post-publication years.
+
+Run:  python examples/dynamic_citations.py
+"""
+
+import numpy as np
+
+from repro.core import CATEHGN, CATEHGNConfig, DynamicCitationModel
+from repro.data import WorldConfig, make_dblp_full
+
+
+def main() -> None:
+    dataset = make_dblp_full(WorldConfig(num_papers=600, num_authors=130,
+                                         seed=9))
+    base = CATEHGN(CATEHGNConfig(dim=16, attention_heads=2, outer_iters=8,
+                                 mini_iters=5, lr=0.015, kappa=30,
+                                 patience=6, seed=0))
+    model = DynamicCitationModel(base, horizon=6)
+    model.fit(dataset, fit_base=True)
+
+    profile = model.profile
+    print("estimated citation-aging profile (share of citations per "
+          "post-publication year):")
+    for age, weight in enumerate(profile.weights, start=1):
+        print(f"  year +{age}: {'#' * int(round(40 * weight))} {weight:.3f}")
+
+    trajectories = model.predict_trajectories()
+    print("\npredicted trajectories for three test papers "
+          "(citations per year, years +1..+6):")
+    for i in dataset.test_idx[:3]:
+        title = " ".join(dataset.world.papers[i].title[:5])
+        series = " ".join(f"{v:5.2f}" for v in trajectories[i])
+        print(f"  {title:<40s} {series}")
+
+    # Sanity: the trajectory mean recovers the static prediction.
+    static = base.predict()
+    assert np.allclose(trajectories.mean(axis=1), static, atol=1e-9)
+    print("\ntrajectory horizon-means match the static predictions "
+          "(consistency check passed)")
+
+
+if __name__ == "__main__":
+    main()

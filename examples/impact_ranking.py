@@ -1,0 +1,57 @@
+"""Research-impact ranking of authors and venues.
+
+The one-space HGN embeds every node type with the same citation regressor
+on top, so the trained model scores not just papers but authors, venues,
+and terms (the paper's Table-III capability).  This example ranks authors
+and venues by predicted impact and grades the rankings against the
+generator's planted prestige/authority with Spearman correlation.
+
+Run:  python examples/impact_ranking.py
+"""
+
+import numpy as np
+from scipy import stats
+
+from repro.core import CATEHGN, CATEHGNConfig
+from repro.data import WorldConfig, make_dblp_full
+from repro.hetnet import AUTHOR, VENUE
+
+
+def main() -> None:
+    dataset = make_dblp_full(WorldConfig(num_papers=700, num_authors=150,
+                                         seed=5))
+    config = CATEHGNConfig(dim=16, attention_heads=2, outer_iters=12,
+                           mini_iters=6, lr=0.015, kappa=30, patience=8,
+                           seed=0)
+    model = CATEHGN(config).fit(dataset)
+    world = dataset.world
+
+    author_impact = model.node_impacts(AUTHOR)
+    venue_impact = model.node_impacts(VENUE)
+
+    # Planted ground truth: an author's prestige in their primary domain,
+    # a venue's authority.
+    true_author = np.array([a.prestige[a.primary_domain]
+                            for a in world.authors])
+    true_venue = np.array([v.authority for v in world.venues])
+
+    rho_a, _ = stats.spearmanr(author_impact, true_author)
+    rho_v, _ = stats.spearmanr(venue_impact, true_venue)
+    print(f"Spearman(predicted author impact, planted prestige)  = {rho_a:.3f}")
+    print(f"Spearman(predicted venue impact,  planted authority) = {rho_v:.3f}")
+
+    print("\ntop 10 authors by predicted impact:")
+    for i in np.argsort(-author_impact)[:10]:
+        author = world.authors[i]
+        domain = dataset.domain_names[author.primary_domain]
+        print(f"  {author.name:<20s} domain={domain:<10s} "
+              f"planted prestige={true_author[i]:.2f}")
+
+    print("\ntop 5 venues by predicted impact:")
+    for i in np.argsort(-venue_impact)[:5]:
+        venue = world.venues[i]
+        print(f"  {venue.name[:52]:<52s} authority={venue.authority:.2f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+"""Quality-term mining with the text-enhancing (TE) module in isolation.
+
+Shows the TE pipeline without any model training: bootstrap per-domain
+term sets from bare domain names via the distributional masked LM (the
+pre-trained-BERT stand-in), build TF-IDF paper-term links (Eq. 24), then
+run one round of impact-based voting using the training-period citation
+record of each term as its impact estimate.
+
+Run:  python examples/term_mining.py
+"""
+
+import numpy as np
+
+from repro.core import TEConfig, TextEnhancer
+from repro.data import WorldConfig, make_dblp_full
+
+
+def main() -> None:
+    dataset = make_dblp_full(WorldConfig(num_papers=700, num_authors=150,
+                                         seed=6))
+    enhancer = TextEnhancer(dataset.text, dataset.domain_names,
+                            TEConfig(kappa=25))
+
+    print("bootstrapped term sets (MLM masked-slot retrieval, Eq. 23):")
+    term_sets = enhancer.bootstrap()
+    for name, terms in zip(dataset.domain_names, term_sets):
+        print(f"  {name:<10s} {', '.join(terms[:8])}")
+
+    papers, term_ids, weights = enhancer.build_links(
+        enhancer.union(term_sets)
+    )
+    print(f"\nTF-IDF paper-term links: {len(papers)} "
+          f"(mean weight {weights.mean():.3f})")
+
+    # Impact proxy without a trained model: mean training-period citations
+    # of the papers mentioning each term.
+    union = enhancer.union(term_sets)
+    train_mask = np.zeros(dataset.num_papers, dtype=bool)
+    train_mask[dataset.train_idx] = True
+    totals = np.zeros(len(union))
+    counts = np.zeros(len(union))
+    for p, t in zip(papers, term_ids):
+        if train_mask[p]:
+            totals[t] += dataset.labels[p]
+            counts[t] += 1
+    impacts = {term: totals[i] / max(counts[i], 1)
+               for i, term in enumerate(union)}
+
+    refined = enhancer.refine(term_sets, impacts)
+    print("\nrefined term sets after one round of impact-based voting:")
+    for name, terms in zip(dataset.domain_names, refined):
+        print(f"  {name:<10s} {', '.join(terms[:8])}")
+
+    # Grade against the generator's planted quality terms.
+    all_quality = set().union(*(dataset.world.quality_terms(d)
+                                for d in range(len(dataset.domain_names))))
+    for label, sets in (("bootstrap", term_sets), ("refined", refined)):
+        mined = [t for s in sets for t in s]
+        precision = np.mean([t in all_quality for t in mined])
+        print(f"\n{label}: {len(mined)} terms, "
+              f"{precision:.1%} are planted quality terms")
+
+
+if __name__ == "__main__":
+    main()

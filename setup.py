@@ -1,0 +1,4 @@
+"""Shim so `pip install -e .` works offline with legacy setuptools (no wheel)."""
+from setuptools import setup
+
+setup()

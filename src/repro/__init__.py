@@ -1,0 +1,29 @@
+"""CATE-HGN reproduction: Cluster-Aware Text-Enhanced Heterogeneous GNNs
+for citation prediction (Yang & Han, ICDE 2023).
+
+Subpackages
+-----------
+tensor
+    Reverse-mode autodiff engine (numpy backend).
+nn
+    Layers, losses, and optimizers.
+hetnet
+    Heterogeneous publication-network data model and sampling.
+text
+    Corpus, TF-IDF, PPMI word embeddings, distributional masked LM.
+data
+    Synthetic DBLP-like dataset generator and the three benchmark networks.
+core
+    The CATE-HGN model: one-space HGN, cluster-aware module, text-enhancing
+    module, and the Algorithm-1 trainer.
+baselines
+    The twelve comparison methods of the paper's Section IV-A.
+eval
+    Metrics, significance tests, and experiment runners.
+"""
+
+__version__ = "1.0.0"
+
+from . import tensor  # noqa: F401
+
+__all__ = ["tensor", "__version__"]

@@ -1,0 +1,71 @@
+"""The twelve compared algorithms of Section IV-A2.
+
+``make_baselines`` builds the full Table-II roster with a shared seed; each
+entry implements the :class:`~repro.baselines.api.CitationModel` protocol.
+"""
+
+from typing import Dict
+
+from .api import CitationModel, LabelScaler
+from .bert_reg import BERTRegressor
+from .cart import CARTRegressor
+from .features import FeatureExtractor
+from .gat import GAT
+from .gnn_common import GNNTrainConfig, SupervisedGNNBaseline
+from .han import HAN
+from .hetgnn import HetGNN
+from .hgcn import HGCN
+from .hgt import HGT
+from .hin2vec import Hin2Vec
+from .magnn import MAGNN
+from .metapath2vec import MetaPath2Vec
+from .mlp_head import MLPRegressor
+from .rgcn import RGCN
+from .traditional import CCP, CPDF
+
+
+def make_baselines(dim: int = 32, epochs: int = 60,
+                   seed: int = 0) -> Dict[str, CitationModel]:
+    """The Table-II baseline roster (order matches the paper's table)."""
+
+    def gnn_cfg() -> GNNTrainConfig:
+        return GNNTrainConfig(dim=dim, epochs=epochs, seed=seed)
+
+    return {
+        "BERT": BERTRegressor(seed=seed),
+        "GAT": GAT(gnn_cfg()),
+        "CCP": CCP(),
+        "CPDF": CPDF(),
+        "metapath2vec": MetaPath2Vec(dim=dim, seed=seed),
+        "hin2vec": Hin2Vec(dim=dim, seed=seed),
+        "R-GCN": RGCN(gnn_cfg()),
+        "HAN": HAN(gnn_cfg()),
+        "HetGNN": HetGNN(gnn_cfg()),
+        "HGT": HGT(gnn_cfg()),
+        "MAGNN": MAGNN(gnn_cfg()),
+        "HGCN": HGCN(gnn_cfg()),
+    }
+
+
+__all__ = [
+    "CitationModel",
+    "LabelScaler",
+    "BERTRegressor",
+    "GAT",
+    "CCP",
+    "CPDF",
+    "MetaPath2Vec",
+    "Hin2Vec",
+    "RGCN",
+    "HAN",
+    "HetGNN",
+    "HGT",
+    "MAGNN",
+    "HGCN",
+    "CARTRegressor",
+    "FeatureExtractor",
+    "MLPRegressor",
+    "GNNTrainConfig",
+    "SupervisedGNNBaseline",
+    "make_baselines",
+]

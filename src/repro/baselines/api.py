@@ -1,0 +1,48 @@
+"""Common estimator surface for all compared algorithms (Section IV-A2).
+
+Every baseline (and CATE-HGN itself) implements ``fit(dataset)`` /
+``predict()`` returning per-paper citation predictions, so the Table-II
+harness can sweep them uniformly.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Protocol, runtime_checkable
+
+import numpy as np
+
+from ..data.dblp import CitationDataset
+
+
+@runtime_checkable
+class CitationModel(Protocol):
+    """fit/predict protocol shared by all fifteen compared models."""
+
+    def fit(self, dataset: CitationDataset) -> "CitationModel":
+        ...
+
+    def predict(self) -> np.ndarray:
+        """Predicted average citations/year for every paper in the dataset."""
+        ...
+
+
+class LabelScaler:
+    """Standardize labels on train, un-standardize predictions."""
+
+    def __init__(self) -> None:
+        self.mean = 0.0
+        self.std = 1.0
+
+    def fit(self, labels: np.ndarray) -> "LabelScaler":
+        labels = np.asarray(labels, dtype=np.float64)
+        self.mean = float(labels.mean()) if labels.size else 0.0
+        std = float(labels.std()) if labels.size else 1.0
+        self.std = std if std > 1e-8 else 1.0
+        return self
+
+    def transform(self, labels: np.ndarray) -> np.ndarray:
+        return (labels - self.mean) / self.std
+
+    def inverse(self, preds: np.ndarray) -> np.ndarray:
+        """Back to citations/year, floored at zero (counts are non-negative)."""
+        return np.maximum(preds * self.std + self.mean, 0.0)

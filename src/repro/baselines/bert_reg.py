@@ -1,0 +1,79 @@
+"""Text-only baseline ("BERT" in Table II).
+
+The paper fine-tunes a pre-trained BERT on the citation loss, i.e. the
+strongest model that sees *only the textual contents* of papers.  Our
+stand-in regresses citations from the corpus-pretrained document embedding
+(mean of SVD-of-PPMI word vectors — see DESIGN.md §2) through a three-layer
+MLP.  It deliberately ignores all graph structure, which is the property
+the tier comparison relies on.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..data.dblp import CitationDataset
+from ..nn import MLP, Adam
+from ..tensor import Tensor
+from .api import LabelScaler
+
+
+class BERTRegressor:
+    """Citation regression from document embeddings alone (Table II row 1)."""
+
+    name = "BERT"
+
+    def __init__(self, hidden: int = 64, epochs: int = 200, lr: float = 0.01,
+                 seed: int = 0) -> None:
+        self.hidden = hidden
+        self.epochs = epochs
+        self.lr = lr
+        self.seed = seed
+        self.scaler = LabelScaler()
+        self.mlp: Optional[MLP] = None
+        self._X: Optional[np.ndarray] = None
+
+    def fit(self, dataset: CitationDataset) -> "BERTRegressor":
+        documents = [p.title for p in dataset.world.papers]
+        self._X = dataset.text.embeddings.embed_documents(documents)
+        rng = np.random.default_rng(self.seed)
+        self.mlp = MLP([self._X.shape[1], self.hidden, self.hidden, 1], rng)
+        fit_idx, val_idx = dataset.early_stopping_split()
+        y = self.scaler.fit(dataset.labels[fit_idx]).transform(
+            dataset.labels[fit_idx]
+        )
+        X_train = Tensor(self._X[fit_idx])
+        target = Tensor(y)
+        optimizer = Adam(list(self.mlp.parameters()), lr=self.lr)
+        X_val, y_val = self._X[val_idx], dataset.labels[val_idx]
+        best_val, best_state, bad = float("inf"), None, 0
+        for epoch in range(self.epochs):
+            pred = self.mlp(X_train).reshape(-1)
+            diff = pred - target
+            loss = (diff * diff).mean()
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+            if epoch % 5 == 0:
+                val_pred = self.scaler.inverse(
+                    self.mlp(Tensor(X_val)).reshape(-1).data
+                )
+                val = float(np.sqrt(np.mean((y_val - val_pred) ** 2)))
+                if val < best_val - 1e-6:
+                    best_val, bad = val, 0
+                    best_state = self.mlp.state_dict()
+                else:
+                    bad += 1
+                    if bad >= 8:
+                        break
+        if best_state is not None:
+            self.mlp.load_state_dict(best_state)
+        return self
+
+    def predict(self) -> np.ndarray:
+        if self.mlp is None or self._X is None:
+            raise RuntimeError("call fit() first")
+        pred = self.mlp(Tensor(self._X)).reshape(-1)
+        return self.scaler.inverse(pred.data)

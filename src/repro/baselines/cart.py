@@ -1,0 +1,110 @@
+"""CART regression tree (Loh 2011), from scratch.
+
+CCP [2] and CPDF [1] pair hand-engineered features with "classification
+and regression trees" as their best predictive model; this is that model.
+Splits greedily minimize the weighted variance of the two children,
+searching candidate thresholds at feature quantiles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+
+@dataclass
+class _Node:
+    # Leaf when feature < 0.
+    feature: int = -1
+    threshold: float = 0.0
+    value: float = 0.0
+    left: Optional["_Node"] = None
+    right: Optional["_Node"] = None
+
+
+class CARTRegressor:
+    """Binary regression tree with variance-reduction splitting."""
+
+    def __init__(self, max_depth: int = 8, min_samples_leaf: int = 5,
+                 min_samples_split: int = 10, max_thresholds: int = 32) -> None:
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.min_samples_split = min_samples_split
+        self.max_thresholds = max_thresholds
+        self._root: Optional[_Node] = None
+        self.n_features: int = 0
+
+    # ------------------------------------------------------------------
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "CARTRegressor":
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64)
+        if X.ndim != 2 or len(X) != len(y):
+            raise ValueError("X must be (n, f) aligned with y")
+        if len(y) == 0:
+            raise ValueError("cannot fit on an empty dataset")
+        self.n_features = X.shape[1]
+        self._root = self._grow(X, y, depth=0)
+        return self
+
+    def _grow(self, X: np.ndarray, y: np.ndarray, depth: int) -> _Node:
+        node = _Node(value=float(y.mean()))
+        if (depth >= self.max_depth or len(y) < self.min_samples_split
+                or np.allclose(y, y[0])):
+            return node
+        best = self._best_split(X, y)
+        if best is None:
+            return node
+        feature, threshold = best
+        mask = X[:, feature] <= threshold
+        node.feature = feature
+        node.threshold = threshold
+        node.left = self._grow(X[mask], y[mask], depth + 1)
+        node.right = self._grow(X[~mask], y[~mask], depth + 1)
+        return node
+
+    def _best_split(self, X: np.ndarray, y: np.ndarray):
+        n = len(y)
+        base_sse = float(((y - y.mean()) ** 2).sum())
+        best_gain, best = 1e-12, None
+        for feature in range(X.shape[1]):
+            column = X[:, feature]
+            thresholds = np.unique(
+                np.quantile(column, np.linspace(0.05, 0.95,
+                                                self.max_thresholds))
+            )
+            for threshold in thresholds:
+                mask = column <= threshold
+                n_left = int(mask.sum())
+                if (n_left < self.min_samples_leaf
+                        or n - n_left < self.min_samples_leaf):
+                    continue
+                y_left, y_right = y[mask], y[~mask]
+                sse = (float(((y_left - y_left.mean()) ** 2).sum())
+                       + float(((y_right - y_right.mean()) ** 2).sum()))
+                gain = base_sse - sse
+                if gain > best_gain:
+                    best_gain, best = gain, (feature, float(threshold))
+        return best
+
+    # ------------------------------------------------------------------
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        if self._root is None:
+            raise RuntimeError("call fit() first")
+        X = np.asarray(X, dtype=np.float64)
+        out = np.empty(len(X))
+        for i, row in enumerate(X):
+            node = self._root
+            while node.feature >= 0:
+                node = node.left if row[node.feature] <= node.threshold else node.right
+            out[i] = node.value
+        return out
+
+    def depth(self) -> int:
+        def _depth(node: Optional[_Node]) -> int:
+            if node is None or node.feature < 0:
+                return 0
+            return 1 + max(_depth(node.left), _depth(node.right))
+
+        return _depth(self._root)

@@ -1,0 +1,172 @@
+"""Hand-engineered citation-prediction features (CCP [2] / CPDF [1]).
+
+All history statistics (author/venue/term track records) are computed from
+*training-period* papers only — exactly the information available at
+prediction time.  Mirroring the paper's own substitutions, the h-index
+(CCP) and page count (CPDF) features are omitted as unavailable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from ..data.dblp import CitationDataset
+from ..hetnet import AUTHOR, PAPER, TERM, VENUE
+
+
+class FeatureExtractor:
+    """Feature matrices for the traditional baselines."""
+
+    def __init__(self, dataset: CitationDataset) -> None:
+        self.dataset = dataset
+        graph = dataset.graph
+        num_papers = graph.num_nodes[PAPER]
+        labels = dataset.labels
+        train_mask = np.zeros(num_papers, dtype=bool)
+        train_mask[dataset.train_idx] = True
+
+        pa = graph.edges[(PAPER, "written_by", AUTHOR)]
+        pv = graph.edges[(PAPER, "published_in", VENUE)]
+        pt = graph.edges[(PAPER, "mentions", TERM)]
+        cites = graph.edges[(PAPER, "cites", PAPER)]
+
+        self._paper_authors = _group(pa.src, pa.dst, num_papers)
+        self._paper_terms = _group(pt.src, pt.dst, num_papers)
+        self._paper_term_weights = _group_values(pt.src, pt.weight, num_papers)
+        self._paper_venue = np.zeros(num_papers, dtype=np.intp)
+        self._paper_venue[pv.src] = pv.dst
+        # cites edges run cited -> citing, so dst is the citing paper.
+        self._reference_count = np.bincount(cites.dst, minlength=num_papers)
+
+        # Track records over the training period.
+        self.author_stats = _entity_stats(
+            pa.dst, pa.src, graph.num_nodes[AUTHOR], labels, train_mask
+        )
+        self.venue_stats = _entity_stats(
+            pv.dst, pv.src, graph.num_nodes[VENUE], labels, train_mask
+        )
+        self.term_stats = _entity_stats(
+            pt.dst, pt.src, graph.num_nodes[TERM], labels, train_mask
+        )
+        self._labels = labels
+        self._train_mask = train_mask
+        self.author_venue_entropy = _author_venue_entropy(
+            pa, self._paper_venue, graph.num_nodes[AUTHOR], train_mask
+        )
+        self.years = graph.get_attr(PAPER, "year").astype(np.float64)
+        self.title_lengths = np.array(
+            [len(p.title) for p in dataset.world.papers], dtype=np.float64
+        )
+
+    # ------------------------------------------------------------------
+    def _loo(self, stats: Dict[str, np.ndarray], entities: np.ndarray,
+             paper: int) -> tuple:
+        """Leave-one-out track record: a training paper must not see its
+        own label inside its entities' statistics."""
+        if len(entities) == 0:
+            return np.zeros(1), np.zeros(1)
+        means = stats["mean"][entities].copy()
+        counts = stats["count"][entities].copy()
+        if self._train_mask[paper]:
+            label = self._labels[paper]
+            multi = counts > 1
+            means[multi] = ((means[multi] * counts[multi] - label)
+                            / (counts[multi] - 1))
+            means[~multi] = 0.0
+            counts = np.maximum(counts - 1, 0.0)
+        return means, counts
+
+    def ccp_features(self) -> np.ndarray:
+        """The 9 implemented CCP features (author/venue/topic/recency)."""
+        rows = []
+        for paper in range(self.dataset.graph.num_nodes[PAPER]):
+            authors = self._paper_authors[paper]
+            terms = self._paper_terms[paper]
+            venue = np.array([self._paper_venue[paper]])
+            a_mean, a_count = self._loo(self.author_stats, authors, paper)
+            v_mean, v_count = self._loo(self.venue_stats, venue, paper)
+            t_mean, _t_count = self._loo(self.term_stats, terms, paper)
+            rows.append([
+                a_mean.max(),     # max author track record
+                a_mean.mean(),    # avg author track record
+                a_count.max(),    # max author productivity
+                a_count.mean(),   # avg author productivity
+                v_mean[0],        # venue rank
+                v_count[0],       # venue productivity
+                t_mean.mean(),    # topic rank (avg)
+                t_mean.max(),     # topic rank (max)
+                self.years[paper],  # recency
+            ])
+        return np.asarray(rows)
+
+    def cpdf_features(self) -> np.ndarray:
+        """The 16 implemented CPDF features (CCP's 9 + 7 diverse extras)."""
+        base = self.ccp_features()
+        extras = []
+        for paper in range(self.dataset.graph.num_nodes[PAPER]):
+            authors = self._paper_authors[paper]
+            weights = self._paper_term_weights[paper]
+            a_mean, _a_count = self._loo(self.author_stats, authors, paper)
+            entropy = (self.author_venue_entropy[authors]
+                       if len(authors) else np.zeros(1))
+            extras.append([
+                float(len(authors)),                       # team size
+                a_mean.min(),                              # weakest author
+                entropy.max(),                             # interdisciplinarity
+                entropy.mean(),
+                self.title_lengths[paper],                 # title length
+                float(self._reference_count[paper]),       # references
+                float(np.mean(weights)) if len(weights) else 0.0,  # term weight
+            ])
+        return np.hstack([base, np.asarray(extras)])
+
+
+def _group(keys: np.ndarray, values: np.ndarray, num_keys: int) -> List[np.ndarray]:
+    """Group ``values`` by ``keys`` into per-key arrays."""
+    order = np.argsort(keys, kind="stable")
+    keys_sorted, values_sorted = keys[order], values[order]
+    indptr = np.searchsorted(keys_sorted, np.arange(num_keys + 1))
+    return [values_sorted[indptr[i]:indptr[i + 1]] for i in range(num_keys)]
+
+
+def _group_values(keys: np.ndarray, values: np.ndarray,
+                  num_keys: int) -> List[np.ndarray]:
+    return _group(keys, values, num_keys)
+
+
+def _entity_stats(entity_ids: np.ndarray, paper_ids: np.ndarray,
+                  num_entities: int, labels: np.ndarray,
+                  train_mask: np.ndarray) -> Dict[str, np.ndarray]:
+    """Per-entity (author/venue/term) training-period track record."""
+    keep = train_mask[paper_ids]
+    ent = entity_ids[keep]
+    lab = labels[paper_ids[keep]]
+    count = np.bincount(ent, minlength=num_entities).astype(np.float64)
+    total = np.bincount(ent, weights=lab, minlength=num_entities)
+    mean = total / np.maximum(count, 1.0)
+    best = np.zeros(num_entities)
+    np.maximum.at(best, ent, lab)
+    return {"count": count, "mean": mean, "max": best}
+
+
+def _author_venue_entropy(pa_edges, paper_venue: np.ndarray,
+                          num_authors: int,
+                          train_mask: np.ndarray) -> np.ndarray:
+    """Shannon entropy of each author's training-period venue distribution."""
+    keep = train_mask[pa_edges.src]
+    authors = pa_edges.dst[keep]
+    venues = paper_venue[pa_edges.src[keep]]
+    entropy = np.zeros(num_authors)
+    order = np.argsort(authors, kind="stable")
+    authors_sorted, venues_sorted = authors[order], venues[order]
+    indptr = np.searchsorted(authors_sorted, np.arange(num_authors + 1))
+    for a in range(num_authors):
+        vs = venues_sorted[indptr[a]:indptr[a + 1]]
+        if len(vs) == 0:
+            continue
+        counts = np.bincount(vs).astype(np.float64)
+        p = counts[counts > 0] / counts.sum()
+        entropy[a] = float(-(p * np.log(p)).sum())
+    return entropy

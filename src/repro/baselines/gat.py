@@ -1,0 +1,105 @@
+"""GAT [11] on the type-collapsed homogeneous graph.
+
+The paper's representative of homogeneous GNNs: every node/link type is
+flattened into one graph, so the model sees topology and features but no
+type semantics — the property behind its Table-II tier.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..core.hgn import GraphBatch
+from ..hetnet import PAPER
+from ..nn import Linear, Module, Parameter, init
+from ..tensor import Tensor, concatenate, gather, segment_softmax, segment_sum
+from .gnn_common import GNNTrainConfig, SupervisedGNNBaseline
+
+
+class GATLayer(Module):
+    """Single-head-averaged multi-head graph attention layer."""
+
+    def __init__(self, in_dim: int, out_dim: int, heads: int,
+                 rng: np.random.Generator, slope: float = 0.2) -> None:
+        super().__init__()
+        self.W = Linear(in_dim, out_dim, rng, bias=False)
+        self.att_src = Parameter(init.xavier_uniform(rng, out_dim, heads))
+        self.att_dst = Parameter(init.xavier_uniform(rng, out_dim, heads))
+        self.slope = slope
+
+    def forward(self, h: Tensor, src: np.ndarray, dst: np.ndarray,
+                num_nodes: int) -> Tensor:
+        wh = self.W(h)
+        score = (gather(wh @ self.att_src, src)
+                 + gather(wh @ self.att_dst, dst)).leaky_relu(self.slope)
+        alpha = segment_softmax(score, dst, num_nodes).mean(axis=1)
+        messages = gather(wh, src) * alpha.reshape(-1, 1)
+        return segment_sum(messages, dst, num_nodes)
+
+
+class GATNetwork(Module):
+    def __init__(self, feature_dim: int, dim: int, heads: int, layers: int,
+                 src: np.ndarray, dst: np.ndarray, num_nodes: int,
+                 paper_slice: slice, seed: int) -> None:
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.src, self.dst, self.num_nodes = src, dst, num_nodes
+        self.paper_slice = paper_slice
+        self._layers: List[GATLayer] = []
+        in_dim = feature_dim
+        for i in range(layers):
+            layer = GATLayer(in_dim, dim, heads, rng)
+            self.register_module(f"gat{i}", layer)
+            self._layers.append(layer)
+            in_dim = dim
+        self.head = Linear(dim, 1, rng)
+
+    def forward(self, batch: GraphBatch) -> Tensor:
+        # Types may have different feature widths (papers carry the extra
+        # label-input channels); right-pad with zeros before collapsing.
+        width = max(batch.features[t].shape[1] for t in batch.node_types)
+        blocks = []
+        for t in batch.node_types:
+            feats = batch.features[t]
+            if feats.shape[1] < width:
+                pad = np.zeros((feats.shape[0], width - feats.shape[1]))
+                feats = np.hstack([feats, pad])
+            blocks.append(feats)
+        h = Tensor(np.concatenate(blocks, axis=0))
+        for layer in self._layers:
+            h = layer(h, self.src, self.dst, self.num_nodes).relu()
+        papers = h[self.paper_slice]
+        return self.head(papers).reshape(-1)
+
+
+class GAT(SupervisedGNNBaseline):
+    name = "GAT"
+
+    def __init__(self, config: GNNTrainConfig | None = None,
+                 heads: int = 4, layers: int = 2) -> None:
+        super().__init__(config)
+        self.heads = heads
+        self.layers = layers
+
+    def build_network(self, batch: GraphBatch) -> Module:
+        offsets, cursor = {}, 0
+        for t in batch.node_types:
+            offsets[t] = cursor
+            cursor += batch.num_nodes[t]
+        srcs, dsts = [], []
+        for key, (src, dst, _w, _wn) in batch.edges.items():
+            srcs.append(src + offsets[key[0]])
+            dsts.append(dst + offsets[key[2]])
+        # Self loops, as in the original GAT.
+        loops = np.arange(cursor, dtype=np.intp)
+        src = np.concatenate(srcs + [loops])
+        dst = np.concatenate(dsts + [loops])
+        lo = offsets[PAPER]
+        paper_slice = slice(lo, lo + batch.num_nodes[PAPER])
+        feature_dim = max(batch.features[t].shape[1]
+                          for t in batch.node_types)
+        return GATNetwork(feature_dim, self.config.dim, self.heads,
+                          self.layers, src, dst, cursor, paper_slice,
+                          self.config.seed)

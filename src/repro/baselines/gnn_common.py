@@ -1,0 +1,125 @@
+"""Shared training scaffold for the supervised GNN baselines.
+
+Each baseline supplies a network whose forward maps a
+:class:`~repro.core.hgn.GraphBatch` to per-paper predictions; this scaffold
+owns label scaling, the Adam loop, early stopping on the validation year,
+and the estimator API.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..core.hgn import GraphBatch
+from ..data.dblp import CitationDataset
+from ..eval.metrics import rmse
+from ..hetnet import PAPER
+from ..nn import Adam, Module
+from ..tensor import Tensor, gather
+from .api import LabelScaler
+
+
+@dataclass
+class GNNTrainConfig:
+    dim: int = 32
+    epochs: int = 60
+    lr: float = 0.02
+    grad_clip: float = 5.0
+    patience: int = 15
+    eval_every: int = 2
+    seed: int = 0
+    weight_decay: float = 1e-3
+    # Known-label input channels (same protocol as CATE-HGN's trainer —
+    # masked during training, fully visible at inference).
+    use_label_inputs: bool = True
+    label_mask_rate: float = 0.5
+
+
+class SupervisedGNNBaseline:
+    """fit/predict wrapper around a paper-predicting network."""
+
+    name = "gnn"
+
+    def __init__(self, config: Optional[GNNTrainConfig] = None) -> None:
+        self.config = config or GNNTrainConfig()
+        self.network: Optional[Module] = None
+        self.scaler = LabelScaler()
+        self._batch: Optional[GraphBatch] = None
+        self.val_history: list[float] = []
+
+    # Subclasses implement this.
+    def build_network(self, batch: GraphBatch) -> Module:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    def fit(self, dataset: CitationDataset) -> "SupervisedGNNBaseline":
+        cfg = self.config
+        rng = np.random.default_rng(cfg.seed)
+        fit_idx, stop_idx = dataset.early_stopping_split()
+        train_labels = dataset.labels[fit_idx]
+        self.scaler.fit(train_labels)
+        base = GraphBatch.from_graph(
+            dataset.graph, fit_idx, self.scaler.transform(train_labels)
+        )
+        eval_batch = self._augment_eval(base)
+        self._batch = eval_batch
+        self.network = self.build_network(eval_batch)
+        optimizer = Adam(list(self.network.parameters()), lr=cfg.lr,
+                         weight_decay=cfg.weight_decay)
+        val_labels = dataset.labels[stop_idx]
+
+        best_val = float("inf")
+        best_state: Optional[Dict[str, np.ndarray]] = None
+        bad = 0
+        for epoch in range(cfg.epochs):
+            step = self._augment_step(base, rng)
+            preds = self.network(step)
+            diff = gather(preds, step.labeled_ids) - Tensor(step.labels)
+            loss = (diff * diff).mean()
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.clip_grad_norm(cfg.grad_clip)
+            optimizer.step()
+
+            if epoch % cfg.eval_every == 0 or epoch == cfg.epochs - 1:
+                val_pred = self.scaler.inverse(
+                    self.network(eval_batch).data
+                )[stop_idx]
+                val = rmse(val_labels, val_pred)
+                self.val_history.append(val)
+                if val < best_val - 1e-6:
+                    best_val, bad = val, 0
+                    best_state = self.network.state_dict()
+                else:
+                    bad += 1
+                    if bad >= cfg.patience:
+                        break
+        if best_state is not None:
+            self.network.load_state_dict(best_state)
+        return self
+
+    def _augment_eval(self, batch: GraphBatch) -> GraphBatch:
+        if not self.config.use_label_inputs:
+            return batch
+        return batch.with_label_inputs(batch.labeled_ids, batch.labels,
+                                       batch.labeled_ids, batch.labels)
+
+    def _augment_step(self, batch: GraphBatch,
+                      rng: np.random.Generator) -> GraphBatch:
+        if not self.config.use_label_inputs:
+            return batch
+        hidden = rng.random(len(batch.labeled_ids)) < self.config.label_mask_rate
+        if hidden.all() or not hidden.any():
+            hidden[rng.integers(len(hidden))] ^= True
+        return batch.with_label_inputs(
+            batch.labeled_ids[~hidden], batch.labels[~hidden],
+            batch.labeled_ids[hidden], batch.labels[hidden],
+        )
+
+    def predict(self) -> np.ndarray:
+        if self.network is None or self._batch is None:
+            raise RuntimeError("call fit() first")
+        return self.scaler.inverse(self.network(self._batch).data)

@@ -1,0 +1,112 @@
+"""HAN [15]: hierarchical attention over meta-paths.
+
+Node-level attention aggregates each paper's meta-path-based neighbours
+(P-P, P-A-P, P-V-P, P-T-P) GAT-style; semantic-level attention then
+combines the per-meta-path embeddings.  Only the target type (papers) is
+embedded — the design property Section III-C contrasts CATE-HGN against.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from ..core.hgn import GraphBatch
+from ..data.dblp import CitationDataset
+from ..hetnet import FUNDAMENTAL_METAPATHS, PAPER, metapath_pairs
+from ..nn import Linear, Module, Parameter, init
+from ..tensor import Tensor, concatenate, gather, segment_softmax, segment_sum, softmax, stack
+from .gnn_common import GNNTrainConfig, SupervisedGNNBaseline
+
+
+class SemanticAttention(Module):
+    """Combine per-meta-path embeddings with learned semantic weights."""
+
+    def __init__(self, dim: int, hidden: int, rng: np.random.Generator) -> None:
+        super().__init__()
+        self.proj = Linear(dim, hidden, rng)
+        self.q = Parameter(init.xavier_uniform(rng, hidden, 1))
+
+    def forward(self, per_path: List[Tensor]) -> Tensor:
+        weights = []
+        for z in per_path:
+            s = (self.proj(z).tanh() @ self.q).mean()  # scalar importance
+            weights.append(s)
+        logits = stack(weights, axis=0)
+        beta = softmax(logits, axis=0)
+        combined = per_path[0] * beta[0]
+        for m, z in enumerate(per_path[1:], start=1):
+            combined = combined + z * beta[m]
+        return combined
+
+
+class HANNetwork(Module):
+    def __init__(self, feature_dim: int, dim: int, heads: int,
+                 paths: List[Tuple[np.ndarray, np.ndarray]],
+                 num_papers: int, seed: int) -> None:
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.paths = paths
+        self.num_papers = num_papers
+        self.W = Linear(feature_dim, dim, rng, bias=False)
+        for m in range(len(paths)):
+            setattr(self, f"att_src_{m}",
+                    Parameter(init.xavier_uniform(rng, dim, heads)))
+            setattr(self, f"att_dst_{m}",
+                    Parameter(init.xavier_uniform(rng, dim, heads)))
+        self.semantic = SemanticAttention(dim, dim, rng)
+        self.head = Linear(dim, 1, rng)
+
+    def forward(self, batch: GraphBatch) -> Tensor:
+        h = self.W(Tensor(batch.features[PAPER]))
+        per_path = []
+        for m, (src, dst) in enumerate(self.paths):
+            score = (gather(h @ getattr(self, f"att_src_{m}"), src)
+                     + gather(h @ getattr(self, f"att_dst_{m}"), dst)
+                     ).leaky_relu(0.2)
+            alpha = segment_softmax(score, dst, self.num_papers).mean(axis=1)
+            agg = segment_sum(gather(h, src) * alpha.reshape(-1, 1),
+                              dst, self.num_papers)
+            per_path.append(agg.relu())
+        z = self.semantic(per_path)
+        return self.head(z).reshape(-1)
+
+
+def paper_metapath_adjacency(dataset: CitationDataset, max_pairs: int,
+                             seed: int) -> List[Tuple[np.ndarray, np.ndarray]]:
+    """(src, dst) paper pairs per fundamental meta-path, self-loops added."""
+    rng = np.random.default_rng(seed)
+    graph = dataset.graph
+    num_papers = graph.num_nodes[PAPER]
+    loops = np.arange(num_papers, dtype=np.intp)
+    paths = []
+    for path in FUNDAMENTAL_METAPATHS.values():
+        if not all(key in graph.edges for key in path):
+            continue
+        src, dst = metapath_pairs(graph, path, max_pairs=max_pairs, rng=rng)
+        paths.append((np.concatenate([src, loops]),
+                      np.concatenate([dst, loops])))
+    return paths
+
+
+class HAN(SupervisedGNNBaseline):
+    name = "HAN"
+
+    def __init__(self, config: GNNTrainConfig | None = None,
+                 heads: int = 4, max_pairs: int = 60_000) -> None:
+        super().__init__(config)
+        self.heads = heads
+        self.max_pairs = max_pairs
+        self._dataset: CitationDataset | None = None
+
+    def fit(self, dataset: CitationDataset) -> "HAN":
+        self._dataset = dataset
+        return super().fit(dataset)
+
+    def build_network(self, batch: GraphBatch) -> Module:
+        paths = paper_metapath_adjacency(self._dataset, self.max_pairs,
+                                         self.config.seed)
+        feature_dim = batch.features[PAPER].shape[1]
+        return HANNetwork(feature_dim, self.config.dim, self.heads, paths,
+                          batch.num_nodes[PAPER], self.config.seed)

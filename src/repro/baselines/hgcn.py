@@ -1,0 +1,90 @@
+"""HGCN [14]: link-type compatibility-weighted heterogeneous convolution.
+
+Per layer: relation-specific projections as in R-GCN, but the per-type
+aggregates entering a destination type are combined through *learned
+compatibility weights* (a softmax over the incoming link types), modeling
+how compatible each link type's semantics are with the target embedding.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from ..core.hgn import GraphBatch
+from ..hetnet import PAPER
+from ..nn import Linear, Module, Parameter
+from ..tensor import Tensor, gather, segment_mean, softmax, stack
+from .gnn_common import GNNTrainConfig, SupervisedGNNBaseline
+
+
+class HGCNLayer(Module):
+    def __init__(self, in_dims: Dict[str, int], out_dim: int,
+                 edge_keys: List, node_types: List[str],
+                 rng: np.random.Generator) -> None:
+        super().__init__()
+        self.edge_keys = edge_keys
+        self.node_types = node_types
+        self._into: Dict[str, List[int]] = {t: [] for t in node_types}
+        for i, key in enumerate(edge_keys):
+            self.register_module(f"W_rel{i}", Linear(in_dims[key[0]],
+                                                     out_dim, rng, bias=False))
+            self._into[key[2]].append(i)
+        for t in node_types:
+            self.register_module(f"W_self_{t}", Linear(in_dims[t], out_dim, rng))
+            # Compatibility logits: self + one per incoming link type.
+            setattr(self, f"compat_{t}",
+                    Parameter(np.zeros(len(self._into[t]) + 1)))
+
+    def forward(self, h: Dict[str, Tensor], batch: GraphBatch) -> Dict[str, Tensor]:
+        out = {}
+        for t in self.node_types:
+            parts = [getattr(self, f"W_self_{t}")(h[t])]
+            for i in self._into[t]:
+                key = self.edge_keys[i]
+                src, dst, _w, _wn = batch.edges[key]
+                messages = getattr(self, f"W_rel{i}")(gather(h[key[0]], src))
+                parts.append(segment_mean(messages, dst, batch.num_nodes[t]))
+            weights = softmax(getattr(self, f"compat_{t}"), axis=0)
+            combined = parts[0] * weights[0]
+            for j, part in enumerate(parts[1:], start=1):
+                combined = combined + part * weights[j]
+            out[t] = combined.relu()
+        return out
+
+
+class HGCNNetwork(Module):
+    def __init__(self, batch: GraphBatch, dim: int, layers: int,
+                 seed: int) -> None:
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        edge_keys = list(batch.edges.keys())
+        node_types = list(batch.node_types)
+        in_dims = {t: batch.features[t].shape[1] for t in node_types}
+        self._layers: List[HGCNLayer] = []
+        for i in range(layers):
+            layer = HGCNLayer(in_dims, dim, edge_keys, node_types, rng)
+            self.register_module(f"hgcn{i}", layer)
+            self._layers.append(layer)
+            in_dims = {t: dim for t in node_types}
+        self.head = Linear(dim, 1, rng)
+
+    def forward(self, batch: GraphBatch) -> Tensor:
+        h = {t: Tensor(batch.features[t]) for t in batch.node_types}
+        for layer in self._layers:
+            h = layer(h, batch)
+        return self.head(h[PAPER]).reshape(-1)
+
+
+class HGCN(SupervisedGNNBaseline):
+    name = "HGCN"
+
+    def __init__(self, config: GNNTrainConfig | None = None,
+                 layers: int = 2) -> None:
+        super().__init__(config)
+        self.layers = layers
+
+    def build_network(self, batch: GraphBatch) -> Module:
+        return HGCNNetwork(batch, self.config.dim, self.layers,
+                           self.config.seed)

@@ -1,0 +1,116 @@
+"""HGT [13]: heterogeneous graph transformer.
+
+Edge-type-specific attention with node-type-specific projections: each
+node type owns Q/K/V linear maps, each edge type owns relational attention
+and message matrices plus a learned prior; every destination node applies
+one softmax across *all* of its incoming edges regardless of type, then a
+type-specific output projection with a residual connection.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from ..core.hgn import GraphBatch
+from ..hetnet import PAPER
+from ..nn import Linear, Module, Parameter, init
+from ..tensor import Tensor, concatenate, gather, segment_softmax, segment_sum
+from .gnn_common import GNNTrainConfig, SupervisedGNNBaseline
+
+
+class HGTLayer(Module):
+    def __init__(self, dim: int, edge_keys: List, node_types: List[str],
+                 rng: np.random.Generator) -> None:
+        super().__init__()
+        self.dim = dim
+        self.edge_keys = edge_keys
+        self.node_types = node_types
+        for t in node_types:
+            self.register_module(f"Q_{t}", Linear(dim, dim, rng, bias=False))
+            self.register_module(f"K_{t}", Linear(dim, dim, rng, bias=False))
+            self.register_module(f"V_{t}", Linear(dim, dim, rng, bias=False))
+            self.register_module(f"A_{t}", Linear(dim, dim, rng))
+        for i, _key in enumerate(edge_keys):
+            setattr(self, f"W_att_{i}",
+                    Parameter(init.xavier_uniform(rng, dim, dim)))
+            setattr(self, f"W_msg_{i}",
+                    Parameter(init.xavier_uniform(rng, dim, dim)))
+            setattr(self, f"mu_{i}", Parameter(np.ones(1)))
+
+    def forward(self, h: Dict[str, Tensor], batch: GraphBatch) -> Dict[str, Tensor]:
+        dim = self.dim
+        q = {t: getattr(self, f"Q_{t}")(h[t]) for t in self.node_types}
+        k = {t: getattr(self, f"K_{t}")(h[t]) for t in self.node_types}
+        v = {t: getattr(self, f"V_{t}")(h[t]) for t in self.node_types}
+
+        # Collect scores/messages per destination type across all edge types.
+        scores: Dict[str, List[Tensor]] = {t: [] for t in self.node_types}
+        messages: Dict[str, List[Tensor]] = {t: [] for t in self.node_types}
+        dst_ids: Dict[str, List[np.ndarray]] = {t: [] for t in self.node_types}
+        for i, key in enumerate(self.edge_keys):
+            src, dst, _w, _wn = batch.edges[key]
+            if len(src) == 0:
+                continue
+            src_type, _, dst_type = key
+            k_edge = gather(k[src_type], src) @ getattr(self, f"W_att_{i}")
+            q_edge = gather(q[dst_type], dst)
+            mu = getattr(self, f"mu_{i}")
+            score = (k_edge * q_edge).sum(axis=1) * mu[0] * (1.0 / np.sqrt(dim))
+            msg = gather(v[src_type], src) @ getattr(self, f"W_msg_{i}")
+            scores[dst_type].append(score)
+            messages[dst_type].append(msg)
+            dst_ids[dst_type].append(dst)
+
+        out = {}
+        for t in self.node_types:
+            if not scores[t]:
+                out[t] = h[t]
+                continue
+            score_all = concatenate(scores[t], axis=0)
+            msg_all = concatenate(messages[t], axis=0)
+            dst_all = np.concatenate(dst_ids[t])
+            alpha = segment_softmax(score_all, dst_all, batch.num_nodes[t])
+            agg = segment_sum(msg_all * alpha.reshape(-1, 1), dst_all,
+                              batch.num_nodes[t])
+            out[t] = getattr(self, f"A_{t}")(agg).relu() + h[t]  # residual
+        return out
+
+
+class HGTNetwork(Module):
+    def __init__(self, batch: GraphBatch, dim: int, layers: int,
+                 seed: int) -> None:
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        node_types = list(batch.node_types)
+        for t in node_types:
+            self.register_module(
+                f"embed_{t}", Linear(batch.features[t].shape[1], dim, rng)
+            )
+        self._layers: List[HGTLayer] = []
+        for i in range(layers):
+            layer = HGTLayer(dim, list(batch.edges.keys()), node_types, rng)
+            self.register_module(f"hgt{i}", layer)
+            self._layers.append(layer)
+        self.head = Linear(dim, 1, rng)
+
+    def forward(self, batch: GraphBatch) -> Tensor:
+        h = {t: getattr(self, f"embed_{t}")(Tensor(batch.features[t])).relu()
+             for t in batch.node_types}
+        for layer in self._layers:
+            h = layer(h, batch)
+        return self.head(h[PAPER]).reshape(-1)
+
+
+class HGT(SupervisedGNNBaseline):
+    name = "HGT"
+
+    def __init__(self, config: GNNTrainConfig | None = None,
+                 layers: int = 2) -> None:
+        super().__init__(config)
+        self.layers = layers
+
+    def build_network(self, batch: GraphBatch) -> Module:
+        return HGTNetwork(batch, self.config.dim, self.layers,
+                          self.config.seed)

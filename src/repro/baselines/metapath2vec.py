@@ -1,0 +1,61 @@
+"""metapath2vec [40]: meta-path-guided walks + skip-gram + MLP head.
+
+Unsupervised heterogeneous embedding — citation supervision only reaches
+the downstream MLP, never the embeddings, which is why the paper places
+this tier below the end-to-end GNNs.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..data.dblp import CitationDataset
+from ..hetnet import FUNDAMENTAL_METAPATHS, PAPER, metapath_random_walks
+from .mlp_head import MLPRegressor
+from .walks import skipgram_pairs, train_skipgram, walk_to_global_ids
+
+
+class MetaPath2Vec:
+    """Unsupervised meta-path embedding + supervised MLP head (Table II row 5)."""
+
+    name = "metapath2vec"
+
+    def __init__(self, dim: int = 32, walks_per_node: int = 4,
+                 walk_length: int = 9, window: int = 3, epochs: int = 3,
+                 seed: int = 0) -> None:
+        self.dim = dim
+        self.walks_per_node = walks_per_node
+        self.walk_length = walk_length
+        self.window = window
+        self.epochs = epochs
+        self.seed = seed
+        self.head = MLPRegressor(seed=seed)
+        self._paper_embeddings: Optional[np.ndarray] = None
+
+    def fit(self, dataset: CitationDataset) -> "MetaPath2Vec":
+        graph = dataset.graph
+        rng = np.random.default_rng(self.seed)
+        paths = [p for p in FUNDAMENTAL_METAPATHS.values()
+                 if all(key in graph.edges for key in p)]
+        walks = metapath_random_walks(graph, paths, self.walks_per_node,
+                                      self.walk_length, rng)
+        offsets, cursor = {}, 0
+        for t in graph.schema.node_types:
+            offsets[t] = cursor
+            cursor += graph.num_nodes[t]
+        global_walks = walk_to_global_ids(walks, offsets)
+        centers, contexts = skipgram_pairs(global_walks, self.window)
+        embeddings = train_skipgram(centers, contexts, cursor, dim=self.dim,
+                                    epochs=self.epochs, seed=self.seed)
+        papers = embeddings[offsets[PAPER]:offsets[PAPER] + graph.num_nodes[PAPER]]
+        self._paper_embeddings = papers
+        self.head.fit(papers[dataset.train_idx],
+                      dataset.labels[dataset.train_idx])
+        return self
+
+    def predict(self) -> np.ndarray:
+        if self._paper_embeddings is None:
+            raise RuntimeError("call fit() first")
+        return self.head.predict(self._paper_embeddings)

@@ -1,0 +1,50 @@
+"""Three-layer MLP regression head.
+
+The paper trains "a three layer MLP with equal sizes" on top of the
+unsupervised embeddings of metapath2vec and hin2vec to predict citations.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..nn import MLP, Adam
+from ..tensor import Tensor
+from .api import LabelScaler
+
+
+class MLPRegressor:
+    """fit(X, y) / predict(X) on dense feature matrices."""
+
+    def __init__(self, hidden: Optional[int] = None, epochs: int = 200,
+                 lr: float = 0.01, seed: int = 0) -> None:
+        self.hidden = hidden
+        self.epochs = epochs
+        self.lr = lr
+        self.seed = seed
+        self.scaler = LabelScaler()
+        self.mlp: Optional[MLP] = None
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "MLPRegressor":
+        rng = np.random.default_rng(self.seed)
+        hidden = self.hidden or X.shape[1]  # "equal sizes"
+        self.mlp = MLP([X.shape[1], hidden, hidden, 1], rng)
+        target = Tensor(self.scaler.fit(y).transform(y))
+        X_t = Tensor(np.asarray(X, dtype=np.float64))
+        optimizer = Adam(list(self.mlp.parameters()), lr=self.lr)
+        for _ in range(self.epochs):
+            pred = self.mlp(X_t).reshape(-1)
+            diff = pred - target
+            loss = (diff * diff).mean()
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        if self.mlp is None:
+            raise RuntimeError("call fit() first")
+        pred = self.mlp(Tensor(np.asarray(X, dtype=np.float64))).reshape(-1)
+        return self.scaler.inverse(pred.data)

@@ -1,0 +1,80 @@
+"""R-GCN [12]: relation-specific weight matrices.
+
+One exclusive transformation matrix per link type per layer plus a self
+matrix per node type — the over-parameterization CATE-HGN's shared-W_a
+composition is designed to avoid (Section III-C.1).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from ..core.hgn import GraphBatch
+from ..hetnet import PAPER
+from ..nn import Linear, Module
+from ..tensor import Tensor, gather, segment_mean
+from .gnn_common import GNNTrainConfig, SupervisedGNNBaseline
+
+
+class RGCNLayer(Module):
+    def __init__(self, in_dims: Dict[str, int], out_dim: int,
+                 edge_keys: List, node_types: List[str],
+                 rng: np.random.Generator) -> None:
+        super().__init__()
+        self.edge_keys = edge_keys
+        self.node_types = node_types
+        for i, key in enumerate(edge_keys):
+            self.register_module(f"W_rel{i}", Linear(in_dims[key[0]],
+                                                     out_dim, rng, bias=False))
+        for t in node_types:
+            self.register_module(f"W_self_{t}", Linear(in_dims[t], out_dim, rng))
+
+    def forward(self, h: Dict[str, Tensor], batch: GraphBatch) -> Dict[str, Tensor]:
+        out = {t: getattr(self, f"W_self_{t}")(h[t]) for t in self.node_types}
+        for i, key in enumerate(self.edge_keys):
+            src, dst, _w, _wn = batch.edges[key]
+            if len(src) == 0:
+                continue
+            src_type, _, dst_type = key
+            messages = getattr(self, f"W_rel{i}")(gather(h[src_type], src))
+            agg = segment_mean(messages, dst, batch.num_nodes[dst_type])
+            out[dst_type] = out[dst_type] + agg
+        return {t: v.relu() for t, v in out.items()}
+
+
+class RGCNNetwork(Module):
+    def __init__(self, batch: GraphBatch, dim: int, layers: int,
+                 seed: int) -> None:
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        edge_keys = list(batch.edges.keys())
+        node_types = list(batch.node_types)
+        in_dims = {t: batch.features[t].shape[1] for t in node_types}
+        self._layers: List[RGCNLayer] = []
+        for i in range(layers):
+            layer = RGCNLayer(in_dims, dim, edge_keys, node_types, rng)
+            self.register_module(f"rgcn{i}", layer)
+            self._layers.append(layer)
+            in_dims = {t: dim for t in node_types}
+        self.head = Linear(dim, 1, rng)
+
+    def forward(self, batch: GraphBatch) -> Tensor:
+        h = {t: Tensor(batch.features[t]) for t in batch.node_types}
+        for layer in self._layers:
+            h = layer(h, batch)
+        return self.head(h[PAPER]).reshape(-1)
+
+
+class RGCN(SupervisedGNNBaseline):
+    name = "R-GCN"
+
+    def __init__(self, config: GNNTrainConfig | None = None,
+                 layers: int = 2) -> None:
+        super().__init__(config)
+        self.layers = layers
+
+    def build_network(self, batch: GraphBatch) -> Module:
+        return RGCNNetwork(batch, self.config.dim, self.layers,
+                           self.config.seed)

@@ -1,0 +1,61 @@
+"""Traditional feature-engineering baselines: CCP [2] and CPDF [1].
+
+Both extract per-paper features (Yan et al.'s 10-feature set and Bhat et
+al.'s 17-feature set, each minus one unavailable feature, mirroring the
+paper) and fit a CART regression tree.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..data.dblp import CitationDataset
+from .cart import CARTRegressor
+from .features import FeatureExtractor
+
+
+class _FeatureTreeModel:
+    feature_set = "ccp"
+    name = "base"
+
+    def __init__(self, max_depth: int = 4, min_samples_leaf: int = 10) -> None:
+        self.tree = CARTRegressor(max_depth=max_depth,
+                                  min_samples_leaf=min_samples_leaf)
+        self._features: Optional[np.ndarray] = None
+
+    def _extract(self, dataset: CitationDataset) -> np.ndarray:
+        extractor = FeatureExtractor(dataset)
+        if self.feature_set == "ccp":
+            return extractor.ccp_features()
+        return extractor.cpdf_features()
+
+    def fit(self, dataset: CitationDataset) -> "_FeatureTreeModel":
+        self._features = self._extract(dataset)
+        X = self._features[dataset.train_idx]
+        y = dataset.labels[dataset.train_idx]
+        self.tree.fit(X, y)
+        return self
+
+    def predict(self) -> np.ndarray:
+        if self._features is None:
+            raise RuntimeError("call fit() first")
+        return np.maximum(self.tree.predict(self._features), 0.0)
+
+
+class CCP(_FeatureTreeModel):
+    """Yan et al. (CIKM 2011): 9 of 10 features (no h-index) + CART."""
+
+    feature_set = "ccp"
+    name = "CCP"
+
+
+class CPDF(_FeatureTreeModel):
+    """Bhat et al. (ICDMW 2015): 16 of 17 features (no page count) + CART."""
+
+    feature_set = "cpdf"
+    name = "CPDF"
+
+    def __init__(self, max_depth: int = 5, min_samples_leaf: int = 8) -> None:
+        super().__init__(max_depth=max_depth, min_samples_leaf=min_samples_leaf)

@@ -1,0 +1,82 @@
+"""Skip-gram with negative sampling over random-walk corpora.
+
+Shared machinery for metapath2vec [40] and hin2vec [41].  Updates are
+hand-rolled numpy SGD (mini-batched, scatter-add) — these unsupervised
+embedders do not need the autodiff tape.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+
+def walk_to_global_ids(walks: Sequence[Sequence[Tuple[str, int]]],
+                       offsets: Dict[str, int]) -> List[np.ndarray]:
+    """Map (type, local id) walks into a single global id space."""
+    return [np.array([offsets[t] + i for t, i in walk], dtype=np.intp)
+            for walk in walks]
+
+
+def skipgram_pairs(walks: Sequence[np.ndarray], window: int,
+                   ) -> Tuple[np.ndarray, np.ndarray]:
+    """(center, context) pairs within ±window on each walk."""
+    centers: List[np.ndarray] = []
+    contexts: List[np.ndarray] = []
+    for walk in walks:
+        n = len(walk)
+        for offset in range(1, window + 1):
+            if n <= offset:
+                continue
+            centers.append(walk[:-offset])
+            contexts.append(walk[offset:])
+            centers.append(walk[offset:])
+            contexts.append(walk[:-offset])
+    if not centers:
+        return (np.array([], dtype=np.intp), np.array([], dtype=np.intp))
+    return np.concatenate(centers), np.concatenate(contexts)
+
+
+def _sigmoid(x: np.ndarray) -> np.ndarray:
+    return 1.0 / (1.0 + np.exp(-np.clip(x, -30, 30)))
+
+
+def train_skipgram(
+    centers: np.ndarray,
+    contexts: np.ndarray,
+    num_nodes: int,
+    dim: int = 32,
+    epochs: int = 3,
+    negatives: int = 5,
+    lr: float = 0.05,
+    batch_size: int = 4096,
+    seed: int = 0,
+) -> np.ndarray:
+    """Negative-sampling skip-gram; returns the input embedding matrix."""
+    rng = np.random.default_rng(seed)
+    W = rng.normal(0, 0.1, size=(num_nodes, dim))  # input vectors
+    C = np.zeros((num_nodes, dim))  # output vectors
+    n = len(centers)
+    if n == 0:
+        return W
+    for _ in range(epochs):
+        order = rng.permutation(n)
+        for start in range(0, n, batch_size):
+            idx = order[start:start + batch_size]
+            c, o = centers[idx], contexts[idx]
+            neg = rng.integers(0, num_nodes, size=(len(idx), negatives))
+            wc = W[c]  # (B, d)
+            # Positive pairs.
+            pos_grad = _sigmoid((wc * C[o]).sum(axis=1)) - 1.0  # (B,)
+            grad_wc = pos_grad[:, None] * C[o]
+            grad_co = pos_grad[:, None] * wc
+            # Negative samples.
+            neg_score = _sigmoid(np.einsum("bd,bkd->bk", wc, C[neg]))  # (B,k)
+            grad_wc += np.einsum("bk,bkd->bd", neg_score, C[neg])
+            grad_cneg = neg_score[:, :, None] * wc[:, None, :]
+            np.add.at(W, c, -lr * grad_wc)
+            np.add.at(C, o, -lr * grad_co)
+            np.add.at(C, neg.ravel(),
+                      -lr * grad_cneg.reshape(-1, dim))
+    return W

@@ -1,0 +1,32 @@
+"""CATE-HGN core: the paper's primary contribution."""
+
+from .cluster import CAConfig, ClusterModule, concat_one_space
+from .composition import COMPOSITIONS, get_composition
+from .dynamic import AgingProfile, DynamicCitationModel
+from .hgn import GraphBatch, HGNConfig, HGNOutput, OneSpaceHGN
+from .mi import MIEstimator
+from .model import CATEHGNConfig, CATEHGNModel, ForwardState
+from .text_enhance import TEConfig, TextEnhancer
+from .trainer import CATEHGN, TrainHistory
+
+__all__ = [
+    "CATEHGN",
+    "CATEHGNConfig",
+    "CATEHGNModel",
+    "ForwardState",
+    "TrainHistory",
+    "OneSpaceHGN",
+    "HGNConfig",
+    "HGNOutput",
+    "GraphBatch",
+    "MIEstimator",
+    "ClusterModule",
+    "CAConfig",
+    "concat_one_space",
+    "TextEnhancer",
+    "TEConfig",
+    "COMPOSITIONS",
+    "get_composition",
+    "DynamicCitationModel",
+    "AgingProfile",
+]

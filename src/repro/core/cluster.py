@@ -1,0 +1,158 @@
+"""Cluster-aware (CA) module (Section III-D).
+
+Jointly infers latent research domains and domain-specific impacts:
+
+- soft Student-t assignments of *all* nodes (the one space makes papers,
+  authors, venues and terms clusterable together) to K trainable centers
+  per layer (Eq. 16);
+- self-training against the sharpened auxiliary distribution P (Eq. 17-18);
+- masked-embedding prediction: each cluster owns a learnable positive mask
+  over embedding dimensions, and every node is scored through the
+  q-weighted mixture of masks (Eq. 19) — impact is judged *within* the
+  node's research domain;
+- cross-layer assignment consistency (Eq. 20) and cross-center disparity
+  (Eq. 21) regularizers, combined per Eq. 22.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..nn import Module, Parameter, init, kl_divergence
+from ..tensor import Tensor, concatenate
+
+
+@dataclass
+class CAConfig:
+    num_clusters: int = 10  # K: paper uses #domain names + 1
+    lambda_st: float = 0.1
+    lambda_con: float = 0.1
+    lambda_dis: float = 0.1
+    use_self_training: bool = True
+    use_consistency: bool = True
+    use_disparity: bool = True
+    seed: int = 0
+
+
+class ClusterModule(Module):
+    """Per-layer cluster centers ξ and embedding masks π."""
+
+    def __init__(self, config: CAConfig, dim: int, num_layers: int) -> None:
+        super().__init__()
+        self.config = config
+        self.dim = dim
+        self.num_layers = num_layers
+        rng = np.random.default_rng(config.seed)
+        K = config.num_clusters
+        # Layers here index convolution outputs 0..L (0 = encoder output);
+        # masking applies wherever embeddings feed a loss.
+        for l in range(num_layers + 1):
+            setattr(self, f"centers_{l}",
+                    Parameter(init.normal(rng, (K, dim), std=0.5)))
+            setattr(self, f"mask_logits_{l}",
+                    Parameter(init.normal(rng, (K, dim), std=0.1)))
+
+    # ------------------------------------------------------------------
+    def centers(self, layer: int) -> Parameter:
+        return getattr(self, f"centers_{layer}")
+
+    def center_parameters(self) -> List[Parameter]:
+        return [self.centers(l) for l in range(self.num_layers + 1)]
+
+    def non_center_parameters(self) -> List[Parameter]:
+        return [getattr(self, f"mask_logits_{l}")
+                for l in range(self.num_layers + 1)]
+
+    def set_centers(self, layer: int, values: np.ndarray) -> None:
+        """Overwrite centers (used by TE's term-based initialization)."""
+        param = self.centers(layer)
+        if values.shape != param.data.shape:
+            raise ValueError(f"center shape {values.shape} != {param.data.shape}")
+        param.data = values.copy()
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _normalize_rows(h: Tensor) -> Tensor:
+        sumsq = (h * h).sum(axis=1, keepdims=True)
+        return h / (sumsq + 1e-12).sqrt()
+
+    def soft_assign(self, h: Tensor, layer: int) -> Tensor:
+        """Eq. 16: Student-t similarity to each center, row-normalized.
+
+        Distances are taken between L2-normalized embeddings and the
+        centers: the raw one-space embeddings have unbounded scale, where
+        the Student-t kernel saturates to uniform assignments (all
+        distances large and similar).  On the unit sphere the squared
+        distance lives in [0, 4] and the kernel keeps its contrast — the
+        compactness DEC's original auto-encoder space provides implicitly.
+        """
+        h_unit = self._normalize_rows(h)
+        centers = self.centers(layer)
+        N, d = h_unit.shape
+        K = self.config.num_clusters
+        diff = h_unit.reshape(N, 1, d) - centers.reshape(1, K, d)
+        sq = (diff * diff).sum(axis=2)  # (N, K)
+        q = 1.0 / (sq + 1.0)
+        return q / q.sum(axis=1, keepdims=True)
+
+    @staticmethod
+    def target_distribution(q: np.ndarray) -> np.ndarray:
+        """Eq. 17: sharpen Q into the self-training target P (constant)."""
+        f = q.sum(axis=0)  # soft cluster frequencies
+        p = (q**2) / np.maximum(f, 1e-12)
+        return p / p.sum(axis=1, keepdims=True)
+
+    def mask_embeddings(self, h: Tensor, q: Tensor, layer: int) -> Tensor:
+        """Eq. 19: ĥ_v = Σ_k q_vk (h_v ⊗ σ(π_k)) = h_v ⊗ (q @ σ(π))."""
+        masks = getattr(self, f"mask_logits_{layer}").sigmoid()  # (K, d)
+        return h * (q @ masks)
+
+    def mask_with_cluster(self, h: Tensor, cluster: int, layer: int) -> Tensor:
+        """Force a specific domain's mask (case studies, Table III)."""
+        masks = getattr(self, f"mask_logits_{layer}").sigmoid()
+        return h * masks[cluster].reshape(1, -1)
+
+    # ------------------------------------------------------------------
+    def losses(self, qs: List[Tensor]) -> Tensor:
+        """Eq. 22: λ_st L_st + λ_con L_con + λ_dis L_dis.
+
+        ``qs`` holds the per-layer soft assignments (Tensors on the tape).
+        All terms are normalized per node / per center pair so the λs mean
+        the same thing across graph sizes.
+        """
+        cfg = self.config
+        total = Tensor(0.0)
+        if cfg.use_self_training and cfg.lambda_st > 0:
+            st = Tensor(0.0)
+            for q in qs:
+                p = Tensor(self.target_distribution(q.data))
+                st = st + kl_divergence(p, q) * (1.0 / q.shape[0])
+            total = total + st * cfg.lambda_st
+        if cfg.use_consistency and cfg.lambda_con > 0 and len(qs) > 1:
+            con = Tensor(0.0)
+            for q_lo, q_hi in zip(qs[:-1], qs[1:]):
+                con = con + kl_divergence(q_lo, q_hi) * (1.0 / q_lo.shape[0])
+            total = total + con * cfg.lambda_con
+        if cfg.use_disparity and cfg.lambda_dis > 0:
+            dis = Tensor(0.0)
+            K = cfg.num_clusters
+            for l in range(self.num_layers + 1):
+                centers = self.centers(l)
+                diff = (centers.reshape(K, 1, self.dim)
+                        - centers.reshape(1, K, self.dim))
+                dis = dis - (diff * diff).sum() * (1.0 / (K * K * self.dim))
+            total = total + dis * cfg.lambda_dis
+        return total
+
+    # ------------------------------------------------------------------
+    def hard_assignments(self, q: np.ndarray) -> np.ndarray:
+        return q.argmax(axis=1)
+
+
+def concat_one_space(layer_embeddings: Dict[str, Tensor],
+                     node_types: List[str]) -> Tensor:
+    """Stack all node types into the single clustering space."""
+    return concatenate([layer_embeddings[t] for t in node_types], axis=0)

@@ -1,0 +1,49 @@
+"""Entity-relation composition operators φ (Eq. 3).
+
+CATE-HGN borrows the KGE composition trick (CompGCN-style) to share one
+transformation matrix across all link types: messages are composed from the
+neighbour embedding and the *link-type* embedding with a cheap
+non-parameterized operator.  The paper evaluates three:
+
+- ``sub``  — subtraction, TransE-style [26];
+- ``mult`` — elementwise multiplication, DistMult-style [27];
+- ``corr`` — circular correlation, HolE-style [28] (the default; the
+  ablation in Fig. 4(a) shows it wins).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from ..tensor import Tensor, circular_correlation
+
+CompositionFn = Callable[[Tensor, Tensor], Tensor]
+
+
+def compose_sub(node: Tensor, edge: Tensor) -> Tensor:
+    return node - edge
+
+
+def compose_mult(node: Tensor, edge: Tensor) -> Tensor:
+    return node * edge
+
+
+def compose_corr(node: Tensor, edge: Tensor) -> Tensor:
+    return circular_correlation(node, edge)
+
+
+COMPOSITIONS: Dict[str, CompositionFn] = {
+    "sub": compose_sub,
+    "mult": compose_mult,
+    "corr": compose_corr,
+}
+
+
+def get_composition(name: str) -> CompositionFn:
+    """Look up a composition operator φ by name (sub / mult / corr)."""
+    try:
+        return COMPOSITIONS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown composition {name!r}; choose from {sorted(COMPOSITIONS)}"
+        ) from None

@@ -1,0 +1,125 @@
+"""Dynamic citation prediction (the paper's Section III-G future work).
+
+The paper predicts a static quantity — average citations/year — and names
+per-year trajectories as its immediate future work.  This module provides
+that extension on top of any fitted static estimator:
+
+1. an **aging profile** is estimated from the training-period citation
+   links (the empirical distribution of citation age = citing year minus
+   cited year, smoothed with Laplace pseudo-counts) — the classic
+   rise-peak-decay shape of citation histories;
+2. a paper's predicted per-year trajectory is its predicted average rate
+   redistributed along the aging profile, so the trajectory's mean over
+   the horizon equals the static prediction.
+
+Ground truth for evaluation comes from the same place: the generator's
+citation links carry the citing paper's year, so per-(paper, age) counts
+are observable.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..data.dblp import TRAIN_BEFORE, CitationDataset
+from ..hetnet import PAPER
+
+
+def empirical_citation_ages(dataset: CitationDataset,
+                            train_only: bool = True) -> np.ndarray:
+    """Ages (citing year - cited year, >= 1) of all citation events."""
+    graph = dataset.graph
+    years = graph.get_attr(PAPER, "year")
+    cites = graph.edges[(PAPER, "cites", PAPER)]
+    # cites runs cited -> citing: src is the cited paper.
+    cited_year = years[cites.src]
+    citing_year = years[cites.dst]
+    if train_only:
+        keep = citing_year < TRAIN_BEFORE
+        cited_year, citing_year = cited_year[keep], citing_year[keep]
+    return np.maximum(citing_year - cited_year, 1)
+
+
+class AgingProfile:
+    """Normalized distribution of citation counts over paper age."""
+
+    def __init__(self, weights: np.ndarray) -> None:
+        weights = np.asarray(weights, dtype=np.float64)
+        if weights.ndim != 1 or len(weights) == 0:
+            raise ValueError("profile needs a 1-D non-empty weight vector")
+        if np.any(weights < 0):
+            raise ValueError("profile weights must be non-negative")
+        total = weights.sum()
+        if total <= 0:
+            raise ValueError("profile weights must not all be zero")
+        self.weights = weights / total
+
+    @property
+    def horizon(self) -> int:
+        return len(self.weights)
+
+    @classmethod
+    def fit(cls, dataset: CitationDataset, horizon: int = 6,
+            smoothing: float = 1.0) -> "AgingProfile":
+        """Estimate from training-period citation links (Laplace-smoothed)."""
+        ages = empirical_citation_ages(dataset, train_only=True)
+        counts = np.full(horizon, smoothing, dtype=np.float64)
+        for age in ages:
+            if 1 <= age <= horizon:
+                counts[age - 1] += 1
+        return cls(counts)
+
+    def spread(self, rates: np.ndarray) -> np.ndarray:
+        """Per-year trajectories whose horizon mean equals each rate.
+
+        rates: (N,) average citations/year -> (N, horizon) counts/year.
+        """
+        rates = np.asarray(rates, dtype=np.float64)
+        return np.outer(rates, self.weights * self.horizon)
+
+
+class DynamicCitationModel:
+    """Per-year citation trajectories from a fitted static estimator.
+
+    Parameters
+    ----------
+    base:
+        Any fitted estimator with a ``predict()`` returning per-paper
+        average citations/year (CATE-HGN or a baseline).
+    horizon:
+        Number of post-publication years to predict.
+    """
+
+    def __init__(self, base, horizon: int = 6) -> None:
+        self.base = base
+        self.horizon = horizon
+        self.profile: Optional[AgingProfile] = None
+
+    def fit(self, dataset: CitationDataset,
+            fit_base: bool = False) -> "DynamicCitationModel":
+        if fit_base:
+            self.base.fit(dataset)
+        self.profile = AgingProfile.fit(dataset, horizon=self.horizon)
+        return self
+
+    def predict_trajectories(self) -> np.ndarray:
+        """(num_papers, horizon) predicted citations per post-pub year."""
+        if self.profile is None:
+            raise RuntimeError("call fit() first")
+        return self.profile.spread(self.base.predict())
+
+    @staticmethod
+    def observed_trajectories(dataset: CitationDataset,
+                              horizon: int = 6) -> np.ndarray:
+        """Ground-truth per-year citation counts from the citation links."""
+        graph = dataset.graph
+        years = graph.get_attr(PAPER, "year")
+        cites = graph.edges[(PAPER, "cites", PAPER)]
+        out = np.zeros((dataset.num_papers, horizon))
+        ages = years[cites.dst] - years[cites.src]
+        for cited, age in zip(cites.src, ages):
+            if 1 <= age <= horizon:
+                out[cited, age - 1] += 1
+        return out

@@ -1,0 +1,237 @@
+"""The CATE-HGN model: HGN backbone + CA masking + MI alignment.
+
+:class:`CATEHGNModel` is the trainable network; the Algorithm-1 training
+loop and the TE graph-rewriting live in :mod:`repro.core.trainer`.  Every
+novel component carries an ablation flag so the Fig.-4(a) variants are the
+same code path with switches, not re-implementations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..hetnet.schema import PAPER, EdgeTypeKey
+from ..nn import Module
+from ..tensor import Tensor, gather
+from .cluster import CAConfig, ClusterModule, concat_one_space
+from .hgn import GraphBatch, HGNConfig, HGNOutput, OneSpaceHGN
+from .mi import MIEstimator
+from .text_enhance import TEConfig
+
+
+@dataclass
+class CATEHGNConfig:
+    """All knobs of CATE-HGN, defaulting to the paper's setting at CPU scale.
+
+    Ablation switches (Fig. 4(a)):
+      composition in {"sub", "mult", "corr"}; use_mi; use_attention;
+      use_self_training / use_consistency / use_disparity (CA);
+      te_bert_init / te_tfidf / te_iterative (TE);
+      use_ca=False gives plain HGN; use_te=False gives CA-HGN.
+    """
+
+    # HGN (Section III-C).
+    dim: int = 32
+    num_layers: int = 2
+    composition: str = "corr"
+    attention_heads: int = 4
+    use_attention: bool = True
+    use_mi: bool = True
+    lambda_mi: float = 0.1
+    mi_max_edges: int = 1500
+
+    # CA (Section III-D).
+    use_ca: bool = True
+    num_clusters: int = 10
+    lambda_st: float = 0.1
+    lambda_con: float = 0.1
+    lambda_dis: float = 0.1
+    use_self_training: bool = True
+    use_consistency: bool = True
+    use_disparity: bool = True
+
+    # TE (Section III-E).
+    use_te: bool = True
+    kappa: int = 50
+    te_bert_init: bool = True
+    te_tfidf: bool = True
+    te_iterative: bool = True
+    refine_every: int = 2  # outer iterations between term refinements
+
+    # Known-label input channels (masked label propagation; see
+    # GraphBatch.with_label_inputs).
+    use_label_inputs: bool = True
+    label_mask_rate: float = 0.5
+
+    # Optimization (Algorithm 1).
+    lr: float = 0.01
+    weight_decay: float = 1e-3
+    center_lr: float = 0.05
+    outer_iters: int = 12
+    mini_iters: int = 5  # I: HGN updates per outer iteration
+    center_iters: int = 2
+    grad_clip: float = 5.0
+    patience: int = 4
+    seed: int = 0
+
+    def hgn_config(self) -> HGNConfig:
+        return HGNConfig(dim=self.dim, num_layers=self.num_layers,
+                         composition=self.composition,
+                         attention_heads=self.attention_heads,
+                         use_attention=self.use_attention, seed=self.seed)
+
+    def ca_config(self) -> CAConfig:
+        return CAConfig(num_clusters=self.num_clusters,
+                        lambda_st=self.lambda_st,
+                        lambda_con=self.lambda_con,
+                        lambda_dis=self.lambda_dis,
+                        use_self_training=self.use_self_training,
+                        use_consistency=self.use_consistency,
+                        use_disparity=self.use_disparity, seed=self.seed)
+
+    def te_config(self) -> TEConfig:
+        return TEConfig(kappa=self.kappa, use_bert_init=self.te_bert_init,
+                        use_tfidf=self.te_tfidf,
+                        iterative=self.te_iterative, seed=self.seed)
+
+
+@dataclass
+class ForwardState:
+    """One forward pass plus the CA-derived views of it."""
+
+    output: HGNOutput
+    # Per layer: soft assignments over the concatenated one space.
+    qs: List[Tensor] = field(default_factory=list)
+    # Per layer: node-type -> masked embeddings (== raw when CA is off).
+    masked: List[Dict[str, Tensor]] = field(default_factory=list)
+
+
+class CATEHGNModel(Module):
+    """HGN + optional MI estimator + optional CA module."""
+
+    def __init__(self, config: CATEHGNConfig, node_types: List[str],
+                 feature_dims: Dict[str, int],
+                 edge_type_keys: List[EdgeTypeKey]) -> None:
+        super().__init__()
+        self.config = config
+        self.node_types = list(node_types)
+        self.hgn = OneSpaceHGN(config.hgn_config(), node_types,
+                               feature_dims, edge_type_keys)
+        self.mi = MIEstimator(config.dim, seed=config.seed) if config.use_mi else None
+        self.ca = (ClusterModule(config.ca_config(), config.dim,
+                                 config.num_layers)
+                   if config.use_ca else None)
+
+    # ------------------------------------------------------------------
+    def forward_state(self, batch: GraphBatch) -> ForwardState:
+        output = self.hgn(batch)
+        state = ForwardState(output=output)
+        for l, layer_h in enumerate(output.layers):
+            if self.ca is None:
+                state.qs.append(None)
+                state.masked.append(layer_h)
+                continue
+            h_all = concat_one_space(layer_h, self.node_types)
+            q = self.ca.soft_assign(h_all, l)
+            state.qs.append(q)
+            masked_all = self.ca.mask_embeddings(h_all, q, l)
+            masked = {}
+            for t in self.node_types:
+                lo, n = batch.slices[t]
+                masked[t] = masked_all[lo:lo + n]
+            state.masked.append(masked)
+        return state
+
+    # ------------------------------------------------------------------
+    def supervised_loss(self, state: ForwardState, batch: GraphBatch) -> Tensor:
+        """Eq. 6 over all layers, on (masked) paper embeddings."""
+        if len(batch.labeled_ids) == 0:
+            return Tensor(0.0)
+        target = Tensor(batch.labels)
+        total = Tensor(0.0)
+        L = self.config.num_layers
+        for l in range(1, L + 1):
+            h_paper = state.masked[l][PAPER]
+            pred = self.hgn.regress(l, gather(h_paper, batch.labeled_ids))
+            diff = pred - target
+            total = total + (diff * diff).mean()
+        return total * (1.0 / L)
+
+    def unsupervised_loss(self, state: ForwardState, batch: GraphBatch,
+                          rng: np.random.Generator) -> Tensor:
+        """Eq. 12 on the masked embeddings (Algorithm 1, line 7)."""
+        if self.mi is None:
+            return Tensor(0.0)
+        return self.mi.loss(state.masked, batch, rng,
+                            max_edges_per_type=self.config.mi_max_edges)
+
+    def hgn_loss(self, state: ForwardState, batch: GraphBatch,
+                 rng: np.random.Generator) -> Tensor:
+        """Eq. 2: L_sup + λ L_unsup."""
+        loss = self.supervised_loss(state, batch)
+        if self.mi is not None:
+            loss = loss + self.unsupervised_loss(state, batch, rng) * self.config.lambda_mi
+        return loss
+
+    def ca_loss(self, state: ForwardState) -> Tensor:
+        """Eq. 22 (drives the cluster-center updates, Algorithm 1 line 10)."""
+        if self.ca is None:
+            return Tensor(0.0)
+        return self.ca.losses(state.qs)
+
+    # ------------------------------------------------------------------
+    def predict_papers(self, batch: GraphBatch) -> np.ndarray:
+        """Citation predictions for every paper (last layer, Eq. 6 head).
+
+        Predictions are on the trainer's (standardized) label scale; the
+        estimator wrapper un-standardizes and floors at zero citations.
+        """
+        state = self.forward_state(batch)
+        L = self.config.num_layers
+        pred = self.hgn.regress(L, state.masked[L][PAPER])
+        return pred.data
+
+    def node_impacts(self, batch: GraphBatch, node_type: str,
+                     cluster: Optional[int] = None) -> np.ndarray:
+        """Impact score of every node of ``node_type`` (Table III).
+
+        With ``cluster`` given, embeddings are masked with that specific
+        research domain's mask — the node's impact *within* that domain.
+        """
+        state = self.forward_state(batch)
+        L = self.config.num_layers
+        if cluster is not None and self.ca is not None:
+            h = self.ca.mask_with_cluster(
+                state.output.layers[L][node_type], cluster, L
+            )
+        else:
+            h = state.masked[L][node_type]
+        return self.hgn.regress(L, h).data
+
+    def cluster_assignments(self, batch: GraphBatch,
+                            layer: Optional[int] = None) -> Dict[str, np.ndarray]:
+        """Hard domain assignment per node type (last layer by default)."""
+        if self.ca is None:
+            raise RuntimeError("cluster assignments require use_ca=True")
+        state = self.forward_state(batch)
+        l = self.config.num_layers if layer is None else layer
+        q = state.qs[l].data
+        out = {}
+        for t in self.node_types:
+            lo, n = batch.slices[t]
+            out[t] = q[lo:lo + n].argmax(axis=1)
+        return out
+
+    def soft_memberships(self, batch: GraphBatch,
+                         layer: Optional[int] = None) -> Dict[str, np.ndarray]:
+        """Soft q_vk per node type."""
+        if self.ca is None:
+            raise RuntimeError("memberships require use_ca=True")
+        state = self.forward_state(batch)
+        l = self.config.num_layers if layer is None else layer
+        q = state.qs[l].data
+        return {t: q[batch.slices[t][0]:batch.slices[t][0] + batch.slices[t][1]]
+                for t in self.node_types}

@@ -1,0 +1,171 @@
+"""Text-enhancing (TE) module (Section III-E).
+
+Mines quality terms instead of trusting the papers' noisy keyword lists:
+
+1. *Cluster-oriented term initialization* — bootstrap an initial term set
+   per research domain by masking the domain name and reading the MLM's
+   slot distribution (Eq. 23, top-κ hard threshold), then connect papers to
+   the union of all sets with TF-IDF weights (Eq. 24).
+2. *Adaptive term refinement* — each current quality term votes for its
+   top-κ MLM neighbours, weighted by the term's model-estimated research
+   impact ŷ_u; the top |T_k| voted terms become the next set, and the
+   paper-term links are rebuilt (impact-based voting, Section III-E2).
+
+The TE module adds no loss; it rewrites the term nodes / paper-term links
+of the working graph and seeds the CA cluster centers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..data.dblp import TextArtifacts
+from ..hetnet import PAPER, TERM, HeteroGraph
+from ..text import tfidf_matrix_entries
+
+
+@dataclass
+class TEConfig:
+    kappa: int = 50  # top-relevant-term cut-off (paper: 50-100)
+    use_bert_init: bool = True  # ablation: start from keyword terms instead
+    use_tfidf: bool = True  # ablation: binary link weights instead
+    iterative: bool = True  # ablation: never refine after initialization
+    # Statistical-importance filter (heuristic 2 of Sec. III-E): a quality
+    # term must not be "too frequent across all" papers, so candidates in
+    # more than this fraction of documents are rejected.
+    max_df_ratio: float = 0.25
+    seed: int = 0
+
+
+class TextEnhancer:
+    """Quality-term mining over a fixed corpus."""
+
+    def __init__(self, text: TextArtifacts, domain_names: Sequence[str],
+                 config: Optional[TEConfig] = None) -> None:
+        self.text = text
+        self.domain_names = list(domain_names)
+        self.config = config or TEConfig()
+        self._top_terms_cache: Dict[str, List[str]] = {}
+        # Document-frequency ratios for the statistical-importance filter.
+        from ..text import document_frequencies
+
+        documents = text.corpus.encoded()
+        df = document_frequencies(documents, len(text.corpus.vocabulary))
+        self._df_ratio = df / max(len(documents), 1)
+
+    # ------------------------------------------------------------------
+    def _statistically_important(self, token: str) -> bool:
+        token_id = self.text.corpus.vocabulary.get(token)
+        if token_id < 0:
+            return False
+        return self._df_ratio[token_id] <= self.config.max_df_ratio
+
+    def _mlm_top(self, token: str) -> List[str]:
+        if token not in self._top_terms_cache:
+            # Over-fetch, then apply the importance filter (heuristic 2).
+            pairs = self.text.mlm.top_terms(token, 2 * self.config.kappa)
+            kept = [t for t, _ in pairs if self._statistically_important(t)]
+            self._top_terms_cache[token] = kept[: self.config.kappa]
+        return self._top_terms_cache[token]
+
+    def bootstrap(self, fallback_terms: Optional[Sequence[str]] = None,
+                  ) -> List[List[str]]:
+        """Initial per-domain term sets T_k^0 (Section III-E1).
+
+        With ``use_bert_init`` disabled (Fig. 4(a) ablation), falls back to
+        the given keyword-derived terms, split across domains at random —
+        "using available keywords of the papers as all other models".
+        """
+        if self.config.use_bert_init:
+            sets = []
+            for name in self.domain_names:
+                terms = [name] if name in self.text.corpus.vocabulary else []
+                terms += [t for t in self._mlm_top(name) if t not in terms]
+                sets.append(terms[: self.config.kappa])
+            return sets
+        if fallback_terms is None:
+            raise ValueError("bert-init disabled requires fallback terms")
+        rng = np.random.default_rng(self.config.seed)
+        in_vocab = [t for t in fallback_terms
+                    if t in self.text.corpus.vocabulary]
+        assignment = rng.integers(0, len(self.domain_names),
+                                  size=len(in_vocab))
+        return [[t for t, k in zip(in_vocab, assignment) if k == d]
+                for d in range(len(self.domain_names))]
+
+    # ------------------------------------------------------------------
+    def build_links(self, term_tokens: Sequence[str],
+                    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Paper-term links over the current term set (Eq. 24).
+
+        Returns (paper ids, local term ids, weights); the ablation without
+        TF-IDF uses binary weights.
+        """
+        vocab = self.text.corpus.vocabulary
+        token_to_local = {t: i for i, t in enumerate(term_tokens)}
+        vocab_ids = [vocab.id(t) for t in term_tokens]
+        documents = self.text.corpus.encoded()
+        if self.config.use_tfidf:
+            papers, tokens, weights = tfidf_matrix_entries(
+                documents, len(vocab), restrict_to=vocab_ids
+            )
+        else:
+            keep = set(vocab_ids)
+            entries = [(i, tok) for i, doc in enumerate(documents)
+                       for tok in set(doc) if tok in keep]
+            papers = np.array([p for p, _ in entries], dtype=np.intp)
+            tokens = np.array([t for _, t in entries], dtype=np.intp)
+            weights = np.ones(len(entries), dtype=np.float64)
+        local = np.array([token_to_local[vocab.token(int(t))] for t in tokens],
+                         dtype=np.intp)
+        return papers, local, weights
+
+    # ------------------------------------------------------------------
+    def refine(self, term_sets: List[List[str]],
+               impacts: Dict[str, float]) -> List[List[str]]:
+        """Impact-based voting (Section III-E2).
+
+        Each term u in T_k votes for its κ most MLM-relevant terms with
+        weight ŷ_u; the union is re-thresholded to |T_k| terms.  Impacts
+        can be negative early in training — votes are floored at a small
+        positive value so every current term keeps some say.
+        """
+        new_sets = []
+        for terms in term_sets:
+            tally: Dict[str, float] = {}
+            for u in terms:
+                weight = max(impacts.get(u, 0.0), 1e-3)
+                # A term's ballot covers its κ most relevant terms and
+                # itself (it trivially fills its own masked slot).
+                for candidate in [u] + self._mlm_top(u):
+                    tally[candidate] = tally.get(candidate, 0.0) + weight
+            ranked = sorted(tally, key=lambda t: -tally[t])
+            new_sets.append(ranked[: max(len(terms), 1)])
+        return new_sets
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def union(term_sets: List[List[str]]) -> List[str]:
+        seen: Dict[str, None] = {}
+        for terms in term_sets:
+            for t in terms:
+                seen.setdefault(t)
+        return sorted(seen)
+
+    def rebuild_graph_terms(self, graph: HeteroGraph,
+                            term_sets: List[List[str]]) -> List[str]:
+        """Replace the graph's term nodes and paper-term links in place."""
+        term_tokens = self.union(term_sets)
+        papers, local, weights = self.build_links(term_tokens)
+        graph.add_nodes(TERM, len(term_tokens), names=term_tokens)
+        graph.node_attrs[TERM] = {}
+        features = self.text.embeddings.embed_documents(
+            [[t] for t in term_tokens]
+        )
+        graph.set_features(TERM, features)
+        graph.set_edges((PAPER, "mentions", TERM), papers, local, weights)
+        graph.set_edges((TERM, "mentioned_by", PAPER), local, papers, weights)
+        return term_tokens

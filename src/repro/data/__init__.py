@@ -1,0 +1,48 @@
+"""Synthetic DBLP-like datasets (DESIGN.md §2 substitution for the real dump)."""
+
+from .dblp import (
+    TEST_FROM,
+    TRAIN_BEFORE,
+    VAL_YEAR,
+    CitationDataset,
+    TextArtifacts,
+    make_all_datasets,
+    make_dblp_full,
+    make_dblp_random,
+    make_dblp_single,
+    temporal_split,
+)
+from .generator import (
+    Author,
+    Paper,
+    PublicationWorld,
+    Venue,
+    WorldConfig,
+    generate_world,
+)
+from .io import load_graph, save_graph
+from .lexicon import DOMAIN_NAMES, DOMAIN_TERMS, GENERIC_TERMS
+
+__all__ = [
+    "WorldConfig",
+    "PublicationWorld",
+    "Author",
+    "Venue",
+    "Paper",
+    "generate_world",
+    "CitationDataset",
+    "TextArtifacts",
+    "make_dblp_full",
+    "make_dblp_single",
+    "make_dblp_random",
+    "make_all_datasets",
+    "temporal_split",
+    "TRAIN_BEFORE",
+    "VAL_YEAR",
+    "TEST_FROM",
+    "save_graph",
+    "load_graph",
+    "DOMAIN_NAMES",
+    "DOMAIN_TERMS",
+    "GENERIC_TERMS",
+]

@@ -1,0 +1,342 @@
+"""Synthetic publication-world generator.
+
+This is the stand-in for the paper's DBLP-2019 ⋈ AMiner-Citation-V11 data
+(no network access; see DESIGN.md §2).  The generator plants as ground truth
+exactly the citation-driving factors the paper's model is built to recover:
+
+1. latent research domains (footnote-4 names);
+2. per-domain author prestige — an author is impactful *within* a domain
+   (Figure 3(a)'s motivating example);
+3. venue authority, discounted when a paper appears outside the venue's
+   home domain;
+4. term significance — quality terms indicate impact, generic filler terms
+   do not (Figure 3(b));
+5. noisy keyword lists — a lossy, polluted view of the title's quality
+   terms, motivating the TE module.
+
+The per-paper citation label (average citations/year) is a noisy monotone
+function of those factors; citation links follow domain-aware preferential
+attachment on the same impact scores.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .lexicon import (
+    AUTHOR_FAMILY,
+    AUTHOR_GIVEN,
+    DOMAIN_NAMES,
+    DOMAIN_TERMS,
+    GENERIC_TERMS,
+    VENUE_NAME_PATTERNS,
+)
+
+
+@dataclass
+class WorldConfig:
+    """Knobs of the synthetic world.  Defaults fit CPU-scale experiments."""
+
+    num_papers: int = 1500
+    num_authors: int = 300
+    venues_per_domain: int = 5
+    seed: int = 7
+
+    # Temporal extent; the paper trains on <2014, validates on 2014,
+    # tests on 2015-2020.
+    year_min: int = 2004
+    year_max: int = 2020
+
+    # Authorship.
+    min_authors: int = 1
+    max_authors: int = 4
+    same_domain_author_prob: float = 0.70
+    same_domain_venue_prob: float = 0.85
+
+    # Titles.
+    min_title_len: int = 7
+    max_title_len: int = 12
+    p_domain_term: float = 0.55
+    p_domain_name: float = 0.08
+    p_generic_term: float = 0.25
+    # Remaining mass: a quality term from a random other domain.
+
+    # Keywords: noisy view of the title's quality terms.
+    keyword_keep_prob: float = 0.65
+    keyword_noise_min: int = 1
+    keyword_noise_max: int = 2
+
+    # Impact mixture weights (sum to 1): author prestige, venue authority,
+    # term significance.
+    w_author: float = 0.35
+    w_venue: float = 0.25
+    w_term: float = 0.40
+    label_scale: float = 3.0
+    label_noise_sigma: float = 0.15
+
+    # Prestige/authority/significance distributions (log-normal).
+    prestige_sigma: float = 0.85
+    off_domain_prestige_mu: float = -1.0
+    off_domain_prestige_sigma: float = 0.4
+    authority_sigma: float = 0.8
+    off_domain_venue_discount: float = 0.35
+    significance_sigma: float = 0.8
+
+    # Citation links.
+    mean_references: float = 4.0
+    same_domain_citation_boost: float = 3.0
+
+    domain_names: Tuple[str, ...] = DOMAIN_NAMES
+
+
+@dataclass
+class Author:
+    name: str
+    primary_domain: int
+    # prestige[d] — the author's impact within domain d.
+    prestige: np.ndarray
+
+
+@dataclass
+class Venue:
+    name: str
+    domain: int
+    authority: float
+
+
+@dataclass
+class Paper:
+    year: int
+    domain: int
+    author_ids: List[int]
+    venue_id: int
+    title: List[str]
+    keywords: List[str]
+    impact: float  # noiseless impact core
+    label: float  # average citations per year (regression target)
+    references: List[int] = field(default_factory=list)
+
+
+@dataclass
+class PublicationWorld:
+    """The full generated ground truth."""
+
+    config: WorldConfig
+    authors: List[Author]
+    venues: List[Venue]
+    papers: List[Paper]
+    # token -> (domain index or -1 for generic, significance)
+    term_truth: Dict[str, Tuple[int, float]]
+
+    @property
+    def domain_names(self) -> Tuple[str, ...]:
+        return self.config.domain_names
+
+    def quality_terms(self, domain: int) -> List[str]:
+        """Ground-truth quality terms of a domain (for Fig.-5 evaluation)."""
+        return [t for t, (d, _) in self.term_truth.items() if d == domain]
+
+    def labels(self) -> np.ndarray:
+        return np.array([p.label for p in self.papers])
+
+    def years(self) -> np.ndarray:
+        return np.array([p.year for p in self.papers])
+
+
+def _make_terms(config: WorldConfig,
+                rng: np.random.Generator) -> Dict[str, Tuple[int, float]]:
+    term_truth: Dict[str, Tuple[int, float]] = {}
+    for d, name in enumerate(config.domain_names):
+        for token in DOMAIN_TERMS[name]:
+            significance = float(rng.lognormal(0.0, config.significance_sigma))
+            term_truth[token] = (d, significance)
+        # The domain name itself is a (moderately significant) quality term
+        # of its own domain — it anchors the MLM bootstrap.
+        term_truth[name] = (d, 1.0)
+    for token in GENERIC_TERMS:
+        term_truth[token] = (-1, 0.0)
+    return term_truth
+
+
+def _make_authors(config: WorldConfig,
+                  rng: np.random.Generator) -> List[Author]:
+    num_domains = len(config.domain_names)
+    authors = []
+    for i in range(config.num_authors):
+        primary = int(rng.integers(num_domains))
+        prestige = rng.lognormal(config.off_domain_prestige_mu,
+                                 config.off_domain_prestige_sigma,
+                                 size=num_domains)
+        prestige[primary] = rng.lognormal(0.0, config.prestige_sigma)
+        given = AUTHOR_GIVEN[int(rng.integers(len(AUTHOR_GIVEN)))]
+        family = AUTHOR_FAMILY[int(rng.integers(len(AUTHOR_FAMILY)))]
+        authors.append(Author(name=f"{given} {family} {i}",
+                              primary_domain=primary,
+                              prestige=prestige))
+    return authors
+
+
+def _make_venues(config: WorldConfig,
+                 rng: np.random.Generator) -> List[Venue]:
+    venues = []
+    for d, domain_name in enumerate(config.domain_names):
+        terms = DOMAIN_TERMS[domain_name]
+        for _ in range(config.venues_per_domain):
+            pattern = VENUE_NAME_PATTERNS[int(rng.integers(len(VENUE_NAME_PATTERNS)))]
+            a, b = rng.choice(len(terms), size=2, replace=False)
+            name = pattern.format(a=domain_name, b=terms[int(a)])
+            name = f"{name} {terms[int(b)]}"
+            venues.append(Venue(name=name, domain=d,
+                                authority=float(rng.lognormal(0.0, config.authority_sigma))))
+    return venues
+
+
+def _sample_title(config: WorldConfig, domain: int,
+                  domain_term_lists: List[List[str]],
+                  significance_weights: List[np.ndarray],
+                  rng: np.random.Generator) -> List[str]:
+    length = int(rng.integers(config.min_title_len, config.max_title_len + 1))
+    num_domains = len(config.domain_names)
+    title = []
+    for _ in range(length):
+        u = rng.random()
+        if u < config.p_domain_term:
+            terms = domain_term_lists[domain]
+            weights = significance_weights[domain]
+            title.append(terms[int(rng.choice(len(terms), p=weights))])
+        elif u < config.p_domain_term + config.p_domain_name:
+            title.append(config.domain_names[domain])
+        elif u < config.p_domain_term + config.p_domain_name + config.p_generic_term:
+            title.append(GENERIC_TERMS[int(rng.integers(len(GENERIC_TERMS)))])
+        else:
+            other = int(rng.integers(num_domains))
+            terms = domain_term_lists[other]
+            title.append(terms[int(rng.integers(len(terms)))])
+    return title
+
+
+def generate_world(config: Optional[WorldConfig] = None) -> PublicationWorld:
+    """Generate a full synthetic publication world."""
+    config = config or WorldConfig()
+    rng = np.random.default_rng(config.seed)
+    num_domains = len(config.domain_names)
+
+    term_truth = _make_terms(config, rng)
+    authors = _make_authors(config, rng)
+    venues = _make_venues(config, rng)
+
+    # Per-domain author pools for efficient sampling.
+    domain_authors: List[np.ndarray] = [
+        np.array([i for i, a in enumerate(authors) if a.primary_domain == d])
+        for d in range(num_domains)
+    ]
+    domain_venues: List[np.ndarray] = [
+        np.array([i for i, v in enumerate(venues) if v.domain == d])
+        for d in range(num_domains)
+    ]
+    domain_term_lists: List[List[str]] = [
+        DOMAIN_TERMS[name] for name in config.domain_names
+    ]
+    # Mild significance bias in sampling: significant terms are used a bit
+    # more often (they name the hot problems), but not deterministically.
+    significance_weights: List[np.ndarray] = []
+    for d, terms in enumerate(domain_term_lists):
+        sig = np.array([term_truth[t][1] for t in terms])
+        weights = np.sqrt(sig + 0.1)
+        significance_weights.append(weights / weights.sum())
+
+    papers: List[Paper] = []
+    years = rng.integers(config.year_min, config.year_max + 1,
+                         size=config.num_papers)
+    years.sort()  # papers indexed in temporal order simplifies citations
+    for i in range(config.num_papers):
+        domain = int(rng.integers(num_domains))
+        num_auth = int(rng.integers(config.min_authors, config.max_authors + 1))
+        author_ids: List[int] = []
+        for _ in range(num_auth):
+            if (rng.random() < config.same_domain_author_prob
+                    and len(domain_authors[domain])):
+                candidate = int(rng.choice(domain_authors[domain]))
+            else:
+                candidate = int(rng.integers(config.num_authors))
+            if candidate not in author_ids:
+                author_ids.append(candidate)
+        if rng.random() < config.same_domain_venue_prob and len(domain_venues[domain]):
+            venue_id = int(rng.choice(domain_venues[domain]))
+        else:
+            venue_id = int(rng.integers(len(venues)))
+
+        title = _sample_title(config, domain, domain_term_lists,
+                              significance_weights, rng)
+
+        # Noisy keywords: a lossy subset of the title's quality terms plus
+        # random vocabulary noise (Sec. III-E motivation).
+        all_terms = list(term_truth)
+        keywords = [t for t in title
+                    if term_truth.get(t, (-1, 0.0))[0] >= 0
+                    and rng.random() < config.keyword_keep_prob]
+        num_noise = int(rng.integers(config.keyword_noise_min,
+                                     config.keyword_noise_max + 1))
+        keywords += [all_terms[int(rng.integers(len(all_terms)))]
+                     for _ in range(num_noise)]
+
+        # Ground-truth impact components.
+        prestige = float(np.mean([authors[a].prestige[domain]
+                                  for a in author_ids]))
+        venue = venues[venue_id]
+        authority = venue.authority
+        if venue.domain != domain:
+            authority *= config.off_domain_venue_discount
+        # Hot-topic effect: the most significant quality term in the title
+        # drives the term component (a single hot keyword attracts readers),
+        # so term significance is recoverable from paper-term links but is
+        # mostly washed out of mean-pooled title embeddings.
+        in_domain = [term_truth[t][1] for t in title
+                     if term_truth.get(t, (-1, 0.0))[0] == domain]
+        significance = float(np.max(in_domain)) if in_domain else 0.0
+
+        impact = (config.w_author * prestige
+                  + config.w_venue * authority
+                  + config.w_term * significance)
+        label = float(config.label_scale * impact
+                      * rng.lognormal(0.0, config.label_noise_sigma))
+
+        papers.append(Paper(year=int(years[i]), domain=domain,
+                            author_ids=author_ids, venue_id=venue_id,
+                            title=title, keywords=keywords,
+                            impact=impact, label=label))
+
+    _draw_citations(config, papers, rng)
+    return PublicationWorld(config=config, authors=authors, venues=venues,
+                            papers=papers, term_truth=term_truth)
+
+
+def _draw_citations(config: WorldConfig, papers: List[Paper],
+                    rng: np.random.Generator) -> None:
+    """Domain-aware preferential attachment on impact.
+
+    Paper i cites earlier papers with probability proportional to the
+    target's impact, boosted for same-domain targets.  Papers are already
+    sorted by year, so "earlier" means a strictly smaller index with a
+    strictly smaller year (ties in year are not citable — a paper cannot
+    cite a contemporary it could not have read).
+    """
+    impacts = np.array([p.impact for p in papers])
+    domains = np.array([p.domain for p in papers])
+    years = np.array([p.year for p in papers])
+    for i, paper in enumerate(papers):
+        eligible = np.nonzero(years[:i] < paper.year)[0]
+        if len(eligible) == 0:
+            continue
+        count = min(int(rng.poisson(config.mean_references)), len(eligible))
+        if count == 0:
+            continue
+        weights = impacts[eligible].copy()
+        weights[domains[eligible] == paper.domain] *= config.same_domain_citation_boost
+        weights = np.maximum(weights, 1e-9)
+        weights /= weights.sum()
+        refs = rng.choice(eligible, size=count, replace=False, p=weights)
+        paper.references = sorted(int(r) for r in refs)

@@ -1,0 +1,58 @@
+"""Graph serialization (npz + json sidecar)."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from ..hetnet import HeteroGraph, publication_schema
+
+
+def save_graph(graph: HeteroGraph, path: Union[str, Path]) -> None:
+    """Persist a publication-network graph to ``<path>.npz`` + ``<path>.json``.
+
+    Arrays go into the npz; node names and schema metadata into the json
+    sidecar.  Only graphs over the standard publication schema round-trip.
+    """
+    path = Path(path)
+    arrays = {}
+    meta = {"num_nodes": graph.num_nodes, "edge_types": [], "attrs": {}}
+    for i, (key, edge) in enumerate(sorted(graph.edges.items())):
+        meta["edge_types"].append(list(key))
+        arrays[f"edge{i}_src"] = edge.src
+        arrays[f"edge{i}_dst"] = edge.dst
+        arrays[f"edge{i}_weight"] = edge.weight
+    for node_type, features in graph.node_features.items():
+        arrays[f"feat_{node_type}"] = features
+    for node_type, attrs in graph.node_attrs.items():
+        for name, values in attrs.items():
+            arrays[f"attr_{node_type}_{name}"] = values
+            meta["attrs"].setdefault(node_type, []).append(name)
+    meta["names"] = {t: names for t, names in graph.node_names.items()}
+    np.savez_compressed(path.with_suffix(".npz"), **arrays)
+    path.with_suffix(".json").write_text(json.dumps(meta))
+
+
+def load_graph(path: Union[str, Path]) -> HeteroGraph:
+    """Load a graph previously written by :func:`save_graph`."""
+    path = Path(path)
+    meta = json.loads(path.with_suffix(".json").read_text())
+    arrays = np.load(path.with_suffix(".npz"))
+    graph = HeteroGraph(publication_schema(include_terms=True))
+    for node_type, count in meta["num_nodes"].items():
+        names = meta["names"].get(node_type)
+        graph.add_nodes(node_type, count, names)
+    for i, key in enumerate(meta["edge_types"]):
+        graph.set_edges(tuple(key), arrays[f"edge{i}_src"],
+                        arrays[f"edge{i}_dst"], arrays[f"edge{i}_weight"])
+    for node_type in meta["num_nodes"]:
+        feat_key = f"feat_{node_type}"
+        if feat_key in arrays:
+            graph.set_features(node_type, arrays[feat_key])
+        for attr in meta["attrs"].get(node_type, []):
+            graph.set_attr(node_type, attr, arrays[f"attr_{node_type}_{attr}"])
+    graph.validate()
+    return graph

@@ -1,0 +1,123 @@
+"""Curated lexicon for the synthetic publication world.
+
+Nine research domains (the paper's footnote-4 domain names) each own a set
+of topical terms; generic filler words are shared across domains.  Real
+vocabulary keeps the Table-III/Figure-5 case studies interpretable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+# The exact domain names of the paper's footnote 4.
+DOMAIN_NAMES: Tuple[str, ...] = (
+    "data", "learning", "vision", "language", "bio",
+    "robotics", "network", "system", "security",
+)
+
+DOMAIN_TERMS: Dict[str, List[str]] = {
+    "data": [
+        "mining", "query", "index", "warehouse", "stream", "database",
+        "schema", "transaction", "olap", "clustering", "outlier", "join",
+        "spatial", "temporal", "graph", "recommend", "rank", "privacy",
+        "social", "crawl", "integration", "provenance", "sketch", "skyline",
+        "frequent", "itemset", "keyword", "similarity",
+    ],
+    "learning": [
+        "kernel", "gradient", "bayesian", "regression", "boosting",
+        "convolution", "regularization", "sparse", "convex", "embedding",
+        "classifier", "generative", "adversarial", "reinforcement",
+        "transfer", "metric", "probabilistic", "inference", "latent",
+        "variational", "ensemble", "margin", "smoothness", "dropout",
+        "attention", "optimization", "representation", "semi-supervised",
+    ],
+    "vision": [
+        "image", "segmentation", "detection", "tracking", "stereo",
+        "texture", "saliency", "pose", "face", "pixel", "descriptor",
+        "registration", "optical", "depth", "shape", "contour", "denoising",
+        "super-resolution", "recognition", "scene", "keypoint", "camera",
+        "illumination", "retrieval", "deblurring", "foreground", "gesture",
+        "video",
+    ],
+    "language": [
+        "parsing", "translation", "sentiment", "corpus", "syntax",
+        "semantic", "discourse", "entity", "coreference", "summarization",
+        "dialogue", "morphology", "tagging", "lexicon", "grammar",
+        "question-answering", "tokenization", "paraphrase", "pragmatics",
+        "treebank", "alignment", "transliteration", "phoneme", "prosody",
+        "speech", "topic", "word", "sentence",
+    ],
+    "bio": [
+        "genome", "protein", "sequence", "expression", "pathway",
+        "phylogeny", "microarray", "snp", "annotation", "motif", "docking",
+        "epigenetic", "transcription", "metabolic", "biomarker", "assembly",
+        "alignment-free", "proteomics", "drug", "cell", "mutation",
+        "regulatory", "ontology", "disease", "clinical", "gene", "rna",
+        "folding",
+    ],
+    "robotics": [
+        "manipulation", "slam", "grasping", "locomotion", "planning",
+        "kinematics", "dynamics", "actuator", "sensor-fusion", "autonomous",
+        "navigation", "humanoid", "swarm", "teleoperation", "compliance",
+        "trajectory", "obstacle", "calibration", "gripper", "odometry",
+        "exploration", "manipulator", "aerial", "underwater", "haptic",
+        "wheeled", "legged", "control",
+    ],
+    "network": [
+        "routing", "wireless", "protocol", "congestion", "spectrum",
+        "cellular", "mesh", "multicast", "latency", "bandwidth", "sdn",
+        "topology", "packet", "mobility", "handoff", "edge", "overlay",
+        "peer-to-peer", "throughput", "antenna", "mimo", "ofdm", "vehicular",
+        "sensor-network", "backbone", "switching", "queueing", "traffic",
+    ],
+    "system": [
+        "cloud", "scheduler", "virtualization", "cache", "gpu", "compiler",
+        "filesystem", "storage", "concurrency", "multicore", "energy",
+        "workload", "memory", "kernel-module", "container", "microservice",
+        "fault-tolerance", "replication", "consistency", "checkpoint",
+        "pipeline", "accelerator", "runtime", "profiling", "datacenter",
+        "demand", "throughput-oriented", "center",
+    ],
+    "security": [
+        "encryption", "authentication", "malware", "intrusion", "attack",
+        "vulnerability", "firewall", "botnet", "phishing", "forensics",
+        "anonymity", "key-exchange", "signature", "obfuscation", "sandbox",
+        "exploit", "ransomware", "audit", "access-control", "trust",
+        "blockchain", "side-channel", "honeypot", "fuzzing", "threat",
+        "integrity", "confidentiality", "cryptography",
+    ],
+}
+
+# Generic filler words: frequent everywhere, hence low TF-IDF and low
+# citation signal — the "maximization is too general" case of Sec. III-E.
+GENERIC_TERMS: List[str] = [
+    "approach", "method", "novel", "analysis", "framework", "study",
+    "evaluation", "efficient", "effective", "improved", "towards", "using",
+    "based", "model", "algorithm", "application", "design", "problem",
+    "results", "performance", "technique", "survey", "empirical", "robust",
+    "scalable", "adaptive", "hybrid", "unified", "general", "practical",
+    "automated", "dynamic", "large", "fast",
+]
+
+VENUE_NAME_PATTERNS: List[str] = [
+    "international conference on {a} and {b}",
+    "transactions on {a} {b}",
+    "journal of {a} and {b}",
+    "symposium on {a} {b}",
+    "workshop on {a} and {b}",
+]
+
+# Pools for synthetic author names.
+AUTHOR_GIVEN: List[str] = [
+    "wei", "jia", "min", "lee", "chen", "kim", "ana", "ivan", "joao",
+    "maria", "raj", "priya", "omar", "lin", "yuki", "sara", "noah", "emma",
+    "liam", "olga", "hugo", "nina", "paul", "rita", "sam", "tara", "umar",
+    "vera", "walt", "xena", "yara", "zane", "amir", "bela", "cleo", "dara",
+]
+AUTHOR_FAMILY: List[str] = [
+    "zhang", "wang", "li", "liu", "smith", "jones", "garcia", "muller",
+    "kumar", "singh", "sato", "tanaka", "kim", "park", "nguyen", "tran",
+    "silva", "santos", "ivanov", "petrov", "rossi", "ricci", "dubois",
+    "martin", "brown", "davis", "wilson", "taylor", "clark", "lewis",
+    "walker", "hall", "young", "allen", "king", "wright",
+]

@@ -1,0 +1,38 @@
+"""Metrics, significance tests, experiment runners, and table rendering.
+
+The runner symbols are loaded lazily (PEP 562): ``repro.eval.runner``
+imports the baseline roster, which imports :mod:`repro.core`, which needs
+:mod:`repro.eval.metrics` — lazy loading breaks that cycle.
+"""
+
+from .metrics import mae, paired_significance, r2, rmse
+from .reporting import render_bar_chart, render_series, render_table, render_table2
+
+_RUNNER_EXPORTS = {
+    "ModelResult",
+    "evaluate_model",
+    "run_roster",
+    "full_table2",
+    "make_cate_variants",
+    "default_cate_config",
+    "significance_stars",
+}
+
+__all__ = [
+    "rmse",
+    "mae",
+    "r2",
+    "paired_significance",
+    "render_table",
+    "render_table2",
+    "render_bar_chart",
+    "render_series",
+] + sorted(_RUNNER_EXPORTS)
+
+
+def __getattr__(name: str):
+    if name in _RUNNER_EXPORTS:
+        from . import runner
+
+        return getattr(runner, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

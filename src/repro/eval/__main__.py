@@ -1,0 +1,65 @@
+"""Command-line experiment runner.
+
+Usage::
+
+    python -m repro.eval table2 [--papers 1000] [--authors 200] [--seed 3]
+    python -m repro.eval quick   # three-model sanity run on a small world
+
+Prints Table-II-style RMSE results to stdout; the pytest benchmark suite
+(`pytest benchmarks/ --benchmark-only`) remains the canonical way to
+regenerate every paper artifact with assertions.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from ..baselines import make_baselines
+from ..data import WorldConfig, make_all_datasets
+from .runner import make_cate_variants, run_roster, significance_stars
+from .reporting import render_table2
+
+ORDER = ["BERT", "GAT", "CCP", "CPDF", "metapath2vec", "hin2vec", "R-GCN",
+         "HAN", "HetGNN", "HGT", "MAGNN", "HGCN", "HGN", "CA-HGN",
+         "CATE-HGN"]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(prog="python -m repro.eval",
+                                     description=__doc__)
+    parser.add_argument("experiment", choices=["table2", "quick"])
+    parser.add_argument("--papers", type=int, default=1000)
+    parser.add_argument("--authors", type=int, default=200)
+    parser.add_argument("--seed", type=int, default=3)
+    parser.add_argument("--dim", type=int, default=24)
+    args = parser.parse_args(argv)
+
+    config = WorldConfig(num_papers=args.papers, num_authors=args.authors,
+                         seed=args.seed)
+    datasets = make_all_datasets(config)
+
+    if args.experiment == "quick":
+        roster = make_cate_variants(dim=16, outer_iters=8, mini_iters=5)
+        results = {"DBLP-full": run_roster(datasets["full"], roster,
+                                           verbose=True)}
+        print()
+        print(render_table2(results, list(roster)))
+        return 0
+
+    table = {}
+    for key in ("full", "single", "random"):
+        dataset = datasets[key]
+        print(f"[{dataset.name}]")
+        roster = {}
+        roster.update(make_baselines(dim=2 * args.dim, epochs=60))
+        roster.update(make_cate_variants(dim=args.dim, outer_iters=18,
+                                         mini_iters=8, kappa=40, patience=8))
+        table[dataset.name] = run_roster(dataset, roster, verbose=True)
+    stars = significance_stars(table, {d.name: d for d in datasets.values()})
+    print()
+    print(render_table2(table, ORDER, stars=stars))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

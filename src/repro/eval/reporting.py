@@ -1,0 +1,68 @@
+"""Plain-text rendering of the paper's tables and figures."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence],
+                 title: str = "") -> str:
+    """Fixed-width text table."""
+    str_rows = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_table2(results: Mapping[str, Mapping[str, "object"]],
+                  order: Sequence[str],
+                  stars: Mapping[str, bool] | None = None) -> str:
+    """Table-II layout: algorithms x datasets, RMSE cells."""
+    datasets = list(results.keys())
+    rows: List[List[str]] = []
+    for name in order:
+        row = [name]
+        for ds in datasets:
+            result = results[ds].get(name)
+            if result is None:
+                row.append("-")
+                continue
+            cell = f"{result.test_rmse:.4f}"
+            if stars and stars.get(ds) and name == "CATE-HGN":
+                cell += "*"
+            row.append(cell)
+        rows.append(row)
+    return render_table(["Algorithm"] + datasets, rows,
+                        title="Table II: RMSE of compared algorithms")
+
+
+def render_bar_chart(labels: Sequence[str], values: Sequence[float],
+                     title: str = "", width: int = 40) -> str:
+    """ASCII bar chart (Fig. 4 style)."""
+    peak = max(values) if values else 1.0
+    lines = [title] if title else []
+    label_w = max(len(l) for l in labels)
+    for label, value in zip(labels, values):
+        bar = "#" * max(1, int(round(width * value / max(peak, 1e-12))))
+        lines.append(f"{label.ljust(label_w)} | {bar} {value:.4f}")
+    return "\n".join(lines)
+
+
+def render_series(xs: Sequence, ys: Sequence[float], title: str = "",
+                  x_name: str = "x", y_name: str = "RMSE") -> str:
+    """Small x/y series (Fig. 4(b)(c) sweeps)."""
+    lines = [title] if title else []
+    lines.append(f"{x_name:>10s}  {y_name}")
+    for x, y in zip(xs, ys):
+        lines.append(f"{str(x):>10s}  {y:.4f}")
+    return "\n".join(lines)

@@ -1,0 +1,117 @@
+"""Experiment runner: trains model rosters and collects Table-II rows."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..baselines import make_baselines
+from ..baselines.api import CitationModel
+from ..core import CATEHGN, CATEHGNConfig
+from ..data.dblp import CitationDataset
+from .metrics import mae, paired_significance, rmse
+
+
+@dataclass
+class ModelResult:
+    name: str
+    dataset: str
+    test_rmse: float
+    val_rmse: float
+    test_mae: float
+    seconds: float
+    predictions: np.ndarray
+
+
+def evaluate_model(name: str, model: CitationModel,
+                   dataset: CitationDataset) -> ModelResult:
+    """Fit one model on one dataset and score the temporal test split."""
+    start = time.perf_counter()
+    model.fit(dataset)
+    predictions = model.predict()
+    elapsed = time.perf_counter() - start
+    test = dataset.test_idx
+    val = dataset.val_idx if len(dataset.val_idx) else dataset.train_idx
+    return ModelResult(
+        name=name,
+        dataset=dataset.name,
+        test_rmse=rmse(dataset.labels[test], predictions[test]),
+        val_rmse=rmse(dataset.labels[val], predictions[val]),
+        test_mae=mae(dataset.labels[test], predictions[test]),
+        seconds=elapsed,
+        predictions=predictions,
+    )
+
+
+def default_cate_config(dim: int = 16, seed: int = 0,
+                        **overrides) -> CATEHGNConfig:
+    """CPU-scale CATE-HGN settings used across the benchmark harness."""
+    params = dict(dim=dim, attention_heads=2, outer_iters=12, mini_iters=4,
+                  lr=0.03, kappa=30, patience=6, seed=seed)
+    params.update(overrides)
+    return CATEHGNConfig(**params)
+
+
+def make_cate_variants(dim: int = 16, seed: int = 0,
+                       **overrides) -> Dict[str, CitationModel]:
+    """The paper's three ablation rows: HGN, CA-HGN, CATE-HGN."""
+    return {
+        "HGN": CATEHGN(default_cate_config(dim, seed, use_ca=False,
+                                           use_te=False, **overrides)),
+        "CA-HGN": CATEHGN(default_cate_config(dim, seed, use_te=False,
+                                              **overrides)),
+        "CATE-HGN": CATEHGN(default_cate_config(dim, seed, **overrides)),
+    }
+
+
+def run_roster(dataset: CitationDataset,
+               models: Dict[str, CitationModel],
+               verbose: bool = False) -> Dict[str, ModelResult]:
+    """Fit and score every model in ``models`` on one dataset."""
+    results = {}
+    for name, model in models.items():
+        result = evaluate_model(name, model, dataset)
+        results[name] = result
+        if verbose:
+            print(f"  {name:<14s} RMSE={result.test_rmse:7.4f} "
+                  f"({result.seconds:5.1f}s)")
+    return results
+
+
+def full_table2(datasets: Dict[str, CitationDataset],
+                dim: int = 16, epochs: int = 60, seed: int = 0,
+                verbose: bool = False) -> Dict[str, Dict[str, ModelResult]]:
+    """Train all fifteen models on every dataset (Table II)."""
+    table: Dict[str, Dict[str, ModelResult]] = {}
+    for ds_name, dataset in datasets.items():
+        if verbose:
+            print(f"[{ds_name}]")
+        roster: Dict[str, CitationModel] = {}
+        roster.update(make_baselines(dim=2 * dim, epochs=epochs, seed=seed))
+        roster.update(make_cate_variants(dim=dim, seed=seed))
+        table[ds_name] = run_roster(dataset, roster, verbose=verbose)
+    return table
+
+
+def significance_stars(table: Dict[str, Dict[str, ModelResult]],
+                       datasets: Dict[str, CitationDataset],
+                       champion: str = "CATE-HGN",
+                       alpha: float = 0.05) -> Dict[str, bool]:
+    """Paired t-test of the champion vs the best non-champion per dataset."""
+    stars = {}
+    for ds_name, results in table.items():
+        dataset = datasets[ds_name]
+        test = dataset.test_idx
+        y = dataset.labels[test]
+        rivals = {n: r for n, r in results.items() if n != champion}
+        best_rival = min(rivals.values(), key=lambda r: r.test_rmse)
+        _t, p = paired_significance(
+            y, results[champion].predictions[test],
+            best_rival.predictions[test],
+        )
+        better = results[champion].test_rmse < best_rival.test_rmse
+        stars[ds_name] = bool(better and p < alpha)
+    return stars

@@ -1,0 +1,44 @@
+"""Heterogeneous publication-network data model (Definition 3.1)."""
+
+from .graph import EdgeArray, HeteroGraph
+from .metapath import (
+    FUNDAMENTAL_METAPATHS,
+    MetaPath,
+    metapath_pairs,
+    metapath_random_walks,
+    validate_metapath,
+)
+from .sampling import negative_nodes, sample_edges, sample_neighborhood
+from .schema import (
+    AUTHOR,
+    NODE_TYPES,
+    PAPER,
+    TERM,
+    VENUE,
+    EdgeType,
+    EdgeTypeKey,
+    Schema,
+    publication_schema,
+)
+
+__all__ = [
+    "HeteroGraph",
+    "EdgeArray",
+    "Schema",
+    "EdgeType",
+    "EdgeTypeKey",
+    "publication_schema",
+    "PAPER",
+    "AUTHOR",
+    "VENUE",
+    "TERM",
+    "NODE_TYPES",
+    "sample_neighborhood",
+    "sample_edges",
+    "negative_nodes",
+    "MetaPath",
+    "FUNDAMENTAL_METAPATHS",
+    "metapath_pairs",
+    "metapath_random_walks",
+    "validate_metapath",
+]

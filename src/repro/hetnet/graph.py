@@ -1,0 +1,255 @@
+"""Heterogeneous graph storage.
+
+:class:`HeteroGraph` stores typed nodes, typed weighted directed links
+(arrays of (src, dst, weight) per edge type), per-type node feature matrices,
+and arbitrary per-type node attribute arrays (publication year, citation
+label, domain, ...).  A CSR-like index grouped by destination node supports
+fast neighbour lookup for message passing and neighbourhood sampling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .schema import EdgeTypeKey, Schema
+
+
+@dataclass
+class EdgeArray:
+    """Directed weighted edges of a single type."""
+
+    src: np.ndarray  # (E,) intp — source node ids (within src_type)
+    dst: np.ndarray  # (E,) intp — destination node ids (within dst_type)
+    weight: np.ndarray  # (E,) float64 — link weight ω(e)
+
+    def __post_init__(self) -> None:
+        self.src = np.asarray(self.src, dtype=np.intp)
+        self.dst = np.asarray(self.dst, dtype=np.intp)
+        self.weight = np.asarray(self.weight, dtype=np.float64)
+        if not (len(self.src) == len(self.dst) == len(self.weight)):
+            raise ValueError("src/dst/weight length mismatch")
+
+    @property
+    def num_edges(self) -> int:
+        return len(self.src)
+
+
+class _CSRIndex:
+    """Edges of one type grouped by destination node."""
+
+    def __init__(self, edges: EdgeArray, num_dst: int) -> None:
+        order = np.argsort(edges.dst, kind="stable")
+        self.src = edges.src[order]
+        self.dst = edges.dst[order]
+        self.weight = edges.weight[order]
+        self.indptr = np.searchsorted(
+            self.dst, np.arange(num_dst + 1), side="left"
+        )
+
+    def neighbors(self, node: int) -> Tuple[np.ndarray, np.ndarray]:
+        lo, hi = self.indptr[node], self.indptr[node + 1]
+        return self.src[lo:hi], self.weight[lo:hi]
+
+
+class HeteroGraph:
+    """A typed, weighted, directed multigraph (Definition 3.1 + ω)."""
+
+    def __init__(self, schema: Schema) -> None:
+        self.schema = schema
+        self.num_nodes: Dict[str, int] = {t: 0 for t in schema.node_types}
+        self.edges: Dict[EdgeTypeKey, EdgeArray] = {}
+        self.node_features: Dict[str, np.ndarray] = {}
+        self.node_names: Dict[str, List[str]] = {}
+        self.node_attrs: Dict[str, Dict[str, np.ndarray]] = {
+            t: {} for t in schema.node_types
+        }
+        self._csr: Dict[EdgeTypeKey, _CSRIndex] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_nodes(self, node_type: str, count: int,
+                  names: Optional[Sequence[str]] = None) -> None:
+        if node_type not in self.schema.node_types:
+            raise ValueError(f"unknown node type {node_type!r}")
+        if names is not None and len(names) != count:
+            raise ValueError("names length must equal count")
+        self.num_nodes[node_type] = count
+        if names is not None:
+            self.node_names[node_type] = list(names)
+
+    def set_edges(self, key: EdgeTypeKey, src: np.ndarray, dst: np.ndarray,
+                  weight: Optional[np.ndarray] = None) -> None:
+        if not self.schema.has_edge_type(key):
+            raise ValueError(f"unknown edge type {key}")
+        src = np.asarray(src, dtype=np.intp)
+        dst = np.asarray(dst, dtype=np.intp)
+        if weight is None:
+            weight = np.ones(len(src), dtype=np.float64)
+        src_type, _, dst_type = key
+        if len(src) and src.max(initial=-1) >= self.num_nodes[src_type]:
+            raise ValueError(f"src id out of range for {key}")
+        if len(dst) and dst.max(initial=-1) >= self.num_nodes[dst_type]:
+            raise ValueError(f"dst id out of range for {key}")
+        self.edges[key] = EdgeArray(src, dst, weight)
+        self._csr.pop(key, None)
+
+    def set_features(self, node_type: str, features: np.ndarray) -> None:
+        features = np.asarray(features, dtype=np.float64)
+        if features.shape[0] != self.num_nodes[node_type]:
+            raise ValueError(
+                f"feature rows ({features.shape[0]}) != node count "
+                f"({self.num_nodes[node_type]}) for {node_type!r}"
+            )
+        self.node_features[node_type] = features
+
+    def set_attr(self, node_type: str, name: str, values: np.ndarray) -> None:
+        values = np.asarray(values)
+        if values.shape[0] != self.num_nodes[node_type]:
+            raise ValueError(f"attr rows mismatch for {node_type}.{name}")
+        self.node_attrs[node_type][name] = values
+
+    def get_attr(self, node_type: str, name: str) -> np.ndarray:
+        return self.node_attrs[node_type][name]
+
+    def has_attr(self, node_type: str, name: str) -> bool:
+        return name in self.node_attrs[node_type]
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def total_nodes(self) -> int:
+        return sum(self.num_nodes.values())
+
+    @property
+    def total_edges(self) -> int:
+        return sum(e.num_edges for e in self.edges.values())
+
+    def csr(self, key: EdgeTypeKey) -> _CSRIndex:
+        """Edges of ``key`` grouped by destination (built lazily, cached)."""
+        if key not in self._csr:
+            dst_type = key[2]
+            self._csr[key] = _CSRIndex(self.edges[key], self.num_nodes[dst_type])
+        return self._csr[key]
+
+    def in_degree(self, key: EdgeTypeKey) -> np.ndarray:
+        """Incoming edge count per destination node for edge type ``key``."""
+        dst_type = key[2]
+        return np.bincount(
+            self.edges[key].dst, minlength=self.num_nodes[dst_type]
+        )
+
+    def validate(self) -> None:
+        """Raise if edges refer to out-of-range nodes or weights are bad."""
+        for key, edge in self.edges.items():
+            src_type, _, dst_type = key
+            if edge.num_edges == 0:
+                continue
+            if edge.src.min() < 0 or edge.src.max() >= self.num_nodes[src_type]:
+                raise ValueError(f"invalid src ids in {key}")
+            if edge.dst.min() < 0 or edge.dst.max() >= self.num_nodes[dst_type]:
+                raise ValueError(f"invalid dst ids in {key}")
+            if not np.all(np.isfinite(edge.weight)):
+                raise ValueError(f"non-finite weights in {key}")
+
+    def statistics(self) -> Dict[str, int]:
+        """Table-I-style statistics row."""
+        stats = {f"#{t}": self.num_nodes[t] for t in self.schema.node_types}
+        stats["#links"] = self.total_edges
+        return stats
+
+    # ------------------------------------------------------------------
+    # Transformations
+    # ------------------------------------------------------------------
+    def subgraph(self, nodes: Dict[str, np.ndarray]) -> Tuple["HeteroGraph", Dict[str, np.ndarray]]:
+        """Induced subgraph on ``nodes`` (dict type -> original ids).
+
+        Returns the new graph and the per-type array of original ids (the
+        inverse mapping); features and attributes are sliced through.
+        """
+        selected = {
+            t: np.unique(np.asarray(nodes.get(t, np.array([], dtype=np.intp)),
+                                    dtype=np.intp))
+            for t in self.schema.node_types
+        }
+        remap = {}
+        for t, ids in selected.items():
+            lookup = np.full(self.num_nodes[t], -1, dtype=np.intp)
+            lookup[ids] = np.arange(len(ids))
+            remap[t] = lookup
+
+        sub = HeteroGraph(self.schema)
+        for t, ids in selected.items():
+            names = None
+            if t in self.node_names:
+                names = [self.node_names[t][i] for i in ids]
+            sub.add_nodes(t, len(ids), names)
+            if t in self.node_features:
+                sub.node_features[t] = self.node_features[t][ids]
+            for attr, values in self.node_attrs[t].items():
+                sub.node_attrs[t][attr] = values[ids]
+
+        for key, edge in self.edges.items():
+            src_type, _, dst_type = key
+            new_src = remap[src_type][edge.src]
+            new_dst = remap[dst_type][edge.dst]
+            keep = (new_src >= 0) & (new_dst >= 0)
+            sub.set_edges(key, new_src[keep], new_dst[keep], edge.weight[keep])
+        return sub, selected
+
+    def to_homogeneous(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray, Dict[str, np.ndarray]]:
+        """Collapse all types into one id space (for the GAT baseline).
+
+        Returns (src, dst, weight) over global ids plus the per-type global
+        id offsets mapping.
+        """
+        offsets = {}
+        cursor = 0
+        for t in self.schema.node_types:
+            offsets[t] = np.arange(self.num_nodes[t]) + cursor
+            cursor += self.num_nodes[t]
+        srcs, dsts, weights = [], [], []
+        for key, edge in self.edges.items():
+            src_type, _, dst_type = key
+            srcs.append(offsets[src_type][edge.src])
+            dsts.append(offsets[dst_type][edge.dst])
+            weights.append(edge.weight)
+        if srcs:
+            return (np.concatenate(srcs), np.concatenate(dsts),
+                    np.concatenate(weights), offsets)
+        empty = np.array([], dtype=np.intp)
+        return empty, empty, np.array([]), offsets
+
+    def to_networkx(self):
+        """Export to a :class:`networkx.MultiDiGraph`.
+
+        Nodes are ``(type, id)`` tuples carrying ``name`` (when known) and
+        any node attributes; edges carry ``relation`` and ``weight``.
+        Intended for interoperability and visualization, not training.
+        """
+        import networkx as nx
+
+        graph = nx.MultiDiGraph()
+        for node_type in self.schema.node_types:
+            names = self.node_names.get(node_type)
+            for i in range(self.num_nodes[node_type]):
+                attrs = {"node_type": node_type}
+                if names is not None:
+                    attrs["name"] = names[i]
+                for attr, values in self.node_attrs[node_type].items():
+                    attrs[attr] = values[i]
+                graph.add_node((node_type, i), **attrs)
+        for key, edge in self.edges.items():
+            src_type, relation, dst_type = key
+            for s, d, w in zip(edge.src, edge.dst, edge.weight):
+                graph.add_edge((src_type, int(s)), (dst_type, int(d)),
+                               relation=relation, weight=float(w))
+        return graph
+
+    def __repr__(self) -> str:
+        counts = ", ".join(f"{t}={n}" for t, n in self.num_nodes.items())
+        return f"HeteroGraph({counts}, edges={self.total_edges})"

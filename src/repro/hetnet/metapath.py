@@ -1,0 +1,136 @@
+"""Meta-path utilities.
+
+The paper's baselines consume the "most fundamental" meta-paths P-P, P-A-P,
+P-V-P and P-T-P: metapath2vec walks along them, HAN/MAGNN aggregate over the
+paper-paper pairs they induce.  This module provides both views.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .graph import HeteroGraph
+from .schema import AUTHOR, PAPER, TERM, VENUE, EdgeTypeKey
+
+# A meta-path is a sequence of edge-type keys whose types chain up.
+MetaPath = Tuple[EdgeTypeKey, ...]
+
+# The four fundamental meta-paths of Section IV-A3, expressed over the
+# publication schema's directed edge types.
+FUNDAMENTAL_METAPATHS: Dict[str, MetaPath] = {
+    "P-P": ((PAPER, "cites", PAPER),),
+    "P-A-P": ((PAPER, "written_by", AUTHOR), (AUTHOR, "writes", PAPER)),
+    "P-V-P": ((PAPER, "published_in", VENUE), (VENUE, "publishes", PAPER)),
+    "P-T-P": ((PAPER, "mentions", TERM), (TERM, "mentioned_by", PAPER)),
+}
+
+
+def validate_metapath(path: MetaPath) -> None:
+    """Raise if consecutive edge types do not chain (dst_i == src_{i+1})."""
+    for (first, second) in zip(path[:-1], path[1:]):
+        if first[2] != second[0]:
+            raise ValueError(f"meta-path breaks at {first} -> {second}")
+
+
+def _out_adjacency(graph: HeteroGraph, key: EdgeTypeKey) -> Tuple[np.ndarray, np.ndarray]:
+    """CSR by *source* node: (indptr, dst) for outgoing neighbour lookup."""
+    edges = graph.edges[key]
+    num_src = graph.num_nodes[key[0]]
+    order = np.argsort(edges.src, kind="stable")
+    src_sorted = edges.src[order]
+    dst_sorted = edges.dst[order]
+    indptr = np.searchsorted(src_sorted, np.arange(num_src + 1), side="left")
+    return indptr, dst_sorted
+
+
+def metapath_pairs(
+    graph: HeteroGraph,
+    path: MetaPath,
+    max_pairs: int = 2_000_000,
+    rng: Optional[np.random.Generator] = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Enumerate (start, end) node pairs connected by a meta-path instance.
+
+    Used by HAN/MAGNN to build per-meta-path adjacency.  Intermediate
+    fan-outs are capped so hub nodes (e.g. a venue with thousands of papers)
+    do not blow up quadratically; the cap subsamples uniformly.
+    """
+    validate_metapath(path)
+    rng = rng or np.random.default_rng(0)
+    # Frontier: (start_node, current_node) pairs.
+    first_key = path[0]
+    start = graph.edges[first_key].src
+    current = graph.edges[first_key].dst
+    for key in path[1:]:
+        indptr, dst_sorted = _out_adjacency(graph, key)
+        counts = indptr[current + 1] - indptr[current]
+        total = int(counts.sum())
+        if total == 0:
+            return np.array([], dtype=np.intp), np.array([], dtype=np.intp)
+        new_start = np.repeat(start, counts)
+        gather_index = _expand_ranges(indptr[current], counts)
+        new_current = dst_sorted[gather_index]
+        if len(new_start) > max_pairs:
+            pick = rng.choice(len(new_start), size=max_pairs, replace=False)
+            new_start, new_current = new_start[pick], new_current[pick]
+        start, current = new_start, new_current
+    return start, current
+
+
+def _expand_ranges(starts: np.ndarray, counts: np.ndarray) -> np.ndarray:
+    """Concatenate ranges [starts[i], starts[i]+counts[i]) vectorized."""
+    nonzero = counts > 0
+    starts, counts = starts[nonzero], counts[nonzero]
+    total = int(counts.sum())
+    if total == 0:
+        return np.array([], dtype=np.intp)
+    out = np.ones(total, dtype=np.intp)
+    out[0] = starts[0]
+    ends = np.cumsum(counts)
+    boundaries = ends[:-1]
+    out[boundaries] = starts[1:] - (starts[:-1] + counts[:-1]) + 1
+    return np.cumsum(out)
+
+
+def metapath_random_walks(
+    graph: HeteroGraph,
+    paths: Sequence[MetaPath],
+    walks_per_node: int,
+    walk_length: int,
+    rng: np.random.Generator,
+) -> List[List[Tuple[str, int]]]:
+    """Meta-path-guided random walks (metapath2vec's corpus).
+
+    Each walk starts at a paper and repeatedly follows a randomly chosen
+    meta-path pattern, recording every visited (node_type, node_id).
+    """
+    adjacency = {}
+    for path in paths:
+        validate_metapath(path)
+        for key in path:
+            if key not in adjacency:
+                adjacency[key] = _out_adjacency(graph, key)
+
+    walks: List[List[Tuple[str, int]]] = []
+    num_papers = graph.num_nodes[PAPER]
+    for start in range(num_papers):
+        for _ in range(walks_per_node):
+            walk: List[Tuple[str, int]] = [(PAPER, start)]
+            current = start
+            while len(walk) < walk_length:
+                path = paths[rng.integers(0, len(paths))]
+                dead_end = False
+                for key in path:
+                    indptr, dst_sorted = adjacency[key]
+                    lo, hi = indptr[current], indptr[current + 1]
+                    if lo == hi:
+                        dead_end = True
+                        break
+                    current = int(dst_sorted[rng.integers(lo, hi)])
+                    walk.append((key[2], current))
+                if dead_end:
+                    break
+            walks.append(walk)
+    return walks

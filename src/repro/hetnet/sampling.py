@@ -1,0 +1,105 @@
+"""Neighbourhood sampling (Algorithm 1, line 5).
+
+Given a batch of seed papers, expand their 1-to-L-hop typed neighbourhoods
+with at most ``fanout`` sampled neighbours per node per incoming edge type
+(the GraphSAGE-style fixed-size sampling of [10] that keeps CATE-HGN's
+memory footprint constant), then return the induced subgraph.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from .graph import HeteroGraph
+from .schema import EdgeTypeKey
+
+
+def sample_neighborhood(
+    graph: HeteroGraph,
+    seed_papers: np.ndarray,
+    hops: int,
+    fanout: int,
+    rng: np.random.Generator,
+    seed_type: str = "paper",
+) -> Tuple[HeteroGraph, Dict[str, np.ndarray], np.ndarray]:
+    """Sample the L-hop heterogeneous neighbourhood of ``seed_papers``.
+
+    Returns
+    -------
+    subgraph:
+        Induced :class:`HeteroGraph` over the sampled nodes.
+    selected:
+        Per-type arrays of original node ids kept in the subgraph.
+    seed_local:
+        Positions of the seed papers inside the subgraph's paper ids.
+    """
+    seed_papers = np.unique(np.asarray(seed_papers, dtype=np.intp))
+    kept: Dict[str, set] = {t: set() for t in graph.schema.node_types}
+    kept[seed_type].update(seed_papers.tolist())
+    frontier: Dict[str, np.ndarray] = {seed_type: seed_papers}
+
+    for _ in range(hops):
+        next_frontier: Dict[str, list] = {t: [] for t in graph.schema.node_types}
+        for node_type, nodes in frontier.items():
+            if len(nodes) == 0:
+                continue
+            # Message passing flows src -> dst, so the relevant neighbours of
+            # a frontier node v are the sources of edges *into* v.
+            for edge_type in graph.schema.edge_types_into(node_type):
+                csr = graph.csr(edge_type.key)
+                src_type = edge_type.src_type
+                for v in nodes:
+                    neighbors, _ = csr.neighbors(int(v))
+                    if len(neighbors) == 0:
+                        continue
+                    if len(neighbors) > fanout:
+                        neighbors = rng.choice(neighbors, size=fanout,
+                                               replace=False)
+                    fresh = [u for u in neighbors.tolist()
+                             if u not in kept[src_type]]
+                    if fresh:
+                        kept[src_type].update(fresh)
+                        next_frontier[src_type].extend(fresh)
+        frontier = {
+            t: np.array(ids, dtype=np.intp)
+            for t, ids in next_frontier.items() if ids
+        }
+        if not frontier:
+            break
+
+    node_sets = {t: np.array(sorted(ids), dtype=np.intp)
+                 for t, ids in kept.items()}
+    subgraph, selected = graph.subgraph(node_sets)
+    seed_local = np.searchsorted(selected[seed_type], seed_papers)
+    return subgraph, selected, seed_local
+
+
+def sample_edges(
+    key_edges: Tuple[np.ndarray, np.ndarray, np.ndarray],
+    max_edges: int,
+    rng: np.random.Generator,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Uniformly subsample an edge array triple to at most ``max_edges``."""
+    src, dst, weight = key_edges
+    if len(src) <= max_edges:
+        return src, dst, weight
+    pick = rng.choice(len(src), size=max_edges, replace=False)
+    return src[pick], dst[pick], weight[pick]
+
+
+def negative_nodes(
+    num_nodes: int, count: int, rng: np.random.Generator,
+    exclude: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Uniform negative node samples for the MI estimator (Eq. 10)."""
+    negatives = rng.integers(0, num_nodes, size=count)
+    if exclude is not None:
+        # Re-draw collisions once; residual collisions are harmless noise in
+        # the estimator, matching common practice.
+        collision = negatives == exclude
+        if collision.any():
+            negatives[collision] = rng.integers(0, num_nodes,
+                                                size=int(collision.sum()))
+    return negatives

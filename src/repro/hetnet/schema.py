@@ -1,0 +1,106 @@
+"""Heterogeneous network schema (Definition 3.1 of the paper).
+
+A schema declares the node types and the typed links between them.  Per the
+paper, the two directions of every link are modeled as two distinct link
+types, *except* the paper-cites-paper links which stay a single directed type
+to avoid label leakage (a paper must not see who cites it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+# Canonical node types of the publication network.
+PAPER = "paper"
+AUTHOR = "author"
+VENUE = "venue"
+TERM = "term"
+
+NODE_TYPES = (PAPER, AUTHOR, VENUE, TERM)
+
+EdgeTypeKey = Tuple[str, str, str]  # (src_type, relation, dst_type)
+
+
+@dataclass(frozen=True)
+class EdgeType:
+    """A typed link: (source node type, relation name, destination type)."""
+
+    src_type: str
+    relation: str
+    dst_type: str
+
+    @property
+    def key(self) -> EdgeTypeKey:
+        return (self.src_type, self.relation, self.dst_type)
+
+    def __str__(self) -> str:
+        return f"{self.src_type}-{self.relation}->{self.dst_type}"
+
+
+@dataclass
+class Schema:
+    """Node types plus typed links of a heterogeneous network."""
+
+    node_types: List[str] = field(default_factory=list)
+    edge_types: List[EdgeType] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self._edge_index: Dict[EdgeTypeKey, int] = {
+            et.key: i for i, et in enumerate(self.edge_types)
+        }
+
+    def add_node_type(self, name: str) -> None:
+        if name in self.node_types:
+            raise ValueError(f"duplicate node type {name!r}")
+        self.node_types.append(name)
+
+    def add_edge_type(self, src_type: str, relation: str, dst_type: str) -> EdgeType:
+        for t in (src_type, dst_type):
+            if t not in self.node_types:
+                raise ValueError(f"unknown node type {t!r}")
+        edge_type = EdgeType(src_type, relation, dst_type)
+        if edge_type.key in self._edge_index:
+            raise ValueError(f"duplicate edge type {edge_type}")
+        self._edge_index[edge_type.key] = len(self.edge_types)
+        self.edge_types.append(edge_type)
+        return edge_type
+
+    def edge_type_id(self, key: EdgeTypeKey) -> int:
+        return self._edge_index[key]
+
+    def has_edge_type(self, key: EdgeTypeKey) -> bool:
+        return key in self._edge_index
+
+    def edge_types_into(self, dst_type: str) -> List[EdgeType]:
+        """All link types whose destination is ``dst_type``."""
+        return [et for et in self.edge_types if et.dst_type == dst_type]
+
+    def edge_types_from(self, src_type: str) -> List[EdgeType]:
+        return [et for et in self.edge_types if et.src_type == src_type]
+
+
+def publication_schema(include_terms: bool = True) -> Schema:
+    """The paper's Figure 1(a) schema.
+
+    Links (each undirected relation is split into its two directions):
+
+    - paper ``cites`` paper (single direction only — no ``cited_by``, so
+      citation labels cannot leak backwards);
+    - paper/author ``written_by`` / ``writes``;
+    - paper/venue ``published_in`` / ``publishes``;
+    - paper/term ``mentions`` / ``mentioned_by`` (optional).
+    """
+    schema = Schema()
+    schema.__post_init__()
+    for node_type in (PAPER, AUTHOR, VENUE) + ((TERM,) if include_terms else ()):
+        schema.add_node_type(node_type)
+    schema.add_edge_type(PAPER, "cites", PAPER)
+    schema.add_edge_type(PAPER, "written_by", AUTHOR)
+    schema.add_edge_type(AUTHOR, "writes", PAPER)
+    schema.add_edge_type(PAPER, "published_in", VENUE)
+    schema.add_edge_type(VENUE, "publishes", PAPER)
+    if include_terms:
+        schema.add_edge_type(PAPER, "mentions", TERM)
+        schema.add_edge_type(TERM, "mentioned_by", PAPER)
+    return schema

@@ -1,0 +1,37 @@
+"""Neural-network layer library on top of :mod:`repro.tensor`."""
+
+from . import init, losses
+from .layers import (
+    MLP,
+    Activation,
+    Dropout,
+    Embedding,
+    LayerNorm,
+    Linear,
+    Sequential,
+)
+from .losses import bce_with_logits, jsd_mi_estimate, kl_divergence, l1_loss, mse_loss
+from .module import Module, Parameter
+from .optim import SGD, Adam, Optimizer
+
+__all__ = [
+    "Module",
+    "Parameter",
+    "Linear",
+    "Embedding",
+    "Dropout",
+    "LayerNorm",
+    "Sequential",
+    "Activation",
+    "MLP",
+    "SGD",
+    "Adam",
+    "Optimizer",
+    "init",
+    "losses",
+    "mse_loss",
+    "l1_loss",
+    "bce_with_logits",
+    "kl_divergence",
+    "jsd_mi_estimate",
+]

@@ -1,0 +1,141 @@
+"""Standard neural-network layers built on the autodiff substrate."""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from ..tensor import Tensor, dropout as dropout_op
+from . import init
+from .module import Module, Parameter
+
+
+class Linear(Module):
+    """Affine map ``y = x W + b``."""
+
+    def __init__(self, in_features: int, out_features: int,
+                 rng: np.random.Generator, bias: bool = True) -> None:
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(init.xavier_uniform(rng, in_features, out_features))
+        self.bias = Parameter(init.zeros(out_features)) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x @ self.weight
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+
+class Embedding(Module):
+    """Lookup table of ``num_embeddings`` vectors of size ``dim``."""
+
+    def __init__(self, num_embeddings: int, dim: int,
+                 rng: np.random.Generator, std: float = 0.1) -> None:
+        super().__init__()
+        self.num_embeddings = num_embeddings
+        self.dim = dim
+        self.weight = Parameter(init.normal(rng, (num_embeddings, dim), std=std))
+
+    def forward(self, index: np.ndarray) -> Tensor:
+        from ..tensor import gather
+
+        return gather(self.weight, np.asarray(index, dtype=np.intp))
+
+
+class Dropout(Module):
+    """Inverted dropout; identity in eval mode."""
+
+    def __init__(self, rate: float, rng: np.random.Generator) -> None:
+        super().__init__()
+        self.rate = rate
+        self.rng = rng
+
+    def forward(self, x: Tensor) -> Tensor:
+        return dropout_op(x, self.rate, self.rng, training=self.training)
+
+
+class LayerNorm(Module):
+    """Layer normalization over the last axis."""
+
+    def __init__(self, dim: int, eps: float = 1e-5) -> None:
+        super().__init__()
+        self.eps = eps
+        self.gamma = Parameter(np.ones(dim))
+        self.beta = Parameter(np.zeros(dim))
+
+    def forward(self, x: Tensor) -> Tensor:
+        mean = x.mean(axis=-1, keepdims=True)
+        centered = x - mean
+        var = (centered * centered).mean(axis=-1, keepdims=True)
+        normed = centered / (var + self.eps).sqrt()
+        return normed * self.gamma + self.beta
+
+
+class Sequential(Module):
+    """Chain of modules applied in order."""
+
+    def __init__(self, *modules: Module) -> None:
+        super().__init__()
+        self._layers = list(modules)
+        for i, module in enumerate(modules):
+            self.register_module(f"layer{i}", module)
+
+    def forward(self, x: Tensor) -> Tensor:
+        for layer in self._layers:
+            x = layer(x)
+        return x
+
+    def __iter__(self):
+        return iter(self._layers)
+
+
+class Activation(Module):
+    """Wrap an elementwise activation as a module (for Sequential)."""
+
+    def __init__(self, fn: Callable[[Tensor], Tensor]) -> None:
+        super().__init__()
+        self.fn = fn
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.fn(x)
+
+
+def relu_activation() -> Activation:
+    return Activation(lambda t: t.relu())
+
+
+class MLP(Module):
+    """Multi-layer perceptron with ReLU hidden activations.
+
+    The paper trains "a three layer MLP with equal sizes" on top of
+    unsupervised embeddings (metapath2vec / hin2vec baselines); this class is
+    that head, and also the BERT-stand-in regressor body.
+    """
+
+    def __init__(self, dims: Sequence[int], rng: np.random.Generator,
+                 dropout: float = 0.0,
+                 output_activation: Optional[Callable[[Tensor], Tensor]] = None) -> None:
+        super().__init__()
+        if len(dims) < 2:
+            raise ValueError("MLP needs at least input and output dims")
+        self._linears = []
+        for i, (d_in, d_out) in enumerate(zip(dims[:-1], dims[1:])):
+            layer = Linear(d_in, d_out, rng)
+            self.register_module(f"fc{i}", layer)
+            self._linears.append(layer)
+        self.dropout = Dropout(dropout, rng) if dropout > 0 else None
+        self.output_activation = output_activation
+
+    def forward(self, x: Tensor) -> Tensor:
+        for i, layer in enumerate(self._linears):
+            x = layer(x)
+            if i < len(self._linears) - 1:
+                x = x.relu()
+                if self.dropout is not None:
+                    x = self.dropout(x)
+        if self.output_activation is not None:
+            x = self.output_activation(x)
+        return x

@@ -1,0 +1,53 @@
+"""Loss functions used across CATE-HGN and the baselines."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..tensor import Tensor, as_tensor
+
+
+def mse_loss(pred: Tensor, target, reduction: str = "mean") -> Tensor:
+    """Squared error; the supervised citation loss of Eq. (6)."""
+    target_t = as_tensor(target)
+    diff = pred - target_t
+    sq = diff * diff
+    if reduction == "mean":
+        return sq.mean()
+    if reduction == "sum":
+        return sq.sum()
+    return sq
+
+
+def l1_loss(pred: Tensor, target) -> Tensor:
+    """Mean absolute error."""
+    return (pred - as_tensor(target)).abs().mean()
+
+
+def bce_with_logits(logits: Tensor, target) -> Tensor:
+    """Stable binary cross-entropy from logits:
+    max(x,0) - x*y + log(1+exp(-|x|))."""
+    target_t = as_tensor(target)
+    zeros = Tensor(np.zeros_like(logits.data))
+    max_part = logits.clip(0.0, np.inf)
+    return (max_part - logits * target_t + (-logits.abs()).softplus()).mean()
+
+
+def kl_divergence(p: Tensor, q: Tensor, eps: float = 1e-10) -> Tensor:
+    """KL(P || Q) = sum p log(p/q), summed over all entries.
+
+    Both inputs are (rows of) probability distributions.  Used by the CA
+    module's self-training loss (Eq. 18) and consistency loss (Eq. 20).
+    """
+    p_safe = p + eps
+    q_safe = q + eps
+    return (p * (p_safe.log() - q_safe.log())).sum()
+
+
+def jsd_mi_estimate(pos_scores: Tensor, neg_scores: Tensor) -> Tensor:
+    """Jensen–Shannon mutual-information estimator (Eq. 10).
+
+    I = -sp(-D(pos)) - E[sp(D(neg))], where sp is soft-plus.  Returns the
+    per-pair MI estimates (vector); maximizing their sum maximizes MI.
+    """
+    return -(-pos_scores).softplus() - neg_scores.softplus()

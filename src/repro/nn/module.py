@@ -1,0 +1,102 @@
+"""Module/Parameter system, mirroring the familiar torch.nn.Module contract.
+
+A :class:`Module` owns :class:`Parameter` tensors and child modules, exposes
+recursive parameter iteration, gradient zeroing, and train/eval switching.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Tuple
+
+import numpy as np
+
+from ..tensor import Tensor
+
+
+class Parameter(Tensor):
+    """A tensor that is always trainable."""
+
+    def __init__(self, data) -> None:
+        super().__init__(data, requires_grad=True)
+
+
+class Module:
+    """Base class for all trainable components.
+
+    Subclasses assign :class:`Parameter` and :class:`Module` instances as
+    attributes; they are registered automatically via ``__setattr__``.
+    """
+
+    def __init__(self) -> None:
+        object.__setattr__(self, "_parameters", {})
+        object.__setattr__(self, "_modules", {})
+        object.__setattr__(self, "training", True)
+
+    def __setattr__(self, name: str, value) -> None:
+        if isinstance(value, Parameter):
+            self._parameters[name] = value
+        elif isinstance(value, Module):
+            self._modules[name] = value
+        object.__setattr__(self, name, value)
+
+    # ------------------------------------------------------------------
+    def register_module(self, name: str, module: "Module") -> None:
+        """Register a child module stored outside attribute assignment."""
+        self._modules[name] = module
+        object.__setattr__(self, name, module)
+
+    def named_parameters(self, prefix: str = "") -> Iterator[Tuple[str, Parameter]]:
+        for name, param in self._parameters.items():
+            yield (f"{prefix}{name}", param)
+        for name, module in self._modules.items():
+            yield from module.named_parameters(prefix=f"{prefix}{name}.")
+
+    def parameters(self) -> Iterator[Parameter]:
+        for _, param in self.named_parameters():
+            yield param
+
+    def num_parameters(self) -> int:
+        """Total scalar parameter count (for the paper's complexity claims)."""
+        return sum(p.size for p in self.parameters())
+
+    def zero_grad(self) -> None:
+        for param in self.parameters():
+            param.zero_grad()
+
+    def train(self, mode: bool = True) -> "Module":
+        object.__setattr__(self, "training", mode)
+        for module in self._modules.values():
+            module.train(mode)
+        return self
+
+    def eval(self) -> "Module":
+        return self.train(False)
+
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """Snapshot all parameters as plain arrays (copies)."""
+        return {name: param.data.copy() for name, param in self.named_parameters()}
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        own = dict(self.named_parameters())
+        missing = set(own) - set(state)
+        unexpected = set(state) - set(own)
+        if missing or unexpected:
+            raise KeyError(
+                f"state_dict mismatch: missing={sorted(missing)}, "
+                f"unexpected={sorted(unexpected)}"
+            )
+        for name, value in state.items():
+            param = own[name]
+            if param.data.shape != value.shape:
+                raise ValueError(
+                    f"shape mismatch for {name}: "
+                    f"{param.data.shape} vs {value.shape}"
+                )
+            param.data = value.copy()
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    def forward(self, *args, **kwargs):
+        raise NotImplementedError

@@ -1,0 +1,48 @@
+"""Reverse-mode autodiff substrate (numpy backend).
+
+Public API::
+
+    from repro.tensor import Tensor, ops
+    x = Tensor([1.0, 2.0], requires_grad=True)
+    y = (x * x).sum()
+    y.backward()
+"""
+
+from . import ops
+from .ops import (
+    as_tensor,
+    circular_convolution,
+    circular_correlation,
+    concatenate,
+    dropout,
+    gather,
+    log_softmax,
+    numerical_gradient,
+    segment_mean,
+    segment_softmax,
+    segment_sum,
+    softmax,
+    stack,
+    where,
+)
+from .tensor import Tensor, unbroadcast
+
+__all__ = [
+    "Tensor",
+    "unbroadcast",
+    "ops",
+    "as_tensor",
+    "concatenate",
+    "stack",
+    "gather",
+    "segment_sum",
+    "segment_mean",
+    "segment_softmax",
+    "softmax",
+    "log_softmax",
+    "circular_correlation",
+    "circular_convolution",
+    "dropout",
+    "where",
+    "numerical_gradient",
+]

@@ -1,0 +1,216 @@
+"""Functional operations on :class:`~repro.tensor.Tensor`.
+
+These cover the graph-specific primitives the GNN stack needs (gather /
+segment reductions / segment softmax for message passing and attention) and
+the knowledge-graph composition primitives (circular correlation and
+convolution, Eq. (3) of the paper with the HolE operator).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from .tensor import Tensor
+
+
+def as_tensor(value) -> Tensor:
+    """Coerce ``value`` to a :class:`Tensor` (no-op when it already is one)."""
+    return value if isinstance(value, Tensor) else Tensor(value)
+
+
+def concatenate(tensors: Sequence[Tensor], axis: int = -1) -> Tensor:
+    """Concatenate tensors along ``axis`` with gradient routing."""
+    tensors = [as_tensor(t) for t in tensors]
+    out_data = np.concatenate([t.data for t in tensors], axis=axis)
+    sizes = [t.data.shape[axis] for t in tensors]
+    offsets = np.cumsum([0] + sizes)
+
+    def backward(grad: np.ndarray) -> None:
+        for tensor, lo, hi in zip(tensors, offsets[:-1], offsets[1:]):
+            sl = [slice(None)] * grad.ndim
+            sl[axis] = slice(lo, hi)
+            tensor._accumulate(grad[tuple(sl)])
+
+    return Tensor._make(out_data, tensors, backward)
+
+
+def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    """Stack tensors along a new ``axis``."""
+    tensors = [as_tensor(t) for t in tensors]
+    out_data = np.stack([t.data for t in tensors], axis=axis)
+
+    def backward(grad: np.ndarray) -> None:
+        slabs = np.split(grad, len(tensors), axis=axis)
+        for tensor, slab in zip(tensors, slabs):
+            tensor._accumulate(np.squeeze(slab, axis=axis))
+
+    return Tensor._make(out_data, tensors, backward)
+
+
+def gather(tensor: Tensor, index: np.ndarray) -> Tensor:
+    """Row-gather ``tensor[index]`` for an integer index array.
+
+    The gradient scatters (sums) back into the gathered rows, which makes
+    ``gather`` the adjoint of :func:`segment_sum`.
+    """
+    index = np.asarray(index, dtype=np.intp)
+    out_data = tensor.data[index]
+
+    def backward(grad: np.ndarray) -> None:
+        full = np.zeros_like(tensor.data)
+        np.add.at(full, index, grad)
+        tensor._accumulate(full)
+
+    return Tensor._make(out_data, (tensor,), backward)
+
+
+def segment_sum(tensor: Tensor, segment_ids: np.ndarray, num_segments: int) -> Tensor:
+    """Sum rows of ``tensor`` into ``num_segments`` buckets.
+
+    ``out[s] = sum_i tensor[i] for segment_ids[i] == s`` — the scatter-add
+    aggregation at the heart of message passing.
+    """
+    segment_ids = np.asarray(segment_ids, dtype=np.intp)
+    out_shape = (num_segments,) + tensor.data.shape[1:]
+    out_data = np.zeros(out_shape, dtype=np.float64)
+    np.add.at(out_data, segment_ids, tensor.data)
+
+    def backward(grad: np.ndarray) -> None:
+        tensor._accumulate(grad[segment_ids])
+
+    return Tensor._make(out_data, (tensor,), backward)
+
+
+def segment_mean(tensor: Tensor, segment_ids: np.ndarray, num_segments: int) -> Tensor:
+    """Mean-aggregate rows into segments; empty segments yield zeros."""
+    segment_ids = np.asarray(segment_ids, dtype=np.intp)
+    counts = np.bincount(segment_ids, minlength=num_segments).astype(np.float64)
+    counts = np.maximum(counts, 1.0)
+    summed = segment_sum(tensor, segment_ids, num_segments)
+    inv = 1.0 / counts
+    return summed * Tensor(inv.reshape((-1,) + (1,) * (tensor.ndim - 1)))
+
+
+def segment_softmax(
+    scores: Tensor, segment_ids: np.ndarray, num_segments: int
+) -> Tensor:
+    """Softmax of ``scores`` normalized within each segment.
+
+    Used for attention coefficients, where each destination node normalizes
+    over its own incoming edges (Eq. (14)/(15) denominators).  ``scores``
+    may be (E,) or (E, heads); segments run along axis 0.
+    """
+    segment_ids = np.asarray(segment_ids, dtype=np.intp)
+    # Max-subtraction for numerical stability (constant w.r.t. gradients).
+    seg_max = np.full((num_segments,) + scores.shape[1:], -np.inf)
+    np.maximum.at(seg_max, segment_ids, scores.data)
+    seg_max[~np.isfinite(seg_max)] = 0.0
+    shifted = scores - Tensor(seg_max[segment_ids])
+    exp = shifted.exp()
+    denom = segment_sum(exp, segment_ids, num_segments)
+    denom_per_edge = gather(denom, segment_ids)
+    return exp / (denom_per_edge + 1e-12)
+
+
+def softmax(tensor: Tensor, axis: int = -1) -> Tensor:
+    """Softmax along ``axis`` with max-subtraction stability."""
+    shift = Tensor(tensor.data.max(axis=axis, keepdims=True))
+    exp = (tensor - shift).exp()
+    return exp / exp.sum(axis=axis, keepdims=True)
+
+
+def log_softmax(tensor: Tensor, axis: int = -1) -> Tensor:
+    """Log of softmax along ``axis``, computed stably."""
+    shift = Tensor(tensor.data.max(axis=axis, keepdims=True))
+    shifted = tensor - shift
+    return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
+
+
+def circular_correlation(a: Tensor, b: Tensor) -> Tensor:
+    """HolE circular correlation ``[a * b]_k = sum_i a_i b_{(i+k) mod d}``.
+
+    Works row-wise on (..., d) tensors.  Gradients follow from the Fourier
+    form F(a ★ b) = conj(F(a)) ⊙ F(b):
+    grad_a = correlate(g, b) and grad_b = convolve(a, g).
+    """
+    d = a.data.shape[-1]
+    fa = np.fft.rfft(a.data, axis=-1)
+    fb = np.fft.rfft(b.data, axis=-1)
+    out_data = np.fft.irfft(np.conj(fa) * fb, n=d, axis=-1)
+
+    def backward(grad: np.ndarray) -> None:
+        from .tensor import unbroadcast
+
+        fg = np.fft.rfft(grad, axis=-1)
+        ga = np.fft.irfft(np.conj(fg) * np.fft.rfft(b.data, axis=-1), n=d, axis=-1)
+        gb = np.fft.irfft(np.fft.rfft(a.data, axis=-1) * fg, n=d, axis=-1)
+        a._accumulate(unbroadcast(ga, a.shape))
+        b._accumulate(unbroadcast(gb, b.shape))
+
+    return Tensor._make(out_data, (a, b), backward)
+
+
+def circular_convolution(a: Tensor, b: Tensor) -> Tensor:
+    """Circular convolution ``[a ⊗ b]_k = sum_i a_i b_{(k-i) mod d}``."""
+    d = a.data.shape[-1]
+    fa = np.fft.rfft(a.data, axis=-1)
+    fb = np.fft.rfft(b.data, axis=-1)
+    out_data = np.fft.irfft(fa * fb, n=d, axis=-1)
+
+    def backward(grad: np.ndarray) -> None:
+        from .tensor import unbroadcast
+
+        fg = np.fft.rfft(grad, axis=-1)
+        ga = np.fft.irfft(fg * np.conj(np.fft.rfft(b.data, axis=-1)), n=d, axis=-1)
+        gb = np.fft.irfft(fg * np.conj(np.fft.rfft(a.data, axis=-1)), n=d, axis=-1)
+        a._accumulate(unbroadcast(ga, a.shape))
+        b._accumulate(unbroadcast(gb, b.shape))
+
+    return Tensor._make(out_data, (a, b), backward)
+
+
+def dropout(tensor: Tensor, rate: float, rng: np.random.Generator,
+            training: bool = True) -> Tensor:
+    """Inverted dropout: zero a ``rate`` fraction and rescale the rest."""
+    if not training or rate <= 0.0:
+        return tensor
+    keep = 1.0 - rate
+    mask = (rng.random(tensor.shape) < keep).astype(np.float64) / keep
+    return tensor * Tensor(mask)
+
+
+def where(condition: np.ndarray, a: Tensor, b: Tensor) -> Tensor:
+    """Elementwise select; ``condition`` is a constant boolean array."""
+    a, b = as_tensor(a), as_tensor(b)
+    cond = np.asarray(condition, dtype=bool)
+    out_data = np.where(cond, a.data, b.data)
+
+    def backward(grad: np.ndarray) -> None:
+        from .tensor import unbroadcast
+
+        a._accumulate(unbroadcast(grad * cond, a.shape))
+        b._accumulate(unbroadcast(grad * ~cond, b.shape))
+
+    return Tensor._make(out_data, (a, b), backward)
+
+
+def numerical_gradient(func, tensor: Tensor, eps: float = 1e-6) -> np.ndarray:
+    """Central-difference gradient of scalar ``func()`` w.r.t. ``tensor``.
+
+    Test utility: perturbs ``tensor.data`` in place, re-evaluating the full
+    forward closure each time.
+    """
+    grad = np.zeros_like(tensor.data)
+    flat = tensor.data.ravel()
+    grad_flat = grad.ravel()
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + eps
+        f_plus = float(func().data)
+        flat[i] = orig - eps
+        f_minus = float(func().data)
+        flat[i] = orig
+        grad_flat[i] = (f_plus - f_minus) / (2 * eps)
+    return grad

@@ -1,0 +1,20 @@
+"""Text substrate: corpus, TF-IDF, PPMI embeddings, distributional MLM."""
+
+from .cooccurrence import cooccurrence_counts, ppmi
+from .corpus import Corpus
+from .embeddings import WordEmbeddings
+from .mlm import DistributionalMLM
+from .tfidf import document_frequencies, tfidf_matrix_entries
+from .vocabulary import Vocabulary, tokenize
+
+__all__ = [
+    "Vocabulary",
+    "tokenize",
+    "Corpus",
+    "WordEmbeddings",
+    "DistributionalMLM",
+    "cooccurrence_counts",
+    "ppmi",
+    "document_frequencies",
+    "tfidf_matrix_entries",
+]

@@ -1,0 +1,36 @@
+"""Document corpus container."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from .vocabulary import Vocabulary, tokenize
+
+
+@dataclass
+class Corpus:
+    """A list of tokenized documents with a shared vocabulary.
+
+    In the publication setting each document is the raw textual content of a
+    paper (title + abstract terms); ``keywords`` optionally carries the
+    noisy author-specified keyword lists the paper contrasts against mined
+    quality terms.
+    """
+
+    documents: List[List[str]]
+    vocabulary: Vocabulary
+    keywords: Optional[List[List[str]]] = None
+
+    def __len__(self) -> int:
+        return len(self.documents)
+
+    def encoded(self) -> List[List[int]]:
+        """Documents as token-id lists (unknown tokens dropped)."""
+        return [self.vocabulary.encode(doc) for doc in self.documents]
+
+    @classmethod
+    def from_texts(cls, texts: Sequence[str], min_count: int = 1) -> "Corpus":
+        documents = [tokenize(t) for t in texts]
+        vocabulary = Vocabulary.from_documents(documents, min_count=min_count)
+        return cls(documents=documents, vocabulary=vocabulary)

@@ -1,0 +1,67 @@
+"""TF-IDF scoring and paper-term link construction (Eq. 24).
+
+The TE module connects papers to terms with weight
+
+    ω(e) = (f(u, v) / Σ_{u'} f(u', v)) · log(N_papers / n(u)),
+
+i.e. normalized term frequency times inverse document frequency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+
+def document_frequencies(documents: Sequence[Sequence[int]],
+                         vocab_size: int) -> np.ndarray:
+    """n(u): number of documents containing each token id."""
+    df = np.zeros(vocab_size, dtype=np.float64)
+    for doc in documents:
+        for token in set(doc):
+            df[token] += 1
+    return df
+
+
+def tfidf_matrix_entries(
+    documents: Sequence[Sequence[int]],
+    vocab_size: int,
+    restrict_to: Sequence[int] | None = None,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """All (doc, token, tfidf) entries, optionally restricted to a token set.
+
+    Implements Eq. (24) exactly: tf is normalized by the document's total
+    token count, idf uses the raw document count n(u).  Tokens appearing in
+    every document get idf = 0 and are dropped (zero-weight links carry no
+    information).
+    """
+    df = document_frequencies(documents, vocab_size)
+    num_docs = len(documents)
+    keep = None
+    if restrict_to is not None:
+        keep = np.zeros(vocab_size, dtype=bool)
+        keep[np.asarray(list(restrict_to), dtype=np.intp)] = True
+
+    doc_ids: List[int] = []
+    token_ids: List[int] = []
+    weights: List[float] = []
+    for doc_id, doc in enumerate(documents):
+        if not doc:
+            continue
+        total = len(doc)
+        counts: Dict[int, int] = {}
+        for token in doc:
+            counts[token] = counts.get(token, 0) + 1
+        for token, count in counts.items():
+            if keep is not None and not keep[token]:
+                continue
+            idf = np.log(num_docs / df[token]) if df[token] > 0 else 0.0
+            weight = (count / total) * idf
+            if weight > 0:
+                doc_ids.append(doc_id)
+                token_ids.append(token)
+                weights.append(weight)
+    return (np.array(doc_ids, dtype=np.intp),
+            np.array(token_ids, dtype=np.intp),
+            np.array(weights, dtype=np.float64))

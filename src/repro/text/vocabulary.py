@@ -1,0 +1,67 @@
+"""Token vocabulary and tokenizer."""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Iterable, List, Optional
+
+_TOKEN_RE = re.compile(r"[a-z][a-z0-9_\-]*")
+
+
+def tokenize(text: str) -> List[str]:
+    """Lowercase and split into alphanumeric tokens."""
+    return _TOKEN_RE.findall(text.lower())
+
+
+class Vocabulary:
+    """Bidirectional token <-> id mapping."""
+
+    def __init__(self, tokens: Optional[Iterable[str]] = None) -> None:
+        self._token_to_id: Dict[str, int] = {}
+        self._id_to_token: List[str] = []
+        if tokens is not None:
+            for token in tokens:
+                self.add(token)
+
+    def add(self, token: str) -> int:
+        """Add ``token`` (idempotent); return its id."""
+        if token not in self._token_to_id:
+            self._token_to_id[token] = len(self._id_to_token)
+            self._id_to_token.append(token)
+        return self._token_to_id[token]
+
+    def id(self, token: str) -> int:
+        return self._token_to_id[token]
+
+    def get(self, token: str, default: int = -1) -> int:
+        return self._token_to_id.get(token, default)
+
+    def token(self, index: int) -> str:
+        return self._id_to_token[index]
+
+    def __contains__(self, token: str) -> bool:
+        return token in self._token_to_id
+
+    def __len__(self) -> int:
+        return len(self._id_to_token)
+
+    def __iter__(self):
+        return iter(self._id_to_token)
+
+    def encode(self, tokens: Iterable[str], skip_unknown: bool = True) -> List[int]:
+        if skip_unknown:
+            return [self._token_to_id[t] for t in tokens if t in self._token_to_id]
+        return [self.add(t) for t in tokens]
+
+    @classmethod
+    def from_documents(cls, documents: Iterable[Iterable[str]],
+                       min_count: int = 1) -> "Vocabulary":
+        counts: Dict[str, int] = {}
+        for doc in documents:
+            for token in doc:
+                counts[token] = counts.get(token, 0) + 1
+        vocab = cls()
+        for token in sorted(counts):
+            if counts[token] >= min_count:
+                vocab.add(token)
+        return vocab

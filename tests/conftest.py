@@ -1,0 +1,57 @@
+"""Shared fixtures: tiny worlds/datasets sized for fast unit tests."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    TextArtifacts,
+    WorldConfig,
+    generate_world,
+    make_dblp_full,
+    make_dblp_random,
+    make_dblp_single,
+)
+
+TINY_DOMAINS = ("data", "learning", "system")
+
+
+def tiny_config(**overrides) -> WorldConfig:
+    params = dict(
+        num_papers=150,
+        num_authors=60,
+        venues_per_domain=2,
+        seed=11,
+        domain_names=TINY_DOMAINS,
+    )
+    params.update(overrides)
+    return WorldConfig(**params)
+
+
+@pytest.fixture(scope="session")
+def tiny_world():
+    return generate_world(tiny_config())
+
+
+@pytest.fixture(scope="session")
+def tiny_text(tiny_world):
+    return TextArtifacts.fit(tiny_world, dim=16)
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset(tiny_world, tiny_text):
+    return make_dblp_full(world=tiny_world, text=tiny_text)
+
+
+@pytest.fixture(scope="session")
+def tiny_random_dataset(tiny_world, tiny_text):
+    return make_dblp_random(world=tiny_world, text=tiny_text)
+
+
+@pytest.fixture(scope="session")
+def tiny_single_dataset(tiny_world):
+    return make_dblp_single(world=tiny_world, feature_dim=16)
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(0)

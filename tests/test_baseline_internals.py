@@ -1,0 +1,115 @@
+"""White-box tests of the GNN baselines' internal mechanics."""
+
+import numpy as np
+import pytest
+
+from repro.core.hgn import GraphBatch
+from repro.baselines.gat import GATLayer
+from repro.baselines.han import SemanticAttention, paper_metapath_adjacency
+from repro.baselines.hetgnn import rwr_neighbors
+from repro.baselines.magnn import metapath_instances
+from repro.tensor import Tensor
+
+
+@pytest.fixture(scope="module")
+def batch(tiny_dataset):
+    return GraphBatch.from_graph(tiny_dataset.graph, tiny_dataset.train_idx,
+                                 tiny_dataset.labels[tiny_dataset.train_idx])
+
+
+class TestGATLayer:
+    def test_attention_is_convex_combination(self, rng):
+        layer = GATLayer(4, 4, heads=2, rng=rng)
+        h = Tensor(rng.normal(size=(5, 4)))
+        src = np.array([0, 1, 2, 3, 4, 0])
+        dst = np.array([1, 1, 1, 2, 2, 0])
+        out = layer(h, src, dst, 5)
+        assert out.shape == (5, 4)
+        # Node with no in-edges aggregates to zero.
+        assert np.allclose(out.data[3], 0.0)
+        assert np.allclose(out.data[4], 0.0)
+
+    def test_single_neighbor_passes_message_through(self, rng):
+        layer = GATLayer(4, 4, heads=1, rng=rng)
+        h = Tensor(rng.normal(size=(3, 4)))
+        out = layer(h, np.array([0]), np.array([1]), 3)
+        wh = (h @ layer.W.weight).data
+        # alpha for a single in-edge is exactly 1.
+        assert np.allclose(out.data[1], wh[0])
+
+
+class TestHANInternals:
+    def test_semantic_attention_convex(self, rng):
+        att = SemanticAttention(4, 4, rng)
+        zs = [Tensor(rng.normal(size=(6, 4))) for _ in range(3)]
+        combined = att(zs).data
+        lo = np.minimum.reduce([z.data for z in zs])
+        hi = np.maximum.reduce([z.data for z in zs])
+        assert np.all(combined >= lo - 1e-9)
+        assert np.all(combined <= hi + 1e-9)
+
+    def test_metapath_adjacency_includes_self_loops(self, tiny_dataset):
+        paths = paper_metapath_adjacency(tiny_dataset, max_pairs=1000, seed=0)
+        assert len(paths) == 4  # P-P, P-A-P, P-V-P, P-T-P
+        n = tiny_dataset.num_papers
+        for src, dst in paths:
+            pairs = set(zip(src.tolist(), dst.tolist()))
+            assert all((i, i) in pairs for i in range(n))
+
+
+class TestMAGNNInstances:
+    def test_instances_cover_expected_paths(self, tiny_dataset):
+        rng = np.random.default_rng(0)
+        instances = metapath_instances(tiny_dataset.graph, max_per_mid=4,
+                                       rng=rng)
+        mid_types = [mid_type for _s, _m, _e, mid_type in instances]
+        assert mid_types[0] is None  # P-P
+        assert set(mid_types[1:]) == {"author", "venue", "term"}
+
+    def test_instances_exclude_self_pairs(self, tiny_dataset):
+        rng = np.random.default_rng(0)
+        for src, mid, dst, mid_type in metapath_instances(
+                tiny_dataset.graph, max_per_mid=4, rng=rng):
+            if mid_type is not None:
+                assert np.all(src != dst)
+
+    def test_mid_cap_respected(self, tiny_dataset):
+        rng = np.random.default_rng(0)
+        cap = 3
+        for src, mid, dst, mid_type in metapath_instances(
+                tiny_dataset.graph, max_per_mid=cap, rng=rng):
+            if mid_type is None:
+                continue
+            counts = np.bincount(mid)
+            # Each mid node emits at most cap*(cap-1) ordered pairs.
+            assert counts.max() <= cap * (cap - 1)
+
+
+class TestHetGNNSampling:
+    def test_rwr_neighbors_typed_and_owned(self, tiny_dataset):
+        rng = np.random.default_rng(0)
+        neighbors = rwr_neighbors(tiny_dataset.graph, restarts=0.3,
+                                  walks=3, length=4, top_k=5, rng=rng)
+        for node_type, (ids, owners) in neighbors.items():
+            assert len(ids) == len(owners)
+            if len(ids):
+                assert ids.max() < tiny_dataset.graph.num_nodes[node_type]
+                assert owners.max() < tiny_dataset.num_papers
+
+    def test_rwr_topk_bound(self, tiny_dataset):
+        rng = np.random.default_rng(0)
+        top_k = 3
+        neighbors = rwr_neighbors(tiny_dataset.graph, restarts=0.3,
+                                  walks=3, length=4, top_k=top_k, rng=rng)
+        for _t, (ids, owners) in neighbors.items():
+            if len(owners):
+                per_paper = np.bincount(owners)
+                assert per_paper.max() <= top_k
+
+
+class TestCLI:
+    def test_module_entrypoint_parses(self):
+        from repro.eval.__main__ import main
+
+        with pytest.raises(SystemExit):
+            main(["--papers", "10"])  # missing experiment -> argparse exit

@@ -1,0 +1,322 @@
+"""Unit tests for CATE-HGN components: composition, HGN, MI, CA, TE."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CAConfig,
+    CATEHGNConfig,
+    CATEHGNModel,
+    ClusterModule,
+    GraphBatch,
+    HGNConfig,
+    MIEstimator,
+    OneSpaceHGN,
+    TEConfig,
+    TextEnhancer,
+    concat_one_space,
+    get_composition,
+)
+from repro.hetnet import PAPER, TERM
+from repro.tensor import Tensor, circular_correlation
+
+
+@pytest.fixture(scope="module")
+def batch(tiny_dataset):
+    norm = (tiny_dataset.labels - tiny_dataset.labels.mean())
+    return GraphBatch.from_graph(tiny_dataset.graph, tiny_dataset.train_idx,
+                                 norm[tiny_dataset.train_idx])
+
+
+def small_model(batch, **overrides) -> CATEHGNModel:
+    params = dict(dim=8, attention_heads=2, num_clusters=4, kappa=10, seed=0)
+    params.update(overrides)
+    config = CATEHGNConfig(**params)
+    dims = {t: batch.features[t].shape[1] for t in batch.node_types}
+    return CATEHGNModel(config, batch.node_types, dims,
+                        list(batch.edges.keys()))
+
+
+class TestComposition:
+    def test_sub_mult_corr(self, rng):
+        a, b = Tensor(rng.normal(size=(3, 4))), Tensor(rng.normal(size=(3, 4)))
+        assert np.allclose(get_composition("sub")(a, b).data, a.data - b.data)
+        assert np.allclose(get_composition("mult")(a, b).data, a.data * b.data)
+        assert np.allclose(get_composition("corr")(a, b).data,
+                           circular_correlation(a, b).data)
+
+    def test_unknown_composition(self):
+        with pytest.raises(ValueError):
+            get_composition("nope")
+
+
+class TestGraphBatch:
+    def test_slices_partition_one_space(self, batch):
+        total = sum(batch.num_nodes.values())
+        assert batch.total_nodes == total
+        flat = []
+        for t in batch.node_types:
+            lo, n = batch.slices[t]
+            flat.extend(range(lo, lo + n))
+        assert sorted(flat) == list(range(total))
+
+    def test_normalized_weights_in_unit_interval(self, batch):
+        for _key, (_s, _d, _w, wn) in batch.edges.items():
+            if len(wn):
+                assert wn.max() <= 1.0 + 1e-12 and wn.min() >= 0
+
+    def test_with_label_inputs_adds_two_columns(self, batch):
+        ids = batch.labeled_ids[:5]
+        vals = batch.labels[:5]
+        aug = batch.with_label_inputs(ids, vals, ids, vals)
+        assert (aug.features["paper"].shape[1]
+                == batch.features["paper"].shape[1] + 2)
+        flags = aug.features["paper"][:, -1]
+        assert flags[ids].sum() == len(ids) and flags.sum() == len(ids)
+
+    def test_with_label_inputs_does_not_mutate_base(self, batch):
+        before = batch.features["paper"].shape[1]
+        batch.with_label_inputs(batch.labeled_ids, batch.labels,
+                                batch.labeled_ids, batch.labels)
+        assert batch.features["paper"].shape[1] == before
+
+
+class TestOneSpaceHGN:
+    def test_forward_shapes_one_space(self, batch):
+        model = small_model(batch, use_ca=False, use_te=False)
+        out = model.hgn(batch)
+        assert len(out.layers) == 3  # encoder + 2 conv layers
+        for layer in out.layers:
+            for t in batch.node_types:
+                assert layer[t].shape == (batch.num_nodes[t], 8)
+
+    def test_parameter_count_independent_of_graph_size(self, batch,
+                                                       tiny_single_dataset):
+        model_a = small_model(batch, use_ca=False, use_te=False)
+        other = GraphBatch.from_graph(
+            tiny_single_dataset.graph, tiny_single_dataset.train_idx,
+            tiny_single_dataset.labels[tiny_single_dataset.train_idx],
+        )
+        dims = {t: other.features[t].shape[1] for t in other.node_types}
+        model_b = CATEHGNModel(
+            CATEHGNConfig(dim=8, attention_heads=2, num_clusters=4,
+                          use_ca=False, use_te=False, seed=0),
+            other.node_types, dims, list(other.edges.keys()),
+        )
+        # The paper's complexity claim: parameters don't grow with |V|.
+        assert model_a.hgn.num_parameters() == model_b.hgn.num_parameters()
+
+    def test_gradients_reach_all_parameters(self, batch):
+        model = small_model(batch)
+        rng = np.random.default_rng(0)
+        state = model.forward_state(batch)
+        loss = model.hgn_loss(state, batch, rng) + model.ca_loss(state)
+        loss.backward()
+        missing = [name for name, p in model.named_parameters()
+                   if p.grad is None]
+        assert missing == [], f"no gradient for {missing}"
+
+    def test_attention_off_uses_concat_path(self, batch):
+        model = small_model(batch, use_attention=False, use_ca=False,
+                            use_te=False)
+        out = model.hgn(batch)
+        assert out.layers[-1][PAPER].shape == (batch.num_nodes[PAPER], 8)
+
+    def test_per_layer_regressors(self, batch):
+        model = small_model(batch, use_ca=False, use_te=False)
+        out = model.hgn(batch)
+        for l in (1, 2):
+            pred = model.hgn.regress(l, out.layers[l][PAPER])
+            assert pred.shape == (batch.num_nodes[PAPER],)
+
+    def test_compositions_give_different_embeddings(self, batch):
+        outs = {}
+        for comp in ("sub", "mult", "corr"):
+            model = small_model(batch, composition=comp, use_ca=False,
+                                use_te=False)
+            outs[comp] = model.hgn(batch).layers[-1][PAPER].data
+        assert not np.allclose(outs["sub"], outs["mult"])
+        assert not np.allclose(outs["mult"], outs["corr"])
+
+    def test_forward_deterministic(self, batch):
+        m1 = small_model(batch, use_ca=False, use_te=False)
+        m2 = small_model(batch, use_ca=False, use_te=False)
+        assert np.allclose(m1.hgn(batch).layers[-1][PAPER].data,
+                           m2.hgn(batch).layers[-1][PAPER].data)
+
+
+class TestMI:
+    def test_mi_loss_scalar_finite(self, batch):
+        model = small_model(batch, use_ca=False, use_te=False)
+        est = model.mi
+        state = model.forward_state(batch)
+        rng = np.random.default_rng(0)
+        loss = est.loss(state.masked, batch, rng, max_edges_per_type=50)
+        assert loss.data.size == 1
+        assert np.isfinite(loss.data)
+
+    def test_mi_score_bilinear(self, rng):
+        est = MIEstimator(4, seed=0)
+        x = Tensor(rng.normal(size=(5, 4)))
+        y = Tensor(rng.normal(size=(5, 4)))
+        scores = est.score(x, y)
+        expected = np.einsum("ij,jk,ik->i", x.data, est.W_d.data, y.data)
+        assert np.allclose(scores.data, expected)
+
+    def test_mi_loss_decreases_under_optimization(self, batch):
+        from repro.nn import Adam
+
+        model = small_model(batch, use_ca=False, use_te=False)
+        rng = np.random.default_rng(0)
+        opt = Adam(list(model.parameters()), lr=0.01)
+        losses = []
+        for _ in range(6):
+            state = model.forward_state(batch)
+            loss = model.unsupervised_loss(state, batch, rng)
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+            losses.append(float(loss.data))
+        assert losses[-1] < losses[0]
+
+
+class TestClusterModule:
+    def make(self, dim=6, K=3, layers=2):
+        return ClusterModule(CAConfig(num_clusters=K), dim, layers)
+
+    def test_soft_assign_rows_normalized(self, rng):
+        ca = self.make()
+        h = Tensor(rng.normal(size=(10, 6)))
+        q = ca.soft_assign(h, 0)
+        assert q.shape == (10, 3)
+        assert np.allclose(q.data.sum(axis=1), 1.0)
+
+    def test_soft_assign_prefers_nearest_center(self):
+        # Assignments are computed on the unit sphere, so centers should
+        # live there too (as the trainer's initialization guarantees).
+        ca = self.make(dim=2, K=2)
+        ca.set_centers(0, np.array([[1.0, 0.0], [0.0, 1.0]]))
+        q = ca.soft_assign(Tensor(np.array([[5.0, 0.1], [0.1, 5.0]])), 0)
+        assert q.data[0, 0] > 0.6 and q.data[1, 1] > 0.6
+
+    def test_target_distribution_sharpens(self):
+        q = np.array([[0.6, 0.4], [0.5, 0.5]])
+        p = ClusterModule.target_distribution(q)
+        assert p[0, 0] > q[0, 0]
+        assert np.allclose(p.sum(axis=1), 1.0)
+
+    def test_masked_embeddings_shape_and_positivity_of_mask(self, rng):
+        ca = self.make()
+        h = Tensor(rng.normal(size=(10, 6)))
+        q = ca.soft_assign(h, 0)
+        masked = ca.mask_embeddings(h, q, 0)
+        assert masked.shape == h.shape
+        # Mask is sigmoid-positive: sign pattern preserved.
+        assert np.all(np.sign(masked.data) == np.sign(h.data))
+
+    def test_mask_with_specific_cluster(self, rng):
+        ca = self.make()
+        h = Tensor(rng.normal(size=(4, 6)))
+        m0 = ca.mask_with_cluster(h, 0, 0).data
+        m1 = ca.mask_with_cluster(h, 1, 0).data
+        assert not np.allclose(m0, m1)
+
+    def test_losses_combine_flags(self, rng):
+        h = Tensor(rng.normal(size=(12, 6)))
+        full = self.make()
+        qs = [full.soft_assign(h, l) for l in range(3)]
+        assert np.isfinite(full.losses(qs).data)
+        off = ClusterModule(CAConfig(num_clusters=3, use_self_training=False,
+                                     use_consistency=False,
+                                     use_disparity=False), 6, 2)
+        assert off.losses(qs).data == 0.0
+
+    def test_set_centers_validates_shape(self):
+        ca = self.make()
+        with pytest.raises(ValueError):
+            ca.set_centers(0, np.zeros((2, 2)))
+
+    def test_center_partition(self):
+        ca = self.make()
+        centers = {id(p) for p in ca.center_parameters()}
+        others = {id(p) for p in ca.non_center_parameters()}
+        assert centers.isdisjoint(others)
+        assert len(centers) == 3 and len(others) == 3
+
+    def test_concat_one_space_order(self, rng):
+        a = Tensor(rng.normal(size=(2, 3)))
+        b = Tensor(rng.normal(size=(4, 3)))
+        out = concat_one_space({"x": a, "y": b}, ["x", "y"])
+        assert out.shape == (6, 3)
+        assert np.allclose(out.data[:2], a.data)
+
+
+class TestTextEnhancer:
+    def test_bootstrap_sets_anchor_first(self, tiny_dataset):
+        te = TextEnhancer(tiny_dataset.text, tiny_dataset.domain_names,
+                          TEConfig(kappa=15))
+        sets = te.bootstrap()
+        assert len(sets) == len(tiny_dataset.domain_names)
+        for name, terms in zip(tiny_dataset.domain_names, sets):
+            assert terms[0] == name
+            assert len(terms) <= 15
+
+    def test_bootstrap_finds_domain_terms(self, tiny_dataset):
+        te = TextEnhancer(tiny_dataset.text, tiny_dataset.domain_names,
+                          TEConfig(kappa=20))
+        sets = te.bootstrap()
+        data_truth = set(tiny_dataset.world.quality_terms(0))
+        hits = len(set(sets[0]) & data_truth)
+        assert hits >= len(sets[0]) // 3
+
+    def test_bootstrap_fallback_without_bert(self, tiny_dataset):
+        te = TextEnhancer(tiny_dataset.text, tiny_dataset.domain_names,
+                          TEConfig(use_bert_init=False))
+        sets = te.bootstrap(fallback_terms=tiny_dataset.term_tokens)
+        total = sum(len(s) for s in sets)
+        assert total > 0
+        with pytest.raises(ValueError):
+            te.bootstrap()
+
+    def test_build_links_tfidf_vs_binary(self, tiny_dataset):
+        terms = ["mining", "kernel", "cloud"]
+        te_tfidf = TextEnhancer(tiny_dataset.text, tiny_dataset.domain_names,
+                                TEConfig(use_tfidf=True))
+        te_bin = TextEnhancer(tiny_dataset.text, tiny_dataset.domain_names,
+                              TEConfig(use_tfidf=False))
+        _p1, _t1, w1 = te_tfidf.build_links(terms)
+        _p2, _t2, w2 = te_bin.build_links(terms)
+        assert len(set(np.round(w1, 6))) > 1  # graded weights
+        assert np.all(w2 == 1.0)  # binary weights
+
+    def test_refine_respects_set_sizes(self, tiny_dataset):
+        te = TextEnhancer(tiny_dataset.text, tiny_dataset.domain_names,
+                          TEConfig(kappa=10))
+        sets = te.bootstrap()
+        impacts = {t: 1.0 for s in sets for t in s}
+        refined = te.refine(sets, impacts)
+        for old, new in zip(sets, refined):
+            assert len(new) == max(len(old), 1)
+
+    def test_refine_prefers_high_impact_votes(self, tiny_dataset):
+        te = TextEnhancer(tiny_dataset.text, tiny_dataset.domain_names,
+                          TEConfig(kappa=10))
+        sets = [["mining", "kernel"]]
+        up = te.refine(sets, {"mining": 100.0, "kernel": 0.0})[0]
+        down = te.refine(sets, {"mining": 0.0, "kernel": 100.0})[0]
+        assert up != down
+
+    def test_rebuild_graph_terms_mutates_graph(self, tiny_dataset):
+        from repro.core.trainer import _clone_graph
+
+        graph = _clone_graph(tiny_dataset.graph)
+        te = TextEnhancer(tiny_dataset.text, tiny_dataset.domain_names,
+                          TEConfig(kappa=10))
+        sets = te.bootstrap()
+        tokens = te.rebuild_graph_terms(graph, sets)
+        assert graph.num_nodes[TERM] == len(tokens)
+        assert graph.node_names[TERM] == tokens
+        graph.validate()
+
+    def test_union_deduplicates(self):
+        assert TextEnhancer.union([["a", "b"], ["b", "c"]]) == ["a", "b", "c"]

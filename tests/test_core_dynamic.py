@@ -1,0 +1,102 @@
+"""Tests for the dynamic citation extension (Section III-G future work)."""
+
+import numpy as np
+import pytest
+
+from repro.core.dynamic import (
+    AgingProfile,
+    DynamicCitationModel,
+    empirical_citation_ages,
+)
+
+
+class _ConstantBase:
+    """Static-estimator stub with a fixed rate prediction."""
+
+    def __init__(self, rates):
+        self.rates = np.asarray(rates, dtype=np.float64)
+
+    def predict(self):
+        return self.rates
+
+
+class TestAgingProfile:
+    def test_normalizes(self):
+        profile = AgingProfile(np.array([2.0, 1.0, 1.0]))
+        assert np.isclose(profile.weights.sum(), 1.0)
+        assert profile.horizon == 3
+
+    def test_rejects_bad_weights(self):
+        with pytest.raises(ValueError):
+            AgingProfile(np.array([]))
+        with pytest.raises(ValueError):
+            AgingProfile(np.array([1.0, -1.0]))
+        with pytest.raises(ValueError):
+            AgingProfile(np.zeros(3))
+
+    def test_fit_from_dataset(self, tiny_dataset):
+        profile = AgingProfile.fit(tiny_dataset, horizon=5)
+        assert profile.horizon == 5
+        assert np.isclose(profile.weights.sum(), 1.0)
+        assert np.all(profile.weights > 0)  # Laplace smoothing
+
+    def test_spread_preserves_mean_rate(self):
+        profile = AgingProfile(np.array([3.0, 2.0, 1.0]))
+        rates = np.array([1.0, 4.0])
+        trajectories = profile.spread(rates)
+        assert trajectories.shape == (2, 3)
+        assert np.allclose(trajectories.mean(axis=1), rates)
+
+    def test_spread_shape_follows_profile(self):
+        profile = AgingProfile(np.array([1.0, 3.0, 1.0]))
+        traj = profile.spread(np.array([2.0]))[0]
+        assert traj[1] == traj.max()  # peak year preserved
+
+
+class TestEmpiricalAges:
+    def test_ages_positive(self, tiny_dataset):
+        ages = empirical_citation_ages(tiny_dataset, train_only=False)
+        assert np.all(ages >= 1)
+
+    def test_train_only_excludes_test_citations(self, tiny_dataset):
+        all_ages = empirical_citation_ages(tiny_dataset, train_only=False)
+        train_ages = empirical_citation_ages(tiny_dataset, train_only=True)
+        assert len(train_ages) <= len(all_ages)
+
+
+class TestDynamicModel:
+    def test_predict_before_fit_raises(self):
+        model = DynamicCitationModel(_ConstantBase([1.0]))
+        with pytest.raises(RuntimeError):
+            model.predict_trajectories()
+
+    def test_trajectories_shape_and_consistency(self, tiny_dataset):
+        rates = np.linspace(0.5, 3.0, tiny_dataset.num_papers)
+        model = DynamicCitationModel(_ConstantBase(rates), horizon=4)
+        model.fit(tiny_dataset)
+        trajectories = model.predict_trajectories()
+        assert trajectories.shape == (tiny_dataset.num_papers, 4)
+        assert np.all(trajectories >= 0)
+        assert np.allclose(trajectories.mean(axis=1), rates)
+
+    def test_observed_trajectories_match_link_counts(self, tiny_dataset):
+        observed = DynamicCitationModel.observed_trajectories(tiny_dataset,
+                                                              horizon=8)
+        graph = tiny_dataset.graph
+        cites = graph.edges[("paper", "cites", "paper")]
+        years = graph.get_attr("paper", "year")
+        in_horizon = ((years[cites.dst] - years[cites.src] >= 1)
+                      & (years[cites.dst] - years[cites.src] <= 8))
+        assert observed.sum() == in_horizon.sum()
+
+    def test_end_to_end_with_cate_hgn(self, tiny_dataset):
+        from repro.core import CATEHGN, CATEHGNConfig
+
+        base = CATEHGN(CATEHGNConfig(dim=8, attention_heads=2,
+                                     num_clusters=4, kappa=10,
+                                     outer_iters=1, mini_iters=1, seed=0))
+        model = DynamicCitationModel(base, horizon=5)
+        model.fit(tiny_dataset, fit_base=True)
+        trajectories = model.predict_trajectories()
+        assert trajectories.shape == (tiny_dataset.num_papers, 5)
+        assert np.all(np.isfinite(trajectories))

@@ -1,0 +1,165 @@
+"""Integration tests: the Algorithm-1 trainer end to end (tiny budgets)."""
+
+import numpy as np
+import pytest
+
+from repro.core import CATEHGN, CATEHGNConfig
+from repro.eval import rmse
+from repro.hetnet import AUTHOR, PAPER, TERM, VENUE
+
+
+def quick_config(**overrides) -> CATEHGNConfig:
+    params = dict(dim=8, attention_heads=2, num_clusters=4, kappa=10,
+                  outer_iters=3, mini_iters=2, center_iters=1,
+                  lr=0.02, patience=3, refine_every=1, seed=0)
+    params.update(overrides)
+    return CATEHGNConfig(**params)
+
+
+@pytest.fixture(scope="module")
+def fitted(tiny_dataset):
+    return CATEHGN(quick_config()).fit(tiny_dataset)
+
+
+class TestTrainer:
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            CATEHGN(quick_config()).predict()
+
+    def test_fit_returns_self_and_history(self, fitted, tiny_dataset):
+        assert fitted.history.val_rmse
+        assert fitted.history.best_iteration >= 0
+        assert len(fitted.history.train_loss) == len(fitted.history.val_rmse)
+
+    def test_predictions_cover_all_papers_nonnegative(self, fitted,
+                                                      tiny_dataset):
+        preds = fitted.predict()
+        assert preds.shape == (tiny_dataset.num_papers,)
+        assert np.all(preds >= 0)
+        assert np.all(np.isfinite(preds))
+
+    def test_beats_constant_baseline_on_train(self, fitted, tiny_dataset):
+        preds = fitted.predict()
+        y = tiny_dataset.labels
+        tr = tiny_dataset.train_idx
+        constant = rmse(y[tr], np.full(len(tr), y[tr].mean()))
+        assert rmse(y[tr], preds[tr]) < constant * 1.2
+
+    def test_term_history_tracked(self, fitted):
+        assert fitted.term_history
+        assert fitted.term_sets is not None
+
+    def test_cluster_assignments_shapes(self, fitted, tiny_dataset):
+        assignments = fitted.cluster_assignments()
+        for t in (PAPER, AUTHOR, VENUE, TERM):
+            assert t in assignments
+        assert assignments[PAPER].shape == (tiny_dataset.num_papers,)
+        assert assignments[PAPER].max() < 4
+
+    def test_soft_memberships_normalized(self, fitted):
+        memberships = fitted.soft_memberships()
+        for t, q in memberships.items():
+            assert np.allclose(q.sum(axis=1), 1.0)
+
+    def test_node_impacts_all_types(self, fitted, tiny_dataset):
+        for t in (PAPER, AUTHOR, VENUE, TERM):
+            impacts = fitted.node_impacts(t)
+            assert np.all(np.isfinite(impacts))
+        by_cluster = fitted.node_impacts(AUTHOR, cluster=0)
+        assert np.isfinite(by_cluster).all()
+
+    def test_dataset_graph_not_mutated(self, tiny_dataset):
+        before = tiny_dataset.graph.num_nodes[TERM]
+        CATEHGN(quick_config(outer_iters=1)).fit(tiny_dataset)
+        assert tiny_dataset.graph.num_nodes[TERM] == before
+
+    def test_reproducible_given_seed(self, tiny_dataset):
+        p1 = CATEHGN(quick_config(outer_iters=1)).fit(tiny_dataset).predict()
+        p2 = CATEHGN(quick_config(outer_iters=1)).fit(tiny_dataset).predict()
+        assert np.allclose(p1, p2)
+
+
+class TestVariants:
+    def test_hgn_variant_has_no_ca_extras(self, tiny_dataset):
+        model = CATEHGN(quick_config(use_ca=False, use_te=False,
+                                     outer_iters=1)).fit(tiny_dataset)
+        with pytest.raises(RuntimeError):
+            model.cluster_assignments()
+        assert model.term_sets is None
+
+    def test_ca_hgn_variant(self, tiny_dataset):
+        model = CATEHGN(quick_config(use_te=False,
+                                     outer_iters=1)).fit(tiny_dataset)
+        assert model.term_sets is None
+        assert model.cluster_assignments()[PAPER].shape[0] > 0
+
+    def test_te_rebuilds_terms_from_text(self, tiny_dataset, fitted):
+        # TE ignores the dataset's keyword-derived terms entirely.
+        mined = set(fitted._graph.node_names[TERM])
+        assert mined  # non-empty
+        in_vocab = [t in tiny_dataset.text.corpus.vocabulary for t in mined]
+        assert all(in_vocab)
+
+    def test_te_immune_to_term_randomization(self, tiny_dataset,
+                                             tiny_random_dataset):
+        """The Table-II DBLP-random headline: CATE-HGN rebuilds its own
+        term nodes, so rewired keyword links change nothing."""
+        cfg = quick_config(outer_iters=2)
+        p_full = CATEHGN(cfg).fit(tiny_dataset).predict()
+        p_rand = CATEHGN(cfg).fit(tiny_random_dataset).predict()
+        assert np.allclose(p_full, p_rand)
+
+    def test_ablation_flags_change_results(self, tiny_dataset):
+        base = CATEHGN(quick_config(outer_iters=1)).fit(tiny_dataset).predict()
+        for flag in ("use_mi", "use_attention"):
+            variant = CATEHGN(quick_config(outer_iters=1, **{flag: False}))
+            preds = variant.fit(tiny_dataset).predict()
+            assert not np.allclose(preds, base), flag
+
+    def test_self_training_moves_centers(self, tiny_dataset):
+        on = CATEHGN(quick_config(outer_iters=1, use_te=False))
+        off = CATEHGN(quick_config(outer_iters=1, use_te=False,
+                                   use_self_training=False,
+                                   use_consistency=False,
+                                   use_disparity=False))
+        on.fit(tiny_dataset)
+        off.fit(tiny_dataset)
+        c_on = on.model.ca.centers(0).data
+        c_off = off.model.ca.centers(0).data
+        assert not np.allclose(c_on, c_off)
+
+    def test_disparity_loss_spreads_centers(self, tiny_dataset):
+        near = CATEHGN(quick_config(outer_iters=2, lambda_dis=0.0,
+                                    use_te=False)).fit(tiny_dataset)
+        far = CATEHGN(quick_config(outer_iters=2, lambda_dis=5.0,
+                                   use_te=False)).fit(tiny_dataset)
+
+        def spread(model):
+            centers = model.model.ca.centers(model.config.num_layers).data
+            diffs = centers[:, None, :] - centers[None, :, :]
+            return float((diffs**2).sum())
+
+        assert spread(far) > spread(near)
+
+    def test_compositions_all_train(self, tiny_dataset):
+        for comp in ("sub", "mult", "corr"):
+            model = CATEHGN(quick_config(outer_iters=1, composition=comp))
+            preds = model.fit(tiny_dataset).predict()
+            assert np.all(np.isfinite(preds))
+
+    def test_sampled_minibatch_training(self, tiny_dataset):
+        model = CATEHGN(quick_config(outer_iters=1, use_te=False,
+                                     use_ca=False),
+                        sample_batches=True, batch_size=16, fanout=5)
+        preds = model.fit(tiny_dataset).predict()
+        assert np.all(np.isfinite(preds))
+
+    def test_label_inputs_off(self, tiny_dataset):
+        model = CATEHGN(quick_config(outer_iters=1, use_label_inputs=False))
+        preds = model.fit(tiny_dataset).predict()
+        assert np.all(np.isfinite(preds))
+
+    def test_single_domain_dataset_trains(self, tiny_single_dataset):
+        model = CATEHGN(quick_config(outer_iters=1))
+        preds = model.fit(tiny_single_dataset).predict()
+        assert preds.shape == (tiny_single_dataset.num_papers,)

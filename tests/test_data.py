@@ -1,0 +1,195 @@
+"""Unit tests for the synthetic DBLP world and dataset builders."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    DOMAIN_NAMES,
+    TEST_FROM,
+    TRAIN_BEFORE,
+    VAL_YEAR,
+    WorldConfig,
+    generate_world,
+    load_graph,
+    make_dblp_full,
+    make_dblp_random,
+    make_dblp_single,
+    save_graph,
+    temporal_split,
+)
+from repro.hetnet import AUTHOR, PAPER, TERM, VENUE
+
+from .conftest import TINY_DOMAINS, tiny_config
+
+
+class TestGenerator:
+    def test_world_sizes(self, tiny_world):
+        cfg = tiny_world.config
+        assert len(tiny_world.papers) == cfg.num_papers
+        assert len(tiny_world.authors) == cfg.num_authors
+        assert len(tiny_world.venues) == cfg.venues_per_domain * len(TINY_DOMAINS)
+
+    def test_deterministic_given_seed(self):
+        w1 = generate_world(tiny_config())
+        w2 = generate_world(tiny_config())
+        assert [p.title for p in w1.papers] == [p.title for p in w2.papers]
+        assert np.allclose(w1.labels(), w2.labels())
+
+    def test_labels_positive(self, tiny_world):
+        assert np.all(tiny_world.labels() > 0)
+
+    def test_years_sorted_within_range(self, tiny_world):
+        years = tiny_world.years()
+        cfg = tiny_world.config
+        assert np.all(np.diff(years) >= 0)
+        assert years.min() >= cfg.year_min and years.max() <= cfg.year_max
+
+    def test_references_strictly_older(self, tiny_world):
+        years = tiny_world.years()
+        for i, paper in enumerate(tiny_world.papers):
+            for ref in paper.references:
+                assert years[ref] < paper.year
+
+    def test_author_prestige_highest_in_primary_domain_on_average(self, tiny_world):
+        primary = np.array([a.prestige[a.primary_domain]
+                            for a in tiny_world.authors])
+        off = np.array([np.delete(a.prestige, a.primary_domain).mean()
+                        for a in tiny_world.authors])
+        assert primary.mean() > off.mean()
+
+    def test_impact_increases_with_author_prestige(self, tiny_world):
+        """The planted signal: prestige correlates with labels."""
+        world = tiny_world
+        prestige = np.array([
+            np.mean([world.authors[a].prestige[p.domain] for a in p.author_ids])
+            for p in world.papers
+        ])
+        corr = np.corrcoef(prestige, world.labels())[0, 1]
+        assert corr > 0.3
+
+    def test_quality_terms_per_domain(self, tiny_world):
+        data_terms = tiny_world.quality_terms(0)
+        assert "mining" in data_terms
+        assert "data" in data_terms  # the anchor name itself
+        assert "kernel" not in data_terms
+
+    def test_generic_terms_have_no_domain(self, tiny_world):
+        assert tiny_world.term_truth["novel"] == (-1, 0.0)
+
+    def test_keywords_are_noisy_subset(self, tiny_world):
+        # Keywords mostly overlap titles but include injected noise.
+        overlap, noise = 0, 0
+        for p in tiny_world.papers:
+            for k in p.keywords:
+                if k in p.title:
+                    overlap += 1
+                else:
+                    noise += 1
+        assert overlap > 0 and noise > 0
+
+    def test_domain_names_default(self):
+        assert len(DOMAIN_NAMES) == 9
+
+
+class TestSplit:
+    def test_temporal_split_boundaries(self):
+        years = np.array([2004, 2013, 2014, 2015, 2020])
+        train, val, test = temporal_split(years)
+        assert list(train) == [0, 1]
+        assert list(val) == [2]
+        assert list(test) == [3, 4]
+
+    def test_split_constants(self):
+        assert TRAIN_BEFORE == 2014 and VAL_YEAR == 2014 and TEST_FROM == 2015
+
+    def test_splits_disjoint_and_partition(self, tiny_dataset):
+        ds = tiny_dataset
+        all_idx = np.concatenate([ds.train_idx, ds.val_idx, ds.test_idx])
+        assert len(np.unique(all_idx)) == len(all_idx) == ds.num_papers
+
+    def test_early_stopping_split_properties(self, tiny_dataset):
+        fit, stop = tiny_dataset.early_stopping_split()
+        years = tiny_dataset.graph.get_attr(PAPER, "year")
+        assert np.all(years[fit] < TRAIN_BEFORE - 2)
+        assert len(np.intersect1d(fit, stop)) == 0
+        assert np.all(years[stop] <= VAL_YEAR)
+
+
+class TestDatasets:
+    def test_full_graph_schema_complete(self, tiny_dataset):
+        graph = tiny_dataset.graph
+        assert graph.num_nodes[PAPER] == len(tiny_dataset.world.papers)
+        for key in [(PAPER, "cites", PAPER), (PAPER, "written_by", AUTHOR),
+                    (AUTHOR, "writes", PAPER), (PAPER, "published_in", VENUE),
+                    (VENUE, "publishes", PAPER), (PAPER, "mentions", TERM),
+                    (TERM, "mentioned_by", PAPER)]:
+            assert key in graph.edges
+
+    def test_bidirectional_edges_mirror(self, tiny_dataset):
+        graph = tiny_dataset.graph
+        fwd = graph.edges[(PAPER, "written_by", AUTHOR)]
+        bwd = graph.edges[(AUTHOR, "writes", PAPER)]
+        assert set(zip(fwd.src, fwd.dst)) == set(zip(bwd.dst, bwd.src))
+
+    def test_cites_direction_avoids_leakage(self, tiny_dataset):
+        """cites edges must run cited(old) -> citing(new)."""
+        graph = tiny_dataset.graph
+        years = graph.get_attr(PAPER, "year")
+        cites = graph.edges[(PAPER, "cites", PAPER)]
+        assert np.all(years[cites.src] < years[cites.dst])
+
+    def test_features_attached_everywhere(self, tiny_dataset):
+        graph = tiny_dataset.graph
+        for t in (PAPER, AUTHOR, VENUE, TERM):
+            assert t in graph.node_features
+            assert np.all(np.isfinite(graph.node_features[t]))
+
+    def test_labels_match_attr(self, tiny_dataset):
+        graph_labels = tiny_dataset.graph.get_attr(PAPER, "label")
+        assert np.allclose(graph_labels, tiny_dataset.labels)
+
+    def test_random_keeps_counts_rewires_targets(self, tiny_dataset,
+                                                 tiny_random_dataset):
+        full = tiny_dataset.graph.edges[(PAPER, "mentions", TERM)]
+        rnd = tiny_random_dataset.graph.edges[(PAPER, "mentions", TERM)]
+        assert full.num_edges == rnd.num_edges
+        assert np.array_equal(full.src, rnd.src)  # same papers, same counts
+        assert not np.array_equal(full.dst, rnd.dst)  # rewired targets
+
+    def test_random_shares_text_and_labels(self, tiny_dataset,
+                                           tiny_random_dataset):
+        assert np.allclose(tiny_dataset.labels, tiny_random_dataset.labels)
+        assert tiny_dataset.text is tiny_random_dataset.text
+
+    def test_single_restricted_to_data_venues(self, tiny_single_dataset):
+        ds = tiny_single_dataset
+        for paper in ds.world.papers:
+            assert ds.world.venues[paper.venue_id].domain == 0
+
+    def test_single_references_remapped(self, tiny_single_dataset):
+        n = len(tiny_single_dataset.world.papers)
+        for paper in tiny_single_dataset.world.papers:
+            for ref in paper.references:
+                assert 0 <= ref < n
+        tiny_single_dataset.graph.validate()
+
+    def test_single_smaller_than_full(self, tiny_dataset, tiny_single_dataset):
+        assert (tiny_single_dataset.num_papers < tiny_dataset.num_papers)
+
+    def test_statistics_table1_shape(self, tiny_dataset):
+        stats = tiny_dataset.statistics()
+        assert set(stats) == {"#paper", "#author", "#venue", "#term", "#links"}
+
+
+class TestIO:
+    def test_graph_roundtrip(self, tiny_dataset, tmp_path):
+        path = tmp_path / "graph"
+        save_graph(tiny_dataset.graph, path)
+        loaded = load_graph(path)
+        assert loaded.num_nodes == tiny_dataset.graph.num_nodes
+        assert loaded.total_edges == tiny_dataset.graph.total_edges
+        for t, feats in tiny_dataset.graph.node_features.items():
+            assert np.allclose(loaded.node_features[t], feats)
+        assert np.allclose(loaded.get_attr(PAPER, "label"),
+                           tiny_dataset.labels)
+        assert loaded.node_names[TERM] == tiny_dataset.graph.node_names[TERM]

@@ -1,0 +1,62 @@
+"""Property-based tests (hypothesis) on the data substrate invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import WorldConfig, generate_world, temporal_split
+from repro.data.dblp import TRAIN_BEFORE
+
+from .conftest import TINY_DOMAINS
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    num_papers=st.integers(min_value=30, max_value=120),
+    num_authors=st.integers(min_value=10, max_value=40),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_world_invariants(num_papers, num_authors, seed):
+    """Any reasonable config yields a structurally valid world."""
+    world = generate_world(WorldConfig(
+        num_papers=num_papers, num_authors=num_authors,
+        venues_per_domain=1, seed=seed, domain_names=TINY_DOMAINS,
+    ))
+    years = world.years()
+    labels = world.labels()
+    assert len(world.papers) == num_papers
+    assert np.all(labels > 0)
+    assert np.all(np.diff(years) >= 0)
+    for paper in world.papers:
+        assert paper.author_ids, "every paper has at least one author"
+        assert len(set(paper.author_ids)) == len(paper.author_ids)
+        assert 0 <= paper.venue_id < len(world.venues)
+        assert paper.title, "every paper has a title"
+        for ref in paper.references:
+            assert world.papers[ref].year < paper.year
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_labels_reflect_impact_monotonically(seed):
+    """Papers in the top impact quartile out-cite the bottom quartile."""
+    world = generate_world(WorldConfig(
+        num_papers=100, num_authors=30, venues_per_domain=1, seed=seed,
+        domain_names=TINY_DOMAINS,
+    ))
+    impacts = np.array([p.impact for p in world.papers])
+    labels = world.labels()
+    lo, hi = np.quantile(impacts, [0.25, 0.75])
+    assert labels[impacts >= hi].mean() > labels[impacts <= lo].mean()
+
+
+@settings(max_examples=20, deadline=None)
+@given(years=st.lists(st.integers(min_value=2004, max_value=2020),
+                      min_size=1, max_size=60))
+def test_temporal_split_is_partition(years):
+    arr = np.array(sorted(years))
+    train, val, test = temporal_split(arr)
+    joined = np.concatenate([train, val, test])
+    assert len(joined) == len(arr)
+    assert len(np.unique(joined)) == len(arr)
+    assert np.all(arr[train] < TRAIN_BEFORE)

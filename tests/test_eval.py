@@ -1,0 +1,125 @@
+"""Tests for metrics, significance testing, runners, and reporting."""
+
+import numpy as np
+import pytest
+
+from repro.eval import (
+    ModelResult,
+    default_cate_config,
+    evaluate_model,
+    mae,
+    make_cate_variants,
+    paired_significance,
+    r2,
+    render_bar_chart,
+    render_series,
+    render_table,
+    render_table2,
+    rmse,
+    run_roster,
+    significance_stars,
+)
+
+
+class TestMetrics:
+    def test_rmse_zero_for_perfect(self):
+        y = np.array([1.0, 2.0, 3.0])
+        assert rmse(y, y) == 0.0
+
+    def test_rmse_known_value(self):
+        assert rmse(np.zeros(4), np.full(4, 2.0)) == 2.0
+
+    def test_rmse_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            rmse(np.zeros(3), np.zeros(4))
+
+    def test_rmse_empty_is_nan(self):
+        assert np.isnan(rmse(np.array([]), np.array([])))
+
+    def test_mae(self):
+        assert mae(np.array([0.0, 0.0]), np.array([1.0, -3.0])) == 2.0
+
+    def test_r2_perfect_and_mean(self):
+        y = np.array([1.0, 2.0, 3.0])
+        assert r2(y, y) == 1.0
+        assert abs(r2(y, np.full(3, 2.0))) < 1e-12
+
+    def test_paired_significance_detects_better_model(self):
+        rng = np.random.default_rng(0)
+        y = rng.normal(size=200)
+        good = y + rng.normal(0, 0.1, size=200)
+        bad = y + rng.normal(0, 1.0, size=200)
+        t, p = paired_significance(y, good, bad)
+        assert t < 0 and p < 0.01
+
+    def test_paired_significance_symmetric_models(self):
+        rng = np.random.default_rng(0)
+        y = rng.normal(size=200)
+        a = y + rng.normal(0, 0.5, size=200)
+        t, p = paired_significance(y, a, a)
+        assert np.isnan(p) or p > 0.9  # identical errors: no signal
+
+
+class TestRunner:
+    def test_evaluate_model_fields(self, tiny_dataset):
+        from repro.baselines import CCP
+
+        result = evaluate_model("CCP", CCP(), tiny_dataset)
+        assert isinstance(result, ModelResult)
+        assert result.name == "CCP"
+        assert result.dataset == tiny_dataset.name
+        assert np.isfinite(result.test_rmse)
+        assert result.seconds > 0
+        assert result.predictions.shape == (tiny_dataset.num_papers,)
+
+    def test_make_cate_variants_flags(self):
+        variants = make_cate_variants(dim=8)
+        assert set(variants) == {"HGN", "CA-HGN", "CATE-HGN"}
+        assert not variants["HGN"].config.use_ca
+        assert not variants["HGN"].config.use_te
+        assert variants["CA-HGN"].config.use_ca
+        assert not variants["CA-HGN"].config.use_te
+        assert variants["CATE-HGN"].config.use_ca
+        assert variants["CATE-HGN"].config.use_te
+
+    def test_default_cate_config_overrides(self):
+        cfg = default_cate_config(dim=8, outer_iters=99)
+        assert cfg.dim == 8 and cfg.outer_iters == 99
+
+    def test_run_roster_and_stars(self, tiny_dataset):
+        from repro.baselines import CCP, CPDF
+
+        results = run_roster(tiny_dataset, {"CCP": CCP(), "CATE-HGN": CPDF()})
+        table = {tiny_dataset.name: results}
+        stars = significance_stars(table, {tiny_dataset.name: tiny_dataset})
+        assert set(stars) == {tiny_dataset.name}
+        assert isinstance(stars[tiny_dataset.name], bool)
+
+
+class TestReporting:
+    def test_render_table_alignment(self):
+        out = render_table(["a", "bb"], [["1", "2"], ["333", "4"]], "T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "333" in out
+
+    def test_render_table2_layout(self):
+        class R:
+            def __init__(self, v):
+                self.test_rmse = v
+
+        results = {"full": {"BERT": R(2.0), "CATE-HGN": R(1.0)}}
+        out = render_table2(results, ["BERT", "CATE-HGN", "missing"],
+                            stars={"full": True})
+        assert "1.0000*" in out
+        assert "2.0000" in out
+        assert "-" in out  # missing model row
+
+    def test_render_bar_chart(self):
+        out = render_bar_chart(["a", "bb"], [1.0, 2.0], title="Fig")
+        assert out.splitlines()[0] == "Fig"
+        assert out.count("#") > 0
+
+    def test_render_series(self):
+        out = render_series([2, 5], [1.5, 1.25], title="sweep", x_name="K")
+        assert "K" in out and "1.2500" in out

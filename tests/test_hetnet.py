@@ -1,0 +1,251 @@
+"""Unit tests for the heterogeneous network data model."""
+
+import numpy as np
+import pytest
+
+from repro.hetnet import (
+    AUTHOR,
+    FUNDAMENTAL_METAPATHS,
+    PAPER,
+    TERM,
+    VENUE,
+    HeteroGraph,
+    Schema,
+    metapath_pairs,
+    metapath_random_walks,
+    negative_nodes,
+    publication_schema,
+    sample_neighborhood,
+    validate_metapath,
+)
+
+
+def small_graph() -> HeteroGraph:
+    graph = HeteroGraph(publication_schema())
+    graph.add_nodes(PAPER, 4, names=[f"p{i}" for i in range(4)])
+    graph.add_nodes(AUTHOR, 3)
+    graph.add_nodes(VENUE, 2)
+    graph.add_nodes(TERM, 2)
+    # cites: src = cited, dst = citing.
+    graph.set_edges((PAPER, "cites", PAPER), [0, 1], [2, 2])
+    graph.set_edges((PAPER, "written_by", AUTHOR), [0, 1, 2, 3], [0, 0, 1, 2])
+    graph.set_edges((AUTHOR, "writes", PAPER), [0, 0, 1, 2], [0, 1, 2, 3])
+    graph.set_edges((PAPER, "published_in", VENUE), [0, 1, 2, 3], [0, 0, 1, 1])
+    graph.set_edges((VENUE, "publishes", PAPER), [0, 0, 1, 1], [0, 1, 2, 3])
+    graph.set_edges((PAPER, "mentions", TERM), [0, 2], [0, 1], [0.5, 2.0])
+    graph.set_edges((TERM, "mentioned_by", PAPER), [0, 1], [0, 2], [0.5, 2.0])
+    return graph
+
+
+class TestSchema:
+    def test_publication_schema_types(self):
+        schema = publication_schema()
+        assert set(schema.node_types) == {PAPER, AUTHOR, VENUE, TERM}
+        assert len(schema.edge_types) == 7  # cites is single-direction
+
+    def test_no_cited_by_direction(self):
+        schema = publication_schema()
+        keys = [et.key for et in schema.edge_types]
+        assert (PAPER, "cites", PAPER) in keys
+        assert not any(rel == "cited_by" for _, rel, _ in keys)
+
+    def test_schema_without_terms(self):
+        schema = publication_schema(include_terms=False)
+        assert TERM not in schema.node_types
+        assert len(schema.edge_types) == 5
+
+    def test_duplicate_node_type_rejected(self):
+        schema = publication_schema()
+        with pytest.raises(ValueError):
+            schema.add_node_type(PAPER)
+
+    def test_duplicate_edge_type_rejected(self):
+        schema = publication_schema()
+        with pytest.raises(ValueError):
+            schema.add_edge_type(PAPER, "cites", PAPER)
+
+    def test_edge_type_with_unknown_node_rejected(self):
+        schema = Schema()
+        schema.__post_init__()
+        schema.add_node_type("a")
+        with pytest.raises(ValueError):
+            schema.add_edge_type("a", "r", "b")
+
+    def test_edge_types_into_and_from(self):
+        schema = publication_schema()
+        into_paper = {et.relation for et in schema.edge_types_into(PAPER)}
+        assert into_paper == {"cites", "writes", "publishes", "mentioned_by"}
+        from_paper = {et.relation for et in schema.edge_types_from(PAPER)}
+        assert from_paper == {"cites", "written_by", "published_in", "mentions"}
+
+
+class TestGraph:
+    def test_statistics(self):
+        graph = small_graph()
+        stats = graph.statistics()
+        assert stats["#paper"] == 4
+        assert stats["#links"] == graph.total_edges == 22
+
+    def test_validate_catches_out_of_range(self):
+        graph = small_graph()
+        graph.edges[(PAPER, "cites", PAPER)].src[0] = 99
+        with pytest.raises(ValueError):
+            graph.validate()
+
+    def test_set_edges_rejects_out_of_range(self):
+        graph = small_graph()
+        with pytest.raises(ValueError):
+            graph.set_edges((PAPER, "cites", PAPER), [9], [0])
+
+    def test_set_edges_rejects_unknown_type(self):
+        graph = small_graph()
+        with pytest.raises(ValueError):
+            graph.set_edges((PAPER, "likes", PAPER), [0], [1])
+
+    def test_features_shape_checked(self):
+        graph = small_graph()
+        with pytest.raises(ValueError):
+            graph.set_features(PAPER, np.zeros((3, 8)))
+
+    def test_attrs_roundtrip(self):
+        graph = small_graph()
+        graph.set_attr(PAPER, "year", np.arange(4))
+        assert graph.has_attr(PAPER, "year")
+        assert np.all(graph.get_attr(PAPER, "year") == np.arange(4))
+
+    def test_csr_neighbors(self):
+        graph = small_graph()
+        csr = graph.csr((VENUE, "publishes", PAPER))
+        src, w = csr.neighbors(2)  # papers published_in? dst=paper 2
+        assert list(src) == [1]
+
+    def test_in_degree(self):
+        graph = small_graph()
+        deg = graph.in_degree((PAPER, "cites", PAPER))
+        assert list(deg) == [0, 0, 2, 0]
+
+    def test_to_homogeneous_offsets(self):
+        graph = small_graph()
+        src, dst, weight, offsets = graph.to_homogeneous()
+        assert len(src) == graph.total_edges
+        assert src.max() < graph.total_nodes
+        assert offsets[AUTHOR][0] == graph.num_nodes[PAPER]
+
+    def test_subgraph_remaps_edges(self):
+        graph = small_graph()
+        sub, selected = graph.subgraph({PAPER: np.array([0, 2]),
+                                        AUTHOR: np.array([0, 1]),
+                                        VENUE: np.array([0, 1]),
+                                        TERM: np.array([0, 1])})
+        assert sub.num_nodes[PAPER] == 2
+        cites = sub.edges[(PAPER, "cites", PAPER)]
+        # Only 0 -> 2 survives (1 was dropped); remapped to 0 -> 1.
+        assert list(cites.src) == [0] and list(cites.dst) == [1]
+
+    def test_subgraph_slices_names_and_attrs(self):
+        graph = small_graph()
+        graph.set_attr(PAPER, "year", np.array([5, 6, 7, 8]))
+        sub, _ = graph.subgraph({PAPER: np.array([1, 3]),
+                                 AUTHOR: np.array([], dtype=np.intp),
+                                 VENUE: np.array([], dtype=np.intp),
+                                 TERM: np.array([], dtype=np.intp)})
+        assert sub.node_names[PAPER] == ["p1", "p3"]
+        assert list(sub.get_attr(PAPER, "year")) == [6, 8]
+
+    def test_to_networkx_export(self):
+        graph = small_graph()
+        graph.set_attr(PAPER, "year", np.array([5, 6, 7, 8]))
+        nx_graph = graph.to_networkx()
+        assert nx_graph.number_of_nodes() == graph.total_nodes
+        assert nx_graph.number_of_edges() == graph.total_edges
+        assert nx_graph.nodes[(PAPER, 0)]["name"] == "p0"
+        assert nx_graph.nodes[(PAPER, 2)]["year"] == 7
+        relations = {d["relation"]
+                     for _u, _v, d in nx_graph.edges(data=True)}
+        assert "cites" in relations and "mentions" in relations
+
+    def test_full_subgraph_is_clone(self):
+        graph = small_graph()
+        clone, _ = graph.subgraph(
+            {t: np.arange(graph.num_nodes[t]) for t in graph.schema.node_types}
+        )
+        assert clone.total_edges == graph.total_edges
+        assert clone.num_nodes == graph.num_nodes
+
+
+class TestSampling:
+    def test_neighborhood_contains_seeds(self):
+        graph = small_graph()
+        rng = np.random.default_rng(0)
+        sub, selected, seed_local = sample_neighborhood(
+            graph, np.array([2]), hops=2, fanout=10, rng=rng
+        )
+        assert 2 in selected[PAPER]
+        assert sub.num_nodes[PAPER] == len(selected[PAPER])
+        # Seed position maps back to original id 2.
+        assert selected[PAPER][seed_local[0]] == 2
+
+    def test_fanout_limits_expansion(self):
+        graph = small_graph()
+        rng = np.random.default_rng(0)
+        sub_small, sel_small, _ = sample_neighborhood(
+            graph, np.array([2]), hops=1, fanout=1, rng=rng
+        )
+        sub_big, sel_big, _ = sample_neighborhood(
+            graph, np.array([2]), hops=1, fanout=10, rng=rng
+        )
+        total_small = sum(len(v) for v in sel_small.values())
+        total_big = sum(len(v) for v in sel_big.values())
+        assert total_small <= total_big
+
+    def test_negative_nodes_avoid_exclusions_mostly(self):
+        rng = np.random.default_rng(0)
+        exclude = np.zeros(100, dtype=np.intp)
+        negs = negative_nodes(50, 100, rng, exclude=exclude)
+        # One redraw pass: collisions should be rare, not the norm.
+        assert (negs == 0).mean() < 0.2
+
+
+class TestMetapaths:
+    def test_fundamental_paths_chain(self):
+        for path in FUNDAMENTAL_METAPATHS.values():
+            validate_metapath(path)
+
+    def test_broken_path_rejected(self):
+        with pytest.raises(ValueError):
+            validate_metapath(((PAPER, "written_by", AUTHOR),
+                               (VENUE, "publishes", PAPER)))
+
+    def test_pap_pairs(self):
+        graph = small_graph()
+        src, dst = metapath_pairs(graph, FUNDAMENTAL_METAPATHS["P-A-P"])
+        pairs = set(zip(src.tolist(), dst.tolist()))
+        # Author 0 wrote papers 0 and 1 -> all ordered pairs incl self.
+        assert (0, 1) in pairs and (1, 0) in pairs
+
+    def test_pvp_pairs_cover_same_venue(self):
+        graph = small_graph()
+        src, dst = metapath_pairs(graph, FUNDAMENTAL_METAPATHS["P-V-P"])
+        pairs = set(zip(src.tolist(), dst.tolist()))
+        assert (2, 3) in pairs and (3, 2) in pairs
+
+    def test_max_pairs_cap(self):
+        graph = small_graph()
+        rng = np.random.default_rng(0)
+        src, dst = metapath_pairs(graph, FUNDAMENTAL_METAPATHS["P-V-P"],
+                                  max_pairs=3, rng=rng)
+        assert len(src) == 3
+
+    def test_random_walks_respect_types(self):
+        graph = small_graph()
+        rng = np.random.default_rng(0)
+        walks = metapath_random_walks(
+            graph, [FUNDAMENTAL_METAPATHS["P-A-P"]], walks_per_node=2,
+            walk_length=5, rng=rng,
+        )
+        assert len(walks) == graph.num_nodes[PAPER] * 2
+        for walk in walks:
+            types = [t for t, _ in walk]
+            assert types[0] == PAPER
+            for i, t in enumerate(types):
+                assert t == (PAPER if i % 2 == 0 else AUTHOR)

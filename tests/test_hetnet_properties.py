@@ -1,0 +1,71 @@
+"""Property-based tests on heterogeneous-graph invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hetnet import AUTHOR, PAPER, TERM, VENUE, sample_neighborhood
+
+from .test_hetnet import small_graph
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    papers=st.lists(st.integers(min_value=0, max_value=3), min_size=1,
+                    max_size=4),
+    authors=st.lists(st.integers(min_value=0, max_value=2), min_size=0,
+                     max_size=3),
+)
+def test_subgraph_never_invents_edges(papers, authors):
+    graph = small_graph()
+    sub, selected = graph.subgraph({
+        PAPER: np.array(papers),
+        AUTHOR: np.array(authors, dtype=np.intp),
+        VENUE: np.arange(2),
+        TERM: np.arange(2),
+    })
+    sub.validate()
+    for key, edge in sub.edges.items():
+        src_type, _, dst_type = key
+        original = graph.edges[key]
+        original_pairs = set(zip(original.src.tolist(),
+                                 original.dst.tolist()))
+        for s, d in zip(edge.src, edge.dst):
+            orig = (int(selected[src_type][s]), int(selected[dst_type][d]))
+            assert orig in original_pairs
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=1000),
+    hops=st.integers(min_value=1, max_value=3),
+    fanout=st.integers(min_value=1, max_value=5),
+)
+def test_sample_neighborhood_invariants(seed, hops, fanout):
+    graph = small_graph()
+    rng = np.random.default_rng(seed)
+    seeds = np.array([2, 3])
+    sub, selected, seed_local = sample_neighborhood(graph, seeds, hops=hops,
+                                                    fanout=fanout, rng=rng)
+    sub.validate()
+    # Seeds always survive and map back correctly.
+    assert set(seeds.tolist()) <= set(selected[PAPER].tolist())
+    assert np.array_equal(selected[PAPER][seed_local], seeds)
+    # Sampling never selects more nodes than exist.
+    for t, ids in selected.items():
+        assert len(ids) <= graph.num_nodes[t]
+        assert len(np.unique(ids)) == len(ids)
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=1000))
+def test_sampled_subgraph_is_subset_of_full_expansion(seed):
+    graph = small_graph()
+    rng = np.random.default_rng(seed)
+    _sub_s, sel_small, _ = sample_neighborhood(graph, np.array([2]), hops=2,
+                                               fanout=1, rng=rng)
+    _sub_f, sel_full, _ = sample_neighborhood(graph, np.array([2]), hops=2,
+                                              fanout=100,
+                                              rng=np.random.default_rng(0))
+    for t in sel_small:
+        assert set(sel_small[t].tolist()) <= set(sel_full[t].tolist())

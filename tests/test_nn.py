@@ -1,0 +1,228 @@
+"""Unit tests for the nn layer library: modules, layers, losses, optim."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    MLP,
+    SGD,
+    Adam,
+    Dropout,
+    Embedding,
+    LayerNorm,
+    Linear,
+    Module,
+    Parameter,
+    Sequential,
+    bce_with_logits,
+    jsd_mi_estimate,
+    kl_divergence,
+    l1_loss,
+    mse_loss,
+)
+from repro.nn.layers import Activation
+from repro.tensor import Tensor
+
+
+class TestModule:
+    def test_parameter_registration(self, rng):
+        class Net(Module):
+            def __init__(self):
+                super().__init__()
+                self.w = Parameter(np.ones(3))
+                self.child = Linear(2, 2, rng)
+
+        net = Net()
+        names = dict(net.named_parameters())
+        assert "w" in names
+        assert "child.weight" in names and "child.bias" in names
+        assert net.num_parameters() == 3 + 4 + 2
+
+    def test_zero_grad_clears_all(self, rng):
+        layer = Linear(2, 2, rng)
+        out = layer(Tensor(np.ones((1, 2)))).sum()
+        out.backward()
+        assert layer.weight.grad is not None
+        layer.zero_grad()
+        assert layer.weight.grad is None
+
+    def test_train_eval_propagates(self, rng):
+        seq = Sequential(Linear(2, 2, rng), Dropout(0.5, rng))
+        seq.eval()
+        assert not seq.training
+        for module in seq:
+            assert not module.training
+
+    def test_state_dict_roundtrip(self, rng):
+        a, b = Linear(3, 2, rng), Linear(3, 2, rng)
+        b.load_state_dict(a.state_dict())
+        assert np.allclose(a.weight.data, b.weight.data)
+
+    def test_state_dict_rejects_mismatched_keys(self, rng):
+        a = Linear(3, 2, rng)
+        with pytest.raises(KeyError):
+            a.load_state_dict({"nope": np.zeros(1)})
+
+    def test_state_dict_rejects_bad_shapes(self, rng):
+        a = Linear(3, 2, rng)
+        state = a.state_dict()
+        state["weight"] = np.zeros((1, 1))
+        with pytest.raises(ValueError):
+            a.load_state_dict(state)
+
+    def test_state_dict_copies(self, rng):
+        a = Linear(3, 2, rng)
+        state = a.state_dict()
+        state["weight"][:] = 99.0
+        assert not np.allclose(a.weight.data, 99.0)
+
+
+class TestLayers:
+    def test_linear_shapes_and_values(self, rng):
+        layer = Linear(4, 2, rng)
+        x = np.ones((5, 4))
+        out = layer(Tensor(x))
+        assert out.shape == (5, 2)
+        assert np.allclose(out.data, x @ layer.weight.data + layer.bias.data)
+
+    def test_linear_no_bias(self, rng):
+        layer = Linear(4, 2, rng, bias=False)
+        assert layer.bias is None
+        assert sum(1 for _ in layer.parameters()) == 1
+
+    def test_embedding_lookup_and_grad(self, rng):
+        emb = Embedding(6, 3, rng)
+        out = emb(np.array([1, 1, 4]))
+        assert out.shape == (3, 3)
+        out.sum().backward()
+        assert np.allclose(emb.weight.grad[1], 2.0)
+        assert np.allclose(emb.weight.grad[4], 1.0)
+        assert np.allclose(emb.weight.grad[0], 0.0)
+
+    def test_layernorm_normalizes(self, rng):
+        ln = LayerNorm(8)
+        x = Tensor(rng.normal(2.0, 5.0, size=(4, 8)))
+        out = ln(x).data
+        assert np.allclose(out.mean(axis=1), 0.0, atol=1e-6)
+        assert np.allclose(out.std(axis=1), 1.0, atol=1e-2)
+
+    def test_dropout_training_changes_values(self):
+        rng = np.random.default_rng(1)
+        layer = Dropout(0.5, rng)
+        x = Tensor(np.ones((10, 10)))
+        out = layer(x).data
+        assert (out == 0).any()
+        layer.eval()
+        assert np.allclose(layer(x).data, 1.0)
+
+    def test_sequential_and_activation(self, rng):
+        seq = Sequential(Linear(3, 3, rng), Activation(lambda t: t.relu()))
+        out = seq(Tensor(-np.ones((2, 3)) * 100))
+        assert np.all(out.data >= 0)
+
+    def test_mlp_requires_two_dims(self, rng):
+        with pytest.raises(ValueError):
+            MLP([4], rng)
+
+    def test_mlp_forward_shape(self, rng):
+        mlp = MLP([4, 8, 8, 1], rng)
+        assert mlp(Tensor(np.zeros((5, 4)))).shape == (5, 1)
+
+    def test_mlp_output_activation(self, rng):
+        mlp = MLP([4, 4, 1], rng, output_activation=lambda t: t.sigmoid())
+        out = mlp(Tensor(np.random.default_rng(0).normal(size=(5, 4)))).data
+        assert np.all((out > 0) & (out < 1))
+
+
+class TestLosses:
+    def test_mse_reductions(self):
+        pred, target = Tensor([1.0, 3.0]), np.array([0.0, 0.0])
+        assert mse_loss(pred, target).item() == 5.0
+        assert mse_loss(pred, target, reduction="sum").item() == 10.0
+        assert mse_loss(pred, target, reduction="none").shape == (2,)
+
+    def test_l1(self):
+        assert l1_loss(Tensor([2.0, -2.0]), np.zeros(2)).item() == 2.0
+
+    def test_bce_matches_reference(self, rng):
+        logits = rng.normal(size=10)
+        target = (rng.random(10) > 0.5).astype(float)
+        ours = bce_with_logits(Tensor(logits), target).item()
+        p = 1 / (1 + np.exp(-logits))
+        ref = -(target * np.log(p) + (1 - target) * np.log(1 - p)).mean()
+        assert np.isclose(ours, ref, atol=1e-8)
+
+    def test_kl_zero_for_identical(self):
+        p = Tensor(np.full((4, 3), 1 / 3))
+        assert abs(kl_divergence(p, p).item()) < 1e-8
+
+    def test_kl_positive_for_different(self):
+        p = Tensor(np.array([[0.9, 0.1]]))
+        q = Tensor(np.array([[0.5, 0.5]]))
+        assert kl_divergence(p, q).item() > 0
+
+    def test_jsd_estimator_prefers_separated_scores(self):
+        high = jsd_mi_estimate(Tensor([5.0]), Tensor([-5.0])).item()
+        low = jsd_mi_estimate(Tensor([-5.0]), Tensor([5.0])).item()
+        assert high > low
+
+
+class TestOptim:
+    def test_optimizer_requires_params(self):
+        with pytest.raises(ValueError):
+            SGD([])
+
+    def _quadratic_descent(self, make_opt, steps=200):
+        w = Parameter(np.array([5.0, -3.0]))
+        opt = make_opt([w])
+        for _ in range(steps):
+            loss = (Tensor(w.data * 0) + w * w).sum()  # ||w||^2
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+        return np.abs(w.data).max()
+
+    def test_sgd_converges_on_quadratic(self):
+        assert self._quadratic_descent(lambda p: SGD(p, lr=0.1)) < 1e-4
+
+    def test_sgd_momentum_converges(self):
+        assert self._quadratic_descent(
+            lambda p: SGD(p, lr=0.05, momentum=0.9)) < 1e-4
+
+    def test_adam_converges_on_quadratic(self):
+        assert self._quadratic_descent(lambda p: Adam(p, lr=0.3)) < 1e-3
+
+    def test_weight_decay_shrinks_weights(self):
+        w = Parameter(np.array([1.0]))
+        opt = SGD([w], lr=0.1, weight_decay=1.0)
+        w.grad = np.array([0.0])
+        opt.step()
+        assert w.data[0] < 1.0
+
+    def test_clip_grad_norm(self):
+        w = Parameter(np.zeros(4))
+        w.grad = np.full(4, 10.0)
+        opt = SGD([w], lr=0.1)
+        norm = opt.clip_grad_norm(1.0)
+        assert norm == pytest.approx(20.0)
+        assert np.isclose(np.linalg.norm(w.grad), 1.0)
+
+    def test_step_skips_params_without_grad(self):
+        w = Parameter(np.ones(2))
+        opt = Adam([w])
+        opt.step()  # no grad set — must not crash or move weights
+        assert np.allclose(w.data, 1.0)
+
+    def test_linear_regression_end_to_end(self, rng):
+        true_w = np.array([[2.0], [-1.0]])
+        X = rng.normal(size=(64, 2))
+        y = X @ true_w
+        layer = Linear(2, 1, rng)
+        opt = Adam(list(layer.parameters()), lr=0.05)
+        for _ in range(300):
+            pred = layer(Tensor(X))
+            loss = ((pred - Tensor(y)) ** 2).mean()
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+        assert np.allclose(layer.weight.data, true_w, atol=0.05)

@@ -1,0 +1,57 @@
+"""Property-based tests on nn-layer invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.nn import Adam, LayerNorm, Linear, Parameter
+from repro.tensor import Tensor
+
+floats = st.floats(min_value=-10, max_value=10, allow_nan=False,
+                   allow_infinity=False)
+
+
+def arrays(shape):
+    return hnp.arrays(np.float64, shape, elements=floats)
+
+
+@settings(max_examples=25, deadline=None)
+@given(arrays((4, 6)))
+def test_layernorm_output_statistics(x):
+    out = LayerNorm(6)(Tensor(x)).data
+    assert np.allclose(out.mean(axis=1), 0.0, atol=1e-6)
+
+
+@settings(max_examples=25, deadline=None)
+@given(arrays((3, 4)), arrays((3, 4)))
+def test_linear_is_linear(a, b):
+    rng = np.random.default_rng(0)
+    layer = Linear(4, 2, rng, bias=False)
+    lhs = layer(Tensor(a + b)).data
+    rhs = (layer(Tensor(a)) + layer(Tensor(b))).data
+    assert np.allclose(lhs, rhs, atol=1e-8)
+
+
+@settings(max_examples=25, deadline=None)
+@given(arrays((5,)), st.floats(min_value=1e-4, max_value=0.5))
+def test_adam_first_step_bounded_by_lr(grad, lr):
+    """Adam's first update magnitude is ~lr per coordinate (bias-corrected)."""
+    w = Parameter(np.zeros(5))
+    opt = Adam([w], lr=lr)
+    w.grad = grad.copy()
+    opt.step()
+    moved = np.abs(w.data)
+    assert np.all(moved <= 1.5 * lr + 1e-12)
+    # Coordinates with a real gradient actually move.
+    assert np.all(moved[np.abs(grad) > 1e-6] > 0)
+
+
+@settings(max_examples=25, deadline=None)
+@given(arrays((4, 3)))
+def test_linear_bias_adds_constant_row(x):
+    rng = np.random.default_rng(1)
+    layer = Linear(3, 2, rng, bias=True)
+    with_bias = layer(Tensor(x)).data
+    no_bias = (Tensor(x) @ layer.weight).data
+    assert np.allclose(with_bias - no_bias, layer.bias.data, atol=1e-9)

@@ -1,0 +1,179 @@
+"""Unit tests for functional tensor ops (graph primitives, compositions)."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import (
+    Tensor,
+    circular_convolution,
+    circular_correlation,
+    concatenate,
+    dropout,
+    gather,
+    log_softmax,
+    numerical_gradient,
+    segment_mean,
+    segment_softmax,
+    segment_sum,
+    softmax,
+    stack,
+    where,
+)
+from .test_tensor_core import gradcheck
+
+
+class TestConcatStack:
+    def test_concatenate_values(self):
+        a, b = Tensor([[1.0], [2.0]]), Tensor([[3.0], [4.0]])
+        assert np.allclose(concatenate([a, b], axis=1).data, [[1, 3], [2, 4]])
+
+    def test_concatenate_grad_routing(self, rng):
+        a = Tensor(rng.normal(size=(3, 2)), requires_grad=True)
+        b = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        gradcheck(lambda: (concatenate([a, b], axis=1) ** 2).sum(), a, b)
+
+    def test_concatenate_axis0_grad(self, rng):
+        a = Tensor(rng.normal(size=(2, 3)), requires_grad=True)
+        b = Tensor(rng.normal(size=(4, 3)), requires_grad=True)
+        gradcheck(lambda: (concatenate([a, b], axis=0) ** 2).sum(), a, b)
+
+    def test_stack_scalars(self):
+        xs = [Tensor(float(i), requires_grad=True) for i in range(3)]
+        out = stack(xs, axis=0)
+        assert out.shape == (3,)
+        (out * Tensor([1.0, 2.0, 3.0])).sum().backward()
+        assert [x.grad for x in xs] == [1.0, 2.0, 3.0]
+
+
+class TestGatherSegments:
+    def test_gather_values(self):
+        x = Tensor(np.arange(12.0).reshape(4, 3))
+        assert np.allclose(gather(x, np.array([3, 0])).data,
+                           [[9, 10, 11], [0, 1, 2]])
+
+    def test_gather_grad_sums_duplicates(self):
+        x = Tensor(np.zeros((2, 2)), requires_grad=True)
+        out = gather(x, np.array([0, 0, 1])).sum()
+        out.backward()
+        assert np.allclose(x.grad, [[2, 2], [1, 1]])
+
+    def test_segment_sum_values(self):
+        x = Tensor(np.ones((4, 2)))
+        out = segment_sum(x, np.array([0, 1, 1, 1]), 3)
+        assert np.allclose(out.data, [[1, 1], [3, 3], [0, 0]])
+
+    def test_segment_sum_grad(self, rng):
+        x = Tensor(rng.normal(size=(5, 2)), requires_grad=True)
+        seg = np.array([0, 0, 1, 2, 2])
+        gradcheck(lambda: (segment_sum(x, seg, 3) ** 2).sum(), x)
+
+    def test_segment_mean_empty_segment_is_zero(self):
+        x = Tensor(np.ones((2, 2)))
+        out = segment_mean(x, np.array([0, 0]), 2)
+        assert np.allclose(out.data[1], 0.0)
+
+    def test_segment_mean_grad(self, rng):
+        x = Tensor(rng.normal(size=(5, 2)), requires_grad=True)
+        seg = np.array([0, 0, 0, 1, 1])
+        gradcheck(lambda: (segment_mean(x, seg, 2) ** 2).sum(), x)
+
+    def test_segment_softmax_rows_sum_to_one(self, rng):
+        scores = Tensor(rng.normal(size=7))
+        seg = np.array([0, 0, 0, 1, 1, 2, 2])
+        out = segment_softmax(scores, seg, 3).data
+        for s in range(3):
+            assert np.isclose(out[seg == s].sum(), 1.0)
+
+    def test_segment_softmax_2d_heads(self, rng):
+        scores = Tensor(rng.normal(size=(6, 3)))
+        seg = np.array([0, 0, 1, 1, 1, 1])
+        out = segment_softmax(scores, seg, 2).data
+        assert np.allclose(out[:2].sum(axis=0), 1.0)
+        assert np.allclose(out[2:].sum(axis=0), 1.0)
+
+    def test_segment_softmax_grad(self, rng):
+        scores = Tensor(rng.normal(size=6), requires_grad=True)
+        seg = np.array([0, 0, 1, 1, 1, 1])
+        w = Tensor(rng.normal(size=6))
+        gradcheck(lambda: (segment_softmax(scores, seg, 2) * w).sum(), scores)
+
+    def test_segment_softmax_large_scores_stable(self):
+        scores = Tensor(np.array([500.0, 502.0, -400.0]))
+        out = segment_softmax(scores, np.array([0, 0, 1]), 2).data
+        assert np.all(np.isfinite(out))
+
+
+class TestSoftmax:
+    def test_softmax_rows(self, rng):
+        x = Tensor(rng.normal(size=(4, 5)))
+        out = softmax(x, axis=1).data
+        assert np.allclose(out.sum(axis=1), 1.0)
+
+    def test_softmax_grad(self, rng):
+        x = Tensor(rng.normal(size=(2, 4)), requires_grad=True)
+        w = Tensor(rng.normal(size=(2, 4)))
+        gradcheck(lambda: (softmax(x, axis=1) * w).sum(), x)
+
+    def test_log_softmax_consistent(self, rng):
+        x = Tensor(rng.normal(size=(3, 4)))
+        assert np.allclose(log_softmax(x, axis=1).data,
+                           np.log(softmax(x, axis=1).data), atol=1e-8)
+
+
+class TestCircular:
+    def test_correlation_matches_definition(self, rng):
+        a, b = rng.normal(size=5), rng.normal(size=5)
+        expected = np.array(
+            [sum(a[i] * b[(i + k) % 5] for i in range(5)) for k in range(5)]
+        )
+        out = circular_correlation(Tensor(a), Tensor(b)).data
+        assert np.allclose(out, expected)
+
+    def test_convolution_matches_definition(self, rng):
+        a, b = rng.normal(size=5), rng.normal(size=5)
+        expected = np.array(
+            [sum(a[i] * b[(k - i) % 5] for i in range(5)) for k in range(5)]
+        )
+        out = circular_convolution(Tensor(a), Tensor(b)).data
+        assert np.allclose(out, expected)
+
+    def test_correlation_grad_2d(self, rng):
+        a = Tensor(rng.normal(size=(3, 6)), requires_grad=True)
+        b = Tensor(rng.normal(size=(3, 6)), requires_grad=True)
+        gradcheck(lambda: (circular_correlation(a, b) ** 2).sum(), a, b)
+
+    def test_convolution_grad_2d(self, rng):
+        a = Tensor(rng.normal(size=(3, 6)), requires_grad=True)
+        b = Tensor(rng.normal(size=(3, 6)), requires_grad=True)
+        gradcheck(lambda: (circular_convolution(a, b) ** 2).sum(), a, b)
+
+    def test_correlation_broadcast_vector_grad(self, rng):
+        a = Tensor(rng.normal(size=(4, 6)), requires_grad=True)
+        b = Tensor(rng.normal(size=6), requires_grad=True)
+        gradcheck(lambda: (circular_correlation(a, b) ** 2).sum(), a, b)
+
+
+class TestDropoutWhere:
+    def test_dropout_eval_is_identity(self, rng):
+        x = Tensor(np.ones((4, 4)))
+        assert dropout(x, 0.5, rng, training=False) is x
+
+    def test_dropout_zero_rate_is_identity(self, rng):
+        x = Tensor(np.ones((4, 4)))
+        assert dropout(x, 0.0, rng, training=True) is x
+
+    def test_dropout_preserves_expectation(self):
+        rng = np.random.default_rng(0)
+        x = Tensor(np.ones((200, 200)))
+        out = dropout(x, 0.3, rng).data
+        assert abs(out.mean() - 1.0) < 0.02
+
+    def test_where_selects_and_routes_grads(self):
+        cond = np.array([True, False, True])
+        a = Tensor([1.0, 2.0, 3.0], requires_grad=True)
+        b = Tensor([10.0, 20.0, 30.0], requires_grad=True)
+        out = where(cond, a, b)
+        assert np.allclose(out.data, [1, 20, 3])
+        out.sum().backward()
+        assert np.allclose(a.grad, [1, 0, 1])
+        assert np.allclose(b.grad, [0, 1, 0])

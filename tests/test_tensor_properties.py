@@ -1,0 +1,105 @@
+"""Property-based tests (hypothesis) for the autodiff substrate."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.tensor import (
+    Tensor,
+    circular_correlation,
+    gather,
+    segment_softmax,
+    segment_sum,
+    softmax,
+)
+
+finite_floats = st.floats(min_value=-50, max_value=50, allow_nan=False,
+                          allow_infinity=False)
+
+
+def arrays(shape):
+    return hnp.arrays(np.float64, shape, elements=finite_floats)
+
+
+@settings(max_examples=40, deadline=None)
+@given(arrays((4, 3)), arrays((4, 3)))
+def test_addition_commutes(a, b):
+    assert np.allclose((Tensor(a) + Tensor(b)).data,
+                       (Tensor(b) + Tensor(a)).data)
+
+
+@settings(max_examples=40, deadline=None)
+@given(arrays((3, 3)), arrays((3, 3)), arrays((3, 3)))
+def test_matmul_distributes_over_addition(a, b, c):
+    left = (Tensor(a) @ (Tensor(b) + Tensor(c))).data
+    right = (Tensor(a) @ Tensor(b) + Tensor(a) @ Tensor(c)).data
+    assert np.allclose(left, right, atol=1e-6)
+
+
+@settings(max_examples=40, deadline=None)
+@given(arrays((5,)))
+def test_softmax_is_probability_vector(x):
+    out = softmax(Tensor(x), axis=0).data
+    assert np.all(out >= 0)
+    assert np.isclose(out.sum(), 1.0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(arrays((5,)), st.floats(min_value=-3, max_value=3))
+def test_softmax_shift_invariance(x, shift):
+    assert np.allclose(softmax(Tensor(x), axis=0).data,
+                       softmax(Tensor(x + shift), axis=0).data, atol=1e-8)
+
+
+@settings(max_examples=40, deadline=None)
+@given(arrays((6, 2)), st.integers(min_value=1, max_value=4))
+def test_segment_sum_conserves_mass(x, num_segments):
+    seg = np.arange(6) % num_segments
+    out = segment_sum(Tensor(x), seg, num_segments).data
+    assert np.allclose(out.sum(axis=0), x.sum(axis=0), atol=1e-8)
+
+
+@settings(max_examples=40, deadline=None)
+@given(arrays((6,)))
+def test_segment_softmax_normalizes_within_segments(scores):
+    seg = np.array([0, 0, 1, 1, 1, 2])
+    out = segment_softmax(Tensor(scores), seg, 3).data
+    for s in range(3):
+        assert np.isclose(out[seg == s].sum(), 1.0, atol=1e-8)
+
+
+@settings(max_examples=40, deadline=None)
+@given(arrays((4, 3)))
+def test_gather_then_segment_sum_roundtrip(x):
+    """Sum of gathered copies equals multiplicity-weighted original."""
+    idx = np.array([0, 1, 1, 2, 3, 3, 3])
+    out = segment_sum(gather(Tensor(x), idx), idx, 4).data
+    mult = np.array([1, 2, 1, 3])[:, None]
+    assert np.allclose(out, x * mult, atol=1e-8)
+
+
+@settings(max_examples=30, deadline=None)
+@given(arrays((8,)), arrays((8,)))
+def test_circular_correlation_parseval_consistency(a, b):
+    """corr(a, b) summed equals sum(a) * sum(b) (the k-sum telescopes)."""
+    out = circular_correlation(Tensor(a), Tensor(b)).data
+    assert np.allclose(out.sum(), a.sum() * b.sum(), atol=1e-6)
+
+
+@settings(max_examples=30, deadline=None)
+@given(arrays((3, 4)))
+def test_sum_backward_is_ones(x):
+    t = Tensor(x, requires_grad=True)
+    t.sum().backward()
+    assert np.allclose(t.grad, np.ones_like(x))
+
+
+@settings(max_examples=30, deadline=None)
+@given(arrays((3, 4)), arrays((3, 4)))
+def test_product_rule_gradient(a, b):
+    ta = Tensor(a, requires_grad=True)
+    tb = Tensor(b, requires_grad=True)
+    (ta * tb).sum().backward()
+    assert np.allclose(ta.grad, b)
+    assert np.allclose(tb.grad, a)

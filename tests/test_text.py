@@ -1,0 +1,195 @@
+"""Unit tests for the text substrate: vocab, TF-IDF, PPMI, embeddings, MLM."""
+
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro.text import (
+    Corpus,
+    DistributionalMLM,
+    Vocabulary,
+    WordEmbeddings,
+    cooccurrence_counts,
+    document_frequencies,
+    ppmi,
+    tfidf_matrix_entries,
+    tokenize,
+)
+
+
+class TestVocabulary:
+    def test_tokenize_lowercases_and_splits(self):
+        assert tokenize("Graph Neural-Networks 2020!") == [
+            "graph", "neural-networks"
+        ]
+
+    def test_tokenize_keeps_hyphens_and_digits_inside(self):
+        assert tokenize("peer-to-peer x86abc") == ["peer-to-peer", "x86abc"]
+
+    def test_add_is_idempotent(self):
+        vocab = Vocabulary()
+        assert vocab.add("graph") == vocab.add("graph") == 0
+        assert len(vocab) == 1
+
+    def test_roundtrip_and_contains(self):
+        vocab = Vocabulary(["a", "b"])
+        assert vocab.token(vocab.id("b")) == "b"
+        assert "a" in vocab and "z" not in vocab
+        assert vocab.get("z") == -1
+
+    def test_encode_skips_unknown(self):
+        vocab = Vocabulary(["a"])
+        assert vocab.encode(["a", "z", "a"]) == [0, 0]
+
+    def test_encode_grow(self):
+        vocab = Vocabulary()
+        assert vocab.encode(["x", "y", "x"], skip_unknown=False) == [0, 1, 0]
+
+    def test_from_documents_min_count(self):
+        docs = [["a", "a", "b"], ["a", "c"]]
+        vocab = Vocabulary.from_documents(docs, min_count=2)
+        assert "a" in vocab and "b" not in vocab
+
+    def test_corpus_from_texts(self):
+        corpus = Corpus.from_texts(["graph mining", "graph systems"])
+        assert len(corpus) == 2
+        assert "graph" in corpus.vocabulary
+        encoded = corpus.encoded()
+        assert encoded[0][0] == encoded[1][0]  # shared token id
+
+
+class TestTFIDF:
+    def test_document_frequencies(self):
+        docs = [[0, 0, 1], [1, 2]]
+        df = document_frequencies(docs, 3)
+        assert list(df) == [1, 2, 1]
+
+    def test_tfidf_zero_for_ubiquitous_terms(self):
+        docs = [[0, 1], [0, 2]]
+        papers, tokens, weights = tfidf_matrix_entries(docs, 3)
+        assert 0 not in set(tokens)  # token 0 appears everywhere -> idf 0
+
+    def test_tfidf_matches_equation_24(self):
+        docs = [[0, 0, 1], [2]]
+        papers, tokens, weights = tfidf_matrix_entries(docs, 3)
+        entry = {(p, t): w for p, t, w in zip(papers, tokens, weights)}
+        # token 0 in doc 0: tf = 2/3, idf = log(2/1).
+        assert np.isclose(entry[(0, 0)], (2 / 3) * np.log(2))
+        assert np.isclose(entry[(0, 1)], (1 / 3) * np.log(2))
+        assert np.isclose(entry[(1, 2)], 1.0 * np.log(2))
+
+    def test_restrict_to_filters_tokens(self):
+        docs = [[0, 1, 2]]
+        papers, tokens, weights = tfidf_matrix_entries(docs, 3,
+                                                       restrict_to=[1])
+        assert set(tokens) <= {1}
+
+    def test_empty_documents_skipped(self):
+        papers, tokens, weights = tfidf_matrix_entries([[], [0]], 1)
+        assert len(papers) == len(tokens) == len(weights)
+
+
+class TestCooccurrence:
+    def test_counts_symmetric(self):
+        docs = [[0, 1, 2]]
+        counts = cooccurrence_counts(docs, 3, window=8)
+        dense = counts.toarray()
+        assert np.allclose(dense, dense.T)
+        assert dense[0, 1] == 1 and dense[1, 2] == 1
+
+    def test_window_limits_pairs(self):
+        docs = [[0, 1, 2]]
+        counts = cooccurrence_counts(docs, 3, window=1).toarray()
+        assert counts[0, 2] == 0 and counts[0, 1] == 1
+
+    def test_ppmi_nonnegative(self):
+        docs = [[0, 1], [0, 1], [2, 3]]
+        matrix = ppmi(cooccurrence_counts(docs, 4))
+        assert matrix.nnz > 0
+        assert np.all(matrix.data >= 0)
+
+    def test_ppmi_empty_counts(self):
+        matrix = ppmi(sparse.csr_matrix((3, 3)))
+        assert matrix.nnz == 0
+
+    def test_ppmi_higher_for_exclusive_pairs(self):
+        # (0,1) always co-occur exclusively; (2, x) co-occurs with everyone.
+        docs = [[0, 1]] * 5 + [[2, 3], [2, 4], [2, 5], [3, 4]]
+        matrix = ppmi(cooccurrence_counts(docs, 6)).toarray()
+        assert matrix[0, 1] > matrix[2, 3]
+
+
+class TestEmbeddings:
+    def test_fit_shapes(self):
+        corpus = Corpus.from_texts(["a b c d", "a b e f", "c d e f"])
+        emb = WordEmbeddings.fit(corpus.encoded(), corpus.vocabulary, dim=4)
+        assert emb.vectors.shape == (len(corpus.vocabulary), 4)
+        assert emb.dim == 4
+
+    def test_embed_tokens_normalized(self):
+        corpus = Corpus.from_texts(["a b c", "a b d", "c d a"])
+        emb = WordEmbeddings.fit(corpus.encoded(), corpus.vocabulary, dim=2)
+        vec = emb.embed_tokens(["a", "b"])
+        assert np.isclose(np.linalg.norm(vec), 1.0) or np.allclose(vec, 0)
+
+    def test_embed_unknown_tokens_is_zero(self):
+        corpus = Corpus.from_texts(["a b", "b c", "c a"])
+        emb = WordEmbeddings.fit(corpus.encoded(), corpus.vocabulary, dim=2)
+        assert np.allclose(emb.embed_tokens(["zzz"]), 0.0)
+
+    def test_deterministic_given_seed(self):
+        corpus = Corpus.from_texts(["a b c", "b c d", "d e a"])
+        e1 = WordEmbeddings.fit(corpus.encoded(), corpus.vocabulary, dim=3,
+                                seed=5)
+        e2 = WordEmbeddings.fit(corpus.encoded(), corpus.vocabulary, dim=3,
+                                seed=5)
+        assert np.allclose(e1.vectors, e2.vectors)
+
+    def test_cooccurring_words_closer(self, tiny_dataset):
+        emb = tiny_dataset.text.embeddings
+        # "mining" is a data-domain term; "kernel" a learning-domain term.
+        data1, data2 = emb.vector("mining"), emb.vector("query")
+        other = emb.vector("kernel")
+
+        def cos(u, v):
+            return u @ v / (np.linalg.norm(u) * np.linalg.norm(v) + 1e-12)
+
+        assert cos(data1, data2) > cos(data1, other)
+
+    def test_rows_match_vocabulary_guard(self):
+        with pytest.raises(ValueError):
+            WordEmbeddings(Vocabulary(["a", "b"]), np.zeros((3, 2)))
+
+
+class TestMLM:
+    def test_mask_distribution_is_probability(self, tiny_dataset):
+        mlm = tiny_dataset.text.mlm
+        dist = mlm.mask_distribution("data")
+        assert np.isclose(dist.sum(), 1.0)
+        assert np.all(dist >= 0)
+
+    def test_unknown_token_gives_uniform(self, tiny_dataset):
+        mlm = tiny_dataset.text.mlm
+        dist = mlm.mask_distribution("qqqqq")
+        assert np.allclose(dist, dist[0])
+
+    def test_top_terms_sorted_and_capped(self, tiny_dataset):
+        mlm = tiny_dataset.text.mlm
+        top = mlm.top_terms("data", 10)
+        assert len(top) == 10
+        scores = [s for _, s in top]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_domain_name_retrieves_domain_terms(self, tiny_dataset):
+        """The MLM bootstrap should surface same-domain quality terms."""
+        mlm = tiny_dataset.text.mlm
+        world = tiny_dataset.world
+        top = {t for t, _ in mlm.top_terms("data", 25)}
+        data_terms = set(world.quality_terms(0))
+        learning_terms = set(world.quality_terms(1))
+        assert len(top & data_terms) > len(top & learning_terms)
+
+    def test_word_does_not_predict_itself(self, tiny_dataset):
+        mlm = tiny_dataset.text.mlm
+        top = [t for t, _ in mlm.top_terms("data", 5)]
+        assert "data" not in top
