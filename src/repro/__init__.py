@@ -20,10 +20,23 @@ baselines
     The twelve comparison methods of the paper's Section IV-A.
 eval
     Metrics, significance tests, and experiment runners.
+analysis
+    Correctness toolchain: gradcheck harness, runtime tape sanitizer
+    (``detect_anomaly``), and the repo-specific AST lint (``repro-lint``).
 """
 
 __version__ = "1.0.0"
 
 from . import tensor  # noqa: F401
 
-__all__ = ["tensor", "__version__"]
+__all__ = ["tensor", "analysis", "__version__"]
+
+
+def __getattr__(name):
+    # Lazy import: `repro.analysis` pulls in the nn package for lint/module
+    # helpers; keep base `import repro` light.
+    if name == "analysis":
+        from . import analysis
+
+        return analysis
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

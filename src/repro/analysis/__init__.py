@@ -1,0 +1,55 @@
+"""Correctness toolchain for the autodiff engine and model stack.
+
+Three pillars (see ``DESIGN.md`` — "Correctness toolchain"):
+
+- :mod:`repro.analysis.gradcheck` — finite-difference verification of
+  every backward closure (:func:`check_gradients`, :func:`check_module`);
+- :mod:`repro.analysis.anomaly` — opt-in runtime tape sanitizer
+  (:func:`detect_anomaly`) catching NaN/Inf at the producing op, reused
+  tapes, and unused parameters;
+- :mod:`repro.analysis.lint` — repo-specific AST lint (rules R001-R004),
+  runnable as ``python -m repro.analysis.lint src/`` or ``repro-lint``.
+"""
+
+from .anomaly import (
+    AnomalyError,
+    AnomalyGuard,
+    TapeReuseWarning,
+    UnusedParameterWarning,
+    detect_anomaly,
+)
+from .gradcheck import (
+    ElementFailure,
+    GradcheckError,
+    GradcheckResult,
+    check_gradients,
+    check_module,
+)
+__all__ = [
+    "check_gradients",
+    "check_module",
+    "GradcheckError",
+    "GradcheckResult",
+    "ElementFailure",
+    "detect_anomaly",
+    "AnomalyGuard",
+    "AnomalyError",
+    "TapeReuseWarning",
+    "UnusedParameterWarning",
+    "lint_paths",
+    "Violation",
+    "RULES",
+]
+
+
+def __getattr__(name):
+    # `lint` is imported lazily so that `python -m repro.analysis.lint`
+    # does not trigger the double-import RuntimeWarning (the module would
+    # otherwise already be in sys.modules via this package import).
+    if name in ("lint_paths", "Violation", "RULES", "lint"):
+        from . import lint
+
+        if name == "lint":
+            return lint
+        return getattr(lint, name)
+    raise AttributeError(f"module 'repro.analysis' has no attribute {name!r}")

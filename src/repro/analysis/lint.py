@@ -1,0 +1,499 @@
+"""Repo-specific static analysis: ``python -m repro.analysis.lint src/``.
+
+Generic linters cannot see the invariants this codebase lives by — the
+autodiff tape, the float64-only contract, explicit RNG plumbing — so this
+module implements a small AST lint with four rules:
+
+``R001`` **tape-breaking data mutation** — assigning to ``<expr>.data``
+    (or ``<expr>.data[...]``, or augmented assignment) rebinds/mutates a
+    tensor's storage behind the tape's back: closures recorded earlier
+    capture the *old* array and silently compute stale gradients.
+    Whitelisted modules (optimizers, ``load_state_dict``, cluster-center
+    re-initialization, the engine itself) mutate ``.data`` as their job;
+    anywhere else it is almost always a bug.  Suppress a deliberate case
+    with a trailing ``# repro-lint: disable=R001`` comment.
+
+``R002`` **global numpy RNG** — ``np.random.rand()`` &co. draw from hidden
+    process-global state, destroying run-to-run reproducibility of every
+    table in the paper.  All stochastic code must thread an explicit
+    ``np.random.Generator`` (``np.random.default_rng(seed)``).
+    Constructing generators/seeds (``default_rng``, ``Generator``,
+    ``SeedSequence``, ``PCG64``, …) is of course allowed.
+
+``R003`` **forward-less Module** — a :class:`repro.nn.Module` subclass
+    that never overrides ``forward`` (directly or via a base class other
+    than ``Module`` itself) explodes with ``NotImplementedError`` only at
+    call time, usually deep inside a training loop.  Resolution is
+    project-wide: base classes defined in *other* linted files count.
+
+``R004`` **tape-detached tensor op** — every call to ``Tensor._make`` must
+    register a real backward closure (a ``def``/``lambda`` from the
+    enclosing scope, or an explicitly wrapped callable) — passing ``None``
+    or omitting the argument silently cuts the output from the tape.  The
+    dual is also flagged: a function that defines a ``backward`` closure
+    but never hands it to ``_make`` ships a dead gradient.
+
+Exit status is non-zero iff violations are found, so
+``tests/test_lint_clean.py`` (tier-1) keeps the tree clean going forward.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+__all__ = ["Violation", "lint_paths", "lint_sources", "main", "RULES"]
+
+RULES: Dict[str, str] = {
+    "R001": "direct mutation of Tensor.data outside whitelisted modules",
+    "R002": "use of global np.random.* instead of an explicit Generator",
+    "R003": "Module subclass without a forward() override",
+    "R004": "Tensor._make call without a backward closure",
+}
+
+#: Modules allowed to assign to ``.data`` (path suffixes, ``/``-separated).
+#: These are the places whose *contract* is mutating parameter storage:
+#: the engine itself, optimizers, state-dict loading, and cluster-center
+#: (re)initialization.  Extend via ``--allow-data-mutation`` or a trailing
+#: ``# repro-lint: disable=R001`` comment.
+R001_WHITELIST: Tuple[str, ...] = (
+    "repro/tensor/tensor.py",
+    "repro/nn/optim.py",
+    "repro/nn/module.py",
+    "repro/core/cluster.py",
+    "repro/analysis/gradcheck.py",
+)
+
+#: ``np.random`` attributes that are constructors / seeding machinery,
+#: not draws from the global state.
+R002_ALLOWED_ATTRS: Set[str] = {
+    "Generator",
+    "default_rng",
+    "SeedSequence",
+    "PCG64",
+    "Philox",
+    "MT19937",
+    "BitGenerator",
+}
+
+_DISABLE_MARK = "repro-lint: disable="
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One rule violation at a specific source location."""
+
+    rule: str
+    path: str
+    line: int
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: {self.rule} {self.message}"
+
+
+# ----------------------------------------------------------------------
+# Per-line suppression
+# ----------------------------------------------------------------------
+def _suppressed_rules(source: str) -> Dict[int, Set[str]]:
+    """Map line number -> rules disabled by a trailing lint comment."""
+    out: Dict[int, Set[str]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        if _DISABLE_MARK in line:
+            spec = line.split(_DISABLE_MARK, 1)[1]
+            rules = {tok.strip() for tok in spec.replace(";", ",").split(",")}
+            out[lineno] = {r for r in rules if r in RULES} or set(RULES)
+    return out
+
+
+# ----------------------------------------------------------------------
+# R001 — Tensor.data mutation
+# ----------------------------------------------------------------------
+def _is_data_attribute(node: ast.expr) -> bool:
+    """True for ``<expr>.data`` or ``<expr>.data[...]`` targets.
+
+    ``self.data`` inside the engine is whitelisted at the module level,
+    so no attempt is made to distinguish receivers here — any ``.data``
+    store outside the whitelist is suspect by construction.
+    """
+    if isinstance(node, ast.Attribute) and node.attr == "data":
+        return True
+    if isinstance(node, ast.Subscript):
+        return _is_data_attribute(node.value)
+    return False
+
+
+def _check_r001(tree: ast.AST, path: str) -> List[Violation]:
+    found: List[Violation] = []
+
+    def flag(node: ast.AST, how: str) -> None:
+        found.append(
+            Violation(
+                "R001",
+                path,
+                node.lineno,
+                f"{how} of Tensor.data breaks the autodiff tape "
+                "(whitelist the module or use Tensor ops)",
+            )
+        )
+
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if _is_data_attribute(target):
+                    flag(node, "assignment")
+        elif isinstance(node, (ast.AugAssign,)):
+            if _is_data_attribute(node.target):
+                flag(node, "augmented assignment")
+        elif isinstance(node, ast.AnnAssign):
+            if node.value is not None and _is_data_attribute(node.target):
+                flag(node, "assignment")
+    return found
+
+
+# ----------------------------------------------------------------------
+# R002 — global numpy RNG
+# ----------------------------------------------------------------------
+def _attribute_chain(node: ast.expr) -> Optional[List[str]]:
+    """``np.random.rand`` -> ["np", "random", "rand"] (or None)."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return list(reversed(parts))
+    return None
+
+
+def _check_r002(tree: ast.AST, path: str) -> List[Violation]:
+    found: List[Violation] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Attribute):
+            continue
+        chain = _attribute_chain(node)
+        if chain is None or len(chain) < 3:
+            continue
+        # numpy is imported as `np` or `numpy` throughout the repo.
+        if chain[0] in ("np", "numpy") and chain[1] == "random":
+            leaf = chain[2]
+            if leaf not in R002_ALLOWED_ATTRS:
+                found.append(
+                    Violation(
+                        "R002",
+                        path,
+                        node.lineno,
+                        f"np.random.{leaf} uses hidden global RNG state; "
+                        "thread an explicit np.random.Generator "
+                        "(np.random.default_rng(seed)) instead",
+                    )
+                )
+    return found
+
+
+# ----------------------------------------------------------------------
+# R003 — Module subclass without forward (project-wide resolution)
+# ----------------------------------------------------------------------
+@dataclass
+class _ClassInfo:
+    name: str
+    bases: List[str]
+    has_forward: bool
+    path: str
+    line: int
+
+
+def _collect_classes(tree: ast.AST, path: str) -> List[_ClassInfo]:
+    infos: List[_ClassInfo] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        bases: List[str] = []
+        for base in node.bases:
+            if isinstance(base, ast.Name):
+                bases.append(base.id)
+            elif isinstance(base, ast.Attribute):
+                bases.append(base.attr)
+        has_forward = any(
+            isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+            and item.name == "forward"
+            for item in node.body
+        )
+        infos.append(_ClassInfo(node.name, bases, has_forward, path, node.lineno))
+    return infos
+
+
+def _check_r003(classes: Sequence[_ClassInfo]) -> List[Violation]:
+    by_name: Dict[str, _ClassInfo] = {c.name: c for c in classes}
+
+    def is_module(name: str, seen: Tuple[str, ...] = ()) -> bool:
+        if name == "Module":
+            return True
+        info = by_name.get(name)
+        if info is None or name in seen:
+            return False
+        return any(is_module(b, seen + (name,)) for b in info.bases)
+
+    def inherits_forward(name: str, seen: Tuple[str, ...] = ()) -> bool:
+        # `Module.forward` raising NotImplementedError does not count.
+        if name == "Module":
+            return False
+        info = by_name.get(name)
+        if info is None or name in seen:
+            return False
+        if info.has_forward:
+            return True
+        return any(inherits_forward(b, seen + (name,)) for b in info.bases)
+
+    found: List[Violation] = []
+    for info in classes:
+        if info.name == "Module":
+            continue
+        if is_module(info.name) and not inherits_forward(info.name):
+            found.append(
+                Violation(
+                    "R003",
+                    info.path,
+                    info.line,
+                    f"Module subclass {info.name!r} does not override "
+                    "forward() — calling it raises NotImplementedError at "
+                    "train time",
+                )
+            )
+    return found
+
+
+# ----------------------------------------------------------------------
+# R004 — Tensor._make without a backward closure
+# ----------------------------------------------------------------------
+def _backward_argument(call: ast.Call) -> Optional[ast.expr]:
+    """The backward argument of a ``_make`` call, or None if absent."""
+    if len(call.args) >= 3:
+        return call.args[2]
+    for kw in call.keywords:
+        if kw.arg == "backward":
+            return kw.value
+    return None
+
+
+def _is_make_call(call: ast.Call) -> bool:
+    fn = call.func
+    if isinstance(fn, ast.Attribute) and fn.attr == "_make":
+        return True
+    if isinstance(fn, ast.Name) and fn.id == "_make":
+        return True
+    return False
+
+
+class _R004Scope(ast.NodeVisitor):
+    """Walk one function scope: local defs, _make calls, name loads."""
+
+    def __init__(self) -> None:
+        self.local_funcs: Set[str] = set()
+        self.make_calls: List[ast.Call] = []
+        self.loaded_names: Set[str] = set()
+        self.has_nested_make = False
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self.local_funcs.add(node.name)
+        # Do not descend: nested scopes are analysed separately.
+
+    visit_AsyncFunctionDef = visit_FunctionDef  # type: ignore[assignment]
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        pass  # opaque; treated as a callable value where referenced
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if _is_make_call(node):
+            self.make_calls.append(node)
+        self.generic_visit(node)
+
+    def visit_Name(self, node: ast.Name) -> None:
+        if isinstance(node.ctx, ast.Load):
+            self.loaded_names.add(node.id)
+
+
+def _check_r004(tree: ast.AST, path: str) -> List[Violation]:
+    found: List[Violation] = []
+
+    for fn in ast.walk(tree):
+        if not isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        scope = _R004Scope()
+        for stmt in fn.body:
+            scope.visit(stmt)
+        if not scope.make_calls and "backward" not in scope.local_funcs:
+            continue
+
+        for call in scope.make_calls:
+            arg = _backward_argument(call)
+            if arg is None or (
+                isinstance(arg, ast.Constant) and arg.value is None
+            ):
+                found.append(
+                    Violation(
+                        "R004",
+                        path,
+                        call.lineno,
+                        "Tensor._make called without a backward closure — "
+                        "the output is silently cut from the tape",
+                    )
+                )
+                continue
+            # Names (closures / forwarded parameters), lambdas and
+            # attribute references are all acceptable callables.
+
+        # Dead gradient: a `backward` closure defined but never referenced
+        # again — neither registered via `_make` nor returned/forwarded.
+        if "backward" in scope.local_funcs and "backward" not in scope.loaded_names:
+            found.append(
+                Violation(
+                    "R004",
+                    path,
+                    fn.lineno,
+                    f"function {fn.name!r} defines a backward closure that "
+                    "is never registered via Tensor._make (dead gradient)",
+                )
+            )
+    return found
+
+
+# ----------------------------------------------------------------------
+# Driver
+# ----------------------------------------------------------------------
+def lint_sources(
+    source: str,
+    path: str,
+    rules: Optional[Set[str]] = None,
+    extra_data_whitelist: Sequence[str] = (),
+) -> Tuple[List[Violation], List[_ClassInfo]]:
+    """Lint one file's source; class infos are returned for global R003."""
+    tree = ast.parse(source, filename=path)
+    suppressed = _suppressed_rules(source)
+    active = set(RULES) if rules is None else rules
+    violations: List[Violation] = []
+
+    norm = path.replace("\\", "/")
+    whitelist = tuple(R001_WHITELIST) + tuple(extra_data_whitelist)
+    if "R001" in active and not any(norm.endswith(w) for w in whitelist):
+        violations += _check_r001(tree, path)
+    if "R002" in active:
+        violations += _check_r002(tree, path)
+    if "R004" in active:
+        violations += _check_r004(tree, path)
+
+    violations = [
+        v for v in violations if v.rule not in suppressed.get(v.line, set())
+    ]
+    classes = _collect_classes(tree, path) if "R003" in active else []
+    # R003 suppression is applied per class-definition line by the caller.
+    for info in classes:
+        if "R003" in suppressed.get(info.line, set()):
+            info.has_forward = True
+    return violations, classes
+
+
+def iter_python_files(paths: Iterable[str]) -> List[Path]:
+    files: List[Path] = []
+    for raw in paths:
+        p = Path(raw)
+        if p.is_dir():
+            files.extend(sorted(p.rglob("*.py")))
+        elif p.suffix == ".py":
+            files.append(p)
+    return files
+
+
+def lint_paths(
+    paths: Sequence[str],
+    rules: Optional[Set[str]] = None,
+    extra_data_whitelist: Sequence[str] = (),
+) -> List[Violation]:
+    """Lint every ``*.py`` under ``paths``; R003 resolves project-wide."""
+    all_violations: List[Violation] = []
+    all_classes: List[_ClassInfo] = []
+    for file in iter_python_files(paths):
+        try:
+            source = file.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError) as exc:
+            all_violations.append(
+                Violation("R000", str(file), 0, f"could not read file: {exc}")
+            )
+            continue
+        try:
+            violations, classes = lint_sources(
+                source,
+                str(file),
+                rules=rules,
+                extra_data_whitelist=extra_data_whitelist,
+            )
+        except SyntaxError as exc:
+            all_violations.append(
+                Violation(
+                    "R000", str(file), exc.lineno or 0, f"syntax error: {exc.msg}"
+                )
+            )
+            continue
+        all_violations.extend(violations)
+        all_classes.extend(classes)
+    if rules is None or "R003" in rules:
+        all_violations.extend(_check_r003(all_classes))
+    all_violations.sort(key=lambda v: (v.path, v.line, v.rule))
+    return all_violations
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="Repo-specific AST lint for the repro codebase "
+        "(rules R001-R004; see repro.analysis.lint docstring).",
+    )
+    parser.add_argument("paths", nargs="*", help="files or directories to lint")
+    parser.add_argument(
+        "--select",
+        default=None,
+        help="comma-separated subset of rules to run (e.g. R001,R004)",
+    )
+    parser.add_argument(
+        "--allow-data-mutation",
+        action="append",
+        default=[],
+        metavar="PATH_SUFFIX",
+        help="additional module path suffix whitelisted for R001",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalogue"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule, desc in sorted(RULES.items()):
+            print(f"{rule}: {desc}")
+        return 0
+    if not args.paths:
+        parser.error("the following arguments are required: paths")
+
+    rules: Optional[Set[str]] = None
+    if args.select:
+        rules = {tok.strip() for tok in args.select.split(",") if tok.strip()}
+        unknown = rules - set(RULES)
+        if unknown:
+            parser.error(f"unknown rules: {sorted(unknown)}")
+
+    violations = lint_paths(
+        args.paths, rules=rules, extra_data_whitelist=args.allow_data_mutation
+    )
+    for violation in violations:
+        print(violation)
+    if violations:
+        print(f"\n{len(violations)} violation(s) found")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -36,6 +36,10 @@ class GNNTrainConfig:
     # masked during training, fully visible at inference).
     use_label_inputs: bool = True
     label_mask_rate: float = 0.5
+    # Opt-in tape sanitizer (repro.analysis.detect_anomaly): flags NaN/Inf
+    # at the op that produced it during every training step.  Costs one
+    # reduction per op — debugging only.
+    debug_anomaly: bool = False
 
 
 class SupervisedGNNBaseline:
@@ -76,11 +80,12 @@ class SupervisedGNNBaseline:
         bad = 0
         for epoch in range(cfg.epochs):
             step = self._augment_step(base, rng)
-            preds = self.network(step)
-            diff = gather(preds, step.labeled_ids) - Tensor(step.labels)
-            loss = (diff * diff).mean()
-            optimizer.zero_grad()
-            loss.backward()
+            with self._anomaly_context():
+                preds = self.network(step)
+                diff = gather(preds, step.labeled_ids) - Tensor(step.labels)
+                loss = (diff * diff).mean()
+                optimizer.zero_grad()
+                loss.backward()
             optimizer.clip_grad_norm(cfg.grad_clip)
             optimizer.step()
 
@@ -100,6 +105,18 @@ class SupervisedGNNBaseline:
         if best_state is not None:
             self.network.load_state_dict(best_state)
         return self
+
+    def _anomaly_context(self):
+        """Opt-in tape sanitizer for one training step (no-op by default)."""
+        if not self.config.debug_anomaly:
+            from contextlib import nullcontext
+
+            return nullcontext()
+        from ..analysis import detect_anomaly
+
+        # Unused-parameter auditing is off (modules=()): early-stopping
+        # snapshots legitimately leave heads unused on restored epochs.
+        return detect_anomaly()
 
     def _augment_eval(self, batch: GraphBatch) -> GraphBatch:
         if not self.config.use_label_inputs:

@@ -79,6 +79,10 @@ class ClusterModule(Module):
         sumsq = (h * h).sum(axis=1, keepdims=True)
         return h / (sumsq + 1e-12).sqrt()
 
+    def forward(self, h: Tensor, layer: int) -> Tensor:
+        """Canonical Module entry point — alias of :meth:`soft_assign`."""
+        return self.soft_assign(h, layer)
+
     def soft_assign(self, h: Tensor, layer: int) -> Tensor:
         """Eq. 16: Student-t similarity to each center, row-normalized.
 

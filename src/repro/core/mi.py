@@ -38,6 +38,10 @@ class MIEstimator(Module):
         """Row-wise bilinear scores for aligned (x_i, y_i) pairs."""
         return ((x @ self.W_d) * y).sum(axis=1)
 
+    def forward(self, x: Tensor, y: Tensor) -> Tensor:
+        """Canonical Module entry point — alias of :meth:`score`."""
+        return self.score(x, y)
+
     def loss(
         self,
         layers: List[Dict[str, Tensor]],

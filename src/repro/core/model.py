@@ -77,6 +77,11 @@ class CATEHGNConfig:
     patience: int = 4
     seed: int = 0
 
+    # Opt-in tape sanitizer (repro.analysis.detect_anomaly): flags NaN/Inf
+    # at the op that produced it during every optimization step.  Costs one
+    # reduction per op — debugging only, leave off for benchmarks.
+    debug_anomaly: bool = False
+
     def hgn_config(self) -> HGNConfig:
         return HGNConfig(dim=self.dim, num_layers=self.num_layers,
                          composition=self.composition,
@@ -126,6 +131,10 @@ class CATEHGNModel(Module):
                    if config.use_ca else None)
 
     # ------------------------------------------------------------------
+    def forward(self, batch: GraphBatch) -> ForwardState:
+        """Canonical Module entry point — alias of :meth:`forward_state`."""
+        return self.forward_state(batch)
+
     def forward_state(self, batch: GraphBatch) -> ForwardState:
         output = self.hgn(batch)
         state = ForwardState(output=output)

@@ -134,12 +134,13 @@ class CATEHGN:
                 mini_batch = self._augment_step(
                     self._sample_mini_batch(base_batch, dataset, rng), rng
                 )
-                state = self.model.forward_state(mini_batch)
-                loss = self.model.hgn_loss(state, mini_batch, rng)
-                opt_main.zero_grad()
-                if opt_centers is not None:
-                    opt_centers.zero_grad()
-                loss.backward()
+                with self._anomaly_context():
+                    state = self.model.forward_state(mini_batch)
+                    loss = self.model.hgn_loss(state, mini_batch, rng)
+                    opt_main.zero_grad()
+                    if opt_centers is not None:
+                        opt_centers.zero_grad()
+                    loss.backward()
                 opt_main.clip_grad_norm(cfg.grad_clip)
                 opt_main.step()
                 loss_value = float(loss.data)
@@ -148,11 +149,12 @@ class CATEHGN:
             # Line 10: update cluster centers with the CA loss.
             if opt_centers is not None:
                 for _ in range(cfg.center_iters):
-                    state = self.model.forward_state(batch)
-                    ca_loss = self.model.ca_loss(state)
-                    opt_main.zero_grad()
-                    opt_centers.zero_grad()
-                    ca_loss.backward()
+                    with self._anomaly_context():
+                        state = self.model.forward_state(batch)
+                        ca_loss = self.model.ca_loss(state)
+                        opt_main.zero_grad()
+                        opt_centers.zero_grad()
+                        ca_loss.backward()
                     opt_centers.step()
 
             # Line 11: adaptive term refinement (TE).
@@ -195,6 +197,22 @@ class CATEHGN:
         return self
 
     # ------------------------------------------------------------------
+    def _anomaly_context(self):
+        """Opt-in tape sanitizer around one optimization step.
+
+        Unused-parameter auditing stays off (``modules=()``): Algorithm 1
+        deliberately freezes the cluster centers during mini-iterations
+        (and everything but the centers during line 10), so a ``grad is
+        None`` audit would flag intentional behaviour every step.
+        """
+        if not self.config.debug_anomaly:
+            from contextlib import nullcontext
+
+            return nullcontext()
+        from ..analysis import detect_anomaly
+
+        return detect_anomaly()
+
     def _augment_eval(self, batch: GraphBatch) -> GraphBatch:
         """Inference-time batch: every fit label visible in the input."""
         if not self.config.use_label_inputs:

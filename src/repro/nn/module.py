@@ -33,10 +33,29 @@ class Module:
         object.__setattr__(self, "training", True)
 
     def __setattr__(self, name: str, value) -> None:
+        # Drop any stale registry entry first: reassigning an attribute
+        # that used to hold a Parameter/Module to a different kind of value
+        # must not leave the old object visible to named_parameters() /
+        # state_dict() (it would keep receiving optimizer updates and
+        # serialize ghost weights).
+        params = self.__dict__.get("_parameters")
+        modules = self.__dict__.get("_modules")
+        if params is not None:
+            params.pop(name, None)
+        if modules is not None:
+            modules.pop(name, None)
         if isinstance(value, Parameter):
-            self._parameters[name] = value
+            if params is None:
+                raise AttributeError(
+                    "cannot assign Parameter before Module.__init__() call"
+                )
+            params[name] = value
         elif isinstance(value, Module):
-            self._modules[name] = value
+            if modules is None:
+                raise AttributeError(
+                    "cannot assign Module before Module.__init__() call"
+                )
+            modules[name] = value
         object.__setattr__(self, name, value)
 
     # ------------------------------------------------------------------
@@ -88,12 +107,23 @@ class Module:
             )
         for name, value in state.items():
             param = own[name]
-            if param.data.shape != value.shape:
+            arr = np.asarray(value)
+            if arr.shape != param.data.shape:
                 raise ValueError(
                     f"shape mismatch for {name}: "
-                    f"{param.data.shape} vs {value.shape}"
+                    f"{param.data.shape} vs {arr.shape}"
                 )
-            param.data = value.copy()
+            # The engine is float64-only: silently adopting a float32 (or
+            # int) snapshot would change param.data's dtype and poison
+            # every downstream op.  Coerce real-numeric kinds; reject the
+            # rest (complex/object/str) with a clear error.
+            if arr.dtype.kind not in "fiub":
+                raise TypeError(
+                    f"state_dict value for {name!r} has dtype {arr.dtype} "
+                    "which cannot be cast to float64 (the engine is "
+                    "float64-only)"
+                )
+            param.data = arr.astype(np.float64, copy=True)
 
     def __call__(self, *args, **kwargs):
         return self.forward(*args, **kwargs)

@@ -201,6 +201,13 @@ def numerical_gradient(func, tensor: Tensor, eps: float = 1e-6) -> np.ndarray:
 
     Test utility: perturbs ``tensor.data`` in place, re-evaluating the full
     forward closure each time.
+
+    .. note::
+       This is the low-level probe kept for existing tests; new code
+       should prefer :func:`repro.analysis.check_gradients` /
+       :func:`repro.analysis.check_module`, which compare against the
+       analytic gradient with per-element relative-error reporting and
+       handle non-scalar outputs via a fixed projection.
     """
     grad = np.zeros_like(tensor.data)
     flat = tensor.data.ravel()

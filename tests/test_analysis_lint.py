@@ -1,0 +1,254 @@
+"""Tests for the repo-specific AST lint (rules R001-R004).
+
+Seeded fixture files containing deliberate violations are written to
+``tmp_path`` and must each be flagged at the right line; clean idiomatic
+code must pass untouched.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.lint import RULES, Violation, lint_paths, lint_sources, main
+
+# ----------------------------------------------------------------------
+# Fixture sources
+# ----------------------------------------------------------------------
+R001_BAD = '''\
+import numpy as np
+
+def poke(param, update):
+    param.data = param.data - update          # line 4: rebinding .data
+
+def poke_inplace(param, update):
+    param.data[0] = 0.0                       # line 7: slice store
+
+def poke_aug(param, update):
+    param.data += update                      # line 10: augmented
+'''
+
+R001_SUPPRESSED = '''\
+def intentional(param, new):
+    param.data = new  # repro-lint: disable=R001
+'''
+
+R002_BAD = '''\
+import numpy as np
+
+def sample():
+    a = np.random.rand(3)                     # line 4
+    b = np.random.normal(size=3)              # line 5
+    np.random.seed(0)                         # line 6
+    return a + b
+'''
+
+R002_CLEAN = '''\
+import numpy as np
+
+def sample(seed: int):
+    rng = np.random.default_rng(seed)
+    ss = np.random.SeedSequence(seed)
+    gen = np.random.Generator(np.random.PCG64(seed))
+    return rng.normal(size=3), ss, gen
+'''
+
+R003_BAD = '''\
+from repro.nn import Module
+
+class Headless(Module):                       # line 3: no forward
+    def __init__(self):
+        super().__init__()
+
+class StillHeadless(Headless):                # line 7: inherits nothing
+    pass
+'''
+
+R003_CLEAN = '''\
+from repro.nn import Module
+
+class Base(Module):
+    def forward(self, x):
+        return x
+
+class Derived(Base):                          # forward inherited: fine
+    pass
+
+class NotAModule:                             # unrelated class: fine
+    pass
+'''
+
+R004_BAD = '''\
+import numpy as np
+from repro.tensor import Tensor
+
+def cut_op(x):
+    out = x.data * 2.0
+    return Tensor._make(out, (x,), None)      # line 6: backward=None
+
+def dead_op(x):                               # line 8: dead closure below
+    out = np.tanh(x.data)
+
+    def backward(grad):
+        x._accumulate(grad)
+
+    return Tensor._make(out, (x,), lambda g: None)
+'''
+
+R004_CLEAN = '''\
+import numpy as np
+from repro.tensor import Tensor
+
+def good_op(x):
+    out = x.data * 2.0
+
+    def backward(grad):
+        x._accumulate(grad * 2.0)
+
+    return Tensor._make(out, (x,), backward)
+
+def wrapper_op(x, backward):
+    # forwarding a caller-supplied closure is fine
+    return Tensor._make(x.data, (x,), backward)
+'''
+
+
+def rules_of(violations):
+    return sorted({v.rule for v in violations})
+
+
+def lint_str(source, path="fixture.py", **kwargs):
+    violations, classes = lint_sources(source, path, **kwargs)
+    return violations
+
+
+# ----------------------------------------------------------------------
+# R001
+# ----------------------------------------------------------------------
+class TestR001:
+    def test_flags_all_mutation_forms(self):
+        violations = lint_str(R001_BAD)
+        r001 = [v for v in violations if v.rule == "R001"]
+        assert [v.line for v in r001] == [4, 7, 10]
+
+    def test_whitelisted_module_passes(self):
+        violations = lint_str(R001_BAD, path="src/repro/nn/optim.py")
+        assert not [v for v in violations if v.rule == "R001"]
+
+    def test_extra_whitelist(self):
+        violations = lint_str(
+            R001_BAD, path="pkg/custom.py", extra_data_whitelist=["pkg/custom.py"]
+        )
+        assert not [v for v in violations if v.rule == "R001"]
+
+    def test_inline_suppression(self):
+        assert lint_str(R001_SUPPRESSED) == []
+
+
+# ----------------------------------------------------------------------
+# R002
+# ----------------------------------------------------------------------
+class TestR002:
+    def test_flags_global_rng(self):
+        r002 = [v for v in lint_str(R002_BAD) if v.rule == "R002"]
+        assert [v.line for v in r002] == [4, 5, 6]
+        assert all("Generator" in v.message for v in r002)
+
+    def test_generator_construction_allowed(self):
+        assert lint_str(R002_CLEAN) == []
+
+
+# ----------------------------------------------------------------------
+# R003 (project-wide resolution via lint_paths)
+# ----------------------------------------------------------------------
+class TestR003:
+    def test_flags_forwardless_module(self, tmp_path):
+        f = tmp_path / "bad_modules.py"
+        f.write_text(R003_BAD)
+        violations = lint_paths([str(tmp_path)])
+        r003 = [v for v in violations if v.rule == "R003"]
+        assert sorted(v.line for v in r003) == [3, 7]
+        assert any("Headless" in v.message for v in r003)
+
+    def test_inherited_forward_ok(self, tmp_path):
+        (tmp_path / "good_modules.py").write_text(R003_CLEAN)
+        assert lint_paths([str(tmp_path)]) == []
+
+    def test_cross_file_base_resolution(self, tmp_path):
+        (tmp_path / "base.py").write_text(
+            "from repro.nn import Module\n\n"
+            "class SharedBase(Module):\n"
+            "    def forward(self, x):\n"
+            "        return x\n"
+        )
+        (tmp_path / "derived.py").write_text(
+            "from .base import SharedBase\n\n"
+            "class Impl(SharedBase):\n"
+            "    pass\n"
+        )
+        assert lint_paths([str(tmp_path)]) == []
+
+
+# ----------------------------------------------------------------------
+# R004
+# ----------------------------------------------------------------------
+class TestR004:
+    def test_flags_missing_and_dead_backward(self):
+        r004 = [v for v in lint_str(R004_BAD) if v.rule == "R004"]
+        lines = sorted(v.line for v in r004)
+        assert 6 in lines          # backward=None
+        assert 8 in lines          # dead closure (enclosing def line)
+
+    def test_clean_ops_pass(self):
+        assert lint_str(R004_CLEAN) == []
+
+    def test_engine_sources_pass(self):
+        # The real engine is the canonical clean corpus for this rule.
+        for mod in ("tensor.py", "ops.py"):
+            src = Path("src/repro/tensor") / mod
+            violations, _ = lint_sources(src.read_text(), str(src))
+            assert violations == []
+
+
+# ----------------------------------------------------------------------
+# Driver / CLI
+# ----------------------------------------------------------------------
+class TestDriver:
+    def test_exit_codes(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text(R002_BAD)
+        good = tmp_path / "good.py"
+        good.write_text(R002_CLEAN)
+        assert main([str(good)]) == 0
+        assert main([str(bad)]) != 0
+
+    def test_select_subset(self, tmp_path):
+        f = tmp_path / "mixed.py"
+        f.write_text(R001_BAD + "\n" + R002_BAD.replace("import numpy as np\n", ""))
+        only_r002 = lint_paths([str(f)], rules={"R002"})
+        assert rules_of(only_r002) == ["R002"]
+
+    def test_syntax_error_reported_not_crash(self, tmp_path):
+        f = tmp_path / "broken.py"
+        f.write_text("def f(:\n")
+        violations = lint_paths([str(f)])
+        assert violations and violations[0].rule == "R000"
+
+    def test_rule_catalogue_complete(self):
+        assert set(RULES) == {"R001", "R002", "R003", "R004"}
+
+    def test_module_entrypoint_runs(self, tmp_path):
+        """`python -m repro.analysis.lint <file>` works and sets exit code."""
+        bad = tmp_path / "bad.py"
+        bad.write_text(R001_BAD)
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.analysis.lint", str(bad)],
+            capture_output=True, text=True,
+        )
+        assert proc.returncode == 1
+        assert "R001" in proc.stdout
+
+    def test_violation_str_is_clickable(self):
+        v = Violation("R001", "src/x.py", 12, "boom")
+        assert str(v).startswith("src/x.py:12: R001")

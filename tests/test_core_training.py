@@ -163,3 +163,36 @@ class TestVariants:
         model = CATEHGN(quick_config(outer_iters=1))
         preds = model.fit(tiny_single_dataset).predict()
         assert preds.shape == (tiny_single_dataset.num_papers,)
+
+
+class TestDebugAnomaly:
+    """config.debug_anomaly wires the tape sanitizer into every step."""
+
+    def test_clean_training_passes_under_sanitizer(self, tiny_dataset):
+        from repro.tensor import Tensor
+
+        make_before = Tensor.__dict__["_make"]
+        model = CATEHGN(quick_config(outer_iters=1, debug_anomaly=True))
+        preds = model.fit(tiny_dataset).predict()
+        assert np.all(np.isfinite(preds))
+        # Instrumentation must be fully unwound after fit().
+        assert Tensor.__dict__["_make"] is make_before
+
+    def test_matches_uninstrumented_run(self, tiny_dataset):
+        p_plain = CATEHGN(quick_config(outer_iters=1)).fit(
+            tiny_dataset).predict()
+        p_debug = CATEHGN(quick_config(outer_iters=1,
+                                       debug_anomaly=True)).fit(
+            tiny_dataset).predict()
+        assert np.allclose(p_plain, p_debug)
+
+    def test_baseline_scaffold_supports_sanitizer(self, tiny_dataset):
+        from repro.baselines.gnn_common import GNNTrainConfig
+        from repro.baselines.rgcn import RGCN
+        from repro.tensor import Tensor
+
+        make_before = Tensor.__dict__["_make"]
+        cfg = GNNTrainConfig(dim=8, epochs=3, debug_anomaly=True)
+        preds = RGCN(cfg, layers=1).fit(tiny_dataset).predict()
+        assert np.all(np.isfinite(preds))
+        assert Tensor.__dict__["_make"] is make_before

@@ -1,0 +1,312 @@
+"""Finite-difference gradcheck sweep over every differentiable Tensor op.
+
+This file is the tier-1 guardrail for the autodiff engine: any future
+optimisation of :mod:`repro.tensor` (vectorized backward closures, a new
+backend, fused kernels) must keep every op's analytic gradient within
+``1e-5`` relative error of two-sided finite differences.
+
+Test data is sampled bounded away from kinks (|x| > 0.1 for relu/abs,
+clip bounds, division denominators) so central differences are valid.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import check_gradients
+from repro.nn import bce_with_logits, jsd_mi_estimate, kl_divergence, l1_loss, mse_loss
+from repro.tensor import (
+    Tensor,
+    circular_convolution,
+    circular_correlation,
+    concatenate,
+    dropout,
+    gather,
+    log_softmax,
+    segment_mean,
+    segment_softmax,
+    segment_sum,
+    softmax,
+    stack,
+    where,
+)
+
+TOL = 1e-5
+RNG = np.random.default_rng(1234)
+
+
+def smooth(shape, low=0.2, high=1.5, signed=True):
+    """Random values with |x| in [low, high]: away from every kink."""
+    mag = RNG.uniform(low, high, size=shape)
+    if signed:
+        mag *= np.where(RNG.random(shape) < 0.5, -1.0, 1.0)
+    return mag
+
+
+def run(fn, *arrays, names=None):
+    tensors = [Tensor(np.asarray(a, dtype=np.float64)) for a in arrays]
+    result = check_gradients(fn, tensors, names=names)
+    assert result.passed
+    assert result.max_rel_error < TOL
+    return result
+
+
+# ----------------------------------------------------------------------
+# Binary arithmetic in all ndim/broadcast combinations
+# ----------------------------------------------------------------------
+BINARY_SHAPES = [
+    ((), ()),
+    ((3,), (3,)),
+    ((3,), ()),
+    ((2, 3), (2, 3)),
+    ((2, 3), (3,)),
+    ((2, 1), (1, 3)),
+    ((4, 2, 3), (3,)),
+    ((4, 2, 3), (2, 3)),
+    ((4, 1, 3), (1, 2, 1)),
+]
+
+BINARY_OPS = {
+    "add": lambda a, b: a + b,
+    "sub": lambda a, b: a - b,
+    "mul": lambda a, b: a * b,
+    "div": lambda a, b: a / b,
+}
+
+
+@pytest.mark.parametrize("opname", sorted(BINARY_OPS))
+@pytest.mark.parametrize("sa,sb", BINARY_SHAPES)
+def test_binary_ops(opname, sa, sb):
+    op = BINARY_OPS[opname]
+    a = smooth(sa)
+    b = smooth(sb)  # |b| >= 0.2 keeps division well-conditioned
+    run(op, a, b, names=[f"{opname}_a", f"{opname}_b"])
+
+
+def test_reflected_scalar_operands():
+    x = smooth((2, 3))
+    run(lambda t: 2.5 + t, x)
+    run(lambda t: 2.5 - t, x)
+    run(lambda t: -1.5 * t, x)
+    run(lambda t: 2.0 / t, x)
+    run(lambda t: -t, x)
+
+
+@pytest.mark.parametrize("exponent", [2.0, 3.0, -1.0, 0.5, 1.7])
+def test_pow(exponent):
+    x = smooth((2, 4), signed=False)  # positive: fractional exponents
+    run(lambda t: t**exponent, x)
+
+
+# ----------------------------------------------------------------------
+# matmul in all ndim combinations
+# ----------------------------------------------------------------------
+MATMUL_SHAPES = [
+    ((4,), (4,)),          # vec · vec
+    ((4,), (4, 3)),        # vec @ mat
+    ((2, 4), (4,)),        # mat @ vec
+    ((2, 4), (4, 3)),      # mat @ mat
+    ((5, 2, 4), (5, 4, 3)),  # batched
+    ((5, 2, 4), (4, 3)),     # broadcast rhs
+]
+
+
+@pytest.mark.parametrize("sa,sb", MATMUL_SHAPES)
+def test_matmul(sa, sb):
+    run(lambda a, b: a @ b, smooth(sa), smooth(sb))
+
+
+# ----------------------------------------------------------------------
+# Shape ops and indexing
+# ----------------------------------------------------------------------
+def test_reshape_flatten_transpose():
+    x = smooth((2, 3, 4))
+    run(lambda t: t.reshape(6, 4), x)
+    run(lambda t: t.reshape(-1), x)
+    run(lambda t: t.flatten(), x)
+    run(lambda t: t.transpose(), x)
+    run(lambda t: t.transpose(2, 0, 1), x)
+    run(lambda t: t.T, smooth((3, 5)))
+
+
+GETITEM_KEYS = [
+    1,
+    slice(0, 2),
+    (slice(None), 2),
+    np.array([0, 2, 0, 1]),            # fancy with repeats
+    (np.array([0, 1, 2]), np.array([1, 0, 3])),  # coordinate pairs
+    np.array([True, False, True]),     # boolean mask
+]
+
+
+@pytest.mark.parametrize("key", GETITEM_KEYS, ids=[str(i) for i in range(len(GETITEM_KEYS))])
+def test_getitem(key):
+    x = smooth((3, 4))
+    run(lambda t: t[key], x)
+
+
+# ----------------------------------------------------------------------
+# Reductions, including tuple axes
+# ----------------------------------------------------------------------
+REDUCE_AXES = [None, 0, 1, 2, -1, (0, 2), (1, 2)]
+
+
+@pytest.mark.parametrize("axis", REDUCE_AXES, ids=[str(a) for a in REDUCE_AXES])
+@pytest.mark.parametrize("keepdims", [False, True])
+def test_sum(axis, keepdims):
+    run(lambda t: t.sum(axis=axis, keepdims=keepdims), smooth((2, 3, 4)))
+
+
+@pytest.mark.parametrize("axis", REDUCE_AXES, ids=[str(a) for a in REDUCE_AXES])
+@pytest.mark.parametrize("keepdims", [False, True])
+def test_mean(axis, keepdims):
+    run(lambda t: t.mean(axis=axis, keepdims=keepdims), smooth((2, 3, 4)))
+
+
+@pytest.mark.parametrize("axis", [None, 0, 1], ids=["None", "0", "1"])
+@pytest.mark.parametrize("keepdims", [False, True])
+def test_max(axis, keepdims):
+    # Tie-free data: a random permutation of well-separated values.
+    vals = np.linspace(-1.0, 1.0, 12) + 0.01
+    x = RNG.permutation(vals).reshape(3, 4)
+    run(lambda t: t.max(axis=axis, keepdims=keepdims), x)
+
+
+# ----------------------------------------------------------------------
+# Elementwise nonlinearities
+# ----------------------------------------------------------------------
+UNARY_OPS = {
+    "exp": (lambda t: t.exp(), dict()),
+    "log": (lambda t: t.log(), dict(signed=False)),
+    "sqrt": (lambda t: t.sqrt(), dict(signed=False)),
+    "abs": (lambda t: t.abs(), dict()),
+    "relu": (lambda t: t.relu(), dict()),
+    "leaky_relu": (lambda t: t.leaky_relu(0.2), dict()),
+    "sigmoid": (lambda t: t.sigmoid(), dict()),
+    "tanh": (lambda t: t.tanh(), dict()),
+    "softplus": (lambda t: t.softplus(), dict()),
+}
+
+
+@pytest.mark.parametrize("name", sorted(UNARY_OPS))
+def test_unary_nonlinearities(name):
+    fn, kwargs = UNARY_OPS[name]
+    run(fn, smooth((3, 4), **kwargs), names=[name])
+
+
+def test_clip():
+    # Data bounded away from the clip edges on both sides.
+    x = np.concatenate([smooth((6,), 0.2, 0.4), smooth((6,), 0.8, 1.4)])
+    run(lambda t: t.clip(-0.6, 0.6), x)
+
+
+# ----------------------------------------------------------------------
+# Functional ops (repro.tensor.ops)
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("axis", [0, 1, -1])
+def test_concatenate(axis):
+    run(
+        lambda a, b, c: concatenate([a, b, c], axis=axis),
+        smooth((2, 3)), smooth((2, 3)), smooth((2, 3)),
+    )
+
+
+@pytest.mark.parametrize("axis", [0, 1])
+def test_stack(axis):
+    run(lambda a, b: stack([a, b], axis=axis), smooth((2, 3)), smooth((2, 3)))
+
+
+def test_gather_with_repeats():
+    idx = np.array([0, 3, 1, 0, 3])
+    run(lambda t: gather(t, idx), smooth((4, 3)))
+
+
+SEGMENTS = np.array([0, 0, 2, 1, 2, 2])
+
+
+def test_segment_sum():
+    run(lambda t: segment_sum(t, SEGMENTS, 4), smooth((6, 3)))
+
+
+def test_segment_mean():
+    run(lambda t: segment_mean(t, SEGMENTS, 4), smooth((6, 3)))
+
+
+@pytest.mark.parametrize("shape", [(6,), (6, 2)], ids=["flat", "heads"])
+def test_segment_softmax(shape):
+    run(lambda t: segment_softmax(t, SEGMENTS, 3), smooth(shape))
+
+
+@pytest.mark.parametrize("axis", [-1, 0])
+def test_softmax(axis):
+    run(lambda t: softmax(t, axis=axis), smooth((3, 4)))
+
+
+@pytest.mark.parametrize("axis", [-1, 0])
+def test_log_softmax(axis):
+    run(lambda t: log_softmax(t, axis=axis), smooth((3, 4)))
+
+
+@pytest.mark.parametrize("op", [circular_correlation, circular_convolution],
+                         ids=["corr", "conv"])
+@pytest.mark.parametrize("sa,sb", [((5,), (5,)), ((3, 6), (3, 6)), ((1, 4), (3, 4))])
+def test_circular_composition(op, sa, sb):
+    run(lambda a, b: op(a, b), smooth(sa), smooth(sb))
+
+
+def test_where():
+    cond = RNG.random((3, 4)) < 0.5
+    run(lambda a, b: where(cond, a, b), smooth((3, 4)), smooth((3, 4)))
+
+
+def test_dropout_eval_is_identity_gradient():
+    rng = np.random.default_rng(0)
+    run(lambda t: dropout(t, 0.5, rng, training=False), smooth((3, 4)))
+
+
+# ----------------------------------------------------------------------
+# Losses
+# ----------------------------------------------------------------------
+def test_losses():
+    pred = smooth((7,))
+    target = smooth((7,)) + 2.5  # |pred - target| > 0 for l1's kink
+    run(lambda p: mse_loss(p, target), pred)
+    run(lambda p: mse_loss(p, target, reduction="sum"), pred)
+    run(lambda p: l1_loss(p, target), pred)
+    labels = (RNG.random(7) < 0.5).astype(np.float64)
+    run(lambda p: bce_with_logits(p, labels), pred)
+    p_dist = RNG.dirichlet(np.ones(4), size=3)
+    q_dist = RNG.dirichlet(np.ones(4), size=3)
+    run(lambda p, q: kl_divergence(p, q), p_dist, q_dist)
+    run(lambda a, b: jsd_mi_estimate(a, b).sum(), smooth((5,)), smooth((5,)))
+
+
+def test_composite_expression():
+    """A deep mixed tape: matmul -> nonlinearity -> reduction chain."""
+    w = smooth((4, 3))
+    x = smooth((5, 4))
+    b = smooth((3,))
+
+    def fn(wt, xt, bt):
+        h = (xt @ wt + bt).tanh()
+        att = softmax(h, axis=-1)
+        return (att * h).sigmoid().mean() + h.abs().sum() * 0.01
+
+    run(fn, w, x, b, names=["w", "x", "b"])
+
+
+def test_failure_is_reported():
+    """A deliberately wrong gradient must be caught with a useful report."""
+    from repro.analysis import GradcheckError
+
+    def bad_square(t):
+        out = t.data**2
+
+        def backward(grad):
+            t._accumulate(grad * 3.0 * t.data)  # wrong: says d/dx x^2 = 3x
+
+        return Tensor._make(out, (t,), backward)
+
+    x = Tensor(smooth((3,)))
+    with pytest.raises(GradcheckError) as excinfo:
+        check_gradients(bad_square, [x])
+    assert "rel=" in str(excinfo.value)

@@ -1,0 +1,27 @@
+"""Tier-1 gate: the repo's own sources must be lint-clean.
+
+``repro-lint`` (a.k.a. ``python -m repro.analysis.lint src/``) enforces the
+tape/reproducibility invariants of R001-R004; this test keeps the tree
+clean going forward — any PR that introduces a violation fails here with
+the linter's own file:line report.
+"""
+
+from pathlib import Path
+
+from repro.analysis.lint import lint_paths
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def test_src_tree_is_lint_clean():
+    violations = lint_paths([str(REPO_ROOT / "src")])
+    report = "\n".join(str(v) for v in violations)
+    assert not violations, f"repro-lint violations in src/:\n{report}"
+
+
+def test_examples_and_benchmarks_are_lint_clean():
+    paths = [REPO_ROOT / "examples", REPO_ROOT / "benchmarks"]
+    existing = [str(p) for p in paths if p.exists()]
+    violations = lint_paths(existing)
+    report = "\n".join(str(v) for v in violations)
+    assert not violations, f"repro-lint violations:\n{report}"

@@ -1,0 +1,118 @@
+"""Regression tests: Module registry hygiene and state_dict dtype contract."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Linear, Module, Parameter
+
+
+class Host(Module):
+    def __init__(self):
+        super().__init__()
+        self.w = Parameter(np.ones(3))
+        self.child = Linear(2, 2, np.random.default_rng(0))
+
+    def forward(self, x):
+        return x
+
+
+class TestSetattrStaleRegistry:
+    def test_parameter_replaced_by_plain_value(self):
+        m = Host()
+        assert "w" in dict(m.named_parameters())
+        m.w = None  # reassign to a non-Parameter
+        names = [n for n, _ in m.named_parameters()]
+        assert "w" not in names
+        assert "w" not in m.state_dict()
+
+    def test_module_replaced_by_plain_value(self):
+        m = Host()
+        assert any(n.startswith("child.") for n in m.state_dict())
+        m.child = "retired"
+        assert not any(n.startswith("child.") for n in m.state_dict())
+        assert "child" not in m._modules
+
+    def test_parameter_replaced_by_module(self):
+        m = Host()
+        m.w = Linear(2, 2, np.random.default_rng(1))
+        assert "w" not in m._parameters
+        assert "w" in m._modules
+        assert any(n.startswith("w.") for n, _ in m.named_parameters())
+
+    def test_module_replaced_by_parameter(self):
+        m = Host()
+        m.child = Parameter(np.zeros(2))
+        assert "child" not in m._modules
+        assert "child" in m._parameters
+
+    def test_replacement_parameter_is_tracked(self):
+        m = Host()
+        new = Parameter(np.full(3, 7.0))
+        m.w = new
+        assert dict(m.named_parameters())["w"] is new
+
+    def test_zero_grad_skips_stale_entries(self):
+        m = Host()
+        m.w = 3.14
+        m.zero_grad()  # must not touch the detached Parameter
+
+    def test_assign_parameter_before_init_raises(self):
+        class Early(Module):
+            def __init__(self):
+                # Parameter assigned before super().__init__()
+                self.w = Parameter(np.ones(2))
+
+        with pytest.raises(AttributeError):
+            Early()
+
+
+class TestLoadStateDictDtype:
+    def test_float32_snapshot_is_upcast(self):
+        m = Host()
+        state = {k: v.astype(np.float32) for k, v in m.state_dict().items()}
+        m.load_state_dict(state)
+        for _, param in m.named_parameters():
+            assert param.data.dtype == np.float64
+
+    def test_integer_snapshot_is_coerced(self):
+        m = Host()
+        state = m.state_dict()
+        state["w"] = np.array([1, 2, 3])  # int64
+        m.load_state_dict(state)
+        assert m.w.data.dtype == np.float64
+        assert np.allclose(m.w.data, [1.0, 2.0, 3.0])
+
+    def test_values_are_copied(self):
+        m = Host()
+        state = m.state_dict()
+        m.load_state_dict(state)
+        state["w"][0] = 99.0
+        assert m.w.data[0] != 99.0
+
+    @pytest.mark.parametrize("bad", [
+        np.array([1 + 2j, 0j, 1j]),
+        np.array(["a", "b", "c"]),
+        np.array([object(), object(), object()], dtype=object),
+    ], ids=["complex", "str", "object"])
+    def test_non_castable_dtype_rejected(self, bad):
+        m = Host()
+        state = m.state_dict()
+        state["w"] = bad
+        with pytest.raises(TypeError, match="float64"):
+            m.load_state_dict(state)
+
+    def test_shape_mismatch_still_rejected(self):
+        m = Host()
+        state = m.state_dict()
+        state["w"] = np.zeros(4)
+        with pytest.raises(ValueError, match="shape mismatch"):
+            m.load_state_dict(state)
+
+    def test_roundtrip_after_stale_reassignment(self):
+        m = Host()
+        m.w = Parameter(np.arange(3.0))
+        snap = m.state_dict()
+        m2 = Host()
+        m2.w = Parameter(np.zeros(3))
+        m2.load_state_dict(snap)
+        assert np.allclose(m2.w.data, [0.0, 1.0, 2.0])
