@@ -1,0 +1,306 @@
+"""Performance benchmark harness (DESIGN §10).
+
+Times the hot paths that the fused-kernel + batch-structure-cache work
+targets, at BENCH_WORLD scale, in both engine modes:
+
+* ``fused``  — fused autodiff kernels + shared :class:`BatchStructure`
+  cache (the default engine).
+* ``legacy`` — the composed-elementary-op path (``fused=False``), kept
+  as the numerical reference.  Its timings are the "pre-change
+  measurement" that the fused speedups are reported against.
+
+Three granularities:
+
+* **op** — microbenchmarks of each fused kernel against its composed
+  equivalent at representative message-passing shapes (forward +
+  backward), plus tape-node and tape-byte counts.
+* **forward/backward** — one :class:`OneSpaceHGN` encoder pass over the
+  bench batch, and the same pass with ``backward()``.
+* **epoch** — end-to-end outer iterations of the full CATE-HGN trainer
+  and training epochs of the RGCN / GAT / HAN baselines.
+
+Run with ``python -m benchmarks.perf`` (writes
+``benchmarks/results/BENCH_perf.json``); gate regressions in CI with
+``python benchmarks/perf/check_regression.py``.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, List
+
+import numpy as np
+
+from repro.core import CATEHGN, GraphBatch, HGNConfig, OneSpaceHGN
+from repro.tensor import (
+    Tensor,
+    gather,
+    gather_matmul,
+    masked_softmax_combine,
+    segment_softmax,
+    segment_softmax_fused,
+    segment_sum,
+    segment_weighted_sum,
+    softmax,
+)
+
+from ..common import RESULTS_DIR, bench_config, bench_datasets
+
+BENCH_PERF_PATH = RESULTS_DIR / "BENCH_perf.json"
+
+# Representative message-passing shape at BENCH_WORLD scale: an edge
+# type with ~8k edges into ~1k destination nodes, dim 24, 2 heads.
+OP_EDGES = 8_000
+OP_NODES = 1_000
+OP_DIM = 24
+OP_HEADS = 2
+
+
+# ---------------------------------------------------------------------------
+# Timing / tape utilities
+# ---------------------------------------------------------------------------
+
+def time_fn(fn: Callable[[], object], repeats: int = 5,
+            warmup: int = 1) -> Dict[str, float]:
+    """Best-of / mean-of wall-clock timings for ``fn`` in seconds."""
+    for _ in range(warmup):
+        fn()
+    samples: List[float] = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - start)
+    return {
+        "mean_s": float(np.mean(samples)),
+        "min_s": float(np.min(samples)),
+        "repeats": repeats,
+    }
+
+
+def tape_stats(root: Tensor) -> Dict[str, int]:
+    """Count autodiff tape nodes and live intermediate bytes under ``root``.
+
+    A fused kernel replaces several elementary nodes with one, so these
+    counts are the allocation-side view of the fusion win.
+    """
+    seen: set[int] = set()
+    stack = [root]
+    nodes = 0
+    nbytes = 0
+    while stack:
+        t = stack.pop()
+        if id(t) in seen:
+            continue
+        seen.add(id(t))
+        nodes += 1
+        nbytes += int(t.data.nbytes)
+        stack.extend(t._parents)
+    return {"tape_nodes": nodes, "tape_bytes": nbytes}
+
+
+def _speedup(legacy: Dict[str, float], fused: Dict[str, float]) -> float:
+    return float(legacy["mean_s"] / max(fused["mean_s"], 1e-12))
+
+
+# ---------------------------------------------------------------------------
+# Op-level microbenchmarks
+# ---------------------------------------------------------------------------
+
+def _op_case(name: str, fused_fn: Callable[[], Tensor],
+             legacy_fn: Callable[[], Tensor],
+             repeats: int) -> Dict[str, object]:
+    def run(fn: Callable[[], Tensor]) -> None:
+        fn().sum().backward()
+
+    fused_t = time_fn(lambda: run(fused_fn), repeats=repeats)
+    legacy_t = time_fn(lambda: run(legacy_fn), repeats=repeats)
+    return {
+        "op": name,
+        "fused": fused_t,
+        "legacy": legacy_t,
+        "speedup": _speedup(legacy_t, fused_t),
+        "fused_tape": tape_stats(fused_fn().sum()),
+        "legacy_tape": tape_stats(legacy_fn().sum()),
+    }
+
+
+def bench_ops(repeats: int = 5) -> List[Dict[str, object]]:
+    from repro.hetnet.structure import EdgeStructure
+
+    rng = np.random.default_rng(0)
+
+    def leaf(*shape):
+        # requires_grad so every case builds (and times) a real tape.
+        return Tensor(rng.normal(size=shape), requires_grad=True)
+
+    src = rng.integers(0, OP_NODES, OP_EDGES).astype(np.intp)
+    dst = np.sort(rng.integers(0, OP_NODES, OP_EDGES)).astype(np.intp)
+    es = EdgeStructure(src, dst, OP_NODES)
+    table = leaf(OP_NODES, OP_DIM)
+    weight = leaf(OP_DIM, OP_DIM)
+    scores = leaf(OP_EDGES, OP_HEADS)
+    values = leaf(OP_EDGES, OP_DIM)
+    alpha_col = Tensor(rng.random(OP_EDGES), requires_grad=True)
+    num_types = 5
+    score_mat = leaf(OP_NODES, num_types)
+    aggs = [leaf(OP_NODES, OP_DIM) for _ in range(num_types)]
+    mask = rng.random((OP_NODES, num_types)) > 0.3
+    mask[:, -1] = True
+
+    cases = [
+        _op_case(
+            "gather_matmul",
+            lambda: gather_matmul(table, src, weight),
+            lambda: gather(table, src) @ weight,
+            repeats,
+        ),
+        _op_case(
+            "segment_softmax_fused",
+            lambda: segment_softmax_fused(scores, dst, OP_NODES, sorter=es),
+            lambda: segment_softmax(scores, dst, OP_NODES),
+            repeats,
+        ),
+        _op_case(
+            "segment_weighted_sum",
+            lambda: segment_weighted_sum(values, alpha_col, dst, OP_NODES,
+                                         sorter=es),
+            lambda: segment_sum(values * alpha_col.reshape(-1, 1), dst,
+                                OP_NODES),
+            repeats,
+        ),
+        _op_case(
+            "masked_softmax_combine",
+            lambda: masked_softmax_combine(score_mat, aggs, mask),
+            lambda: _legacy_masked_combine(score_mat, aggs, mask),
+            repeats,
+        ),
+    ]
+    return cases
+
+
+def _legacy_masked_combine(score_mat: Tensor, aggs: List[Tensor],
+                           mask: np.ndarray) -> Tensor:
+    penalty = np.where(mask, 0.0, -1e9)
+    beta = softmax(score_mat + Tensor(penalty), axis=1)
+    combined = aggs[0] * beta[:, 0].reshape(-1, 1)
+    for t in range(1, len(aggs)):
+        combined = combined + aggs[t] * beta[:, t].reshape(-1, 1)
+    return combined
+
+
+# ---------------------------------------------------------------------------
+# HGN encoder forward / backward
+# ---------------------------------------------------------------------------
+
+def _bench_batch() -> GraphBatch:
+    dataset = bench_datasets()["full"]
+    ids = np.arange(min(64, dataset.graph.num_nodes["paper"]), dtype=np.intp)
+    return GraphBatch.from_graph(dataset.graph, ids,
+                                 np.zeros(len(ids)))
+
+
+def _bench_hgn(batch: GraphBatch, fused: bool) -> OneSpaceHGN:
+    config = HGNConfig(dim=OP_DIM, attention_heads=OP_HEADS, seed=0,
+                       fused=fused)
+    feature_dims = {t: batch.features[t].shape[1] for t in batch.node_types}
+    return OneSpaceHGN(config, batch.node_types, feature_dims,
+                       list(batch.edges.keys()))
+
+
+def bench_hgn_passes(repeats: int = 5) -> Dict[str, object]:
+    batch = _bench_batch()
+    out: Dict[str, object] = {}
+    for mode, fused in (("fused", True), ("legacy", False)):
+        net = _bench_hgn(batch, fused)
+        if fused:
+            batch.structure  # warm the cache, as the trainer does
+
+        def forward():
+            return net(batch).layers[-1]["paper"]
+
+        def forward_backward():
+            forward().sum().backward()
+
+        out[mode] = {
+            "forward": time_fn(forward, repeats=repeats),
+            "forward_backward": time_fn(forward_backward, repeats=repeats),
+            "tape": tape_stats(forward().sum()),
+        }
+    out["forward_speedup"] = _speedup(out["legacy"]["forward"],
+                                      out["fused"]["forward"])
+    out["forward_backward_speedup"] = _speedup(
+        out["legacy"]["forward_backward"], out["fused"]["forward_backward"])
+    return out
+
+
+# ---------------------------------------------------------------------------
+# End-to-end epochs
+# ---------------------------------------------------------------------------
+
+def bench_cate_epochs(outer_iters: int = 4) -> Dict[str, object]:
+    dataset = bench_datasets()["full"]
+    out: Dict[str, object] = {}
+    for mode, fused in (("fused", True), ("legacy", False)):
+        config = bench_config(outer_iters=outer_iters, fused=fused)
+        model = CATEHGN(config)
+        start = time.perf_counter()
+        model.fit(dataset)
+        total = time.perf_counter() - start
+        iters = model.history.iter_seconds
+        # Skip the first iteration: it absorbs one-off setup (encoder
+        # warm-up, centre initialisation, cache build in fused mode).
+        steady = iters[1:] if len(iters) > 1 else iters
+        out[mode] = {
+            "outer_iters": len(iters),
+            "epoch_mean_s": float(np.mean(steady)),
+            "epoch_min_s": float(np.min(steady)),
+            "total_fit_s": total,
+        }
+    out["epoch_speedup"] = float(out["legacy"]["epoch_mean_s"]
+                                 / max(out["fused"]["epoch_mean_s"], 1e-12))
+    return out
+
+
+def bench_baseline_epochs(epochs: int = 8) -> Dict[str, object]:
+    from repro.baselines.gat import GAT
+    from repro.baselines.gnn_common import GNNTrainConfig
+    from repro.baselines.han import HAN
+    from repro.baselines.rgcn import RGCN
+
+    dataset = bench_datasets()["full"]
+    out: Dict[str, object] = {}
+    for cls in (RGCN, GAT, HAN):
+        entry: Dict[str, object] = {}
+        for mode, fused in (("fused", True), ("legacy", False)):
+            config = GNNTrainConfig(epochs=epochs, seed=0, fused=fused)
+            model = cls(config)
+            start = time.perf_counter()
+            model.fit(dataset)
+            total = time.perf_counter() - start
+            entry[mode] = {"epochs": epochs,
+                           "epoch_mean_s": total / epochs,
+                           "total_fit_s": total}
+        entry["epoch_speedup"] = float(
+            entry["legacy"]["epoch_mean_s"]
+            / max(entry["fused"]["epoch_mean_s"], 1e-12))
+        out[cls.name] = entry
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Entry point
+# ---------------------------------------------------------------------------
+
+def run_all(quick: bool = False) -> Dict[str, object]:
+    repeats = 2 if quick else 5
+    outer_iters = 2 if quick else 4
+    epochs = 3 if quick else 8
+    report: Dict[str, object] = {
+        "bench": "BENCH_perf",
+        "generated_by": "python -m benchmarks.perf",
+        "ops": bench_ops(repeats=repeats),
+        "hgn_passes": bench_hgn_passes(repeats=repeats),
+        "cate_epochs": bench_cate_epochs(outer_iters=outer_iters),
+        "baseline_epochs": bench_baseline_epochs(epochs=epochs),
+    }
+    return report

@@ -1,0 +1,51 @@
+"""CLI entry: ``python -m benchmarks.perf`` → benchmarks/results/BENCH_perf.json."""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+
+from . import BENCH_PERF_PATH, run_all
+
+
+def summarize(report: dict) -> str:
+    lines = ["BENCH_perf summary", "=================="]
+    for case in report["ops"]:
+        lines.append(
+            f"op {case['op']:<24} {case['speedup']:.2f}x  "
+            f"tape {case['legacy_tape']['tape_nodes']}→"
+            f"{case['fused_tape']['tape_nodes']} nodes"
+        )
+    hp = report["hgn_passes"]
+    lines.append(f"hgn forward           {hp['forward_speedup']:.2f}x")
+    lines.append(f"hgn forward+backward  {hp['forward_backward_speedup']:.2f}x")
+    ce = report["cate_epochs"]
+    lines.append(
+        f"CATE-HGN epoch        {ce['epoch_speedup']:.2f}x  "
+        f"({ce['legacy']['epoch_mean_s']:.3f}s → "
+        f"{ce['fused']['epoch_mean_s']:.3f}s)"
+    )
+    for name, entry in report["baseline_epochs"].items():
+        lines.append(f"{name:<9} epoch       {entry['epoch_speedup']:.2f}x")
+    return "\n".join(lines)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(prog="python -m benchmarks.perf")
+    parser.add_argument("--quick", action="store_true",
+                        help="fewer repeats / iterations (smoke run)")
+    parser.add_argument("--output", type=Path, default=BENCH_PERF_PATH,
+                        help=f"where to write the JSON report "
+                             f"(default: {BENCH_PERF_PATH})")
+    args = parser.parse_args()
+
+    report = run_all(quick=args.quick)
+    args.output.parent.mkdir(parents=True, exist_ok=True)
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    print(summarize(report))
+    print(f"\nwrote {args.output}")
+
+
+if __name__ == "__main__":
+    main()

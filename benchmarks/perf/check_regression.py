@@ -1,0 +1,81 @@
+"""Perf regression gate: fail if the CATE-HGN epoch regresses >25 %.
+
+Usage::
+
+    python benchmarks/perf/check_regression.py [--threshold 0.25]
+        [--baseline benchmarks/results/BENCH_perf.json] [--report FRESH.json]
+
+Without ``--report`` the gate re-measures the fused CATE-HGN epoch time
+on the current tree (a short 3-outer-iteration fit at BENCH_WORLD scale)
+and compares it against the ``cate_epochs.fused.epoch_mean_s`` recorded
+in the committed baseline.  With ``--report`` it compares two JSON
+reports instead (no re-run).  Exits nonzero when
+
+    current_epoch_mean > baseline_epoch_mean * (1 + threshold)
+
+Refresh the committed baseline with ``python -m benchmarks.perf`` after
+an intentional perf-relevant change.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+DEFAULT_BASELINE = REPO_ROOT / "benchmarks" / "results" / "BENCH_perf.json"
+
+
+def measure_current_epoch(outer_iters: int = 3) -> float:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    sys.path.insert(0, str(REPO_ROOT))
+    import numpy as np
+
+    from benchmarks.common import bench_config, bench_datasets
+    from repro.core import CATEHGN
+
+    model = CATEHGN(bench_config(outer_iters=outer_iters, fused=True))
+    model.fit(bench_datasets()["full"])
+    iters = model.history.iter_seconds
+    steady = iters[1:] if len(iters) > 1 else iters
+    return float(np.mean(steady))
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--baseline", type=Path, default=DEFAULT_BASELINE)
+    parser.add_argument("--report", type=Path, default=None,
+                        help="compare this fresh BENCH_perf.json instead of "
+                             "re-measuring")
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="allowed fractional slowdown (default 0.25)")
+    args = parser.parse_args()
+
+    if not args.baseline.exists():
+        print(f"FAIL: baseline {args.baseline} not found "
+              f"(generate with `python -m benchmarks.perf`)")
+        return 2
+    baseline = json.loads(args.baseline.read_text())
+    base_epoch = baseline["cate_epochs"]["fused"]["epoch_mean_s"]
+
+    if args.report is not None:
+        fresh = json.loads(args.report.read_text())
+        current = fresh["cate_epochs"]["fused"]["epoch_mean_s"]
+        source = str(args.report)
+    else:
+        start = time.perf_counter()
+        current = measure_current_epoch()
+        source = f"re-measured in {time.perf_counter() - start:.1f}s"
+
+    limit = base_epoch * (1.0 + args.threshold)
+    verdict = "OK" if current <= limit else "REGRESSION"
+    print(f"{verdict}: fused CATE-HGN epoch {current:.3f}s vs baseline "
+          f"{base_epoch:.3f}s (limit {limit:.3f}s, {source})")
+    return 0 if current <= limit else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

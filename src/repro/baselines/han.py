@@ -15,8 +15,19 @@ import numpy as np
 from ..core.hgn import GraphBatch
 from ..data.dblp import CitationDataset
 from ..hetnet import FUNDAMENTAL_METAPATHS, PAPER, metapath_pairs
+from ..hetnet.structure import EdgeStructure
 from ..nn import Linear, Module, Parameter, init
-from ..tensor import Tensor, concatenate, gather, segment_softmax, segment_sum, softmax, stack
+from ..tensor import (
+    Tensor,
+    concatenate,
+    gather,
+    segment_softmax,
+    segment_softmax_fused,
+    segment_sum,
+    segment_weighted_sum,
+    softmax,
+    stack,
+)
 from .gnn_common import GNNTrainConfig, SupervisedGNNBaseline
 
 
@@ -44,11 +55,14 @@ class SemanticAttention(Module):
 class HANNetwork(Module):
     def __init__(self, feature_dim: int, dim: int, heads: int,
                  paths: List[Tuple[np.ndarray, np.ndarray]],
-                 num_papers: int, seed: int) -> None:
+                 num_papers: int, seed: int, fused: bool = True) -> None:
         super().__init__()
         rng = np.random.default_rng(seed)
         self.paths = paths
         self.num_papers = num_papers
+        # Meta-path pair lists are fixed per network: sort each once.
+        self.structures = ([EdgeStructure(src, dst, num_papers)
+                            for src, dst in paths] if fused else None)
         self.W = Linear(feature_dim, dim, rng, bias=False)
         for m in range(len(paths)):
             setattr(self, f"att_src_{m}",
@@ -65,9 +79,16 @@ class HANNetwork(Module):
             score = (gather(h @ getattr(self, f"att_src_{m}"), src)
                      + gather(h @ getattr(self, f"att_dst_{m}"), dst)
                      ).leaky_relu(0.2)
-            alpha = segment_softmax(score, dst, self.num_papers).mean(axis=1)
-            agg = segment_sum(gather(h, src) * alpha.reshape(-1, 1),
-                              dst, self.num_papers)
+            if self.structures is not None:
+                es = self.structures[m]
+                alpha = segment_softmax_fused(score, dst, self.num_papers,
+                                              sorter=es).mean(axis=1)
+                agg = segment_weighted_sum(gather(h, src), alpha, dst,
+                                           self.num_papers, sorter=es)
+            else:
+                alpha = segment_softmax(score, dst, self.num_papers).mean(axis=1)
+                agg = segment_sum(gather(h, src) * alpha.reshape(-1, 1),
+                                  dst, self.num_papers)
             per_path.append(agg.relu())
         z = self.semantic(per_path)
         return self.head(z).reshape(-1)
@@ -109,4 +130,5 @@ class HAN(SupervisedGNNBaseline):
                                          self.config.seed)
         feature_dim = batch.features[PAPER].shape[1]
         return HANNetwork(feature_dim, self.config.dim, self.heads, paths,
-                          batch.num_nodes[PAPER], self.config.seed)
+                          batch.num_nodes[PAPER], self.config.seed,
+                          fused=self.config.fused)

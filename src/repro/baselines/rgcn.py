@@ -14,17 +14,18 @@ import numpy as np
 from ..core.hgn import GraphBatch
 from ..hetnet import PAPER
 from ..nn import Linear, Module
-from ..tensor import Tensor, gather, segment_mean
+from ..tensor import Tensor, gather, gather_matmul, segment_mean
 from .gnn_common import GNNTrainConfig, SupervisedGNNBaseline
 
 
 class RGCNLayer(Module):
     def __init__(self, in_dims: Dict[str, int], out_dim: int,
                  edge_keys: List, node_types: List[str],
-                 rng: np.random.Generator) -> None:
+                 rng: np.random.Generator, fused: bool = True) -> None:
         super().__init__()
         self.edge_keys = edge_keys
         self.node_types = node_types
+        self.fused = fused
         for i, key in enumerate(edge_keys):
             self.register_module(f"W_rel{i}", Linear(in_dims[key[0]],
                                                      out_dim, rng, bias=False))
@@ -33,20 +34,29 @@ class RGCNLayer(Module):
 
     def forward(self, h: Dict[str, Tensor], batch: GraphBatch) -> Dict[str, Tensor]:
         out = {t: getattr(self, f"W_self_{t}")(h[t]) for t in self.node_types}
+        structure = batch.structure if self.fused else None
         for i, key in enumerate(self.edge_keys):
             src, dst, _w, _wn = batch.edges[key]
             if len(src) == 0:
                 continue
             src_type, _, dst_type = key
-            messages = getattr(self, f"W_rel{i}")(gather(h[src_type], src))
-            agg = segment_mean(messages, dst, batch.num_nodes[dst_type])
+            if structure is not None:
+                # Fused gather@W kernel + cached dst-sorted mean reduction.
+                es = structure.edge[key]
+                messages = gather_matmul(h[src_type], src,
+                                         getattr(self, f"W_rel{i}").weight)
+                agg = segment_mean(messages, dst, batch.num_nodes[dst_type],
+                                   counts=es.counts, sorter=es)
+            else:
+                messages = getattr(self, f"W_rel{i}")(gather(h[src_type], src))
+                agg = segment_mean(messages, dst, batch.num_nodes[dst_type])
             out[dst_type] = out[dst_type] + agg
         return {t: v.relu() for t, v in out.items()}
 
 
 class RGCNNetwork(Module):
     def __init__(self, batch: GraphBatch, dim: int, layers: int,
-                 seed: int) -> None:
+                 seed: int, fused: bool = True) -> None:
         super().__init__()
         rng = np.random.default_rng(seed)
         edge_keys = list(batch.edges.keys())
@@ -54,7 +64,8 @@ class RGCNNetwork(Module):
         in_dims = {t: batch.features[t].shape[1] for t in node_types}
         self._layers: List[RGCNLayer] = []
         for i in range(layers):
-            layer = RGCNLayer(in_dims, dim, edge_keys, node_types, rng)
+            layer = RGCNLayer(in_dims, dim, edge_keys, node_types, rng,
+                              fused=fused)
             self.register_module(f"rgcn{i}", layer)
             self._layers.append(layer)
             in_dims = {t: dim for t in node_types}
@@ -77,4 +88,4 @@ class RGCN(SupervisedGNNBaseline):
 
     def build_network(self, batch: GraphBatch) -> Module:
         return RGCNNetwork(batch, self.config.dim, self.layers,
-                           self.config.seed)
+                           self.config.seed, fused=self.config.fused)

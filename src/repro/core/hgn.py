@@ -32,8 +32,22 @@ import numpy as np
 
 from ..hetnet import HeteroGraph
 from ..hetnet.schema import PAPER, EdgeTypeKey
+from ..hetnet.structure import BatchStructure, EdgeStructure
 from ..nn import Linear, Module, Parameter, init
-from ..tensor import Tensor, concatenate, gather, segment_softmax, segment_sum, softmax
+from ..tensor import (
+    Tensor,
+    circular_correlation_row,
+    concatenate,
+    gather,
+    gather_matmul,
+    masked_softmax_combine,
+    segment_mean,
+    segment_softmax,
+    segment_softmax_fused,
+    segment_sum,
+    segment_weighted_sum,
+    softmax,
+)
 
 SELF_LOOP = "self"
 
@@ -54,6 +68,10 @@ class HGNConfig:
     use_attention: bool = True
     leaky_slope: float = 0.2
     seed: int = 0
+    # Fused message-passing kernels + batch-structure cache (DESIGN §10).
+    # ``False`` selects the legacy composed-op path, kept for the
+    # numerical-equivalence regression tests and as a fallback.
+    fused: bool = True
 
 
 @dataclass
@@ -69,6 +87,11 @@ class GraphBatch:
     labels: np.ndarray
     # Concatenation layout of the "one space": type -> (offset, length).
     slices: Dict[str, Tuple[int, int]] = field(default_factory=dict)
+    # Shared lazy cell holding the immutable BatchStructure cache.  A
+    # one-element list so label-augmented views (which share topology)
+    # also share the cache the moment any of them builds it.
+    _structure_cell: Optional[list] = field(default=None, repr=False,
+                                            compare=False)
 
     def __post_init__(self) -> None:
         offset = 0
@@ -76,6 +99,24 @@ class GraphBatch:
             self.slices[t] = (offset, self.num_nodes[t])
             offset += self.num_nodes[t]
         self.total_nodes = offset
+        if self._structure_cell is None:
+            self._structure_cell = [None]
+
+    @property
+    def structure(self) -> BatchStructure:
+        """Dst-sorted orderings / CSR indptr / presence masks, built once.
+
+        Lazily constructed on first access and shared by every view of
+        this batch (all layers, all forward passes, all
+        :meth:`with_label_inputs` augmentations).  Topology changes must
+        go through a new ``GraphBatch`` — see
+        :mod:`repro.hetnet.structure` for the invalidation rules.
+        """
+        if self._structure_cell[0] is None:
+            self._structure_cell[0] = BatchStructure(
+                self.edges, self.num_nodes, self.node_types
+            )
+        return self._structure_cell[0]
 
     def with_label_inputs(self, input_ids: np.ndarray,
                           input_values: np.ndarray,
@@ -101,7 +142,8 @@ class GraphBatch:
         return GraphBatch(node_types=list(self.node_types), features=features,
                           edges=self.edges, num_nodes=dict(self.num_nodes),
                           labeled_ids=np.asarray(supervised_ids, dtype=np.intp),
-                          labels=np.asarray(supervised_labels, dtype=np.float64))
+                          labels=np.asarray(supervised_labels, dtype=np.float64),
+                          _structure_cell=self._structure_cell)
 
     @classmethod
     def from_graph(cls, graph: HeteroGraph, labeled_ids: np.ndarray,
@@ -208,6 +250,147 @@ class OneSpaceHGN(Module):
         return table
 
     # ------------------------------------------------------------------
+    # Fused path (default): batch-structure cache + fused kernels.
+    # ------------------------------------------------------------------
+    def _aggregate_type_fused(
+        self,
+        layer: int,
+        h_src: Tensor,
+        h_dst: Tensor,
+        edge_row: Tensor,
+        src: np.ndarray,
+        dst: np.ndarray,
+        num_dst: int,
+        kind: int,
+        sorter: EdgeStructure,
+        self_loop: bool = False,
+    ) -> Tensor:
+        """Fused-kernel :meth:`_aggregate_type`: same math, fewer nodes.
+
+        Numerical identities exploited (each within fp64 rounding of the
+        legacy composed path; enforced by tests/test_hgn_fused_equivalence):
+
+        - ``edge_row`` is a ``(1, d)`` row broadcast through φ instead of
+          an explicitly tiled ``(E, d)`` gather;
+        - ``concat([h_v, e, h_u]) @ a_t`` splits into three partial
+          matmuls, where the ``h_v`` part becomes one
+          :func:`~repro.tensor.gather_matmul` (the ``(E, d)`` gather of
+          ``h_v`` is never materialized) and the ``e`` part collapses to
+          a broadcast ``(1, heads)`` row;
+        - segment softmax and the α-weighted aggregation run as single
+          fused nodes over the cached dst-sorted ordering;
+        - the self loop skips its identity gathers entirely.
+        """
+        d = self.config.dim
+        src_view = (None if self_loop
+                    else sorter.src_view(h_src.data.shape[0]))
+        if self.config.composition == "corr":
+            # φ = circular correlation against ONE shared (1, d) link
+            # embedding: collapses to a circulant matmul, with the
+            # source-side gather fused into the same node (no per-edge
+            # FFTs, no (E, d) gather on the tape).
+            msg = (circular_correlation_row(h_src, edge_row)
+                   if self_loop else
+                   circular_correlation_row(h_src, edge_row, index=src,
+                                            sorter=src_view))
+        else:
+            h_u = h_src if self_loop else gather(h_src, src,
+                                                 sorter=src_view)
+            msg = self.compose(h_u, edge_row)
+        W_a = getattr(self, f"W_a_{layer}")
+
+        if not self.config.use_attention:
+            W = W_a.weight
+            h_v_part = (h_dst @ W[d:] if self_loop
+                        else gather_matmul(h_dst, dst, W[d:], sorter=sorter))
+            transformed = msg @ W[:d] + h_v_part
+            return segment_mean(transformed, dst, num_dst,
+                                counts=sorter.counts, sorter=sorter)
+
+        transformed = W_a(msg)  # (E, d)
+        a_t = getattr(self, f"a_t_{layer}")[kind]  # (3d, heads)
+        v_scores = (h_dst @ a_t[:d] if self_loop
+                    else gather_matmul(h_dst, dst, a_t[:d], sorter=sorter))
+        # (h_src @ a)[src] == (h_src[src]) @ a exactly: project the N
+        # source nodes once, then gather (E, heads) rows — cheaper both
+        # ways than a (E, d) @ (d, heads) matmul plus its scatter.
+        u_proj = h_src @ a_t[2 * d:]
+        u_scores = u_proj if self_loop else gather(u_proj, src,
+                                                   sorter=src_view)
+        scores = v_scores + edge_row @ a_t[d:2 * d] + u_scores
+        scores = scores.leaky_relu(self.config.leaky_slope)
+        alpha = segment_softmax_fused(scores, dst, num_dst,
+                                      sorter=sorter).mean(axis=1)
+        return segment_weighted_sum(transformed, alpha, dst, num_dst,
+                                    sorter=sorter)
+
+    def _layer_forward_fused(self, layer: int, h: Dict[str, Tensor],
+                             batch: GraphBatch) -> Dict[str, Tensor]:
+        """Fused Eq. 13: cached structure, fused kernels, hoisted scores."""
+        d = self.config.dim
+        edge_table = self._edge_embeddings_at_layer(layer)
+        structure = batch.structure
+        next_h: Dict[str, Tensor] = {}
+
+        for dst_type in self.node_types:
+            num_dst = batch.num_nodes[dst_type]
+            aggregates: List[Tensor] = []
+            kinds: List[int] = []
+
+            for key in structure.active_keys[dst_type]:
+                src, dst, _w, _wn = batch.edges[key]
+                kind = self._edge_kind[key]
+                n_vt = self._aggregate_type_fused(
+                    layer, h[key[0]], h[dst_type],
+                    edge_table[kind].reshape(1, d),
+                    src, dst, num_dst, kind, structure.edge[key],
+                )
+                aggregates.append(n_vt)
+                kinds.append(kind)
+
+            # Self-loop pseudo type (cached identity structure).
+            self_kind = self._edge_kind[SELF_LOOP]
+            loop = structure.self_loop(num_dst)
+            n_self = self._aggregate_type_fused(
+                layer, h[dst_type], h[dst_type],
+                edge_table[self_kind].reshape(1, d),
+                loop.src, loop.dst, num_dst, self_kind, loop, self_loop=True,
+            )
+            aggregates.append(n_self)
+            kinds.append(self_kind)
+
+            if not self.config.use_attention:
+                total = aggregates[0]
+                for agg in aggregates[1:]:
+                    total = total + agg
+                next_h[dst_type] = (total * (1.0 / len(aggregates))).relu()
+                continue
+
+            # Link-wise attention (Eq. 15): the h_v score term is shared
+            # by every neighbour type, so it is computed once; the edge
+            # term is a broadcast (1, heads) row; softmax + mask + the
+            # Eq. 13 outer combination run as one fused node.
+            a_b = getattr(self, f"a_b_{layer}")  # (3d, heads)
+            b_e = a_b[d:2 * d]
+            b_n = a_b[2 * d:]
+            hv_scores = h[dst_type] @ a_b[:d]  # (N, heads)
+            score_cols: List[Tensor] = []
+            for n_vt, kind in zip(aggregates, kinds):
+                e_row = edge_table[kind].reshape(1, d)
+                s = (hv_scores + e_row @ b_e + n_vt @ b_n)
+                s = s.leaky_relu(self.config.leaky_slope).mean(axis=1)
+                score_cols.append(s.reshape(-1, 1))
+            score_mat = concatenate(score_cols, axis=1)  # (N, T)
+            combined = masked_softmax_combine(
+                score_mat, aggregates, structure.mask[dst_type]
+            )
+            next_h[dst_type] = combined.relu()
+        return next_h
+
+    # ------------------------------------------------------------------
+    # Legacy composed-op path (fused=False): the reference semantics the
+    # fused kernels are regression-tested against.
+    # ------------------------------------------------------------------
     def _aggregate_type(
         self,
         layer: int,
@@ -236,8 +419,6 @@ class OneSpaceHGN(Module):
             transformed = W_a(concatenate([msg, h_v], axis=1))
             # Mean aggregation keeps magnitudes degree-independent (the
             # paper's Eq. 3 sum, normalized as in Eq. 1's D^-1/2 A D^-1/2).
-            from ..tensor import segment_mean
-
             return segment_mean(transformed, dst, num_dst), None
 
         transformed = W_a(msg)  # (E, d)
@@ -255,6 +436,8 @@ class OneSpaceHGN(Module):
     def _layer_forward(self, layer: int, h: Dict[str, Tensor],
                        batch: GraphBatch) -> Dict[str, Tensor]:
         """One full convolution: Eq. 13 over every destination type."""
+        if self.config.fused:
+            return self._layer_forward_fused(layer, h, batch)
         d = self.config.dim
         edge_table = self._edge_embeddings_at_layer(layer)
         next_h: Dict[str, Tensor] = {}

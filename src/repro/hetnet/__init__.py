@@ -1,6 +1,7 @@
 """Heterogeneous publication-network data model (Definition 3.1)."""
 
 from .graph import EdgeArray, HeteroGraph
+from .structure import BatchStructure, EdgeStructure
 from .metapath import (
     FUNDAMENTAL_METAPATHS,
     MetaPath,
@@ -24,6 +25,8 @@ from .schema import (
 __all__ = [
     "HeteroGraph",
     "EdgeArray",
+    "BatchStructure",
+    "EdgeStructure",
     "Schema",
     "EdgeType",
     "EdgeTypeKey",

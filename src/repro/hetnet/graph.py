@@ -15,6 +15,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 import numpy as np
 
 from .schema import EdgeTypeKey, Schema
+from .structure import EdgeStructure
 
 
 @dataclass
@@ -38,16 +39,20 @@ class EdgeArray:
 
 
 class _CSRIndex:
-    """Edges of one type grouped by destination node."""
+    """Edges of one type grouped by destination node.
+
+    Built on :class:`~repro.hetnet.structure.EdgeStructure` so the
+    destination sort is computed by the same code path the message-passing
+    batch cache uses.
+    """
 
     def __init__(self, edges: EdgeArray, num_dst: int) -> None:
-        order = np.argsort(edges.dst, kind="stable")
-        self.src = edges.src[order]
-        self.dst = edges.dst[order]
+        structure = EdgeStructure(edges.src, edges.dst, num_dst)
+        order = structure.order
+        self.src = structure.src[order]
+        self.dst = structure.sorted_dst
         self.weight = edges.weight[order]
-        self.indptr = np.searchsorted(
-            self.dst, np.arange(num_dst + 1), side="left"
-        )
+        self.indptr = structure.indptr
 
     def neighbors(self, node: int) -> Tuple[np.ndarray, np.ndarray]:
         lo, hi = self.indptr[node], self.indptr[node + 1]

@@ -13,14 +13,19 @@ from .ops import (
     as_tensor,
     circular_convolution,
     circular_correlation,
+    circular_correlation_row,
     concatenate,
     dropout,
     gather,
+    gather_matmul,
     log_softmax,
+    masked_softmax_combine,
     numerical_gradient,
     segment_mean,
     segment_softmax,
+    segment_softmax_fused,
     segment_sum,
+    segment_weighted_sum,
     softmax,
     stack,
     where,
@@ -35,12 +40,17 @@ __all__ = [
     "concatenate",
     "stack",
     "gather",
+    "gather_matmul",
     "segment_sum",
     "segment_mean",
     "segment_softmax",
+    "segment_softmax_fused",
+    "segment_weighted_sum",
+    "masked_softmax_combine",
     "softmax",
     "log_softmax",
     "circular_correlation",
+    "circular_correlation_row",
     "circular_convolution",
     "dropout",
     "where",

@@ -49,16 +49,26 @@ def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
     return Tensor._make(out_data, tensors, backward)
 
 
-def gather(tensor: Tensor, index: np.ndarray) -> Tensor:
+def gather(tensor: Tensor, index: np.ndarray, sorter=None) -> Tensor:
     """Row-gather ``tensor[index]`` for an integer index array.
 
     The gradient scatters (sums) back into the gathered rows, which makes
-    ``gather`` the adjoint of :func:`segment_sum`.
+    ``gather`` the adjoint of :func:`segment_sum`.  ``sorter`` (optional)
+    is an index-grouped structure (``order``/``indptr`` over ``index``
+    with ``len(indptr) - 1 == len(tensor)`` segments, e.g. an
+    :meth:`EdgeStructure.src_view <repro.hetnet.structure.EdgeStructure
+    .src_view>`); with it the backward scatter runs as a contiguous
+    ``reduceat`` instead of ``np.add.at``.
     """
     index = np.asarray(index, dtype=np.intp)
     out_data = tensor.data[index]
 
     def backward(grad: np.ndarray) -> None:
+        if sorter is not None:
+            tensor._accumulate(
+                _sorted_segment_sum(grad, sorter.order, sorter.indptr)
+            )
+            return
         full = np.zeros_like(tensor.data)
         np.add.at(full, index, grad)
         tensor._accumulate(full)
@@ -66,16 +76,66 @@ def gather(tensor: Tensor, index: np.ndarray) -> Tensor:
     return Tensor._make(out_data, (tensor,), backward)
 
 
-def segment_sum(tensor: Tensor, segment_ids: np.ndarray, num_segments: int) -> Tensor:
+# ----------------------------------------------------------------------
+# Sorted segment reductions
+#
+# ``np.add.at`` is an unbuffered scatter — correct but slow (it cannot
+# vectorize over duplicate indices).  When the caller supplies a *sorter*
+# (any object with ``order``/``indptr`` attributes, e.g. a cached
+# :class:`repro.hetnet.structure.EdgeStructure`), segment reductions run
+# as contiguous ``np.ufunc.reduceat`` slices over dst-sorted rows instead.
+# ----------------------------------------------------------------------
+
+
+def _sorted_segment_sum(x: np.ndarray, order: np.ndarray,
+                        indptr: np.ndarray) -> np.ndarray:
+    """Segment sum of ``x`` via ``np.add.reduceat`` over sorted rows."""
+    num = len(indptr) - 1
+    out = np.zeros((num,) + x.shape[1:], dtype=np.float64)
+    if x.shape[0] == 0:
+        return out
+    starts = indptr[:-1]
+    nonempty = indptr[1:] > starts
+    if nonempty.any():
+        out[nonempty] = np.add.reduceat(x[order], starts[nonempty], axis=0)
+    return out
+
+
+def _sorted_segment_max(x: np.ndarray, order: np.ndarray, indptr: np.ndarray,
+                        empty_fill: float = 0.0) -> np.ndarray:
+    """Segment max of ``x`` via ``np.maximum.reduceat`` over sorted rows."""
+    num = len(indptr) - 1
+    out = np.full((num,) + x.shape[1:], empty_fill, dtype=np.float64)
+    if x.shape[0] == 0:
+        return out
+    starts = indptr[:-1]
+    nonempty = indptr[1:] > starts
+    if nonempty.any():
+        out[nonempty] = np.maximum.reduceat(x[order], starts[nonempty], axis=0)
+    return out
+
+
+def _segment_sum_data(x: np.ndarray, segment_ids: np.ndarray,
+                      num_segments: int, sorter=None) -> np.ndarray:
+    """Raw segment sum: reduceat fast path when a sorter is available."""
+    if sorter is not None:
+        return _sorted_segment_sum(x, sorter.order, sorter.indptr)
+    out = np.zeros((num_segments,) + x.shape[1:], dtype=np.float64)
+    np.add.at(out, segment_ids, x)
+    return out
+
+
+def segment_sum(tensor: Tensor, segment_ids: np.ndarray, num_segments: int,
+                sorter=None) -> Tensor:
     """Sum rows of ``tensor`` into ``num_segments`` buckets.
 
     ``out[s] = sum_i tensor[i] for segment_ids[i] == s`` — the scatter-add
-    aggregation at the heart of message passing.
+    aggregation at the heart of message passing.  ``sorter`` (optional)
+    provides precomputed dst-sorted ``order``/``indptr`` arrays for the
+    contiguous-reduction fast path.
     """
     segment_ids = np.asarray(segment_ids, dtype=np.intp)
-    out_shape = (num_segments,) + tensor.data.shape[1:]
-    out_data = np.zeros(out_shape, dtype=np.float64)
-    np.add.at(out_data, segment_ids, tensor.data)
+    out_data = _segment_sum_data(tensor.data, segment_ids, num_segments, sorter)
 
     def backward(grad: np.ndarray) -> None:
         tensor._accumulate(grad[segment_ids])
@@ -83,12 +143,18 @@ def segment_sum(tensor: Tensor, segment_ids: np.ndarray, num_segments: int) -> T
     return Tensor._make(out_data, (tensor,), backward)
 
 
-def segment_mean(tensor: Tensor, segment_ids: np.ndarray, num_segments: int) -> Tensor:
-    """Mean-aggregate rows into segments; empty segments yield zeros."""
+def segment_mean(tensor: Tensor, segment_ids: np.ndarray, num_segments: int,
+                 counts: Optional[np.ndarray] = None, sorter=None) -> Tensor:
+    """Mean-aggregate rows into segments; empty segments yield zeros.
+
+    ``counts`` (optional) is the precomputed per-segment row count, e.g.
+    from a cached :class:`~repro.hetnet.structure.EdgeStructure`.
+    """
     segment_ids = np.asarray(segment_ids, dtype=np.intp)
-    counts = np.bincount(segment_ids, minlength=num_segments).astype(np.float64)
+    if counts is None:
+        counts = np.bincount(segment_ids, minlength=num_segments).astype(np.float64)
     counts = np.maximum(counts, 1.0)
-    summed = segment_sum(tensor, segment_ids, num_segments)
+    summed = segment_sum(tensor, segment_ids, num_segments, sorter=sorter)
     inv = 1.0 / counts
     return summed * Tensor(inv.reshape((-1,) + (1,) * (tensor.ndim - 1)))
 
@@ -112,6 +178,148 @@ def segment_softmax(
     denom = segment_sum(exp, segment_ids, num_segments)
     denom_per_edge = gather(denom, segment_ids)
     return exp / (denom_per_edge + 1e-12)
+
+
+# ----------------------------------------------------------------------
+# Fused kernels (single tape node, analytic backward)
+#
+# Each op below collapses a chain of 3-6 elementary tape nodes from the
+# message-passing hot path into one node with a hand-derived backward
+# closure.  They are numerically equivalent (within fp64 rounding) to the
+# composed forms noted in each docstring; ``tests/test_hgn_fused_equivalence``
+# and the ``tests/test_gradcheck_ops.py`` sweeps enforce that.
+# ----------------------------------------------------------------------
+
+
+def gather_matmul(table: Tensor, index: np.ndarray, weight: Tensor,
+                  bias: Optional[Tensor] = None, sorter=None) -> Tensor:
+    """Fused ``gather(table, index) @ weight (+ bias)`` in one tape node.
+
+    Equivalent to the composed form but never materializes the gathered
+    ``(E, d_in)`` intermediate on the tape: the forward gathers into a
+    temporary, and the backward scatters ``grad @ weight.T`` straight into
+    ``table`` while reducing ``gathered.T @ grad`` into ``weight``.
+    ``sorter`` (optional) is an index-grouped structure over ``index``
+    with one segment per ``table`` row; it turns the backward scatter
+    into a contiguous ``reduceat``.
+    """
+    index = np.asarray(index, dtype=np.intp)
+    gathered = table.data[index]
+    out_data = gathered @ weight.data
+    if bias is not None:
+        out_data = out_data + bias.data
+    parents = (table, weight) if bias is None else (table, weight, bias)
+
+    def backward(grad: np.ndarray) -> None:
+        g_rows = grad @ weight.data.T
+        if sorter is not None:
+            table._accumulate(
+                _sorted_segment_sum(g_rows, sorter.order, sorter.indptr)
+            )
+        else:
+            full = np.zeros_like(table.data)
+            np.add.at(full, index, g_rows)
+            table._accumulate(full)
+        weight._accumulate(gathered.T @ grad)
+        if bias is not None:
+            bias._accumulate(grad.sum(axis=0))
+
+    return Tensor._make(out_data, parents, backward)
+
+
+def segment_weighted_sum(values: Tensor, weights: Tensor,
+                         segment_ids: np.ndarray, num_segments: int,
+                         sorter=None) -> Tensor:
+    """Fused ``segment_sum(values * weights[:, None], ...)`` in one node.
+
+    ``out[s] = sum_{i: seg[i]=s} weights[i] * values[i]`` — the
+    attention-weighted aggregation of Eq. (13)'s inner sum.  ``values`` is
+    ``(E, d)``, ``weights`` is ``(E,)``.
+    """
+    segment_ids = np.asarray(segment_ids, dtype=np.intp)
+    w_col = weights.data.reshape(-1, 1)
+    out_data = _segment_sum_data(values.data * w_col, segment_ids,
+                                 num_segments, sorter)
+
+    def backward(grad: np.ndarray) -> None:
+        g_edge = grad[segment_ids]
+        values._accumulate(g_edge * w_col)
+        weights._accumulate((g_edge * values.data).sum(axis=1))
+
+    return Tensor._make(out_data, (values, weights), backward)
+
+
+def segment_softmax_fused(
+    scores: Tensor, segment_ids: np.ndarray, num_segments: int, sorter=None
+) -> Tensor:
+    """:func:`segment_softmax` collapsed into one tape node.
+
+    The composed form records five nodes (shift, exp, segment_sum, gather,
+    div); this version computes ``alpha = exp(s - max_seg) / (sum_seg + eps)``
+    in plain numpy and registers the closed-form Jacobian action
+
+    ``grad_s = alpha * (g - segsum(alpha * g)[seg])``
+
+    (the ``eps`` cancellation is exact in this form).  Skipping the
+    intermediate gather of the denominator is the main saving.
+    """
+    segment_ids = np.asarray(segment_ids, dtype=np.intp)
+    if sorter is not None:
+        seg_max = _sorted_segment_max(scores.data, sorter.order, sorter.indptr)
+    else:
+        seg_max = np.full((num_segments,) + scores.shape[1:], -np.inf)
+        np.maximum.at(seg_max, segment_ids, scores.data)
+        seg_max[~np.isfinite(seg_max)] = 0.0
+    exp = np.exp(scores.data - seg_max[segment_ids])
+    denom = _segment_sum_data(exp, segment_ids, num_segments, sorter)
+    alpha = exp / (denom[segment_ids] + 1e-12)
+
+    def backward(grad: np.ndarray) -> None:
+        ag = alpha * grad
+        seg_dot = _segment_sum_data(ag, segment_ids, num_segments, sorter)
+        scores._accumulate(ag - alpha * seg_dot[segment_ids])
+
+    return Tensor._make(alpha, (scores,), backward)
+
+
+def masked_softmax_combine(scores: Tensor, aggregates: Sequence[Tensor],
+                           mask: np.ndarray,
+                           mask_penalty: float = -1e9) -> Tensor:
+    """Fused link-wise attention combine (Eq. 15 + Eq. 13 outer sum).
+
+    Given per-type scores ``(N, T)``, a constant presence ``mask`` of the
+    same shape, and ``T`` aggregate tensors of shape ``(N, d)``, computes
+
+    ``alpha = softmax(scores + where(mask, 0, penalty), axis=1)``
+    ``out = sum_t alpha[:, t, None] * aggregates[t]``
+
+    as one tape node.  The composed form records ~``3T`` nodes (reshape /
+    add-mask / softmax / T muls / T-1 adds); the fused backward is
+
+    ``grad_agg_t = grad * alpha[:, t, None]``
+    ``S[:, t]   = sum_d grad * agg_t``
+    ``grad_scores = alpha * (S - sum_t alpha * S)``.
+    """
+    aggregates = list(aggregates)
+    mask = np.asarray(mask, dtype=bool)
+    shifted = scores.data + np.where(mask, 0.0, mask_penalty)
+    shifted = shifted - shifted.max(axis=1, keepdims=True)
+    exp = np.exp(shifted)
+    alpha = exp / exp.sum(axis=1, keepdims=True)
+    agg_data = [a.data for a in aggregates]
+    out_data = alpha[:, 0].reshape(-1, 1) * agg_data[0]
+    for t in range(1, len(agg_data)):
+        out_data = out_data + alpha[:, t].reshape(-1, 1) * agg_data[t]
+
+    def backward(grad: np.ndarray) -> None:
+        score_grads = np.empty_like(alpha)
+        for t, agg in enumerate(aggregates):
+            agg._accumulate(grad * alpha[:, t].reshape(-1, 1))
+            score_grads[:, t] = (grad * agg_data[t]).sum(axis=1)
+        inner = (alpha * score_grads).sum(axis=1, keepdims=True)
+        scores._accumulate(alpha * (score_grads - inner))
+
+    return Tensor._make(out_data, (scores, *aggregates), backward)
 
 
 def softmax(tensor: Tensor, axis: int = -1) -> Tensor:
@@ -150,6 +358,53 @@ def circular_correlation(a: Tensor, b: Tensor) -> Tensor:
         b._accumulate(unbroadcast(gb, b.shape))
 
     return Tensor._make(out_data, (a, b), backward)
+
+
+def circular_correlation_row(table: Tensor, row: Tensor,
+                             index: Optional[np.ndarray] = None,
+                             sorter=None) -> Tensor:
+    """Fused ``circular_correlation(table[index], row)`` for one ``row``.
+
+    When the second operand is a single ``(1, d)`` link-type embedding —
+    the shape the HGN's φ always sees, since every edge of a type shares
+    one embedding — circular correlation collapses to a matmul with the
+    circulant matrix ``C[j, k] = row[(j + k) mod d]``:
+
+    ``corr(a, row)_k = sum_j a_j row_{(j+k) mod d} = (a @ C)_k``.
+
+    This replaces per-edge FFTs (three transforms forward, five backward)
+    with one ``(E, d) @ (d, d)`` BLAS call each way, and optionally fuses
+    the source-side row gather into the same node (``index``), with a
+    ``reduceat`` backward scatter when ``sorter`` groups ``index``.
+
+    Gradients: ``grad_table = scatter(grad @ C.T, index)`` and
+    ``grad_row[m] = sum_{(j+k) mod d = m} (gathered.T @ grad)[j, k]``
+    (anti-diagonal wrap-sums of the ``(d, d)`` outer-product gradient).
+    """
+    d = table.data.shape[-1]
+    idx_mat = (np.arange(d)[:, None] + np.arange(d)[None, :]) % d
+    circ = row.data.reshape(-1)[idx_mat]  # (d, d) circulant of the row
+    gathered = table.data if index is None else table.data[index]
+    out_data = gathered @ circ
+
+    def backward(grad: np.ndarray) -> None:
+        g_rows = grad @ circ.T
+        if index is None:
+            table._accumulate(g_rows)
+        elif sorter is not None:
+            table._accumulate(
+                _sorted_segment_sum(g_rows, sorter.order, sorter.indptr)
+            )
+        else:
+            full = np.zeros_like(table.data)
+            np.add.at(full, index, g_rows)
+            table._accumulate(full)
+        grad_circ = gathered.T @ grad  # (d, d)
+        grad_row = np.bincount(idx_mat.ravel(), weights=grad_circ.ravel(),
+                               minlength=d)
+        row._accumulate(grad_row.reshape(row.shape))
+
+    return Tensor._make(out_data, (table, row), backward)
 
 
 def circular_convolution(a: Tensor, b: Tensor) -> Tensor:

@@ -1,0 +1,95 @@
+"""Golden headline metrics: frozen seed-0 CATE-HGN MAE/RMSE.
+
+These constants pin the *exact* numerical behaviour of the default
+(fused) engine on fixed-seed worlds.  Any change that alters training
+semantics — a kernel that is not bit-compatible-within-rounding, a
+different iteration order, a changed default hyper-parameter — shows up
+here first, with a diff far larger than the fp64-reordering tolerance.
+
+Regenerating after an *intentional* semantic change
+---------------------------------------------------
+Tier-1 constants (tiny world)::
+
+    PYTHONPATH=src python - <<'PY'
+    from tests.test_golden_metrics import _tiny_metrics
+    print(_tiny_metrics())
+    PY
+
+Bench-scale constants (Table-II headline, ``-m slow`` test)::
+
+    PYTHONPATH=src:. python - <<'PY'
+    from benchmarks.common import bench_datasets, bench_config
+    from repro.core import CATEHGN
+    from repro.eval.metrics import mae, rmse
+    ds = bench_datasets()["full"]
+    m = CATEHGN(bench_config()).fit(ds)
+    p = m.predict(ds)[ds.test_idx]; y = ds.labels[ds.test_idx]
+    print(f"MAE={mae(y, p):.10f} RMSE={rmse(y, p):.10f}")
+    PY
+
+Paste the printed values into the ``GOLDEN_*`` constants below and
+explain the semantic change in the commit message.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import CATEHGN, CATEHGNConfig
+from repro.eval.metrics import mae, rmse
+
+# Tiny-world golden values (fused engine, seed 0; see module docstring).
+GOLDEN_TINY_MAE = 1.2196741611
+GOLDEN_TINY_RMSE = 1.5528355533
+
+# Bench-scale Table-II headline (DBLP-full, CATE_SETTINGS, fused engine).
+GOLDEN_BENCH_MAE = 2.3047628003
+GOLDEN_BENCH_RMSE = 2.9585706420  # Table-II "CATE-HGN / DBLP-full": 2.9586
+
+# Same-container runs are bit-deterministic; the tolerance only allows
+# for BLAS kernel-dispatch differences across machines.
+TOL = 1e-6
+
+
+def _tiny_model_config() -> CATEHGNConfig:
+    return CATEHGNConfig(dim=16, attention_heads=2, outer_iters=6,
+                         mini_iters=4, seed=0)
+
+
+def _tiny_metrics(dataset=None):
+    if dataset is None:  # regeneration path (module docstring)
+        from repro.data import (TextArtifacts, WorldConfig, generate_world,
+                                make_dblp_full)
+        from tests.conftest import tiny_config
+
+        world = generate_world(tiny_config())
+        dataset = make_dblp_full(world=world,
+                                 text=TextArtifacts.fit(world, dim=16))
+    model = CATEHGN(_tiny_model_config()).fit(dataset)
+    preds = model.predict(dataset)[dataset.test_idx]
+    truth = dataset.labels[dataset.test_idx]
+    return mae(truth, preds), rmse(truth, preds)
+
+
+def test_golden_tiny_headline(tiny_dataset):
+    got_mae, got_rmse = _tiny_metrics(tiny_dataset)
+    assert got_mae == pytest.approx(GOLDEN_TINY_MAE, abs=TOL)
+    assert got_rmse == pytest.approx(GOLDEN_TINY_RMSE, abs=TOL)
+    # Absolute quality floor: golden drift aside, the model must beat a
+    # degenerate predictor by a wide margin on this world.
+    truth = tiny_dataset.labels[tiny_dataset.test_idx]
+    baseline_rmse = float(np.sqrt(np.mean((truth - truth.mean()) ** 2)))
+    assert got_rmse < baseline_rmse
+
+
+@pytest.mark.slow
+def test_golden_bench_table2_headline():
+    """Table-II headline at BENCH_WORLD scale (minutes; run via
+    ``pytest -m slow tests/test_golden_metrics.py``)."""
+    from benchmarks.common import bench_config, bench_datasets
+
+    dataset = bench_datasets()["full"]
+    model = CATEHGN(bench_config()).fit(dataset)
+    preds = model.predict(dataset)[dataset.test_idx]
+    truth = dataset.labels[dataset.test_idx]
+    assert mae(truth, preds) == pytest.approx(GOLDEN_BENCH_MAE, abs=TOL)
+    assert rmse(truth, preds) == pytest.approx(GOLDEN_BENCH_RMSE, abs=TOL)

@@ -13,18 +13,24 @@ import numpy as np
 import pytest
 
 from repro.analysis import check_gradients
+from repro.hetnet.structure import EdgeStructure
 from repro.nn import bce_with_logits, jsd_mi_estimate, kl_divergence, l1_loss, mse_loss
 from repro.tensor import (
     Tensor,
     circular_convolution,
     circular_correlation,
+    circular_correlation_row,
     concatenate,
     dropout,
     gather,
+    gather_matmul,
     log_softmax,
+    masked_softmax_combine,
     segment_mean,
     segment_softmax,
+    segment_softmax_fused,
     segment_sum,
+    segment_weighted_sum,
     softmax,
     stack,
     where,
@@ -251,6 +257,129 @@ def test_log_softmax(axis):
 @pytest.mark.parametrize("sa,sb", [((5,), (5,)), ((3, 6), (3, 6)), ((1, 4), (3, 4))])
 def test_circular_composition(op, sa, sb):
     run(lambda a, b: op(a, b), smooth(sa), smooth(sb))
+
+
+# ----------------------------------------------------------------------
+# Fused kernels (DESIGN §10): every fused op, every index layout —
+# including the degenerate shapes (empty segments, a single edge) that
+# break the naive reduceat fast path.
+# ----------------------------------------------------------------------
+
+# Segment layouts: "gaps" leaves segments 1 and 3 empty, "single" is the
+# one-edge graph, "empty" has no edges at all.
+SEGMENT_CASES = {
+    "dense": (np.array([0, 0, 2, 1, 2, 2]), 4),
+    "gaps": (np.array([0, 0, 4, 2, 4]), 6),
+    "single": (np.array([1]), 3),
+    "empty": (np.array([], dtype=np.intp), 3),
+}
+
+
+def _sorter(segment_ids, num_segments):
+    src = np.zeros(len(segment_ids), dtype=np.intp)
+    return EdgeStructure(src, segment_ids, num_segments)
+
+
+@pytest.mark.parametrize("case", sorted(SEGMENT_CASES))
+@pytest.mark.parametrize("use_sorter", [False, True], ids=["scatter", "sorted"])
+def test_gather_matmul_fused(case, use_sorter):
+    seg, num = SEGMENT_CASES[case]
+    sorter = _sorter(seg, num) if use_sorter else None
+    w = smooth((3, 2))
+    bias = smooth((2,))
+    table = smooth((num, 3))
+    run(lambda t, wt: gather_matmul(t, seg, wt, sorter=sorter), table, w)
+    run(lambda t, wt, bt: gather_matmul(t, seg, wt, bias=bt, sorter=sorter),
+        table, w, bias)
+
+
+@pytest.mark.parametrize("case", sorted(SEGMENT_CASES))
+@pytest.mark.parametrize("use_sorter", [False, True], ids=["scatter", "sorted"])
+def test_segment_weighted_sum_fused(case, use_sorter):
+    seg, num = SEGMENT_CASES[case]
+    sorter = _sorter(seg, num) if use_sorter else None
+    run(lambda v, w: segment_weighted_sum(v, w, seg, num, sorter=sorter),
+        smooth((len(seg), 3)), smooth((len(seg),)))
+
+
+@pytest.mark.parametrize("case", ["dense", "gaps", "single"])
+@pytest.mark.parametrize("shape_tail", [(), (2,)], ids=["flat", "heads"])
+@pytest.mark.parametrize("use_sorter", [False, True], ids=["scatter", "sorted"])
+def test_segment_softmax_fused_op(case, shape_tail, use_sorter):
+    seg, num = SEGMENT_CASES[case]
+    sorter = _sorter(seg, num) if use_sorter else None
+    run(lambda s: segment_softmax_fused(s, seg, num, sorter=sorter),
+        smooth((len(seg),) + shape_tail))
+
+
+def test_segment_softmax_fused_matches_composed():
+    seg, num = SEGMENT_CASES["gaps"]
+    x = smooth((len(seg), 2))
+    fused = segment_softmax_fused(Tensor(x), seg, num)
+    composed = segment_softmax(Tensor(x), seg, num)
+    np.testing.assert_allclose(fused.data, composed.data, atol=1e-12)
+
+
+@pytest.mark.parametrize("num_rows", [5, 1], ids=["rows", "single_row"])
+def test_masked_softmax_combine_fused(num_rows):
+    num_types = 3
+    mask = RNG.random((num_rows, num_types)) < 0.5
+    mask[:, -1] = True  # the always-present self-loop column
+    run(
+        lambda s, a0, a1, a2: masked_softmax_combine(s, [a0, a1, a2], mask),
+        smooth((num_rows, num_types)),
+        smooth((num_rows, 4)), smooth((num_rows, 4)), smooth((num_rows, 4)),
+    )
+
+
+@pytest.mark.parametrize("index_case", ["none", "dense", "single", "empty"])
+@pytest.mark.parametrize("use_sorter", [False, True], ids=["scatter", "sorted"])
+def test_circular_correlation_row_fused(index_case, use_sorter):
+    d, num = 6, 4
+    indices = {
+        "none": None,
+        "dense": np.array([0, 3, 1, 0, 3], dtype=np.intp),
+        "single": np.array([2], dtype=np.intp),
+        "empty": np.array([], dtype=np.intp),
+    }
+    index = indices[index_case]
+    sorter = (None if index is None or not use_sorter
+              else EdgeStructure(np.zeros(len(index), dtype=np.intp),
+                                 index, num))
+    run(
+        lambda t, r: circular_correlation_row(t, r, index=index,
+                                              sorter=sorter),
+        smooth((num, d)), smooth((1, d)),
+    )
+
+
+def test_circular_correlation_row_matches_fft():
+    d = 8
+    table = smooth((5, d))
+    row = smooth((1, d))
+    idx = np.array([0, 4, 2, 2, 1], dtype=np.intp)
+    fused = circular_correlation_row(Tensor(table), Tensor(row), index=idx)
+    legacy = circular_correlation(Tensor(table[idx]), Tensor(row))
+    np.testing.assert_allclose(fused.data, legacy.data, atol=1e-12)
+
+
+@pytest.mark.parametrize("use_sorter", [False, True], ids=["scatter", "sorted"])
+def test_gather_with_sorter_backward(use_sorter):
+    idx = np.array([0, 3, 1, 0, 3], dtype=np.intp)
+    sorter = (EdgeStructure(np.zeros(len(idx), dtype=np.intp), idx, 4)
+              if use_sorter else None)
+    run(lambda t: gather(t, idx, sorter=sorter), smooth((4, 3)))
+
+
+@pytest.mark.parametrize("case", sorted(SEGMENT_CASES))
+def test_segment_reductions_with_sorter(case):
+    seg, num = SEGMENT_CASES[case]
+    sorter = _sorter(seg, num)
+    run(lambda t: segment_sum(t, seg, num, sorter=sorter),
+        smooth((len(seg), 3)))
+    run(lambda t: segment_mean(t, seg, num, counts=sorter.counts,
+                               sorter=sorter),
+        smooth((len(seg), 3)))
 
 
 def test_where():

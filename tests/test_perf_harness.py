@@ -1,0 +1,67 @@
+"""Perf harness: committed-baseline integrity (tier-1) + live run (perf).
+
+The tier-1 part is cheap: it validates the schema of the committed
+``benchmarks/results/BENCH_perf.json`` and pins the headline claim the
+fused engine was merged on — the end-to-end CATE-HGN epoch speedup over
+the legacy path.  The ``perf``-marked part actually executes the
+harness (minutes); run it with ``pytest -m perf tests/test_perf_harness.py``.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+BENCH_PERF = REPO_ROOT / "benchmarks" / "results" / "BENCH_perf.json"
+
+FUSED_OPS = {"gather_matmul", "segment_softmax_fused",
+             "segment_weighted_sum", "masked_softmax_combine"}
+
+
+def test_committed_bench_perf_schema_and_headline():
+    report = json.loads(BENCH_PERF.read_text())
+    assert {case["op"] for case in report["ops"]} >= FUSED_OPS
+    for case in report["ops"]:
+        # Fusion must shrink the tape, never grow it.
+        assert (case["fused_tape"]["tape_nodes"]
+                <= case["legacy_tape"]["tape_nodes"]), case["op"]
+        assert case["fused"]["mean_s"] > 0 and case["legacy"]["mean_s"] > 0
+    for mode in ("fused", "legacy"):
+        assert report["hgn_passes"][mode]["forward"]["mean_s"] > 0
+        assert report["cate_epochs"][mode]["epoch_mean_s"] > 0
+    # The acceptance headline: >=1.5x end-to-end CATE-HGN epoch speedup
+    # vs the pre-change (legacy) measurement recorded in the same file.
+    assert report["cate_epochs"]["epoch_speedup"] >= 1.5
+    assert set(report["baseline_epochs"]) == {"R-GCN", "GAT", "HAN"}
+
+
+def test_regression_gate_accepts_its_own_baseline():
+    """check_regression with --report pointed at the baseline itself
+    must pass (0 %% drift < 25 %% threshold), without re-measuring."""
+    import subprocess
+    import sys
+
+    proc = subprocess.run(
+        [sys.executable, str(REPO_ROOT / "benchmarks" / "perf" /
+                             "check_regression.py"),
+         "--report", str(BENCH_PERF)],
+        capture_output=True, text=True,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "OK" in proc.stdout
+
+
+@pytest.mark.perf
+def test_perf_harness_quick_run(tmp_path):
+    """Execute the harness end-to-end in quick mode (minutes)."""
+    import sys
+
+    sys.path.insert(0, str(REPO_ROOT))
+    from benchmarks.perf import run_all
+
+    report = run_all(quick=True)
+    assert report["cate_epochs"]["fused"]["epoch_mean_s"] > 0
+    out = tmp_path / "BENCH_perf.json"
+    out.write_text(json.dumps(report))
+    assert json.loads(out.read_text())["bench"] == "BENCH_perf"

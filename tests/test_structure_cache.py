@@ -1,0 +1,126 @@
+"""Batch-structure cache: correctness and hit behaviour (DESIGN §10).
+
+Before the cache, ``OneSpaceHGN._layer_forward`` recomputed presence
+masks and per-edge-type index structures on every layer of every
+forward.  These tests pin the new contract: one
+:class:`~repro.hetnet.structure.BatchStructure` build per batch
+topology, shared by all layers, all forward passes, and all
+label-augmented views — observed through the class-wide ``builds``
+counter.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import GraphBatch, HGNConfig, OneSpaceHGN
+from repro.hetnet.structure import BatchStructure, EdgeStructure
+
+
+def _batch(dataset, num_labeled=25):
+    ids = np.arange(num_labeled, dtype=np.intp)
+    return GraphBatch.from_graph(dataset.graph, ids, np.zeros(num_labeled))
+
+
+# ----------------------------------------------------------------------
+# EdgeStructure invariants
+# ----------------------------------------------------------------------
+def test_edge_structure_arrays():
+    src = np.array([4, 0, 2, 3, 1], dtype=np.intp)
+    dst = np.array([2, 0, 2, 1, 2], dtype=np.intp)
+    es = EdgeStructure(src, dst, num_dst=4)
+    assert np.all(np.diff(es.sorted_dst) >= 0)
+    np.testing.assert_array_equal(es.counts, [1.0, 1.0, 3.0, 0.0])
+    np.testing.assert_array_equal(es.presence, [True, True, True, False])
+    # CSR slices partition the sorted edges per destination.
+    for v in range(4):
+        rows = es.order[es.indptr[v]:es.indptr[v + 1]]
+        assert np.all(dst[rows] == v)
+    assert es.indptr[-1] == len(dst)
+
+
+def test_edge_structure_src_view_is_cached_and_src_grouped():
+    src = np.array([4, 0, 2, 3, 1, 0], dtype=np.intp)
+    dst = np.array([2, 0, 2, 1, 2, 3], dtype=np.intp)
+    es = EdgeStructure(src, dst, num_dst=4)
+    sv = es.src_view(5)
+    assert sv is es.src_view(5)  # lazy, built once
+    # The view groups edges by src: its indptr covers src ids.
+    for u in range(5):
+        rows = sv.order[sv.indptr[u]:sv.indptr[u + 1]]
+        assert np.all(src[rows] == u)
+
+
+def test_identity_structure():
+    es = EdgeStructure.identity(5)
+    np.testing.assert_array_equal(es.src, np.arange(5))
+    np.testing.assert_array_equal(es.counts, np.ones(5))
+    assert es.presence.all()
+
+
+# ----------------------------------------------------------------------
+# Cache behaviour on GraphBatch
+# ----------------------------------------------------------------------
+def test_structure_built_once_per_batch(tiny_dataset):
+    batch = _batch(tiny_dataset)
+    before = BatchStructure.builds
+    s1 = batch.structure
+    assert BatchStructure.builds == before + 1
+    s2 = batch.structure
+    assert s2 is s1
+    assert BatchStructure.builds == before + 1
+
+
+def test_label_augmented_views_share_the_cache(tiny_dataset):
+    base = _batch(tiny_dataset)
+    ids = base.labeled_ids
+    view = base.with_label_inputs(ids[:10], np.zeros(10),
+                                  ids[10:], np.zeros(15))
+    before = BatchStructure.builds
+    # Whichever side builds first, both share the same object.
+    assert view.structure is base.structure
+    assert BatchStructure.builds == before + 1
+    # And a view created after the build inherits it for free.
+    late = base.with_label_inputs(ids[:5], np.zeros(5), ids[5:], np.zeros(20))
+    assert late.structure is base.structure
+    assert BatchStructure.builds == before + 1
+
+
+def test_new_batch_gets_fresh_structure(tiny_dataset):
+    """Topology invalidation rule: a new GraphBatch => a new cache."""
+    b1 = _batch(tiny_dataset)
+    b2 = _batch(tiny_dataset)
+    assert b1.structure is not b2.structure
+
+
+def test_no_rebuild_across_layers_and_forwards(tiny_dataset):
+    """The satellite fix: presence masks / index structures are no longer
+    recomputed per layer — a multi-layer forward, repeated, costs exactly
+    one build."""
+    batch = _batch(tiny_dataset)
+    config = HGNConfig(dim=16, attention_heads=2, num_layers=3, seed=0)
+    feature_dims = {t: batch.features[t].shape[1] for t in batch.node_types}
+    net = OneSpaceHGN(config, batch.node_types, feature_dims,
+                      list(batch.edges.keys()))
+    before = BatchStructure.builds
+    for _ in range(3):  # 3 forwards x 3 layers each
+        net(batch)
+    assert BatchStructure.builds == before + 1
+
+
+def test_masks_match_presence(tiny_dataset):
+    batch = _batch(tiny_dataset)
+    structure = batch.structure
+    for t in batch.node_types:
+        mask = structure.mask[t]
+        keys = structure.active_keys[t]
+        assert mask.shape == (batch.num_nodes[t], len(keys) + 1)
+        for col, key in enumerate(keys):
+            np.testing.assert_array_equal(mask[:, col],
+                                          structure.edge[key].presence)
+        assert mask[:, -1].all()  # self-loop column
+
+
+def test_self_loop_structures_cached(tiny_dataset):
+    structure = _batch(tiny_dataset).structure
+    assert structure.self_loop(7) is structure.self_loop(7)
+    assert structure.self_loop(7) is not structure.self_loop(8)
