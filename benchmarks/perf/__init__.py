@@ -18,6 +18,9 @@ Three granularities:
   bench batch, and the same pass with ``backward()``.
 * **epoch** — end-to-end outer iterations of the full CATE-HGN trainer
   and training epochs of the RGCN / GAT / HAN baselines.
+* **serve** — checkpoint → frozen :class:`repro.serve.InferenceEngine`
+  query latency: cold vs. warm single-query and micro-batched bulk
+  throughput, against the full grad-mode forward they replace.
 
 Run with ``python -m benchmarks.perf`` (writes
 ``benchmarks/results/BENCH_perf.json``); gate regressions in CI with
@@ -288,6 +291,81 @@ def bench_baseline_epochs(epochs: int = 8) -> Dict[str, object]:
 
 
 # ---------------------------------------------------------------------------
+# Serving (DESIGN §11): checkpoint → frozen engine → query latency
+# ---------------------------------------------------------------------------
+
+def bench_serve(repeats: int = 20) -> Dict[str, object]:
+    """Cold vs. warm single-query latency and micro-batch throughput.
+
+    The serving acceptance headline: a warm-cache single query must be
+    ≥5x faster than the full grad-mode forward it replaces (in practice
+    it is orders of magnitude faster — an LRU hit never touches the
+    model at all, and even a cold miss only pays one head application
+    over the frozen embeddings).
+    """
+    import tempfile
+    from pathlib import Path
+
+    from repro.serve import InferenceEngine
+
+    dataset = bench_datasets()["full"]
+    est = CATEHGN(bench_config(outer_iters=2)).fit(dataset)
+    with tempfile.TemporaryDirectory() as tmp:
+        path = est.save_checkpoint(Path(tmp) / "model")
+        start = time.perf_counter()
+        engine = InferenceEngine.from_checkpoint(path)
+        load_and_freeze_s = time.perf_counter() - start
+
+    # Reference: what a single query costs without the engine — a full
+    # grad-mode (tape-building) forward over the graph plus the head.
+    L = engine.model.config.num_layers
+
+    def grad_forward():
+        state = engine.model.forward_state(engine.batch)
+        return engine.model.hgn.regress(L, state.masked[L]["paper"])
+
+    grad_t = time_fn(grad_forward, repeats=max(3, repeats // 4))
+
+    query_id = [engine.num_papers // 2]
+
+    def cold_query():
+        engine.cache.clear()
+        engine.predict(query_id)
+
+    cold_t = time_fn(cold_query, repeats=repeats)
+
+    engine.predict(query_id)  # prime the LRU
+
+    def warm_query():
+        engine.predict(query_id)
+
+    warm_t = time_fn(warm_query, repeats=repeats)
+
+    all_ids = np.arange(engine.num_papers, dtype=np.intp)
+
+    def bulk():
+        engine.cache.clear()
+        engine.predict(all_ids)
+
+    bulk_t = time_fn(bulk, repeats=max(3, repeats // 4))
+    bulk_t["papers_per_s"] = float(engine.num_papers
+                                   / max(bulk_t["mean_s"], 1e-12))
+
+    return {
+        "num_papers": int(engine.num_papers),
+        "micro_batch": engine.micro_batch,
+        "load_and_freeze_s": load_and_freeze_s,
+        "freeze_forward_s": engine.freeze_seconds,
+        "grad_forward": grad_t,
+        "cold_single_query": cold_t,
+        "warm_single_query": warm_t,
+        "bulk": bulk_t,
+        "cold_speedup_vs_grad_forward": _speedup(grad_t, cold_t),
+        "warm_speedup_vs_grad_forward": _speedup(grad_t, warm_t),
+    }
+
+
+# ---------------------------------------------------------------------------
 # Entry point
 # ---------------------------------------------------------------------------
 
@@ -302,5 +380,6 @@ def run_all(quick: bool = False) -> Dict[str, object]:
         "hgn_passes": bench_hgn_passes(repeats=repeats),
         "cate_epochs": bench_cate_epochs(outer_iters=outer_iters),
         "baseline_epochs": bench_baseline_epochs(epochs=epochs),
+        "serve": bench_serve(repeats=5 if quick else 20),
     }
     return report

@@ -28,6 +28,19 @@ def summarize(report: dict) -> str:
     )
     for name, entry in report["baseline_epochs"].items():
         lines.append(f"{name:<9} epoch       {entry['epoch_speedup']:.2f}x")
+    sv = report["serve"]
+    lines.append(
+        f"serve cold query      {sv['cold_speedup_vs_grad_forward']:.0f}x  "
+        f"({sv['grad_forward']['mean_s'] * 1e3:.1f}ms → "
+        f"{sv['cold_single_query']['mean_s'] * 1e3:.3f}ms)"
+    )
+    lines.append(
+        f"serve warm query      {sv['warm_speedup_vs_grad_forward']:.0f}x  "
+        f"(→ {sv['warm_single_query']['mean_s'] * 1e3:.3f}ms)"
+    )
+    lines.append(
+        f"serve bulk            {sv['bulk']['papers_per_s']:,.0f} papers/s"
+    )
     return "\n".join(lines)
 
 

@@ -23,20 +23,26 @@ eval
 analysis
     Correctness toolchain: gradcheck harness, runtime tape sanitizer
     (``detect_anomaly``), and the repo-specific AST lint (``repro-lint``).
+serve
+    Checkpointing, the tape-free inference engine, and the stdlib HTTP
+    prediction service (``repro-serve``).
 """
 
 __version__ = "1.0.0"
 
 from . import tensor  # noqa: F401
 
-__all__ = ["tensor", "analysis", "__version__"]
+__all__ = ["tensor", "analysis", "serve", "__version__"]
+
+_LAZY_SUBPACKAGES = ("analysis", "serve")
 
 
 def __getattr__(name):
-    # Lazy import: `repro.analysis` pulls in the nn package for lint/module
-    # helpers; keep base `import repro` light.
-    if name == "analysis":
-        from . import analysis
+    # Lazy imports: `repro.analysis` pulls in the nn package for lint/module
+    # helpers and `repro.serve` pulls in the full model stack; keep base
+    # `import repro` light.
+    if name in _LAZY_SUBPACKAGES:
+        import importlib
 
-        return analysis
+        return importlib.import_module(f".{name}", __name__)
     raise AttributeError(f"module 'repro' has no attribute {name!r}")

@@ -18,7 +18,7 @@ from ..data.dblp import CitationDataset
 from ..eval.metrics import rmse
 from ..hetnet import PAPER
 from ..nn import Adam, Module
-from ..tensor import Tensor, gather
+from ..tensor import Tensor, gather, no_grad
 from .api import LabelScaler
 
 
@@ -63,16 +63,31 @@ class SupervisedGNNBaseline:
         raise NotImplementedError
 
     # ------------------------------------------------------------------
+    def build_batches(self, dataset: CitationDataset
+                      ) -> tuple[GraphBatch, GraphBatch, np.ndarray]:
+        """(train base batch, eval batch, early-stop indices) for ``dataset``.
+
+        Deterministic given the dataset and a fitted ``self.scaler`` — the
+        checkpoint restore path (:mod:`repro.serve.checkpoint`) replays it
+        with the saved scaler statistics to rebuild the exact inference
+        batch (and, for networks that bake topology into their
+        constructor, the exact network geometry) the estimator trained
+        with.
+        """
+        fit_idx, stop_idx = dataset.early_stopping_split()
+        base = GraphBatch.from_graph(
+            dataset.graph, fit_idx,
+            self.scaler.transform(dataset.labels[fit_idx]),
+            share_structure=True,
+        )
+        return base, self._augment_eval(base), stop_idx
+
     def fit(self, dataset: CitationDataset) -> "SupervisedGNNBaseline":
         cfg = self.config
         rng = np.random.default_rng(cfg.seed)
-        fit_idx, stop_idx = dataset.early_stopping_split()
-        train_labels = dataset.labels[fit_idx]
-        self.scaler.fit(train_labels)
-        base = GraphBatch.from_graph(
-            dataset.graph, fit_idx, self.scaler.transform(train_labels)
-        )
-        eval_batch = self._augment_eval(base)
+        fit_idx, _ = dataset.early_stopping_split()
+        self.scaler.fit(dataset.labels[fit_idx])
+        base, eval_batch, stop_idx = self.build_batches(dataset)
         self._batch = eval_batch
         if cfg.fused:
             # Warm the batch-structure cache once; every training step and
@@ -98,9 +113,10 @@ class SupervisedGNNBaseline:
             optimizer.step()
 
             if epoch % cfg.eval_every == 0 or epoch == cfg.epochs - 1:
-                val_pred = self.scaler.inverse(
-                    self.network(eval_batch).data
-                )[stop_idx]
+                with no_grad():  # validation pass never backprops
+                    val_pred = self.scaler.inverse(
+                        self.network(eval_batch).data
+                    )[stop_idx]
                 val = rmse(val_labels, val_pred)
                 self.val_history.append(val)
                 if val < best_val - 1e-6:
@@ -147,4 +163,15 @@ class SupervisedGNNBaseline:
     def predict(self) -> np.ndarray:
         if self.network is None or self._batch is None:
             raise RuntimeError("call fit() first")
-        return self.scaler.inverse(self.network(self._batch).data)
+        with no_grad():  # tape-free inference (bitwise-identical numbers)
+            return self.scaler.inverse(self.network(self._batch).data)
+
+    def save_checkpoint(self, path) -> "str":
+        """Persist the fitted network to a versioned ``.npz`` checkpoint.
+
+        Restore with :func:`repro.serve.load_gnn_baseline` (needs the same
+        dataset — baseline topology is replayed, not serialized).
+        """
+        from ..serve.checkpoint import save_gnn_baseline  # lazy: optional dep
+
+        return str(save_gnn_baseline(self, path))

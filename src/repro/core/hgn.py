@@ -147,7 +147,17 @@ class GraphBatch:
 
     @classmethod
     def from_graph(cls, graph: HeteroGraph, labeled_ids: np.ndarray,
-                   labels: np.ndarray) -> "GraphBatch":
+                   labels: np.ndarray,
+                   share_structure: bool = False) -> "GraphBatch":
+        """Flatten ``graph`` into a training-ready batch.
+
+        With ``share_structure=True`` the batch adopts the graph's shared
+        structure cell (:meth:`HeteroGraph.structure_cell`): every batch
+        built from the same unmutated graph then shares one
+        :class:`~repro.hetnet.structure.BatchStructure`, so a roster of
+        models trained on one dataset builds it exactly once.  The
+        default (``False``) keeps the historical per-batch cache.
+        """
         edges = {}
         for key, edge in graph.edges.items():
             max_w = edge.weight.max() if edge.num_edges else 1.0
@@ -160,6 +170,8 @@ class GraphBatch:
             num_nodes=dict(graph.num_nodes),
             labeled_ids=np.asarray(labeled_ids, dtype=np.intp),
             labels=np.asarray(labels, dtype=np.float64),
+            _structure_cell=(graph.structure_cell() if share_structure
+                             else None),
         )
 
 

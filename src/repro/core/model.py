@@ -15,7 +15,7 @@ import numpy as np
 
 from ..hetnet.schema import PAPER, EdgeTypeKey
 from ..nn import Module
-from ..tensor import Tensor, gather
+from ..tensor import Tensor, gather, no_grad
 from .cluster import CAConfig, ClusterModule, concat_one_space
 from .hgn import GraphBatch, HGNConfig, HGNOutput, OneSpaceHGN
 from .mi import MIEstimator
@@ -201,10 +201,16 @@ class CATEHGNModel(Module):
 
         Predictions are on the trainer's (standardized) label scale; the
         estimator wrapper un-standardizes and floors at zero citations.
+
+        Runs tape-free: the forward executes under
+        :func:`~repro.tensor.no_grad`, so no backward closures or tape
+        nodes are allocated (the numbers are bitwise-identical to a
+        grad-mode forward — inference mode only skips bookkeeping).
         """
-        state = self.forward_state(batch)
-        L = self.config.num_layers
-        pred = self.hgn.regress(L, state.masked[L][PAPER])
+        with no_grad():
+            state = self.forward_state(batch)
+            L = self.config.num_layers
+            pred = self.hgn.regress(L, state.masked[L][PAPER])
         return pred.data
 
     def node_impacts(self, batch: GraphBatch, node_type: str,
@@ -214,22 +220,24 @@ class CATEHGNModel(Module):
         With ``cluster`` given, embeddings are masked with that specific
         research domain's mask — the node's impact *within* that domain.
         """
-        state = self.forward_state(batch)
-        L = self.config.num_layers
-        if cluster is not None and self.ca is not None:
-            h = self.ca.mask_with_cluster(
-                state.output.layers[L][node_type], cluster, L
-            )
-        else:
-            h = state.masked[L][node_type]
-        return self.hgn.regress(L, h).data
+        with no_grad():
+            state = self.forward_state(batch)
+            L = self.config.num_layers
+            if cluster is not None and self.ca is not None:
+                h = self.ca.mask_with_cluster(
+                    state.output.layers[L][node_type], cluster, L
+                )
+            else:
+                h = state.masked[L][node_type]
+            return self.hgn.regress(L, h).data
 
     def cluster_assignments(self, batch: GraphBatch,
                             layer: Optional[int] = None) -> Dict[str, np.ndarray]:
         """Hard domain assignment per node type (last layer by default)."""
         if self.ca is None:
             raise RuntimeError("cluster assignments require use_ca=True")
-        state = self.forward_state(batch)
+        with no_grad():
+            state = self.forward_state(batch)
         l = self.config.num_layers if layer is None else layer
         q = state.qs[l].data
         out = {}
@@ -243,7 +251,8 @@ class CATEHGNModel(Module):
         """Soft q_vk per node type."""
         if self.ca is None:
             raise RuntimeError("memberships require use_ca=True")
-        state = self.forward_state(batch)
+        with no_grad():
+            state = self.forward_state(batch)
         l = self.config.num_layers if layer is None else layer
         q = state.qs[l].data
         return {t: q[batch.slices[t][0]:batch.slices[t][0] + batch.slices[t][1]]

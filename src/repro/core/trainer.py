@@ -25,7 +25,7 @@ from ..data.dblp import CitationDataset
 from ..eval.metrics import rmse
 from ..hetnet import PAPER, TERM, HeteroGraph, sample_neighborhood
 from ..nn import Adam
-from ..tensor import Tensor
+from ..tensor import Tensor, no_grad
 from .cluster import concat_one_space
 from .hgn import GraphBatch
 from .model import CATEHGNConfig, CATEHGNModel
@@ -254,7 +254,12 @@ class CATEHGN:
     def _make_batch(self, graph: HeteroGraph,
                     dataset: CitationDataset) -> GraphBatch:
         labels = self._normalize(dataset.labels[self._fit_idx])
-        return GraphBatch.from_graph(graph, self._fit_idx, labels)
+        # share_structure: term refinement rebuilds batches from the same
+        # graph object; when a refinement round leaves the topology
+        # untouched the structure cache carries over, and TE's
+        # set_edges() rewrites invalidate it via the topology version.
+        return GraphBatch.from_graph(graph, self._fit_idx, labels,
+                                     share_structure=True)
 
     def _sample_mini_batch(self, batch: GraphBatch, dataset: CitationDataset,
                            rng: np.random.Generator) -> GraphBatch:
@@ -273,7 +278,8 @@ class CATEHGN:
     def _initialize_centers(self, batch: GraphBatch) -> None:
         """Term-seeded (TE) or data-seeded (random rows) center init."""
         cfg = self.config
-        state = self.model.forward_state(batch)
+        with no_grad():  # centers are set from raw arrays, never backprop
+            state = self.model.forward_state(batch)
         rng = np.random.default_rng(cfg.seed + 1)
         term_offset = batch.slices[TERM][0] if TERM in batch.slices else 0
         term_names = None
@@ -330,6 +336,19 @@ class CATEHGN:
             raise RuntimeError("call fit() first")
         raw = self.model.predict_papers(self._batch)
         return np.maximum(self._denormalize(raw), 0.0)
+
+    def save_checkpoint(self, path) -> str:
+        """Persist the fitted model to a versioned checkpoint (+ graph).
+
+        Writes ``<path>.npz`` (weights, config, architecture, label-scale
+        statistics, text embeddings for cold-start scoring) and a
+        ``<path>.graph.npz/.json`` sidecar holding the TE-rewritten graph,
+        so :class:`repro.serve.InferenceEngine` restores bitwise-identical
+        predictions without the training dataset.
+        """
+        from ..serve.checkpoint import save_catehgn  # lazy import
+
+        return str(save_catehgn(self, path))
 
     # Extras for the case studies (Table III, Fig. 5).
     def cluster_assignments(self) -> Dict[str, np.ndarray]:

@@ -10,6 +10,12 @@ import numpy as np
 
 from ..hetnet import HeteroGraph, publication_schema
 
+#: On-disk graph format version.  Bump whenever the npz/json layout changes
+#: incompatibly; :func:`load_graph` rejects versions it does not understand
+#: instead of mis-parsing them.  Files written before versioning existed
+#: carry no field and are read as version 1 (the layout never changed).
+GRAPH_FORMAT_VERSION = 1
+
 
 def save_graph(graph: HeteroGraph, path: Union[str, Path]) -> None:
     """Persist a publication-network graph to ``<path>.npz`` + ``<path>.json``.
@@ -19,8 +25,12 @@ def save_graph(graph: HeteroGraph, path: Union[str, Path]) -> None:
     """
     path = Path(path)
     arrays = {}
-    meta = {"num_nodes": graph.num_nodes, "edge_types": [], "attrs": {}}
-    for i, (key, edge) in enumerate(sorted(graph.edges.items())):
+    meta = {"format_version": GRAPH_FORMAT_VERSION,
+            "num_nodes": graph.num_nodes, "edge_types": [], "attrs": {}}
+    # Edge-dict *insertion order* is part of the format: message passing
+    # iterates edge types in dict order, so preserving it keeps reloaded
+    # graphs bitwise-identical under floating-point summation order.
+    for i, (key, edge) in enumerate(graph.edges.items()):
         meta["edge_types"].append(list(key))
         arrays[f"edge{i}_src"] = edge.src
         arrays[f"edge{i}_dst"] = edge.dst
@@ -40,6 +50,13 @@ def load_graph(path: Union[str, Path]) -> HeteroGraph:
     """Load a graph previously written by :func:`save_graph`."""
     path = Path(path)
     meta = json.loads(path.with_suffix(".json").read_text())
+    version = meta.get("format_version", 1)  # pre-versioning files == v1
+    if version != GRAPH_FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported graph format_version {version!r} in {path}: this "
+            f"build reads version {GRAPH_FORMAT_VERSION}. Re-export the graph "
+            f"with a matching repro.data.save_graph."
+        )
     arrays = np.load(path.with_suffix(".npz"))
     graph = HeteroGraph(publication_schema(include_terms=True))
     for node_type, count in meta["num_nodes"].items():

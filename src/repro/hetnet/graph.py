@@ -72,6 +72,12 @@ class HeteroGraph:
             t: {} for t in schema.node_types
         }
         self._csr: Dict[EdgeTypeKey, _CSRIndex] = {}
+        # Topology generation counter + shared message-passing structure
+        # cell (see structure_cell()); bumped by every mutation that can
+        # change edge arrays or node counts.
+        self._topology_version: int = 0
+        self._structure_cell: Optional[list] = None
+        self._structure_cell_version: int = -1
 
     # ------------------------------------------------------------------
     # Construction
@@ -83,6 +89,7 @@ class HeteroGraph:
         if names is not None and len(names) != count:
             raise ValueError("names length must equal count")
         self.num_nodes[node_type] = count
+        self._topology_version += 1
         if names is not None:
             self.node_names[node_type] = list(names)
 
@@ -101,6 +108,7 @@ class HeteroGraph:
             raise ValueError(f"dst id out of range for {key}")
         self.edges[key] = EdgeArray(src, dst, weight)
         self._csr.pop(key, None)
+        self._topology_version += 1
 
     def set_features(self, node_type: str, features: np.ndarray) -> None:
         features = np.asarray(features, dtype=np.float64)
@@ -140,6 +148,25 @@ class HeteroGraph:
             dst_type = key[2]
             self._csr[key] = _CSRIndex(self.edges[key], self.num_nodes[dst_type])
         return self._csr[key]
+
+    def structure_cell(self) -> list:
+        """Shared lazy cell for the message-passing batch-structure cache.
+
+        Every :meth:`repro.core.hgn.GraphBatch.from_graph` call with
+        ``share_structure=True`` receives the *same* one-element list as
+        long as this graph's topology is unchanged, so the expensive
+        :class:`~repro.hetnet.structure.BatchStructure` (dst-sorted
+        orders, CSR indptr, presence masks) is built once per graph
+        topology and reused across an entire model roster — not once per
+        estimator.  Any :meth:`set_edges` / :meth:`add_nodes` mutation
+        bumps the topology version and hands out a fresh cell, which is
+        the same invalidation rule the per-batch cache documents.
+        """
+        if (self._structure_cell is None
+                or self._structure_cell_version != self._topology_version):
+            self._structure_cell = [None]
+            self._structure_cell_version = self._topology_version
+        return self._structure_cell
 
     def in_degree(self, key: EdgeTypeKey) -> np.ndarray:
         """Incoming edge count per destination node for edge type ``key``."""

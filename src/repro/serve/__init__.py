@@ -1,0 +1,40 @@
+"""repro.serve — checkpointing + tape-free inference + prediction service.
+
+The deployment story of the reproduction (DESIGN §11): train an estimator,
+:func:`save_catehgn` it to a versioned ``.npz`` checkpoint, freeze it into
+an :class:`InferenceEngine` (one tape-free forward per graph snapshot),
+and expose predictions over stdlib HTTP via ``python -m repro.serve``.
+"""
+
+from .cache import LRUCache
+from .checkpoint import (
+    CHECKPOINT_FORMAT_VERSION,
+    Checkpoint,
+    RestoredCATEHGN,
+    load_checkpoint,
+    load_gnn_baseline,
+    restore_catehgn,
+    save_catehgn,
+    save_checkpoint,
+    save_gnn_baseline,
+)
+from .engine import InferenceEngine
+from .metrics import ServiceMetrics
+from .service import make_server, serve_forever
+
+__all__ = [
+    "CHECKPOINT_FORMAT_VERSION",
+    "Checkpoint",
+    "InferenceEngine",
+    "LRUCache",
+    "RestoredCATEHGN",
+    "ServiceMetrics",
+    "load_checkpoint",
+    "load_gnn_baseline",
+    "make_server",
+    "restore_catehgn",
+    "save_catehgn",
+    "save_checkpoint",
+    "save_gnn_baseline",
+    "serve_forever",
+]

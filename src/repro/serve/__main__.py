@@ -1,0 +1,52 @@
+"""``python -m repro.serve`` / ``repro-serve``: boot the prediction service.
+
+Usage::
+
+    repro-serve model.npz --host 127.0.0.1 --port 8099
+
+The checkpoint must have been written by
+:func:`repro.serve.save_catehgn` (or ``CATEHGN.save_checkpoint``); its
+``.graph`` sidecar is expected next to it.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-serve",
+        description="Serve citation predictions from a CATE-HGN checkpoint.",
+    )
+    parser.add_argument("checkpoint",
+                        help="path to a .npz checkpoint written by "
+                             "CATEHGN.save_checkpoint / save_catehgn")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8099)
+    parser.add_argument("--cache-size", type=int, default=4096,
+                        help="LRU result-cache capacity (0 disables)")
+    parser.add_argument("--micro-batch", type=int, default=256,
+                        help="bulk-prediction micro-batch size")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress per-request access logs")
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    # Imports after arg parsing so --help stays instant.
+    from .engine import InferenceEngine
+    from .service import serve_forever
+
+    engine = InferenceEngine.from_checkpoint(
+        args.checkpoint, cache_size=args.cache_size,
+        micro_batch=args.micro_batch,
+    )
+    serve_forever(engine, host=args.host, port=args.port,
+                  verbose=not args.quiet)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,67 @@
+"""A small thread-safe LRU cache with hit/miss accounting.
+
+Backs the :class:`~repro.serve.engine.InferenceEngine` per-paper result
+cache; the hit rate is exported through the service ``/metrics`` endpoint.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any, Hashable, Optional, Tuple
+
+
+class LRUCache:
+    """Least-recently-used mapping with a fixed capacity.
+
+    ``capacity <= 0`` disables caching entirely (every lookup misses),
+    which keeps the call sites branch-free.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        self.capacity = int(capacity)
+        self._data: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def get(self, key: Hashable) -> Tuple[bool, Optional[Any]]:
+        """Return ``(found, value)``; refreshes recency on a hit."""
+        with self._lock:
+            if self.capacity <= 0 or key not in self._data:
+                self.misses += 1
+                return False, None
+            self._data.move_to_end(key)
+            self.hits += 1
+            return True, self._data[key]
+
+    def put(self, key: Hashable, value: Any) -> None:
+        with self._lock:
+            if self.capacity <= 0:
+                return
+            if key in self._data:
+                self._data.move_to_end(key)
+            self._data[key] = value
+            while len(self._data) > self.capacity:
+                self._data.popitem(last=False)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._data.clear()
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> dict:
+        return {
+            "capacity": self.capacity,
+            "size": len(self._data),
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hit_rate,
+        }

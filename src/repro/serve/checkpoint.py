@@ -1,0 +1,324 @@
+"""Versioned ``.npz`` checkpoints for trained citation models (DESIGN §11).
+
+One checkpoint is a single ``<base>.npz`` file holding
+
+- ``__checkpoint__``: a 0-d unicode array with the JSON metadata blob
+  (``format_version``, model kind, config, architecture, label-scale
+  statistics, term sets, ...);
+- ``param/<name>``: one array per :meth:`repro.nn.Module.state_dict` entry;
+- ``extra/<name>``: auxiliary arrays (labeled ids, normalized labels, text
+  embedding vectors for cold-start scoring, ...).
+
+CATE-HGN checkpoints additionally write a ``<base>.graph.npz/.json``
+sidecar (via :func:`repro.data.save_graph`) holding the TE-rewritten
+heterogeneous graph, so inference restores **without** the training
+dataset and reproduces the estimator's predictions bitwise.  GNN-baseline
+checkpoints instead replay their deterministic batch/topology construction
+from the dataset passed at load time (GAT/HAN bake topology into their
+network constructors).
+
+Format policy: ``CHECKPOINT_FORMAT_VERSION`` is bumped on any incompatible
+layout change; :func:`load_checkpoint` rejects versions it does not
+understand with a clear error instead of mis-reading them.
+"""
+
+from __future__ import annotations
+
+import inspect
+import json
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+import numpy as np
+
+from ..core.hgn import GraphBatch
+from ..core.model import CATEHGNConfig, CATEHGNModel
+from ..core.trainer import CATEHGN
+from ..data.io import load_graph, save_graph
+from ..hetnet import HeteroGraph
+
+#: On-disk checkpoint format version (see module docstring).
+CHECKPOINT_FORMAT_VERSION = 1
+
+_META_KEY = "__checkpoint__"
+_PARAM_PREFIX = "param/"
+_EXTRA_PREFIX = "extra/"
+
+
+# ----------------------------------------------------------------------
+# Low-level container API
+# ----------------------------------------------------------------------
+@dataclass
+class Checkpoint:
+    """A loaded checkpoint: metadata + parameter/auxiliary arrays."""
+
+    meta: Dict[str, Any]
+    state: Dict[str, np.ndarray]
+    extras: Dict[str, np.ndarray]
+    path: Path
+
+    @property
+    def kind(self) -> str:
+        return self.meta["kind"]
+
+
+def _base_path(path: Union[str, Path]) -> Path:
+    """``foo``, ``foo.npz`` -> ``foo`` (the extension is added on write)."""
+    path = Path(path)
+    if path.suffix == ".npz":
+        path = path.with_suffix("")
+    return path
+
+
+def save_checkpoint(path: Union[str, Path], meta: Dict[str, Any],
+                    state: Dict[str, np.ndarray],
+                    extras: Optional[Dict[str, np.ndarray]] = None) -> Path:
+    """Write a versioned checkpoint; returns the ``.npz`` path written."""
+    base = _base_path(path)
+    meta = dict(meta)
+    meta["format_version"] = CHECKPOINT_FORMAT_VERSION
+    arrays: Dict[str, np.ndarray] = {
+        _META_KEY: np.array(json.dumps(meta))
+    }
+    for name, value in state.items():
+        arrays[_PARAM_PREFIX + name] = np.asarray(value)
+    for name, value in (extras or {}).items():
+        arrays[_EXTRA_PREFIX + name] = np.asarray(value)
+    out = base.with_suffix(".npz")
+    out.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(out, **arrays)
+    return out
+
+
+def load_checkpoint(path: Union[str, Path]) -> Checkpoint:
+    """Read a checkpoint written by :func:`save_checkpoint`.
+
+    Raises ``ValueError`` for files that are not checkpoints or carry an
+    unknown ``format_version``.
+    """
+    base = _base_path(path)
+    npz_path = base.with_suffix(".npz")
+    with np.load(npz_path, allow_pickle=False) as arrays:
+        if _META_KEY not in arrays:
+            raise ValueError(
+                f"{npz_path} is not a repro.serve checkpoint "
+                f"(missing {_META_KEY!r} metadata entry)"
+            )
+        meta = json.loads(str(arrays[_META_KEY][()]))
+        version = meta.get("format_version")
+        if version != CHECKPOINT_FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported checkpoint format_version {version!r} in "
+                f"{npz_path}: this build reads version "
+                f"{CHECKPOINT_FORMAT_VERSION}"
+            )
+        state, extras = {}, {}
+        for key in arrays.files:
+            if key.startswith(_PARAM_PREFIX):
+                state[key[len(_PARAM_PREFIX):]] = arrays[key]
+            elif key.startswith(_EXTRA_PREFIX):
+                extras[key[len(_EXTRA_PREFIX):]] = arrays[key]
+    return Checkpoint(meta=meta, state=state, extras=extras, path=npz_path)
+
+
+# ----------------------------------------------------------------------
+# CATE-HGN checkpoints (self-contained: graph sidecar included)
+# ----------------------------------------------------------------------
+def save_catehgn(est: CATEHGN, path: Union[str, Path]) -> Path:
+    """Checkpoint a fitted :class:`repro.core.CATEHGN` estimator.
+
+    Self-contained: the TE-rewritten graph goes into a
+    ``<base>.graph.npz/.json`` sidecar, the fit labels / architecture /
+    text embeddings into the checkpoint itself, so
+    :func:`restore_catehgn` reproduces ``est.predict()`` bitwise with no
+    dataset in sight.
+    """
+    if est.model is None or est._batch is None or est._graph is None:
+        raise RuntimeError("cannot checkpoint an unfitted estimator; "
+                           "call fit() first")
+    base = _base_path(path)
+    batch = est._batch
+    # NB: no dot in the sidecar suffix — save_graph appends .npz/.json via
+    # with_suffix(), which would otherwise clobber the checkpoint itself.
+    graph_base = base.parent / (base.name + "_graph")
+    save_graph(est._graph, graph_base)
+
+    meta: Dict[str, Any] = {
+        "kind": "catehgn",
+        "config": asdict(est.config),
+        "node_types": list(batch.node_types),
+        "feature_dims": {t: int(batch.features[t].shape[1])
+                         for t in batch.node_types},
+        "edge_type_keys": [list(k) for k in batch.edges.keys()],
+        "label_mean": est._label_mean,
+        "label_std": est._label_std,
+        "term_sets": est._term_sets,
+        "domain_names": (list(est._dataset.domain_names)
+                         if est._dataset is not None else None),
+        "graph": graph_base.name,  # sidecar lives next to the checkpoint
+    }
+    embeddings = (est._dataset.text.embeddings
+                  if est._dataset is not None else None)
+    extras: Dict[str, np.ndarray] = {
+        "labeled_ids": np.asarray(est._fit_idx, dtype=np.intp),
+        "labels_norm": est._normalize(
+            np.asarray(est._dataset.labels)[est._fit_idx]
+        ) if est._dataset is not None else batch.labels,
+    }
+    if embeddings is not None:
+        # Text embedding table: enables cold-start scoring of unseen
+        # papers straight from their title tokens.
+        extras["text_tokens"] = np.array(list(embeddings.vocabulary))
+        extras["text_vectors"] = embeddings.vectors
+    return save_checkpoint(base, meta, est.model.state_dict(), extras)
+
+
+@dataclass
+class RestoredCATEHGN:
+    """Everything :class:`repro.serve.InferenceEngine` needs to serve."""
+
+    model: CATEHGNModel
+    config: CATEHGNConfig
+    graph: HeteroGraph
+    batch: GraphBatch  # the exact inference batch the estimator used
+    label_mean: float
+    label_std: float
+    term_sets: Optional[list]
+    domain_names: Optional[list]
+    embeddings: Optional["WordEmbeddings"]  # noqa: F821 — lazy text import
+
+    def predict_papers(self) -> np.ndarray:
+        """Citations/year for every paper — matches ``CATEHGN.predict``."""
+        raw = self.model.predict_papers(self.batch)
+        return np.maximum(raw * self.label_std + self.label_mean, 0.0)
+
+
+def restore_catehgn(path: Union[str, Path]) -> RestoredCATEHGN:
+    """Rebuild model + inference batch from a CATE-HGN checkpoint."""
+    ckpt = load_checkpoint(path)
+    if ckpt.kind != "catehgn":
+        raise ValueError(
+            f"expected a 'catehgn' checkpoint, got kind={ckpt.kind!r} "
+            f"(use load_gnn_baseline for baseline checkpoints)"
+        )
+    meta = ckpt.meta
+    graph = load_graph(ckpt.path.parent / meta["graph"])
+    # save_graph preserves edge insertion order, which fixes the Eq. 13
+    # summation order; assert the invariant instead of silently reordering.
+    saved_keys = [tuple(k) for k in meta["edge_type_keys"]]
+    if list(graph.edges.keys()) != saved_keys:
+        graph.edges = {k: graph.edges[k] for k in saved_keys}
+
+    config = CATEHGNConfig(**meta["config"])
+    labeled_ids = ckpt.extras["labeled_ids"]
+    labels_norm = ckpt.extras["labels_norm"]
+    base = GraphBatch.from_graph(graph, labeled_ids, labels_norm,
+                                 share_structure=True)
+    if config.use_label_inputs:
+        batch = base.with_label_inputs(labeled_ids, labels_norm,
+                                       labeled_ids, labels_norm)
+    else:
+        batch = base
+
+    feature_dims = {t: int(d) for t, d in meta["feature_dims"].items()}
+    for t in batch.node_types:
+        if batch.features[t].shape[1] != feature_dims[t]:
+            raise ValueError(
+                f"restored feature width mismatch for {t!r}: checkpoint "
+                f"says {feature_dims[t]}, graph gives "
+                f"{batch.features[t].shape[1]}"
+            )
+    model = CATEHGNModel(config, meta["node_types"], feature_dims,
+                         saved_keys)
+    model.load_state_dict(ckpt.state)
+
+    embeddings = None
+    if "text_vectors" in ckpt.extras:
+        from ..text import Vocabulary, WordEmbeddings
+
+        vocab = Vocabulary(str(t) for t in ckpt.extras["text_tokens"])
+        embeddings = WordEmbeddings(vocab, ckpt.extras["text_vectors"])
+    return RestoredCATEHGN(
+        model=model, config=config, graph=graph, batch=batch,
+        label_mean=float(meta["label_mean"]),
+        label_std=float(meta["label_std"]),
+        term_sets=meta.get("term_sets"),
+        domain_names=meta.get("domain_names"),
+        embeddings=embeddings,
+    )
+
+
+# ----------------------------------------------------------------------
+# GNN-baseline checkpoints (topology replayed from the dataset)
+# ----------------------------------------------------------------------
+def _baseline_init_kwargs(est) -> Dict[str, Any]:
+    """Constructor kwargs beyond ``config``, read back off the instance.
+
+    Every :class:`~repro.baselines.gnn_common.SupervisedGNNBaseline`
+    subclass stores its extra ``__init__`` arguments under the same
+    attribute name (``layers``, ``heads``, ``max_pairs``, ...), so the
+    signature tells us exactly what to record.
+    """
+    kwargs = {}
+    for name in inspect.signature(type(est).__init__).parameters:
+        if name in ("self", "config"):
+            continue
+        if hasattr(est, name):
+            kwargs[name] = getattr(est, name)
+    return kwargs
+
+
+def save_gnn_baseline(est, path: Union[str, Path]) -> Path:
+    """Checkpoint a fitted supervised GNN baseline (R-GCN, GAT, HAN, ...).
+
+    The network weights and scaler statistics are serialized; the batch
+    and any constructor-baked topology are *replayed* deterministically
+    from the dataset at :func:`load_gnn_baseline` time (same world, same
+    split, same seed => same geometry).
+    """
+    if est.network is None:
+        raise RuntimeError("cannot checkpoint an unfitted baseline; "
+                           "call fit() first")
+    meta = {
+        "kind": "gnn_baseline",
+        "baseline_class": type(est).__name__,
+        "config": asdict(est.config),
+        "init_kwargs": _baseline_init_kwargs(est),
+        "scaler_mean": est.scaler.mean,
+        "scaler_std": est.scaler.std,
+    }
+    return save_checkpoint(path, meta, est.network.state_dict())
+
+
+def load_gnn_baseline(path: Union[str, Path], dataset):
+    """Restore a baseline estimator against ``dataset``.
+
+    ``dataset`` must be the dataset the estimator was fitted on (same
+    generator seeds); predictions then match the fitted estimator's
+    bitwise.
+    """
+    from .. import baselines
+    from ..baselines.gnn_common import GNNTrainConfig
+
+    ckpt = load_checkpoint(path)
+    if ckpt.kind != "gnn_baseline":
+        raise ValueError(
+            f"expected a 'gnn_baseline' checkpoint, got kind={ckpt.kind!r}"
+        )
+    cls = getattr(baselines, ckpt.meta["baseline_class"], None)
+    if cls is None:
+        raise ValueError(
+            f"unknown baseline class {ckpt.meta['baseline_class']!r}"
+        )
+    est = cls(GNNTrainConfig(**ckpt.meta["config"]),
+              **ckpt.meta["init_kwargs"])
+    est.scaler.mean = float(ckpt.meta["scaler_mean"])
+    est.scaler.std = float(ckpt.meta["scaler_std"])
+    if hasattr(est, "_dataset"):  # HAN / HetGNN / MAGNN topology source
+        est._dataset = dataset
+    _base, eval_batch, _stop = est.build_batches(dataset)
+    est.network = est.build_network(eval_batch)
+    est.network.load_state_dict(ckpt.state)
+    est._batch = eval_batch
+    return est

@@ -1,0 +1,61 @@
+"""Request metrics for the prediction service.
+
+Counts, error counts, and latency quantiles (p50/p99) per endpoint, kept
+in a bounded reservoir so a long-lived server does not grow without
+limit.  Thread-safe: the service handler runs under
+``ThreadingHTTPServer``.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Deque, Dict
+
+
+def _quantile(sorted_values, q: float) -> float:
+    """Nearest-rank quantile of an already-sorted sequence."""
+    if not sorted_values:
+        return 0.0
+    idx = min(len(sorted_values) - 1, max(0, round(q * (len(sorted_values) - 1))))
+    return float(sorted_values[idx])
+
+
+class ServiceMetrics:
+    """Per-endpoint request accounting."""
+
+    def __init__(self, window: int = 2048) -> None:
+        self._lock = threading.Lock()
+        self._window = int(window)
+        self._requests: Dict[str, int] = {}
+        self._errors: Dict[str, int] = {}
+        self._latency: Dict[str, Deque[float]] = {}
+
+    def observe(self, endpoint: str, seconds: float,
+                error: bool = False) -> None:
+        with self._lock:
+            self._requests[endpoint] = self._requests.get(endpoint, 0) + 1
+            if error:
+                self._errors[endpoint] = self._errors.get(endpoint, 0) + 1
+            bucket = self._latency.setdefault(
+                endpoint, deque(maxlen=self._window)
+            )
+            bucket.append(float(seconds))
+
+    def snapshot(self) -> dict:
+        """JSON-ready metrics: counts + latency p50/p99 in milliseconds."""
+        with self._lock:
+            endpoints = {}
+            for name, count in self._requests.items():
+                lat = sorted(self._latency.get(name, ()))
+                endpoints[name] = {
+                    "requests": count,
+                    "errors": self._errors.get(name, 0),
+                    "latency_ms_p50": _quantile(lat, 0.50) * 1e3,
+                    "latency_ms_p99": _quantile(lat, 0.99) * 1e3,
+                }
+            return {
+                "total_requests": sum(self._requests.values()),
+                "total_errors": sum(self._errors.values()),
+                "endpoints": endpoints,
+            }

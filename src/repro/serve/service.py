@@ -1,0 +1,198 @@
+"""Stdlib-only JSON HTTP service around :class:`InferenceEngine`.
+
+Endpoints
+---------
+``GET  /healthz``          liveness + snapshot description
+``GET  /metrics``          request counts, latency p50/p99, cache hit rate
+``POST /predict``          ``{"paper_ids": [..]}`` or ``{"title": "..."}``
+``GET  /predict?ids=1,2``  curl-friendly bulk prediction
+``POST /rank``             ``{"node_type": "author", "k": 10, "cluster": 3}``
+
+No third-party web framework: ``http.server.ThreadingHTTPServer`` plus
+hand-rolled JSON marshalling keeps the dependency surface at zero, which
+is the whole point of a reproduction repo's serving layer.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional, Tuple
+from urllib.parse import parse_qs, urlparse
+
+from .engine import InferenceEngine
+from .metrics import ServiceMetrics
+
+
+class ServiceError(Exception):
+    """An HTTP-visible request error."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+class PredictionHandler(BaseHTTPRequestHandler):
+    """Routes requests to the server's engine; JSON in, JSON out."""
+
+    server_version = "repro-serve/1.0"
+    protocol_version = "HTTP/1.1"
+
+    # ------------------------------------------------------------------
+    @property
+    def engine(self) -> InferenceEngine:
+        return self.server.engine  # type: ignore[attr-defined]
+
+    @property
+    def metrics(self) -> ServiceMetrics:
+        return self.server.metrics  # type: ignore[attr-defined]
+
+    def log_message(self, format, *args):  # noqa: A002 — stdlib signature
+        if getattr(self.server, "verbose", False):
+            super().log_message(format, *args)
+
+    # ------------------------------------------------------------------
+    def _read_json(self) -> dict:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length <= 0:
+            return {}
+        try:
+            return json.loads(self.rfile.read(length) or b"{}")
+        except json.JSONDecodeError as exc:
+            raise ServiceError(400, f"invalid JSON body: {exc}") from exc
+
+    def _send_json(self, payload: dict, status: int = 200) -> None:
+        body = json.dumps(payload).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _dispatch(self, endpoint: str, handler) -> None:
+        start = time.perf_counter()
+        error = False
+        try:
+            payload, status = handler()
+        except ServiceError as exc:
+            payload, status, error = {"error": exc.message}, exc.status, True
+        except Exception as exc:  # noqa: BLE001 — surface as a 500
+            payload, status, error = {"error": str(exc)}, 500, True
+        self.metrics.observe(endpoint, time.perf_counter() - start,
+                             error=error)
+        self._send_json(payload, status)
+
+    # ------------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 — stdlib naming
+        parsed = urlparse(self.path)
+        if parsed.path == "/healthz":
+            self._dispatch("/healthz", self._handle_healthz)
+        elif parsed.path == "/metrics":
+            self._dispatch("/metrics", self._handle_metrics)
+        elif parsed.path == "/predict":
+            query = parse_qs(parsed.query)
+            self._dispatch(
+                "/predict", lambda: self._handle_predict_query(query)
+            )
+        else:
+            self._dispatch(parsed.path, self._not_found)
+
+    def do_POST(self) -> None:  # noqa: N802 — stdlib naming
+        parsed = urlparse(self.path)
+        if parsed.path == "/predict":
+            self._dispatch("/predict", self._handle_predict_post)
+        elif parsed.path == "/rank":
+            self._dispatch("/rank", self._handle_rank)
+        else:
+            self._dispatch(parsed.path, self._not_found)
+
+    # ------------------------------------------------------------------
+    def _not_found(self) -> Tuple[dict, int]:
+        raise ServiceError(404, f"no such endpoint: {self.path}")
+
+    def _handle_healthz(self) -> Tuple[dict, int]:
+        return {"status": "ok", **self.engine.info()}, 200
+
+    def _handle_metrics(self) -> Tuple[dict, int]:
+        snapshot = self.metrics.snapshot()
+        snapshot["cache"] = self.engine.cache.stats()
+        return snapshot, 200
+
+    def _handle_predict_query(self, query: dict) -> Tuple[dict, int]:
+        raw = ",".join(query.get("ids", []))
+        if not raw:
+            raise ServiceError(400, "missing ids query parameter")
+        try:
+            ids = [int(x) for x in raw.split(",") if x != ""]
+        except ValueError as exc:
+            raise ServiceError(400, f"bad ids: {exc}") from exc
+        return self._predict_ids(ids)
+
+    def _handle_predict_post(self) -> Tuple[dict, int]:
+        body = self._read_json()
+        if "title" in body:
+            if not isinstance(body["title"], str) or not body["title"]:
+                raise ServiceError(400, "title must be a non-empty string")
+            try:
+                score = self.engine.score_title(body["title"])
+            except ValueError as exc:
+                raise ServiceError(400, str(exc)) from exc
+            return {"prediction": score, "cold_start": True}, 200
+        if "paper_ids" in body:
+            ids = body["paper_ids"]
+            if not isinstance(ids, list):
+                raise ServiceError(400, "paper_ids must be a list of ints")
+            return self._predict_ids(ids)
+        raise ServiceError(400, "body must contain paper_ids or title")
+
+    def _predict_ids(self, ids) -> Tuple[dict, int]:
+        try:
+            preds = self.engine.predict(ids)
+        except (IndexError, TypeError, ValueError) as exc:
+            raise ServiceError(400, str(exc)) from exc
+        return {
+            "paper_ids": [int(i) for i in ids],
+            "predictions": [float(p) for p in preds],
+        }, 200
+
+    def _handle_rank(self) -> Tuple[dict, int]:
+        body = self._read_json()
+        node_type = body.get("node_type", "paper")
+        k = body.get("k", 10)
+        cluster = body.get("cluster")
+        try:
+            ranking = self.engine.rank(node_type, k=int(k),
+                                       cluster=cluster)
+        except (KeyError, ValueError, TypeError) as exc:
+            raise ServiceError(400, str(exc)) from exc
+        return {"node_type": node_type, "ranking": ranking}, 200
+
+
+def make_server(engine: InferenceEngine, host: str = "127.0.0.1",
+                port: int = 0, verbose: bool = False,
+                metrics: Optional[ServiceMetrics] = None
+                ) -> ThreadingHTTPServer:
+    """Build (but do not start) the HTTP server; ``port=0`` = ephemeral."""
+    server = ThreadingHTTPServer((host, port), PredictionHandler)
+    server.engine = engine  # type: ignore[attr-defined]
+    server.metrics = metrics or ServiceMetrics()  # type: ignore[attr-defined]
+    server.verbose = verbose  # type: ignore[attr-defined]
+    return server
+
+
+def serve_forever(engine: InferenceEngine, host: str = "127.0.0.1",
+                  port: int = 8099, verbose: bool = True) -> None:
+    """Blocking entry point used by ``python -m repro.serve``."""
+    server = make_server(engine, host, port, verbose=verbose)
+    bound = server.server_address
+    print(f"repro-serve listening on http://{bound[0]}:{bound[1]} "
+          f"({engine.num_papers} papers frozen, "
+          f"freeze took {engine.freeze_seconds:.2f}s)")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()

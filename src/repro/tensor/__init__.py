@@ -30,11 +30,30 @@ from .ops import (
     stack,
     where,
 )
-from .tensor import Tensor, unbroadcast
+from .tensor import (
+    GradMode,
+    Tensor,
+    enable_grad,
+    inference_mode,
+    is_grad_enabled,
+    no_grad,
+    reset_tape_node_counter,
+    set_grad_enabled,
+    tape_nodes_created,
+    unbroadcast,
+)
 
 __all__ = [
     "Tensor",
     "unbroadcast",
+    "GradMode",
+    "no_grad",
+    "enable_grad",
+    "inference_mode",
+    "set_grad_enabled",
+    "is_grad_enabled",
+    "tape_nodes_created",
+    "reset_tape_node_counter",
     "ops",
     "as_tensor",
     "concatenate",

@@ -12,7 +12,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
-from .tensor import Tensor
+from .tensor import GradMode, Tensor
 
 
 def as_tensor(value) -> Tensor:
@@ -24,6 +24,8 @@ def concatenate(tensors: Sequence[Tensor], axis: int = -1) -> Tensor:
     """Concatenate tensors along ``axis`` with gradient routing."""
     tensors = [as_tensor(t) for t in tensors]
     out_data = np.concatenate([t.data for t in tensors], axis=axis)
+    if not GradMode.enabled:
+        return Tensor(out_data)
     sizes = [t.data.shape[axis] for t in tensors]
     offsets = np.cumsum([0] + sizes)
 
@@ -62,6 +64,8 @@ def gather(tensor: Tensor, index: np.ndarray, sorter=None) -> Tensor:
     """
     index = np.asarray(index, dtype=np.intp)
     out_data = tensor.data[index]
+    if not GradMode.enabled:
+        return Tensor(out_data)
 
     def backward(grad: np.ndarray) -> None:
         if sorter is not None:
@@ -136,6 +140,8 @@ def segment_sum(tensor: Tensor, segment_ids: np.ndarray, num_segments: int,
     """
     segment_ids = np.asarray(segment_ids, dtype=np.intp)
     out_data = _segment_sum_data(tensor.data, segment_ids, num_segments, sorter)
+    if not GradMode.enabled:
+        return Tensor(out_data)
 
     def backward(grad: np.ndarray) -> None:
         tensor._accumulate(grad[segment_ids])
@@ -208,6 +214,8 @@ def gather_matmul(table: Tensor, index: np.ndarray, weight: Tensor,
     out_data = gathered @ weight.data
     if bias is not None:
         out_data = out_data + bias.data
+    if not GradMode.enabled:
+        return Tensor(out_data)
     parents = (table, weight) if bias is None else (table, weight, bias)
 
     def backward(grad: np.ndarray) -> None:
@@ -240,6 +248,8 @@ def segment_weighted_sum(values: Tensor, weights: Tensor,
     w_col = weights.data.reshape(-1, 1)
     out_data = _segment_sum_data(values.data * w_col, segment_ids,
                                  num_segments, sorter)
+    if not GradMode.enabled:
+        return Tensor(out_data)
 
     def backward(grad: np.ndarray) -> None:
         g_edge = grad[segment_ids]
@@ -273,6 +283,8 @@ def segment_softmax_fused(
     exp = np.exp(scores.data - seg_max[segment_ids])
     denom = _segment_sum_data(exp, segment_ids, num_segments, sorter)
     alpha = exp / (denom[segment_ids] + 1e-12)
+    if not GradMode.enabled:
+        return Tensor(alpha)
 
     def backward(grad: np.ndarray) -> None:
         ag = alpha * grad
@@ -310,6 +322,8 @@ def masked_softmax_combine(scores: Tensor, aggregates: Sequence[Tensor],
     out_data = alpha[:, 0].reshape(-1, 1) * agg_data[0]
     for t in range(1, len(agg_data)):
         out_data = out_data + alpha[:, t].reshape(-1, 1) * agg_data[t]
+    if not GradMode.enabled:
+        return Tensor(out_data)
 
     def backward(grad: np.ndarray) -> None:
         score_grads = np.empty_like(alpha)
@@ -386,6 +400,8 @@ def circular_correlation_row(table: Tensor, row: Tensor,
     circ = row.data.reshape(-1)[idx_mat]  # (d, d) circulant of the row
     gathered = table.data if index is None else table.data[index]
     out_data = gathered @ circ
+    if not GradMode.enabled:
+        return Tensor(out_data)
 
     def backward(grad: np.ndarray) -> None:
         g_rows = grad @ circ.T

@@ -19,6 +19,103 @@ import numpy as np
 ArrayLike = Union[float, int, Sequence, np.ndarray, "Tensor"]
 
 
+class GradMode:
+    """Process-wide autodiff mode switch plus tape observability counters.
+
+    ``enabled`` gates tape construction inside :meth:`Tensor._make`: while
+    it is ``False`` every op returns a *constant* tensor — no parents, no
+    backward closure, no tape node — regardless of ``requires_grad`` on
+    the inputs.  This is strictly stronger than detaching inputs: the
+    graph is never built, so an inference forward pass allocates nothing
+    beyond its output arrays.
+
+    ``tape_nodes`` counts every tape node created since process start (or
+    the last :func:`reset_tape_node_counter`); the inference-mode tests
+    assert it stays flat across a ``no_grad()`` forward pass.
+    """
+
+    enabled: bool = True
+    #: Cumulative count of tape nodes (tensors carrying a backward
+    #: closure) created through :meth:`Tensor._make`.
+    tape_nodes: int = 0
+
+
+def is_grad_enabled() -> bool:
+    """Whether ops currently record onto the autodiff tape."""
+    return GradMode.enabled
+
+
+def tape_nodes_created() -> int:
+    """Total tape nodes created so far (see :class:`GradMode`)."""
+    return GradMode.tape_nodes
+
+
+def reset_tape_node_counter() -> None:
+    """Zero the tape-node counter (test/benchmark hygiene)."""
+    GradMode.tape_nodes = 0
+
+
+class set_grad_enabled:
+    """Context manager / decorator that sets tape recording on or off.
+
+    Re-entrant and exception-safe: the previous mode is restored on exit
+    no matter how the block terminates.  Usable as a decorator too::
+
+        @no_grad()
+        def serve_one(batch): ...
+    """
+
+    def __init__(self, mode: bool) -> None:
+        self._mode = bool(mode)
+        self._prev: Optional[bool] = None
+
+    def __enter__(self) -> "set_grad_enabled":
+        self._prev = GradMode.enabled
+        GradMode.enabled = self._mode
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        GradMode.enabled = bool(self._prev)
+        return False
+
+    def __call__(self, func):
+        import functools
+
+        mode = self._mode
+
+        @functools.wraps(func)
+        def wrapper(*args, **kwargs):
+            with set_grad_enabled(mode):
+                return func(*args, **kwargs)
+
+        return wrapper
+
+
+class no_grad(set_grad_enabled):
+    """Disable tape recording: ops return constants, gradients never flow."""
+
+    def __init__(self) -> None:
+        super().__init__(False)
+
+
+class enable_grad(set_grad_enabled):
+    """Re-enable tape recording inside an outer :class:`no_grad` block."""
+
+    def __init__(self) -> None:
+        super().__init__(True)
+
+
+class inference_mode(no_grad):
+    """Tape-free inference context (alias of :class:`no_grad`).
+
+    The serving engine's canonical entry point: inside this block a
+    forward pass through any :class:`~repro.nn.Module` allocates zero
+    tape nodes and zero backward closures on the hot fused kernels —
+    outputs are plain constant tensors that can be kept alive (e.g. as
+    precomputed node embeddings) without pinning an autodiff graph.
+    """
+
+
 def _as_array(value: ArrayLike) -> np.ndarray:
     """Coerce ``value`` to a float64 numpy array (no copy when possible)."""
     if isinstance(value, Tensor):
@@ -160,10 +257,14 @@ class Tensor:
         parents: Iterable["Tensor"],
         backward: Callable[[np.ndarray], None],
     ) -> "Tensor":
+        if not GradMode.enabled:
+            # Inference mode: never build the tape, whatever the inputs.
+            return Tensor(data)
         parents = tuple(p for p in parents if isinstance(p, Tensor))
         needs_grad = any(p.requires_grad or p._parents for p in parents)
         if not needs_grad:
             return Tensor(data)
+        GradMode.tape_nodes += 1
         return Tensor(data, _parents=parents, _backward=backward)
 
     # ------------------------------------------------------------------

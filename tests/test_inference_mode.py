@@ -1,0 +1,143 @@
+"""Tape-free inference mode: exact numbers, zero tape nodes.
+
+``no_grad()`` / ``inference_mode()`` must (a) change *nothing* about the
+computed values — inference mode only skips autodiff bookkeeping — and
+(b) allocate zero tape nodes, observable through the process-wide
+``tape_nodes_created`` counter that ``Tensor._make`` maintains.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.hgn import GraphBatch
+from repro.core.model import CATEHGNConfig, CATEHGNModel
+from repro.tensor import (
+    Tensor,
+    enable_grad,
+    inference_mode,
+    is_grad_enabled,
+    no_grad,
+    reset_tape_node_counter,
+    set_grad_enabled,
+    tape_nodes_created,
+)
+
+
+def _tiny_model_and_batch(dataset, seed=0):
+    labels = dataset.labels[dataset.train_idx]
+    norm = (labels - labels.mean()) / max(labels.std(), 1e-8)
+    batch = GraphBatch.from_graph(dataset.graph, dataset.train_idx, norm)
+    config = CATEHGNConfig(dim=8, attention_heads=2, num_clusters=4,
+                           use_te=False, use_label_inputs=False, seed=seed)
+    dims = {t: batch.features[t].shape[1] for t in batch.node_types}
+    model = CATEHGNModel(config, batch.node_types, dims,
+                         list(batch.edges.keys()))
+    return model, batch
+
+
+class TestGradModeSwitch:
+    def test_default_enabled(self):
+        assert is_grad_enabled()
+
+    def test_no_grad_disables_and_restores(self):
+        with no_grad():
+            assert not is_grad_enabled()
+        assert is_grad_enabled()
+
+    def test_nesting(self):
+        with no_grad():
+            with no_grad():
+                assert not is_grad_enabled()
+            assert not is_grad_enabled()
+            with enable_grad():
+                assert is_grad_enabled()
+            assert not is_grad_enabled()
+        assert is_grad_enabled()
+
+    def test_restores_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with no_grad():
+                raise RuntimeError("boom")
+        assert is_grad_enabled()
+
+    def test_decorator(self):
+        @no_grad()
+        def f(x):
+            assert not is_grad_enabled()
+            return (x * 2.0).sum()
+
+        x = Tensor(np.ones(3), requires_grad=True)
+        y = f(x)
+        assert not y._parents  # nothing recorded
+        assert is_grad_enabled()
+
+    def test_set_grad_enabled_modes(self):
+        with set_grad_enabled(False):
+            assert not is_grad_enabled()
+        with set_grad_enabled(True):
+            assert is_grad_enabled()
+
+    def test_inference_mode_is_no_grad(self):
+        with inference_mode():
+            assert not is_grad_enabled()
+
+
+class TestTapeNodeCounter:
+    def test_grad_mode_counts_nodes(self):
+        x = Tensor(np.ones((4, 4)), requires_grad=True)
+        reset_tape_node_counter()
+        ((x * 2.0) @ x).sum().backward()
+        assert tape_nodes_created() > 0
+        assert x.grad is not None
+
+    def test_no_grad_creates_zero_tape_nodes(self):
+        x = Tensor(np.ones((4, 4)), requires_grad=True)
+        reset_tape_node_counter()
+        with no_grad():
+            y = ((x * 2.0) @ x).sum()
+        assert tape_nodes_created() == 0
+        assert not y._parents
+
+    def test_untracked_inputs_create_zero_tape_nodes(self):
+        # Even in grad mode, ops over constant tensors never hit the tape.
+        x = Tensor(np.ones((4, 4)))
+        reset_tape_node_counter()
+        ((x * 2.0) @ x).sum()
+        assert tape_nodes_created() == 0
+
+
+class TestModelForwardExactness:
+    """The full CATE-HGN forward is 0-ULP identical with the tape off."""
+
+    def test_forward_bitwise_identical_and_tape_free(self, tiny_dataset):
+        model, batch = _tiny_model_and_batch(tiny_dataset)
+        L = model.config.num_layers
+
+        state = model.forward_state(batch)
+        grad_pred = model.hgn.regress(
+            L, state.masked[L]["paper"]
+        ).data.copy()
+
+        reset_tape_node_counter()
+        with inference_mode():
+            state_ng = model.forward_state(batch)
+            ng_pred = model.hgn.regress(L, state_ng.masked[L]["paper"]).data
+        assert tape_nodes_created() == 0
+        assert np.array_equal(grad_pred, ng_pred)  # 0 ULP
+
+    def test_forward_bitwise_identical_legacy_path(self, tiny_dataset):
+        model, batch = _tiny_model_and_batch(tiny_dataset)
+        model.config.fused = False
+        model.hgn.config.fused = False
+        out = model.hgn(batch).layers[-1]["paper"].data.copy()
+        reset_tape_node_counter()
+        with no_grad():
+            out_ng = model.hgn(batch).layers[-1]["paper"].data
+        assert tape_nodes_created() == 0
+        assert np.array_equal(out, out_ng)
+
+    def test_predict_papers_is_tape_free(self, tiny_dataset):
+        model, batch = _tiny_model_and_batch(tiny_dataset)
+        reset_tape_node_counter()
+        model.predict_papers(batch)
+        assert tape_nodes_created() == 0

@@ -36,6 +36,22 @@ def test_committed_bench_perf_schema_and_headline():
     assert set(report["baseline_epochs"]) == {"R-GCN", "GAT", "HAN"}
 
 
+def test_committed_bench_serve_section_and_headline():
+    """Serving acceptance: a warm-cache single query is >=5x faster than
+    the full grad-mode forward it replaces (recorded in the same file)."""
+    report = json.loads(BENCH_PERF.read_text())
+    sv = report["serve"]
+    for key in ("grad_forward", "cold_single_query", "warm_single_query",
+                "bulk"):
+        assert sv[key]["mean_s"] > 0, key
+    assert sv["bulk"]["papers_per_s"] > 0
+    assert sv["num_papers"] > 0 and sv["load_and_freeze_s"] > 0
+    assert sv["warm_speedup_vs_grad_forward"] >= 5.0
+    # A cold miss only pays one micro-batched head application over the
+    # frozen embeddings — it must also beat the full forward.
+    assert sv["cold_speedup_vs_grad_forward"] >= 5.0
+
+
 def test_regression_gate_accepts_its_own_baseline():
     """check_regression with --report pointed at the baseline itself
     must pass (0 %% drift < 25 %% threshold), without re-measuring."""

@@ -1,0 +1,140 @@
+"""Checkpoint format: versioning, rejection, bitwise-exact roundtrips."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.baselines import GAT, HAN, RGCN
+from repro.baselines.gnn_common import GNNTrainConfig
+from repro.core import CATEHGN
+from repro.data import load_graph, save_graph
+from repro.data.io import GRAPH_FORMAT_VERSION
+from repro.eval.runner import default_cate_config
+from repro.serve import (
+    CHECKPOINT_FORMAT_VERSION,
+    load_checkpoint,
+    load_gnn_baseline,
+    restore_catehgn,
+    save_checkpoint,
+    save_gnn_baseline,
+)
+
+
+@pytest.fixture(scope="module")
+def fitted_cate(tiny_dataset):
+    config = default_cate_config(dim=16, seed=0, outer_iters=2, mini_iters=2)
+    return CATEHGN(config).fit(tiny_dataset)
+
+
+# ----------------------------------------------------------------------
+# Low-level container
+# ----------------------------------------------------------------------
+class TestContainer:
+    def test_roundtrip_arrays_and_meta(self, tmp_path):
+        state = {"layer.weight": np.arange(6.0).reshape(2, 3)}
+        extras = {"ids": np.array([3, 1, 4], dtype=np.intp)}
+        out = save_checkpoint(tmp_path / "ck", {"kind": "test", "x": 1},
+                              state, extras)
+        ckpt = load_checkpoint(out)
+        assert ckpt.meta["format_version"] == CHECKPOINT_FORMAT_VERSION
+        assert ckpt.meta["kind"] == "test" and ckpt.meta["x"] == 1
+        assert np.array_equal(ckpt.state["layer.weight"],
+                              state["layer.weight"])
+        assert np.array_equal(ckpt.extras["ids"], extras["ids"])
+
+    def test_unknown_version_rejected(self, tmp_path):
+        out = save_checkpoint(tmp_path / "ck", {"kind": "test"}, {})
+        # Rewrite the metadata blob with a future version.
+        with np.load(out) as arrays:
+            data = {k: arrays[k] for k in arrays.files}
+        meta = json.loads(str(data["__checkpoint__"][()]))
+        meta["format_version"] = CHECKPOINT_FORMAT_VERSION + 1
+        data["__checkpoint__"] = np.array(json.dumps(meta))
+        np.savez_compressed(out, **data)
+        with pytest.raises(ValueError, match="format_version"):
+            load_checkpoint(out)
+
+    def test_non_checkpoint_npz_rejected(self, tmp_path):
+        np.savez_compressed(tmp_path / "junk.npz", a=np.zeros(3))
+        with pytest.raises(ValueError, match="not a repro.serve checkpoint"):
+            load_checkpoint(tmp_path / "junk.npz")
+
+
+# ----------------------------------------------------------------------
+# Graph format versioning (data/io satellite)
+# ----------------------------------------------------------------------
+class TestGraphFormatVersion:
+    def test_version_written_and_roundtrips(self, tiny_dataset, tmp_path):
+        save_graph(tiny_dataset.graph, tmp_path / "g")
+        meta = json.loads((tmp_path / "g.json").read_text())
+        assert meta["format_version"] == GRAPH_FORMAT_VERSION
+        loaded = load_graph(tmp_path / "g")
+        assert loaded.num_nodes == tiny_dataset.graph.num_nodes
+        # Edge insertion order is part of the format (summation order).
+        assert list(loaded.edges) == list(tiny_dataset.graph.edges)
+
+    def test_unknown_version_rejected(self, tiny_dataset, tmp_path):
+        save_graph(tiny_dataset.graph, tmp_path / "g")
+        meta = json.loads((tmp_path / "g.json").read_text())
+        meta["format_version"] = GRAPH_FORMAT_VERSION + 7
+        (tmp_path / "g.json").write_text(json.dumps(meta))
+        with pytest.raises(ValueError, match="format_version"):
+            load_graph(tmp_path / "g")
+
+    def test_legacy_file_without_version_accepted(self, tiny_dataset,
+                                                  tmp_path):
+        save_graph(tiny_dataset.graph, tmp_path / "g")
+        meta = json.loads((tmp_path / "g.json").read_text())
+        del meta["format_version"]  # files written before versioning
+        (tmp_path / "g.json").write_text(json.dumps(meta))
+        load_graph(tmp_path / "g")  # must not raise
+
+
+# ----------------------------------------------------------------------
+# CATE-HGN roundtrip
+# ----------------------------------------------------------------------
+class TestCATEHGNRoundtrip:
+    def test_predictions_bitwise_identical(self, fitted_cate, tmp_path):
+        reference = fitted_cate.predict()
+        path = fitted_cate.save_checkpoint(tmp_path / "model")
+        restored = restore_catehgn(path)
+        assert np.array_equal(reference, restored.predict_papers())
+
+    def test_restored_carries_analysis_state(self, fitted_cate, tmp_path):
+        path = fitted_cate.save_checkpoint(tmp_path / "model")
+        restored = restore_catehgn(path)
+        assert restored.term_sets == fitted_cate.term_sets
+        assert restored.label_std == fitted_cate._label_std
+        assert restored.embeddings is not None
+        assert restored.graph.total_edges == fitted_cate._graph.total_edges
+
+    def test_unfitted_estimator_rejected(self, tmp_path):
+        with pytest.raises(RuntimeError, match="fit"):
+            CATEHGN().save_checkpoint(tmp_path / "nope")
+
+    def test_wrong_kind_rejected(self, fitted_cate, tiny_dataset, tmp_path):
+        path = fitted_cate.save_checkpoint(tmp_path / "model")
+        with pytest.raises(ValueError, match="kind"):
+            load_gnn_baseline(path, tiny_dataset)
+
+
+# ----------------------------------------------------------------------
+# GNN-baseline roundtrips (topology replayed from the dataset)
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("cls,kwargs", [
+    (RGCN, {"layers": 2}),
+    (GAT, {"heads": 2, "layers": 2}),
+    (HAN, {"heads": 2, "max_pairs": 5000}),
+])
+def test_baseline_roundtrip_bitwise(cls, kwargs, tiny_dataset, tmp_path):
+    est = cls(GNNTrainConfig(dim=16, epochs=4, seed=0), **kwargs)
+    est.fit(tiny_dataset)
+    reference = est.predict()
+    path = save_gnn_baseline(est, tmp_path / cls.__name__)
+    restored = load_gnn_baseline(path, tiny_dataset)
+    assert type(restored) is cls
+    assert np.array_equal(reference, restored.predict())
+    # Constructor kwargs survived the trip.
+    for name, value in kwargs.items():
+        assert getattr(restored, name) == value
