@@ -2,7 +2,7 @@
 
 Generic linters cannot see the invariants this codebase lives by — the
 autodiff tape, the float64-only contract, explicit RNG plumbing — so this
-module implements a small AST lint with four rules:
+module implements a small AST lint with five rules:
 
 ``R001`` **tape-breaking data mutation** — assigning to ``<expr>.data``
     (or ``<expr>.data[...]``, or augmented assignment) rebinds/mutates a
@@ -33,6 +33,15 @@ module implements a small AST lint with four rules:
     dual is also flagged: a function that defines a ``backward`` closure
     but never hands it to ``_make`` ships a dead gradient.
 
+``R005`` **swallowed exception** — an ``except`` handler whose entire body
+    is ``pass``/``...`` silently discards the failure: a corrupted
+    checkpoint, a half-written file, or a diverged optimizer vanishes
+    without a trace (the failure mode the resilience layer exists to
+    surface loudly).  The rare legitimate sites — best-effort cleanup
+    where the fallback *is* "do nothing" — must be annotated with a
+    trailing ``# noqa: R005`` explaining why.  Foreign ``noqa`` codes
+    (``BLE001`` &co.) never suppress repro rules.
+
 Exit status is non-zero iff violations are found, so
 ``tests/test_lint_clean.py`` (tier-1) keeps the tree clean going forward.
 """
@@ -41,6 +50,7 @@ from __future__ import annotations
 
 import argparse
 import ast
+import re
 import sys
 from dataclasses import dataclass
 from pathlib import Path
@@ -53,6 +63,7 @@ RULES: Dict[str, str] = {
     "R002": "use of global np.random.* instead of an explicit Generator",
     "R003": "Module subclass without a forward() override",
     "R004": "Tensor._make call without a backward closure",
+    "R005": "except handler that silently swallows the exception",
 }
 
 #: Modules allowed to assign to ``.data`` (path suffixes, ``/``-separated).
@@ -82,6 +93,11 @@ R002_ALLOWED_ATTRS: Set[str] = {
 
 _DISABLE_MARK = "repro-lint: disable="
 
+#: ``# noqa: R005``-style suppression.  Only *repro* rule codes are
+#: honored here: a bare ``# noqa`` or a line carrying exclusively foreign
+#: codes (``BLE001``, ``N802``, …) must not blanket-suppress repro rules.
+_NOQA_RE = re.compile(r"#\s*noqa:\s*([^#]*)", re.IGNORECASE)
+
 
 @dataclass(frozen=True)
 class Violation:
@@ -103,10 +119,20 @@ def _suppressed_rules(source: str) -> Dict[int, Set[str]]:
     """Map line number -> rules disabled by a trailing lint comment."""
     out: Dict[int, Set[str]] = {}
     for lineno, line in enumerate(source.splitlines(), start=1):
+        suppressed: Set[str] = set()
         if _DISABLE_MARK in line:
             spec = line.split(_DISABLE_MARK, 1)[1]
             rules = {tok.strip() for tok in spec.replace(";", ",").split(",")}
-            out[lineno] = {r for r in rules if r in RULES} or set(RULES)
+            suppressed |= {r for r in rules if r in RULES} or set(RULES)
+        noqa = _NOQA_RE.search(line)
+        if noqa is not None:
+            # Exact repro codes only — never widen to all rules here.
+            suppressed |= {
+                code for code in re.findall(r"\bR\d{3}\b", noqa.group(1))
+                if code in RULES
+            }
+        if suppressed:
+            out[lineno] = suppressed
     return out
 
 
@@ -363,6 +389,47 @@ def _check_r004(tree: ast.AST, path: str) -> List[Violation]:
 
 
 # ----------------------------------------------------------------------
+# R005 — silently swallowed exceptions
+# ----------------------------------------------------------------------
+def _is_noop_stmt(stmt: ast.stmt) -> bool:
+    """``pass`` or a bare ``...`` expression statement."""
+    if isinstance(stmt, ast.Pass):
+        return True
+    if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Constant):
+        return stmt.value.value is Ellipsis
+    return False
+
+
+def _handler_label(handler: ast.ExceptHandler) -> str:
+    """Human-readable exception spec of a handler (best effort)."""
+    if handler.type is None:
+        return "bare except"
+    try:
+        return f"except {ast.unparse(handler.type)}"
+    except Exception:  # pragma: no cover — unparse is best-effort
+        return "except <...>"
+
+
+def _check_r005(tree: ast.AST, path: str) -> List[Violation]:
+    found: List[Violation] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ExceptHandler):
+            continue
+        if node.body and all(_is_noop_stmt(s) for s in node.body):
+            found.append(
+                Violation(
+                    "R005",
+                    path,
+                    node.lineno,
+                    f"{_handler_label(node)} swallows the exception "
+                    "(body is only pass/...); handle it, re-raise, or "
+                    "annotate the deliberate no-op with '# noqa: R005'",
+                )
+            )
+    return found
+
+
+# ----------------------------------------------------------------------
 # Driver
 # ----------------------------------------------------------------------
 def lint_sources(
@@ -385,6 +452,8 @@ def lint_sources(
         violations += _check_r002(tree, path)
     if "R004" in active:
         violations += _check_r004(tree, path)
+    if "R005" in active:
+        violations += _check_r005(tree, path)
 
     violations = [
         v for v in violations if v.rule not in suppressed.get(v.line, set())
@@ -450,7 +519,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-lint",
         description="Repo-specific AST lint for the repro codebase "
-        "(rules R001-R004; see repro.analysis.lint docstring).",
+        "(rules R001-R005; see repro.analysis.lint docstring).",
     )
     parser.add_argument("paths", nargs="*", help="files or directories to lint")
     parser.add_argument(

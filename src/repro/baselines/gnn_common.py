@@ -4,12 +4,23 @@ Each baseline supplies a network whose forward maps a
 :class:`~repro.core.hgn.GraphBatch` to per-paper predictions; this scaffold
 owns label scaling, the Adam loop, early stopping on the validation year,
 and the estimator API.
+
+Fault tolerance (DESIGN §12): ``fit(dataset, checkpoint_dir=...,
+resume=True)`` snapshots the complete loop state (network weights, Adam
+moments, RNG stream, early-stopping trackers) through
+:class:`repro.resilience.SnapshotStore`; a run interrupted at any epoch
+and resumed from disk reproduces the uninterrupted run's remaining
+trajectory bitwise.  The same divergence guard as the CATE-HGN trainer
+rolls NaN/Inf steps back to the last good epoch with LR backoff
+(``GNNTrainConfig.divergence_guard``); events land in ``self.events``.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Optional
+import copy
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -18,6 +29,14 @@ from ..data.dblp import CitationDataset
 from ..eval.metrics import rmse
 from ..hetnet import PAPER
 from ..nn import Adam, Module
+from ..resilience import (
+    DivergenceGuard,
+    DivergenceSignal,
+    SnapshotStore,
+    faults,
+    pack_namespace,
+    unpack_namespace,
+)
 from ..tensor import Tensor, gather, no_grad
 from .api import LabelScaler
 
@@ -44,6 +63,11 @@ class GNNTrainConfig:
     # (DESIGN §10).  False selects the legacy composed-op path, kept for
     # the numerical-equivalence regression tests.
     fused: bool = True
+    # Divergence guard (DESIGN §12); same semantics as CATEHGNConfig.
+    divergence_guard: bool = True
+    max_rollbacks: int = 3
+    lr_backoff: float = 0.5
+    explode_factor: float = 1e6
 
 
 class SupervisedGNNBaseline:
@@ -57,6 +81,18 @@ class SupervisedGNNBaseline:
         self.scaler = LabelScaler()
         self._batch: Optional[GraphBatch] = None
         self.val_history: list[float] = []
+        # Resilience event log (rollbacks / resumes), mirroring
+        # TrainHistory.events on the CATE-HGN trainer.
+        self.events: List[Dict[str, Any]] = []
+        # Training-loop state held on the instance so snapshot/rollback
+        # can capture and restore it mid-run.
+        self._rng: Optional[np.random.Generator] = None
+        self._optimizer: Optional[Adam] = None
+        self._best_val: float = float("inf")
+        self._best_state: Optional[Dict[str, np.ndarray]] = None
+        self._bad: int = 0
+        self._epoch_done: int = -1
+        self._guard: Optional[DivergenceGuard] = None
 
     # Subclasses implement this.
     def build_network(self, batch: GraphBatch) -> Module:
@@ -82,9 +118,16 @@ class SupervisedGNNBaseline:
         )
         return base, self._augment_eval(base), stop_idx
 
-    def fit(self, dataset: CitationDataset) -> "SupervisedGNNBaseline":
+    def fit(self, dataset: CitationDataset, *,
+            checkpoint_dir: Optional[Union[str, Path]] = None,
+            resume: bool = False,
+            checkpoint_every: int = 1,
+            keep_last: int = 3) -> "SupervisedGNNBaseline":
+        """Train; optionally checkpointed and resumable (see module doc)."""
+        if resume and checkpoint_dir is None:
+            raise ValueError("resume=True requires checkpoint_dir")
         cfg = self.config
-        rng = np.random.default_rng(cfg.seed)
+        self._rng = np.random.default_rng(cfg.seed)
         fit_idx, _ = dataset.early_stopping_split()
         self.scaler.fit(dataset.labels[fit_idx])
         base, eval_batch, stop_idx = self.build_batches(dataset)
@@ -94,41 +137,184 @@ class SupervisedGNNBaseline:
             # eval pass below shares it (label augmentation keeps topology).
             base.structure
         self.network = self.build_network(eval_batch)
-        optimizer = Adam(list(self.network.parameters()), lr=cfg.lr,
-                         weight_decay=cfg.weight_decay)
+        self._optimizer = Adam(list(self.network.parameters()), lr=cfg.lr,
+                               weight_decay=cfg.weight_decay)
         val_labels = dataset.labels[stop_idx]
+        self._best_val = float("inf")
+        self._best_state = None
+        self._bad = 0
+        self._epoch_done = -1
 
-        best_val = float("inf")
-        best_state: Optional[Dict[str, np.ndarray]] = None
-        bad = 0
-        for epoch in range(cfg.epochs):
-            step = self._augment_step(base, rng)
+        store: Optional[SnapshotStore] = None
+        if checkpoint_dir is not None:
+            store = SnapshotStore(checkpoint_dir, keep_last=keep_last)
+        if resume and store is not None:
+            snapshot = store.load_latest()
+            if snapshot is not None:
+                self._check_resume_config(snapshot.meta)
+                self._load_training_state(snapshot.meta, snapshot.arrays)
+                self.events.append({
+                    "type": "resume",
+                    "step": int(snapshot.step),
+                    "path": str(snapshot.path),
+                })
+
+        guard: Optional[DivergenceGuard] = None
+        if cfg.divergence_guard:
+            guard = DivergenceGuard(
+                capture=self._training_state,
+                restore=lambda state: self._load_training_state(*state),
+                optimizers=[self._optimizer],
+                max_rollbacks=cfg.max_rollbacks,
+                lr_backoff=cfg.lr_backoff,
+                explode_factor=cfg.explode_factor,
+            )
+            guard.adopt_history(self.events)
+            guard.record_good(self._epoch_done)
+        self._guard = guard
+
+        epoch = self._epoch_done + 1
+        try:
+            while epoch < cfg.epochs:
+                if self._bad >= cfg.patience:
+                    break  # resumed run had already early-stopped
+                faults.fire("baseline.epoch", epoch=epoch)
+                try:
+                    stop = self._train_epoch(epoch, base, eval_batch,
+                                             stop_idx, val_labels)
+                except DivergenceSignal as signal:
+                    event = guard.rollback(step=epoch, reason=str(signal))
+                    self.events.append(event)
+                    continue  # retry the same epoch at the backed-off LR
+                self._epoch_done = epoch
+                if guard is not None:
+                    guard.record_good(epoch)
+                if store is not None and (
+                        epoch % max(1, checkpoint_every) == 0
+                        or stop or epoch == cfg.epochs - 1):
+                    meta, arrays = self._training_state()
+                    store.save(epoch, meta, arrays)
+                if stop:
+                    break
+                epoch += 1
+        finally:
+            self._guard = None
+
+        if self._best_state is not None:
+            self.network.load_state_dict(self._best_state)
+        return self
+
+    # ------------------------------------------------------------------
+    def _train_epoch(self, epoch: int, base: GraphBatch,
+                     eval_batch: GraphBatch, stop_idx: np.ndarray,
+                     val_labels: np.ndarray) -> bool:
+        """One optimization step (+ scheduled eval); True = early stop."""
+        cfg = self.config
+        guard = self._guard
+        step = self._augment_step(base, self._rng)
+        try:
             with self._anomaly_context():
                 preds = self.network(step)
                 diff = gather(preds, step.labeled_ids) - Tensor(step.labels)
                 loss = (diff * diff).mean()
-                optimizer.zero_grad()
+                self._optimizer.zero_grad()
                 loss.backward()
-            optimizer.clip_grad_norm(cfg.grad_clip)
-            optimizer.step()
+        except FloatingPointError as exc:
+            # detect_anomaly's AnomalyError subclasses this: route the
+            # sanitizer's signal into the rollback machinery.
+            if guard is None:
+                raise
+            raise DivergenceSignal(f"tape sanitizer: {exc}") from exc
+        faults.fire("baseline.grad", epoch=epoch,
+                    params=self._optimizer.params)
+        grad_norm = self._optimizer.clip_grad_norm(cfg.grad_clip)
+        if guard is not None:
+            guard.check_step(float(loss.data), grad_norm)
+        self._optimizer.step()
 
-            if epoch % cfg.eval_every == 0 or epoch == cfg.epochs - 1:
-                with no_grad():  # validation pass never backprops
-                    val_pred = self.scaler.inverse(
-                        self.network(eval_batch).data
-                    )[stop_idx]
-                val = rmse(val_labels, val_pred)
-                self.val_history.append(val)
-                if val < best_val - 1e-6:
-                    best_val, bad = val, 0
-                    best_state = self.network.state_dict()
-                else:
-                    bad += 1
-                    if bad >= cfg.patience:
-                        break
-        if best_state is not None:
-            self.network.load_state_dict(best_state)
-        return self
+        if epoch % cfg.eval_every == 0 or epoch == cfg.epochs - 1:
+            with no_grad():  # validation pass never backprops
+                val_pred = self.scaler.inverse(
+                    self.network(eval_batch).data
+                )[stop_idx]
+            val = rmse(val_labels, val_pred)
+            if guard is not None and not np.isfinite(val):
+                raise DivergenceSignal(
+                    f"non-finite validation RMSE ({val!r})"
+                )
+            self.val_history.append(val)
+            if val < self._best_val - 1e-6:
+                self._best_val, self._bad = val, 0
+                self._best_state = self.network.state_dict()
+            else:
+                self._bad += 1
+                if self._bad >= cfg.patience:
+                    return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Snapshot / restore (DESIGN §12) — everything the loop needs.
+    # ------------------------------------------------------------------
+    def _training_state(self) -> Tuple[Dict[str, Any], Dict[str, np.ndarray]]:
+        meta: Dict[str, Any] = {
+            "kind": "gnn-baseline-train",
+            "baseline_class": type(self).__name__,
+            "epoch": int(self._epoch_done),
+            "config": asdict(self.config),
+            "rng_state": copy.deepcopy(self._rng.bit_generator.state),
+            "best_val": self._best_val,
+            "bad": int(self._bad),
+            "has_best": self._best_state is not None,
+            "val_history": list(self.val_history),
+            "events": copy.deepcopy(self.events),
+            "scaler_mean": self.scaler.mean,
+            "scaler_std": self.scaler.std,
+        }
+        arrays: Dict[str, np.ndarray] = {}
+        pack_namespace(arrays, "network", self.network.state_dict())
+        if self._best_state is not None:
+            pack_namespace(arrays, "best", self._best_state)
+        pack_namespace(arrays, "opt", self._optimizer.state_dict())
+        return meta, arrays
+
+    def _load_training_state(self, meta: Dict[str, Any],
+                             arrays: Dict[str, np.ndarray]) -> None:
+        self._epoch_done = int(meta["epoch"])
+        self._best_val = float(meta["best_val"])
+        self._bad = int(meta["bad"])
+        self.scaler.mean = float(meta["scaler_mean"])
+        self.scaler.std = float(meta["scaler_std"])
+        self.val_history = list(meta["val_history"])
+        self.events = copy.deepcopy(meta["events"])
+        self.network.load_state_dict(unpack_namespace(arrays, "network"))
+        self._best_state = (unpack_namespace(arrays, "best")
+                            if meta["has_best"] else None)
+        self._optimizer.load_state_dict(unpack_namespace(arrays, "opt"))
+        self._rng.bit_generator.state = copy.deepcopy(meta["rng_state"])
+
+    def _check_resume_config(self, meta: Dict[str, Any]) -> None:
+        if meta.get("kind") != "gnn-baseline-train":
+            raise ValueError(
+                f"snapshot kind {meta.get('kind')!r} is not a GNN-baseline "
+                f"training snapshot"
+            )
+        if meta.get("baseline_class") != type(self).__name__:
+            raise ValueError(
+                f"cannot resume: snapshot belongs to "
+                f"{meta.get('baseline_class')!r}, not {type(self).__name__!r}"
+            )
+        saved = meta.get("config", {})
+        current = asdict(self.config)
+        diff = sorted(
+            key for key in set(saved) | set(current)
+            if saved.get(key) != current.get(key)
+        )
+        if diff:
+            raise ValueError(
+                "cannot resume: snapshot was written under a different "
+                f"configuration (differing keys: {diff}); refit from "
+                "scratch or restore the original config"
+            )
 
     def _anomaly_context(self):
         """Opt-in tape sanitizer for one training step (no-op by default)."""

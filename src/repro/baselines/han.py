@@ -121,9 +121,9 @@ class HAN(SupervisedGNNBaseline):
         self.max_pairs = max_pairs
         self._dataset: CitationDataset | None = None
 
-    def fit(self, dataset: CitationDataset) -> "HAN":
+    def fit(self, dataset: CitationDataset, **fit_kwargs) -> "HAN":
         self._dataset = dataset
-        return super().fit(dataset)
+        return super().fit(dataset, **fit_kwargs)
 
     def build_network(self, batch: GraphBatch) -> Module:
         paths = paper_metapath_adjacency(self._dataset, self.max_pairs,

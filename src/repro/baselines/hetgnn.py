@@ -119,9 +119,9 @@ class HetGNN(SupervisedGNNBaseline):
         self.top_k = top_k
         self._dataset: CitationDataset | None = None
 
-    def fit(self, dataset: CitationDataset) -> "HetGNN":
+    def fit(self, dataset: CitationDataset, **fit_kwargs) -> "HetGNN":
         self._dataset = dataset
-        return super().fit(dataset)
+        return super().fit(dataset, **fit_kwargs)
 
     def build_network(self, batch: GraphBatch) -> Module:
         rng = np.random.default_rng(self.config.seed)

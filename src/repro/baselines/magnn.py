@@ -116,9 +116,9 @@ class MAGNN(SupervisedGNNBaseline):
         self.max_per_mid = max_per_mid
         self._dataset: CitationDataset | None = None
 
-    def fit(self, dataset: CitationDataset) -> "MAGNN":
+    def fit(self, dataset: CitationDataset, **fit_kwargs) -> "MAGNN":
         self._dataset = dataset
-        return super().fit(dataset)
+        return super().fit(dataset, **fit_kwargs)
 
     def build_network(self, batch: GraphBatch) -> Module:
         rng = np.random.default_rng(self.config.seed)

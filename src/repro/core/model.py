@@ -85,6 +85,18 @@ class CATEHGNConfig:
     # reduction per op — debugging only, leave off for benchmarks.
     debug_anomaly: bool = False
 
+    # Divergence guard (DESIGN §12): on NaN/Inf loss/gradients or a loss
+    # explosion beyond explode_factor × the last healthy loss, roll back
+    # to the last good outer-iteration state, multiply learning rates by
+    # lr_backoff, and retry — up to max_rollbacks times, after which
+    # TrainingDivergedError is raised.  The guard is trajectory-neutral
+    # while training is healthy (golden metrics pin this), so it
+    # defaults on.
+    divergence_guard: bool = True
+    max_rollbacks: int = 3
+    lr_backoff: float = 0.5
+    explode_factor: float = 1e6
+
     def hgn_config(self) -> HGNConfig:
         return HGNConfig(dim=self.dim, num_layers=self.num_layers,
                          composition=self.composition,

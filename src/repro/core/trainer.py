@@ -10,14 +10,27 @@ scale the full graph fits comfortably, so each "mini-iteration" (Algorithm
 1, lines 3-9) is a full-batch step — equivalent to B = all labeled papers
 and S = ∞.  Sampled mini-batching is available via ``sample_batches`` for
 parity with the paper's memory analysis.
+
+Fault tolerance (DESIGN §12): ``fit(dataset, checkpoint_dir=...,
+resume=True)`` periodically snapshots the *complete* training state —
+model parameters, both Adam states, the RNG bit-generator stream, TE
+term sets, history, and the outer-iteration counter — through
+:class:`repro.resilience.SnapshotStore` (atomic, checksummed,
+keep-last-K).  A run interrupted at any point and resumed from disk
+reproduces the uninterrupted run's remaining trajectory **bitwise**.  An
+integrated divergence guard additionally rolls NaN/Inf or exploding
+steps back to the last good outer iteration with learning-rate backoff
+(``CATEHGNConfig.divergence_guard``); every event lands in
+``TrainHistory.events``.
 """
 
 from __future__ import annotations
 
 import copy
 import time
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -25,6 +38,14 @@ from ..data.dblp import CitationDataset
 from ..eval.metrics import rmse
 from ..hetnet import PAPER, TERM, HeteroGraph, sample_neighborhood
 from ..nn import Adam
+from ..resilience import (
+    DivergenceGuard,
+    DivergenceSignal,
+    SnapshotStore,
+    faults,
+    pack_namespace,
+    unpack_namespace,
+)
 from ..tensor import Tensor, no_grad
 from .cluster import concat_one_space
 from .hgn import GraphBatch
@@ -44,6 +65,10 @@ class TrainHistory:
     # Wall-clock seconds per outer iteration (perf-benchmark trajectory;
     # see benchmarks/perf).
     iter_seconds: List[float] = field(default_factory=list)
+    # Resilience event log (DESIGN §12): one dict per divergence
+    # rollback / resume, e.g. {"type": "rollback", "step": 3,
+    # "resumed_from": 2, "reason": ..., "lr": [...]}.
+    events: List[Dict[str, Any]] = field(default_factory=list)
 
 
 def _clone_graph(graph: HeteroGraph) -> HeteroGraph:
@@ -76,6 +101,7 @@ class CATEHGN:
         self.history = TrainHistory()
         self._graph: Optional[HeteroGraph] = None
         self._batch: Optional[GraphBatch] = None
+        self._base_batch: Optional[GraphBatch] = None
         self._enhancer: Optional[TextEnhancer] = None
         self._term_sets: Optional[List[List[str]]] = None
         self._dataset: Optional[CitationDataset] = None
@@ -86,11 +112,47 @@ class CATEHGN:
         # Internal fit/early-stopping split (see early_stopping_split).
         self._fit_idx: Optional[np.ndarray] = None
         self._stop_idx: Optional[np.ndarray] = None
+        # Training-loop state (instance-held so snapshot/rollback can
+        # capture and restore it mid-run; see _training_state).
+        self._rng: Optional[np.random.Generator] = None
+        self._opt_main: Optional[Adam] = None
+        self._opt_centers: Optional[Adam] = None
+        self._main_params: List[Any] = []
+        self._best_state: Optional[Dict[str, np.ndarray]] = None
+        self._best_terms: Optional[List[List[str]]] = None
+        self._bad_iters: int = 0
+        self._outer_done: int = -1
+        self._guard: Optional[DivergenceGuard] = None
 
     # ------------------------------------------------------------------
-    def fit(self, dataset: CitationDataset) -> "CATEHGN":
+    def fit(self, dataset: CitationDataset, *,
+            checkpoint_dir: Optional[Union[str, Path]] = None,
+            resume: bool = False,
+            checkpoint_every: int = 1,
+            keep_last: int = 3) -> "CATEHGN":
+        """Run Algorithm 1; optionally checkpointed and resumable.
+
+        Parameters
+        ----------
+        checkpoint_dir:
+            When given, the complete training state is snapshotted there
+            every ``checkpoint_every`` outer iterations (atomic +
+            checksummed, ``keep_last`` files retained).
+        resume:
+            Load the newest *valid* snapshot from ``checkpoint_dir`` and
+            continue from it; the remaining trajectory is bitwise
+            identical to the uninterrupted run's.  With no usable
+            snapshot the run starts fresh.
+
+        Raises
+        ------
+        repro.resilience.TrainingDivergedError
+            If the divergence guard exhausts its rollback budget.
+        """
+        if resume and checkpoint_dir is None:
+            raise ValueError("resume=True requires checkpoint_dir")
         cfg = self.config
-        rng = np.random.default_rng(cfg.seed)
+        self._rng = np.random.default_rng(cfg.seed)
         self._dataset = dataset
         self._fit_idx, self._stop_idx = dataset.early_stopping_split()
         train_labels = dataset.labels[self._fit_idx]
@@ -109,13 +171,13 @@ class CATEHGN:
             self._enhancer.rebuild_graph_terms(graph, self._term_sets)
         self._graph = graph
 
-        base_batch = self._make_batch(graph, dataset)
-        batch = self._augment_eval(base_batch)
+        self._base_batch = self._make_batch(graph, dataset)
+        batch = self._augment_eval(self._base_batch)
         self._batch = batch
         if cfg.fused:
             # Warm the shared structure cache once, outside the timed
             # loop; every mini-iteration / eval pass below reuses it.
-            base_batch.structure
+            self._base_batch.structure
 
         feature_dims = {t: batch.features[t].shape[1] for t in batch.node_types}
         self.model = CATEHGNModel(cfg, batch.node_types, feature_dims,
@@ -126,85 +188,276 @@ class CATEHGN:
         center_params = (self.model.ca.center_parameters()
                          if self.model.ca is not None else [])
         center_ids = {id(p) for p in center_params}
-        main_params = [p for p in self.model.parameters()
-                       if id(p) not in center_ids]
-        opt_main = Adam(main_params, lr=cfg.lr, weight_decay=cfg.weight_decay)
-        opt_centers = Adam(center_params, lr=cfg.center_lr) if center_params else None
+        self._main_params = [p for p in self.model.parameters()
+                             if id(p) not in center_ids]
+        self._opt_main = Adam(self._main_params, lr=cfg.lr,
+                              weight_decay=cfg.weight_decay)
+        self._opt_centers = (Adam(center_params, lr=cfg.center_lr)
+                             if center_params else None)
 
-        best_state: Optional[Dict[str, np.ndarray]] = None
-        best_terms = copy.deepcopy(self._term_sets)
-        bad_iters = 0
+        self._best_state = None
+        self._best_terms = copy.deepcopy(self._term_sets)
+        self._bad_iters = 0
+        self._outer_done = -1
 
-        for outer in range(cfg.outer_iters):
-            iter_start = time.perf_counter()
-            # Lines 3-9: I mini-iterations of HGN updates (centers frozen).
-            loss_value = 0.0
-            for _ in range(cfg.mini_iters):
-                mini_batch = self._augment_step(
-                    self._sample_mini_batch(base_batch, dataset, rng), rng
-                )
+        store: Optional[SnapshotStore] = None
+        if checkpoint_dir is not None:
+            store = SnapshotStore(checkpoint_dir, keep_last=keep_last)
+        if resume and store is not None:
+            snapshot = store.load_latest()
+            if snapshot is not None:
+                self._check_resume_config(snapshot.meta)
+                self._load_training_state(snapshot.meta, snapshot.arrays)
+                self.history.events.append({
+                    "type": "resume",
+                    "step": int(snapshot.step),
+                    "path": str(snapshot.path),
+                })
+
+        guard: Optional[DivergenceGuard] = None
+        if cfg.divergence_guard:
+            guard = DivergenceGuard(
+                capture=self._training_state,
+                restore=lambda state: self._load_training_state(*state),
+                optimizers=[self._opt_main, self._opt_centers],
+                max_rollbacks=cfg.max_rollbacks,
+                lr_backoff=cfg.lr_backoff,
+                explode_factor=cfg.explode_factor,
+            )
+            guard.adopt_history(self.history.events)
+            guard.record_good(self._outer_done)
+        self._guard = guard
+
+        outer = self._outer_done + 1
+        try:
+            while outer < cfg.outer_iters:
+                if self._bad_iters >= cfg.patience:
+                    break  # resumed run had already early-stopped
+                faults.fire("trainer.outer", outer=outer)
+                try:
+                    stop = self._outer_iteration(outer)
+                except DivergenceSignal as signal:
+                    event = guard.rollback(step=outer, reason=str(signal))
+                    self.history.events.append(event)
+                    continue  # retry the same outer iteration, lower LR
+                self._outer_done = outer
+                if guard is not None:
+                    guard.record_good(outer)
+                if store is not None and (
+                        outer % max(1, checkpoint_every) == 0
+                        or stop or outer == cfg.outer_iters - 1):
+                    meta, arrays = self._training_state()
+                    store.save(outer, meta, arrays)
+                if stop:
+                    break
+                outer += 1
+        finally:
+            self._guard = None
+
+        if self._best_state is not None:
+            if (cfg.use_te and self._best_terms is not None
+                    and self._enhancer is not None):
+                self._term_sets = self._best_terms
+                self._enhancer.rebuild_graph_terms(self._graph,
+                                                   self._best_terms)
+                self._base_batch = self._make_batch(self._graph, dataset)
+                self._batch = self._augment_eval(self._base_batch)
+            self.model.load_state_dict(self._best_state)
+        return self
+
+    # ------------------------------------------------------------------
+    def _outer_iteration(self, outer: int) -> bool:
+        """One outer iteration (Algorithm 1 lines 3-11); True = early stop.
+
+        Raises :class:`DivergenceSignal` when the guard trips; the
+        caller rolls back and retries.
+        """
+        cfg = self.config
+        rng = self._rng
+        guard = self._guard
+        iter_start = time.perf_counter()
+
+        # Lines 3-9: I mini-iterations of HGN updates (centers frozen).
+        loss_value = 0.0
+        for mini in range(cfg.mini_iters):
+            mini_batch = self._augment_step(
+                self._sample_mini_batch(self._base_batch, self._dataset, rng),
+                rng,
+            )
+            try:
                 with self._anomaly_context():
                     state = self.model.forward_state(mini_batch)
                     loss = self.model.hgn_loss(state, mini_batch, rng)
-                    opt_main.zero_grad()
-                    if opt_centers is not None:
-                        opt_centers.zero_grad()
+                    self._opt_main.zero_grad()
+                    if self._opt_centers is not None:
+                        self._opt_centers.zero_grad()
                     loss.backward()
-                opt_main.clip_grad_norm(cfg.grad_clip)
-                opt_main.step()
-                loss_value = float(loss.data)
-            self.history.train_loss.append(loss_value)
+            except FloatingPointError as exc:
+                # detect_anomaly's AnomalyError subclasses this: route
+                # the sanitizer's signal into the rollback machinery.
+                if guard is None:
+                    raise
+                raise DivergenceSignal(f"tape sanitizer: {exc}") from exc
+            faults.fire("trainer.grad", outer=outer, mini=mini,
+                        params=self._main_params)
+            grad_norm = self._opt_main.clip_grad_norm(cfg.grad_clip)
+            loss_value = float(loss.data)
+            if guard is not None:
+                guard.check_step(loss_value, grad_norm)
+            self._opt_main.step()
+        self.history.train_loss.append(loss_value)
 
-            # Line 10: update cluster centers with the CA loss.
-            if opt_centers is not None:
-                for _ in range(cfg.center_iters):
+        # Line 10: update cluster centers with the CA loss.
+        if self._opt_centers is not None:
+            for _ in range(cfg.center_iters):
+                try:
                     with self._anomaly_context():
-                        state = self.model.forward_state(batch)
+                        state = self.model.forward_state(self._batch)
                         ca_loss = self.model.ca_loss(state)
-                        opt_main.zero_grad()
-                        opt_centers.zero_grad()
+                        self._opt_main.zero_grad()
+                        self._opt_centers.zero_grad()
                         ca_loss.backward()
-                    opt_centers.step()
+                except FloatingPointError as exc:
+                    if guard is None:
+                        raise
+                    raise DivergenceSignal(
+                        f"tape sanitizer (center step): {exc}") from exc
+                ca_value = float(ca_loss.data)
+                if guard is not None and not np.isfinite(ca_value):
+                    raise DivergenceSignal(
+                        f"non-finite center loss ({ca_value!r})"
+                    )
+                self._opt_centers.step()
 
-            # Line 11: adaptive term refinement (TE).
-            if (cfg.use_te and cfg.te_iterative and self._enhancer is not None
-                    and outer > 0 and outer % cfg.refine_every == 0):
-                self._refine_terms(dataset)
-                base_batch = self._make_batch(self._graph, dataset)
-                batch = self._augment_eval(base_batch)
-                self._batch = batch
-                if cfg.use_ca:
-                    # Term-enhanced clustering (Sec. III-E1) interleaved
-                    # with refinement: re-anchor the centers on the new
-                    # term sets so clusters track the research domains
-                    # instead of drifting as embeddings move.
-                    self._initialize_centers(batch)
-            if cfg.use_te:
-                self.history.term_sets.append(copy.deepcopy(self._term_sets))
+        # Line 11: adaptive term refinement (TE).
+        if (cfg.use_te and cfg.te_iterative and self._enhancer is not None
+                and outer > 0 and outer % cfg.refine_every == 0):
+            self._refine_terms(self._dataset)
+            self._base_batch = self._make_batch(self._graph, self._dataset)
+            self._batch = self._augment_eval(self._base_batch)
+            if cfg.use_ca:
+                # Term-enhanced clustering (Sec. III-E1) interleaved
+                # with refinement: re-anchor the centers on the new
+                # term sets so clusters track the research domains
+                # instead of drifting as embeddings move.
+                self._initialize_centers(self._batch)
+        if cfg.use_te:
+            self.history.term_sets.append(copy.deepcopy(self._term_sets))
 
-            # Convergence tracking on the validation year.
-            val_rmse = self._validation_rmse(dataset)
-            self.history.iter_seconds.append(time.perf_counter() - iter_start)
-            self.history.val_rmse.append(val_rmse)
-            if val_rmse < self.history.best_val_rmse - 1e-6:
-                self.history.best_val_rmse = val_rmse
-                self.history.best_iteration = outer
-                best_state = self.model.state_dict()
-                best_terms = copy.deepcopy(self._term_sets)
-                bad_iters = 0
-            else:
-                bad_iters += 1
-                if bad_iters >= cfg.patience:
-                    break
+        # Convergence tracking on the validation year.
+        val_rmse = self._validation_rmse(self._dataset)
+        if guard is not None and not np.isfinite(val_rmse):
+            raise DivergenceSignal(
+                f"non-finite validation RMSE ({val_rmse!r})"
+            )
+        self.history.iter_seconds.append(time.perf_counter() - iter_start)
+        self.history.val_rmse.append(val_rmse)
+        if val_rmse < self.history.best_val_rmse - 1e-6:
+            self.history.best_val_rmse = val_rmse
+            self.history.best_iteration = outer
+            self._best_state = self.model.state_dict()
+            self._best_terms = copy.deepcopy(self._term_sets)
+            self._bad_iters = 0
+        else:
+            self._bad_iters += 1
+            if self._bad_iters >= cfg.patience:
+                return True
+        return False
 
-        if best_state is not None:
-            if cfg.use_te and best_terms is not None and self._enhancer is not None:
-                self._term_sets = best_terms
-                self._enhancer.rebuild_graph_terms(self._graph, best_terms)
-                self._batch = self._augment_eval(self._make_batch(self._graph,
-                                                                  dataset))
-            self.model.load_state_dict(best_state)
-        return self
+    # ------------------------------------------------------------------
+    # Snapshot / restore of the complete training state (DESIGN §12).
+    # ------------------------------------------------------------------
+    def _training_state(self) -> Tuple[Dict[str, Any], Dict[str, np.ndarray]]:
+        """(meta, arrays) capturing everything the loop needs to continue.
+
+        Used both for disk snapshots (:class:`SnapshotStore`) and the
+        divergence guard's in-memory last-good copy; everything is
+        copied, nothing aliases live training state.
+        """
+        history = self.history
+        meta: Dict[str, Any] = {
+            "kind": "catehgn-train",
+            "outer": int(self._outer_done),
+            "config": asdict(self.config),
+            "rng_state": copy.deepcopy(self._rng.bit_generator.state),
+            "term_sets": copy.deepcopy(self._term_sets),
+            "best_terms": copy.deepcopy(self._best_terms),
+            "bad_iters": int(self._bad_iters),
+            "has_best": self._best_state is not None,
+            "label_mean": self._label_mean,
+            "label_std": self._label_std,
+            "history": {
+                "train_loss": list(history.train_loss),
+                "val_rmse": list(history.val_rmse),
+                "iter_seconds": list(history.iter_seconds),
+                "term_sets": copy.deepcopy(history.term_sets),
+                "best_val_rmse": history.best_val_rmse,
+                "best_iteration": history.best_iteration,
+                "events": copy.deepcopy(history.events),
+            },
+        }
+        arrays: Dict[str, np.ndarray] = {}
+        pack_namespace(arrays, "model", self.model.state_dict())
+        if self._best_state is not None:
+            pack_namespace(arrays, "best", self._best_state)
+        pack_namespace(arrays, "opt_main", self._opt_main.state_dict())
+        if self._opt_centers is not None:
+            pack_namespace(arrays, "opt_centers",
+                           self._opt_centers.state_dict())
+        return meta, arrays
+
+    def _load_training_state(self, meta: Dict[str, Any],
+                             arrays: Dict[str, np.ndarray]) -> None:
+        """Restore a :meth:`_training_state` capture into the live run."""
+        cfg = self.config
+        self._outer_done = int(meta["outer"])
+        self._label_mean = float(meta["label_mean"])
+        self._label_std = float(meta["label_std"])
+        self._term_sets = copy.deepcopy(meta["term_sets"])
+        self._best_terms = copy.deepcopy(meta["best_terms"])
+        self._bad_iters = int(meta["bad_iters"])
+        if (cfg.use_te and self._enhancer is not None
+                and self._term_sets is not None):
+            self._enhancer.rebuild_graph_terms(self._graph, self._term_sets)
+        self._base_batch = self._make_batch(self._graph, self._dataset)
+        self._batch = self._augment_eval(self._base_batch)
+        self.model.load_state_dict(unpack_namespace(arrays, "model"))
+        self._best_state = (unpack_namespace(arrays, "best")
+                            if meta["has_best"] else None)
+        self._opt_main.load_state_dict(unpack_namespace(arrays, "opt_main"))
+        if self._opt_centers is not None:
+            self._opt_centers.load_state_dict(
+                unpack_namespace(arrays, "opt_centers")
+            )
+        self._rng.bit_generator.state = copy.deepcopy(meta["rng_state"])
+        saved = meta["history"]
+        history = self.history
+        history.train_loss = list(saved["train_loss"])
+        history.val_rmse = list(saved["val_rmse"])
+        history.iter_seconds = list(saved["iter_seconds"])
+        history.term_sets = copy.deepcopy(saved["term_sets"])
+        history.best_val_rmse = float(saved["best_val_rmse"])
+        history.best_iteration = int(saved["best_iteration"])
+        history.events = copy.deepcopy(saved["events"])
+
+    def _check_resume_config(self, meta: Dict[str, Any]) -> None:
+        if meta.get("kind") != "catehgn-train":
+            raise ValueError(
+                f"snapshot kind {meta.get('kind')!r} is not a CATE-HGN "
+                f"training snapshot"
+            )
+        saved = meta.get("config", {})
+        current = asdict(self.config)
+        diff = sorted(
+            key for key in set(saved) | set(current)
+            if saved.get(key) != current.get(key)
+        )
+        if diff:
+            raise ValueError(
+                "cannot resume: snapshot was written under a different "
+                f"configuration (differing keys: {diff}); refit from "
+                "scratch or restore the original config"
+            )
 
     # ------------------------------------------------------------------
     def _anomaly_context(self):

@@ -2,13 +2,22 @@
 
 from __future__ import annotations
 
+import io
 import json
+import zipfile
+import zlib
 from pathlib import Path
 from typing import Union
 
 import numpy as np
 
 from ..hetnet import HeteroGraph, publication_schema
+from ..resilience import (
+    CheckpointCorruptError,
+    atomic_write_bytes,
+    atomic_write_text,
+    file_sha256,
+)
 
 #: On-disk graph format version.  Bump whenever the npz/json layout changes
 #: incompatibly; :func:`load_graph` rejects versions it does not understand
@@ -42,14 +51,34 @@ def save_graph(graph: HeteroGraph, path: Union[str, Path]) -> None:
             arrays[f"attr_{node_type}_{name}"] = values
             meta["attrs"].setdefault(node_type, []).append(name)
     meta["names"] = {t: names for t, names in graph.node_names.items()}
-    np.savez_compressed(path.with_suffix(".npz"), **arrays)
-    path.with_suffix(".json").write_text(json.dumps(meta))
+    # Crash-safe write order: npz first (atomically), then record its
+    # digest in the json sidecar (also atomic).  A kill between the two
+    # leaves a stale sidecar whose checksum no longer matches — which
+    # load_graph reports loudly instead of mixing generations.
+    buffer = io.BytesIO()
+    np.savez_compressed(buffer, **arrays)
+    npz_path = atomic_write_bytes(path.with_suffix(".npz"), buffer.getvalue())
+    meta["npz_sha256"] = file_sha256(npz_path)
+    atomic_write_text(path.with_suffix(".json"), json.dumps(meta))
 
 
 def load_graph(path: Union[str, Path]) -> HeteroGraph:
-    """Load a graph previously written by :func:`save_graph`."""
+    """Load a graph previously written by :func:`save_graph`.
+
+    Truncated/bit-flipped npz payloads and digest mismatches against the
+    json sidecar raise :class:`~repro.resilience.CheckpointCorruptError`;
+    files written before checksumming existed carry no digest and are
+    accepted as-is.
+    """
     path = Path(path)
-    meta = json.loads(path.with_suffix(".json").read_text())
+    npz_path = path.with_suffix(".npz")
+    try:
+        meta = json.loads(path.with_suffix(".json").read_text())
+    except json.JSONDecodeError as exc:
+        raise CheckpointCorruptError(
+            f"graph sidecar {path.with_suffix('.json')} is not valid JSON "
+            f"({exc}); the export is corrupt"
+        ) from exc
     version = meta.get("format_version", 1)  # pre-versioning files == v1
     if version != GRAPH_FORMAT_VERSION:
         raise ValueError(
@@ -57,19 +86,36 @@ def load_graph(path: Union[str, Path]) -> HeteroGraph:
             f"build reads version {GRAPH_FORMAT_VERSION}. Re-export the graph "
             f"with a matching repro.data.save_graph."
         )
-    arrays = np.load(path.with_suffix(".npz"))
-    graph = HeteroGraph(publication_schema(include_terms=True))
-    for node_type, count in meta["num_nodes"].items():
-        names = meta["names"].get(node_type)
-        graph.add_nodes(node_type, count, names)
-    for i, key in enumerate(meta["edge_types"]):
-        graph.set_edges(tuple(key), arrays[f"edge{i}_src"],
-                        arrays[f"edge{i}_dst"], arrays[f"edge{i}_weight"])
-    for node_type in meta["num_nodes"]:
-        feat_key = f"feat_{node_type}"
-        if feat_key in arrays:
-            graph.set_features(node_type, arrays[feat_key])
-        for attr in meta["attrs"].get(node_type, []):
-            graph.set_attr(node_type, attr, arrays[f"attr_{node_type}_{attr}"])
+    expected = meta.get("npz_sha256")  # absent in pre-checksum exports
+    if expected is not None and file_sha256(npz_path) != expected:
+        raise CheckpointCorruptError(
+            f"graph payload {npz_path} does not match the digest recorded "
+            f"in its json sidecar; the npz was truncated, altered, or the "
+            f"writer died between the two files — re-export the graph"
+        )
+    try:
+        arrays = np.load(npz_path)
+        graph = HeteroGraph(publication_schema(include_terms=True))
+        for node_type, count in meta["num_nodes"].items():
+            names = meta["names"].get(node_type)
+            graph.add_nodes(node_type, count, names)
+        for i, key in enumerate(meta["edge_types"]):
+            graph.set_edges(tuple(key), arrays[f"edge{i}_src"],
+                            arrays[f"edge{i}_dst"], arrays[f"edge{i}_weight"])
+        for node_type in meta["num_nodes"]:
+            feat_key = f"feat_{node_type}"
+            if feat_key in arrays:
+                graph.set_features(node_type, arrays[feat_key])
+            for attr in meta["attrs"].get(node_type, []):
+                graph.set_attr(node_type, attr,
+                               arrays[f"attr_{node_type}_{attr}"])
+    except FileNotFoundError:
+        raise
+    except (zipfile.BadZipFile, zlib.error, EOFError, OSError,
+            KeyError) as exc:
+        raise CheckpointCorruptError(
+            f"graph payload {npz_path} is unreadable ({exc}); the file is "
+            f"truncated or corrupted — re-export the graph"
+        ) from exc
     graph.validate()
     return graph

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Iterable, List
+from typing import Dict, Iterable, List
 
 import numpy as np
 
@@ -38,6 +38,37 @@ class Optimizer:
                     param.grad = param.grad * scale
         return norm
 
+    # ------------------------------------------------------------------
+    # Snapshot support (repro.resilience): a flat Dict[str, np.ndarray]
+    # mirroring Module.state_dict so optimizer state rides in the same
+    # npz namespace as model parameters.
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """Optimizer state as plain arrays (copies); subclasses extend."""
+        return {"lr": np.array(self.lr, dtype=np.float64)}
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        if "lr" in state:
+            self.lr = float(state["lr"])
+
+    def _load_slot_arrays(self, state: Dict[str, np.ndarray], slot: str,
+                          target: List[np.ndarray]) -> None:
+        """Restore per-parameter arrays (``m/0000``-style) into ``target``."""
+        keys = sorted(k for k in state if k.startswith(slot + "/"))
+        if len(keys) != len(self.params):
+            raise ValueError(
+                f"optimizer state mismatch: {len(keys)} {slot!r} arrays "
+                f"for {len(self.params)} parameters"
+            )
+        for i, key in enumerate(keys):
+            arr = np.asarray(state[key], dtype=np.float64)
+            if arr.shape != target[i].shape:
+                raise ValueError(
+                    f"optimizer state shape mismatch at {key}: "
+                    f"{target[i].shape} vs {arr.shape}"
+                )
+            target[i] = arr.copy()
+
 
 class SGD(Optimizer):
     """Stochastic gradient descent with optional momentum."""
@@ -62,6 +93,16 @@ class SGD(Optimizer):
                 velocity += grad
                 grad = velocity
             param.data = param.data - self.lr * grad
+
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        state = super().state_dict()
+        for i, velocity in enumerate(self._velocity):
+            state[f"velocity/{i:04d}"] = velocity.copy()
+        return state
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        super().load_state_dict(state)
+        self._load_slot_arrays(state, "velocity", self._velocity)
 
 
 class Adam(Optimizer):
@@ -97,3 +138,24 @@ class Adam(Optimizer):
             if self.weight_decay:
                 update = update + self.weight_decay * param.data
             param.data = param.data - self.lr * update
+
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """Full Adam state (m, v, t, lr) as a flat array dict (copies).
+
+        Restoring this via :meth:`load_state_dict` makes a resumed run's
+        parameter updates bitwise-identical to the uninterrupted run's
+        (repro.resilience resumable training relies on it).
+        """
+        state = super().state_dict()
+        state["t"] = np.array(self._t, dtype=np.int64)
+        for i, (m, v) in enumerate(zip(self._m, self._v)):
+            state[f"m/{i:04d}"] = m.copy()
+            state[f"v/{i:04d}"] = v.copy()
+        return state
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        super().load_state_dict(state)
+        if "t" in state:
+            self._t = int(state["t"])
+        self._load_slot_arrays(state, "m", self._m)
+        self._load_slot_arrays(state, "v", self._v)

@@ -1,0 +1,61 @@
+"""Fault tolerance for training and serving (DESIGN §12).
+
+- :mod:`repro.resilience.atomic` — crash-safe writes (temp + fsync +
+  ``os.replace``) and content checksums; every durable write in the repo
+  goes through here.
+- :mod:`repro.resilience.snapshot` — checksummed training snapshots with
+  keep-last-K retention and corrupt-file fallback.
+- :mod:`repro.resilience.guard` — divergence watchdog: NaN/Inf +
+  loss-explosion detection, last-good rollback, LR backoff.
+- :mod:`repro.resilience.faults` — seeded fault injection (crash at
+  iteration N, NaN in gradients, truncated writes, kill mid-replace)
+  used by the test suite and ``python -m repro.resilience.drill`` to
+  prove the recovery paths actually work.
+
+High-level entry points live on the estimators:
+``CATEHGN.fit(dataset, checkpoint_dir=..., resume=True)`` and the same
+keywords on every :class:`repro.baselines.gnn_common.SupervisedGNNBaseline`.
+"""
+
+from . import faults
+from .atomic import (
+    atomic_write_bytes,
+    atomic_write_text,
+    content_digest,
+    file_sha256,
+    fsync_directory,
+)
+from .errors import (
+    CheckpointCorruptError,
+    CrashInjected,
+    ResilienceError,
+    TrainingDivergedError,
+)
+from .guard import DivergenceGuard, DivergenceSignal
+from .snapshot import (
+    SNAPSHOT_FORMAT_VERSION,
+    Snapshot,
+    SnapshotStore,
+    pack_namespace,
+    unpack_namespace,
+)
+
+__all__ = [
+    "faults",
+    "atomic_write_bytes",
+    "atomic_write_text",
+    "content_digest",
+    "file_sha256",
+    "fsync_directory",
+    "CheckpointCorruptError",
+    "CrashInjected",
+    "ResilienceError",
+    "TrainingDivergedError",
+    "DivergenceGuard",
+    "DivergenceSignal",
+    "SNAPSHOT_FORMAT_VERSION",
+    "Snapshot",
+    "SnapshotStore",
+    "pack_namespace",
+    "unpack_namespace",
+]

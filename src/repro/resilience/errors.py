@@ -1,0 +1,38 @@
+"""Exception types for the fault-tolerance layer (DESIGN §12)."""
+
+from __future__ import annotations
+
+
+class ResilienceError(RuntimeError):
+    """Base class for resilience-layer failures."""
+
+
+class CheckpointCorruptError(ResilienceError):
+    """On-disk state (checkpoint / snapshot / graph) failed validation.
+
+    Raised for truncated archives, checksum mismatches, and structurally
+    broken files.  Callers that keep multiple snapshots should fall back
+    to the previous good one (:meth:`SnapshotStore.load_latest` does this
+    automatically); callers with a single file should surface the message,
+    which always names the offending path and what failed.
+    """
+
+
+class TrainingDivergedError(ResilienceError):
+    """The divergence guard exhausted its rollback budget.
+
+    Training hit NaN/Inf or a loss explosion repeatedly even after
+    rolling back to the last good state and backing off the learning
+    rate ``max_rollbacks`` times; the run is unrecoverable under the
+    current configuration.  The event log (``TrainHistory.events``)
+    records every rollback attempt leading up to this error.
+    """
+
+
+class CrashInjected(RuntimeError):
+    """A deliberately injected crash (``repro.resilience.faults``).
+
+    Deliberately *not* a :class:`ResilienceError`: fault drills must
+    verify that recovery paths handle arbitrary failures, so the injected
+    exception should never be caught by resilience machinery itself.
+    """

@@ -1,0 +1,243 @@
+"""Seeded fault injection for resilience drills (DESIGN §12).
+
+Instrumented code calls :func:`fire` at named *sites*; when no injector
+is armed this is a dict-free no-op, so production paths pay one global
+read per site.  Tests and ``python -m repro.resilience.drill`` arm a
+:class:`FaultInjector` as a context manager:
+
+    from repro.resilience import faults
+
+    with faults.nan_in_grad(iter=3):
+        est.fit(dataset, checkpoint_dir=ckpt)   # diverges once at outer 3
+
+    with faults.crash_at_outer(iter=2):
+        est.fit(...)                            # raises CrashInjected
+
+Instrumented sites
+------------------
+``trainer.outer``        ctx: ``outer``               (CATE-HGN, per outer iter)
+``trainer.grad``         ctx: ``outer, mini, params`` (after backward, pre-clip)
+``baseline.epoch``       ctx: ``epoch``               (GNN scaffold, per epoch)
+``baseline.grad``        ctx: ``epoch, params``       (after backward, pre-clip)
+``atomic.post_write``    ctx: ``tmp, final``          (temp file durable)
+``atomic.pre_replace``   ctx: ``tmp, final``          (just before os.replace)
+
+Every site call also receives ``count`` — the 1-based number of times the
+site has fired under the active injector — so ``raise_at_op`` can target
+"the N-th write" without the instrumented code numbering anything.
+
+Faults default to ``once=True``: after firing they disarm, so a retry
+after rollback does not re-trip the same fault (exactly the semantics a
+transient hardware/numerical fault has).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+import numpy as np
+
+from .errors import CrashInjected
+
+__all__ = [
+    "FaultInjector",
+    "fire",
+    "active",
+    "crash_at_outer",
+    "crash_at_epoch",
+    "nan_in_grad",
+    "raise_at_op",
+    "truncate_after_write",
+    "kill_before_replace",
+]
+
+#: Stack of armed injectors; the innermost one receives ``fire`` calls.
+_STACK: List["FaultInjector"] = []
+
+
+def active() -> Optional["FaultInjector"]:
+    """The innermost armed injector, or None."""
+    return _STACK[-1] if _STACK else None
+
+
+def fire(site: str, **ctx: Any) -> None:
+    """Report reaching ``site``; a no-op unless an injector is armed."""
+    injector = active()
+    if injector is not None:
+        injector._fire(site, ctx)
+
+
+@dataclass
+class _Fault:
+    site: str
+    when: Callable[[Dict[str, Any]], bool]
+    action: Callable[[Dict[str, Any]], None]
+    label: str
+    once: bool = True
+    fired: int = 0
+
+
+@dataclass
+class FaultInjector:
+    """A context manager arming one or more faults (chainable builders)."""
+
+    _faults: List[_Fault] = field(default_factory=list)
+    _counts: Dict[str, int] = field(default_factory=dict)
+    #: Fired-fault log for assertions: ``[{"site": ..., "label": ...}]``.
+    log: List[Dict[str, Any]] = field(default_factory=list)
+
+    # -- lifecycle ------------------------------------------------------
+    def __enter__(self) -> "FaultInjector":
+        _STACK.append(self)
+        return self
+
+    def __exit__(self, *exc_info: Any) -> bool:
+        _STACK.remove(self)
+        return False
+
+    def _fire(self, site: str, ctx: Dict[str, Any]) -> None:
+        self._counts[site] = self._counts.get(site, 0) + 1
+        ctx = dict(ctx)
+        ctx["count"] = self._counts[site]
+        for fault in self._faults:
+            if fault.site != site or (fault.once and fault.fired):
+                continue
+            if fault.when(ctx):
+                fault.fired += 1
+                self.log.append({"site": site, "label": fault.label,
+                                 "count": ctx["count"]})
+                fault.action(ctx)
+
+    def fired(self, label: Optional[str] = None) -> int:
+        """How many times faults (optionally matching ``label``) fired."""
+        if label is None:
+            return sum(f.fired for f in self._faults)
+        return sum(f.fired for f in self._faults if f.label == label)
+
+    # -- builders (return self so they chain) ---------------------------
+    def add(self, site: str, when: Callable[[Dict[str, Any]], bool],
+            action: Callable[[Dict[str, Any]], None], label: str,
+            once: bool = True) -> "FaultInjector":
+        self._faults.append(_Fault(site, when, action, label, once))
+        return self
+
+    def crash_at_outer(self, iter: int) -> "FaultInjector":
+        """Raise :class:`CrashInjected` entering outer iteration ``iter``."""
+        return self.add(
+            "trainer.outer",
+            lambda ctx: ctx["outer"] == iter,
+            _raiser(f"injected crash at outer iteration {iter}"),
+            label=f"crash_at_outer({iter})",
+        )
+
+    def crash_at_epoch(self, epoch: int) -> "FaultInjector":
+        """Raise :class:`CrashInjected` entering baseline epoch ``epoch``."""
+        return self.add(
+            "baseline.epoch",
+            lambda ctx: ctx["epoch"] == epoch,
+            _raiser(f"injected crash at epoch {epoch}"),
+            label=f"crash_at_epoch({epoch})",
+        )
+
+    def nan_in_grad(self, iter: int) -> "FaultInjector":
+        """Poison the first live gradient with NaN at iteration ``iter``.
+
+        Fires at ``trainer.grad`` (``iter`` = outer iteration) and
+        ``baseline.grad`` (``iter`` = epoch); whichever the run reaches
+        first consumes the fault (``once=True``).
+        """
+
+        def poison(ctx: Dict[str, Any]) -> None:
+            for param in ctx["params"]:
+                if param.grad is not None:
+                    param.grad[...] = np.nan
+                    return
+
+        def when(ctx: Dict[str, Any]) -> bool:
+            step = ctx.get("outer", ctx.get("epoch"))
+            return step == iter
+
+        self.add("trainer.grad", when, poison,
+                 label=f"nan_in_grad({iter})")
+        return self.add("baseline.grad", when, poison,
+                        label=f"nan_in_grad({iter})")
+
+    def raise_at_op(self, site: str, n: int,
+                    exc_type: type = CrashInjected) -> "FaultInjector":
+        """Raise on the ``n``-th (1-based) time ``site`` is reached."""
+        def action(ctx: Dict[str, Any]) -> None:
+            raise exc_type(f"injected failure at {site} call #{n}")
+
+        return self.add(site, lambda ctx: ctx["count"] == n, action,
+                        label=f"raise_at_op({site}, {n})")
+
+    def truncate_after_write(self, nbytes: int = 64,
+                             match: Optional[str] = None) -> "FaultInjector":
+        """Chop ``nbytes`` off the durable temp file before the rename.
+
+        Simulates a torn write reaching the final name: the corrupted
+        payload *is* installed, and the loader must reject it.
+        """
+
+        def action(ctx: Dict[str, Any]) -> None:
+            tmp = ctx["tmp"]
+            size = tmp.stat().st_size
+            with open(tmp, "r+b") as fh:
+                fh.truncate(max(0, size - nbytes))
+
+        return self.add(
+            "atomic.post_write",
+            lambda ctx: match is None or match in str(ctx["final"]),
+            action,
+            label=f"truncate_after_write({nbytes})",
+        )
+
+    def kill_before_replace(self, match: Optional[str] = None
+                            ) -> "FaultInjector":
+        """Die between the durable temp write and ``os.replace``.
+
+        The previous version of the target must survive untouched.
+        """
+        return self.add(
+            "atomic.pre_replace",
+            lambda ctx: match is None or match in str(ctx["final"]),
+            _raiser("injected kill between temp-write and os.replace"),
+            label="kill_before_replace",
+        )
+
+
+def _raiser(message: str) -> Callable[[Dict[str, Any]], None]:
+    def action(ctx: Dict[str, Any]) -> None:
+        raise CrashInjected(message)
+
+    return action
+
+
+# ----------------------------------------------------------------------
+# One-shot conveniences: ``with faults.nan_in_grad(iter=3): ...``
+# ----------------------------------------------------------------------
+def crash_at_outer(iter: int) -> FaultInjector:
+    return FaultInjector().crash_at_outer(iter)
+
+
+def crash_at_epoch(epoch: int) -> FaultInjector:
+    return FaultInjector().crash_at_epoch(epoch)
+
+
+def nan_in_grad(iter: int) -> FaultInjector:
+    return FaultInjector().nan_in_grad(iter)
+
+
+def raise_at_op(site: str, n: int,
+                exc_type: type = CrashInjected) -> FaultInjector:
+    return FaultInjector().raise_at_op(site, n, exc_type)
+
+
+def truncate_after_write(nbytes: int = 64,
+                         match: Optional[str] = None) -> FaultInjector:
+    return FaultInjector().truncate_after_write(nbytes, match)
+
+
+def kill_before_replace(match: Optional[str] = None) -> FaultInjector:
+    return FaultInjector().kill_before_replace(match)

@@ -1,0 +1,128 @@
+"""Trainer-integrated divergence watchdog (DESIGN §12).
+
+The guard watches two signals every optimization step:
+
+- **NaN/Inf** in the loss or the pre-clip global gradient norm (the same
+  condition :func:`repro.analysis.detect_anomaly` raises on, caught here
+  even with the sanitizer off because the checks are one ``isfinite``
+  each);
+- **loss explosion** — ``|loss| > explode_factor * max(|ref|, eps)``
+  against the last healthy loss, which catches runs that blow up through
+  large-but-finite values before they ever reach NaN.
+
+On a trip the trainer raises :class:`DivergenceSignal`; the guard then
+**rolls back** to the last good in-memory state (model params, both Adam
+states, RNG stream, TE term sets, history), multiplies every managed
+optimizer's learning rate by ``lr_backoff``, records the event, and the
+trainer retries the same iteration.  ``max_rollbacks`` bounds the retry
+budget; exhausting it raises
+:class:`~repro.resilience.errors.TrainingDivergedError`.
+
+The guard is deliberately trajectory-neutral: while no anomaly occurs it
+only copies state and compares floats, so a guarded run is bitwise
+identical to an unguarded one (golden-metrics tests pin this).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from .errors import TrainingDivergedError
+
+__all__ = ["DivergenceSignal", "DivergenceGuard"]
+
+
+class DivergenceSignal(Exception):
+    """Internal control-flow signal: the current step diverged.
+
+    Raised by the trainer's per-step checks and caught by its outer
+    loop, which converts it into a rollback.  Never escapes ``fit``.
+    """
+
+
+class DivergenceGuard:
+    """Last-good-state watchdog with rollback + LR backoff."""
+
+    def __init__(self, capture: Callable[[], Any],
+                 restore: Callable[[Any], None],
+                 optimizers: Sequence[Any],
+                 max_rollbacks: int = 3,
+                 lr_backoff: float = 0.5,
+                 explode_factor: float = 1e6) -> None:
+        self._capture = capture
+        self._restore = restore
+        self.optimizers = [opt for opt in optimizers if opt is not None]
+        self.max_rollbacks = int(max_rollbacks)
+        self.lr_backoff = float(lr_backoff)
+        self.explode_factor = float(explode_factor)
+        self.rollbacks = 0
+        self._good: Optional[Any] = None
+        self._good_step: Optional[int] = None
+        self._ref_loss: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    def record_good(self, step: int) -> None:
+        """Capture the current state as the rollback target."""
+        self._good = self._capture()
+        self._good_step = step
+
+    def check_step(self, loss: float,
+                   grad_norm: Optional[float] = None) -> None:
+        """Raise :class:`DivergenceSignal` if this step looks diverged."""
+        if not np.isfinite(loss):
+            raise DivergenceSignal(f"non-finite training loss ({loss!r})")
+        if grad_norm is not None and not np.isfinite(grad_norm):
+            raise DivergenceSignal(
+                f"non-finite gradient norm ({grad_norm!r})"
+            )
+        if self._ref_loss is not None:
+            ceiling = self.explode_factor * max(abs(self._ref_loss), 1e-8)
+            if abs(loss) > ceiling:
+                raise DivergenceSignal(
+                    f"loss explosion: |{loss:.6g}| > {self.explode_factor:g}"
+                    f" * |last good {self._ref_loss:.6g}|"
+                )
+        self._ref_loss = float(loss)
+
+    # ------------------------------------------------------------------
+    def rollback(self, step: int, reason: str) -> Dict[str, Any]:
+        """Restore last good state, back off LR; returns the event record.
+
+        Raises :class:`TrainingDivergedError` once the budget is spent or
+        when no good state was ever captured.
+        """
+        self.rollbacks += 1
+        if self.rollbacks > self.max_rollbacks:
+            raise TrainingDivergedError(
+                f"divergence at step {step} ({reason}) after exhausting "
+                f"the rollback budget of {self.max_rollbacks}; the run is "
+                f"unrecoverable under the current configuration"
+            )
+        if self._good is None:
+            raise TrainingDivergedError(
+                f"divergence at step {step} ({reason}) before any good "
+                f"state existed to roll back to"
+            )
+        self._restore(self._good)
+        for opt in self.optimizers:
+            opt.lr *= self.lr_backoff
+        event = {
+            "type": "rollback",
+            "step": int(step),
+            "resumed_from": int(self._good_step),
+            "reason": reason,
+            "rollback_index": self.rollbacks,
+            "lr": [float(opt.lr) for opt in self.optimizers],
+        }
+        return event
+
+    # ------------------------------------------------------------------
+    def adopt_history(self, events: List[Dict[str, Any]]) -> None:
+        """Resume bookkeeping from a restored event log.
+
+        Counting past rollbacks keeps the budget global across resumes
+        instead of resetting every time a run restarts from disk.
+        """
+        self.rollbacks = sum(1 for e in events if e.get("type") == "rollback")

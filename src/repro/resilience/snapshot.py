@@ -1,0 +1,178 @@
+"""Checksummed, crash-safe training snapshots with keep-last-K retention.
+
+A :class:`SnapshotStore` manages ``snap-NNNNNN.npz`` files inside one
+checkpoint directory.  Each snapshot is a single ``.npz`` holding
+
+- ``__snapshot__``: a 0-d unicode array with the JSON metadata blob
+  (``format_version``, ``step``, ``content_sha256`` over every other
+  array, plus whatever the trainer packs in: RNG state, history, term
+  sets, optimizer scalars, ...);
+- every other entry: one numpy array (model params, Adam moments, ...),
+  namespaced by the caller (``model/…``, ``opt_main/m/0000``, ...).
+
+Writes go through :func:`repro.resilience.atomic.atomic_write_bytes`
+(temp file + fsync + ``os.replace``), so a crash mid-write never damages
+an existing snapshot.  Loads verify the content checksum and reject
+truncated archives with :class:`CheckpointCorruptError`;
+:meth:`SnapshotStore.load_latest` walks backwards past corrupt snapshots
+to the newest *good* one — the "never half-load" contract.
+
+Retention: ``keep_last`` bounds the directory; older snapshots are
+pruned after every successful write (newest-first survivorship).
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import re
+import warnings
+import zipfile
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Union
+
+import numpy as np
+
+from .atomic import atomic_write_bytes, content_digest
+from .errors import CheckpointCorruptError
+
+__all__ = ["SNAPSHOT_FORMAT_VERSION", "Snapshot", "SnapshotStore",
+           "pack_namespace", "unpack_namespace"]
+
+#: On-disk snapshot format version; unknown versions are rejected.
+SNAPSHOT_FORMAT_VERSION = 1
+
+_META_KEY = "__snapshot__"
+_NAME_RE = re.compile(r"^snap-(\d{6,})\.npz$")
+
+
+def pack_namespace(arrays: Dict[str, np.ndarray], prefix: str,
+                   items: Mapping[str, np.ndarray]) -> None:
+    """Merge ``items`` into ``arrays`` under ``prefix/``."""
+    for name, value in items.items():
+        arrays[f"{prefix}/{name}"] = np.asarray(value)
+
+
+def unpack_namespace(arrays: Mapping[str, np.ndarray],
+                     prefix: str) -> Dict[str, np.ndarray]:
+    """Extract the ``prefix/`` namespace of ``arrays`` (prefix stripped)."""
+    head = prefix + "/"
+    return {name[len(head):]: value for name, value in arrays.items()
+            if name.startswith(head)}
+
+
+@dataclass
+class Snapshot:
+    """One loaded, checksum-verified training snapshot."""
+
+    step: int
+    meta: Dict[str, Any]
+    arrays: Dict[str, np.ndarray]
+    path: Path
+
+
+class SnapshotStore:
+    """Atomic, checksummed, pruned snapshot files under one directory."""
+
+    def __init__(self, directory: Union[str, Path],
+                 keep_last: int = 3) -> None:
+        if keep_last < 1:
+            raise ValueError(f"keep_last must be >= 1, got {keep_last}")
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.keep_last = int(keep_last)
+
+    # ------------------------------------------------------------------
+    def path_for(self, step: int) -> Path:
+        return self.directory / f"snap-{step:06d}.npz"
+
+    def steps(self) -> List[int]:
+        """Steps with a snapshot file on disk, ascending."""
+        found = []
+        for entry in self.directory.iterdir():
+            match = _NAME_RE.match(entry.name)
+            if match:
+                found.append(int(match.group(1)))
+        return sorted(found)
+
+    # ------------------------------------------------------------------
+    def save(self, step: int, meta: Dict[str, Any],
+             arrays: Mapping[str, np.ndarray]) -> Path:
+        """Durably write one snapshot and prune beyond ``keep_last``."""
+        arrays = {name: np.asarray(value) for name, value in arrays.items()}
+        if _META_KEY in arrays:
+            raise ValueError(f"array name {_META_KEY!r} is reserved")
+        meta = dict(meta)
+        meta["format_version"] = SNAPSHOT_FORMAT_VERSION
+        meta["step"] = int(step)
+        meta["content_sha256"] = content_digest(arrays)
+        buffer = io.BytesIO()
+        np.savez_compressed(buffer, **{_META_KEY: np.array(json.dumps(meta))},
+                            **arrays)
+        path = atomic_write_bytes(self.path_for(step), buffer.getvalue())
+        self.prune()
+        return path
+
+    def prune(self) -> None:
+        """Drop the oldest snapshots beyond ``keep_last``."""
+        for step in self.steps()[:-self.keep_last]:
+            self.path_for(step).unlink(missing_ok=True)
+
+    # ------------------------------------------------------------------
+    def load(self, step: int) -> Snapshot:
+        """Load + verify one snapshot; raises CheckpointCorruptError."""
+        path = self.path_for(step)
+        try:
+            with np.load(path, allow_pickle=False) as payload:
+                if _META_KEY not in payload:
+                    raise CheckpointCorruptError(
+                        f"{path} is not a training snapshot (missing "
+                        f"{_META_KEY!r} metadata entry)"
+                    )
+                raw_meta = str(payload[_META_KEY][()])
+                arrays = {name: payload[name] for name in payload.files
+                          if name != _META_KEY}
+        except FileNotFoundError:
+            raise
+        except (zipfile.BadZipFile, zlib.error, EOFError, OSError,
+                ValueError, KeyError) as exc:
+            raise CheckpointCorruptError(
+                f"snapshot {path} is truncated or corrupt ({exc}); delete "
+                f"it or resume from an earlier snapshot"
+            ) from exc
+        try:
+            meta = json.loads(raw_meta)
+        except json.JSONDecodeError as exc:
+            raise CheckpointCorruptError(
+                f"snapshot {path} carries an unreadable metadata blob: {exc}"
+            ) from exc
+        version = meta.get("format_version")
+        if version != SNAPSHOT_FORMAT_VERSION:
+            raise CheckpointCorruptError(
+                f"snapshot {path} has format_version {version!r}; this "
+                f"build reads version {SNAPSHOT_FORMAT_VERSION}"
+            )
+        digest = content_digest(arrays)
+        if digest != meta.get("content_sha256"):
+            raise CheckpointCorruptError(
+                f"snapshot {path} failed its content checksum "
+                f"(expected {meta.get('content_sha256')!r}, computed "
+                f"{digest!r}); the file is corrupt — resume from an "
+                f"earlier snapshot"
+            )
+        return Snapshot(step=int(meta["step"]), meta=meta, arrays=arrays,
+                        path=path)
+
+    def load_latest(self) -> Optional[Snapshot]:
+        """Newest *verified* snapshot, skipping corrupt ones (or None)."""
+        for step in reversed(self.steps()):
+            try:
+                return self.load(step)
+            except CheckpointCorruptError as exc:
+                warnings.warn(
+                    f"skipping corrupt snapshot at step {step}: {exc}",
+                    RuntimeWarning, stacklevel=2,
+                )
+        return None

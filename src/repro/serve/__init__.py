@@ -20,14 +20,25 @@ from .checkpoint import (
 )
 from .engine import InferenceEngine
 from .metrics import ServiceMetrics
-from .service import make_server, serve_forever
+from .service import (
+    InflightLimiter,
+    ResilientHTTPServer,
+    ServiceError,
+    ServiceLimits,
+    make_server,
+    serve_forever,
+)
 
 __all__ = [
     "CHECKPOINT_FORMAT_VERSION",
     "Checkpoint",
     "InferenceEngine",
+    "InflightLimiter",
     "LRUCache",
+    "ResilientHTTPServer",
     "RestoredCATEHGN",
+    "ServiceError",
+    "ServiceLimits",
     "ServiceMetrics",
     "load_checkpoint",
     "load_gnn_baseline",

@@ -30,6 +30,18 @@ def build_parser() -> argparse.ArgumentParser:
                         help="bulk-prediction micro-batch size")
     parser.add_argument("--quiet", action="store_true",
                         help="suppress per-request access logs")
+    limits = parser.add_argument_group("limits (DESIGN §12)")
+    limits.add_argument("--max-inflight", type=int, default=64,
+                        help="max concurrently-executing requests; excess "
+                             "is shed with 503 + Retry-After")
+    limits.add_argument("--max-body-bytes", type=int, default=1 << 20,
+                        help="reject larger request bodies with 413")
+    limits.add_argument("--read-timeout", type=float, default=5.0,
+                        help="socket read timeout in seconds (stalled or "
+                             "truncating clients get 400)")
+    limits.add_argument("--deadline", type=float, default=None,
+                        help="per-request deadline in seconds; late "
+                             "responses become 504 (default: off)")
     return parser
 
 
@@ -37,14 +49,18 @@ def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
     # Imports after arg parsing so --help stays instant.
     from .engine import InferenceEngine
-    from .service import serve_forever
+    from .service import ServiceLimits, serve_forever
 
     engine = InferenceEngine.from_checkpoint(
         args.checkpoint, cache_size=args.cache_size,
         micro_batch=args.micro_batch,
     )
+    limits = ServiceLimits(max_body_bytes=args.max_body_bytes,
+                           max_inflight=args.max_inflight,
+                           read_timeout=args.read_timeout,
+                           deadline_seconds=args.deadline)
     serve_forever(engine, host=args.host, port=args.port,
-                  verbose=not args.quiet)
+                  verbose=not args.quiet, limits=limits)
     return 0
 
 

@@ -26,7 +26,8 @@ class LRUCache:
         self.misses = 0
 
     def __len__(self) -> int:
-        return len(self._data)
+        with self._lock:
+            return len(self._data)
 
     def get(self, key: Hashable) -> Tuple[bool, Optional[Any]]:
         """Return ``(found, value)``; refreshes recency on a hit."""
@@ -54,14 +55,18 @@ class LRUCache:
 
     @property
     def hit_rate(self) -> float:
-        total = self.hits + self.misses
-        return self.hits / total if total else 0.0
+        with self._lock:
+            total = self.hits + self.misses
+            return self.hits / total if total else 0.0
 
     def stats(self) -> dict:
-        return {
-            "capacity": self.capacity,
-            "size": len(self._data),
-            "hits": self.hits,
-            "misses": self.misses,
-            "hit_rate": self.hit_rate,
-        }
+        """Consistent point-in-time view (single lock acquisition)."""
+        with self._lock:
+            total = self.hits + self.misses
+            return {
+                "capacity": self.capacity,
+                "size": len(self._data),
+                "hits": self.hits,
+                "misses": self.misses,
+                "hit_rate": self.hits / total if total else 0.0,
+            }

@@ -25,7 +25,10 @@ understand with a clear error instead of mis-reading them.
 from __future__ import annotations
 
 import inspect
+import io
 import json
+import zipfile
+import zlib
 from dataclasses import asdict, dataclass
 from pathlib import Path
 from typing import Any, Dict, Optional, Union
@@ -37,6 +40,7 @@ from ..core.model import CATEHGNConfig, CATEHGNModel
 from ..core.trainer import CATEHGN
 from ..data.io import load_graph, save_graph
 from ..hetnet import HeteroGraph
+from ..resilience import CheckpointCorruptError, atomic_write_bytes, content_digest
 
 #: On-disk checkpoint format version (see module docstring).
 CHECKPOINT_FORMAT_VERSION = 1
@@ -78,16 +82,20 @@ def save_checkpoint(path: Union[str, Path], meta: Dict[str, Any],
     base = _base_path(path)
     meta = dict(meta)
     meta["format_version"] = CHECKPOINT_FORMAT_VERSION
-    arrays: Dict[str, np.ndarray] = {
-        _META_KEY: np.array(json.dumps(meta))
-    }
+    arrays: Dict[str, np.ndarray] = {}
     for name, value in state.items():
         arrays[_PARAM_PREFIX + name] = np.asarray(value)
     for name, value in (extras or {}).items():
         arrays[_EXTRA_PREFIX + name] = np.asarray(value)
+    # Checksum the payload arrays (not the meta blob itself), embed the
+    # digest in the meta blob, and write the whole npz crash-safely: a
+    # kill at any point leaves the previous checkpoint intact.
+    meta["content_sha256"] = content_digest(arrays)
+    arrays[_META_KEY] = np.array(json.dumps(meta))
     out = base.with_suffix(".npz")
-    out.parent.mkdir(parents=True, exist_ok=True)
-    np.savez_compressed(out, **arrays)
+    buffer = io.BytesIO()
+    np.savez_compressed(buffer, **arrays)
+    atomic_write_bytes(out, buffer.getvalue())
     return out
 
 
@@ -95,30 +103,52 @@ def load_checkpoint(path: Union[str, Path]) -> Checkpoint:
     """Read a checkpoint written by :func:`save_checkpoint`.
 
     Raises ``ValueError`` for files that are not checkpoints or carry an
-    unknown ``format_version``.
+    unknown ``format_version``, and
+    :class:`~repro.resilience.CheckpointCorruptError` for files that are
+    truncated, bit-flipped, or fail their embedded checksum.
     """
     base = _base_path(path)
     npz_path = base.with_suffix(".npz")
-    with np.load(npz_path, allow_pickle=False) as arrays:
-        if _META_KEY not in arrays:
-            raise ValueError(
-                f"{npz_path} is not a repro.serve checkpoint "
-                f"(missing {_META_KEY!r} metadata entry)"
+    try:
+        with np.load(npz_path, allow_pickle=False) as arrays:
+            if _META_KEY not in arrays:
+                raise ValueError(
+                    f"{npz_path} is not a repro.serve checkpoint "
+                    f"(missing {_META_KEY!r} metadata entry)"
+                )
+            meta = json.loads(str(arrays[_META_KEY][()]))
+            version = meta.get("format_version")
+            if version != CHECKPOINT_FORMAT_VERSION:
+                raise ValueError(
+                    f"unsupported checkpoint format_version {version!r} in "
+                    f"{npz_path}: this build reads version "
+                    f"{CHECKPOINT_FORMAT_VERSION}"
+                )
+            state, extras, payload = {}, {}, {}
+            for key in arrays.files:
+                if key.startswith(_PARAM_PREFIX):
+                    state[key[len(_PARAM_PREFIX):]] = arrays[key]
+                    payload[key] = state[key[len(_PARAM_PREFIX):]]
+                elif key.startswith(_EXTRA_PREFIX):
+                    extras[key[len(_EXTRA_PREFIX):]] = arrays[key]
+                    payload[key] = extras[key[len(_EXTRA_PREFIX):]]
+    except FileNotFoundError:
+        raise
+    except (zipfile.BadZipFile, zlib.error, EOFError, OSError,
+            KeyError, json.JSONDecodeError) as exc:
+        raise CheckpointCorruptError(
+            f"checkpoint {npz_path} is unreadable ({exc}); the file is "
+            f"truncated or corrupted — restore from a previous checkpoint"
+        ) from exc
+    expected = meta.get("content_sha256")  # absent in pre-checksum files
+    if expected is not None:
+        actual = content_digest(payload)
+        if actual != expected:
+            raise CheckpointCorruptError(
+                f"checkpoint {npz_path} failed its content checksum "
+                f"(expected {expected[:12]}…, got {actual[:12]}…); the "
+                f"payload was altered after writing"
             )
-        meta = json.loads(str(arrays[_META_KEY][()]))
-        version = meta.get("format_version")
-        if version != CHECKPOINT_FORMAT_VERSION:
-            raise ValueError(
-                f"unsupported checkpoint format_version {version!r} in "
-                f"{npz_path}: this build reads version "
-                f"{CHECKPOINT_FORMAT_VERSION}"
-            )
-        state, extras = {}, {}
-        for key in arrays.files:
-            if key.startswith(_PARAM_PREFIX):
-                state[key[len(_PARAM_PREFIX):]] = arrays[key]
-            elif key.startswith(_EXTRA_PREFIX):
-                extras[key[len(_EXTRA_PREFIX):]] = arrays[key]
     return Checkpoint(meta=meta, state=state, extras=extras, path=npz_path)
 
 

@@ -122,22 +122,26 @@ class InferenceEngine:
         if node_type not in self.batch.node_types:
             raise KeyError(f"unknown node type {node_type!r}")
         key = (node_type, cluster)
-        if key not in self._impact_cache:
-            if cluster is not None:
-                if self.model.ca is None:
-                    raise ValueError(
-                        "cluster-scoped ranking requires a checkpoint "
-                        "trained with use_ca=True"
-                    )
-                with inference_mode():
-                    h = self.model.ca.mask_with_cluster(
-                        self._state.output.layers[self._L][node_type],
-                        int(cluster), self._L,
-                    )
-            else:
-                h = self._embeddings[node_type]
-            self._impact_cache[key] = self._head(h)
-        return self._impact_cache[key]
+        # Check-compute-store under the engine lock: concurrent /rank
+        # requests for the same key must not interleave dict mutation
+        # (ThreadingHTTPServer runs handlers on separate threads).
+        with self._lock:
+            if key not in self._impact_cache:
+                if cluster is not None:
+                    if self.model.ca is None:
+                        raise ValueError(
+                            "cluster-scoped ranking requires a checkpoint "
+                            "trained with use_ca=True"
+                        )
+                    with inference_mode():
+                        h = self.model.ca.mask_with_cluster(
+                            self._state.output.layers[self._L][node_type],
+                            int(cluster), self._L,
+                        )
+                else:
+                    h = self._embeddings[node_type]
+                self._impact_cache[key] = self._head(h)
+            return self._impact_cache[key]
 
     def rank(self, node_type: str, k: int = 10,
              cluster: Optional[int] = None) -> List[dict]:

@@ -22,7 +22,14 @@ def _quantile(sorted_values, q: float) -> float:
 
 
 class ServiceMetrics:
-    """Per-endpoint request accounting."""
+    """Per-endpoint request accounting.
+
+    Beyond request/error counts and latency quantiles, the resilience
+    counters record the server's failure-handling behaviour: ``shed``
+    (503s from the in-flight limiter), ``disconnects`` (clients that
+    hung up mid-request/response), and ``deadline_timeouts`` (requests
+    that finished past their deadline and were answered 504).
+    """
 
     def __init__(self, window: int = 2048) -> None:
         self._lock = threading.Lock()
@@ -30,6 +37,9 @@ class ServiceMetrics:
         self._requests: Dict[str, int] = {}
         self._errors: Dict[str, int] = {}
         self._latency: Dict[str, Deque[float]] = {}
+        self._shed: Dict[str, int] = {}
+        self._disconnects: Dict[str, int] = {}
+        self._deadline: Dict[str, int] = {}
 
     def observe(self, endpoint: str, seconds: float,
                 error: bool = False) -> None:
@@ -42,20 +52,45 @@ class ServiceMetrics:
             )
             bucket.append(float(seconds))
 
+    def record_shed(self, endpoint: str) -> None:
+        """Count a request shed by the in-flight limiter (503)."""
+        with self._lock:
+            self._shed[endpoint] = self._shed.get(endpoint, 0) + 1
+
+    def record_disconnect(self, endpoint: str) -> None:
+        """Count a client that vanished mid-request or mid-response."""
+        with self._lock:
+            self._disconnects[endpoint] = (
+                self._disconnects.get(endpoint, 0) + 1
+            )
+
+    def record_deadline(self, endpoint: str) -> None:
+        """Count a request answered 504 after missing its deadline."""
+        with self._lock:
+            self._deadline[endpoint] = self._deadline.get(endpoint, 0) + 1
+
     def snapshot(self) -> dict:
         """JSON-ready metrics: counts + latency p50/p99 in milliseconds."""
         with self._lock:
             endpoints = {}
-            for name, count in self._requests.items():
+            names = (set(self._requests) | set(self._shed)
+                     | set(self._disconnects) | set(self._deadline))
+            for name in sorted(names):
                 lat = sorted(self._latency.get(name, ()))
                 endpoints[name] = {
-                    "requests": count,
+                    "requests": self._requests.get(name, 0),
                     "errors": self._errors.get(name, 0),
+                    "shed": self._shed.get(name, 0),
+                    "disconnects": self._disconnects.get(name, 0),
+                    "deadline_timeouts": self._deadline.get(name, 0),
                     "latency_ms_p50": _quantile(lat, 0.50) * 1e3,
                     "latency_ms_p99": _quantile(lat, 0.99) * 1e3,
                 }
             return {
                 "total_requests": sum(self._requests.values()),
                 "total_errors": sum(self._errors.values()),
+                "total_shed": sum(self._shed.values()),
+                "total_disconnects": sum(self._disconnects.values()),
+                "total_deadline_timeouts": sum(self._deadline.values()),
                 "endpoints": endpoints,
             }

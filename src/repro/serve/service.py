@@ -2,8 +2,9 @@
 
 Endpoints
 ---------
-``GET  /healthz``          liveness + snapshot description
-``GET  /metrics``          request counts, latency p50/p99, cache hit rate
+``GET  /healthz``          liveness + snapshot description (``ok``/``degraded``)
+``GET  /metrics``          request counts, latency p50/p99, cache hit rate,
+                           shed/disconnect/deadline counters
 ``POST /predict``          ``{"paper_ids": [..]}`` or ``{"title": "..."}``
 ``GET  /predict?ids=1,2``  curl-friendly bulk prediction
 ``POST /rank``             ``{"node_type": "author", "k": 10, "cluster": 3}``
@@ -11,18 +12,45 @@ Endpoints
 No third-party web framework: ``http.server.ThreadingHTTPServer`` plus
 hand-rolled JSON marshalling keeps the dependency surface at zero, which
 is the whole point of a reproduction repo's serving layer.
+
+Overload & failure semantics (DESIGN §12)
+-----------------------------------------
+- **Bounded concurrency**: at most ``ServiceLimits.max_inflight`` work
+  requests execute at once; excess requests are shed immediately with
+  ``503`` + a ``Retry-After`` header instead of queueing unboundedly.
+  ``/healthz`` and ``/metrics`` bypass the limiter (a saturated server
+  must still answer its health checks) and report ``degraded`` while the
+  limiter is saturated.
+- **Body caps**: a ``Content-Length`` beyond ``max_body_bytes`` is
+  rejected with ``413`` before a single payload byte is read.
+- **Slow/truncated clients**: socket reads carry a ``read_timeout``; a
+  client that promises more body bytes than it sends gets ``400`` and
+  the connection is closed rather than a handler thread parked forever.
+- **Deadlines**: requests whose handler ran past ``deadline_seconds``
+  return ``504`` (cooperative/post-hoc — stdlib threads cannot be
+  preempted, but the client gets an honest signal and the event is
+  counted).
+- **Disconnects**: clients that vanish mid-response (``BrokenPipeError``
+  / ``ConnectionResetError``) are counted, not crashed on; no traceback
+  spam from the server thread.
 """
 
 from __future__ import annotations
 
 import json
+import threading
 import time
+from dataclasses import dataclass
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Optional, Tuple
+from typing import Dict, Optional, Tuple
 from urllib.parse import parse_qs, urlparse
 
 from .engine import InferenceEngine
 from .metrics import ServiceMetrics
+
+#: Endpoints that bypass the in-flight limiter and deadline: operability
+#: probes must keep answering while the server is saturated.
+CONTROL_ENDPOINTS = frozenset({"/healthz", "/metrics"})
 
 
 class ServiceError(Exception):
@@ -34,10 +62,58 @@ class ServiceError(Exception):
         self.message = message
 
 
+@dataclass
+class ServiceLimits:
+    """Operational guard-rails for the prediction service."""
+
+    #: Reject request bodies whose Content-Length exceeds this (bytes).
+    max_body_bytes: int = 1 << 20
+    #: Maximum concurrently-executing work requests; excess is shed (503).
+    max_inflight: int = 64
+    #: Seconds the client should wait before retrying after a shed.
+    retry_after_seconds: int = 1
+    #: Socket read timeout (seconds); guards against stalled clients.
+    read_timeout: float = 5.0
+    #: Post-hoc per-request deadline (seconds); ``None`` disables.
+    deadline_seconds: Optional[float] = None
+
+
+class InflightLimiter:
+    """Non-blocking concurrency gate with saturation introspection."""
+
+    def __init__(self, limit: int) -> None:
+        self.limit = max(1, int(limit))
+        self._lock = threading.Lock()
+        self._in_use = 0
+
+    @property
+    def in_use(self) -> int:
+        with self._lock:
+            return self._in_use
+
+    @property
+    def saturated(self) -> bool:
+        with self._lock:
+            return self._in_use >= self.limit
+
+    def try_acquire(self) -> bool:
+        with self._lock:
+            if self._in_use >= self.limit:
+                return False
+            self._in_use += 1
+            return True
+
+    def release(self) -> None:
+        with self._lock:
+            if self._in_use <= 0:
+                raise RuntimeError("InflightLimiter released below zero")
+            self._in_use -= 1
+
+
 class PredictionHandler(BaseHTTPRequestHandler):
     """Routes requests to the server's engine; JSON in, JSON out."""
 
-    server_version = "repro-serve/1.0"
+    server_version = "repro-serve/1.1"
     protocol_version = "HTTP/1.1"
 
     # ------------------------------------------------------------------
@@ -49,6 +125,20 @@ class PredictionHandler(BaseHTTPRequestHandler):
     def metrics(self) -> ServiceMetrics:
         return self.server.metrics  # type: ignore[attr-defined]
 
+    @property
+    def limits(self) -> ServiceLimits:
+        return self.server.limits  # type: ignore[attr-defined]
+
+    @property
+    def limiter(self) -> InflightLimiter:
+        return self.server.limiter  # type: ignore[attr-defined]
+
+    def setup(self) -> None:
+        # Socket-level read timeout: a stalled client can only park this
+        # thread for read_timeout seconds, not forever.
+        self.timeout = self.limits.read_timeout
+        super().setup()
+
     def log_message(self, format, *args):  # noqa: A002 — stdlib signature
         if getattr(self.server, "verbose", False):
             super().log_message(format, *args)
@@ -58,31 +148,96 @@ class PredictionHandler(BaseHTTPRequestHandler):
         length = int(self.headers.get("Content-Length") or 0)
         if length <= 0:
             return {}
+        if length > self.limits.max_body_bytes:
+            # The oversized body is never read; drop the connection so the
+            # unread bytes cannot be misparsed as a follow-up request.
+            self.close_connection = True
+            raise ServiceError(
+                413,
+                f"request body of {length} bytes exceeds the "
+                f"{self.limits.max_body_bytes}-byte limit",
+            )
         try:
-            return json.loads(self.rfile.read(length) or b"{}")
+            body = self.rfile.read(length)
+        except TimeoutError as exc:  # body shorter than Content-Length
+            self.close_connection = True
+            raise ServiceError(
+                400,
+                f"request body shorter than Content-Length {length} "
+                f"(read timed out after {self.limits.read_timeout}s)",
+            ) from exc
+        if len(body) < length:  # client half-closed before sending it all
+            self.close_connection = True
+            raise ServiceError(
+                400,
+                f"request body truncated: Content-Length {length} but "
+                f"only {len(body)} bytes received",
+            )
+        try:
+            return json.loads(body or b"{}")
         except json.JSONDecodeError as exc:
             raise ServiceError(400, f"invalid JSON body: {exc}") from exc
 
-    def _send_json(self, payload: dict, status: int = 200) -> None:
+    def _send_json(self, payload: dict, status: int = 200,
+                   headers: Optional[Dict[str, str]] = None,
+                   endpoint: str = "") -> None:
         body = json.dumps(payload).encode()
-        self.send_response(status)
-        self.send_header("Content-Type", "application/json")
-        self.send_header("Content-Length", str(len(body)))
-        self.end_headers()
-        self.wfile.write(body)
+        try:
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            for name, value in (headers or {}).items():
+                self.send_header(name, value)
+            self.end_headers()
+            self.wfile.write(body)
+        except (BrokenPipeError, ConnectionResetError):
+            # Client went away mid-response; count it, drop the
+            # connection, and keep the worker thread alive.
+            self.metrics.record_disconnect(endpoint or self.path)
+            self.close_connection = True
 
     def _dispatch(self, endpoint: str, handler) -> None:
+        control = endpoint in CONTROL_ENDPOINTS
+        if not control and not self.limiter.try_acquire():
+            self.metrics.record_shed(endpoint)
+            retry = self.limits.retry_after_seconds
+            self._send_json(
+                {"error": "server is at its in-flight request limit; "
+                          "retry shortly"},
+                503,
+                headers={"Retry-After": str(retry)},
+                endpoint=endpoint,
+            )
+            return
         start = time.perf_counter()
         error = False
         try:
-            payload, status = handler()
-        except ServiceError as exc:
-            payload, status, error = {"error": exc.message}, exc.status, True
-        except Exception as exc:  # noqa: BLE001 — surface as a 500
-            payload, status, error = {"error": str(exc)}, 500, True
-        self.metrics.observe(endpoint, time.perf_counter() - start,
-                             error=error)
-        self._send_json(payload, status)
+            try:
+                payload, status = handler()
+            except ServiceError as exc:
+                payload, status, error = {"error": exc.message}, exc.status, True
+            except (BrokenPipeError, ConnectionResetError):
+                # Disconnect while *reading* the request: nothing to send.
+                self.metrics.record_disconnect(endpoint)
+                self.close_connection = True
+                return
+            except Exception as exc:  # noqa: BLE001 — surface as a 500
+                payload, status, error = {"error": str(exc)}, 500, True
+            elapsed = time.perf_counter() - start
+            deadline = self.limits.deadline_seconds
+            if (not control and not error and deadline is not None
+                    and elapsed > deadline):
+                # Post-hoc deadline: the work finished but too late to be
+                # useful; report 504 honestly instead of a stale 200.
+                self.metrics.record_deadline(endpoint)
+                payload = {"error": f"deadline of {deadline}s exceeded "
+                                    f"({elapsed:.3f}s elapsed)"}
+                status, error = 504, True
+            self.metrics.observe(endpoint, elapsed, error=error)
+            self._send_json(payload, status, endpoint=endpoint)
+        finally:
+            if not control:
+                self.limiter.release()
 
     # ------------------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 — stdlib naming
@@ -113,11 +268,20 @@ class PredictionHandler(BaseHTTPRequestHandler):
         raise ServiceError(404, f"no such endpoint: {self.path}")
 
     def _handle_healthz(self) -> Tuple[dict, int]:
-        return {"status": "ok", **self.engine.info()}, 200
+        saturated = self.limiter.saturated
+        status = "degraded" if saturated else "ok"
+        return {
+            "status": status,
+            "inflight": self.limiter.in_use,
+            "inflight_limit": self.limiter.limit,
+            **self.engine.info(),
+        }, 200
 
     def _handle_metrics(self) -> Tuple[dict, int]:
         snapshot = self.metrics.snapshot()
         snapshot["cache"] = self.engine.cache.stats()
+        snapshot["inflight"] = self.limiter.in_use
+        snapshot["inflight_limit"] = self.limiter.limit
         return snapshot, 200
 
     def _handle_predict_query(self, query: dict) -> Tuple[dict, int]:
@@ -170,29 +334,61 @@ class PredictionHandler(BaseHTTPRequestHandler):
         return {"node_type": node_type, "ranking": ranking}, 200
 
 
+class ResilientHTTPServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer that treats client disconnects as routine.
+
+    Stdlib's default ``handle_error`` prints a full traceback for *any*
+    exception escaping a handler thread — including the
+    ``BrokenPipeError`` every impatient client causes.  Those are
+    counted in metrics and suppressed; genuine bugs still get their
+    traceback.
+    """
+
+    #: Exceptions that mean "the client hung up", not "the server broke".
+    DISCONNECT_ERRORS = (BrokenPipeError, ConnectionResetError,
+                         TimeoutError)
+
+    def handle_error(self, request, client_address) -> None:
+        import sys
+
+        exc = sys.exc_info()[1]
+        if isinstance(exc, self.DISCONNECT_ERRORS):
+            metrics = getattr(self, "metrics", None)
+            if metrics is not None:
+                metrics.record_disconnect("<connection>")
+            return
+        super().handle_error(request, client_address)
+
+
 def make_server(engine: InferenceEngine, host: str = "127.0.0.1",
                 port: int = 0, verbose: bool = False,
-                metrics: Optional[ServiceMetrics] = None
+                metrics: Optional[ServiceMetrics] = None,
+                limits: Optional[ServiceLimits] = None
                 ) -> ThreadingHTTPServer:
     """Build (but do not start) the HTTP server; ``port=0`` = ephemeral."""
-    server = ThreadingHTTPServer((host, port), PredictionHandler)
+    server = ResilientHTTPServer((host, port), PredictionHandler)
     server.engine = engine  # type: ignore[attr-defined]
     server.metrics = metrics or ServiceMetrics()  # type: ignore[attr-defined]
+    server.limits = limits or ServiceLimits()  # type: ignore[attr-defined]
+    server.limiter = InflightLimiter(  # type: ignore[attr-defined]
+        server.limits.max_inflight
+    )
     server.verbose = verbose  # type: ignore[attr-defined]
     return server
 
 
 def serve_forever(engine: InferenceEngine, host: str = "127.0.0.1",
-                  port: int = 8099, verbose: bool = True) -> None:
+                  port: int = 8099, verbose: bool = True,
+                  limits: Optional[ServiceLimits] = None) -> None:
     """Blocking entry point used by ``python -m repro.serve``."""
-    server = make_server(engine, host, port, verbose=verbose)
+    server = make_server(engine, host, port, verbose=verbose, limits=limits)
     bound = server.server_address
     print(f"repro-serve listening on http://{bound[0]}:{bound[1]} "
           f"({engine.num_papers} papers frozen, "
           f"freeze took {engine.freeze_seconds:.2f}s)")
     try:
         server.serve_forever()
-    except KeyboardInterrupt:
+    except KeyboardInterrupt:  # noqa: R005 — ^C is the documented shutdown
         pass
     finally:
         server.server_close()

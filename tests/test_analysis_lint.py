@@ -1,4 +1,4 @@
-"""Tests for the repo-specific AST lint (rules R001-R004).
+"""Tests for the repo-specific AST lint (rules R001-R005).
 
 Seeded fixture files containing deliberate violations are written to
 ``tmp_path`` and must each be flagged at the right line; clean idiomatic
@@ -114,6 +114,53 @@ def wrapper_op(x, backward):
 '''
 
 
+R005_BAD = '''\
+def swallow():
+    try:
+        risky()
+    except Exception:                         # line 4: silent pass
+        pass
+
+def swallow_ellipsis():
+    try:
+        risky()
+    except (OSError, ValueError):             # line 10: silent ellipsis
+        ...
+'''
+
+R005_SUPPRESSED = '''\
+def intentional():
+    try:
+        risky()
+    except KeyboardInterrupt:  # noqa: R005 — documented shutdown path
+        pass
+'''
+
+R005_FOREIGN_NOQA = '''\
+def not_ours():
+    try:
+        risky()
+    except Exception:  # noqa: BLE001
+        pass
+'''
+
+R005_CLEAN = '''\
+import logging
+
+def handled():
+    try:
+        risky()
+    except OSError as exc:
+        logging.warning("risky failed: %s", exc)
+
+def reraised():
+    try:
+        risky()
+    except ValueError:
+        raise
+'''
+
+
 def rules_of(violations):
     return sorted({v.rule for v in violations})
 
@@ -212,6 +259,26 @@ class TestR004:
 
 
 # ----------------------------------------------------------------------
+# R005
+# ----------------------------------------------------------------------
+class TestR005:
+    def test_flags_pass_and_ellipsis_bodies(self):
+        r005 = [v for v in lint_str(R005_BAD) if v.rule == "R005"]
+        assert sorted(v.line for v in r005) == [4, 10]
+        assert all("swallows the exception" in v.message for v in r005)
+
+    def test_noqa_r005_suppresses(self):
+        assert lint_str(R005_SUPPRESSED) == []
+
+    def test_foreign_noqa_does_not_suppress(self):
+        r005 = [v for v in lint_str(R005_FOREIGN_NOQA) if v.rule == "R005"]
+        assert [v.line for v in r005] == [4]
+
+    def test_handlers_with_real_bodies_pass(self):
+        assert lint_str(R005_CLEAN) == []
+
+
+# ----------------------------------------------------------------------
 # Driver / CLI
 # ----------------------------------------------------------------------
 class TestDriver:
@@ -236,7 +303,7 @@ class TestDriver:
         assert violations and violations[0].rule == "R000"
 
     def test_rule_catalogue_complete(self):
-        assert set(RULES) == {"R001", "R002", "R003", "R004"}
+        assert set(RULES) == {"R001", "R002", "R003", "R004", "R005"}
 
     def test_module_entrypoint_runs(self, tmp_path):
         """`python -m repro.analysis.lint <file>` works and sets exit code."""

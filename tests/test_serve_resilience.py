@@ -1,0 +1,398 @@
+"""Hardened-serving behaviour: overload shedding, deadlines, bad clients.
+
+These tests run the real ``ResilientHTTPServer`` stack against a stub
+engine (no training, no checkpoint) so each failure mode is exercised
+deterministically:
+
+- in-flight limit -> 503 + ``Retry-After`` + shed counters + degraded
+  ``/healthz`` (which bypasses the limiter);
+- body larger than the cap -> 413 before a byte of payload is read;
+- a client that promises more body than it sends -> 400, bounded by the
+  read timeout, handler thread released;
+- a client that slams the connection mid-response -> counted as a
+  disconnect, server keeps serving;
+- deadline overruns -> 504 + counter;
+- concurrent hammering -> exact request counters (no lost/duplicated
+  increments under ThreadingHTTPServer).
+"""
+
+import json
+import socket
+import struct
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.serve import LRUCache, ServiceLimits, ServiceMetrics, make_server
+from repro.serve.service import InflightLimiter
+
+
+# ----------------------------------------------------------------------
+# Stub engine: the handler's full surface, none of the model weight
+# ----------------------------------------------------------------------
+class StubEngine:
+    """Duck-typed InferenceEngine: instant predictions, optional gating."""
+
+    def __init__(self, num_papers: int = 32, cache_size: int = 64) -> None:
+        self.num_papers = num_papers
+        self.freeze_seconds = 0.0
+        self.cache = LRUCache(cache_size)
+        self.gate = threading.Event()  # when cleared, predict blocks
+        self.gate.set()
+        self.delay = 0.0
+
+    def info(self) -> dict:
+        return {"num_papers": self.num_papers, "stub": True}
+
+    def predict(self, paper_ids):
+        ids = np.asarray(paper_ids, dtype=np.intp).reshape(-1)
+        if len(ids) and (ids.min() < 0 or ids.max() >= self.num_papers):
+            raise IndexError(f"paper id out of range [0, {self.num_papers})")
+        if self.delay:
+            time.sleep(self.delay)
+        self.gate.wait(timeout=30)
+        for pid in ids:
+            found, _ = self.cache.get(int(pid))
+            if not found:
+                self.cache.put(int(pid), float(pid))
+        return ids.astype(np.float64)
+
+    def rank(self, node_type, k=10, cluster=None):
+        if node_type != "paper":
+            raise KeyError(f"unknown node type {node_type!r}")
+        return [{"id": i, "name": str(i), "score": float(-i)}
+                for i in range(min(int(k), self.num_papers))]
+
+    def score_title(self, title) -> float:
+        return 1.0
+
+
+@pytest.fixture()
+def server_factory():
+    """Boot a hardened server around a StubEngine; auto-teardown."""
+    servers = []
+
+    def boot(limits: ServiceLimits, engine: StubEngine = None):
+        engine = engine or StubEngine()
+        server = make_server(engine, port=0, limits=limits,
+                             metrics=ServiceMetrics())
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        servers.append((server, thread))
+        base = f"http://127.0.0.1:{server.server_address[1]}"
+        return server, engine, base
+
+    yield boot
+    for server, thread in servers:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=5)
+
+
+def _get(url, timeout=10):
+    with urllib.request.urlopen(url, timeout=timeout) as response:
+        return response.status, dict(response.headers), \
+            json.loads(response.read())
+
+
+def _metrics(base):
+    return _get(base + "/metrics")[2]
+
+
+def _wait_drained(server, timeout=5.0):
+    """Wait for the limiter to release (the client can observe the
+    response a hair before the handler thread runs its finally block)."""
+    deadline = time.time() + timeout
+    while server.limiter.in_use > 0 and time.time() < deadline:
+        time.sleep(0.01)
+    return server.limiter.in_use
+
+
+# ----------------------------------------------------------------------
+# Overload shedding
+# ----------------------------------------------------------------------
+class TestOverload:
+    def test_shed_503_with_retry_after_and_degraded_healthz(
+            self, server_factory):
+        limits = ServiceLimits(max_inflight=2, retry_after_seconds=7)
+        server, engine, base = server_factory(limits)
+        engine.gate.clear()  # park /predict handlers inside the engine
+
+        results = []
+
+        def hit():
+            try:
+                results.append(("ok", _get(base + "/predict?ids=1")[0]))
+            except urllib.error.HTTPError as err:
+                retry = err.headers.get("Retry-After")
+                results.append(("http", err.code, retry))
+
+        workers = [threading.Thread(target=hit) for _ in range(2)]
+        for w in workers:
+            w.start()
+        # Wait until both slots are genuinely occupied.
+        deadline = time.time() + 5
+        while server.limiter.in_use < 2 and time.time() < deadline:
+            time.sleep(0.01)
+        assert server.limiter.in_use == 2
+
+        # Health checks bypass the limiter and report saturation.
+        status, _headers, health = _get(base + "/healthz")
+        assert status == 200
+        assert health["status"] == "degraded"
+        assert health["inflight"] == 2 and health["inflight_limit"] == 2
+
+        # A third work request is shed immediately: 503 + Retry-After.
+        with pytest.raises(urllib.error.HTTPError) as err:
+            _get(base + "/predict?ids=2", timeout=5)
+        assert err.value.code == 503
+        assert err.value.headers["Retry-After"] == "7"
+
+        engine.gate.set()  # release the parked handlers
+        for w in workers:
+            w.join(timeout=10)
+        assert results.count(("ok", 200)) == 2
+
+        body = _metrics(base)
+        assert body["total_shed"] == 1
+        assert body["endpoints"]["/predict"]["shed"] == 1
+        assert _wait_drained(server) == 0  # every slot released
+
+        # Back to healthy once drained.
+        assert _get(base + "/healthz")[2]["status"] == "ok"
+
+    def test_limiter_releases_on_handler_error(self, server_factory):
+        server, _engine, base = server_factory(ServiceLimits(max_inflight=1))
+        with pytest.raises(urllib.error.HTTPError):
+            _get(base + "/predict?ids=10000")  # 400 out-of-range
+        assert _wait_drained(server) == 0
+        assert _get(base + "/predict?ids=1")[0] == 200  # slot reusable
+
+    def test_inflight_limiter_unit(self):
+        limiter = InflightLimiter(2)
+        assert limiter.try_acquire() and limiter.try_acquire()
+        assert limiter.saturated and not limiter.try_acquire()
+        limiter.release()
+        assert not limiter.saturated and limiter.try_acquire()
+        limiter.release()
+        limiter.release()
+        with pytest.raises(RuntimeError):
+            limiter.release()
+
+
+# ----------------------------------------------------------------------
+# Bad clients
+# ----------------------------------------------------------------------
+class TestBadClients:
+    def test_oversized_body_413(self, server_factory):
+        _server, _engine, base = server_factory(
+            ServiceLimits(max_body_bytes=256))
+        payload = json.dumps({"paper_ids": list(range(2000))}).encode()
+        request = urllib.request.Request(
+            base + "/predict", data=payload,
+            headers={"Content-Type": "application/json"},
+        )
+        with pytest.raises(urllib.error.HTTPError) as err:
+            urllib.request.urlopen(request, timeout=10)
+        assert err.value.code == 413
+        body = _metrics(base)
+        assert body["endpoints"]["/predict"]["errors"] == 1
+
+    def test_truncated_body_400_within_read_timeout(self, server_factory):
+        """Promise 512 body bytes, send 5, stall: 400, not a hung thread."""
+        server, _engine, base = server_factory(
+            ServiceLimits(read_timeout=0.5))
+        port = server.server_address[1]
+        start = time.time()
+        with socket.create_connection(("127.0.0.1", port), timeout=10) as s:
+            s.sendall(b"POST /predict HTTP/1.1\r\n"
+                      b"Host: x\r\nContent-Type: application/json\r\n"
+                      b"Content-Length: 512\r\n\r\n{\"pa")
+            s.settimeout(10)
+            response = b""
+            while b"\r\n\r\n" not in response:
+                chunk = s.recv(4096)
+                if not chunk:
+                    break
+                response += chunk
+        elapsed = time.time() - start
+        assert b"400" in response.split(b"\r\n", 1)[0]
+        assert b"Content-Length" in response
+        assert elapsed < 5.0, "read timeout did not bound the stall"
+        # The handler thread was released and the server still works.
+        assert _get(base + "/predict?ids=1")[0] == 200
+
+    def test_half_closed_body_400(self, server_factory):
+        """Client sends a short body then FINs: 400 immediately."""
+        server, _engine, base = server_factory(
+            ServiceLimits(read_timeout=5.0))
+        port = server.server_address[1]
+        s = socket.create_connection(("127.0.0.1", port), timeout=10)
+        s.sendall(b"POST /predict HTTP/1.1\r\n"
+                  b"Host: x\r\nContent-Length: 512\r\n\r\nshort")
+        s.shutdown(socket.SHUT_WR)
+        s.settimeout(10)
+        response = b""
+        try:
+            while True:
+                chunk = s.recv(4096)
+                if not chunk:
+                    break
+                response += chunk
+        finally:
+            s.close()
+        assert b"400" in response.split(b"\r\n", 1)[0]
+
+    def test_client_disconnect_counted_not_fatal(self, server_factory):
+        server, engine, base = server_factory(ServiceLimits())
+        engine.gate.clear()  # hold the response until the client is gone
+        port = server.server_address[1]
+        s = socket.create_connection(("127.0.0.1", port), timeout=10)
+        s.sendall(b"GET /predict?ids=3 HTTP/1.1\r\nHost: x\r\n\r\n")
+        # Wait for the handler to pick the request up, then RST the socket
+        # (SO_LINGER 0 => hard reset, not a graceful FIN).
+        deadline = time.time() + 5
+        while server.limiter.in_use < 1 and time.time() < deadline:
+            time.sleep(0.01)
+        s.setsockopt(socket.SOL_SOCKET, socket.SO_LINGER,
+                     struct.pack("ii", 1, 0))
+        s.close()
+        engine.gate.set()
+
+        deadline = time.time() + 5
+        total = 0
+        while time.time() < deadline:
+            total = _metrics(base)["total_disconnects"]
+            if total >= 1:
+                break
+            time.sleep(0.05)
+        assert total >= 1, "client disconnect was not recorded"
+        # And the server shrugged it off.
+        assert _wait_drained(server) == 0
+        assert _get(base + "/predict?ids=1")[0] == 200
+
+
+# ----------------------------------------------------------------------
+# Deadlines
+# ----------------------------------------------------------------------
+class TestDeadline:
+    def test_slow_request_504_and_counted(self, server_factory):
+        engine = StubEngine()
+        engine.delay = 0.25
+        _server, _engine, base = server_factory(
+            ServiceLimits(deadline_seconds=0.05), engine)
+        with pytest.raises(urllib.error.HTTPError) as err:
+            _get(base + "/predict?ids=1")
+        assert err.value.code == 504
+        assert b"deadline" in err.value.read()
+        body = _metrics(base)
+        assert body["total_deadline_timeouts"] == 1
+        assert body["endpoints"]["/predict"]["deadline_timeouts"] == 1
+
+    def test_fast_request_unaffected(self, server_factory):
+        _server, _engine, base = server_factory(
+            ServiceLimits(deadline_seconds=10.0))
+        assert _get(base + "/predict?ids=1")[0] == 200
+
+
+# ----------------------------------------------------------------------
+# Concurrency: exact counters under load
+# ----------------------------------------------------------------------
+class TestConcurrentCounters:
+    THREADS = 8
+    PER_THREAD = 25
+
+    def test_metrics_and_cache_exact_under_load(self, server_factory):
+        server, engine, base = server_factory(ServiceLimits(max_inflight=64))
+        errors = []
+
+        def worker(tid):
+            for i in range(self.PER_THREAD):
+                pid = (tid * self.PER_THREAD + i) % engine.num_papers
+                try:
+                    status, _h, body = _get(f"{base}/predict?ids={pid}")
+                    if status != 200 or body["predictions"] != [float(pid)]:
+                        errors.append((tid, i, status, body))
+                except Exception as exc:  # noqa: BLE001 — collected below
+                    errors.append((tid, i, repr(exc)))
+
+        threads = [threading.Thread(target=worker, args=(t,))
+                   for t in range(self.THREADS)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        assert not errors, errors[:5]
+
+        total = self.THREADS * self.PER_THREAD
+        body = _metrics(base)
+        predict = body["endpoints"]["/predict"]
+        assert predict["requests"] == total  # exact, no lost increments
+        assert predict["errors"] == 0
+        assert body["total_shed"] == 0 and body["total_disconnects"] == 0
+        cache = body["cache"]
+        assert cache["hits"] + cache["misses"] == total
+        assert cache["misses"] == engine.num_papers  # first touch per id
+        assert _wait_drained(server) == 0
+
+    def test_lru_cache_exact_counters_under_threads(self):
+        cache = LRUCache(capacity=16)
+        lookups_per_thread = 500
+
+        def worker(seed):
+            rng = np.random.default_rng(seed)
+            for _ in range(lookups_per_thread):
+                key = int(rng.integers(0, 32))
+                found, _ = cache.get(key)
+                if not found:
+                    cache.put(key, key)
+
+        threads = [threading.Thread(target=worker, args=(s,))
+                   for s in range(self.THREADS)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        stats = cache.stats()
+        assert stats["hits"] + stats["misses"] == (
+            self.THREADS * lookups_per_thread
+        )
+        assert stats["size"] <= 16
+        assert len(cache) == stats["size"]
+
+    def test_service_metrics_thread_safe_observe(self):
+        metrics = ServiceMetrics()
+
+        def worker():
+            for _ in range(1000):
+                metrics.observe("/x", 0.001)
+                metrics.record_shed("/x")
+
+        threads = [threading.Thread(target=worker) for _ in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        snap = metrics.snapshot()
+        assert snap["total_requests"] == 6000
+        assert snap["total_shed"] == 6000
+
+
+# ----------------------------------------------------------------------
+# CLI flags
+# ----------------------------------------------------------------------
+def test_cli_limit_flags():
+    from repro.serve.__main__ import build_parser
+
+    args = build_parser().parse_args(
+        ["model.npz", "--max-inflight", "4", "--max-body-bytes", "1024",
+         "--read-timeout", "2.5", "--deadline", "1.5"]
+    )
+    assert args.max_inflight == 4
+    assert args.max_body_bytes == 1024
+    assert args.read_timeout == 2.5
+    assert args.deadline == 1.5
