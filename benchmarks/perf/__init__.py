@@ -21,6 +21,9 @@ Three granularities:
 * **serve** — checkpoint → frozen :class:`repro.serve.InferenceEngine`
   query latency: cold vs. warm single-query and micro-batched bulk
   throughput, against the full grad-mode forward they replace.
+* **contracts** — the data-contract layer (DESIGN §13): clean-graph and
+  clean-batch scan cost (the per-ingestion overhead of validation) and
+  the full detect+repair pass over a poisoned bench graph.
 
 Run with ``python -m benchmarks.perf`` (writes
 ``benchmarks/results/BENCH_perf.json``); gate regressions in CI with
@@ -366,6 +369,92 @@ def bench_serve(repeats: int = 20) -> Dict[str, object]:
 
 
 # ---------------------------------------------------------------------------
+# Data contracts (DESIGN §13): validation scan and repair-pass cost
+# ---------------------------------------------------------------------------
+
+def _clone_graph(graph):
+    """Deep-enough copy so poisoning never leaks into the cached dataset."""
+    from repro.hetnet.graph import EdgeArray, HeteroGraph
+
+    g = HeteroGraph(graph.schema)
+    g.num_nodes = dict(graph.num_nodes)
+    g.node_names = {t: list(v) for t, v in graph.node_names.items()}
+    g.node_features = {t: f.copy() for t, f in graph.node_features.items()}
+    g.node_attrs = {t: {k: v.copy() for k, v in attrs.items()}
+                    for t, attrs in graph.node_attrs.items()}
+    g.edges = {k: EdgeArray(e.src.copy(), e.dst.copy(), e.weight.copy())
+               for k, e in graph.edges.items()}
+    g._topology_version += 1
+    return g
+
+
+def bench_contracts(repeats: int = 5,
+                    epoch_mean_s: float = None) -> Dict[str, object]:
+    """Cost of the DESIGN §13 contract layer at BENCH_WORLD scale.
+
+    Three numbers matter operationally: the **clean scan** (what every
+    ``load_graph(..., policy=)`` / ``fit(..., validate=)`` call pays on
+    healthy data), the **batch scan** (C010-C012 per built batch), and
+    the **repair pass** (detect + rebuild on a graph poisoned with ~1%
+    bad edges).  When the caller passes the fused CATE-HGN
+    ``epoch_mean_s`` (``run_all`` does), the clean scan is also
+    reported as a fraction of one training epoch — the anchor that
+    shows validate-on-fit is effectively free (it runs once per fit,
+    not per epoch).
+    """
+    from repro.contracts import check_batch, check_graph, validate_graph
+    from repro.hetnet.graph import EdgeArray
+    from repro.hetnet.schema import PAPER
+
+    dataset = bench_datasets()["full"]
+    graph = dataset.graph
+    num_edges = int(sum(e.num_edges for e in graph.edges.values()))
+
+    clean_t = time_fn(lambda: check_graph(graph), repeats=repeats)
+    clean_t["edges_per_s"] = float(num_edges / max(clean_t["mean_s"], 1e-12))
+
+    build_t = time_fn(
+        lambda: GraphBatch.from_graph(graph, dataset.train_idx,
+                                      dataset.labels[dataset.train_idx]),
+        repeats=repeats)
+    batch = GraphBatch.from_graph(graph, dataset.train_idx,
+                                  dataset.labels[dataset.train_idx])
+    batch_t = time_fn(lambda: check_batch(batch), repeats=repeats)
+
+    # Poison ~1% of the citation edges: dangling src + duplicated pairs.
+    poisoned = _clone_graph(graph)
+    key = (PAPER, "cites", PAPER)
+    edge = poisoned.edges[key]
+    n_bad = max(4, edge.num_edges // 100)
+    rng = np.random.default_rng(0)
+    pick = rng.integers(edge.num_edges, size=n_bad)
+    poisoned.edges[key] = EdgeArray(
+        np.concatenate([edge.src, np.full(n_bad, poisoned.num_nodes[PAPER] + 1,
+                                          dtype=edge.src.dtype),
+                        edge.src[pick]]),
+        np.concatenate([edge.dst, np.zeros(n_bad, dtype=edge.dst.dtype),
+                        edge.dst[pick]]),
+        np.concatenate([edge.weight, np.ones(2 * n_bad)]))
+    poisoned._topology_version += 1
+
+    repair_t = time_fn(lambda: validate_graph(poisoned, policy="repair"),
+                       repeats=repeats)
+
+    out = {
+        "num_edges": num_edges,
+        "poisoned_edges": int(2 * n_bad),
+        "clean_graph_scan": clean_t,
+        "clean_batch_scan": batch_t,
+        "batch_build": build_t,
+        "repair_pass": repair_t,
+    }
+    if epoch_mean_s is not None:
+        out["scan_fraction_of_epoch"] = float(
+            clean_t["mean_s"] / max(epoch_mean_s, 1e-12))
+    return out
+
+
+# ---------------------------------------------------------------------------
 # Entry point
 # ---------------------------------------------------------------------------
 
@@ -382,4 +471,7 @@ def run_all(quick: bool = False) -> Dict[str, object]:
         "baseline_epochs": bench_baseline_epochs(epochs=epochs),
         "serve": bench_serve(repeats=5 if quick else 20),
     }
+    report["contracts"] = bench_contracts(
+        repeats=repeats,
+        epoch_mean_s=report["cate_epochs"]["fused"]["epoch_mean_s"])
     return report

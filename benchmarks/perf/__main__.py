@@ -41,6 +41,21 @@ def summarize(report: dict) -> str:
     lines.append(
         f"serve bulk            {sv['bulk']['papers_per_s']:,.0f} papers/s"
     )
+    ct = report.get("contracts")
+    if ct:  # absent in reports written before the contract layer existed
+        frac = ct.get("scan_fraction_of_epoch")
+        anchor = (f", {frac * 100:.2f}% of one epoch" if frac is not None
+                  else "")
+        lines.append(
+            f"contracts clean scan  "
+            f"{ct['clean_graph_scan']['mean_s'] * 1e3:.2f}ms "
+            f"({ct['clean_graph_scan']['edges_per_s']:,.0f} edges/s{anchor})"
+        )
+        lines.append(
+            f"contracts repair      "
+            f"{ct['repair_pass']['mean_s'] * 1e3:.2f}ms "
+            f"({ct['poisoned_edges']} poisoned edges)"
+        )
     return "\n".join(lines)
 
 

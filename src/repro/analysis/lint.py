@@ -2,7 +2,7 @@
 
 Generic linters cannot see the invariants this codebase lives by — the
 autodiff tape, the float64-only contract, explicit RNG plumbing — so this
-module implements a small AST lint with five rules:
+module implements a small AST lint with six rules:
 
 ``R001`` **tape-breaking data mutation** — assigning to ``<expr>.data``
     (or ``<expr>.data[...]``, or augmented assignment) rebinds/mutates a
@@ -42,6 +42,15 @@ module implements a small AST lint with five rules:
     trailing ``# noqa: R005`` explaining why.  Foreign ``noqa`` codes
     (``BLE001`` &co.) never suppress repro rules.
 
+``R006`` **bare assert in library code** — ``assert`` statements are
+    compiled away under ``python -O``, so input validation (and drill
+    verdicts) written as asserts silently stop validating in optimized
+    runs.  Library code under ``src/repro`` must raise an explicit
+    exception (``ValueError``/``AssertionError``) instead.  Scoped to the
+    library tree only: pytest-style asserts in ``tests/``, ``examples/``
+    and ``benchmarks/`` are idiomatic and untouched.  A deliberate
+    internal invariant may carry a trailing ``# noqa: R006``.
+
 Exit status is non-zero iff violations are found, so
 ``tests/test_lint_clean.py`` (tier-1) keeps the tree clean going forward.
 """
@@ -64,7 +73,14 @@ RULES: Dict[str, str] = {
     "R003": "Module subclass without a forward() override",
     "R004": "Tensor._make call without a backward closure",
     "R005": "except handler that silently swallows the exception",
+    "R006": "bare assert in src/repro library code (vanishes under -O)",
 }
+
+#: Path fragments that mark a file as *library* code for R006.  The
+#: lint gate also covers ``examples/`` and ``benchmarks/`` where
+#: pytest-style asserts are idiomatic, so the rule fires only inside the
+#: installable package tree.
+R006_SCOPE: Tuple[str, ...] = ("src/repro/",)
 
 #: Modules allowed to assign to ``.data`` (path suffixes, ``/``-separated).
 #: These are the places whose *contract* is mutating parameter storage:
@@ -430,6 +446,31 @@ def _check_r005(tree: ast.AST, path: str) -> List[Violation]:
 
 
 # ----------------------------------------------------------------------
+# R006 — bare assert in library code
+# ----------------------------------------------------------------------
+def _in_r006_scope(norm_path: str) -> bool:
+    return any(mark in norm_path for mark in R006_SCOPE)
+
+
+def _check_r006(tree: ast.AST, path: str) -> List[Violation]:
+    found: List[Violation] = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Assert):
+            found.append(
+                Violation(
+                    "R006",
+                    path,
+                    node.lineno,
+                    "bare assert in library code is compiled away under "
+                    "'python -O'; raise an explicit exception instead, or "
+                    "annotate a deliberate internal invariant with "
+                    "'# noqa: R006'",
+                )
+            )
+    return found
+
+
+# ----------------------------------------------------------------------
 # Driver
 # ----------------------------------------------------------------------
 def lint_sources(
@@ -454,6 +495,8 @@ def lint_sources(
         violations += _check_r004(tree, path)
     if "R005" in active:
         violations += _check_r005(tree, path)
+    if "R006" in active and _in_r006_scope(norm):
+        violations += _check_r006(tree, path)
 
     violations = [
         v for v in violations if v.rule not in suppressed.get(v.line, set())
@@ -519,7 +562,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-lint",
         description="Repo-specific AST lint for the repro codebase "
-        "(rules R001-R005; see repro.analysis.lint docstring).",
+        "(rules R001-R006; see repro.analysis.lint docstring).",
     )
     parser.add_argument("paths", nargs="*", help="files or directories to lint")
     parser.add_argument(

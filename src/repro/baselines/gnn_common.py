@@ -118,14 +118,41 @@ class SupervisedGNNBaseline:
         )
         return base, self._augment_eval(base), stop_idx
 
+    def _validate_dataset(self, dataset: CitationDataset,
+                          policy: str) -> CitationDataset:
+        """Validate-before-train; identity on clean graphs (DESIGN §13)."""
+        from dataclasses import replace
+
+        from ..contracts import validate_graph
+
+        graph, report = validate_graph(dataset.graph, policy=policy,
+                                       subject="training graph")
+        if graph is dataset.graph:
+            return dataset
+        self.events.append({
+            "type": "quarantine",
+            "policy": policy,
+            "report": report.to_dict(),
+        })
+        return replace(dataset, graph=graph)
+
     def fit(self, dataset: CitationDataset, *,
             checkpoint_dir: Optional[Union[str, Path]] = None,
             resume: bool = False,
             checkpoint_every: int = 1,
-            keep_last: int = 3) -> "SupervisedGNNBaseline":
-        """Train; optionally checkpointed and resumable (see module doc)."""
+            keep_last: int = 3,
+            validate: Optional[str] = None) -> "SupervisedGNNBaseline":
+        """Train; optionally checkpointed and resumable (see module doc).
+
+        ``validate`` applies the contract layer (:mod:`repro.contracts`)
+        to the dataset graph before training — identity pass-through on
+        clean data, quarantine/repair or strict raise on poisoned data,
+        with the quarantine report appended to ``self.events``.
+        """
         if resume and checkpoint_dir is None:
             raise ValueError("resume=True requires checkpoint_dir")
+        if validate is not None:
+            dataset = self._validate_dataset(dataset, validate)
         cfg = self.config
         self._rng = np.random.default_rng(cfg.seed)
         fit_idx, _ = dataset.early_stopping_split()

@@ -1,0 +1,125 @@
+"""Data contracts: validation, quarantine, and repair (DESIGN §13).
+
+The paper's pipeline assumes clean DBLP inputs; real bibliographic dumps
+contain dangling references, duplicate records, citations "into the
+future" (metadata errors), and NaN features.  This package makes the
+assumptions explicit: a catalogue of invariants (:mod:`.validators`,
+codes ``C001``–``C012``), machine-readable reports (:mod:`.report`), a
+deterministic order-preserving repair pass (:mod:`.repair`), and a
+three-policy enforcement front door:
+
+``strict``
+    raise :class:`ContractViolation` carrying the full report;
+``repair``
+    rebuild the graph/batch with offenders dropped/clipped into a
+    quarantine report — and **return the input object unchanged when it
+    is already clean**, so enabling validation on clean data is
+    trajectory-neutral (pinned by ``test_golden_metrics.py``);
+``warn``
+    emit one :class:`ContractWarning` per pass and continue.
+
+Entry points::
+
+    from repro.contracts import validate_graph, validate_batch
+
+    graph, report = validate_graph(graph, policy="repair")
+    batch, report = validate_batch(batch, policy="strict")
+
+The ``repro-validate`` CLI (``python -m repro.contracts``) applies the
+same checks to saved graph sidecars and serve checkpoints.
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Optional, Tuple
+
+from .report import ContractViolation, Finding, ValidationReport
+from .validators import check_batch, check_graph
+
+__all__ = [
+    "POLICIES",
+    "ContractViolation",
+    "ContractWarning",
+    "Finding",
+    "ValidationReport",
+    "check_batch",
+    "check_graph",
+    "validate_batch",
+    "validate_graph",
+]
+
+POLICIES = ("strict", "repair", "warn")
+
+
+class ContractWarning(UserWarning):
+    """Emitted by the ``warn`` policy for each failing validation pass."""
+
+
+def _check_policy(policy: str) -> None:
+    if policy not in POLICIES:
+        raise ValueError(
+            f"unknown validation policy {policy!r}; expected one of {POLICIES}"
+        )
+
+
+def validate_graph(graph, policy: str = "strict", *,
+                   year_attr: str = "year",
+                   subject: Optional[str] = None
+                   ) -> Tuple[object, ValidationReport]:
+    """Check ``graph`` and enforce ``policy``.
+
+    Returns ``(graph, report)``.  The returned graph **is the input
+    object** unless ``policy="repair"`` found error findings, in which
+    case it is a rebuilt :class:`~repro.hetnet.graph.HeteroGraph`.
+    """
+    _check_policy(policy)
+    report = check_graph(graph, year_attr=year_attr)
+    if subject:
+        report.subject = subject
+    if not report.has_errors:
+        return graph, report
+    if policy == "strict":
+        raise ContractViolation(report)
+    if policy == "warn":
+        warnings.warn(report.summary(), ContractWarning, stacklevel=2)
+        return graph, report
+    from .repair import repair_graph
+
+    fixed = repair_graph(graph, report, year_attr=year_attr)
+    _assert_repaired(check_graph(fixed, year_attr=year_attr))
+    return fixed, report
+
+
+def validate_batch(batch, policy: str = "strict", *,
+                   subject: Optional[str] = None
+                   ) -> Tuple[object, ValidationReport]:
+    """Check a :class:`~repro.core.hgn.GraphBatch` and enforce ``policy``.
+
+    Same contract as :func:`validate_graph`: identity return on clean
+    input, rebuilt batch only under ``repair`` with error findings.
+    """
+    _check_policy(policy)
+    report = check_batch(batch)
+    if subject:
+        report.subject = subject
+    if not report.has_errors:
+        return batch, report
+    if policy == "strict":
+        raise ContractViolation(report)
+    if policy == "warn":
+        warnings.warn(report.summary(), ContractWarning, stacklevel=2)
+        return batch, report
+    from .repair import repair_batch
+
+    fixed = repair_batch(batch, report)
+    _assert_repaired(check_batch(fixed))
+    return fixed, report
+
+
+def _assert_repaired(recheck: ValidationReport) -> None:
+    """Repair must converge in one pass; anything else is a repro bug."""
+    if recheck.has_errors:  # pragma: no cover - defensive
+        raise ContractViolation(
+            recheck, "repair did not converge: " + recheck.summary()
+        )

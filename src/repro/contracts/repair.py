@@ -1,0 +1,224 @@
+"""Deterministic repair: rebuild a valid graph/batch from a poisoned one.
+
+Repair is *order-preserving* and *pure*: the input object is never
+mutated, the surviving records keep their original relative order (the
+Eq. 13 message summation order — and therefore the training trajectory —
+is a function of edge insertion order), and the same poisoned input
+always repairs to the same output.
+
+Repair actions per contract code (see :mod:`.validators` for the
+catalogue):
+
+- ``C001`` unknown edge types / node-type entries are dropped whole;
+- ``C002`` edges with out-of-range endpoints are dropped;
+- ``C003`` duplicate ``(src, dst)`` pairs keep their first occurrence;
+- ``C004`` future-citing edges are dropped;
+- ``C005``/``C009`` non-finite feature/attr entries are zeroed;
+- ``C006`` non-finite-weight edges are dropped, negative weights clip
+  to 0;
+- ``C007`` feature/name/attr rows are truncated or zero-padded to the
+  node count;
+- ``C010``/``C011`` out-of-range, duplicate, or non-finite labels are
+  dropped (keep-first);
+- ``C012`` normalized weights are recomputed from the repaired raw
+  weights.
+
+Dedup (C003) runs *after* the drop rules so that a dangling or
+future-citing edge can never shadow a valid edge with the same
+``(src, dst)`` pair.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..hetnet.graph import EdgeArray, HeteroGraph
+from ..hetnet.schema import PAPER
+from .report import ValidationReport
+from .validators import CITES_KEY, duplicate_edge_mask
+
+
+def _bump(report: ValidationReport, code: str, n: int) -> None:
+    if n:
+        report.repaired[code] = report.repaired.get(code, 0) + int(n)
+
+
+def _fit_rows(values: np.ndarray, n: int) -> np.ndarray:
+    """Truncate or zero-pad ``values`` along axis 0 to exactly ``n`` rows."""
+    if values.shape[0] == n:
+        return values
+    if values.shape[0] > n:
+        return values[:n].copy()
+    pad_shape = (n - values.shape[0],) + values.shape[1:]
+    return np.concatenate([values, np.zeros(pad_shape, dtype=values.dtype)])
+
+
+def _zero_nonfinite(values: np.ndarray, report: ValidationReport,
+                    code: str) -> np.ndarray:
+    bad = ~np.isfinite(values)
+    if not bad.any():
+        return values
+    fixed = values.copy()
+    fixed[bad] = 0.0
+    _bump(report, code, int(bad.sum()))
+    return fixed
+
+
+def _repair_edge_arrays(
+    src: np.ndarray, dst: np.ndarray, weight: np.ndarray,
+    num_src: int, num_dst: int, report: ValidationReport,
+    years: Optional[np.ndarray] = None,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Apply drop/clip rules to one edge array; returns repaired copies."""
+    keep = ((src >= 0) & (src < num_src) & (dst >= 0) & (dst < num_dst))
+    _bump(report, "C002", int((~keep).sum()))
+
+    finite_w = np.isfinite(weight)
+    _bump(report, "C006", int((keep & ~finite_w).sum()))
+    keep &= finite_w
+
+    if years is not None:
+        # Only applied on the cites key: src = cited, dst = citing.
+        future = np.zeros(len(src), dtype=bool)
+        idx = np.nonzero(keep)[0]
+        if len(idx):
+            future[idx] = years[src[idx]] > years[dst[idx]]
+        _bump(report, "C004", int(future.sum()))
+        keep &= ~future
+
+    src, dst, weight = src[keep], dst[keep], weight[keep].copy()
+
+    neg = weight < 0
+    if neg.any():
+        _bump(report, "C006", int(neg.sum()))
+        weight[neg] = 0.0
+
+    first = duplicate_edge_mask(src, dst)
+    _bump(report, "C003", int((~first).sum()))
+    return src[first], dst[first], weight[first]
+
+
+# ----------------------------------------------------------------------
+# Graph repair
+# ----------------------------------------------------------------------
+def repair_graph(graph: HeteroGraph, report: ValidationReport, *,
+                 year_attr: str = "year") -> HeteroGraph:
+    """Rebuild ``graph`` with every contract violation repaired.
+
+    ``report`` (usually the output of :func:`~.validators.check_graph`)
+    accumulates per-code repaired counts; the input graph is untouched.
+    """
+    schema = graph.schema
+    known_types = set(schema.node_types)
+    fixed = HeteroGraph(schema)
+
+    # Nodes, names, features, attrs — per declared type only (C001 drops
+    # unknown types by construction).
+    dropped_types = [t for t in graph.num_nodes if t not in known_types]
+    dropped_types += [t for t in graph.node_features
+                      if t not in known_types and t not in dropped_types]
+    _bump(report, "C001", len(dropped_types))
+
+    for t in schema.node_types:
+        n = int(graph.num_nodes.get(t, 0))
+        names = graph.node_names.get(t)
+        if names is not None and len(names) != n:
+            _bump(report, "C007", 1)
+            names = (list(names[:n]) if len(names) > n
+                     else list(names) + [f"{t}:{i}"
+                                         for i in range(len(names), n)])
+        fixed.add_nodes(t, n, names)
+
+        if t in graph.node_features:
+            feats = np.asarray(graph.node_features[t], dtype=np.float64)
+            if feats.shape[0] != n:
+                _bump(report, "C007", 1)
+                feats = _fit_rows(feats, n)
+            fixed.node_features[t] = _zero_nonfinite(feats, report, "C005")
+
+        for name, values in graph.node_attrs.get(t, {}).items():
+            values = np.asarray(values)
+            if values.shape[0] != n:
+                _bump(report, "C007", 1)
+                values = _fit_rows(values, n)
+            if values.dtype.kind == "f":
+                values = _zero_nonfinite(values, report, "C009")
+            fixed.node_attrs[t][name] = values
+
+    years = None
+    if PAPER in fixed.node_attrs and year_attr in fixed.node_attrs[PAPER]:
+        years = np.asarray(fixed.node_attrs[PAPER][year_attr])
+
+    dropped_edge_types = 0
+    for key, edge in graph.edges.items():
+        if not schema.has_edge_type(tuple(key)):
+            dropped_edge_types += edge.num_edges
+            continue
+        src_type, _, dst_type = key
+        src, dst, weight = _repair_edge_arrays(
+            edge.src, edge.dst, edge.weight,
+            fixed.num_nodes[src_type], fixed.num_nodes[dst_type], report,
+            years=years if tuple(key) == CITES_KEY else None,
+        )
+        fixed.set_edges(tuple(key), src, dst, weight)
+    _bump(report, "C001", dropped_edge_types)
+    return fixed
+
+
+# ----------------------------------------------------------------------
+# Batch repair
+# ----------------------------------------------------------------------
+def repair_batch(batch, report: ValidationReport):
+    """Rebuild a :class:`~repro.core.hgn.GraphBatch` with violations fixed.
+
+    Normalized weights are recomputed from the repaired raw weights
+    exactly as :meth:`GraphBatch.from_graph` does, so a repaired batch is
+    indistinguishable from one built from a repaired graph.
+    """
+    from ..core.hgn import GraphBatch  # lazy: contracts must not hard-depend on core
+
+    edges: Dict[Tuple[str, str, str], Tuple[np.ndarray, ...]] = {}
+    for key, (src, dst, weight, norm) in batch.edges.items():
+        src_type, _, dst_type = key
+        new_src, new_dst, new_weight = _repair_edge_arrays(
+            src, dst, weight,
+            batch.num_nodes.get(src_type, 0),
+            batch.num_nodes.get(dst_type, 0), report,
+        )
+        if (len(new_src) == len(src) and np.isfinite(norm).all()):
+            new_norm = norm
+        else:
+            max_w = new_weight.max() if len(new_weight) else 1.0
+            new_norm = new_weight / max(max_w, 1e-12)
+            _bump(report, "C012", int((~np.isfinite(norm)).sum()))
+        edges[key] = (new_src, new_dst, new_weight, new_norm)
+
+    features = {t: _zero_nonfinite(np.asarray(f, dtype=np.float64),
+                                   report, "C005")
+                for t, f in batch.features.items()}
+
+    num_papers = batch.num_nodes.get(PAPER, 0)
+    ids = np.asarray(batch.labeled_ids, dtype=np.intp)
+    labels = np.asarray(batch.labels, dtype=np.float64)
+    if len(labels) != len(ids):
+        n = min(len(labels), len(ids))
+        _bump(report, "C011", max(len(labels), len(ids)) - n)
+        ids, labels = ids[:n], labels[:n]
+    keep = (ids >= 0) & (ids < num_papers)
+    _bump(report, "C010", int((~keep).sum()))
+    finite = np.isfinite(labels)
+    _bump(report, "C011", int((keep & ~finite).sum()))
+    keep &= finite
+    ids, labels = ids[keep], labels[keep]
+    _, first = np.unique(ids, return_index=True)
+    if len(first) != len(ids):
+        _bump(report, "C010", len(ids) - len(first))
+        first = np.sort(first)
+        ids, labels = ids[first], labels[first]
+
+    return GraphBatch(
+        node_types=list(batch.node_types), features=features, edges=edges,
+        num_nodes=dict(batch.num_nodes), labeled_ids=ids, labels=labels,
+    )

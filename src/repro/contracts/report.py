@@ -1,0 +1,159 @@
+"""Machine-readable validation reports and the contract-violation error.
+
+A validation pass produces a :class:`ValidationReport` — a list of
+:class:`Finding` records, each tagged with a stable code (``C001``…),
+a severity, the location (edge-type key or ``node_type.field``), an
+offender count, and a bounded sample of offending indices.  Reports are
+JSON-serializable (:meth:`ValidationReport.to_dict`) so the CLI, the
+quarantine events in training history, and the serving shadow-validation
+gate all speak the same format.
+
+Under the ``strict`` policy, any error-severity finding raises
+:class:`ContractViolation`, which carries the full report on
+``exc.report``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+#: Maximum offender indices retained per finding — keeps reports bounded
+#: no matter how poisoned the input is.
+MAX_SAMPLE = 8
+
+#: Severities in increasing order of concern.
+SEVERITIES = ("info", "warning", "error")
+
+
+@dataclass
+class Finding:
+    """One detected contract violation (or notable observation)."""
+
+    code: str          # stable machine code, e.g. "C002"
+    severity: str      # "error" | "warning" | "info"
+    where: str         # location, e.g. "paper-cites->paper" or "paper.features"
+    count: int         # number of offending records
+    message: str       # human-readable one-liner
+    sample: Tuple[int, ...] = ()   # up to MAX_SAMPLE offending indices
+    repair: str = ""   # what the repair policy does about it
+
+    def __post_init__(self) -> None:
+        if self.severity not in SEVERITIES:
+            raise ValueError(f"unknown severity {self.severity!r}")
+        self.sample = tuple(int(i) for i in self.sample[:MAX_SAMPLE])
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "code": self.code,
+            "severity": self.severity,
+            "where": self.where,
+            "count": int(self.count),
+            "message": self.message,
+            "sample": list(self.sample),
+            "repair": self.repair,
+        }
+
+
+@dataclass
+class ValidationReport:
+    """The outcome of checking one graph or batch against the contracts."""
+
+    subject: str = "graph"   # "graph" | "batch" | free-form label
+    findings: List[Finding] = field(default_factory=list)
+    #: Filled by the ``repair`` policy: per-code number of records dropped
+    #: or clipped while rebuilding.
+    repaired: Dict[str, int] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    def add(self, code: str, severity: str, where: str, count: int,
+            message: str, sample: Sequence[int] = (),
+            repair: str = "") -> Finding:
+        finding = Finding(code=code, severity=severity, where=where,
+                          count=int(count), message=message,
+                          sample=tuple(sample), repair=repair)
+        self.findings.append(finding)
+        return finding
+
+    def extend(self, other: "ValidationReport") -> None:
+        self.findings.extend(other.findings)
+        for code, n in other.repaired.items():
+            self.repaired[code] = self.repaired.get(code, 0) + n
+
+    # ------------------------------------------------------------------
+    @property
+    def errors(self) -> List[Finding]:
+        return [f for f in self.findings if f.severity == "error"]
+
+    @property
+    def warnings(self) -> List[Finding]:
+        return [f for f in self.findings if f.severity == "warning"]
+
+    @property
+    def has_errors(self) -> bool:
+        return any(f.severity == "error" for f in self.findings)
+
+    @property
+    def ok(self) -> bool:
+        return not self.has_errors
+
+    def codes(self) -> List[str]:
+        """Sorted unique finding codes (handy for assertions)."""
+        return sorted({f.code for f in self.findings})
+
+    # ------------------------------------------------------------------
+    def summary(self) -> str:
+        """One line: ``graph: 2 errors, 1 warning (C002 C004 C006)``."""
+        n_err = len(self.errors)
+        n_warn = len(self.warnings)
+        if not self.findings:
+            return f"{self.subject}: clean"
+        codes = " ".join(self.codes())
+        parts = []
+        if n_err:
+            parts.append(f"{n_err} error{'s' if n_err != 1 else ''}")
+        if n_warn:
+            parts.append(f"{n_warn} warning{'s' if n_warn != 1 else ''}")
+        n_info = len(self.findings) - n_err - n_warn
+        if n_info:
+            parts.append(f"{n_info} info")
+        return f"{self.subject}: {', '.join(parts)} ({codes})"
+
+    def render(self) -> str:
+        """Multi-line human-readable report (used by the CLI)."""
+        lines = [self.summary()]
+        for f in self.findings:
+            sample = (f" sample={list(f.sample)}" if f.sample else "")
+            lines.append(
+                f"  [{f.code}] {f.severity:7s} {f.where}: "
+                f"{f.message} (count={f.count}){sample}"
+            )
+            if f.repair:
+                lines.append(f"          repair: {f.repair}")
+        if self.repaired:
+            fixed = ", ".join(f"{c}={n}" for c, n in sorted(self.repaired.items()))
+            lines.append(f"  repaired: {fixed}")
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe dict (stored in quarantine events and CLI --json)."""
+        return {
+            "subject": self.subject,
+            "ok": self.ok,
+            "errors": len(self.errors),
+            "warnings": len(self.warnings),
+            "findings": [f.to_dict() for f in self.findings],
+            "repaired": {k: int(v) for k, v in self.repaired.items()},
+        }
+
+
+class ContractViolation(ValueError):
+    """Raised under the ``strict`` policy when error findings exist.
+
+    Carries the full machine-readable report on :attr:`report`.
+    """
+
+    def __init__(self, report: ValidationReport,
+                 message: Optional[str] = None) -> None:
+        self.report = report
+        super().__init__(message or report.summary())

@@ -1,0 +1,295 @@
+"""Invariant checks for :class:`HeteroGraph` and :class:`GraphBatch`.
+
+The contract catalogue (stable codes, used by quarantine reports, the
+fuzz suite, and the CLI):
+
+========  ========  =====================================================
+code      severity  invariant
+========  ========  =====================================================
+``C001``  error     schema conformance: every edge-type key and node type
+                    present in the graph is declared by its schema
+``C002``  error     no dangling endpoints: edge src/dst ids in
+                    ``[0, num_nodes[type])``
+``C003``  error     no duplicate ``(src, dst)`` pairs within an edge type
+``C004``  error     temporal sanity: no citation edge into a later-year
+                    paper (``cites`` src = cited, dst = citing, so
+                    ``year[src] <= year[dst]`` must hold)
+``C005``  error     node feature matrices are finite (no NaN/Inf)
+``C006``  error     edge weights finite and non-negative
+``C007``  error     shape conformance: feature/attr/name rows match the
+                    node count of their type
+``C008``  info      node-name uniqueness (duplicates reported, never
+                    fatal — the synthetic generator legitimately reuses
+                    title prefixes)
+``C009``  error     float node attributes are finite
+``C010``  error     batch ``labeled_ids`` in range and unique
+``C011``  error     batch ``labels`` finite and aligned with
+                    ``labeled_ids``
+``C012``  error     batch normalized weights finite
+========  ========  =====================================================
+
+All checks are vectorized numpy scans; a clean pass over the bench-scale
+graph costs a few milliseconds (see the ``contracts`` section of
+``benchmarks/results/BENCH_perf.json``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..hetnet.graph import HeteroGraph
+from ..hetnet.schema import PAPER
+from .report import ValidationReport
+
+#: The one deliberately-directed edge type (src = cited, dst = citing).
+CITES_KEY = (PAPER, "cites", PAPER)
+
+
+def _sample(indices: np.ndarray) -> Tuple[int, ...]:
+    return tuple(int(i) for i in indices[:8])
+
+
+def _key_str(key: Sequence[str]) -> str:
+    return f"{key[0]}-{key[1]}->{key[2]}"
+
+
+# ----------------------------------------------------------------------
+# Shared edge-array checks (graph and batch paths)
+# ----------------------------------------------------------------------
+def _check_edge_arrays(report: ValidationReport, key: Tuple[str, str, str],
+                       src: np.ndarray, dst: np.ndarray,
+                       weight: np.ndarray, num_src: int,
+                       num_dst: int) -> None:
+    where = _key_str(key)
+    bad_src = (src < 0) | (src >= num_src)
+    bad_dst = (dst < 0) | (dst >= num_dst)
+    dangling = bad_src | bad_dst
+    if dangling.any():
+        idx = np.nonzero(dangling)[0]
+        report.add(
+            "C002", "error", where, len(idx),
+            f"dangling endpoints ({int(bad_src.sum())} src, "
+            f"{int(bad_dst.sum())} dst out of range)",
+            sample=_sample(idx), repair="drop edge",
+        )
+    bad_w = ~np.isfinite(weight)
+    if bad_w.any():
+        idx = np.nonzero(bad_w)[0]
+        report.add("C006", "error", where, len(idx),
+                   "non-finite edge weights", sample=_sample(idx),
+                   repair="drop edge")
+    neg_w = np.isfinite(weight) & (weight < 0)
+    if neg_w.any():
+        idx = np.nonzero(neg_w)[0]
+        report.add("C006", "error", where, len(idx),
+                   "negative edge weights", sample=_sample(idx),
+                   repair="clip to 0")
+    if len(src):
+        pairs = np.stack([src, dst], axis=1)
+        _, first = np.unique(pairs, axis=0, return_index=True)
+        keep = np.zeros(len(src), dtype=bool)
+        keep[first] = True
+        if not keep.all():
+            idx = np.nonzero(~keep)[0]
+            report.add("C003", "error", where, len(idx),
+                       "duplicate (src, dst) edges", sample=_sample(idx),
+                       repair="keep first occurrence, drop the rest")
+
+
+def duplicate_edge_mask(src: np.ndarray, dst: np.ndarray) -> np.ndarray:
+    """Boolean keep-mask: True for the first occurrence of each pair."""
+    keep = np.zeros(len(src), dtype=bool)
+    if len(src):
+        pairs = np.stack([src, dst], axis=1)
+        _, first = np.unique(pairs, axis=0, return_index=True)
+        keep[first] = True
+    return keep
+
+
+def _check_temporal(report: ValidationReport, src: np.ndarray,
+                    dst: np.ndarray, years: np.ndarray,
+                    num_papers: int) -> None:
+    """C004: a paper must not cite a paper published after it.
+
+    Dangling endpoints are masked out first (they are already C002
+    findings) so the year lookup never indexes out of range.
+    """
+    in_range = ((src >= 0) & (src < num_papers)
+                & (dst >= 0) & (dst < num_papers))
+    if not in_range.any():
+        return
+    idx = np.nonzero(in_range)[0]
+    future = years[src[idx]] > years[dst[idx]]
+    if future.any():
+        offenders = idx[future]
+        report.add(
+            "C004", "error", _key_str(CITES_KEY), len(offenders),
+            "citation into a later-year paper (cited year > citing year)",
+            sample=_sample(offenders), repair="drop edge",
+        )
+
+
+# ----------------------------------------------------------------------
+# Graph-level contract check
+# ----------------------------------------------------------------------
+def check_graph(graph: HeteroGraph, *,
+                year_attr: str = "year") -> ValidationReport:
+    """Scan ``graph`` against the full contract catalogue.
+
+    Pure read-only — never mutates or raises on findings; policy
+    enforcement lives in :func:`repro.contracts.validate_graph`.
+    """
+    report = ValidationReport(subject="graph")
+    schema = graph.schema
+    known_types = set(schema.node_types)
+
+    # C001 — schema conformance
+    for key in graph.edges:
+        if not schema.has_edge_type(tuple(key)):
+            report.add("C001", "error", _key_str(key),
+                       graph.edges[key].num_edges,
+                       "edge type not declared by the schema",
+                       repair="drop all edges of this type")
+    for mapping, label in ((graph.num_nodes, "num_nodes"),
+                           (graph.node_features, "features"),
+                           (graph.node_names, "names")):
+        for t in mapping:
+            if t not in known_types:
+                report.add("C001", "error", f"{t}.{label}", 1,
+                           "node type not declared by the schema",
+                           repair="drop this node type")
+
+    # C007 — shape conformance
+    for t, feats in graph.node_features.items():
+        n = graph.num_nodes.get(t)
+        if n is not None and feats.shape[0] != n:
+            report.add("C007", "error", f"{t}.features", 1,
+                       f"feature rows ({feats.shape[0]}) != node count ({n})",
+                       repair="truncate or zero-pad rows to the node count")
+    for t, names in graph.node_names.items():
+        n = graph.num_nodes.get(t)
+        if n is not None and len(names) != n:
+            report.add("C007", "error", f"{t}.names", 1,
+                       f"name rows ({len(names)}) != node count ({n})",
+                       repair="truncate or pad names to the node count")
+    for t, attrs in graph.node_attrs.items():
+        n = graph.num_nodes.get(t)
+        for name, values in attrs.items():
+            if n is not None and values.shape[0] != n:
+                report.add("C007", "error", f"{t}.{name}", 1,
+                           f"attr rows ({values.shape[0]}) != node count ({n})",
+                           repair="truncate or pad rows to the node count")
+
+    # C002/C003/C006 per edge type (known schema keys only; unknown keys
+    # are already fatal C001s and get dropped whole by repair)
+    for key, edge in graph.edges.items():
+        if not schema.has_edge_type(tuple(key)):
+            continue
+        src_type, _, dst_type = key
+        _check_edge_arrays(report, tuple(key), edge.src, edge.dst,
+                           edge.weight,
+                           graph.num_nodes.get(src_type, 0),
+                           graph.num_nodes.get(dst_type, 0))
+
+    # C004 — temporal sanity on the citation edges
+    if (CITES_KEY in graph.edges and PAPER in graph.node_attrs
+            and year_attr in graph.node_attrs[PAPER]):
+        years = np.asarray(graph.node_attrs[PAPER][year_attr])
+        edge = graph.edges[CITES_KEY]
+        _check_temporal(report, edge.src, edge.dst, years,
+                        graph.num_nodes.get(PAPER, 0))
+
+    # C005 — finite features
+    for t, feats in graph.node_features.items():
+        bad = ~np.isfinite(feats)
+        if bad.any():
+            rows = np.nonzero(bad.any(axis=tuple(range(1, feats.ndim))))[0]
+            report.add("C005", "error", f"{t}.features", len(rows),
+                       f"non-finite feature values in {len(rows)} rows",
+                       sample=_sample(rows), repair="zero the bad entries")
+
+    # C009 — finite float attrs
+    for t, attrs in graph.node_attrs.items():
+        for name, values in attrs.items():
+            if values.dtype.kind != "f":
+                continue
+            bad = ~np.isfinite(values)
+            if bad.any():
+                if values.ndim > 1:
+                    rows = np.nonzero(
+                        bad.any(axis=tuple(range(1, values.ndim))))[0]
+                else:
+                    rows = np.nonzero(bad)[0]
+                report.add("C009", "error", f"{t}.{name}", len(rows),
+                           "non-finite attribute values",
+                           sample=_sample(rows),
+                           repair="zero the bad entries")
+
+    # C008 — name uniqueness (informational only)
+    for t, names in graph.node_names.items():
+        if len(names) != len(set(names)):
+            dup = len(names) - len(set(names))
+            report.add("C008", "info", f"{t}.names", dup,
+                       "duplicate node names (ids stay unique)")
+
+    return report
+
+
+# ----------------------------------------------------------------------
+# Batch-level contract check
+# ----------------------------------------------------------------------
+def check_batch(batch) -> ValidationReport:
+    """Scan a :class:`repro.core.hgn.GraphBatch` against the contracts.
+
+    ``batch`` is duck-typed (node_types/features/edges/num_nodes/
+    labeled_ids/labels) so this module never imports ``repro.core``.
+    """
+    report = ValidationReport(subject="batch")
+
+    for key, (src, dst, weight, norm) in batch.edges.items():
+        src_type, _, dst_type = key
+        _check_edge_arrays(report, tuple(key), src, dst, weight,
+                           batch.num_nodes.get(src_type, 0),
+                           batch.num_nodes.get(dst_type, 0))
+        bad_norm = ~np.isfinite(norm)
+        if bad_norm.any():
+            idx = np.nonzero(bad_norm)[0]
+            report.add("C012", "error", _key_str(key), len(idx),
+                       "non-finite normalized weights", sample=_sample(idx),
+                       repair="recompute norm from raw weights")
+
+    for t, feats in batch.features.items():
+        bad = ~np.isfinite(feats)
+        if bad.any():
+            rows = np.nonzero(bad.any(axis=tuple(range(1, feats.ndim))))[0]
+            report.add("C005", "error", f"{t}.features", len(rows),
+                       f"non-finite feature values in {len(rows)} rows",
+                       sample=_sample(rows), repair="zero the bad entries")
+
+    num_papers = batch.num_nodes.get(PAPER, 0)
+    ids = np.asarray(batch.labeled_ids)
+    labels = np.asarray(batch.labels)
+    bad_ids = (ids < 0) | (ids >= num_papers)
+    if bad_ids.any():
+        idx = np.nonzero(bad_ids)[0]
+        report.add("C010", "error", "labeled_ids", len(idx),
+                   "labeled paper ids out of range", sample=_sample(idx),
+                   repair="drop the label")
+    if len(ids) != len(np.unique(ids)):
+        dup = len(ids) - len(np.unique(ids))
+        report.add("C010", "error", "labeled_ids", dup,
+                   "duplicate labeled paper ids",
+                   repair="keep first occurrence")
+    if len(labels) != len(ids):
+        report.add("C011", "error", "labels", abs(len(labels) - len(ids)),
+                   f"labels ({len(labels)}) misaligned with labeled_ids "
+                   f"({len(ids)})", repair="truncate to the shorter length")
+    bad_labels = ~np.isfinite(labels)
+    if bad_labels.any():
+        idx = np.nonzero(bad_labels)[0]
+        report.add("C011", "error", "labels", len(idx),
+                   "non-finite label values", sample=_sample(idx),
+                   repair="drop the label")
+    return report

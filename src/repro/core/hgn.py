@@ -148,7 +148,8 @@ class GraphBatch:
     @classmethod
     def from_graph(cls, graph: HeteroGraph, labeled_ids: np.ndarray,
                    labels: np.ndarray,
-                   share_structure: bool = False) -> "GraphBatch":
+                   share_structure: bool = False,
+                   validate: Optional[str] = None) -> "GraphBatch":
         """Flatten ``graph`` into a training-ready batch.
 
         With ``share_structure=True`` the batch adopts the graph's shared
@@ -157,13 +158,22 @@ class GraphBatch:
         :class:`~repro.hetnet.structure.BatchStructure`, so a roster of
         models trained on one dataset builds it exactly once.  The
         default (``False``) keeps the historical per-batch cache.
+
+        ``validate`` optionally runs the finished batch through the
+        contract layer (:mod:`repro.contracts`) under the named policy
+        (``"strict"``/``"repair"``/``"warn"``).  On clean input the
+        batch is returned unchanged (identity), so enabling validation
+        is trajectory-neutral; under ``"repair"`` a poisoned batch is
+        rebuilt with offenders quarantined.  Note a repaired batch drops
+        the shared structure cell — its topology differs from the
+        graph's.
         """
         edges = {}
         for key, edge in graph.edges.items():
             max_w = edge.weight.max() if edge.num_edges else 1.0
             norm = edge.weight / max(max_w, 1e-12)
             edges[key] = (edge.src, edge.dst, edge.weight, norm)
-        return cls(
+        batch = cls(
             node_types=list(graph.schema.node_types),
             features={t: graph.node_features[t] for t in graph.schema.node_types},
             edges=edges,
@@ -173,6 +183,11 @@ class GraphBatch:
             _structure_cell=(graph.structure_cell() if share_structure
                              else None),
         )
+        if validate is not None:
+            from ..contracts import validate_batch  # lazy: no core->contracts cycle
+
+            batch, _ = validate_batch(batch, policy=validate)
+        return batch
 
 
 @dataclass

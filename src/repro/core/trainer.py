@@ -129,7 +129,8 @@ class CATEHGN:
             checkpoint_dir: Optional[Union[str, Path]] = None,
             resume: bool = False,
             checkpoint_every: int = 1,
-            keep_last: int = 3) -> "CATEHGN":
+            keep_last: int = 3,
+            validate: Optional[str] = None) -> "CATEHGN":
         """Run Algorithm 1; optionally checkpointed and resumable.
 
         Parameters
@@ -143,6 +144,15 @@ class CATEHGN:
             continue from it; the remaining trajectory is bitwise
             identical to the uninterrupted run's.  With no usable
             snapshot the run starts fresh.
+        validate:
+            Contract policy for the dataset graph (DESIGN §13):
+            ``"strict"`` raises :class:`~repro.contracts.ContractViolation`
+            on any violation, ``"repair"`` quarantines offending records
+            (a ``"quarantine"`` event with the machine-readable report is
+            appended to ``history.events``) and trains on the repaired
+            graph, ``"warn"`` warns and proceeds.  On clean data every
+            policy is trajectory-neutral — the graph object is passed
+            through untouched, pinned by ``test_golden_metrics.py``.
 
         Raises
         ------
@@ -151,6 +161,8 @@ class CATEHGN:
         """
         if resume and checkpoint_dir is None:
             raise ValueError("resume=True requires checkpoint_dir")
+        if validate is not None:
+            dataset = self._validate_dataset(dataset, validate)
         cfg = self.config
         self._rng = np.random.default_rng(cfg.seed)
         self._dataset = dataset
@@ -266,6 +278,30 @@ class CATEHGN:
         return self
 
     # ------------------------------------------------------------------
+    def _validate_dataset(self, dataset: CitationDataset,
+                          policy: str) -> CitationDataset:
+        """Validate-before-train (DESIGN §13).
+
+        Clean graphs pass through by identity (bitwise-neutral); under
+        ``repair`` a poisoned graph is rebuilt and the quarantine report
+        is recorded as a JSON-safe ``"quarantine"`` event in
+        ``history.events``.
+        """
+        from dataclasses import replace
+
+        from ..contracts import validate_graph
+
+        graph, report = validate_graph(dataset.graph, policy=policy,
+                                       subject="training graph")
+        if graph is dataset.graph:
+            return dataset
+        self.history.events.append({
+            "type": "quarantine",
+            "policy": policy,
+            "report": report.to_dict(),
+        })
+        return replace(dataset, graph=graph)
+
     def _outer_iteration(self, outer: int) -> bool:
         """One outer iteration (Algorithm 1 lines 3-11); True = early stop.
 

@@ -168,6 +168,13 @@ def _build_graph(world: PublicationWorld, text: TextArtifacts,
     graph.set_attr(VENUE, "domain",
                    np.array([v.domain for v in world.venues]))
     graph.validate()
+    # Ingestion-side fault site (DESIGN §13), fired *after* the build-time
+    # range checks so an armed drill can poison the finished graph with
+    # exactly the malformed shapes (dangling endpoints, NaN features)
+    # that real dumps contain and the contract layer must catch.
+    from ..resilience import faults
+
+    faults.fire("ingest.graph", graph=graph)
     return graph
 
 
@@ -214,15 +221,34 @@ def _keyword_term_links(world: PublicationWorld,
                          np.array(weight, dtype=np.float64))
 
 
+def _maybe_validate(graph: HeteroGraph,
+                    policy: Optional[str]) -> HeteroGraph:
+    """Run the contract layer over a freshly built graph when requested."""
+    if policy is None:
+        return graph
+    from ..contracts import validate_graph
+
+    graph, _ = validate_graph(graph, policy=policy, subject="dataset graph")
+    return graph
+
+
 def make_dblp_full(config: Optional[WorldConfig] = None,
                    world: Optional[PublicationWorld] = None,
                    text: Optional[TextArtifacts] = None,
-                   feature_dim: int = 32) -> CitationDataset:
-    """The DBLP-full analogue."""
+                   feature_dim: int = 32,
+                   validate: Optional[str] = None) -> CitationDataset:
+    """The DBLP-full analogue.
+
+    ``validate`` optionally runs the dataset graph through the contract
+    layer (:mod:`repro.contracts`) under the named policy before the
+    dataset is returned; ``None`` skips the pass (the builder's own
+    range checks still apply).
+    """
     world = world or generate_world(config)
     text = text or TextArtifacts.fit(world, dim=feature_dim)
     term_tokens, links = _keyword_term_links(world)
     graph = _build_graph(world, text, term_tokens, links)
+    graph = _maybe_validate(graph, validate)
     years = world.years()
     train, val, test = temporal_split(years)
     return CitationDataset(name="DBLP-full", graph=graph, text=text,
@@ -235,7 +261,8 @@ def make_dblp_random(config: Optional[WorldConfig] = None,
                      world: Optional[PublicationWorld] = None,
                      text: Optional[TextArtifacts] = None,
                      feature_dim: int = 32,
-                     rewire_seed: int = 13) -> CitationDataset:
+                     rewire_seed: int = 13,
+                     validate: Optional[str] = None) -> CitationDataset:
     """DBLP-random: keep per-paper term counts, randomize the term targets."""
     world = world or generate_world(config)
     text = text or TextArtifacts.fit(world, dim=feature_dim)
@@ -243,6 +270,7 @@ def make_dblp_random(config: Optional[WorldConfig] = None,
     rng = np.random.default_rng(rewire_seed)
     random_dst = rng.integers(0, len(term_tokens), size=len(dst)).astype(np.intp)
     graph = _build_graph(world, text, term_tokens, (src, random_dst, weight))
+    graph = _maybe_validate(graph, validate)
     years = world.years()
     train, val, test = temporal_split(years)
     return CitationDataset(name="DBLP-random", graph=graph, text=text,
@@ -255,7 +283,8 @@ def make_dblp_single(config: Optional[WorldConfig] = None,
                      world: Optional[PublicationWorld] = None,
                      text: Optional[TextArtifacts] = None,
                      feature_dim: int = 32,
-                     domain: int = 0) -> CitationDataset:
+                     domain: int = 0,
+                     validate: Optional[str] = None) -> CitationDataset:
     """DBLP-single: papers published in venues of one domain ("data")."""
     world = world or generate_world(config)
     keep = [i for i, p in enumerate(world.papers)
@@ -273,6 +302,7 @@ def make_dblp_single(config: Optional[WorldConfig] = None,
     text = text or TextArtifacts.fit(sub_world, dim=feature_dim)
     term_tokens, links = _keyword_term_links(sub_world)
     graph = _build_graph(sub_world, text, term_tokens, links)
+    graph = _maybe_validate(graph, validate)
     years = sub_world.years()
     train, val, test = temporal_split(years)
     return CitationDataset(name="DBLP-single", graph=graph, text=text,

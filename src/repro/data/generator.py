@@ -310,6 +310,15 @@ def generate_world(config: Optional[WorldConfig] = None) -> PublicationWorld:
                             impact=impact, label=label))
 
     _draw_citations(config, papers, rng)
+    # Ingestion-side fault site (DESIGN §13): a drill can corrupt
+    # individual records — future-citing or duplicated references — the
+    # way a malformed bibliographic dump would, before the graph is
+    # built.  No-op unless an injector is armed.
+    from ..resilience import faults
+
+    if faults.active() is not None:
+        for i, paper in enumerate(papers):
+            faults.fire("ingest.record", index=i, paper=paper, papers=papers)
     return PublicationWorld(config=config, authors=authors, venues=venues,
                             papers=papers, term_truth=term_truth)
 

@@ -7,11 +7,12 @@ import json
 import zipfile
 import zlib
 from pathlib import Path
-from typing import Union
+from typing import Optional, Union
 
 import numpy as np
 
 from ..hetnet import HeteroGraph, publication_schema
+from ..hetnet.graph import EdgeArray
 from ..resilience import (
     CheckpointCorruptError,
     atomic_write_bytes,
@@ -62,13 +63,57 @@ def save_graph(graph: HeteroGraph, path: Union[str, Path]) -> None:
     atomic_write_text(path.with_suffix(".json"), json.dumps(meta))
 
 
-def load_graph(path: Union[str, Path]) -> HeteroGraph:
+def _install_graph(meta: dict, arrays) -> HeteroGraph:
+    """Materialize a graph from parsed save_graph artifacts, permissively.
+
+    Installs node counts, edges, features, names, and attrs **without**
+    the range/shape checks of the mutating API (``set_edges`` raises on
+    dangling endpoints, which would make malformed dumps unloadable and
+    therefore unrepairable).  Contract enforcement happens afterwards —
+    either the legacy ``graph.validate()`` or the ``repro.contracts``
+    policy layer, depending on how :func:`load_graph` was called.
+    """
+    graph = HeteroGraph(publication_schema(include_terms=True))
+    for node_type, count in meta["num_nodes"].items():
+        graph.num_nodes[node_type] = int(count)
+        names = meta["names"].get(node_type)
+        if names is not None:
+            graph.node_names[node_type] = list(names)
+    for i, key in enumerate(meta["edge_types"]):
+        graph.edges[tuple(key)] = EdgeArray(
+            arrays[f"edge{i}_src"], arrays[f"edge{i}_dst"],
+            arrays[f"edge{i}_weight"],
+        )
+    for node_type in meta["num_nodes"]:
+        feat_key = f"feat_{node_type}"
+        if feat_key in arrays:
+            graph.node_features[node_type] = np.asarray(
+                arrays[feat_key], dtype=np.float64
+            )
+        for attr in meta["attrs"].get(node_type, []):
+            graph.node_attrs.setdefault(node_type, {})[attr] = (
+                arrays[f"attr_{node_type}_{attr}"]
+            )
+    graph._topology_version += 1
+    return graph
+
+
+def load_graph(path: Union[str, Path], *,
+               policy: Optional[str] = None) -> HeteroGraph:
     """Load a graph previously written by :func:`save_graph`.
 
     Truncated/bit-flipped npz payloads and digest mismatches against the
     json sidecar raise :class:`~repro.resilience.CheckpointCorruptError`;
     files written before checksumming existed carry no digest and are
     accepted as-is.
+
+    ``policy`` selects the contract-enforcement mode for the *content*
+    of the graph (see :mod:`repro.contracts`): ``None`` keeps the legacy
+    ``graph.validate()`` behaviour (ValueError on dangling endpoints or
+    non-finite weights), ``"strict"`` raises
+    :class:`~repro.contracts.ContractViolation` with a full report,
+    ``"repair"`` returns a deterministically repaired graph, ``"warn"``
+    returns the graph as-is after warning.
     """
     path = Path(path)
     npz_path = path.with_suffix(".npz")
@@ -95,20 +140,7 @@ def load_graph(path: Union[str, Path]) -> HeteroGraph:
         )
     try:
         arrays = np.load(npz_path)
-        graph = HeteroGraph(publication_schema(include_terms=True))
-        for node_type, count in meta["num_nodes"].items():
-            names = meta["names"].get(node_type)
-            graph.add_nodes(node_type, count, names)
-        for i, key in enumerate(meta["edge_types"]):
-            graph.set_edges(tuple(key), arrays[f"edge{i}_src"],
-                            arrays[f"edge{i}_dst"], arrays[f"edge{i}_weight"])
-        for node_type in meta["num_nodes"]:
-            feat_key = f"feat_{node_type}"
-            if feat_key in arrays:
-                graph.set_features(node_type, arrays[feat_key])
-            for attr in meta["attrs"].get(node_type, []):
-                graph.set_attr(node_type, attr,
-                               arrays[f"attr_{node_type}_{attr}"])
+        graph = _install_graph(meta, arrays)
     except FileNotFoundError:
         raise
     except (zipfile.BadZipFile, zlib.error, EOFError, OSError,
@@ -117,5 +149,11 @@ def load_graph(path: Union[str, Path]) -> HeteroGraph:
             f"graph payload {npz_path} is unreadable ({exc}); the file is "
             f"truncated or corrupted — re-export the graph"
         ) from exc
-    graph.validate()
+    if policy is None:
+        graph.validate()
+        return graph
+    from ..contracts import validate_graph
+
+    graph, _ = validate_graph(graph, policy=policy,
+                              subject=str(path.with_suffix(".npz")))
     return graph

@@ -188,6 +188,18 @@ class HeteroGraph:
             if not np.all(np.isfinite(edge.weight)):
                 raise ValueError(f"non-finite weights in {key}")
 
+    def check_contracts(self, *, year_attr: str = "year"):
+        """Full contract scan (:mod:`repro.contracts`), never raising.
+
+        Returns a :class:`~repro.contracts.ValidationReport` covering the
+        complete invariant catalogue — schema conformance, dangling
+        endpoints, duplicates, temporal sanity, NaN/Inf scans — a strict
+        superset of :meth:`validate`.
+        """
+        from ..contracts import check_graph  # lazy: hetnet stays base-layer
+
+        return check_graph(self, year_attr=year_attr)
+
     def statistics(self) -> Dict[str, int]:
         """Table-I-style statistics row."""
         stats = {f"#{t}": self.num_nodes[t] for t in self.schema.node_types}

@@ -15,6 +15,16 @@ reports PASS/FAIL per drill (non-zero exit on any failure):
                  and bit-flip snapshot files, assert loaders either fall
                  back to the previous good snapshot or raise
                  :class:`CheckpointCorruptError` — never half-load.
+``quarantine``   poison the ingestion pipeline (future-cite, duplicate
+                 and dangling citation edges), assert the ``strict``
+                 contract policy rejects the graph, and that training on
+                 the ``repair``-validated graph replays the clean run's
+                 trajectory, state and predictions **bitwise**.
+``degrade``      inject engine failures under a live HTTP server, assert
+                 the circuit breaker trips and every request is still
+                 answered 200 from the cache/prior fallback chain — zero
+                 5xx — and that a shadow-validation-failed hot reload
+                 leaves the old engine serving.
 
 These are the same scenarios the test suite pins; the CLI exists so an
 operator can re-certify the machinery on their own box in seconds::
@@ -67,6 +77,13 @@ def _state_equal(a: Dict[str, np.ndarray], b: Dict[str, np.ndarray]) -> bool:
     return set(a) == set(b) and all(np.array_equal(a[k], b[k]) for k in a)
 
 
+def _check(condition: bool, message: str) -> None:
+    """Drill verdict as an explicit raise (lint rule R006: no bare
+    ``assert`` in library code — ``-O`` must not silence a drill)."""
+    if not condition:
+        raise AssertionError(message)
+
+
 # ----------------------------------------------------------------------
 # Drills
 # ----------------------------------------------------------------------
@@ -95,11 +112,11 @@ def drill_resume(log: Callable[[str], None]) -> None:
         events = [e for e in resumed.history.events if e["type"] == "resume"]
         log(f"resumed from {events[0]['path']}" if events
             else "no resume event recorded!")
-        assert events, "resume did not record a resume event"
-        assert _state_equal(ref_state, resumed.model.state_dict()), \
-            "resumed model state differs from the uninterrupted run"
-        assert np.array_equal(ref_pred, resumed.predict()), \
-            "resumed predictions differ from the uninterrupted run"
+        _check(bool(events), "resume did not record a resume event")
+        _check(_state_equal(ref_state, resumed.model.state_dict()),
+               "resumed model state differs from the uninterrupted run")
+        _check(np.array_equal(ref_pred, resumed.predict()),
+               "resumed predictions differ from the uninterrupted run")
     log("state + predictions bitwise identical after resume")
 
 
@@ -126,10 +143,10 @@ def drill_resume_gnn(log: Callable[[str], None]) -> None:
             log("killed baseline training at epoch 3")
         resumed = RGCN(config)
         resumed.fit(dataset, checkpoint_dir=tmp, resume=True)
-        assert _state_equal(ref_state, resumed.network.state_dict()), \
-            "resumed baseline network differs from the uninterrupted run"
-        assert np.array_equal(ref_pred, resumed.predict()), \
-            "resumed baseline predictions differ"
+        _check(_state_equal(ref_state, resumed.network.state_dict()),
+               "resumed baseline network differs from the uninterrupted run")
+        _check(np.array_equal(ref_pred, resumed.predict()),
+               "resumed baseline predictions differ")
     log("baseline state + predictions bitwise identical after resume")
 
 
@@ -141,16 +158,18 @@ def drill_divergence(log: Callable[[str], None]) -> None:
     with faults.nan_in_grad(iter=2):
         est.fit(dataset)
     rollbacks = [e for e in est.history.events if e["type"] == "rollback"]
-    assert len(rollbacks) == 1, \
-        f"expected exactly 1 rollback, got {len(rollbacks)}"
+    _check(len(rollbacks) == 1,
+           f"expected exactly 1 rollback, got {len(rollbacks)}")
     event = rollbacks[0]
     log(f"rollback at outer {event['step']} (reason: {event['reason']})")
-    assert len(event["lr"]) == len(originals) and all(
+    _check(len(event["lr"]) == len(originals) and all(
         lr < lr0 for lr, lr0 in zip(event["lr"], originals)
-    ), f"learning rates not backed off: {event['lr']} vs {originals}"
-    assert len(est.history.train_loss) > 0 and est.model is not None
+    ), f"learning rates not backed off: {event['lr']} vs {originals}")
+    _check(len(est.history.train_loss) > 0 and est.model is not None,
+           "training did not complete after rollback")
     final = est.predict()
-    assert np.all(np.isfinite(final)), "post-rollback predictions not finite"
+    _check(bool(np.all(np.isfinite(final))),
+           "post-rollback predictions not finite")
     log(f"training completed {len(est.history.train_loss)} outer "
         f"iterations with finite predictions")
 
@@ -164,7 +183,8 @@ def drill_atomicity(log: Callable[[str], None]) -> None:
             store.save(step, {"kind": "drill", "step": step},
                        {"w": rng.normal(size=(4, 3))})
         good = store.load_latest()
-        assert good is not None and good.step == 2
+        _check(good is not None and good.step == 2,
+               "latest snapshot missing before the kill drill")
 
         # Kill between temp-write and rename: step-2 file must survive.
         try:
@@ -175,9 +195,10 @@ def drill_atomicity(log: Callable[[str], None]) -> None:
         except CrashInjected:
             log("writer killed between temp-write and rename, as injected")
         latest = store.load_latest()
-        assert latest is not None and latest.step == 2, \
-            "kill-before-replace lost the previous good snapshot"
-        assert _state_equal(latest.arrays, good.arrays)
+        _check(latest is not None and latest.step == 2,
+               "kill-before-replace lost the previous good snapshot")
+        _check(_state_equal(latest.arrays, good.arrays),
+               "surviving snapshot arrays differ from the pre-kill read")
         log("kill between temp-write and rename: previous snapshot intact")
 
         # Truncate the newest snapshot: loader must fall back to step 1.
@@ -194,8 +215,8 @@ def drill_atomicity(log: Callable[[str], None]) -> None:
             # exactly the behaviour under drill, not noise for the operator.
             warnings.simplefilter("ignore", RuntimeWarning)
             fallback = store.load_latest()
-        assert fallback is not None and fallback.step == 1, \
-            "load_latest did not fall back past the truncated snapshot"
+        _check(fallback is not None and fallback.step == 1,
+               "load_latest did not fall back past the truncated snapshot")
         log("truncated snapshot rejected; fell back to previous good")
 
         # Bit-flip: checksum verification must catch silent corruption.
@@ -211,11 +232,179 @@ def drill_atomicity(log: Callable[[str], None]) -> None:
         log("bit-flipped snapshot rejected by checksum")
 
 
+def drill_quarantine(log: Callable[[str], None]) -> None:
+    """Poisoned ingestion + ``repair`` must replay the clean run bitwise.
+
+    The poison set is append-only on citation edges (a future-cite and a
+    duplicate reference at record level, a dangling edge at graph level),
+    so quarantine-and-drop restores the clean graph exactly — and the
+    repaired training run owes the clean run a **bitwise** trajectory.
+    """
+    from ..contracts import ContractViolation, validate_graph
+
+    clean = _tiny_dataset()
+    reference = _tiny_estimator()
+    reference.fit(clean)
+    ref_pred = reference.predict()
+    ref_state = reference.model.state_dict()
+    log(f"clean reference run: {len(reference.history.train_loss)} "
+        f"outer iterations")
+
+    injector = (faults.FaultInjector()
+                .corrupt_record("future_cite")
+                .corrupt_record("dup_cite")
+                .poison_graph("dangling"))
+    with injector:
+        poisoned = _tiny_dataset()
+    _check(injector.fired() == 3,
+           f"expected 3 ingestion faults to fire, got {injector.fired()}")
+    log("poisoned ingestion: future-cite + duplicate + dangling edge")
+
+    try:
+        validate_graph(poisoned.graph, policy="strict")
+        raise AssertionError("strict policy accepted the poisoned graph")
+    except ContractViolation as exc:
+        codes = set(exc.report.codes())
+        _check({"C002", "C003", "C004"} <= codes,
+               f"poison not fully detected: {sorted(codes)}")
+        log(f"strict policy rejected the graph: {exc.report.summary()}")
+
+    victim = _tiny_estimator()
+    victim.fit(poisoned, validate="repair")
+    quarantines = [e for e in victim.history.events
+                   if e["type"] == "quarantine"]
+    _check(len(quarantines) == 1,
+           f"expected 1 quarantine event, got {len(quarantines)}")
+    log(f"repair policy quarantined: "
+        f"{quarantines[0]['report'].get('repaired', {})}")
+
+    _check(np.array_equal(np.asarray(reference.history.train_loss),
+                          np.asarray(victim.history.train_loss)),
+           "repaired-run loss trajectory differs from the clean run")
+    _check(_state_equal(ref_state, victim.model.state_dict()),
+           "repaired-run model state differs from the clean run")
+    _check(np.array_equal(ref_pred, victim.predict()),
+           "repaired-run predictions differ from the clean run")
+    log("trajectory + state + predictions bitwise identical to clean run")
+
+
+def drill_degrade(log: Callable[[str], None]) -> None:
+    """Engine faults under live HTTP: breaker trips, prior answers, no 5xx."""
+    import json
+    import threading
+    import urllib.error
+    import urllib.request
+
+    from ..core.trainer import GraphBatch  # noqa: F401 — warm import
+    from ..serve import (CircuitBreaker, InferenceEngine, ServingRuntime,
+                         make_server, save_catehgn)
+
+    dataset = _tiny_dataset()
+    est = _tiny_estimator()
+    est.fit(dataset)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = save_catehgn(est, f"{tmp}/model.npz")
+        engine = InferenceEngine.from_checkpoint(path)
+        _check(engine.prior is not None,
+               "checkpoint did not bake a prior head")
+        runtime = ServingRuntime(engine, breaker=CircuitBreaker(
+            failure_threshold=2, recovery_seconds=60.0))
+        server = make_server(engine, port=0, runtime=runtime)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        host, port = server.server_address[:2]
+        base = f"http://{host}:{port}"
+
+        def call(method: str, endpoint: str, body: Optional[dict] = None):
+            data = None if body is None else json.dumps(body).encode()
+            req = urllib.request.Request(
+                base + endpoint, data=data, method=method,
+                headers={"Content-Type": "application/json"})
+            try:
+                with urllib.request.urlopen(req, timeout=10) as resp:
+                    return resp.status, json.loads(resp.read())
+            except urllib.error.HTTPError as exc:
+                return exc.code, json.loads(exc.read())
+
+        try:
+            status, body = call("POST", "/predict", {"paper_ids": [0, 1, 2]})
+            _check(status == 200 and body["source"] == "model"
+                   and body["degraded"] is False,
+                   f"healthy request not served by the model: {body}")
+            log("healthy request served from source=model")
+
+            with faults.fail_engine(times=10):
+                responses = [call("POST", "/predict", {"paper_ids": [5]})
+                             for _ in range(4)]
+                responses.append(call("GET", "/predict?ids=0", None))
+            statuses = [s for s, _ in responses]
+            _check(all(s == 200 for s in statuses),
+                   f"expected zero 5xx under engine fault, got {statuses}")
+            _check(all(b["degraded"] is True for _, b in responses),
+                   "fault-window responses not tagged degraded")
+            sources = [b["source"] for _, b in responses]
+            _check(all(s == "prior" for s in sources[:4]),
+                   f"uncached ids not served by the prior head: {sources}")
+            _check(sources[4] == "cache",
+                   f"cached id not served from the cache: {sources[4]}")
+            log(f"5/5 fault-window requests answered 200 "
+                f"(sources: {sources})")
+
+            status, health = call("GET", "/healthz", None)
+            _check(status == 200 and health["status"] == "degraded"
+                   and health["breaker"] == "open",
+                   f"healthz did not report the open breaker: {health}")
+            status, metrics = call("GET", "/metrics", None)
+            _check(metrics["breaker"]["trips"] >= 1,
+                   f"breaker never tripped: {metrics['breaker']}")
+            _check(metrics["served"]["prior"] == 4
+                   and metrics["served"]["cache"] == 1,
+                   f"fallback counters wrong: {metrics['served']}")
+            log("breaker open in /healthz; fallback counters in /metrics")
+
+            # Shadow-validation gate: a corrupt candidate must be
+            # rejected with 409 and the old engine must keep serving.
+            bad = f"{tmp}/bad.npz"
+            with open(bad, "wb") as fh:
+                fh.write(b"this is not a checkpoint")
+            old_engine = runtime.engine
+            status, body = call("POST", "/admin/reload", {"path": bad})
+            _check(status == 409 and body["reloaded"] is False,
+                   f"corrupt reload not rejected: {status} {body}")
+            _check(runtime.engine is old_engine,
+                   "rejected reload swapped the engine anyway")
+            status, body = call("POST", "/predict", {"paper_ids": [0]})
+            _check(status == 200,
+                   f"old engine stopped serving after rejected reload: "
+                   f"{status}")
+            log("corrupt reload rejected with 409; old engine kept serving")
+
+            # A good candidate passes all gates and resets the breaker.
+            status, body = call("POST", "/admin/reload", {"path": str(path)})
+            _check(status == 200 and body["reloaded"] is True
+                   and body["golden_checked"] > 0,
+                   f"good reload rejected: {status} {body}")
+            status, health = call("GET", "/healthz", None)
+            _check(health["breaker"] == "closed",
+                   f"reload did not reset the breaker: {health}")
+            status, body = call("POST", "/predict", {"paper_ids": [7]})
+            _check(status == 200 and body["source"] == "model",
+                   f"post-reload request not served by the model: {body}")
+            log("valid reload passed shadow validation; breaker reset, "
+                "source=model again")
+        finally:
+            server.shutdown()
+            server.server_close()
+
+
 DRILLS: Dict[str, Callable[[Callable[[str], None]], None]] = {
     "resume": drill_resume,
     "resume-gnn": drill_resume_gnn,
     "divergence": drill_divergence,
     "atomicity": drill_atomicity,
+    "quarantine": drill_quarantine,
+    "degrade": drill_degrade,
 }
 
 

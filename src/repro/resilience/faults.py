@@ -21,6 +21,9 @@ Instrumented sites
 ``baseline.grad``        ctx: ``epoch, params``       (after backward, pre-clip)
 ``atomic.post_write``    ctx: ``tmp, final``          (temp file durable)
 ``atomic.pre_replace``   ctx: ``tmp, final``          (just before os.replace)
+``ingest.record``        ctx: ``index, paper, papers`` (per generated paper)
+``ingest.graph``         ctx: ``graph``               (finished ingestion graph)
+``engine.predict``       ctx: ``ids``                 (serving, per predict call)
 
 Every site call also receives ``count`` — the 1-based number of times the
 site has fired under the active injector — so ``raise_at_op`` can target
@@ -33,6 +36,7 @@ transient hardware/numerical fault has).
 
 from __future__ import annotations
 
+import time as _time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional
 
@@ -50,6 +54,10 @@ __all__ = [
     "raise_at_op",
     "truncate_after_write",
     "kill_before_replace",
+    "corrupt_record",
+    "poison_graph",
+    "fail_engine",
+    "slow_engine",
 ]
 
 #: Stack of armed injectors; the innermost one receives ``fire`` calls.
@@ -206,6 +214,120 @@ class FaultInjector:
             label="kill_before_replace",
         )
 
+    # -- ingestion / serving faults (DESIGN §13) ------------------------
+    def corrupt_record(self, mode: str = "future_cite",
+                       index: Optional[int] = None) -> "FaultInjector":
+        """Corrupt one generated paper record at ``ingest.record``.
+
+        Modes (both append-only on the record's reference list, so a
+        contract ``repair`` pass restores the clean graph bitwise):
+
+        - ``future_cite`` — append a reference to a *later-year* paper,
+          the temporal violation C004 (a citation edge into the future);
+        - ``dup_cite`` — append a copy of the record's first reference,
+          the duplicate-edge violation C003.
+
+        ``index`` pins the corrupted record; by default the first record
+        where the corruption is *feasible* (a later-year paper exists /
+        the record has a reference) is hit.
+        """
+        if mode not in ("future_cite", "dup_cite"):
+            raise ValueError(f"unknown corrupt_record mode {mode!r}")
+
+        def feasible(ctx: Dict[str, Any]) -> bool:
+            if index is not None and ctx["index"] != index:
+                return False
+            if mode == "future_cite":
+                year = ctx["paper"].year
+                return any(p.year > year for p in ctx["papers"])
+            return bool(ctx["paper"].references)
+
+        def action(ctx: Dict[str, Any]) -> None:
+            paper = ctx["paper"]
+            if mode == "future_cite":
+                for j, other in enumerate(ctx["papers"]):
+                    if other.year > paper.year:
+                        paper.references.append(j)
+                        return
+            else:
+                paper.references.append(paper.references[0])
+
+        return self.add("ingest.record", feasible, action,
+                        label=f"corrupt_record({mode})")
+
+    def poison_graph(self, mode: str = "dangling") -> "FaultInjector":
+        """Poison the finished ingestion graph at ``ingest.graph``.
+
+        Modes:
+
+        - ``dangling`` — append a citation edge whose source id is past
+          the paper count (C002).  Append-only: ``repair`` drops exactly
+          this edge and restores the clean graph bitwise.
+        - ``dup_edge`` — append a copy of the first citation edge (C003;
+          also bitwise-restorable).
+        - ``nan_feature`` — set one paper feature to NaN (C005; repair
+          zeroes it, so the restore is *not* bitwise — fuzz-suite food).
+        """
+        if mode not in ("dangling", "dup_edge", "nan_feature"):
+            raise ValueError(f"unknown poison_graph mode {mode!r}")
+
+        def action(ctx: Dict[str, Any]) -> None:
+            graph = ctx["graph"]
+            if mode == "nan_feature":
+                feats = next(iter(graph.node_features.values()))
+                feats[0, 0] = np.nan
+                return
+            from ..hetnet.graph import EdgeArray
+
+            key = next(k for k in graph.edges if k[1] == "cites")
+            ea = graph.edges[key]
+            if mode == "dangling":
+                src = np.append(ea.src, graph.num_nodes[key[0]] + 7)
+                dst = np.append(ea.dst, 0)
+            else:  # dup_edge
+                src = np.append(ea.src, ea.src[0])
+                dst = np.append(ea.dst, ea.dst[0])
+            weight = np.append(ea.weight, 1.0)
+            graph.edges[key] = EdgeArray(src, dst, weight)
+            graph._topology_version += 1
+
+        return self.add("ingest.graph", lambda ctx: True, action,
+                        label=f"poison_graph({mode})")
+
+    def fail_engine(self, times: int = 1,
+                    exc_type: type = RuntimeError) -> "FaultInjector":
+        """Raise from the first ``times`` calls to ``engine.predict``.
+
+        Simulates a sick serving engine (not a bad request): the fault
+        fires *after* the engine's own id-range validation, so the
+        degradation chain — breaker trip, cache/prior fallback — is what
+        absorbs it.
+        """
+
+        def action(ctx: Dict[str, Any]) -> None:
+            raise exc_type(
+                f"injected engine failure (call #{ctx['count']})"
+            )
+
+        return self.add("engine.predict",
+                        lambda ctx: ctx["count"] <= times, action,
+                        label=f"fail_engine({times})", once=False)
+
+    def slow_engine(self, seconds: float,
+                    times: int = 1) -> "FaultInjector":
+        """Stall the first ``times`` ``engine.predict`` calls.
+
+        The answer stays correct but late — deadline-violation food for
+        :class:`~repro.serve.degrade.ServingRuntime`.
+        """
+
+        def action(ctx: Dict[str, Any]) -> None:
+            _time.sleep(seconds)
+
+        return self.add("engine.predict",
+                        lambda ctx: ctx["count"] <= times, action,
+                        label=f"slow_engine({seconds})", once=False)
+
 
 def _raiser(message: str) -> Callable[[Dict[str, Any]], None]:
     def action(ctx: Dict[str, Any]) -> None:
@@ -241,3 +363,20 @@ def truncate_after_write(nbytes: int = 64,
 
 def kill_before_replace(match: Optional[str] = None) -> FaultInjector:
     return FaultInjector().kill_before_replace(match)
+
+
+def corrupt_record(mode: str = "future_cite",
+                   index: Optional[int] = None) -> FaultInjector:
+    return FaultInjector().corrupt_record(mode, index)
+
+
+def poison_graph(mode: str = "dangling") -> FaultInjector:
+    return FaultInjector().poison_graph(mode)
+
+
+def fail_engine(times: int = 1, exc_type: type = RuntimeError) -> FaultInjector:
+    return FaultInjector().fail_engine(times, exc_type)
+
+
+def slow_engine(seconds: float, times: int = 1) -> FaultInjector:
+    return FaultInjector().slow_engine(seconds, times)

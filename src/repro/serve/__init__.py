@@ -6,6 +6,7 @@ an :class:`InferenceEngine` (one tape-free forward per graph snapshot),
 and expose predictions over stdlib HTTP via ``python -m repro.serve``.
 """
 
+from .breaker import CircuitBreaker
 from .cache import LRUCache
 from .checkpoint import (
     CHECKPOINT_FORMAT_VERSION,
@@ -18,8 +19,10 @@ from .checkpoint import (
     save_checkpoint,
     save_gnn_baseline,
 )
+from .degrade import ReloadRejected, ServingRuntime
 from .engine import InferenceEngine
 from .metrics import ServiceMetrics
+from .prior import PriorHead
 from .service import (
     InflightLimiter,
     ResilientHTTPServer,
@@ -32,14 +35,18 @@ from .service import (
 __all__ = [
     "CHECKPOINT_FORMAT_VERSION",
     "Checkpoint",
+    "CircuitBreaker",
     "InferenceEngine",
     "InflightLimiter",
     "LRUCache",
+    "PriorHead",
+    "ReloadRejected",
     "ResilientHTTPServer",
     "RestoredCATEHGN",
     "ServiceError",
     "ServiceLimits",
     "ServiceMetrics",
+    "ServingRuntime",
     "load_checkpoint",
     "load_gnn_baseline",
     "make_server",

@@ -1,0 +1,143 @@
+"""Circuit breaker for the degraded-mode serving chain (DESIGN §13).
+
+Classic three-state machine guarding the full-model forward path:
+
+``closed``
+    requests flow to the model; ``failure_threshold`` *consecutive*
+    failures (engine errors or deadline violations) trip the breaker;
+``open``
+    the model path is skipped entirely — callers fall back to the
+    prediction cache or the prior head — until ``recovery_seconds``
+    have elapsed;
+``half_open``
+    exactly **one** probe request is allowed through (a single probe
+    token, so a thundering herd cannot re-stampede a struggling
+    engine); success closes the breaker, failure re-opens it and
+    restarts the recovery clock.
+
+All transitions happen under one lock, so a burst of concurrent
+failures trips the breaker exactly once (pinned by the 8-thread tests
+in ``tests/test_serve_degraded.py``).  The clock is injectable for
+deterministic tests.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Callable, Dict
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """Thread-safe closed/open/half-open breaker with one probe token."""
+
+    def __init__(self, failure_threshold: int = 3,
+                 recovery_seconds: float = 5.0,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        self.failure_threshold = int(failure_threshold)
+        self.recovery_seconds = float(recovery_seconds)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._consecutive_failures = 0
+        self._opened_at: float = 0.0
+        self._probe_inflight = False
+        # Monotonic counters for /metrics (exact-count pinned in tests).
+        self._trips = 0
+        self._successes = 0
+        self._failures = 0
+        self._probes = 0
+        self._recoveries = 0
+        self._rejected = 0
+        self._last_failure_reason = ""
+
+    # ------------------------------------------------------------------
+    def _effective_state_locked(self) -> str:
+        """Promote ``open`` to ``half_open`` once the recovery time passed."""
+        if (self._state == OPEN
+                and self._clock() - self._opened_at >= self.recovery_seconds):
+            self._state = HALF_OPEN
+            self._probe_inflight = False
+        return self._state
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._effective_state_locked()
+
+    # ------------------------------------------------------------------
+    def allow(self) -> bool:
+        """May this request take the full-model path?
+
+        ``closed`` → yes; ``open`` → no; ``half_open`` → yes for exactly
+        one caller at a time (the probe).
+        """
+        with self._lock:
+            state = self._effective_state_locked()
+            if state == CLOSED:
+                return True
+            if state == HALF_OPEN and not self._probe_inflight:
+                self._probe_inflight = True
+                self._probes += 1
+                return True
+            self._rejected += 1
+            return False
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._successes += 1
+            self._consecutive_failures = 0
+            if self._state == HALF_OPEN:
+                # Probe came back healthy: close and forget the episode.
+                self._state = CLOSED
+                self._probe_inflight = False
+                self._recoveries += 1
+
+    def record_failure(self, reason: str = "error") -> None:
+        with self._lock:
+            self._failures += 1
+            self._last_failure_reason = reason
+            if self._state == HALF_OPEN:
+                # The probe failed: straight back to open, clock restarts.
+                self._state = OPEN
+                self._opened_at = self._clock()
+                self._probe_inflight = False
+                self._trips += 1
+                return
+            self._consecutive_failures += 1
+            if (self._state == CLOSED
+                    and self._consecutive_failures >= self.failure_threshold):
+                self._state = OPEN
+                self._opened_at = self._clock()
+                self._trips += 1
+
+    def reset(self) -> None:
+        """Force-close (used after a successful hot reload)."""
+        with self._lock:
+            self._state = CLOSED
+            self._consecutive_failures = 0
+            self._probe_inflight = False
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, Any]:
+        """Counter snapshot for ``/metrics`` and ``/healthz``."""
+        with self._lock:
+            return {
+                "state": self._effective_state_locked(),
+                "failure_threshold": self.failure_threshold,
+                "recovery_seconds": self.recovery_seconds,
+                "consecutive_failures": self._consecutive_failures,
+                "trips": self._trips,
+                "successes": self._successes,
+                "failures": self._failures,
+                "probes": self._probes,
+                "recoveries": self._recoveries,
+                "rejected": self._rejected,
+                "last_failure_reason": self._last_failure_reason,
+            }

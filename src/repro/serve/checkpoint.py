@@ -201,6 +201,25 @@ def save_catehgn(est: CATEHGN, path: Union[str, Path]) -> Path:
         # papers straight from their title tokens.
         extras["text_tokens"] = np.array(list(embeddings.vocabulary))
         extras["text_vectors"] = embeddings.vectors
+    # Degraded-mode serving support (DESIGN §13): bake the cheap prior
+    # head (venue-authority / author-prestige ridge scorer) and a golden
+    # batch — ids + the estimator's own predictions — into the
+    # checkpoint.  The prior is the last rung of the serving fallback
+    # chain; the goldens gate hot reloads (prediction parity before an
+    # engine swap).
+    from .prior import PriorHead
+
+    if est._dataset is not None:
+        labels_raw = np.asarray(est._dataset.labels,
+                                dtype=np.float64)[est._fit_idx]
+    else:
+        labels_raw = batch.labels * est._label_std + est._label_mean
+    prior = PriorHead.fit(est._graph, est._fit_idx, labels_raw)
+    extras.update(prior.to_extras())
+    golden_ids = np.arange(min(16, batch.num_nodes["paper"]), dtype=np.intp)
+    extras["golden_ids"] = golden_ids
+    extras["golden_preds"] = np.asarray(est.predict(),
+                                        dtype=np.float64)[golden_ids]
     return save_checkpoint(base, meta, est.model.state_dict(), extras)
 
 
@@ -217,6 +236,13 @@ class RestoredCATEHGN:
     term_sets: Optional[list]
     domain_names: Optional[list]
     embeddings: Optional["WordEmbeddings"]  # noqa: F821 — lazy text import
+    #: Degraded-mode serving (DESIGN §13): the checkpoint-baked prior
+    #: head and the golden batch used by the hot-reload parity gate.
+    #: Defaults keep old pickled call sites constructing this dataclass
+    #: positionally working.
+    prior: Optional["PriorHead"] = None  # noqa: F821 — lazy prior import
+    golden_ids: Optional[np.ndarray] = None
+    golden_preds: Optional[np.ndarray] = None
 
     def predict_papers(self) -> np.ndarray:
         """Citations/year for every paper — matches ``CATEHGN.predict``."""
@@ -269,13 +295,29 @@ def restore_catehgn(path: Union[str, Path]) -> RestoredCATEHGN:
 
         vocab = Vocabulary(str(t) for t in ckpt.extras["text_tokens"])
         embeddings = WordEmbeddings(vocab, ckpt.extras["text_vectors"])
+
+    from .prior import PriorHead
+
+    label_mean = float(meta["label_mean"])
+    label_std = float(meta["label_std"])
+    prior = PriorHead.from_extras(ckpt.extras)
+    if prior is None:
+        # Pre-§13 checkpoint: refit the prior deterministically from the
+        # sidecar graph + the saved (denormalized) training labels.
+        prior = PriorHead.fit(graph, labeled_ids,
+                              labels_norm * label_std + label_mean)
+    golden_ids = ckpt.extras.get("golden_ids")
+    golden_preds = ckpt.extras.get("golden_preds")
     return RestoredCATEHGN(
         model=model, config=config, graph=graph, batch=batch,
-        label_mean=float(meta["label_mean"]),
-        label_std=float(meta["label_std"]),
+        label_mean=label_mean,
+        label_std=label_std,
         term_sets=meta.get("term_sets"),
         domain_names=meta.get("domain_names"),
         embeddings=embeddings,
+        prior=prior,
+        golden_ids=golden_ids,
+        golden_preds=golden_preds,
     )
 
 

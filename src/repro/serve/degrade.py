@@ -1,0 +1,237 @@
+"""Graceful-degradation runtime: model → cache → prior head (DESIGN §13).
+
+:class:`ServingRuntime` wraps an :class:`~repro.serve.engine.InferenceEngine`
+behind a :class:`~repro.serve.breaker.CircuitBreaker` and serves every
+prediction from the best *available* rung of a fallback chain:
+
+1. **model** — the full CATE-HGN forward (engine), when the breaker
+   allows it and the call neither fails nor blows its deadline;
+2. **cache** — the engine's LRU prediction cache, when *every* requested
+   id is already cached (a partial hit would silently mix sources);
+3. **prior** — the checkpoint-baked prior head
+   (:class:`~repro.serve.prior.PriorHead`), which always answers.
+
+Every response is tagged ``source ∈ {model, cache, prior}`` and
+``degraded`` so clients can tell a full answer from a fallback.  Client
+errors (bad ids/types) are *not* failures: they propagate as 400s and
+never move the breaker.
+
+The runtime also owns **hot checkpoint reload** with a shadow-validation
+gate: a candidate engine is loaded off to the side, its graph passes a
+strict contract check, and its predictions must reproduce the golden
+batch baked into the checkpoint at save time — only then is the engine
+swapped atomically (and the breaker reset).  A candidate failing any
+gate is discarded and the old engine keeps serving.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from pathlib import Path
+from typing import Any, Dict, Optional, Sequence, Union
+
+import numpy as np
+
+from .breaker import CircuitBreaker
+
+#: Exceptions that mean "the request is bad", not "the engine is sick".
+#: These surface as HTTP 400s and never count against the breaker.
+CLIENT_ERRORS = (IndexError, KeyError, TypeError, ValueError)
+
+#: Absolute tolerance for golden-batch prediction parity on reload.
+#: Engine forwards are bitwise-reproducible (DESIGN §11), so this only
+#: leaves room for a different-but-equivalent BLAS build.
+GOLDEN_ATOL = 1e-9
+
+
+class ReloadRejected(RuntimeError):
+    """A candidate checkpoint failed the shadow-validation gate."""
+
+    def __init__(self, reason: str, report: Optional[dict] = None) -> None:
+        super().__init__(reason)
+        self.reason = reason
+        self.report = report
+
+
+class ServingRuntime:
+    """Circuit-breaker-guarded prediction front-end with hot reload."""
+
+    def __init__(self, engine, breaker: Optional[CircuitBreaker] = None,
+                 deadline_seconds: Optional[float] = None) -> None:
+        self._engine = engine
+        self.breaker = breaker or CircuitBreaker()
+        #: Model calls slower than this count as breaker failures (the
+        #: answer is still returned — it is correct, just late).  ``None``
+        #: disables deadline accounting.
+        self.deadline_seconds = deadline_seconds
+        self._swap_lock = threading.Lock()
+        self._counter_lock = threading.Lock()
+        self._served: Dict[str, int] = {"model": 0, "cache": 0, "prior": 0,
+                                        "unserved": 0}
+        self._reloads = 0
+        self._reloads_rejected = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def engine(self):
+        """The live engine (atomic attribute read; swapped by reload)."""
+        return self._engine
+
+    def _count(self, source: str) -> None:
+        with self._counter_lock:
+            self._served[source] = self._served.get(source, 0) + 1
+
+    # ------------------------------------------------------------------
+    def predict(self, paper_ids: Sequence[int]) -> Dict[str, Any]:
+        """Serve a prediction from the best available source.
+
+        Returns ``{"predictions": ndarray, "source": ..., "degraded": bool}``.
+        Raises only :data:`CLIENT_ERRORS` for malformed requests — or the
+        underlying engine error when the breaker is open/tripped and no
+        fallback source exists (plain engines without a prior head).
+        """
+        engine = self._engine
+        ids = np.asarray(paper_ids, dtype=np.intp).reshape(-1)
+        num_papers = getattr(engine, "num_papers", None)
+        if (num_papers is not None and len(ids)
+                and (ids.min() < 0 or ids.max() >= num_papers)):
+            # Client-side validation happens *before* the breaker so bad
+            # requests get their 400 even while the model path is down.
+            raise IndexError(f"paper id out of range [0, {num_papers})")
+
+        last_error: Optional[BaseException] = None
+        if self.breaker.allow():
+            start = time.perf_counter()
+            try:
+                values = engine.predict(ids)
+            except CLIENT_ERRORS:
+                raise  # the request's fault — not an engine failure
+            except Exception as exc:  # noqa: BLE001 — any infra failure trips
+                self.breaker.record_failure(type(exc).__name__)
+                last_error = exc
+            else:
+                elapsed = time.perf_counter() - start
+                if (self.deadline_seconds is not None
+                        and elapsed > self.deadline_seconds):
+                    self.breaker.record_failure("deadline")
+                else:
+                    self.breaker.record_success()
+                self._count("model")
+                return {"predictions": np.asarray(values, dtype=np.float64),
+                        "source": "model", "degraded": False}
+
+        cached = self._full_cache_hit(engine, ids)
+        if cached is not None:
+            self._count("cache")
+            return {"predictions": cached, "source": "cache",
+                    "degraded": True}
+
+        prior = getattr(engine, "prior", None)
+        if prior is not None:
+            self._count("prior")
+            return {"predictions": prior.predict(ids), "source": "prior",
+                    "degraded": True}
+
+        self._count("unserved")
+        if last_error is not None:
+            raise last_error
+        raise RuntimeError(
+            "model path unavailable (circuit breaker open) and the engine "
+            "has no cache hit or prior head to fall back on"
+        )
+
+    @staticmethod
+    def _full_cache_hit(engine, ids: np.ndarray) -> Optional[np.ndarray]:
+        """All-or-nothing read of the engine's prediction cache."""
+        cache = getattr(engine, "cache", None)
+        if cache is None:
+            return None
+        out = np.empty(len(ids), dtype=np.float64)
+        for i, pid in enumerate(ids):
+            found, value = cache.get(int(pid))
+            if not found:
+                return None
+            out[i] = value
+        return out
+
+    # ------------------------------------------------------------------
+    # Hot reload with shadow validation
+    # ------------------------------------------------------------------
+    def reload(self, path: Union[str, Path]) -> Dict[str, Any]:
+        """Swap in a new checkpoint — only if it passes shadow validation.
+
+        Gate 1: the candidate loads at all (checksum, format version).
+        Gate 2: its graph passes a strict contract check
+        (:func:`repro.contracts.check_graph`, zero error findings).
+        Gate 3: its predictions on the checkpoint's golden batch match
+        the values recorded at save time within :data:`GOLDEN_ATOL`.
+
+        Any gate failing raises :class:`ReloadRejected` and the old
+        engine keeps serving untouched; on success the swap is atomic
+        and the breaker resets.
+        """
+        from ..contracts import check_graph
+        from .engine import InferenceEngine
+
+        old = self._engine
+        try:
+            candidate = InferenceEngine.from_checkpoint(
+                path,
+                cache_size=getattr(getattr(old, "cache", None),
+                                   "capacity", 4096),
+                micro_batch=getattr(old, "micro_batch", 256),
+            )
+        except Exception as exc:  # noqa: BLE001 — any load failure rejects
+            self._reject(f"checkpoint load failed: {exc}")
+
+        report = check_graph(candidate.restored.graph)
+        if report.has_errors:
+            self._reject(
+                f"contract check failed: {report.summary()}",
+                report=report.to_dict(),
+            )
+
+        golden_ids = getattr(candidate.restored, "golden_ids", None)
+        golden_preds = getattr(candidate.restored, "golden_preds", None)
+        if golden_ids is not None and len(golden_ids):
+            got = candidate.predict(np.asarray(golden_ids, dtype=np.intp))
+            worst = float(np.max(np.abs(got - golden_preds)))
+            if not np.isfinite(worst) or worst > GOLDEN_ATOL:
+                self._reject(
+                    f"golden-batch parity failed: max |Δ| = {worst:.3e} "
+                    f"over {len(golden_ids)} papers (tolerance "
+                    f"{GOLDEN_ATOL:.0e})"
+                )
+
+        with self._swap_lock:
+            self._engine = candidate
+            self.breaker.reset()
+        with self._counter_lock:
+            self._reloads += 1
+        return {
+            "reloaded": True,
+            "num_papers": candidate.num_papers,
+            "golden_checked": int(0 if golden_ids is None
+                                  else len(golden_ids)),
+            "contract": report.summary(),
+        }
+
+    def _reject(self, reason: str, report: Optional[dict] = None) -> None:
+        with self._counter_lock:
+            self._reloads_rejected += 1
+        raise ReloadRejected(reason, report=report)
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, Any]:
+        """Fallback/breaker/reload counters for ``/metrics``."""
+        with self._counter_lock:
+            served = dict(self._served)
+            reloads = self._reloads
+            rejected = self._reloads_rejected
+        return {
+            "breaker": self.breaker.snapshot(),
+            "served": served,
+            "reloads": reloads,
+            "reloads_rejected": rejected,
+        }

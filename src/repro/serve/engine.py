@@ -28,6 +28,7 @@ import numpy as np
 
 from ..hetnet import PAPER
 from ..core.hgn import GraphBatch
+from ..resilience import faults
 from ..tensor import Tensor, gather, inference_mode
 from ..text import tokenize
 from .cache import LRUCache
@@ -44,6 +45,10 @@ class InferenceEngine:
         self.batch = restored.batch
         self.micro_batch = max(1, int(micro_batch))
         self.cache = LRUCache(cache_size)
+        #: Checkpoint-baked prior head — the last rung of the serving
+        #: fallback chain (DESIGN §13); ``None`` only for hand-built
+        #: restores that carry no graph to fit one from.
+        self.prior = restored.prior
         self._lock = threading.Lock()
         self._L = restored.config.num_layers
         # Freeze the snapshot: one tape-free forward precomputes every
@@ -89,6 +94,10 @@ class InferenceEngine:
             raise IndexError(
                 f"paper id out of range [0, {self.num_papers})"
             )
+        # Fault site for the degrade drill (after the client-side range
+        # check: an injected failure simulates *infrastructure* breakage,
+        # never a bad request).  No-op unless an injector is armed.
+        faults.fire("engine.predict", ids=ids)
         out = np.empty(len(ids), dtype=np.float64)
         miss_pos: List[int] = []
         for i, pid in enumerate(ids):
@@ -231,5 +240,6 @@ class InferenceEngine:
             "use_ca": self.restored.config.use_ca,
             "use_te": self.restored.config.use_te,
             "cold_start": self.restored.embeddings is not None,
+            "prior_head": self.prior is not None,
             "freeze_seconds": self.freeze_seconds,
         }

@@ -1,0 +1,147 @@
+"""Cheap prior head: the last rung of the degradation chain (DESIGN §13).
+
+When the full CATE-HGN forward is unavailable (circuit breaker open) and
+the prediction cache misses, the service still answers with a *prior*
+score — a tiny closed-form ridge regression over the three structural
+signals the paper's RankClus narrative names as the drivers of impact:
+
+- **author prestige**: mean training-label of each author's labeled
+  papers, averaged over a paper's authors;
+- **venue authority**: mean training-label of each venue's labeled
+  papers;
+- **reference authority**: ``log1p`` of the paper's citation in-degree
+  in the training graph.
+
+The head is fitted **at checkpoint save time** from the training graph
+and labels, and its per-paper scores are baked into the checkpoint
+(``extra/prior_scores``), so serving a prior answer costs one array
+gather — no model, no message passing, no tape.  Old checkpoints
+without the extras get a deterministic refit from their graph sidecar
+at restore time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from ..hetnet.schema import AUTHOR, PAPER, VENUE
+
+FEATURE_NAMES = ("author_prestige", "venue_authority", "log1p_in_cites",
+                 "bias")
+
+_RIDGE_LAMBDA = 1e-3
+
+
+def _group_mean(group_ids: np.ndarray, values: np.ndarray, num_groups: int,
+                fallback: float) -> np.ndarray:
+    """Mean of ``values`` per group id; ``fallback`` for empty groups."""
+    sums = np.bincount(group_ids, weights=values, minlength=num_groups)
+    counts = np.bincount(group_ids, minlength=num_groups)
+    means = np.full(num_groups, fallback, dtype=np.float64)
+    nonzero = counts > 0
+    means[nonzero] = sums[nonzero] / counts[nonzero]
+    return means
+
+
+@dataclass
+class PriorHead:
+    """Per-paper prior scores + the ridge weights that produced them."""
+
+    scores: np.ndarray   # (num_papers,) — denormalized, clipped >= 0
+    weights: np.ndarray  # (4,) ridge solution over FEATURE_NAMES
+
+    @property
+    def num_papers(self) -> int:
+        return len(self.scores)
+
+    def predict(self, paper_ids: Sequence[int]) -> np.ndarray:
+        ids = np.asarray(paper_ids, dtype=np.intp).reshape(-1)
+        if len(ids) and (ids.min() < 0 or ids.max() >= self.num_papers):
+            raise IndexError(
+                f"paper id out of range [0, {self.num_papers})"
+            )
+        return self.scores[ids]
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def fit(cls, graph, labeled_ids: np.ndarray,
+            labels: np.ndarray) -> "PriorHead":
+        """Closed-form ridge fit from the training graph + raw labels.
+
+        Deterministic: same graph + labels always give the same head, so
+        save-time baking and restore-time refitting agree bitwise.
+        """
+        labeled_ids = np.asarray(labeled_ids, dtype=np.intp)
+        labels = np.asarray(labels, dtype=np.float64)
+        num_papers = graph.num_nodes[PAPER]
+        global_mean = float(labels.mean()) if len(labels) else 0.0
+
+        paper_label = np.full(num_papers, global_mean, dtype=np.float64)
+        paper_label[labeled_ids] = labels
+
+        # Author prestige: mean label of each author's labeled papers,
+        # spread back to papers as the mean over their authors.
+        author_score = np.full(num_papers, global_mean, dtype=np.float64)
+        wb = graph.edges.get((PAPER, "written_by", AUTHOR))
+        if wb is not None and wb.num_edges:
+            labeled_mask = np.zeros(num_papers, dtype=bool)
+            labeled_mask[labeled_ids] = True
+            on_labeled = labeled_mask[wb.src]
+            per_author = _group_mean(
+                wb.dst[on_labeled], paper_label[wb.src[on_labeled]],
+                graph.num_nodes[AUTHOR], global_mean,
+            )
+            author_score = _group_mean(
+                wb.src, per_author[wb.dst], num_papers, global_mean
+            )
+
+        # Venue authority: mean label of each venue's labeled papers.
+        venue_score = np.full(num_papers, global_mean, dtype=np.float64)
+        pv = graph.edges.get((PAPER, "published_in", VENUE))
+        if pv is not None and pv.num_edges:
+            labeled_mask = np.zeros(num_papers, dtype=bool)
+            labeled_mask[labeled_ids] = True
+            on_labeled = labeled_mask[pv.src]
+            per_venue = _group_mean(
+                pv.dst[on_labeled], paper_label[pv.src[on_labeled]],
+                graph.num_nodes[VENUE], global_mean,
+            )
+            venue_score = _group_mean(
+                pv.src, per_venue[pv.dst], num_papers, global_mean
+            )
+
+        # Reference authority: in-citation count (cites src = cited).
+        in_cites = np.zeros(num_papers, dtype=np.float64)
+        cites = graph.edges.get((PAPER, "cites", PAPER))
+        if cites is not None and cites.num_edges:
+            in_cites = np.bincount(cites.src,
+                                   minlength=num_papers).astype(np.float64)
+
+        features = np.stack([author_score, venue_score, np.log1p(in_cites),
+                             np.ones(num_papers)], axis=1)
+        x = features[labeled_ids]
+        gram = x.T @ x + _RIDGE_LAMBDA * np.eye(x.shape[1])
+        weights = np.linalg.solve(gram, x.T @ labels)
+        scores = np.maximum(features @ weights, 0.0)
+        return cls(scores=scores, weights=weights)
+
+    # ------------------------------------------------------------------
+    # Checkpoint (de)serialization
+    # ------------------------------------------------------------------
+    def to_extras(self) -> Dict[str, np.ndarray]:
+        return {"prior_scores": self.scores, "prior_weights": self.weights}
+
+    @classmethod
+    def from_extras(cls, extras: Dict[str, np.ndarray]
+                    ) -> Optional["PriorHead"]:
+        if "prior_scores" not in extras:
+            return None
+        return cls(
+            scores=np.asarray(extras["prior_scores"], dtype=np.float64),
+            weights=np.asarray(extras.get(
+                "prior_weights", np.zeros(len(FEATURE_NAMES))
+            ), dtype=np.float64),
+        )

@@ -45,6 +45,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Dict, Optional, Tuple
 from urllib.parse import parse_qs, urlparse
 
+from .degrade import ReloadRejected, ServingRuntime
 from .engine import InferenceEngine
 from .metrics import ServiceMetrics
 
@@ -118,8 +119,14 @@ class PredictionHandler(BaseHTTPRequestHandler):
 
     # ------------------------------------------------------------------
     @property
+    def runtime(self) -> ServingRuntime:
+        return self.server.runtime  # type: ignore[attr-defined]
+
+    @property
     def engine(self) -> InferenceEngine:
-        return self.server.engine  # type: ignore[attr-defined]
+        # Always read through the runtime: a hot reload swaps the engine
+        # under us and every handler must see the new one immediately.
+        return self.runtime.engine
 
     @property
     def metrics(self) -> ServiceMetrics:
@@ -260,6 +267,8 @@ class PredictionHandler(BaseHTTPRequestHandler):
             self._dispatch("/predict", self._handle_predict_post)
         elif parsed.path == "/rank":
             self._dispatch("/rank", self._handle_rank)
+        elif parsed.path == "/admin/reload":
+            self._dispatch("/admin/reload", self._handle_reload)
         else:
             self._dispatch(parsed.path, self._not_found)
 
@@ -269,11 +278,14 @@ class PredictionHandler(BaseHTTPRequestHandler):
 
     def _handle_healthz(self) -> Tuple[dict, int]:
         saturated = self.limiter.saturated
-        status = "degraded" if saturated else "ok"
+        breaker_state = self.runtime.breaker.state
+        status = ("degraded" if saturated or breaker_state != "closed"
+                  else "ok")
         return {
             "status": status,
             "inflight": self.limiter.in_use,
             "inflight_limit": self.limiter.limit,
+            "breaker": breaker_state,
             **self.engine.info(),
         }, 200
 
@@ -282,6 +294,8 @@ class PredictionHandler(BaseHTTPRequestHandler):
         snapshot["cache"] = self.engine.cache.stats()
         snapshot["inflight"] = self.limiter.in_use
         snapshot["inflight_limit"] = self.limiter.limit
+        # Breaker state + per-source fallback counters (DESIGN §13).
+        snapshot.update(self.runtime.snapshot())
         return snapshot, 200
 
     def _handle_predict_query(self, query: dict) -> Tuple[dict, int]:
@@ -313,13 +327,35 @@ class PredictionHandler(BaseHTTPRequestHandler):
 
     def _predict_ids(self, ids) -> Tuple[dict, int]:
         try:
-            preds = self.engine.predict(ids)
+            result = self.runtime.predict(ids)
         except (IndexError, TypeError, ValueError) as exc:
             raise ServiceError(400, str(exc)) from exc
         return {
             "paper_ids": [int(i) for i in ids],
-            "predictions": [float(p) for p in preds],
+            "predictions": [float(p) for p in result["predictions"]],
+            "source": result["source"],
+            "degraded": result["degraded"],
         }, 200
+
+    def _handle_reload(self) -> Tuple[dict, int]:
+        """Hot checkpoint reload behind the shadow-validation gate.
+
+        A rejected candidate (corrupt file, contract violation, golden
+        parity failure) returns ``409`` with the reason — and the old
+        engine keeps serving; the reload is atomic on success.
+        """
+        body = self._read_json()
+        path = body.get("path")
+        if not isinstance(path, str) or not path:
+            raise ServiceError(400, "body must contain a checkpoint path")
+        try:
+            result = self.runtime.reload(path)
+        except ReloadRejected as exc:
+            payload = {"reloaded": False, "error": exc.reason}
+            if exc.report is not None:
+                payload["report"] = exc.report
+            return payload, 409
+        return result, 200
 
     def _handle_rank(self) -> Tuple[dict, int]:
         body = self._read_json()
@@ -348,6 +384,11 @@ class ResilientHTTPServer(ThreadingHTTPServer):
     DISCONNECT_ERRORS = (BrokenPipeError, ConnectionResetError,
                          TimeoutError)
 
+    @property
+    def engine(self) -> InferenceEngine:
+        """The live engine, read through the runtime (hot-reload aware)."""
+        return self.runtime.engine  # type: ignore[attr-defined]
+
     def handle_error(self, request, client_address) -> None:
         import sys
 
@@ -363,11 +404,19 @@ class ResilientHTTPServer(ThreadingHTTPServer):
 def make_server(engine: InferenceEngine, host: str = "127.0.0.1",
                 port: int = 0, verbose: bool = False,
                 metrics: Optional[ServiceMetrics] = None,
-                limits: Optional[ServiceLimits] = None
+                limits: Optional[ServiceLimits] = None,
+                runtime: Optional[ServingRuntime] = None
                 ) -> ThreadingHTTPServer:
-    """Build (but do not start) the HTTP server; ``port=0`` = ephemeral."""
+    """Build (but do not start) the HTTP server; ``port=0`` = ephemeral.
+
+    ``runtime`` optionally supplies a pre-configured
+    :class:`~repro.serve.degrade.ServingRuntime` (custom breaker
+    thresholds, model deadline); by default the engine is wrapped in one
+    with standard settings.  The server's ``engine`` attribute always
+    reflects the runtime's *current* engine, including after hot reloads.
+    """
     server = ResilientHTTPServer((host, port), PredictionHandler)
-    server.engine = engine  # type: ignore[attr-defined]
+    server.runtime = runtime or ServingRuntime(engine)  # type: ignore[attr-defined]
     server.metrics = metrics or ServiceMetrics()  # type: ignore[attr-defined]
     server.limits = limits or ServiceLimits()  # type: ignore[attr-defined]
     server.limiter = InflightLimiter(  # type: ignore[attr-defined]

@@ -279,6 +279,50 @@ class TestR005:
 
 
 # ----------------------------------------------------------------------
+# R006
+# ----------------------------------------------------------------------
+R006_BAD = '''\
+def validate(ids, limit):
+    assert len(ids) > 0, "ids must be non-empty"
+    assert max(ids) < limit
+    return ids
+'''
+
+R006_SUPPRESSED = '''\
+def internal(x):
+    assert x.flags.c_contiguous  # noqa: R006 — internal invariant
+    return x
+'''
+
+
+class TestR006:
+    def test_flags_bare_asserts_in_library_scope(self):
+        r006 = [v for v in lint_str(R006_BAD, path="src/repro/data/io.py")
+                if v.rule == "R006"]
+        assert sorted(v.line for v in r006) == [2, 3]
+        assert all("python -O" in v.message for v in r006)
+
+    def test_out_of_scope_paths_untouched(self):
+        """pytest-style asserts in tests/benchmarks/examples are fine."""
+        for path in ("tests/test_x.py", "benchmarks/perf.py",
+                     "examples/demo.py", "fixture.py"):
+            assert [v for v in lint_str(R006_BAD, path=path)
+                    if v.rule == "R006"] == []
+
+    def test_noqa_r006_suppresses(self):
+        violations = lint_str(R006_SUPPRESSED, path="src/repro/x.py")
+        assert [v for v in violations if v.rule == "R006"] == []
+
+    def test_select_r006_only(self, tmp_path):
+        pkg = tmp_path / "src" / "repro"
+        pkg.mkdir(parents=True)
+        f = pkg / "mod.py"
+        f.write_text(R006_BAD)
+        violations = lint_paths([str(f)], rules={"R006"})
+        assert rules_of(violations) == ["R006"]
+
+
+# ----------------------------------------------------------------------
 # Driver / CLI
 # ----------------------------------------------------------------------
 class TestDriver:
@@ -303,7 +347,8 @@ class TestDriver:
         assert violations and violations[0].rule == "R000"
 
     def test_rule_catalogue_complete(self):
-        assert set(RULES) == {"R001", "R002", "R003", "R004", "R005"}
+        assert set(RULES) == {"R001", "R002", "R003", "R004", "R005",
+                              "R006"}
 
     def test_module_entrypoint_runs(self, tmp_path):
         """`python -m repro.analysis.lint <file>` works and sets exit code."""

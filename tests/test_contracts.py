@@ -1,0 +1,305 @@
+"""Unit tests for the contract layer (DESIGN §13).
+
+Complements ``test_contracts_fuzz.py`` (randomized mutation round-trips)
+with targeted coverage of the policy front door, the report format, the
+batch-level checks C010-C012, and the three integration points: the
+``load_graph`` policy parameter, ``GraphBatch.from_graph(validate=...)``,
+and the ``CATEHGN.fit`` quarantine event.
+"""
+
+import json
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.contracts import (
+    POLICIES,
+    ContractViolation,
+    ContractWarning,
+    Finding,
+    ValidationReport,
+    check_batch,
+    check_graph,
+    validate_batch,
+    validate_graph,
+)
+from repro.core.hgn import GraphBatch
+from repro.core import CATEHGN, CATEHGNConfig
+from repro.data import (
+    TextArtifacts,
+    generate_world,
+    load_graph,
+    make_dblp_full,
+    save_graph,
+)
+from repro.hetnet.graph import EdgeArray
+from repro.hetnet.schema import PAPER
+
+from .conftest import tiny_config
+from .test_contracts_fuzz import _clone
+
+CITES = (PAPER, "cites", PAPER)
+
+_WORLD = generate_world(tiny_config(num_papers=80, num_authors=30))
+_DATASET = make_dblp_full(world=_WORLD,
+                          text=TextArtifacts.fit(_WORLD, dim=8))
+
+
+def _dangle(graph):
+    """Append one dangling cites edge in place."""
+    edge = graph.edges[CITES]
+    graph.edges[CITES] = EdgeArray(
+        np.append(edge.src, graph.num_nodes[PAPER] + 3),
+        np.append(edge.dst, 0),
+        np.append(edge.weight, 1.0))
+    graph._topology_version += 1
+    return graph
+
+
+def _batch(graph, **kwargs):
+    ds = _DATASET
+    return GraphBatch.from_graph(graph, ds.train_idx,
+                                 ds.labels[ds.train_idx], **kwargs)
+
+
+# ----------------------------------------------------------------------
+# Policy front door
+# ----------------------------------------------------------------------
+class TestPolicies:
+    def test_unknown_policy_rejected(self):
+        graph = _clone(_DATASET.graph)
+        with pytest.raises(ValueError, match="unknown validation policy"):
+            validate_graph(graph, policy="paranoid")
+        assert POLICIES == ("strict", "repair", "warn")
+
+    def test_clean_graph_identity_under_every_policy(self):
+        graph = _clone(_DATASET.graph)
+        for policy in POLICIES:
+            out, report = validate_graph(graph, policy=policy)
+            assert out is graph
+            assert report.ok
+
+    def test_strict_raises_with_report_attached(self):
+        graph = _dangle(_clone(_DATASET.graph))
+        with pytest.raises(ContractViolation) as excinfo:
+            validate_graph(graph, policy="strict", subject="unit graph")
+        report = excinfo.value.report
+        assert "C002" in report.codes()
+        assert report.subject == "unit graph"
+        assert "C002" in str(excinfo.value)
+
+    def test_warn_returns_input_and_warns_once(self):
+        graph = _dangle(_clone(_DATASET.graph))
+        with pytest.warns(ContractWarning) as captured:
+            out, report = validate_graph(graph, policy="warn")
+        assert out is graph
+        assert report.has_errors
+        assert len(captured) == 1
+
+    def test_repair_rebuilds_and_counts(self):
+        graph = _dangle(_clone(_DATASET.graph))
+        before = graph.edges[CITES].num_edges
+        fixed, report = validate_graph(graph, policy="repair")
+        assert fixed is not graph
+        assert report.repaired.get("C002") == 1
+        assert fixed.edges[CITES].num_edges == before - 1
+        assert check_graph(fixed).ok
+
+
+# ----------------------------------------------------------------------
+# Report format
+# ----------------------------------------------------------------------
+class TestReport:
+    def test_summary_counts_and_codes(self):
+        report = ValidationReport(subject="graph")
+        report.add("C002", "error", "paper-cites->paper", 3, "dangling")
+        report.add("C008", "info", "paper.names", 1, "dup names")
+        assert report.summary() == "graph: 1 error, 1 info (C002 C008)"
+        assert report.has_errors and not report.ok
+
+    def test_clean_summary(self):
+        assert ValidationReport(subject="x").summary() == "x: clean"
+
+    def test_to_dict_json_safe(self):
+        report = ValidationReport()
+        report.add("C005", "error", "paper.features", 2, "NaN",
+                   sample=np.array([4, 9]), repair="zero them")
+        report.repaired["C005"] = 2
+        payload = json.loads(json.dumps(report.to_dict()))
+        assert payload["errors"] == 1
+        assert payload["findings"][0]["sample"] == [4, 9]
+        assert payload["repaired"] == {"C005": 2}
+
+    def test_sample_is_bounded(self):
+        finding = Finding("C002", "error", "e", 100, "m",
+                          sample=tuple(range(100)))
+        assert len(finding.sample) == 8  # MAX_SAMPLE
+
+    def test_bad_severity_rejected(self):
+        with pytest.raises(ValueError, match="unknown severity"):
+            Finding("C001", "fatal", "x", 1, "m")
+
+    def test_render_mentions_repair_hint(self):
+        report = ValidationReport()
+        report.add("C004", "error", "paper-cites->paper", 1,
+                   "future citation", repair="drop the edge")
+        assert "repair: drop the edge" in report.render()
+
+
+# ----------------------------------------------------------------------
+# Batch contracts C010-C012
+# ----------------------------------------------------------------------
+class TestBatchContracts:
+    def test_clean_batch_passes(self):
+        batch = _batch(_clone(_DATASET.graph))
+        assert check_batch(batch).ok
+
+    def test_c010_out_of_range_and_duplicate_ids(self):
+        batch = _batch(_clone(_DATASET.graph))
+        ids = batch.labeled_ids.copy()
+        ids[0] = _DATASET.graph.num_nodes[PAPER] + 5
+        ids[2] = ids[1]
+        batch.labeled_ids = ids
+        report = check_batch(batch)
+        assert report.codes() == ["C010"]
+        fixed, rep = validate_batch(batch, policy="repair")
+        assert check_batch(fixed).ok
+        assert len(fixed.labeled_ids) == len(ids) - 2
+        assert rep.repaired.get("C010") == 2
+
+    def test_c011_misaligned_and_nonfinite_labels(self):
+        batch = _batch(_clone(_DATASET.graph))
+        labels = batch.labels.copy()
+        labels[1] = np.nan
+        batch.labels = labels[:-1]
+        report = check_batch(batch)
+        assert report.codes() == ["C011"]
+        fixed, _ = validate_batch(batch, policy="repair")
+        recheck = check_batch(fixed)
+        assert recheck.ok
+        assert len(fixed.labels) == len(fixed.labeled_ids)
+        assert np.isfinite(fixed.labels).all()
+
+    def test_c012_nonfinite_normalized_weight(self):
+        batch = _batch(_clone(_DATASET.graph))
+        src, dst, weight, norm = batch.edges[CITES]
+        norm = norm.copy()
+        norm[0] = np.inf
+        batch.edges[CITES] = (src, dst, weight, norm)
+        report = check_batch(batch)
+        assert "C012" in report.codes()
+        fixed, _ = validate_batch(batch, policy="repair")
+        assert check_batch(fixed).ok
+        assert np.isfinite(fixed.edges[CITES][3]).all()
+
+    def test_strict_batch_raises(self):
+        batch = _batch(_clone(_DATASET.graph))
+        batch.labels = batch.labels[:-1]
+        with pytest.raises(ContractViolation):
+            validate_batch(batch, policy="strict")
+
+
+# ----------------------------------------------------------------------
+# Integration: from_graph(validate=...)
+# ----------------------------------------------------------------------
+class TestFromGraphValidate:
+    def test_clean_validate_is_identity_shape(self):
+        batch = _batch(_clone(_DATASET.graph), validate="strict")
+        assert len(batch.labeled_ids) == len(_DATASET.train_idx)
+
+    def test_bad_labels_strict_raises(self):
+        graph = _clone(_DATASET.graph)
+        ids = np.append(_DATASET.train_idx,
+                        graph.num_nodes[PAPER] + 1)
+        labels = np.append(_DATASET.labels[_DATASET.train_idx], 1.0)
+        with pytest.raises(ContractViolation):
+            GraphBatch.from_graph(graph, ids, labels, validate="strict")
+
+    def test_bad_labels_repair_quarantines(self):
+        graph = _clone(_DATASET.graph)
+        ids = np.append(_DATASET.train_idx,
+                        graph.num_nodes[PAPER] + 1)
+        labels = np.append(_DATASET.labels[_DATASET.train_idx], 1.0)
+        batch = GraphBatch.from_graph(graph, ids, labels,
+                                      validate="repair")
+        assert len(batch.labeled_ids) == len(_DATASET.train_idx)
+        assert check_batch(batch).ok
+
+    def test_validate_none_skips_checks(self):
+        graph = _clone(_DATASET.graph)
+        ids = np.array([graph.num_nodes[PAPER] + 1], dtype=np.intp)
+        batch = GraphBatch.from_graph(graph, ids, np.array([1.0]))
+        assert not check_batch(batch).ok  # poison survived: no validation
+
+
+# ----------------------------------------------------------------------
+# Integration: load_graph(policy=...)
+# ----------------------------------------------------------------------
+class TestLoadGraphPolicy:
+    @pytest.fixture()
+    def poisoned_export(self, tmp_path):
+        graph = _dangle(_clone(_DATASET.graph))
+        base = tmp_path / "poisoned"
+        save_graph(graph, base)
+        return base
+
+    def test_legacy_none_policy_raises_valueerror(self, poisoned_export):
+        with pytest.raises(ValueError):
+            load_graph(poisoned_export)
+
+    def test_strict_policy_raises_contract_violation(self, poisoned_export):
+        with pytest.raises(ContractViolation) as excinfo:
+            load_graph(poisoned_export, policy="strict")
+        assert "C002" in excinfo.value.report.codes()
+
+    def test_repair_policy_returns_clean_graph(self, poisoned_export):
+        graph = load_graph(poisoned_export, policy="repair")
+        assert check_graph(graph).ok
+        graph.validate()
+
+    def test_warn_policy_returns_poisoned_graph(self, poisoned_export):
+        with pytest.warns(ContractWarning):
+            graph = load_graph(poisoned_export, policy="warn")
+        assert not check_graph(graph).ok
+
+    def test_clean_roundtrip_under_strict(self, tmp_path):
+        base = tmp_path / "clean"
+        save_graph(_clone(_DATASET.graph), base)
+        graph = load_graph(base, policy="strict")
+        assert check_graph(graph).ok
+
+
+# ----------------------------------------------------------------------
+# Integration: CATEHGN.fit quarantine event
+# ----------------------------------------------------------------------
+def _fast_config():
+    return CATEHGNConfig(dim=8, num_layers=1, outer_iters=1, mini_iters=1,
+                         center_iters=1, kappa=8, num_clusters=3,
+                         patience=5, seed=0)
+
+
+class TestFitQuarantine:
+    def test_poisoned_fit_records_one_quarantine_event(self):
+        from dataclasses import replace
+
+        poisoned = replace(_DATASET, graph=_dangle(_clone(_DATASET.graph)))
+        est = CATEHGN(_fast_config()).fit(poisoned, validate="repair")
+        events = [e for e in est.history.events
+                  if e.get("type") == "quarantine"]
+        assert len(events) == 1
+        assert events[0]["policy"] == "repair"
+        assert events[0]["report"]["repaired"] == {"C002": 1}
+        json.dumps(events[0])  # JSON-safe end to end
+
+    def test_clean_fit_records_no_quarantine(self):
+        est = CATEHGN(_fast_config()).fit(_DATASET, validate="repair")
+        assert not [e for e in est.history.events
+                    if e.get("type") == "quarantine"]
+
+    def test_strict_fit_refuses_poisoned_dataset(self):
+        from dataclasses import replace
+
+        poisoned = replace(_DATASET, graph=_dangle(_clone(_DATASET.graph)))
+        with pytest.raises(ContractViolation):
+            CATEHGN(_fast_config()).fit(poisoned, validate="strict")

@@ -1,0 +1,208 @@
+"""Seeded property-based fuzz of the contract layer (DESIGN §13).
+
+Six mutation operators — drop-node, dangle-edge, future-cite,
+NaN-feature, duplicate-edge, type-swap — are applied at
+hypothesis-chosen positions of a clean generator graph.  Two properties
+must hold for *every* mutation:
+
+1. **detection** — the ``strict`` policy raises ``ContractViolation``
+   and the report contains the mutation's contract code;
+2. **round-trip** — the ``repair`` policy returns a graph whose
+   re-check is clean (zero error findings) and that still passes the
+   construction-time ``HeteroGraph.validate``.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.contracts import (
+    ContractViolation,
+    check_graph,
+    validate_graph,
+)
+from repro.data import TextArtifacts, generate_world, make_dblp_full
+from repro.hetnet.graph import EdgeArray, HeteroGraph
+from repro.hetnet.schema import PAPER
+
+from .conftest import tiny_config
+
+CITES = (PAPER, "cites", PAPER)
+
+# One clean base graph for the whole module; every fuzz case clones it.
+_WORLD = generate_world(tiny_config(num_papers=80, num_authors=30))
+_BASE = make_dblp_full(world=_WORLD,
+                       text=TextArtifacts.fit(_WORLD, dim=8)).graph
+
+
+def _clone(graph: HeteroGraph) -> HeteroGraph:
+    """Deep-enough copy: fuzz mutations must never leak across cases."""
+    g = HeteroGraph(graph.schema)
+    g.num_nodes = dict(graph.num_nodes)
+    g.node_names = {t: list(v) for t, v in graph.node_names.items()}
+    g.node_features = {t: f.copy() for t, f in graph.node_features.items()}
+    g.node_attrs = {t: {k: v.copy() for k, v in attrs.items()}
+                    for t, attrs in graph.node_attrs.items()}
+    g.edges = {k: EdgeArray(e.src.copy(), e.dst.copy(), e.weight.copy())
+               for k, e in graph.edges.items()}
+    g._topology_version += 1
+    return g
+
+
+# ----------------------------------------------------------------------
+# Mutation operators: (graph, rng) -> expected contract code, or None if
+# the mutation was infeasible at the drawn position (case is skipped).
+# ----------------------------------------------------------------------
+def _mut_drop_node(graph: HeteroGraph, rng: np.random.Generator):
+    """Shrink a node count without trimming rows: C007 shape mismatch."""
+    t = str(rng.choice(list(graph.schema.node_types)))
+    if graph.num_nodes[t] < 2:
+        return None
+    graph.num_nodes[t] -= 1
+    graph._topology_version += 1
+    return "C007"
+
+
+def _mut_dangle_edge(graph: HeteroGraph, rng: np.random.Generator):
+    """Point one endpoint past its node count: C002 dangling."""
+    keys = [k for k, e in graph.edges.items() if e.num_edges]
+    key = keys[rng.integers(len(keys))]
+    edge = graph.edges[key]
+    i = int(rng.integers(edge.num_edges))
+    side = "src" if rng.integers(2) else "dst"
+    node_type = key[0] if side == "src" else key[2]
+    getattr(edge, side)[i] = graph.num_nodes[node_type] + int(
+        rng.integers(1, 10))
+    graph._topology_version += 1
+    return "C002"
+
+
+def _mut_future_cite(graph: HeteroGraph, rng: np.random.Generator):
+    """Append a citation whose cited year is later: C004 temporal."""
+    years = np.asarray(graph.node_attrs[PAPER]["year"])
+    order = np.argsort(years, kind="stable")
+    lo, hi = int(order[0]), int(order[-1])
+    if years[hi] <= years[lo]:
+        return None  # all papers share a year; no future edge possible
+    edge = graph.edges[CITES]
+    graph.edges[CITES] = EdgeArray(
+        np.append(edge.src, hi), np.append(edge.dst, lo),
+        np.append(edge.weight, 1.0))
+    graph._topology_version += 1
+    return "C004"
+
+
+def _mut_nan_feature(graph: HeteroGraph, rng: np.random.Generator):
+    """Poison one feature entry with NaN/Inf: C005."""
+    t = str(rng.choice(list(graph.node_features)))
+    feats = graph.node_features[t]
+    if feats.size == 0:
+        return None
+    row = int(rng.integers(feats.shape[0]))
+    col = int(rng.integers(feats.shape[1]))
+    feats[row, col] = np.nan if rng.integers(2) else np.inf
+    return "C005"
+
+
+def _mut_dup_edge(graph: HeteroGraph, rng: np.random.Generator):
+    """Append a copy of an existing edge: C003 duplicate pair."""
+    keys = [k for k, e in graph.edges.items() if e.num_edges]
+    key = keys[rng.integers(len(keys))]
+    edge = graph.edges[key]
+    i = int(rng.integers(edge.num_edges))
+    graph.edges[key] = EdgeArray(
+        np.append(edge.src, edge.src[i]),
+        np.append(edge.dst, edge.dst[i]),
+        np.append(edge.weight, edge.weight[i]))
+    graph._topology_version += 1
+    return "C003"
+
+
+def _mut_type_swap(graph: HeteroGraph, rng: np.random.Generator):
+    """Re-key an edge type with swapped endpoint types: C001 schema."""
+    candidates = [k for k in graph.edges
+                  if not graph.schema.has_edge_type((k[2], k[1], k[0]))]
+    if not candidates:
+        return None
+    key = candidates[rng.integers(len(candidates))]
+    graph.edges[(key[2], key[1], key[0])] = graph.edges.pop(key)
+    graph._topology_version += 1
+    return "C001"
+
+
+MUTATIONS = {
+    "drop_node": _mut_drop_node,
+    "dangle_edge": _mut_dangle_edge,
+    "future_cite": _mut_future_cite,
+    "nan_feature": _mut_nan_feature,
+    "dup_edge": _mut_dup_edge,
+    "type_swap": _mut_type_swap,
+}
+
+
+# ----------------------------------------------------------------------
+# Properties
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("name", sorted(MUTATIONS))
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_mutation_detected_and_round_trips(name, seed):
+    rng = np.random.default_rng(seed)
+    graph = _clone(_BASE)
+    code = MUTATIONS[name](graph, rng)
+    if code is None:
+        return  # infeasible at this drawn position
+
+    # Property 1: strict detects the mutation with the right code.
+    with pytest.raises(ContractViolation) as excinfo:
+        validate_graph(graph, policy="strict")
+    assert code in excinfo.value.report.codes(), (
+        f"{name}: expected {code} in {excinfo.value.report.codes()}")
+
+    # Property 2: repair round-trips to a clean, constructible graph.
+    repaired, report = validate_graph(graph, policy="repair")
+    assert report.has_errors  # it did find (and fix) something
+    recheck = check_graph(repaired)
+    assert not recheck.has_errors, recheck.render()
+    repaired.validate()  # construction-time invariants hold too
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000),
+       picks=st.lists(st.sampled_from(sorted(MUTATIONS)), min_size=2,
+                      max_size=4))
+def test_stacked_mutations_round_trip(seed, picks):
+    """Several simultaneous corruptions still repair to a clean graph.
+
+    Stacked mutations can *mask* each other's codes — e.g. drop_node
+    shrinks ``num_nodes`` so a subsequently appended future-cite edge
+    is reported as C002 dangling instead of C004 — so the detection
+    property here is "strict raises and reports at least one of the
+    injected classes", not full code coverage (that is the
+    single-mutation test's job).  The round-trip property stays exact.
+    """
+    rng = np.random.default_rng(seed)
+    graph = _clone(_BASE)
+    applied = [MUTATIONS[name](graph, rng) for name in picks]
+    codes = {c for c in applied if c is not None}
+    if not codes:
+        return
+
+    with pytest.raises(ContractViolation) as excinfo:
+        validate_graph(graph, policy="strict")
+    assert codes & set(excinfo.value.report.codes())
+
+    repaired, _ = validate_graph(graph, policy="repair")
+    recheck = check_graph(repaired)
+    assert not recheck.has_errors, recheck.render()
+    repaired.validate()
+
+
+def test_clean_graph_is_identity():
+    """No findings on clean data — and repair returns the same object."""
+    graph = _clone(_BASE)
+    report = check_graph(graph)
+    assert not report.has_errors
+    out, _ = validate_graph(graph, policy="repair")
+    assert out is graph

@@ -81,6 +81,23 @@ def test_golden_tiny_headline(tiny_dataset):
     assert got_rmse < baseline_rmse
 
 
+def test_golden_repair_validation_neutral(tiny_dataset):
+    """``fit(..., validate="repair")`` on clean data is trajectory-neutral.
+
+    The contract layer returns a clean graph by identity (DESIGN §13),
+    so switching validation on must reproduce the frozen golden metrics
+    bit-for-bit-within-TOL and record zero quarantine events.
+    """
+    model = CATEHGN(_tiny_model_config()).fit(tiny_dataset,
+                                              validate="repair")
+    preds = model.predict(tiny_dataset)[tiny_dataset.test_idx]
+    truth = tiny_dataset.labels[tiny_dataset.test_idx]
+    assert mae(truth, preds) == pytest.approx(GOLDEN_TINY_MAE, abs=TOL)
+    assert rmse(truth, preds) == pytest.approx(GOLDEN_TINY_RMSE, abs=TOL)
+    assert not [e for e in model.history.events
+                if e.get("type") == "quarantine"]
+
+
 @pytest.mark.slow
 def test_golden_bench_table2_headline():
     """Table-II headline at BENCH_WORLD scale (minutes; run via
