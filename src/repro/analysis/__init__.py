@@ -7,8 +7,14 @@ Three pillars (see ``DESIGN.md`` — "Correctness toolchain"):
 - :mod:`repro.analysis.anomaly` — opt-in runtime tape sanitizer
   (:func:`detect_anomaly`) catching NaN/Inf at the producing op, reused
   tapes, and unused parameters;
-- :mod:`repro.analysis.lint` — repo-specific AST lint (rules R001-R004),
-  runnable as ``python -m repro.analysis.lint src/`` or ``repro-lint``.
+- :mod:`repro.analysis.lint` — repo-specific AST lint (rules R001-R006),
+  runnable as ``python -m repro.analysis.lint src/`` or ``repro-lint``;
+- :mod:`repro.analysis.concurrency` — lock-discipline analysis: static
+  rules A001-A004 plus the tsan-lite runtime detector
+  (:func:`detect_races`, :class:`InstrumentedLock`).
+
+``python -m repro.analysis gate`` runs lint + concurrency in one shot
+(exit codes: 0 clean, 1 lint, 2 concurrency, 3 both).
 """
 
 from .anomaly import (
@@ -39,7 +45,21 @@ __all__ = [
     "lint_paths",
     "Violation",
     "RULES",
+    "analyze_paths",
+    "ARULES",
+    "detect_races",
+    "InstrumentedLock",
+    "RaceDetector",
 ]
+
+_CONCURRENCY_NAMES = (
+    "analyze_paths",
+    "ARULES",
+    "detect_races",
+    "InstrumentedLock",
+    "RaceDetector",
+    "concurrency",
+)
 
 
 def __getattr__(name):
@@ -52,4 +72,12 @@ def __getattr__(name):
         if name == "lint":
             return lint
         return getattr(lint, name)
+    # `concurrency` is lazy for the same reason (it imports lint) and to
+    # keep plain `import repro.analysis` free of threading machinery.
+    if name in _CONCURRENCY_NAMES:
+        from . import concurrency
+
+        if name == "concurrency":
+            return concurrency
+        return getattr(concurrency, name)
     raise AttributeError(f"module 'repro.analysis' has no attribute {name!r}")

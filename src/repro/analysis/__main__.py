@@ -1,0 +1,171 @@
+"""``python -m repro.analysis`` — the unified static-analysis gate.
+
+Subcommands
+-----------
+``gate`` (default)
+    Run repro-lint (R-rules) **and** the concurrency analyzer (A-rules)
+    over the tree in one shot.  Exit codes are diagnosable at a glance:
+
+    == =================================================
+    0  clean
+    1  lint violations only
+    2  concurrency violations only
+    3  both
+    == =================================================
+
+``lint`` / ``concurrency``
+    Run one prong alone (same as ``python -m repro.analysis.lint`` /
+    ``python -m repro.analysis.concurrency``).
+
+A shared ``--select``/``--ignore`` accepts a mixed rule list; codes are
+routed to the prong that owns them (``R...`` → lint, ``A...`` →
+concurrency).  Selecting only one prong's rules skips the other prong
+entirely.  ``--format json`` emits a combined machine-readable report::
+
+    {"lint": {...}, "concurrency": {...}, "exit_code": N}
+
+The tier-1 suite invokes ``gate`` so the tree stays at zero violations.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence, Set
+
+from repro.analysis.concurrency.static import ARULES, analyze_paths
+from repro.analysis.lint import RULES, lint_paths, resolve_rules
+
+#: Directories the gate covers when no paths are given, relative to the
+#: repo root (located from this file; missing ones are skipped so the
+#: gate also works on installed copies that ship only ``src``).
+DEFAULT_ROOTS = ("src", "benchmarks", "examples")
+
+
+def _default_paths() -> List[str]:
+    repo_root = Path(__file__).resolve().parents[3]
+    found = [
+        str(repo_root / name)
+        for name in DEFAULT_ROOTS
+        if (repo_root / name).is_dir()
+    ]
+    return found or [str(Path(__file__).resolve().parents[1])]
+
+
+def run_gate(
+    paths: Sequence[str],
+    select: Optional[str] = None,
+    ignore: Optional[str] = None,
+    fmt: str = "text",
+    out=None,
+) -> int:
+    """Run both prongs; returns the combined exit code (0/1/2/3)."""
+    out = out if out is not None else sys.stdout
+    missing = [p for p in paths if not Path(p).exists()]
+    if missing:
+        raise SystemExit(f"no such file or directory: {missing}")
+    lint_rules, unknown_r = resolve_rules(select, ignore, RULES)
+    conc_rules, unknown_a = resolve_rules(select, ignore, ARULES)
+    # A token must belong to at least one catalogue.
+    unknown = unknown_r & unknown_a
+    if unknown:
+        raise SystemExit(f"unknown rules: {sorted(unknown)}")
+
+    run_lint = lint_rules is None or bool(lint_rules)
+    run_conc = conc_rules is None or bool(conc_rules)
+    lint_violations = (
+        lint_paths(paths, rules=lint_rules) if run_lint else []
+    )
+    conc_violations = (
+        analyze_paths(paths, rules=conc_rules) if run_conc else []
+    )
+
+    code = (1 if lint_violations else 0) | (2 if conc_violations else 0)
+    if fmt == "json":
+        print(
+            json.dumps(
+                {
+                    "lint": {
+                        "count": len(lint_violations),
+                        "violations": [v.to_dict() for v in lint_violations],
+                    },
+                    "concurrency": {
+                        "count": len(conc_violations),
+                        "violations": [v.to_dict() for v in conc_violations],
+                    },
+                    "exit_code": code,
+                },
+                indent=2,
+            ),
+            file=out,
+        )
+        return code
+    for violation in lint_violations + conc_violations:
+        print(violation, file=out)
+    total = len(lint_violations) + len(conc_violations)
+    if total:
+        print(
+            f"\n{total} violation(s): {len(lint_violations)} lint, "
+            f"{len(conc_violations)} concurrency",
+            file=out,
+        )
+    return code
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    # Route the one-prong subcommands to their own CLIs untouched.
+    if argv and argv[0] == "lint":
+        from repro.analysis import lint as lint_mod
+
+        return lint_mod.main(argv[1:])
+    if argv and argv[0] == "concurrency":
+        from repro.analysis.concurrency import static as conc_mod
+
+        return conc_mod.main(argv[1:])
+    if argv and argv[0] == "gate":
+        argv = argv[1:]
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Unified analysis gate: lint (R-rules) + concurrency "
+        "(A-rules).  Exit codes: 0 clean, 1 lint, 2 concurrency, 3 both.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories (default: src/ benchmarks/ examples/)",
+    )
+    parser.add_argument(
+        "--select", default=None, help="comma-separated R/A rules to run"
+    )
+    parser.add_argument(
+        "--ignore", default=None, help="comma-separated R/A rules to skip"
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        dest="fmt",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print both catalogues"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule, desc in sorted({**RULES, **ARULES}.items()):
+            print(f"{rule}: {desc}")
+        return 0
+
+    paths = args.paths or _default_paths()
+    return run_gate(
+        paths, select=args.select, ignore=args.ignore, fmt=args.fmt
+    )
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,42 @@
+"""Concurrency-correctness toolchain: static lock analysis + tsan-lite.
+
+Two complementary prongs:
+
+* :mod:`repro.analysis.concurrency.static` — whole-program AST analysis
+  of lock discipline (rules A001-A004: guarded-attribute access,
+  deadlock cycles, lock-held blocking calls, re-entrant Lock).
+* :mod:`repro.analysis.concurrency.runtime` — opt-in runtime detector
+  (:class:`InstrumentedLock`, :func:`detect_races`) that validates the
+  *observed* lock order under real threaded load.
+
+CLI: ``python -m repro.analysis.concurrency src/`` for the static prong
+alone, or ``python -m repro.analysis gate`` for lint + concurrency.
+"""
+
+from repro.analysis.concurrency.runtime import (
+    InstrumentedLock,
+    LockHeldIOError,
+    LockOrderError,
+    RaceDetector,
+    RaceError,
+    ReentrantAcquireError,
+    detect_races,
+)
+from repro.analysis.concurrency.static import (
+    ARULES,
+    analyze_paths,
+    analyze_sources,
+)
+
+__all__ = [
+    "ARULES",
+    "InstrumentedLock",
+    "LockHeldIOError",
+    "LockOrderError",
+    "RaceDetector",
+    "RaceError",
+    "ReentrantAcquireError",
+    "analyze_paths",
+    "analyze_sources",
+    "detect_races",
+]

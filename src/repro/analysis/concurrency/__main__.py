@@ -1,0 +1,8 @@
+"""``python -m repro.analysis.concurrency`` — static lock analysis CLI."""
+
+import sys
+
+from repro.analysis.concurrency.static import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,345 @@
+"""tsan-lite: opt-in runtime lock-order and race detection.
+
+The static prong (:mod:`repro.analysis.concurrency.static`) proves lock
+discipline for code it can see; this module catches what static
+analysis cannot — locks created dynamically, call paths through
+callbacks, and third-party code.  It is deliberately tiny: a drop-in
+:class:`InstrumentedLock` plus a :func:`detect_races` context manager
+that, for the duration of a test, records per-thread lock-acquisition
+stacks, assembles the *observed* lock-order graph, and raises
+
+* :class:`LockOrderError` when an acquisition would close a cycle in
+  the observed order graph (the classic AB/BA inversion) — checked
+  *before* blocking, so the test fails with a diagnosis instead of
+  hanging;
+* :class:`ReentrantAcquireError` when a thread re-acquires a
+  non-reentrant lock it already holds (guaranteed deadlock);
+* :class:`LockHeldIOError` when ``time.sleep`` (or any call routed
+  through :meth:`RaceDetector.on_blocking`) runs while the thread holds
+  a lock.
+
+Protocol
+--------
+``detect_races(patch_factories=True)`` installs a process-global
+detector, replaces the ``threading.Lock``/``threading.RLock`` factories
+so locks *created inside the window* are instrumented, and wraps
+``time.sleep``.  Locks created before the window stay raw — the
+detector only sees what it instruments, which keeps the overhead and
+the blast radius opt-in.  CPython's own synchronization internals
+(``Condition`` waiter locks via ``_thread.allocate_lock``) bypass the
+factory and stay raw, so instrumenting inside the stdlib is safe:
+``Condition._is_owned`` probes with ``acquire(blocking=False)``, which
+the reentrancy check deliberately ignores.
+
+Usage::
+
+    with detect_races():
+        run_threaded_workload()     # raises on inversion/reentrancy
+
+    # or collect instead of raising:
+    with detect_races(raise_immediately=False) as det:
+        run_threaded_workload()
+    assert not det.violations
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import traceback
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+__all__ = [
+    "InstrumentedLock",
+    "LockHeldIOError",
+    "LockOrderError",
+    "RaceDetector",
+    "RaceError",
+    "ReentrantAcquireError",
+    "detect_races",
+]
+
+# Captured at import so the detector's own internals use raw primitives
+# even while the module-level factories are monkeypatched.
+_REAL_LOCK = threading.Lock
+_REAL_RLOCK = threading.RLock
+_REAL_SLEEP = time.sleep
+
+
+class RaceError(RuntimeError):
+    """Base class for everything the runtime detector reports."""
+
+
+class LockOrderError(RaceError):
+    """Acquisition would close a cycle in the observed lock-order graph."""
+
+
+class ReentrantAcquireError(RaceError):
+    """A thread re-acquired a non-reentrant lock it already holds."""
+
+
+class LockHeldIOError(RaceError):
+    """A blocking operation ran while the thread held a lock."""
+
+
+def _caller_site(skip: int = 3) -> str:
+    """``file:line`` of the frame that touched the lock API."""
+    stack = traceback.extract_stack(limit=skip + 2)
+    for frame in reversed(stack[:-skip]):
+        if frame.filename != __file__:
+            return f"{frame.filename}:{frame.lineno}"
+    return "<unknown>"
+
+
+class RaceDetector:
+    """Observed lock-order graph plus per-thread held stacks.
+
+    Thread-safe; one instance is shared by every
+    :class:`InstrumentedLock` created inside a :func:`detect_races`
+    window.  Violations either raise immediately (default) or collect
+    into :attr:`violations` for inspection after the window closes.
+    """
+
+    def __init__(self, raise_immediately: bool = True):
+        self.raise_immediately = raise_immediately
+        self.violations: List[RaceError] = []
+        self._mutex = _REAL_LOCK()
+        self._held = threading.local()
+        #: edges lock-id -> set of lock-ids acquired while it was held
+        self._edges: Dict[int, Set[int]] = {}
+        #: lock-id -> (name, first acquisition site) for diagnostics
+        self._names: Dict[int, Tuple[str, str]] = {}
+
+    # -- held-stack bookkeeping ---------------------------------------
+    def _stack(self) -> List[Tuple[int, str, bool]]:
+        stack = getattr(self._held, "stack", None)
+        if stack is None:
+            stack = []
+            self._held.stack = stack
+        return stack
+
+    def _report(self, error: RaceError) -> None:
+        self.violations.append(error)
+        if self.raise_immediately:
+            raise error
+
+    def _describe(self, lock_id: int) -> str:
+        name, site = self._names.get(lock_id, ("<lock>", "<unknown>"))
+        return f"{name} (first acquired at {site})"
+
+    # -- protocol hooks (called by InstrumentedLock) ------------------
+    def before_acquire(
+        self, lock_id: int, name: str, reentrant: bool, blocking: bool
+    ) -> None:
+        """Validate an acquisition *before* it can block.
+
+        Raising here (rather than after the acquire) turns a real
+        deadlock into a diagnosed test failure.
+        """
+        stack = self._stack()
+        held_ids = [lid for lid, _, _ in stack]
+        if lock_id in held_ids:
+            if not reentrant and blocking:
+                self._report(
+                    ReentrantAcquireError(
+                        f"re-entrant acquire of non-reentrant lock "
+                        f"{self._describe(lock_id)} at {_caller_site()}; "
+                        "this thread already holds it (deadlock)"
+                    )
+                )
+            # Non-blocking probe of a held lock is the stdlib
+            # Condition._is_owned idiom; an RLock re-acquire is legal.
+            return
+        with self._mutex:
+            self._names.setdefault(lock_id, (name, _caller_site()))
+            for held in held_ids:
+                if self._reaches(lock_id, held):
+                    self._report(
+                        LockOrderError(
+                            "lock-order inversion: acquiring "
+                            f"{self._describe(lock_id)} while holding "
+                            f"{self._describe(held)} at {_caller_site()}, "
+                            "but the opposite order was already observed "
+                            "(potential deadlock)"
+                        )
+                    )
+
+    def after_acquire(self, lock_id: int, name: str, reentrant: bool) -> None:
+        stack = self._stack()
+        with self._mutex:
+            for held, _, _ in stack:
+                if held != lock_id:
+                    self._edges.setdefault(held, set()).add(lock_id)
+        stack.append((lock_id, name, reentrant))
+
+    def on_release(self, lock_id: int) -> None:
+        stack = self._stack()
+        for i in range(len(stack) - 1, -1, -1):
+            if stack[i][0] == lock_id:
+                del stack[i]
+                return
+        # Released by a thread that never acquired it (cross-thread
+        # hand-off, legal for raw Locks): nothing to unwind.
+
+    def on_blocking(self, description: str) -> None:
+        """Report a blocking call if the current thread holds any lock."""
+        stack = self._stack()
+        if stack:
+            lock_id = stack[-1][0]
+            self._report(
+                LockHeldIOError(
+                    f"{description} while holding "
+                    f"{self._describe(lock_id)} at {_caller_site()}; "
+                    "blocking with a lock held stalls every contending "
+                    "thread"
+                )
+            )
+
+    # -- graph queries ------------------------------------------------
+    def _reaches(self, src: int, dst: int) -> bool:
+        """BFS over recorded edges (caller holds ``_mutex``)."""
+        if src == dst:
+            return True
+        seen = {src}
+        frontier = [src]
+        while frontier:
+            node = frontier.pop()
+            for succ in self._edges.get(node, ()):
+                if succ == dst:
+                    return True
+                if succ not in seen:
+                    seen.add(succ)
+                    frontier.append(succ)
+        return False
+
+    def order_graph(self) -> Dict[str, Set[str]]:
+        """Observed lock-order edges by lock name (for diagnostics)."""
+        with self._mutex:
+            return {
+                self._names.get(src, ("<lock>", ""))[0]: {
+                    self._names.get(dst, ("<lock>", ""))[0] for dst in dsts
+                }
+                for src, dsts in self._edges.items()
+            }
+
+
+class InstrumentedLock:
+    """Drop-in for ``threading.Lock``/``RLock`` that reports to a detector.
+
+    Duck-types the lock protocol (``acquire``/``release``/context
+    manager/``locked``), so it can replace the stdlib factories inside a
+    :func:`detect_races` window or be constructed directly in tests.
+    """
+
+    def __init__(
+        self,
+        name: Optional[str] = None,
+        reentrant: bool = False,
+        detector: Optional[RaceDetector] = None,
+    ):
+        self._inner = _REAL_RLOCK() if reentrant else _REAL_LOCK()
+        self._reentrant = reentrant
+        self._name = name or f"lock@{id(self):#x}"
+        self._detector = detector
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    def _det(self) -> Optional[RaceDetector]:
+        return self._detector if self._detector is not None else _ACTIVE
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        det = self._det()
+        if det is not None:
+            det.before_acquire(id(self), self._name, self._reentrant, blocking)
+        acquired = self._inner.acquire(blocking, timeout)
+        if acquired and det is not None:
+            det.after_acquire(id(self), self._name, self._reentrant)
+        return acquired
+
+    def release(self) -> None:
+        det = self._det()
+        if det is not None:
+            det.on_release(id(self))
+        self._inner.release()
+
+    def locked(self) -> bool:
+        probe = getattr(self._inner, "locked", None)
+        if probe is not None:
+            return bool(probe())
+        # RLock has no locked(); approximate with a non-blocking probe.
+        if self._inner.acquire(blocking=False):
+            self._inner.release()
+            return False
+        return True
+
+    def __enter__(self) -> bool:
+        return self.acquire()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.release()
+
+    def __repr__(self) -> str:
+        kind = "RLock" if self._reentrant else "Lock"
+        return f"<InstrumentedLock {kind} {self._name!r}>"
+
+
+#: Process-global active detector; ``None`` outside detect_races().
+_ACTIVE: Optional[RaceDetector] = None
+
+
+def _guarded_sleep(seconds: float) -> None:
+    det = _ACTIVE
+    if det is not None:
+        det.on_blocking(f"time.sleep({seconds!r})")
+    _REAL_SLEEP(seconds)
+
+
+@contextmanager
+def detect_races(
+    patch_factories: bool = True, raise_immediately: bool = True
+) -> Iterator[RaceDetector]:
+    """Run a block under tsan-lite race detection.
+
+    Parameters
+    ----------
+    patch_factories:
+        Replace ``threading.Lock``/``threading.RLock`` so locks created
+        inside the window are instrumented, and wrap ``time.sleep`` to
+        flag lock-held sleeps.  Set ``False`` when the test constructs
+        :class:`InstrumentedLock` objects explicitly.
+    raise_immediately:
+        Raise on the violating thread the moment a violation is seen
+        (default).  With ``False``, violations collect into
+        ``detector.violations`` and the first one is raised when the
+        window exits — useful when worker threads swallow exceptions.
+
+    Nesting windows is not supported (one process-global detector).
+    """
+    global _ACTIVE
+    if _ACTIVE is not None:
+        raise RuntimeError("detect_races() windows do not nest")
+    detector = RaceDetector(raise_immediately=raise_immediately)
+    _ACTIVE = detector
+    saved: Dict[str, object] = {}
+    if patch_factories:
+        saved["Lock"] = threading.Lock
+        saved["RLock"] = threading.RLock
+        saved["sleep"] = time.sleep
+        threading.Lock = lambda: InstrumentedLock()  # type: ignore[misc]
+        threading.RLock = lambda: InstrumentedLock(  # type: ignore[misc]
+            reentrant=True
+        )
+        time.sleep = _guarded_sleep
+    try:
+        yield detector
+    finally:
+        _ACTIVE = None
+        if patch_factories:
+            threading.Lock = saved["Lock"]  # type: ignore[misc]
+            threading.RLock = saved["RLock"]  # type: ignore[misc]
+            time.sleep = saved["sleep"]  # type: ignore[assignment]
+    if not raise_immediately and detector.violations:
+        raise detector.violations[0]

@@ -1,0 +1,925 @@
+"""Static lock-discipline analyzer for the repro codebase (rules A001-A004).
+
+The serving layer (``repro.serve``) runs every request on its own thread
+and protects shared state with hand-rolled ``threading.Lock``s.  The
+8-thread stress tests catch *some* races, but nothing statically proves
+that lock discipline holds — that every mutable attribute of a
+lock-owning class is touched under its lock, that no two code paths
+acquire locks in opposite orders, and that nobody sleeps or does I/O
+while holding a lock.  This module closes that gap with a whole-program
+AST analysis in the style of :mod:`repro.analysis.lint`.
+
+Rules
+-----
+A001
+    Guarded attribute accessed outside its lock.  For every class that
+    owns a lock the analyzer classifies mutable instance attributes
+    (anything *written* after ``__init__``, plus anything explicitly
+    annotated) as guarded or not.  Accesses to a guarded attribute from
+    a method body that does not hold the guarding lock are flagged.
+A002
+    Potential deadlock: the cross-class static lock-acquisition graph
+    (edges ``held-lock -> acquired-lock`` from nested ``with`` scopes
+    and resolved method calls) contains a cycle, i.e. two code paths
+    acquire the same pair of locks in opposite orders.
+A003
+    Blocking operation while holding a lock: ``time.sleep``, subprocess
+    spawns, ``socket``/``urllib`` connects, ``open()``, and
+    ``Thread.join`` executed inside a ``with self._lock`` scope.
+A004
+    Re-entrant acquisition of a non-reentrant ``threading.Lock``
+    reachable through self-calls (guaranteed deadlock on first
+    execution).
+
+Annotation grammar
+------------------
+Intent is declared with trailing comments on ``self.X = ...`` lines::
+
+    self._data = {}          # guarded-by: _lock
+    self._engine = engine    # not-guarded: swapped atomically, reads tearless
+
+``guarded-by: <attr>`` pins the guarding lock (it must name a lock the
+class owns, otherwise A001 fires on the annotation itself).
+``not-guarded: <reason>`` opts an attribute out of A001 with a recorded
+justification.  Un-annotated attributes are inferred: if every access
+outside ``__init__`` happens under the same lock, that lock guards the
+attribute; mixed locked/unlocked access flags the unlocked sites.
+
+Conventions honoured
+--------------------
+* ``with self._lock:`` is the acquisition primitive.  Manual
+  ``.acquire()``/``.release()`` calls are not tracked (none exist in the
+  tree; prefer ``with``).
+* Methods whose name ends in ``_locked`` are analyzed as if all class
+  locks were already held — the repo-wide convention for
+  caller-holds-the-lock helpers (e.g.
+  ``CircuitBreaker._effective_state_locked``).
+* ``# noqa: Annn`` and ``# repro-lint: disable=Annn`` suppress findings
+  on that line, sharing the machinery of the R-rules.
+
+Run ``python -m repro.analysis.concurrency src/`` or the unified
+``python -m repro.analysis gate``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.lint import (
+    Violation,
+    _attribute_chain,
+    _suppressed_rules,
+    iter_python_files,
+    render_violations,
+    resolve_rules,
+)
+
+__all__ = [
+    "ARULES",
+    "ClassModel",
+    "analyze_paths",
+    "analyze_sources",
+    "main",
+]
+
+ARULES: Dict[str, str] = {
+    "A001": "lock-guarded attribute accessed outside its lock",
+    "A002": "lock-acquisition cycle (potential deadlock)",
+    "A003": "blocking operation while holding a lock",
+    "A004": "re-entrant acquisition of a non-reentrant Lock",
+}
+
+#: Constructor leaf names that create a *non-reentrant* mutex.
+_PLAIN_LOCK_FACTORIES = {"Lock", "InstrumentedLock", "allocate_lock", "_REAL_LOCK"}
+#: Constructor leaf names that create a *reentrant* mutex.
+_RLOCK_FACTORIES = {"RLock", "_REAL_RLOCK"}
+
+#: Dotted-call chains (joined with ".") that block the calling thread.
+#: Matched against the *trailing* segments of the resolved chain so both
+#: ``time.sleep`` and an aliased ``sleep`` import hit.
+_BLOCKING_CHAINS = {
+    "time.sleep": "time.sleep",
+    "subprocess.run": "subprocess.run",
+    "subprocess.call": "subprocess.call",
+    "subprocess.check_call": "subprocess.check_call",
+    "subprocess.check_output": "subprocess.check_output",
+    "subprocess.Popen": "subprocess.Popen",
+    "os.system": "os.system",
+    "socket.create_connection": "socket.create_connection",
+    "urllib.request.urlopen": "urllib.request.urlopen",
+}
+
+_ANNOTATION_MARKS = ("guarded-by:", "not-guarded:")
+
+
+# ----------------------------------------------------------------------
+# Per-class model
+# ----------------------------------------------------------------------
+@dataclass
+class _Access:
+    """One load/store of ``self.<attr>`` inside a method body."""
+
+    attr: str
+    line: int
+    is_write: bool
+    held: Tuple[str, ...]  # lock attrs held at this point, in order
+
+
+@dataclass
+class _CallSite:
+    """A call made inside a method, with the locks held around it."""
+
+    kind: str  # "self" | "attr" | "ext"
+    target: str  # method name, "attrname.method", or dotted chain
+    line: int
+    held: Tuple[str, ...]
+
+
+@dataclass
+class _Acquire:
+    """A ``with self.<lockattr>:`` entry."""
+
+    lock: str
+    line: int
+    held: Tuple[str, ...]  # locks already held when this one is taken
+
+
+@dataclass
+class _MethodModel:
+    name: str
+    line: int
+    accesses: List[_Access] = field(default_factory=list)
+    calls: List[_CallSite] = field(default_factory=list)
+    acquires: List[_Acquire] = field(default_factory=list)
+    blocking: List[Tuple[str, int, Tuple[str, ...]]] = field(default_factory=list)
+
+
+@dataclass
+class ClassModel:
+    """Everything the analyzer knows about one class definition."""
+
+    name: str
+    path: str
+    line: int
+    locks: Dict[str, bool] = field(default_factory=dict)  # attr -> reentrant?
+    #: attr -> lock name it is pinned to (from ``# guarded-by:`` comments)
+    guarded_by: Dict[str, str] = field(default_factory=dict)
+    #: attr -> reason (from ``# not-guarded:`` comments)
+    not_guarded: Dict[str, str] = field(default_factory=dict)
+    #: line numbers of guarded-by annotations naming unknown locks
+    bad_annotations: List[Tuple[str, str, int]] = field(default_factory=list)
+    #: attr -> line of its guarded-by/not-guarded annotation
+    annotation_lines: Dict[str, int] = field(default_factory=dict)
+    #: attr -> inferred type (class name) from ``self.x = ClassName(...)``
+    attr_types: Dict[str, str] = field(default_factory=dict)
+    methods: Dict[str, _MethodModel] = field(default_factory=dict)
+    #: attrs assigned anywhere (used to scope "mutable" candidates)
+    init_attrs: Set[str] = field(default_factory=set)
+
+
+def _leaf_name(node: ast.AST) -> Optional[str]:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def _lock_kind(value: ast.AST) -> Optional[bool]:
+    """Is ``value`` a lock constructor call?  Returns reentrancy or None."""
+    if not isinstance(value, ast.Call):
+        return None
+    leaf = _leaf_name(value.func)
+    if leaf in _PLAIN_LOCK_FACTORIES:
+        return False
+    if leaf in _RLOCK_FACTORIES:
+        return True
+    return None
+
+
+def _constructed_class(value: ast.AST) -> Optional[str]:
+    """Class name if ``value`` constructs one, descending BoolOp/IfExp.
+
+    Handles the ``breaker or CircuitBreaker()`` and
+    ``X(...) if flag else Y(...)`` idioms by taking the first
+    recognizable constructor.
+    """
+    if isinstance(value, ast.Call):
+        leaf = _leaf_name(value.func)
+        if leaf and leaf[0].isupper():
+            return leaf
+        return None
+    if isinstance(value, ast.BoolOp):
+        for operand in value.values:
+            name = _constructed_class(operand)
+            if name:
+                return name
+    if isinstance(value, ast.IfExp):
+        return _constructed_class(value.body) or _constructed_class(value.orelse)
+    return None
+
+
+def _self_attr_target(node: ast.AST) -> Optional[str]:
+    """``self.X`` (plain or subscripted) as a store target -> ``X``."""
+    if isinstance(node, ast.Subscript):
+        node = node.value
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+# ----------------------------------------------------------------------
+# Method body walker
+# ----------------------------------------------------------------------
+class _ExprScanner(ast.NodeVisitor):
+    """Collect self-attribute accesses and calls from one expression."""
+
+    def __init__(self, model: _MethodModel, held: Tuple[str, ...]):
+        self.model = model
+        self.held = held
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if isinstance(node.value, ast.Name) and node.value.id == "self":
+            is_write = isinstance(node.ctx, (ast.Store, ast.Del))
+            self.model.accesses.append(
+                _Access(node.attr, node.lineno, is_write, self.held)
+            )
+        self.generic_visit(node)
+
+    def visit_Subscript(self, node: ast.Subscript) -> None:
+        # ``self.X[k] = v`` / ``del self.X[k]`` mutate the container.
+        attr = _self_attr_target(node)
+        if attr is not None and isinstance(node.ctx, (ast.Store, ast.Del)):
+            self.model.accesses.append(
+                _Access(attr, node.lineno, True, self.held)
+            )
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        chain = _attribute_chain(node.func)
+        if chain:
+            dotted = ".".join(chain)
+            if chain[0] == "self":
+                if len(chain) == 2:
+                    self.model.calls.append(
+                        _CallSite("self", chain[1], node.lineno, self.held)
+                    )
+                elif len(chain) >= 3:
+                    # self.attr.method(...) — resolved via attr_types.
+                    self.model.calls.append(
+                        _CallSite(
+                            "attr",
+                            f"{chain[1]}.{chain[-1]}",
+                            node.lineno,
+                            self.held,
+                        )
+                    )
+            else:
+                self.model.calls.append(
+                    _CallSite("ext", dotted, node.lineno, self.held)
+                )
+                blocked = _match_blocking(dotted)
+                if blocked is None and dotted == "open":
+                    blocked = "open"
+                if blocked:
+                    self.model.blocking.append(
+                        (blocked, node.lineno, self.held)
+                    )
+        self.generic_visit(node)
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        pass  # nested defs run later, under unknown lock state
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        pass
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        pass
+
+
+def _match_blocking(dotted: str) -> Optional[str]:
+    for suffix, canon in _BLOCKING_CHAINS.items():
+        if dotted == suffix or dotted.endswith("." + suffix):
+            return canon
+    return None
+
+
+class _MethodWalker:
+    """Statement-level walk of one method, tracking held locks."""
+
+    def __init__(self, cls: ClassModel, func: ast.FunctionDef):
+        self.cls = cls
+        self.model = _MethodModel(func.name, func.lineno)
+        held: Tuple[str, ...] = ()
+        if func.name.endswith("_locked"):
+            # Caller-holds-the-lock convention: analyze the body as if
+            # every class lock were already held.
+            held = tuple(sorted(cls.locks))
+        self._walk_body(func.body, held)
+
+    def _scan_expr(self, node: ast.AST, held: Tuple[str, ...]) -> None:
+        _ExprScanner(self.model, held).visit(node)
+
+    def _walk_body(self, body: Sequence[ast.stmt], held: Tuple[str, ...]) -> None:
+        for stmt in body:
+            self._walk_stmt(stmt, held)
+
+    def _walk_stmt(self, stmt: ast.stmt, held: Tuple[str, ...]) -> None:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return  # nested def: body runs later, not under these locks
+        if isinstance(stmt, ast.With):
+            new_held = held
+            for item in stmt.items:
+                self._scan_expr(item.context_expr, new_held)
+                lock = self._with_lock(item.context_expr)
+                if lock is not None:
+                    self.model.acquires.append(
+                        _Acquire(lock, stmt.lineno, new_held)
+                    )
+                    if lock not in new_held:
+                        new_held = new_held + (lock,)
+            self._walk_body(stmt.body, new_held)
+            return
+        if isinstance(stmt, (ast.If, ast.While)):
+            self._scan_expr(stmt.test, held)
+            self._walk_body(stmt.body, held)
+            self._walk_body(stmt.orelse, held)
+            return
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            self._scan_expr(stmt.target, held)
+            self._scan_expr(stmt.iter, held)
+            self._walk_body(stmt.body, held)
+            self._walk_body(stmt.orelse, held)
+            return
+        if isinstance(stmt, ast.Try):
+            self._walk_body(stmt.body, held)
+            for handler in stmt.handlers:
+                self._walk_body(handler.body, held)
+            self._walk_body(stmt.orelse, held)
+            self._walk_body(stmt.finalbody, held)
+            return
+        # Leaf statement: scan all contained expressions at this depth.
+        self._scan_expr(stmt, held)
+
+    def _with_lock(self, expr: ast.AST) -> Optional[str]:
+        """``with self.<attr>:`` where ``<attr>`` is a class lock."""
+        if (
+            isinstance(expr, ast.Attribute)
+            and isinstance(expr.value, ast.Name)
+            and expr.value.id == "self"
+            and expr.attr in self.cls.locks
+        ):
+            return expr.attr
+        return None
+
+
+# ----------------------------------------------------------------------
+# Class collection
+# ----------------------------------------------------------------------
+def _collect_class(
+    node: ast.ClassDef, path: str, source_lines: Sequence[str]
+) -> ClassModel:
+    cls = ClassModel(node.name, path, node.lineno)
+    funcs = [n for n in node.body if isinstance(n, ast.FunctionDef)]
+
+    # Pass 1: find locks, attr types, and annotations anywhere a
+    # ``self.X = ...`` assignment appears (locks are normally created in
+    # __init__ but the grammar does not require it).
+    for func in funcs:
+        in_init = func.name == "__init__"
+        for sub in ast.walk(func):
+            if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef)) and sub is not func:
+                continue
+            targets: List[ast.AST] = []
+            value: Optional[ast.AST] = None
+            if isinstance(sub, ast.Assign):
+                targets, value = sub.targets, sub.value
+            elif isinstance(sub, ast.AnnAssign) and sub.value is not None:
+                targets, value = [sub.target], sub.value
+            if value is None:
+                continue
+            for target in targets:
+                attr = _self_attr_target(target)
+                if attr is None or isinstance(target, ast.Subscript):
+                    continue
+                kind = _lock_kind(value)
+                if kind is not None:
+                    cls.locks[attr] = kind
+                else:
+                    constructed = _constructed_class(value)
+                    if constructed:
+                        cls.attr_types.setdefault(attr, constructed)
+                if in_init:
+                    cls.init_attrs.add(attr)
+                _parse_annotation(cls, attr, sub.lineno, source_lines)
+    # Validate guarded-by targets only once every lock is known — the
+    # annotation may precede the lock's own assignment line.
+    for attr, lock in cls.guarded_by.items():
+        if lock not in cls.locks:
+            cls.bad_annotations.append((attr, lock, cls.annotation_lines[attr]))
+    return cls
+
+
+def _parse_annotation(
+    cls: ClassModel, attr: str, lineno: int, source_lines: Sequence[str]
+) -> None:
+    if lineno - 1 >= len(source_lines):
+        return
+    line = source_lines[lineno - 1]
+    if "#" not in line:
+        return
+    comment = line.split("#", 1)[1].strip()
+    if comment.startswith("guarded-by:"):
+        lock = comment[len("guarded-by:"):].strip().split()[0]
+        cls.guarded_by[attr] = lock
+        cls.annotation_lines[attr] = lineno
+    elif comment.startswith("not-guarded:"):
+        reason = comment[len("not-guarded:"):].strip()
+        cls.not_guarded[attr] = reason or "unspecified"
+        cls.annotation_lines[attr] = lineno
+
+
+def _collect_models(tree: ast.AST, path: str, source: str) -> List[ClassModel]:
+    source_lines = source.splitlines()
+    models: List[ClassModel] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        cls = _collect_class(node, path, source_lines)
+        for func in node.body:
+            if isinstance(func, ast.FunctionDef):
+                walker = _MethodWalker(cls, func)
+                cls.methods[func.name] = walker.model
+        models.append(cls)
+    return models
+
+
+# ----------------------------------------------------------------------
+# A001: guarded attribute accessed outside its lock
+# ----------------------------------------------------------------------
+def _check_a001(cls: ClassModel) -> List[Violation]:
+    if not cls.locks:
+        return []
+    found: List[Violation] = []
+    for attr, lock, lineno in cls.bad_annotations:
+        found.append(
+            Violation(
+                "A001",
+                cls.path,
+                lineno,
+                f"{cls.name}.{attr} annotated guarded-by: {lock}, but "
+                f"{cls.name} owns no lock named {lock!r}",
+            )
+        )
+
+    # Mutable candidates: attributes written outside __init__, plus
+    # explicitly pinned ones.  Lock attrs themselves are exempt.
+    accesses: Dict[str, List[Tuple[str, _Access]]] = {}
+    for method in cls.methods.values():
+        if method.name == "__init__":
+            continue
+        for acc in method.accesses:
+            if acc.attr in cls.locks:
+                continue
+            accesses.setdefault(acc.attr, []).append((method.name, acc))
+
+    candidates: Set[str] = set(cls.guarded_by)
+    for attr, pairs in accesses.items():
+        if any(acc.is_write for _, acc in pairs):
+            candidates.add(attr)
+    candidates -= set(cls.not_guarded)
+
+    for attr in sorted(candidates):
+        pairs = accesses.get(attr, [])
+        if not pairs:
+            continue
+        pinned = cls.guarded_by.get(attr)
+        if pinned is None:
+            locked = [acc for _, acc in pairs if acc.held]
+            if not locked:
+                # Never accessed under a lock: in a lock-owning class a
+                # post-init write with no lock anywhere is suspicious —
+                # flag the writes, not the reads.
+                for _, acc in pairs:
+                    if acc.is_write:
+                        found.append(
+                            Violation(
+                                "A001",
+                                cls.path,
+                                acc.line,
+                                f"{cls.name}.{attr} written outside any "
+                                f"lock in a lock-owning class; wrap in "
+                                f"'with self.{_first_lock(cls)}:' or "
+                                "annotate '# not-guarded: <reason>'",
+                            )
+                        )
+                continue
+            pinned = _majority_lock(locked)
+        for _, acc in pairs:
+            if pinned not in acc.held:
+                verb = "written" if acc.is_write else "read"
+                found.append(
+                    Violation(
+                        "A001",
+                        cls.path,
+                        acc.line,
+                        f"{cls.name}.{attr} is guarded by "
+                        f"self.{pinned} but {verb} here without it",
+                    )
+                )
+    return found
+
+
+def _first_lock(cls: ClassModel) -> str:
+    return sorted(cls.locks)[0]
+
+
+def _majority_lock(locked: Sequence[_Access]) -> str:
+    counts: Dict[str, int] = {}
+    for acc in locked:
+        for lock in acc.held:
+            counts[lock] = counts.get(lock, 0) + 1
+    # Highest count wins; ties break lexicographically for determinism.
+    return min(counts, key=lambda k: (-counts[k], k))
+
+
+# ----------------------------------------------------------------------
+# Acquisition closure (shared by A002/A004)
+# ----------------------------------------------------------------------
+class _Program:
+    """Cross-file view: class name -> model, plus memoized closures."""
+
+    def __init__(self, models: Sequence[ClassModel]):
+        self.by_name: Dict[str, ClassModel] = {}
+        for model in models:
+            # First definition wins on name collisions (mirrors R003's
+            # project-wide class resolution being name-keyed).
+            self.by_name.setdefault(model.name, model)
+        self._closure_cache: Dict[Tuple[str, str], Set[Tuple[str, str]]] = {}
+
+    def closure(self, cls_name: str, method: str) -> Set[Tuple[str, str]]:
+        """All (class, lock) nodes acquirable by running this method."""
+        key = (cls_name, method)
+        if key in self._closure_cache:
+            return self._closure_cache[key]
+        self._closure_cache[key] = set()  # cycle guard
+        cls = self.by_name.get(cls_name)
+        if cls is None or method not in cls.methods:
+            return set()
+        model = cls.methods[method]
+        result: Set[Tuple[str, str]] = set()
+        for acq in model.acquires:
+            result.add((cls_name, acq.lock))
+        for call in model.calls:
+            for target_cls, target_method in self._resolve(cls, call):
+                result |= self.closure(target_cls, target_method)
+        self._closure_cache[key] = result
+        return result
+
+    def _resolve(
+        self, cls: ClassModel, call: _CallSite
+    ) -> List[Tuple[str, str]]:
+        if call.kind == "self":
+            return [(cls.name, call.target)]
+        if call.kind == "attr":
+            attr, method = call.target.split(".", 1)
+            target_cls = cls.attr_types.get(attr)
+            if target_cls and target_cls in self.by_name:
+                return [(target_cls, method)]
+        return []
+
+
+def _lock_node(cls_name: str, lock: str) -> str:
+    return f"{cls_name}.{lock}"
+
+
+def _build_lock_graph(
+    program: _Program,
+) -> Tuple[Dict[str, Set[str]], Dict[Tuple[str, str], Tuple[str, int]]]:
+    """Edges held->acquired, plus one witness (path, line) per edge."""
+    edges: Dict[str, Set[str]] = {}
+    witness: Dict[Tuple[str, str], Tuple[str, int]] = {}
+
+    def add_edge(src: str, dst: str, path: str, line: int) -> None:
+        if src == dst:
+            return  # self-loops are A004's territory, not a cycle here
+        edges.setdefault(src, set()).add(dst)
+        key = (src, dst)
+        if key not in witness or (path, line) < witness[key]:
+            witness[key] = (path, line)
+
+    for cls in program.by_name.values():
+        for method in cls.methods.values():
+            for acq in method.acquires:
+                dst = _lock_node(cls.name, acq.lock)
+                for held in acq.held:
+                    add_edge(
+                        _lock_node(cls.name, held), dst, cls.path, acq.line
+                    )
+            for call in method.calls:
+                if not call.held:
+                    continue
+                for tgt_cls, tgt_method in program._resolve(cls, call):
+                    for node in program.closure(tgt_cls, tgt_method):
+                        dst = _lock_node(*node)
+                        for held in call.held:
+                            add_edge(
+                                _lock_node(cls.name, held),
+                                dst,
+                                cls.path,
+                                call.line,
+                            )
+    return edges, witness
+
+
+def _tarjan_sccs(edges: Dict[str, Set[str]]) -> List[List[str]]:
+    """Strongly connected components (iterative Tarjan)."""
+    index: Dict[str, int] = {}
+    lowlink: Dict[str, int] = {}
+    on_stack: Set[str] = set()
+    stack: List[str] = []
+    sccs: List[List[str]] = []
+    counter = [0]
+    nodes = set(edges)
+    for targets in edges.values():
+        nodes |= targets
+
+    for root in sorted(nodes):
+        if root in index:
+            continue
+        work: List[Tuple[str, Iterable[str]]] = [
+            (root, iter(sorted(edges.get(root, ()))))
+        ]
+        index[root] = lowlink[root] = counter[0]
+        counter[0] += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, it = work[-1]
+            advanced = False
+            for succ in it:
+                if succ not in index:
+                    index[succ] = lowlink[succ] = counter[0]
+                    counter[0] += 1
+                    stack.append(succ)
+                    on_stack.add(succ)
+                    work.append((succ, iter(sorted(edges.get(succ, ())))))
+                    advanced = True
+                    break
+                if succ in on_stack:
+                    lowlink[node] = min(lowlink[node], index[succ])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index[node]:
+                scc: List[str] = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    scc.append(member)
+                    if member == node:
+                        break
+                sccs.append(scc)
+    return sccs
+
+
+def _check_a002(program: _Program) -> List[Violation]:
+    edges, witness = _build_lock_graph(program)
+    found: List[Violation] = []
+    for scc in _tarjan_sccs(edges):
+        if len(scc) < 2:
+            continue
+        members = set(scc)
+        intra = [
+            (src, dst)
+            for (src, dst) in witness
+            if src in members and dst in members
+        ]
+        if not intra:
+            continue
+        anchor = min(intra, key=lambda e: witness[e])
+        path, line = witness[anchor]
+        cycle = " -> ".join(sorted(members))
+        found.append(
+            Violation(
+                "A002",
+                path,
+                line,
+                f"lock-acquisition cycle: {cycle}; two code paths take "
+                "these locks in opposite orders (potential deadlock)",
+            )
+        )
+    return found
+
+
+# ----------------------------------------------------------------------
+# A003: blocking operation while holding a lock
+# ----------------------------------------------------------------------
+def _check_a003(cls: ClassModel) -> List[Violation]:
+    found: List[Violation] = []
+    thread_attrs = {
+        attr for attr, typ in cls.attr_types.items() if typ == "Thread"
+    }
+    for method in cls.methods.values():
+        for desc, line, held in method.blocking:
+            if held:
+                found.append(
+                    Violation(
+                        "A003",
+                        cls.path,
+                        line,
+                        f"{desc}() while holding self.{held[-1]} blocks "
+                        "every thread contending for the lock; move the "
+                        "blocking call outside the critical section",
+                    )
+                )
+        for call in method.calls:
+            if not call.held:
+                continue
+            # ``self.<thread_attr>.join()`` or ``<local_thread>.join()``.
+            if call.kind == "attr":
+                attr, meth = call.target.split(".", 1)
+                if meth == "join" and attr in thread_attrs:
+                    found.append(
+                        Violation(
+                            "A003",
+                            cls.path,
+                            call.line,
+                            f"Thread.join() while holding "
+                            f"self.{call.held[-1]}; the joined thread may "
+                            "need the same lock to finish (deadlock)",
+                        )
+                    )
+    return found
+
+
+# ----------------------------------------------------------------------
+# A004: re-entrant acquisition of a non-reentrant Lock
+# ----------------------------------------------------------------------
+def _check_a004(program: _Program) -> List[Violation]:
+    found: List[Violation] = []
+    for cls in program.by_name.values():
+        nonreentrant = {a for a, r in cls.locks.items() if not r}
+        if not nonreentrant:
+            continue
+        for method in cls.methods.values():
+            for acq in method.acquires:
+                if acq.lock in nonreentrant and acq.lock in acq.held:
+                    found.append(
+                        Violation(
+                            "A004",
+                            cls.path,
+                            acq.line,
+                            f"self.{acq.lock} is a non-reentrant Lock "
+                            "already held here; re-acquiring deadlocks "
+                            "(use RLock or hoist the critical section)",
+                        )
+                    )
+            for call in method.calls:
+                held_plain = [h for h in call.held if h in nonreentrant]
+                if not held_plain:
+                    continue
+                for tgt_cls, tgt_method in program._resolve(cls, call):
+                    closure = program.closure(tgt_cls, tgt_method)
+                    for lock in held_plain:
+                        if (cls.name, lock) in closure:
+                            found.append(
+                                Violation(
+                                    "A004",
+                                    cls.path,
+                                    call.line,
+                                    f"call to {tgt_cls}.{tgt_method}() "
+                                    f"re-acquires non-reentrant "
+                                    f"self.{lock} already held here "
+                                    "(guaranteed deadlock); use a "
+                                    "*_locked helper instead",
+                                )
+                            )
+    return found
+
+
+# ----------------------------------------------------------------------
+# Driver
+# ----------------------------------------------------------------------
+def analyze_sources(
+    sources: Sequence[Tuple[str, str]],
+    rules: Optional[Set[str]] = None,
+) -> List[Violation]:
+    """Analyze ``(source, path)`` pairs as one program.
+
+    A002/A004 resolve method calls across files, so the whole file set
+    must be passed in one call (like R003 in the linter).
+    """
+    active = set(ARULES) if rules is None else rules
+    models: List[ClassModel] = []
+    suppressed_by_path: Dict[str, Dict[int, Set[str]]] = {}
+    violations: List[Violation] = []
+    for source, path in sources:
+        try:
+            tree = ast.parse(source, filename=path)
+        except SyntaxError as exc:
+            violations.append(
+                Violation(
+                    "A000", path, exc.lineno or 0, f"syntax error: {exc.msg}"
+                )
+            )
+            continue
+        suppressed_by_path[path] = _suppressed_rules(source, ARULES)
+        models.extend(_collect_models(tree, path, source))
+
+    program = _Program(models)
+    if "A001" in active:
+        for cls in models:
+            violations += _check_a001(cls)
+    if "A002" in active:
+        violations += _check_a002(program)
+    if "A003" in active:
+        for cls in models:
+            violations += _check_a003(cls)
+    if "A004" in active:
+        violations += _check_a004(program)
+
+    violations = [
+        v
+        for v in violations
+        if v.rule not in suppressed_by_path.get(v.path, {}).get(v.line, set())
+    ]
+    violations.sort(key=lambda v: (v.path, v.line, v.rule))
+    return violations
+
+
+def analyze_paths(
+    paths: Sequence[str], rules: Optional[Set[str]] = None
+) -> List[Violation]:
+    """Analyze every ``*.py`` under ``paths`` as one program."""
+    sources: List[Tuple[str, str]] = []
+    violations: List[Violation] = []
+    for file in iter_python_files(paths):
+        try:
+            sources.append((file.read_text(encoding="utf-8"), str(file)))
+        except (OSError, UnicodeDecodeError) as exc:
+            violations.append(
+                Violation("A000", str(file), 0, f"could not read file: {exc}")
+            )
+    violations.extend(analyze_sources(sources, rules=rules))
+    violations.sort(key=lambda v: (v.path, v.line, v.rule))
+    return violations
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis.concurrency",
+        description="Static lock-discipline analysis (rules A001-A004; "
+        "see repro.analysis.concurrency.static docstring).",
+    )
+    parser.add_argument("paths", nargs="*", help="files or directories")
+    parser.add_argument(
+        "--select", default=None, help="comma-separated subset of A-rules"
+    )
+    parser.add_argument(
+        "--ignore", default=None, help="comma-separated A-rules to skip"
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        dest="fmt",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalogue"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule, desc in sorted(ARULES.items()):
+            print(f"{rule}: {desc}")
+        return 0
+    if not args.paths:
+        parser.error("the following arguments are required: paths")
+
+    rules, unknown = resolve_rules(args.select, args.ignore, ARULES)
+    if unknown:
+        parser.error(f"unknown rules: {sorted(unknown)}")
+
+    violations = analyze_paths(args.paths, rules=rules)
+    rendered = render_violations(violations, args.fmt)
+    if rendered:
+        print(rendered)
+    return 1 if violations else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -18,7 +18,11 @@ module implements a small AST lint with six rules:
     table in the paper.  All stochastic code must thread an explicit
     ``np.random.Generator`` (``np.random.default_rng(seed)``).
     Constructing generators/seeds (``default_rng``, ``Generator``,
-    ``SeedSequence``, ``PCG64``, …) is of course allowed.
+    ``SeedSequence``, ``PCG64``, …) is of course allowed.  The rule also
+    covers the legacy seeding surface (``np.random.seed``,
+    ``np.random.RandomState``) and the import forms that used to escape
+    attribute matching: ``from numpy.random import seed``,
+    ``from numpy import random``, and ``import numpy.random as npr``.
 
 ``R003`` **forward-less Module** — a :class:`repro.nn.Module` subclass
     that never overrides ``forward`` (directly or via a base class other
@@ -59,13 +63,22 @@ from __future__ import annotations
 
 import argparse
 import ast
+import json
 import re
 import sys
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
-__all__ = ["Violation", "lint_paths", "lint_sources", "main", "RULES"]
+__all__ = [
+    "Violation",
+    "lint_paths",
+    "lint_sources",
+    "main",
+    "render_violations",
+    "resolve_rules",
+    "RULES",
+]
 
 RULES: Dict[str, str] = {
     "R001": "direct mutation of Tensor.data outside whitelisted modules",
@@ -114,6 +127,11 @@ _DISABLE_MARK = "repro-lint: disable="
 #: codes (``BLE001``, ``N802``, …) must not blanket-suppress repro rules.
 _NOQA_RE = re.compile(r"#\s*noqa:\s*([^#]*)", re.IGNORECASE)
 
+#: Shape of a repro rule code: R-rules (this module) and A-rules
+#: (:mod:`repro.analysis.concurrency.static`) share one suppression and
+#: reporting machinery.
+_CODE_RE = re.compile(r"\b[A-Z]\d{3}\b")
+
 
 @dataclass(frozen=True)
 class Violation:
@@ -127,25 +145,40 @@ class Violation:
     def __str__(self) -> str:
         return f"{self.path}:{self.line}: {self.rule} {self.message}"
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready record for ``--format json`` consumers."""
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+        }
+
 
 # ----------------------------------------------------------------------
-# Per-line suppression
+# Per-line suppression (shared by the R-rules here and the A-rules in
+# repro.analysis.concurrency — `catalogue` selects which codes a caller
+# honors, so a `# noqa: A003` never blanket-suppresses lint rules and
+# vice versa).
 # ----------------------------------------------------------------------
-def _suppressed_rules(source: str) -> Dict[int, Set[str]]:
+def _suppressed_rules(
+    source: str, catalogue: Optional[Dict[str, str]] = None
+) -> Dict[int, Set[str]]:
     """Map line number -> rules disabled by a trailing lint comment."""
+    cat = RULES if catalogue is None else catalogue
     out: Dict[int, Set[str]] = {}
     for lineno, line in enumerate(source.splitlines(), start=1):
         suppressed: Set[str] = set()
         if _DISABLE_MARK in line:
             spec = line.split(_DISABLE_MARK, 1)[1]
             rules = {tok.strip() for tok in spec.replace(";", ",").split(",")}
-            suppressed |= {r for r in rules if r in RULES} or set(RULES)
+            suppressed |= {r for r in rules if r in cat} or set(cat)
         noqa = _NOQA_RE.search(line)
         if noqa is not None:
             # Exact repro codes only — never widen to all rules here.
             suppressed |= {
-                code for code in re.findall(r"\bR\d{3}\b", noqa.group(1))
-                if code in RULES
+                code for code in _CODE_RE.findall(noqa.group(1))
+                if code in cat
             }
         if suppressed:
             out[lineno] = suppressed
@@ -212,28 +245,75 @@ def _attribute_chain(node: ast.expr) -> Optional[List[str]]:
     return None
 
 
+def _numpy_random_aliases(tree: ast.AST, path: str,
+                          found: List[Violation]) -> Set[str]:
+    """Names bound to the ``numpy.random`` module in this file.
+
+    Also flags ``from numpy.random import <draw/seed>`` at the import
+    site — binding ``seed``/``RandomState``/``shuffle`` &co. to a bare
+    name is itself the escape hatch that used to slip past attribute
+    matching.
+    """
+    aliases: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                # `import numpy.random` binds the top-level `numpy` name
+                # (already covered by the chain check); only an explicit
+                # alias creates a new root to track.
+                if alias.name == "numpy.random" and alias.asname:
+                    aliases.add(alias.asname)
+        elif isinstance(node, ast.ImportFrom):
+            if node.module == "numpy":
+                for alias in node.names:
+                    if alias.name == "random":
+                        aliases.add(alias.asname or "random")
+            elif node.module == "numpy.random":
+                for alias in node.names:
+                    if alias.name not in R002_ALLOWED_ATTRS:
+                        found.append(
+                            Violation(
+                                "R002",
+                                path,
+                                node.lineno,
+                                f"from numpy.random import {alias.name} "
+                                "binds the hidden global RNG surface; "
+                                "thread an explicit np.random.Generator "
+                                "(np.random.default_rng(seed)) instead",
+                            )
+                        )
+    return aliases
+
+
 def _check_r002(tree: ast.AST, path: str) -> List[Violation]:
     found: List[Violation] = []
+    aliases = _numpy_random_aliases(tree, path, found)
     for node in ast.walk(tree):
         if not isinstance(node, ast.Attribute):
             continue
         chain = _attribute_chain(node)
-        if chain is None or len(chain) < 3:
+        if chain is None:
             continue
+        leaf: Optional[str] = None
+        root = ""
         # numpy is imported as `np` or `numpy` throughout the repo.
-        if chain[0] in ("np", "numpy") and chain[1] == "random":
-            leaf = chain[2]
-            if leaf not in R002_ALLOWED_ATTRS:
-                found.append(
-                    Violation(
-                        "R002",
-                        path,
-                        node.lineno,
-                        f"np.random.{leaf} uses hidden global RNG state; "
-                        "thread an explicit np.random.Generator "
-                        "(np.random.default_rng(seed)) instead",
-                    )
+        if (len(chain) >= 3 and chain[0] in ("np", "numpy")
+                and chain[1] == "random"):
+            leaf, root = chain[2], f"{chain[0]}.random"
+        elif len(chain) >= 2 and chain[0] in aliases:
+            # `from numpy import random` / `import numpy.random as npr`
+            leaf, root = chain[1], chain[0]
+        if leaf is not None and leaf not in R002_ALLOWED_ATTRS:
+            found.append(
+                Violation(
+                    "R002",
+                    path,
+                    node.lineno,
+                    f"{root}.{leaf} uses hidden global RNG state; "
+                    "thread an explicit np.random.Generator "
+                    "(np.random.default_rng(seed)) instead",
                 )
+            )
     return found
 
 
@@ -558,6 +638,53 @@ def lint_paths(
     return all_violations
 
 
+def resolve_rules(
+    select: Optional[str],
+    ignore: Optional[str],
+    catalogue: Dict[str, str],
+) -> Tuple[Optional[Set[str]], Set[str]]:
+    """Turn ``--select``/``--ignore`` strings into an active rule set.
+
+    Returns ``(rules, unknown)`` where ``rules`` is ``None`` for "all of
+    the catalogue" and ``unknown`` collects tokens that name no rule in
+    ``catalogue`` (the caller decides whether that is an error — the
+    unified gate splits one shared ``--select`` across two catalogues,
+    so tokens unknown to *this* catalogue may be valid for the other).
+    """
+
+    def _split(raw: Optional[str]) -> Set[str]:
+        if not raw:
+            return set()
+        return {tok.strip() for tok in raw.split(",") if tok.strip()}
+
+    selected = _split(select)
+    ignored = _split(ignore)
+    unknown = (selected | ignored) - set(catalogue)
+    active = (selected & set(catalogue)) if selected else set(catalogue)
+    active -= ignored
+    if not selected and not ignored:
+        return None, unknown
+    return active, unknown
+
+
+def render_violations(
+    violations: Sequence[Violation], fmt: str = "text"
+) -> str:
+    """Render a violation list as ``text`` (one per line) or ``json``."""
+    if fmt == "json":
+        return json.dumps(
+            {
+                "count": len(violations),
+                "violations": [v.to_dict() for v in violations],
+            },
+            indent=2,
+        )
+    lines = [str(v) for v in violations]
+    if violations:
+        lines.append(f"\n{len(violations)} violation(s) found")
+    return "\n".join(lines)
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-lint",
@@ -569,6 +696,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "--select",
         default=None,
         help="comma-separated subset of rules to run (e.g. R001,R004)",
+    )
+    parser.add_argument(
+        "--ignore",
+        default=None,
+        help="comma-separated rules to skip (applied after --select)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        dest="fmt",
+        help="output format (default: text)",
     )
     parser.add_argument(
         "--allow-data-mutation",
@@ -589,22 +728,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if not args.paths:
         parser.error("the following arguments are required: paths")
 
-    rules: Optional[Set[str]] = None
-    if args.select:
-        rules = {tok.strip() for tok in args.select.split(",") if tok.strip()}
-        unknown = rules - set(RULES)
-        if unknown:
-            parser.error(f"unknown rules: {sorted(unknown)}")
+    rules, unknown = resolve_rules(args.select, args.ignore, RULES)
+    if unknown:
+        parser.error(f"unknown rules: {sorted(unknown)}")
 
     violations = lint_paths(
         args.paths, rules=rules, extra_data_whitelist=args.allow_data_mutation
     )
-    for violation in violations:
-        print(violation)
-    if violations:
-        print(f"\n{len(violations)} violation(s) found")
-        return 1
-    return 0
+    rendered = render_violations(violations, args.fmt)
+    if rendered:
+        print(rendered)
+    return 1 if violations else 0
 
 
 if __name__ == "__main__":  # pragma: no cover

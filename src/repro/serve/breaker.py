@@ -44,10 +44,10 @@ class CircuitBreaker:
         self.recovery_seconds = float(recovery_seconds)
         self._clock = clock
         self._lock = threading.Lock()
-        self._state = CLOSED
-        self._consecutive_failures = 0
-        self._opened_at: float = 0.0
-        self._probe_inflight = False
+        self._state = CLOSED  # guarded-by: _lock
+        self._consecutive_failures = 0  # guarded-by: _lock
+        self._opened_at: float = 0.0  # guarded-by: _lock
+        self._probe_inflight = False  # guarded-by: _lock
         # Monotonic counters for /metrics (exact-count pinned in tests).
         self._trips = 0
         self._successes = 0
@@ -122,7 +122,7 @@ class CircuitBreaker:
         with self._lock:
             self._state = CLOSED
             self._consecutive_failures = 0
-            self._probe_inflight = False
+            self._probe_inflight = False  # guarded-by: _lock
 
     # ------------------------------------------------------------------
     def snapshot(self) -> Dict[str, Any]:

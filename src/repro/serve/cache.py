@@ -20,10 +20,10 @@ class LRUCache:
 
     def __init__(self, capacity: int) -> None:
         self.capacity = int(capacity)
-        self._data: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self._data: "OrderedDict[Hashable, Any]" = OrderedDict()  # guarded-by: _lock
         self._lock = threading.Lock()
-        self.hits = 0
-        self.misses = 0
+        self.hits = 0  # guarded-by: _lock
+        self.misses = 0  # guarded-by: _lock
 
     def __len__(self) -> int:
         with self._lock:

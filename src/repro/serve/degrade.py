@@ -59,7 +59,7 @@ class ServingRuntime:
 
     def __init__(self, engine, breaker: Optional[CircuitBreaker] = None,
                  deadline_seconds: Optional[float] = None) -> None:
-        self._engine = engine
+        self._engine = engine  # not-guarded: atomic swap; readers snapshot once
         self.breaker = breaker or CircuitBreaker()
         #: Model calls slower than this count as breaker failures (the
         #: answer is still returned — it is correct, just late).  ``None``
@@ -69,8 +69,8 @@ class ServingRuntime:
         self._counter_lock = threading.Lock()
         self._served: Dict[str, int] = {"model": 0, "cache": 0, "prior": 0,
                                         "unserved": 0}
-        self._reloads = 0
-        self._reloads_rejected = 0
+        self._reloads = 0  # guarded-by: _counter_lock
+        self._reloads_rejected = 0  # guarded-by: _counter_lock
 
     # ------------------------------------------------------------------
     @property

@@ -59,7 +59,7 @@ class InferenceEngine:
             self._state = self.model.forward_state(self.batch)
         self.freeze_seconds = time.perf_counter() - start
         self._embeddings: Dict[str, Tensor] = self._state.masked[self._L]
-        self._impact_cache: Dict[tuple, np.ndarray] = {}
+        self._impact_cache: Dict[tuple, np.ndarray] = {}  # guarded-by: _lock
 
     # ------------------------------------------------------------------
     @classmethod

@@ -34,12 +34,12 @@ class ServiceMetrics:
     def __init__(self, window: int = 2048) -> None:
         self._lock = threading.Lock()
         self._window = int(window)
-        self._requests: Dict[str, int] = {}
-        self._errors: Dict[str, int] = {}
-        self._latency: Dict[str, Deque[float]] = {}
-        self._shed: Dict[str, int] = {}
-        self._disconnects: Dict[str, int] = {}
-        self._deadline: Dict[str, int] = {}
+        self._requests: Dict[str, int] = {}  # guarded-by: _lock
+        self._errors: Dict[str, int] = {}  # guarded-by: _lock
+        self._latency: Dict[str, Deque[float]] = {}  # guarded-by: _lock
+        self._shed: Dict[str, int] = {}  # guarded-by: _lock
+        self._disconnects: Dict[str, int] = {}  # guarded-by: _lock
+        self._deadline: Dict[str, int] = {}  # guarded-by: _lock
 
     def observe(self, endpoint: str, seconds: float,
                 error: bool = False) -> None:

@@ -1,7 +1,11 @@
 """Shared fixtures: tiny worlds/datasets sized for fast unit tests."""
 
+import threading
+
 import numpy as np
 import pytest
+
+from repro.analysis.concurrency import detect_races
 
 from repro.data import (
     TextArtifacts,
@@ -55,3 +59,51 @@ def tiny_single_dataset(tiny_world):
 @pytest.fixture()
 def rng():
     return np.random.default_rng(0)
+
+
+@pytest.fixture()
+def run_threads():
+    """Barrier-started, exception-collecting worker pool for stress tests.
+
+    ``run(worker, count=8)`` starts ``count`` threads that all block on a
+    barrier (so the contended section genuinely overlaps), runs
+    ``worker(tid)`` in each, joins with a timeout, and asserts that no
+    worker raised and none hung.  The whole pool runs inside a
+    ``detect_races()`` window (tsan-lite), so a lock-order inversion or
+    a lock-held sleep anywhere under the workers fails the test with a
+    diagnosis instead of a flake.
+    """
+
+    def run(worker, count=8, timeout=60, races=True):
+        errors = []
+
+        def wrapped(tid):
+            try:
+                barrier.wait(timeout=timeout)
+                worker(tid)
+            except Exception as exc:  # noqa: BLE001 — collected, asserted
+                errors.append((tid, repr(exc)))
+
+        def pool():
+            threads = [
+                threading.Thread(target=wrapped, args=(tid,), daemon=True)
+                for tid in range(count)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=timeout)
+            return [t for t in threads if t.is_alive()]
+
+        if races:
+            with detect_races(raise_immediately=False) as detector:
+                barrier = threading.Barrier(count)
+                hung = pool()
+            assert not detector.violations, detector.violations[:3]
+        else:
+            barrier = threading.Barrier(count)
+            hung = pool()
+        assert not hung, f"{len(hung)} worker thread(s) hung"
+        assert not errors, errors[:5]
+
+    return run

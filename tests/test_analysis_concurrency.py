@@ -1,0 +1,433 @@
+"""Static lock-discipline analyzer (A001-A004): seeded violations caught,
+clean code passes, annotations and noqa suppression honoured."""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.analysis.concurrency import ARULES, analyze_paths, analyze_sources
+from repro.analysis.concurrency.static import main
+
+# ----------------------------------------------------------------------
+# Fixture sources
+# ----------------------------------------------------------------------
+A001_BAD = '''\
+import threading
+
+class Counter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._count = 0
+
+    def bump(self):
+        with self._lock:
+            self._count += 1
+
+    def dirty_read(self):
+        return self._count                    # line 13: unlocked read
+
+    def dirty_write(self):
+        self._count = 0                       # line 16: unlocked write
+'''
+
+A001_ANNOTATED = '''\
+import threading
+
+class Pinned:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._data = {}  # guarded-by: _lock
+        self._hint = None  # not-guarded: best-effort cache, torn reads fine
+
+    def read(self):
+        return self._data.get(1)              # line 10: violates the pin
+
+    def hint(self):
+        self._hint = 3                        # opted out: no violation
+'''
+
+A001_BAD_ANNOTATION = '''\
+import threading
+
+class Mispinned:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._data = {}  # guarded-by: _mutex
+'''
+
+A001_NEVER_LOCKED_WRITE = '''\
+import threading
+
+class Sloppy:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._total = 0
+
+    def add(self, x):
+        self._total += x                      # line 9: never locked write
+'''
+
+A001_CLEAN = '''\
+import threading
+
+class Tidy:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._items = []
+        self.capacity = 8                     # init-only: not a candidate
+
+    def push(self, x):
+        with self._lock:
+            self._items.append(x)
+            self._items = self._items[-self.capacity:]
+
+    def size(self):
+        with self._lock:
+            return len(self._items)
+
+    def _drop_locked(self):
+        # *_locked convention: caller holds the lock.
+        self._items.clear()
+'''
+
+A002_BAD = '''\
+import threading
+
+class Ledger:
+    def __init__(self, journal):
+        self._lock = threading.Lock()
+        self.journal = Journal(self)
+
+    def post(self):
+        with self._lock:
+            self.journal.append()             # Ledger._lock -> Journal._lock
+
+class Journal:
+    def __init__(self, ledger):
+        self._lock = threading.Lock()
+        self.ledger = Ledger(self)
+
+    def append(self):
+        with self._lock:
+            pass
+
+    def replay(self):
+        with self._lock:
+            self.ledger.post()                # Journal._lock -> Ledger._lock
+'''
+
+A002_TWO_LOCK_INVERSION = '''\
+import threading
+
+class Inverted:
+    def __init__(self):
+        self._a = threading.Lock()
+        self._b = threading.Lock()
+
+    def forward(self):
+        with self._a:
+            with self._b:
+                pass
+
+    def backward(self):
+        with self._b:
+            with self._a:
+                pass
+'''
+
+A002_CLEAN_ORDERED = '''\
+import threading
+
+class Ordered:
+    def __init__(self):
+        self._a = threading.Lock()
+        self._b = threading.Lock()
+
+    def one(self):
+        with self._a:
+            with self._b:
+                pass
+
+    def two(self):
+        with self._a:
+            with self._b:
+                pass
+'''
+
+A003_BAD = '''\
+import subprocess
+import threading
+import time
+
+class Flusher:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._worker = threading.Thread(target=print)
+
+    def nap(self):
+        with self._lock:
+            time.sleep(0.5)                   # line 12
+
+    def spill(self, path):
+        with self._lock:
+            with open(path) as fh:            # line 16
+                return fh.read()
+
+    def spawn(self):
+        with self._lock:
+            subprocess.run(["true"])          # line 21
+
+    def reap(self):
+        with self._lock:
+            self._worker.join()               # line 25
+'''
+
+A003_CLEAN = '''\
+import threading
+import time
+
+class Polite:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._queue = []
+
+    def drain(self):
+        with self._lock:
+            batch = list(self._queue)
+            self._queue = []
+        time.sleep(0.01)                      # outside the lock: fine
+        return batch
+'''
+
+A004_BAD_DIRECT = '''\
+import threading
+
+class Reent:
+    def __init__(self):
+        self._lock = threading.Lock()
+
+    def outer(self):
+        with self._lock:
+            with self._lock:                  # line 9: direct re-acquire
+                pass
+'''
+
+A004_BAD_SELF_CALL = '''\
+import threading
+
+class SelfCall:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._n = 0
+
+    def get(self):
+        with self._lock:
+            return self._n
+
+    def double(self):
+        with self._lock:
+            return self.get() * 2             # line 14: re-acquire via call
+'''
+
+A004_RLOCK_OK = '''\
+import threading
+
+class Nested:
+    def __init__(self):
+        self._lock = threading.RLock()
+        self._n = 0
+
+    def get(self):
+        with self._lock:
+            return self._n
+
+    def double(self):
+        with self._lock:
+            return self.get() * 2             # RLock: legal re-entry
+'''
+
+
+def analyze_str(*sources, rules=None):
+    return analyze_sources(
+        [(src, f"fixture_{i}.py") for i, src in enumerate(sources)],
+        rules=rules,
+    )
+
+
+def rules_of(violations):
+    return sorted({v.rule for v in violations})
+
+
+# ----------------------------------------------------------------------
+# A001
+# ----------------------------------------------------------------------
+class TestA001:
+    def test_inferred_guard_flags_dirty_access(self):
+        a001 = [v for v in analyze_str(A001_BAD) if v.rule == "A001"]
+        assert sorted(v.line for v in a001) == [13, 16]
+        assert all("_count" in v.message for v in a001)
+        assert any("read" in v.message for v in a001)
+        assert any("written" in v.message for v in a001)
+
+    def test_guarded_by_pin_and_not_guarded_opt_out(self):
+        a001 = [v for v in analyze_str(A001_ANNOTATED) if v.rule == "A001"]
+        assert [v.line for v in a001] == [10]
+        assert "_data" in a001[0].message
+        # _hint is opted out: no violation mentions it.
+        assert not any("_hint" in v.message for v in a001)
+
+    def test_guarded_by_unknown_lock_is_flagged(self):
+        a001 = analyze_str(A001_BAD_ANNOTATION)
+        assert rules_of(a001) == ["A001"]
+        assert "_mutex" in a001[0].message
+
+    def test_never_locked_write_flagged(self):
+        a001 = [v for v in analyze_str(A001_NEVER_LOCKED_WRITE)
+                if v.rule == "A001"]
+        assert [v.line for v in a001] == [9]
+        assert "not-guarded" in a001[0].message  # suggests the opt-out
+
+    def test_clean_class_passes(self):
+        assert analyze_str(A001_CLEAN) == []
+
+    def test_lockless_class_ignored(self):
+        src = "class Plain:\n    def set(self, x):\n        self.x = x\n"
+        assert analyze_str(src) == []
+
+    def test_noqa_suppresses(self):
+        suppressed = A001_BAD.replace(
+            "return self._count",
+            "return self._count  # noqa: A001",
+        ).replace(
+            "self._count = 0  ",
+            "self._count = 0  # noqa: A001",
+        )
+        # Only the __init__ assignment keeps its bare form; both method
+        # sites carry the noqa and must be silent.
+        assert [v for v in analyze_str(suppressed) if v.rule == "A001"] == []
+
+    def test_noqa_a_rule_does_not_leak_to_lint(self):
+        from repro.analysis.lint import lint_sources
+
+        src = ("import numpy as np\n"
+               "x = np.random.rand()  # noqa: A001\n")
+        violations, _ = lint_sources(src, "f.py")
+        assert [v.rule for v in violations] == ["R002"]
+
+
+# ----------------------------------------------------------------------
+# A002
+# ----------------------------------------------------------------------
+class TestA002:
+    def test_cross_class_cycle_detected(self):
+        a002 = [v for v in analyze_str(A002_BAD) if v.rule == "A002"]
+        assert len(a002) == 1
+        assert "Ledger._lock" in a002[0].message
+        assert "Journal._lock" in a002[0].message
+
+    def test_two_lock_inversion_detected(self):
+        a002 = [v for v in analyze_str(A002_TWO_LOCK_INVERSION)
+                if v.rule == "A002"]
+        assert len(a002) == 1
+        assert "Inverted._a" in a002[0].message
+
+    def test_consistent_order_passes(self):
+        assert [v for v in analyze_str(A002_CLEAN_ORDERED)
+                if v.rule == "A002"] == []
+
+    def test_cycle_spanning_files_detected(self):
+        half_a, half_b = A002_BAD.split("class Journal:")
+        a002 = analyze_str(
+            half_a, "class Journal:" + half_b, rules={"A002"}
+        )
+        assert len(a002) == 1
+
+
+# ----------------------------------------------------------------------
+# A003
+# ----------------------------------------------------------------------
+class TestA003:
+    def test_blocking_calls_under_lock_flagged(self):
+        a003 = [v for v in analyze_str(A003_BAD) if v.rule == "A003"]
+        assert sorted(v.line for v in a003) == [12, 16, 21, 25]
+        joined = " ".join(v.message for v in a003)
+        assert "time.sleep" in joined
+        assert "open" in joined
+        assert "subprocess.run" in joined
+        assert "Thread.join" in joined
+
+    def test_blocking_outside_lock_passes(self):
+        assert [v for v in analyze_str(A003_CLEAN) if v.rule == "A003"] == []
+
+
+# ----------------------------------------------------------------------
+# A004
+# ----------------------------------------------------------------------
+class TestA004:
+    def test_direct_nested_lock_flagged(self):
+        a004 = [v for v in analyze_str(A004_BAD_DIRECT) if v.rule == "A004"]
+        assert [v.line for v in a004] == [9]
+
+    def test_reacquire_via_self_call_flagged(self):
+        a004 = [v for v in analyze_str(A004_BAD_SELF_CALL)
+                if v.rule == "A004"]
+        assert [v.line for v in a004] == [14]
+        assert "SelfCall.get" in a004[0].message
+
+    def test_rlock_reentry_legal(self):
+        assert [v for v in analyze_str(A004_RLOCK_OK)
+                if v.rule == "A004"] == []
+
+
+# ----------------------------------------------------------------------
+# Driver / CLI
+# ----------------------------------------------------------------------
+class TestDriver:
+    def test_rule_catalogue(self):
+        assert set(ARULES) == {"A001", "A002", "A003", "A004"}
+
+    def test_select_subset(self):
+        only = analyze_str(A001_BAD, A004_BAD_DIRECT, rules={"A004"})
+        assert rules_of(only) == ["A004"]
+
+    def test_syntax_error_reported_not_crash(self):
+        violations = analyze_str("def f(:\n")
+        assert violations and violations[0].rule == "A000"
+
+    def test_analyze_paths_over_tree(self, tmp_path):
+        (tmp_path / "bad.py").write_text(A004_BAD_DIRECT)
+        (tmp_path / "good.py").write_text(A001_CLEAN)
+        violations = analyze_paths([str(tmp_path)])
+        assert rules_of(violations) == ["A004"]
+
+    def test_cli_exit_codes_and_json(self, tmp_path, capsys):
+        import json
+
+        bad = tmp_path / "bad.py"
+        bad.write_text(A003_BAD)
+        good = tmp_path / "good.py"
+        good.write_text(A003_CLEAN)
+        assert main([str(good)]) == 0
+        assert main([str(bad), "--format", "json"]) == 1
+        report = json.loads(capsys.readouterr().out)
+        assert report["count"] == 4
+        assert all(v["rule"] == "A003" for v in report["violations"])
+
+    def test_cli_ignore(self, tmp_path):
+        f = tmp_path / "bad.py"
+        f.write_text(A003_BAD)
+        assert main([str(f), "--ignore", "A003"]) == 0
+
+    def test_module_entrypoint_runs(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text(A004_BAD_DIRECT)
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.analysis.concurrency", str(bad)],
+            capture_output=True, text=True,
+        )
+        assert proc.returncode == 1
+        assert "A004" in proc.stdout
+
+    def test_serve_tree_is_clean(self):
+        assert analyze_paths(["src/repro/serve"]) == []

@@ -1,0 +1,121 @@
+"""Unified analysis gate: exit codes, rule routing, and the tier-1
+"tree stays clean" guarantee for the concurrency rules."""
+
+import io
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.__main__ import main as gate_main
+from repro.analysis.__main__ import run_gate
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+LINT_DIRTY = (
+    "import numpy as np\n"
+    "x = np.random.rand(3)\n"
+)
+
+CONC_DIRTY = (
+    "import threading\n"
+    "\n"
+    "class Reent:\n"
+    "    def __init__(self):\n"
+    "        self._lock = threading.Lock()\n"
+    "\n"
+    "    def boom(self):\n"
+    "        with self._lock:\n"
+    "            with self._lock:\n"
+    "                pass\n"
+)
+
+CLEAN = "def fine():\n    return 1\n"
+
+
+def write_tree(tmp_path, **files):
+    for name, text in files.items():
+        (tmp_path / f"{name}.py").write_text(text)
+    return str(tmp_path)
+
+
+class TestExitCodes:
+    def test_0_clean(self, tmp_path):
+        assert run_gate([write_tree(tmp_path, a=CLEAN)], out=io.StringIO()) == 0
+
+    def test_1_lint_only(self, tmp_path):
+        path = write_tree(tmp_path, a=LINT_DIRTY)
+        assert run_gate([path], out=io.StringIO()) == 1
+
+    def test_2_concurrency_only(self, tmp_path):
+        path = write_tree(tmp_path, a=CONC_DIRTY)
+        assert run_gate([path], out=io.StringIO()) == 2
+
+    def test_3_both(self, tmp_path):
+        path = write_tree(tmp_path, a=LINT_DIRTY, b=CONC_DIRTY)
+        assert run_gate([path], out=io.StringIO()) == 3
+
+
+class TestRuleRouting:
+    def test_select_one_prong_skips_other(self, tmp_path):
+        path = write_tree(tmp_path, a=LINT_DIRTY, b=CONC_DIRTY)
+        # Selecting only an A-rule must not even report the lint dirt.
+        assert run_gate([path], select="A004", out=io.StringIO()) == 2
+        assert run_gate([path], select="R002", out=io.StringIO()) == 1
+
+    def test_mixed_select(self, tmp_path):
+        path = write_tree(tmp_path, a=LINT_DIRTY, b=CONC_DIRTY)
+        assert run_gate([path], select="R002,A004", out=io.StringIO()) == 3
+
+    def test_ignore_routes_across_prongs(self, tmp_path):
+        path = write_tree(tmp_path, a=LINT_DIRTY, b=CONC_DIRTY)
+        assert run_gate([path], ignore="R002,A004", out=io.StringIO()) == 0
+
+    def test_unknown_rule_rejected(self, tmp_path):
+        with pytest.raises(SystemExit, match="unknown"):
+            run_gate([str(tmp_path)], select="Z999", out=io.StringIO())
+
+    def test_json_report_shape(self, tmp_path, capsys):
+        path = write_tree(tmp_path, a=LINT_DIRTY, b=CONC_DIRTY)
+        code = gate_main([path, "--format", "json"])
+        report = json.loads(capsys.readouterr().out)
+        assert code == report["exit_code"] == 3
+        assert report["lint"]["count"] == 1
+        assert report["concurrency"]["count"] == 1
+        assert report["lint"]["violations"][0]["rule"] == "R002"
+        assert report["concurrency"]["violations"][0]["rule"] == "A004"
+
+
+class TestCLI:
+    def test_list_rules_covers_both_catalogues(self, capsys):
+        assert gate_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        assert "R001" in out and "A001" in out
+
+    def test_subcommand_dispatch(self, tmp_path, capsys):
+        path = write_tree(tmp_path, a=LINT_DIRTY)
+        assert gate_main(["lint", path]) == 1
+        assert gate_main(["concurrency", path]) == 0
+
+    def test_module_entrypoint_gate_on_tree(self):
+        """The acceptance criterion: `python -m repro.analysis gate` == 0."""
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.analysis", "gate"],
+            capture_output=True, text=True, cwd=REPO_ROOT,
+            env={"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin:/bin"},
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+class TestTreeStaysClean:
+    """tier-1 gate: zero A-rule violations across the shipped tree."""
+
+    def test_gate_clean_in_process(self):
+        roots = [
+            str(REPO_ROOT / name)
+            for name in ("src", "benchmarks", "examples")
+            if (REPO_ROOT / name).is_dir()
+        ]
+        assert run_gate(roots, out=io.StringIO()) == 0

@@ -1,0 +1,226 @@
+"""tsan-lite runtime detector: inversions, reentrancy, lock-held I/O."""
+
+import threading
+import time
+
+import pytest
+
+from repro.analysis.concurrency import (
+    InstrumentedLock,
+    LockHeldIOError,
+    LockOrderError,
+    RaceDetector,
+    ReentrantAcquireError,
+    detect_races,
+)
+
+
+def in_thread(fn, timeout=10):
+    """Run fn in a worker thread; return (result, exception)."""
+    box = {}
+
+    def run():
+        try:
+            box["result"] = fn()
+        except BaseException as exc:  # noqa: BLE001 — relayed to the test
+            box["error"] = exc
+
+    worker = threading.Thread(target=run, daemon=True)
+    worker.start()
+    worker.join(timeout=timeout)
+    assert not worker.is_alive(), "worker hung"
+    return box.get("result"), box.get("error")
+
+
+class TestLockOrder:
+    def test_inversion_detected_before_blocking(self):
+        with detect_races(patch_factories=False) as detector:
+            a = InstrumentedLock(name="A")
+            b = InstrumentedLock(name="B")
+            with a:
+                with b:
+                    pass
+
+            def invert():
+                with b:
+                    with a:
+                        pass
+
+            _, error = in_thread(invert)
+            assert isinstance(error, LockOrderError)
+            assert "A" in str(error) and "B" in str(error)
+            assert detector.violations == [error]
+            detector.violations.clear()
+
+    def test_transitive_inversion_detected(self):
+        """A->B and B->C recorded; C->A must close the cycle."""
+        with detect_races(patch_factories=False) as detector:
+            a = InstrumentedLock(name="A")
+            b = InstrumentedLock(name="B")
+            c = InstrumentedLock(name="C")
+            with a:
+                with b:
+                    pass
+            with b:
+                with c:
+                    pass
+
+            def close_cycle():
+                with c:
+                    with a:
+                        pass
+
+            _, error = in_thread(close_cycle)
+            assert isinstance(error, LockOrderError)
+            detector.violations.clear()
+
+    def test_consistent_order_passes(self):
+        with detect_races(patch_factories=False) as detector:
+            a = InstrumentedLock(name="A")
+            b = InstrumentedLock(name="B")
+
+            def ordered():
+                for _ in range(50):
+                    with a:
+                        with b:
+                            pass
+
+            workers = [threading.Thread(target=ordered) for _ in range(4)]
+            for w in workers:
+                w.start()
+            for w in workers:
+                w.join(timeout=10)
+            assert detector.violations == []
+            graph = detector.order_graph()
+            assert graph.get("A") == {"B"}
+
+    def test_collect_mode_raises_on_exit(self):
+        with pytest.raises(LockOrderError):
+            with detect_races(
+                patch_factories=False, raise_immediately=False
+            ):
+                a = InstrumentedLock(name="A")
+                b = InstrumentedLock(name="B")
+                with a:
+                    with b:
+                        pass
+
+                def invert():
+                    with b:
+                        with a:
+                            pass
+
+                _, error = in_thread(invert)
+                assert error is None  # collected, not raised in-thread
+
+
+class TestReentrancy:
+    def test_nonreentrant_reacquire_raises(self):
+        with detect_races(patch_factories=False) as detector:
+            lock = InstrumentedLock(name="L")
+            with lock:
+                with pytest.raises(ReentrantAcquireError):
+                    lock.acquire()
+            detector.violations.clear()
+
+    def test_reentrant_lock_reacquire_legal(self):
+        with detect_races(patch_factories=False) as detector:
+            lock = InstrumentedLock(name="R", reentrant=True)
+            with lock:
+                with lock:
+                    pass
+            assert detector.violations == []
+
+    def test_nonblocking_probe_of_held_lock_legal(self):
+        """Condition._is_owned probes acquire(False); must not raise."""
+        with detect_races(patch_factories=False) as detector:
+            lock = InstrumentedLock(name="L")
+            with lock:
+                assert lock.acquire(blocking=False) is False
+            assert detector.violations == []
+
+    def test_condition_wrapping_instrumented_lock_works(self):
+        with detect_races() as detector:
+            cond = threading.Condition(threading.Lock())
+            fired = []
+
+            def waiter():
+                with cond:
+                    cond.wait(timeout=5)
+                    fired.append(True)
+
+            worker = threading.Thread(target=waiter, daemon=True)
+            worker.start()
+            deadline = time.time() + 5
+            while time.time() < deadline:
+                with cond:
+                    if worker.is_alive():
+                        cond.notify_all()
+                if fired:
+                    break
+            worker.join(timeout=5)
+            assert fired == [True]
+            assert detector.violations == []
+
+
+class TestLockHeldIO:
+    def test_sleep_under_lock_detected(self):
+        with detect_races() as detector:
+            lock = threading.Lock()
+            with lock:
+                with pytest.raises(LockHeldIOError):
+                    time.sleep(0.001)
+            detector.violations.clear()
+
+    def test_sleep_outside_lock_fine(self):
+        with detect_races() as detector:
+            time.sleep(0.001)
+            assert detector.violations == []
+
+
+class TestFactoriesAndLifecycle:
+    def test_factories_patched_and_restored(self):
+        raw_lock = threading.Lock
+        raw_sleep = time.sleep
+        with detect_races():
+            assert isinstance(threading.Lock(), InstrumentedLock)
+            assert isinstance(threading.RLock(), InstrumentedLock)
+        assert threading.Lock is raw_lock
+        assert time.sleep is raw_sleep
+
+    def test_windows_do_not_nest(self):
+        with detect_races(patch_factories=False):
+            with pytest.raises(RuntimeError, match="nest"):
+                with detect_races(patch_factories=False):
+                    pass
+
+    def test_instrumented_lock_inert_outside_window(self):
+        lock = InstrumentedLock(name="L")
+        with lock:
+            assert lock.locked()
+        assert not lock.locked()
+
+    def test_explicit_detector_wiring(self):
+        detector = RaceDetector(raise_immediately=False)
+        a = InstrumentedLock(name="A", detector=detector)
+        b = InstrumentedLock(name="B", detector=detector)
+        with a:
+            with b:
+                pass
+
+        def invert():
+            with b:
+                with a:
+                    pass
+
+        _, error = in_thread(invert)
+        assert error is None
+        assert len(detector.violations) == 1
+        assert isinstance(detector.violations[0], LockOrderError)
+
+    def test_duck_typing_matches_lock_api(self):
+        lock = InstrumentedLock(name="L")
+        assert lock.acquire() is True
+        assert lock.locked()
+        lock.release()
+        assert "InstrumentedLock" in repr(lock)

@@ -169,22 +169,16 @@ class TestCircuitBreaker:
         breaker.reset()
         assert breaker.state == CLOSED and breaker.allow()
 
-    def test_trip_once_under_concurrent_failures(self):
+    def test_trip_once_under_concurrent_failures(self, run_threads):
         """8 threads hammering failures: exactly one closed→open trip."""
         breaker, _ = self.make(threshold=4)
-        barrier = threading.Barrier(8)
 
-        def slam():
-            barrier.wait()
+        def slam(tid):
             for _ in range(16):
                 breaker.allow()
                 breaker.record_failure("burst")
 
-        threads = [threading.Thread(target=slam) for _ in range(8)]
-        for t in threads:
-            t.start()
-        for t in threads:
-            t.join()
+        run_threads(slam, count=8)
         snap = breaker.snapshot()
         assert snap["state"] == OPEN
         assert snap["trips"] == 1
@@ -275,30 +269,18 @@ class TestFallbackChain:
         assert snap["failures"] == 1
         assert snap["last_failure_reason"] == "deadline"
 
-    def test_concurrent_prior_fallback_exact_counters(self):
+    def test_concurrent_prior_fallback_exact_counters(self, run_threads):
         """8 threads against a dead engine: every request answered by the
         prior, zero unserved, breaker tripped exactly once."""
         runtime, engine, _ = self.make(threshold=1)
         engine.fail = True
-        barrier = threading.Barrier(8)
-        errors = []
 
-        def slam():
-            barrier.wait()
+        def slam(tid):
             for _ in range(8):
-                try:
-                    out = runtime.predict([11])
-                    if out["source"] != "prior" or not out["degraded"]:
-                        errors.append(out)
-                except Exception as exc:  # noqa: BLE001 — recorded, asserted
-                    errors.append(exc)
+                out = runtime.predict([11])
+                assert out["source"] == "prior" and out["degraded"]
 
-        threads = [threading.Thread(target=slam) for _ in range(8)]
-        for t in threads:
-            t.start()
-        for t in threads:
-            t.join()
-        assert errors == []
+        run_threads(slam, count=8)
         snap = runtime.snapshot()
         assert snap["served"]["prior"] == 8 * 8
         assert snap["served"]["unserved"] == 0
@@ -377,15 +359,13 @@ class TestHTTPDegraded:
         assert metrics["breaker"]["failures"] == 0
         assert metrics["breaker"]["state"] == CLOSED
 
-    def test_eight_thread_load_zero_5xx(self, degraded_server):
+    def test_eight_thread_load_zero_5xx(self, degraded_server, run_threads):
         engine, runtime, base = degraded_server
         engine.fail = True
-        barrier = threading.Barrier(8)
         results = []
         lock = threading.Lock()
 
-        def slam():
-            barrier.wait()
+        def slam(tid):
             for _ in range(6):
                 status, body = _call("POST", base + "/predict",
                                      {"paper_ids": [3]})
@@ -393,11 +373,7 @@ class TestHTTPDegraded:
                     results.append((status, body.get("source"),
                                     body.get("degraded")))
 
-        threads = [threading.Thread(target=slam) for _ in range(8)]
-        for t in threads:
-            t.start()
-        for t in threads:
-            t.join()
+        run_threads(slam, count=8)
         assert len(results) == 48
         assert all(status == 200 for status, _, _ in results)
         assert all(source == "prior" and degraded

@@ -306,27 +306,18 @@ class TestConcurrentCounters:
     THREADS = 8
     PER_THREAD = 25
 
-    def test_metrics_and_cache_exact_under_load(self, server_factory):
+    def test_metrics_and_cache_exact_under_load(self, server_factory,
+                                                run_threads):
         server, engine, base = server_factory(ServiceLimits(max_inflight=64))
-        errors = []
 
         def worker(tid):
             for i in range(self.PER_THREAD):
                 pid = (tid * self.PER_THREAD + i) % engine.num_papers
-                try:
-                    status, _h, body = _get(f"{base}/predict?ids={pid}")
-                    if status != 200 or body["predictions"] != [float(pid)]:
-                        errors.append((tid, i, status, body))
-                except Exception as exc:  # noqa: BLE001 — collected below
-                    errors.append((tid, i, repr(exc)))
+                status, _h, body = _get(f"{base}/predict?ids={pid}")
+                assert status == 200
+                assert body["predictions"] == [float(pid)]
 
-        threads = [threading.Thread(target=worker, args=(t,))
-                   for t in range(self.THREADS)]
-        for t in threads:
-            t.start()
-        for t in threads:
-            t.join(timeout=60)
-        assert not errors, errors[:5]
+        run_threads(worker, count=self.THREADS)
 
         total = self.THREADS * self.PER_THREAD
         body = _metrics(base)
@@ -339,7 +330,7 @@ class TestConcurrentCounters:
         assert cache["misses"] == engine.num_papers  # first touch per id
         assert _wait_drained(server) == 0
 
-    def test_lru_cache_exact_counters_under_threads(self):
+    def test_lru_cache_exact_counters_under_threads(self, run_threads):
         cache = LRUCache(capacity=16)
         lookups_per_thread = 500
 
@@ -351,12 +342,7 @@ class TestConcurrentCounters:
                 if not found:
                     cache.put(key, key)
 
-        threads = [threading.Thread(target=worker, args=(s,))
-                   for s in range(self.THREADS)]
-        for t in threads:
-            t.start()
-        for t in threads:
-            t.join(timeout=60)
+        run_threads(worker, count=self.THREADS)
         stats = cache.stats()
         assert stats["hits"] + stats["misses"] == (
             self.THREADS * lookups_per_thread
@@ -364,19 +350,15 @@ class TestConcurrentCounters:
         assert stats["size"] <= 16
         assert len(cache) == stats["size"]
 
-    def test_service_metrics_thread_safe_observe(self):
+    def test_service_metrics_thread_safe_observe(self, run_threads):
         metrics = ServiceMetrics()
 
-        def worker():
+        def worker(tid):
             for _ in range(1000):
                 metrics.observe("/x", 0.001)
                 metrics.record_shed("/x")
 
-        threads = [threading.Thread(target=worker) for _ in range(6)]
-        for t in threads:
-            t.start()
-        for t in threads:
-            t.join(timeout=60)
+        run_threads(worker, count=6)
         snap = metrics.snapshot()
         assert snap["total_requests"] == 6000
         assert snap["total_shed"] == 6000
