@@ -24,6 +24,9 @@ Three granularities:
 * **contracts** — the data-contract layer (DESIGN §13): clean-graph and
   clean-batch scan cost (the per-ingestion overhead of validation) and
   the full detect+repair pass over a poisoned bench graph.
+* **sampling** — minibatch neighbor-sampling throughput (seed papers/s)
+  from the memory-mapped on-disk graph store (DESIGN §15) at 100k and
+  1M papers, with the tracemalloc peak as no-full-load evidence.
 
 Run with ``python -m benchmarks.perf`` (writes
 ``benchmarks/results/BENCH_perf.json``); gate regressions in CI with
@@ -455,6 +458,74 @@ def bench_contracts(repeats: int = 5,
 
 
 # ---------------------------------------------------------------------------
+# Minibatch sampling from the on-disk store (DESIGN §15)
+# ---------------------------------------------------------------------------
+
+def bench_sampling(scales=(100_000, 1_000_000), batches: int = 20,
+                   batch_size: int = 512, fanouts: int = 8,
+                   hops: int = 2) -> Dict[str, object]:
+    """Seed-paper throughput of neighbor-sampled minibatching at scale.
+
+    Synthesizes an on-disk store per scale (chunked writer — never holds
+    the graph in RAM), then times ``MinibatchSampler.next_minibatch``
+    over the training split.  ``python_peak_bytes`` is the tracemalloc
+    peak across bind + sampling: it covers only the O(num_papers) label
+    bookkeeping plus one subgraph's working set, a small fraction of
+    ``store_bytes`` (memory-mapped pages are not Python allocations) —
+    the no-full-load evidence the minibatch path was merged on.
+    """
+    import tempfile
+    import tracemalloc
+    from pathlib import Path
+
+    from repro.data import MinibatchSampler, synthesize_store
+    from repro.hetnet.schema import PAPER
+
+    out: Dict[str, object] = {
+        "batch_size": batch_size, "fanouts": fanouts, "hops": hops,
+        "scales": {},
+    }
+    for num_papers in scales:
+        with tempfile.TemporaryDirectory() as tmp:
+            start = time.perf_counter()
+            store = synthesize_store(Path(tmp) / "store", num_papers,
+                                     seed=0)
+            build_s = time.perf_counter() - start
+            train = np.asarray(store.split("train"))
+            labels = np.asarray(store.attr(PAPER, "label"),
+                                dtype=np.float64)
+
+            tracemalloc.start()
+            sampler = MinibatchSampler(batch_size=batch_size,
+                                       fanouts=fanouts, hops=hops, seed=0)
+            sampler.bind(store, train, np.log1p(labels[train]))
+            sampler.next_minibatch()  # warm the mmap/page caches
+            batch_nodes = 0
+            start = time.perf_counter()
+            for _ in range(batches):
+                mb = sampler.next_minibatch()
+                batch_nodes += sum(len(ids) for ids in mb.nodes.values())
+            sample_s = time.perf_counter() - start
+            _, peak = tracemalloc.get_traced_memory()
+            tracemalloc.stop()
+
+            out["scales"][str(num_papers)] = {
+                "num_papers": int(num_papers),
+                "num_train": int(len(train)),
+                "store_edges": int(store.total_edges),
+                "store_bytes": int(store.nbytes()),
+                "build_s": float(build_s),
+                "batches": int(batches),
+                "batches_per_s": float(batches / max(sample_s, 1e-12)),
+                "papers_per_s": float(batches * batch_size
+                                      / max(sample_s, 1e-12)),
+                "mean_batch_nodes": float(batch_nodes / batches),
+                "python_peak_bytes": int(peak),
+            }
+    return out
+
+
+# ---------------------------------------------------------------------------
 # Entry point
 # ---------------------------------------------------------------------------
 
@@ -474,4 +545,7 @@ def run_all(quick: bool = False) -> Dict[str, object]:
     report["contracts"] = bench_contracts(
         repeats=repeats,
         epoch_mean_s=report["cate_epochs"]["fused"]["epoch_mean_s"])
+    report["sampling"] = bench_sampling(
+        scales=(20_000, 100_000) if quick else (100_000, 1_000_000),
+        batches=5 if quick else 20)
     return report

@@ -6,7 +6,33 @@ import argparse
 import json
 from pathlib import Path
 
-from . import BENCH_PERF_PATH, run_all
+from . import (
+    BENCH_PERF_PATH,
+    bench_baseline_epochs,
+    bench_cate_epochs,
+    bench_contracts,
+    bench_hgn_passes,
+    bench_ops,
+    bench_sampling,
+    bench_serve,
+    run_all,
+)
+
+#: Individually re-runnable report sections for ``--section``: measuring
+#: one subsystem must not require re-timing the whole harness.
+SECTIONS = {
+    "ops": lambda quick: bench_ops(repeats=2 if quick else 5),
+    "hgn_passes": lambda quick: bench_hgn_passes(repeats=2 if quick else 5),
+    "cate_epochs": lambda quick: bench_cate_epochs(
+        outer_iters=2 if quick else 4),
+    "baseline_epochs": lambda quick: bench_baseline_epochs(
+        epochs=3 if quick else 8),
+    "serve": lambda quick: bench_serve(repeats=5 if quick else 20),
+    "contracts": lambda quick: bench_contracts(repeats=2 if quick else 5),
+    "sampling": lambda quick: bench_sampling(
+        scales=(20_000, 100_000) if quick else (100_000, 1_000_000),
+        batches=5 if quick else 20),
+}
 
 
 def summarize(report: dict) -> str:
@@ -56,6 +82,15 @@ def summarize(report: dict) -> str:
             f"{ct['repair_pass']['mean_s'] * 1e3:.2f}ms "
             f"({ct['poisoned_edges']} poisoned edges)"
         )
+    sp = report.get("sampling")
+    if sp:  # absent in reports written before the on-disk store existed
+        for scale, entry in sp["scales"].items():
+            lines.append(
+                f"sampling @{int(scale):>9,} papers  "
+                f"{entry['papers_per_s']:,.0f} papers/s  "
+                f"(store {entry['store_bytes'] / 2**20:,.0f} MiB, "
+                f"py peak {entry['python_peak_bytes'] / 2**20:.1f} MiB)"
+            )
     return "\n".join(lines)
 
 
@@ -66,9 +101,18 @@ def main() -> None:
     parser.add_argument("--output", type=Path, default=BENCH_PERF_PATH,
                         help=f"where to write the JSON report "
                              f"(default: {BENCH_PERF_PATH})")
+    parser.add_argument("--section", choices=sorted(SECTIONS),
+                        action="append",
+                        help="re-measure only the named section(s) and "
+                             "merge into the existing report (repeatable)")
     args = parser.parse_args()
 
-    report = run_all(quick=args.quick)
+    if args.section:
+        report = json.loads(args.output.read_text())
+        for name in args.section:
+            report[name] = SECTIONS[name](args.quick)
+    else:
+        report = run_all(quick=args.quick)
     args.output.parent.mkdir(parents=True, exist_ok=True)
     args.output.write_text(json.dumps(report, indent=2) + "\n")
     print(summarize(report))

@@ -171,7 +171,12 @@ class GraphBatch:
         edges = {}
         for key, edge in graph.edges.items():
             max_w = edge.weight.max() if edge.num_edges else 1.0
-            norm = edge.weight / max(max_w, 1e-12)
+            # Alias instead of copying when the weights are already
+            # normalized (the common all-ones case): x / 1.0 == x
+            # bitwise, and edge arrays are treated as immutable, so the
+            # alias is safe and saves an O(E) allocation per batch.
+            norm = (edge.weight if max_w == 1.0
+                    else edge.weight / max(max_w, 1e-12))
             edges[key] = (edge.src, edge.dst, edge.weight, norm)
         batch = cls(
             node_types=list(graph.schema.node_types),

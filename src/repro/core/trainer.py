@@ -27,6 +27,7 @@ steps back to the last good outer iteration with learning-rate backoff
 from __future__ import annotations
 
 import copy
+import json
 import time
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
@@ -35,6 +36,7 @@ from typing import Any, Dict, List, Optional, Tuple, Union
 import numpy as np
 
 from ..data.dblp import CitationDataset
+from ..data.sampling import MinibatchSampler
 from ..eval.metrics import rmse
 from ..hetnet import PAPER, TERM, HeteroGraph, sample_neighborhood
 from ..nn import Adam
@@ -123,6 +125,9 @@ class CATEHGN:
         self._bad_iters: int = 0
         self._outer_done: int = -1
         self._guard: Optional[DivergenceGuard] = None
+        # Minibatch pipeline (DESIGN §15): set by fit(sampler=...).
+        self._sampler: Optional[MinibatchSampler] = None
+        self._batch_policy: Optional[str] = None
 
     # ------------------------------------------------------------------
     def fit(self, dataset: CitationDataset, *,
@@ -130,7 +135,8 @@ class CATEHGN:
             resume: bool = False,
             checkpoint_every: int = 1,
             keep_last: int = 3,
-            validate: Optional[str] = None) -> "CATEHGN":
+            validate: Optional[str] = None,
+            sampler: Optional[MinibatchSampler] = None) -> "CATEHGN":
         """Run Algorithm 1; optionally checkpointed and resumable.
 
         Parameters
@@ -153,6 +159,18 @@ class CATEHGN:
             graph, ``"warn"`` warns and proceeds.  On clean data every
             policy is trajectory-neutral — the graph object is passed
             through untouched, pinned by ``test_golden_metrics.py``.
+        sampler:
+            A :class:`~repro.data.sampling.MinibatchSampler` switches
+            the mini-iterations of Algorithm 1 to neighbor-sampled
+            minibatches (DESIGN §15): each step samples a fresh seed
+            batch with its k-hop typed neighborhood and applies one
+            optimizer update on that subgraph.  The sampler is bound to
+            the (TE-rewritten) training graph and the fit split; its
+            cursor and RNG stream ride the snapshot protocol, so
+            kill-and-resume replays the identical remaining batch
+            sequence.  Contract validation (``validate=``) then also
+            runs per minibatch.  Center updates, TE refinement, and
+            evaluation stay full-batch at this repository's scale.
 
         Raises
         ------
@@ -186,6 +204,12 @@ class CATEHGN:
         self._base_batch = self._make_batch(graph, dataset)
         batch = self._augment_eval(self._base_batch)
         self._batch = batch
+        self._sampler = sampler
+        self._batch_policy = validate if sampler is not None else None
+        if sampler is not None:
+            sampler.bind(graph, self._fit_idx,
+                         self._normalize(dataset.labels[self._fit_idx]),
+                         hops=cfg.num_layers)
         if cfg.fused:
             # Warm the shared structure cache once, outside the timed
             # loop; every mini-iteration / eval pass below reuses it.
@@ -316,10 +340,14 @@ class CATEHGN:
         # Lines 3-9: I mini-iterations of HGN updates (centers frozen).
         loss_value = 0.0
         for mini in range(cfg.mini_iters):
-            mini_batch = self._augment_step(
-                self._sample_mini_batch(self._base_batch, self._dataset, rng),
-                rng,
-            )
+            if self._sampler is not None:
+                mini_batch = self._sampled_step_batch()
+            else:
+                mini_batch = self._augment_step(
+                    self._sample_mini_batch(self._base_batch, self._dataset,
+                                            rng),
+                    rng,
+                )
             try:
                 with self._anomaly_context():
                     state = self.model.forward_state(mini_batch)
@@ -432,6 +460,13 @@ class CATEHGN:
                 "events": copy.deepcopy(history.events),
             },
         }
+        if self._sampler is not None:
+            # Item cursor + neighbor RNG stream: a resumed run replays
+            # the identical remaining batch sequence (sample-resume
+            # drill).  The fingerprint guards against resuming under a
+            # different sampling configuration.
+            meta["sampler"] = copy.deepcopy(self._sampler.state_dict())
+            meta["sampler_fingerprint"] = self._sampler.fingerprint()
         arrays: Dict[str, np.ndarray] = {}
         pack_namespace(arrays, "model", self.model.state_dict())
         if self._best_state is not None:
@@ -466,6 +501,8 @@ class CATEHGN:
                 unpack_namespace(arrays, "opt_centers")
             )
         self._rng.bit_generator.state = copy.deepcopy(meta["rng_state"])
+        if self._sampler is not None and meta.get("sampler") is not None:
+            self._sampler.load_state_dict(copy.deepcopy(meta["sampler"]))
         saved = meta["history"]
         history = self.history
         history.train_loss = list(saved["train_loss"])
@@ -493,6 +530,18 @@ class CATEHGN:
                 "cannot resume: snapshot was written under a different "
                 f"configuration (differing keys: {diff}); refit from "
                 "scratch or restore the original config"
+            )
+        saved_fp = meta.get("sampler_fingerprint")
+        current_fp = (self._sampler.fingerprint()
+                      if self._sampler is not None else None)
+        # json round-trips the saved fingerprint, so compare through it.
+        if saved_fp != (None if current_fp is None
+                        else json.loads(json.dumps(current_fp))):
+            raise ValueError(
+                "cannot resume: snapshot was written under a different "
+                f"minibatch-sampler configuration (snapshot: {saved_fp!r}, "
+                f"current: {current_fp!r}); refit from scratch or restore "
+                "the original sampler"
             )
 
     # ------------------------------------------------------------------
@@ -549,6 +598,34 @@ class CATEHGN:
         # set_edges() rewrites invalidate it via the topology version.
         return GraphBatch.from_graph(graph, self._fit_idx, labels,
                                      share_structure=True)
+
+    def _sampled_step_batch(self) -> GraphBatch:
+        """One neighbor-sampled training batch (the ``sampler=`` path).
+
+        Contracts run per minibatch under the ``fit(validate=)`` policy;
+        the label-input channels are deterministic — known labels of the
+        non-seed papers in the subgraph feed the input, the loss is
+        taken on the seeds, and a seed never sees its own label (the
+        sampled analogue of :meth:`_augment_step`'s random masking,
+        without spending trainer RNG).
+        """
+        mb = self._sampler.next_minibatch()
+        batch = mb.batch
+        if self._batch_policy is not None:
+            from ..contracts import validate_batch
+
+            batch, report = validate_batch(batch, policy=self._batch_policy)
+            if batch is not mb.batch:
+                self.history.events.append({
+                    "type": "quarantine",
+                    "scope": "minibatch",
+                    "policy": self._batch_policy,
+                    "report": report.to_dict(),
+                })
+        if self.config.use_label_inputs:
+            batch = batch.with_label_inputs(mb.input_local, mb.input_values,
+                                            batch.labeled_ids, batch.labels)
+        return batch
 
     def _sample_mini_batch(self, batch: GraphBatch, dataset: CitationDataset,
                            rng: np.random.Generator) -> GraphBatch:

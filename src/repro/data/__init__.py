@@ -22,6 +22,22 @@ from .generator import (
 )
 from .io import load_graph, save_graph
 from .lexicon import DOMAIN_NAMES, DOMAIN_TERMS, GENERIC_TERMS
+from .sampling import (
+    ItemSampler,
+    MiniBatch,
+    MinibatchSampler,
+    NeighborSampler,
+    SampledSubgraph,
+)
+from .store import (
+    STORE_FORMAT_VERSION,
+    CSCEdges,
+    GraphStore,
+    StoreWriter,
+    synthesize_store,
+    write_store_from_dataset,
+    write_store_from_graph,
+)
 
 __all__ = [
     "WorldConfig",
@@ -45,4 +61,16 @@ __all__ = [
     "DOMAIN_NAMES",
     "DOMAIN_TERMS",
     "GENERIC_TERMS",
+    "STORE_FORMAT_VERSION",
+    "CSCEdges",
+    "GraphStore",
+    "StoreWriter",
+    "synthesize_store",
+    "write_store_from_graph",
+    "write_store_from_dataset",
+    "ItemSampler",
+    "MiniBatch",
+    "MinibatchSampler",
+    "NeighborSampler",
+    "SampledSubgraph",
 ]

@@ -337,8 +337,13 @@ def _draw_citations(config: WorldConfig, papers: List[Paper],
     domains = np.array([p.domain for p in papers])
     years = np.array([p.year for p in papers])
     for i, paper in enumerate(papers):
-        eligible = np.nonzero(years[:i] < paper.year)[0]
-        if len(eligible) == 0:
+        # Papers are sorted by year, so the eligible set is exactly the
+        # prefix [0, cut) — same ids in the same order the previous
+        # O(N) boolean scan produced (RNG-identical), without rescanning
+        # the whole history per paper.
+        cut = int(np.searchsorted(years, paper.year, side="left"))
+        eligible = np.arange(cut)
+        if cut == 0:
             continue
         count = min(int(rng.poisson(config.mean_references)), len(eligible))
         if count == 0:

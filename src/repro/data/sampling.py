@@ -1,0 +1,514 @@
+"""Seeded minibatch + k-hop typed neighbor sampling (DESIGN §15).
+
+The graphbolt-style pipeline behind ``CATEHGN.fit(sampler=...)``:
+
+- :class:`ItemSampler` — deterministic, resumable seed-batch iterator.
+  The epoch permutation is a pure function of ``(seed, epoch)`` (drawn
+  from a fresh ``default_rng([seed, epoch])``), so its complete state is
+  two integers: resuming from ``(epoch, cursor)`` replays the exact
+  remaining batch sequence without storing the permutation.
+- :class:`NeighborSampler` — k-hop typed neighborhood expansion over
+  any CSC source (an on-disk :class:`~repro.data.store.GraphStore`, read
+  through its memmaps, or a live :class:`~repro.hetnet.HeteroGraph`
+  through its destination-grouped ``csr()`` index).  Per-edge-type
+  fanouts, with- and without-replacement modes, vectorized picks; owns
+  a seeded RNG whose bit-generator state is part of the resume state.
+- :class:`MinibatchSampler` — composes the two into mini
+  :class:`~repro.core.hgn.GraphBatch` objects: sampled-edge subgraph
+  (not induced — only edges the sampler drew), per-type sorted original
+  ids, features gathered row-wise from the source (a few pages of a
+  memmapped store, never the full matrix), the batch's own
+  ``BatchStructure`` cache per sampled topology, and deterministic
+  label-input channels (known labels of *non-seed* papers in the
+  subgraph are visible; a seed never sees its own label).
+
+Every sampled edge exists in the source, fanout caps hold per edge type,
+every batch contains its seeds, and a fixed seed yields a bitwise
+identical sample sequence — all pinned by
+``tests/test_sampling_properties.py``.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Tuple, Union
+
+import numpy as np
+
+from ..hetnet import HeteroGraph
+from ..hetnet.schema import PAPER, EdgeTypeKey
+from .store import GraphStore
+
+__all__ = [
+    "ItemSampler",
+    "MiniBatch",
+    "MinibatchSampler",
+    "NeighborSampler",
+    "SampledSubgraph",
+]
+
+FanoutSpec = Union[int, Mapping[EdgeTypeKey, int]]
+
+
+# ----------------------------------------------------------------------
+# Source adapter: one CSC-shaped view over GraphStore / HeteroGraph
+# ----------------------------------------------------------------------
+class _Source:
+    """Uniform sampling view over a store or a live graph.
+
+    Reads go through the base object on every call, so a live graph's
+    topology rewrites (TE term refinement calls ``set_edges``, which
+    drops the affected ``csr`` cache entry) are picked up immediately.
+    """
+
+    def __init__(self, base: Union[GraphStore, HeteroGraph]) -> None:
+        if isinstance(base, GraphStore):
+            self._store: Optional[GraphStore] = base
+            self._graph: Optional[HeteroGraph] = None
+        elif isinstance(base, HeteroGraph):
+            self._store = None
+            self._graph = base
+        else:
+            raise TypeError(
+                f"expected GraphStore or HeteroGraph, got {type(base)!r}"
+            )
+        self.base = base
+
+    @property
+    def node_types(self) -> List[str]:
+        if self._store is not None:
+            return list(self._store.num_nodes)
+        return list(self._graph.schema.node_types)
+
+    @property
+    def num_nodes(self) -> Dict[str, int]:
+        return dict(self.base.num_nodes)
+
+    @property
+    def edge_keys(self) -> List[EdgeTypeKey]:
+        if self._store is not None:
+            return list(self._store.edge_keys)
+        return list(self._graph.edges)
+
+    def csc(self, key: EdgeTypeKey
+            ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """(indptr, src indices, weights) grouped by destination."""
+        if self._store is not None:
+            csc = self._store.csc(key)
+            return csc.indptr, csc.indices, csc.weights
+        csr = self._graph.csr(key)  # dst-grouped == CSC
+        return csr.indptr, csr.src, csr.weight
+
+    def features(self, node_type: str) -> np.ndarray:
+        if self._store is not None:
+            return self._store.features(node_type)
+        return self._graph.node_features[node_type]
+
+
+def _as_source(base) -> _Source:
+    return base if isinstance(base, _Source) else _Source(base)
+
+
+def _normalize_fanouts(fanouts: FanoutSpec,
+                       edge_keys: List[EdgeTypeKey]
+                       ) -> Dict[EdgeTypeKey, int]:
+    """Expand a fanout spec to one int per edge type.
+
+    An ``int`` applies to every edge type; a mapping applies per type
+    (types it omits get fanout 0 — not expanded).  ``-1`` means take
+    *all* neighbors of that type.
+    """
+    if isinstance(fanouts, int):
+        return {key: int(fanouts) for key in edge_keys}
+    out = {key: 0 for key in edge_keys}
+    for key, value in fanouts.items():
+        key = tuple(key)
+        if key not in out:
+            raise ValueError(f"fanout given for unknown edge type {key}")
+        out[key] = int(value)
+    return out
+
+
+# ----------------------------------------------------------------------
+# ItemSampler
+# ----------------------------------------------------------------------
+class ItemSampler:
+    """Shuffled, resumable batches over a fixed item array.
+
+    The permutation of epoch ``e`` is ``default_rng([seed, e])``'s, so
+    ``state_dict()`` is just ``{"epoch", "cursor"}`` and a resumed
+    sampler replays the identical remaining sequence.
+    """
+
+    def __init__(self, items: np.ndarray, batch_size: int, *,
+                 shuffle: bool = True, seed: int = 0) -> None:
+        self.items = np.asarray(items, dtype=np.intp)
+        if len(self.items) == 0:
+            raise ValueError("ItemSampler needs at least one item")
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        self.batch_size = int(batch_size)
+        self.shuffle = bool(shuffle)
+        self.seed = int(seed)
+        self.epoch = 0
+        self.cursor = 0
+        self._perm: Optional[np.ndarray] = None
+        self._perm_epoch = -1
+
+    @property
+    def batches_per_epoch(self) -> int:
+        return -(-len(self.items) // self.batch_size)
+
+    def _permutation(self) -> np.ndarray:
+        if not self.shuffle:
+            return np.arange(len(self.items))
+        if self._perm is None or self._perm_epoch != self.epoch:
+            rng = np.random.default_rng([self.seed, self.epoch])
+            self._perm = rng.permutation(len(self.items))
+            self._perm_epoch = self.epoch
+        return self._perm
+
+    def next_batch(self) -> np.ndarray:
+        """The next batch of items, cycling epochs forever."""
+        perm = self._permutation()
+        take = perm[self.cursor:self.cursor + self.batch_size]
+        self.cursor += len(take)
+        if self.cursor >= len(self.items):
+            self.epoch += 1
+            self.cursor = 0
+        return self.items[take]
+
+    def state_dict(self) -> Dict[str, int]:
+        return {"epoch": int(self.epoch), "cursor": int(self.cursor)}
+
+    def load_state_dict(self, state: Mapping[str, int]) -> None:
+        self.epoch = int(state["epoch"])
+        self.cursor = int(state["cursor"])
+
+    def fingerprint(self) -> Dict[str, Any]:
+        return {"num_items": len(self.items),
+                "batch_size": self.batch_size,
+                "shuffle": self.shuffle, "seed": self.seed}
+
+
+# ----------------------------------------------------------------------
+# NeighborSampler
+# ----------------------------------------------------------------------
+@dataclass
+class SampledSubgraph:
+    """One sampled k-hop neighborhood, relabeled to local ids.
+
+    ``nodes[t]`` holds the *sorted original* ids kept per node type;
+    edge endpoints are positions into those arrays.  Only edges the
+    sampler actually drew are present (sampled-edge subgraph, not the
+    induced subgraph — no O(N) lookup tables are ever built).
+    """
+
+    nodes: Dict[str, np.ndarray]
+    # key -> (src_local, dst_local, weight)
+    edges: Dict[EdgeTypeKey, Tuple[np.ndarray, np.ndarray, np.ndarray]]
+    seed_type: str
+    seeds: np.ndarray  # original ids, in the order they were given
+    seed_local: np.ndarray  # positions of the seeds in nodes[seed_type]
+
+    @property
+    def num_nodes(self) -> Dict[str, int]:
+        return {t: len(ids) for t, ids in self.nodes.items()}
+
+    @property
+    def total_edges(self) -> int:
+        return sum(len(e[0]) for e in self.edges.values())
+
+
+class NeighborSampler:
+    """K-hop typed neighbor sampling over a CSC source.
+
+    Each hop expands every frontier node's incoming edge types (message
+    passing flows src → dst, so the relevant neighbors of a node are the
+    *sources* of edges into it) with at most ``fanouts[edge_type]``
+    sampled neighbors.  ``replace=True`` draws exactly ``fanout``
+    neighbors with replacement from every non-isolated node (one
+    vectorized draw per edge type per hop); ``replace=False`` takes all
+    neighbors of nodes at or under the fanout and samples without
+    replacement from the rest.  A node is expanded at most once per
+    ``sample()`` call, so without-replacement subgraphs contain no
+    duplicate edges.
+    """
+
+    def __init__(self, source, fanouts: FanoutSpec, *, hops: int = 2,
+                 replace: bool = False, seed=0,
+                 seed_type: str = PAPER) -> None:
+        self.source = _as_source(source)
+        self.fanouts = _normalize_fanouts(fanouts, self.source.edge_keys)
+        if hops < 1:
+            raise ValueError(f"hops must be >= 1, got {hops}")
+        self.hops = int(hops)
+        self.replace = bool(replace)
+        self.seed_type = seed_type
+        self._rng = np.random.default_rng(seed)
+
+    # ------------------------------------------------------------------
+    def sample(self, seed_ids: np.ndarray) -> SampledSubgraph:
+        seeds = np.asarray(seed_ids, dtype=np.int64)
+        node_types = self.source.node_types
+        empty = np.empty(0, dtype=np.int64)
+        # Nodes already expanded (or queued for expansion), sorted unique.
+        seen: Dict[str, np.ndarray] = {t: empty for t in node_types}
+        seen[self.seed_type] = np.unique(seeds)
+        frontier: Dict[str, np.ndarray] = {
+            self.seed_type: seen[self.seed_type]
+        }
+        raw_edges: Dict[EdgeTypeKey, List[Tuple[np.ndarray, ...]]] = {}
+
+        for _ in range(self.hops):
+            if not frontier:
+                break
+            gathered: Dict[str, List[np.ndarray]] = {}
+            for key in self.source.edge_keys:
+                src_t, _, dst_t = key
+                fanout = self.fanouts[key]
+                front = frontier.get(dst_t)
+                if fanout == 0 or front is None or len(front) == 0:
+                    continue
+                e_src, e_dst, e_w = self._pick(key, front, fanout)
+                if len(e_src) == 0:
+                    continue
+                raw_edges.setdefault(key, []).append((e_src, e_dst, e_w))
+                gathered.setdefault(src_t, []).append(e_src)
+            frontier = {}
+            for t, chunks in gathered.items():
+                candidates = np.unique(np.concatenate(chunks))
+                fresh = candidates[~np.isin(candidates, seen[t],
+                                            assume_unique=True)]
+                seen[t] = np.union1d(seen[t], candidates)
+                if len(fresh):
+                    frontier[t] = fresh
+
+        nodes = {t: seen[t] for t in node_types}
+        edges: Dict[EdgeTypeKey, Tuple[np.ndarray, ...]] = {}
+        for key in self.source.edge_keys:
+            src_t, _, dst_t = key
+            chunks = raw_edges.get(key)
+            if not chunks:
+                edges[key] = (np.empty(0, dtype=np.intp),
+                              np.empty(0, dtype=np.intp),
+                              np.empty(0, dtype=np.float64))
+                continue
+            src = np.concatenate([c[0] for c in chunks])
+            dst = np.concatenate([c[1] for c in chunks])
+            weight = np.concatenate([c[2] for c in chunks])
+            edges[key] = (
+                np.searchsorted(nodes[src_t], src).astype(np.intp),
+                np.searchsorted(nodes[dst_t], dst).astype(np.intp),
+                np.asarray(weight, dtype=np.float64),
+            )
+        seed_local = np.searchsorted(nodes[self.seed_type],
+                                     seeds).astype(np.intp)
+        return SampledSubgraph(nodes=nodes, edges=edges,
+                               seed_type=self.seed_type, seeds=seeds,
+                               seed_local=seed_local)
+
+    def _pick(self, key: EdgeTypeKey, front: np.ndarray, fanout: int
+              ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Sampled (src, dst, weight) global triples for one frontier."""
+        indptr, indices, weights = self.source.csc(key)
+        starts = np.asarray(indptr[front])
+        degrees = np.asarray(indptr[front + 1]) - starts
+        if self.replace and fanout > 0:
+            alive = degrees > 0
+            a_starts = starts[alive]
+            a_deg = degrees[alive]
+            offsets = self._rng.integers(0, np.repeat(a_deg, fanout))
+            picks = np.repeat(a_starts, fanout) + offsets
+            dst = np.repeat(front[alive], fanout)
+            return (np.asarray(indices[picks]), dst,
+                    np.asarray(weights[picks]))
+        # Without replacement: take everything at/under the fanout in one
+        # vectorized gather, then draw per high-degree node.
+        full = degrees <= fanout if fanout > 0 else np.ones_like(degrees,
+                                                                 dtype=bool)
+        f_starts = starts[full]
+        f_deg = degrees[full]
+        shifts = np.cumsum(f_deg) - f_deg
+        within = np.arange(int(f_deg.sum())) - np.repeat(shifts, f_deg)
+        pick_chunks = [np.repeat(f_starts, f_deg) + within]
+        dst_chunks = [np.repeat(front[full], f_deg)]
+        for i in np.nonzero(~full)[0]:
+            choice = self._rng.choice(int(degrees[i]), size=fanout,
+                                      replace=False)
+            pick_chunks.append(starts[i] + choice)
+            dst_chunks.append(np.full(fanout, front[i], dtype=np.int64))
+        picks = np.concatenate(pick_chunks)
+        dst = np.concatenate(dst_chunks)
+        return (np.asarray(indices[picks]), dst, np.asarray(weights[picks]))
+
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, Any]:
+        return {"rng_state": copy.deepcopy(self._rng.bit_generator.state)}
+
+    def load_state_dict(self, state: Mapping[str, Any]) -> None:
+        self._rng.bit_generator.state = copy.deepcopy(state["rng_state"])
+
+    def fingerprint(self) -> Dict[str, Any]:
+        return {
+            "fanouts": {"|".join(k): v for k, v in self.fanouts.items()},
+            "hops": self.hops,
+            "replace": self.replace,
+            "seed_type": self.seed_type,
+        }
+
+
+# ----------------------------------------------------------------------
+# MinibatchSampler
+# ----------------------------------------------------------------------
+@dataclass
+class MiniBatch:
+    """One training-ready sampled batch.
+
+    ``batch.labeled_ids`` are the seeds' local positions;
+    ``input_local``/``input_values`` are the *non-seed* known-label
+    papers in the subgraph — the deterministic label-input channel (a
+    seed never sees its own label, known neighbor labels are always
+    visible, no RNG involved).
+    """
+
+    batch: Any  # GraphBatch (lazily imported; no data → core cycle)
+    seeds: np.ndarray  # global seed paper ids, batch order
+    nodes: Dict[str, np.ndarray]  # per-type sorted original ids
+    input_local: np.ndarray
+    input_values: np.ndarray
+
+
+class MinibatchSampler:
+    """Seeds → k-hop subgraph → :class:`GraphBatch` pipeline.
+
+    Construct with the sampling spec, then :meth:`bind` to a source
+    (``GraphStore`` or ``HeteroGraph``) and a labeled seed set —
+    ``CATEHGN.fit(sampler=...)`` binds automatically to its training
+    graph and fit split.  Resumable: :meth:`state_dict` captures the
+    item cursor and the neighbor RNG stream; :meth:`fingerprint` guards
+    resumes against a changed sampling configuration.
+    """
+
+    def __init__(self, batch_size: int = 256, fanouts: FanoutSpec = 10, *,
+                 hops: Optional[int] = None, replace: bool = False,
+                 shuffle: bool = True, seed: int = 0,
+                 record_seeds: bool = False) -> None:
+        self.batch_size = int(batch_size)
+        self.fanouts = fanouts
+        self.hops = hops
+        self.replace = bool(replace)
+        self.shuffle = bool(shuffle)
+        self.seed = int(seed)
+        self.record_seeds = bool(record_seeds)
+        #: Seed arrays of every emitted batch (when ``record_seeds``).
+        self.seed_log: List[np.ndarray] = []
+        self._source: Optional[_Source] = None
+        self._items: Optional[ItemSampler] = None
+        self._neighbors: Optional[NeighborSampler] = None
+        self._known: Optional[np.ndarray] = None
+        self._label_of: Optional[np.ndarray] = None
+        self._seed_type = PAPER
+
+    @property
+    def bound(self) -> bool:
+        return self._items is not None
+
+    def bind(self, source, seed_ids: np.ndarray,
+             seed_labels: np.ndarray, *, hops: Optional[int] = None,
+             seed_type: str = PAPER) -> "MinibatchSampler":
+        """Attach the spec to a graph source and a labeled seed set."""
+        seed_ids = np.asarray(seed_ids, dtype=np.intp)
+        seed_labels = np.asarray(seed_labels, dtype=np.float64)
+        if len(seed_ids) != len(seed_labels):
+            raise ValueError("seed_ids and seed_labels length mismatch")
+        self._source = _as_source(source)
+        self._seed_type = seed_type
+        hops = self.hops if self.hops is not None else hops
+        if hops is None:
+            raise ValueError("hops not set: pass hops= to bind() or the "
+                             "constructor")
+        self._items = ItemSampler(seed_ids, self.batch_size,
+                                  shuffle=self.shuffle, seed=self.seed)
+        self._neighbors = NeighborSampler(
+            self._source, self.fanouts, hops=hops, replace=self.replace,
+            seed=[self.seed, 1], seed_type=seed_type,
+        )
+        total = self._source.num_nodes[seed_type]
+        self._known = np.zeros(total, dtype=bool)
+        self._known[seed_ids] = True
+        self._label_of = np.zeros(total, dtype=np.float64)
+        self._label_of[seed_ids] = seed_labels
+        self.seed_log = []
+        return self
+
+    # ------------------------------------------------------------------
+    def next_minibatch(self) -> MiniBatch:
+        """Sample the next seed batch and build its ``GraphBatch``."""
+        self._require_bound()
+        from ..core.hgn import GraphBatch  # lazy: no data → core cycle
+
+        seeds = self._items.next_batch()
+        if self.record_seeds:
+            self.seed_log.append(seeds.copy())
+        sub = self._neighbors.sample(seeds)
+        features = {
+            t: np.asarray(self._source.features(t)[ids], dtype=np.float64)
+            for t, ids in sub.nodes.items()
+        }
+        edges = {}
+        for key, (src, dst, weight) in sub.edges.items():
+            max_w = weight.max() if len(weight) else 1.0
+            # Alias instead of copying when already normalized (the
+            # common all-ones case) — identical values either way.
+            norm = weight if max_w == 1.0 else weight / max(max_w, 1e-12)
+            edges[key] = (src, dst, weight, norm)
+        batch = GraphBatch(
+            node_types=self._source.node_types,
+            features=features,
+            edges=edges,
+            num_nodes=sub.num_nodes,
+            labeled_ids=sub.seed_local,
+            labels=self._label_of[seeds],
+        )
+        papers = sub.nodes[self._seed_type]
+        is_seed = np.zeros(len(papers), dtype=bool)
+        is_seed[sub.seed_local] = True
+        input_local = np.nonzero(self._known[papers] & ~is_seed)[0]
+        return MiniBatch(batch=batch, seeds=seeds, nodes=sub.nodes,
+                         input_local=input_local.astype(np.intp),
+                         input_values=self._label_of[papers[input_local]])
+
+    @property
+    def batches_per_epoch(self) -> int:
+        self._require_bound()
+        return self._items.batches_per_epoch
+
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, Any]:
+        self._require_bound()
+        return {"items": self._items.state_dict(),
+                "neighbors": self._neighbors.state_dict()}
+
+    def load_state_dict(self, state: Mapping[str, Any]) -> None:
+        self._require_bound()
+        self._items.load_state_dict(state["items"])
+        self._neighbors.load_state_dict(state["neighbors"])
+
+    def fingerprint(self) -> Dict[str, Any]:
+        """Config identity for resume checks (JSON-safe)."""
+        out = {
+            "batch_size": self.batch_size,
+            "replace": self.replace,
+            "shuffle": self.shuffle,
+            "seed": self.seed,
+        }
+        if self.bound:
+            out["items"] = self._items.fingerprint()
+            out["neighbors"] = self._neighbors.fingerprint()
+        return out
+
+    def _require_bound(self) -> None:
+        if self._items is None:
+            raise RuntimeError("sampler is not bound; call bind() first")

@@ -1,0 +1,617 @@
+"""On-disk CSC heterogeneous graph store (ROADMAP item 1, DESIGN §15).
+
+A :class:`GraphStore` is a *directory* of plain ``.npy`` arrays plus a
+``store.json`` manifest — one CSC (destination-grouped) index per edge
+type, one feature matrix and attribute array per node type, and named
+split index arrays.  Every array is opened with ``np.load(...,
+mmap_mode="r")``, so a reader touches only the pages a sampler actually
+gathers: a million-paper graph is served from a few MB of resident
+memory.  (Individual ``.npy`` files rather than one ``.npz`` because
+numpy cannot memory-map members of a compressed archive.)
+
+Writing scales the same way: :class:`StoreWriter` accepts edge chunks in
+any order (COO triples spilled to raw append-only files) and
+:meth:`StoreWriter.finalize` converts each spill to CSC with a
+*chunked, stable counting sort* — two passes over the spill, O(chunk +
+num_dst) resident memory, never the whole edge list.  The CSC order is
+deterministic: edges of one destination appear in exactly the order
+they were appended, matching what a stable in-memory
+``argsort(dst)`` would produce.
+
+:func:`synthesize_store` is the scalable companion of
+:mod:`repro.data.generator`: a fully vectorized, chunk-streamed
+publication-world synthesizer that emits 10⁶+ papers (all seven
+publication-schema edge types, features, labels, temporal splits)
+straight to a store without ever materializing the graph in RAM.  It
+plants the same citation-driving factors (per-domain author prestige,
+venue authority discounted off-domain, term significance) so sampled
+training on a synthesized store optimizes a comparable objective, but
+it is *not* RNG-compatible with the object-based generator — use
+:func:`write_store_from_graph` when bitwise parity with an existing
+:class:`~repro.hetnet.HeteroGraph` matters.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..hetnet import HeteroGraph, publication_schema
+from ..hetnet.graph import EdgeArray
+from ..hetnet.schema import EdgeTypeKey
+from ..resilience import atomic_write_text
+
+__all__ = [
+    "STORE_FORMAT_VERSION",
+    "CSCEdges",
+    "GraphStore",
+    "StoreWriter",
+    "synthesize_store",
+    "write_store_from_graph",
+    "write_store_from_dataset",
+]
+
+#: On-disk store manifest version; unknown versions are rejected.
+STORE_FORMAT_VERSION = 1
+
+_MANIFEST = "store.json"
+
+
+@dataclass
+class CSCEdges:
+    """One edge type grouped by destination (compressed sparse column).
+
+    ``indptr`` has ``num_dst + 1`` entries; destination ``v``'s incoming
+    edges occupy ``indices[indptr[v]:indptr[v+1]]`` (source ids) and the
+    matching ``weights`` slice.  Arrays may be read-only memmaps.
+    """
+
+    indptr: np.ndarray
+    indices: np.ndarray
+    weights: np.ndarray
+
+    @property
+    def num_edges(self) -> int:
+        return int(self.indptr[-1])
+
+    @property
+    def num_dst(self) -> int:
+        return len(self.indptr) - 1
+
+    def degrees(self) -> np.ndarray:
+        """In-degree per destination node."""
+        return np.diff(self.indptr)
+
+
+def _edge_stem(index: int) -> str:
+    return f"edge{index}"
+
+
+def _attr_file(node_type: str, name: str) -> str:
+    return f"attr_{node_type}_{name}.npy"
+
+
+class GraphStore:
+    """Read side of the on-disk format: lazy, memory-mapped arrays.
+
+    All accessors return memmaps (or small materialized slices of them);
+    nothing loads the full graph.  ``GraphStore`` instances are cheap —
+    opening one reads only the JSON manifest.
+    """
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        manifest_path = self.path / _MANIFEST
+        manifest = json.loads(manifest_path.read_text())
+        version = manifest.get("format_version")
+        if version != STORE_FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported store format_version {version!r} in "
+                f"{manifest_path}: this build reads version "
+                f"{STORE_FORMAT_VERSION}"
+            )
+        self.num_nodes: Dict[str, int] = {
+            t: int(n) for t, n in manifest["num_nodes"].items()
+        }
+        #: Edge types in manifest order — the summation order downstream
+        #: message passing will see (same contract as ``save_graph``).
+        self.edge_keys: List[EdgeTypeKey] = [
+            tuple(key) for key in manifest["edge_types"]
+        ]
+        self._edge_index = {key: i for i, key in enumerate(self.edge_keys)}
+        self._num_edges = [int(n) for n in manifest["num_edges"]]
+        self.feature_types: List[str] = list(manifest.get("features", []))
+        self.attr_names: Dict[str, List[str]] = {
+            t: list(names) for t, names in manifest.get("attrs", {}).items()
+        }
+        self.split_names: List[str] = list(manifest.get("splits", []))
+        self.names: Dict[str, List[str]] = manifest.get("names", {})
+        self._csc: Dict[EdgeTypeKey, CSCEdges] = {}
+        self._mmaps: Dict[str, np.ndarray] = {}
+
+    # ------------------------------------------------------------------
+    def _load(self, filename: str) -> np.ndarray:
+        if filename not in self._mmaps:
+            self._mmaps[filename] = np.load(self.path / filename,
+                                            mmap_mode="r")
+        return self._mmaps[filename]
+
+    def csc(self, key: EdgeTypeKey) -> CSCEdges:
+        """Destination-grouped edges of ``key`` (memory-mapped, cached)."""
+        if key not in self._csc:
+            stem = _edge_stem(self._edge_index[key])
+            self._csc[key] = CSCEdges(
+                indptr=self._load(f"{stem}.indptr.npy"),
+                indices=self._load(f"{stem}.indices.npy"),
+                weights=self._load(f"{stem}.weights.npy"),
+            )
+        return self._csc[key]
+
+    def features(self, node_type: str) -> np.ndarray:
+        return self._load(f"feat_{node_type}.npy")
+
+    def attr(self, node_type: str, name: str) -> np.ndarray:
+        return self._load(_attr_file(node_type, name))
+
+    def split(self, name: str) -> np.ndarray:
+        return self._load(f"split_{name}.npy")
+
+    def num_edges(self, key: EdgeTypeKey) -> int:
+        return self._num_edges[self._edge_index[key]]
+
+    @property
+    def total_edges(self) -> int:
+        return sum(self._num_edges)
+
+    def nbytes(self) -> int:
+        """Total on-disk payload size (all ``.npy`` files)."""
+        return sum(p.stat().st_size for p in self.path.glob("*.npy"))
+
+    # ------------------------------------------------------------------
+    def to_graph(self) -> HeteroGraph:
+        """Materialize the store as an in-memory :class:`HeteroGraph`.
+
+        Intended for current-scale round-trip tests and interop — it
+        loads everything.  Edges come out in CSC order (grouped by
+        destination, stable within a destination), which is a
+        permutation of the order they were appended with; set-level
+        content is identical.
+        """
+        graph = HeteroGraph(publication_schema(include_terms=True))
+        for node_type, count in self.num_nodes.items():
+            graph.num_nodes[node_type] = count
+            if node_type in self.names:
+                graph.node_names[node_type] = list(self.names[node_type])
+        for key in self.edge_keys:
+            csc = self.csc(key)
+            dst = np.repeat(
+                np.arange(csc.num_dst, dtype=np.intp), csc.degrees()
+            )
+            graph.edges[key] = EdgeArray(
+                np.asarray(csc.indices, dtype=np.intp), dst,
+                np.asarray(csc.weights, dtype=np.float64),
+            )
+        for node_type in self.feature_types:
+            graph.node_features[node_type] = np.asarray(
+                self.features(node_type), dtype=np.float64
+            )
+        for node_type, attr_names in self.attr_names.items():
+            for name in attr_names:
+                graph.node_attrs.setdefault(node_type, {})[name] = (
+                    np.asarray(self.attr(node_type, name))
+                )
+        graph._topology_version += 1
+        graph.validate()
+        return graph
+
+    def __repr__(self) -> str:
+        counts = ", ".join(f"{t}={n}" for t, n in self.num_nodes.items())
+        return (f"GraphStore({self.path}, {counts}, "
+                f"edges={self.total_edges})")
+
+
+class StoreWriter:
+    """Write side: COO edge chunks in, CSC store out, bounded memory.
+
+    Node counts are declared up front so appended endpoints can be
+    range-checked per chunk.  Edge chunks spill to raw append-only
+    binary files; :meth:`finalize` converts each spill to CSC with a
+    two-pass chunked stable counting sort and writes the manifest
+    atomically (a crash mid-build leaves no ``store.json``, so a
+    half-written directory is never readable as a store).
+    """
+
+    def __init__(self, path: Union[str, Path], num_nodes: Dict[str, int],
+                 *, chunk_edges: int = 1 << 20) -> None:
+        self.path = Path(path)
+        self.path.mkdir(parents=True, exist_ok=True)
+        stale = self.path / _MANIFEST
+        if stale.exists():
+            raise FileExistsError(
+                f"{stale} already exists; refusing to overwrite a "
+                f"finalized store — remove the directory first"
+            )
+        self.num_nodes = {t: int(n) for t, n in num_nodes.items()}
+        self.chunk_edges = int(chunk_edges)
+        self._tmp = self.path / "tmp"
+        self._tmp.mkdir(exist_ok=True)
+        self._edge_keys: List[EdgeTypeKey] = []
+        self._edge_files: Dict[EdgeTypeKey, Dict[str, object]] = {}
+        self._edge_counts: Dict[EdgeTypeKey, int] = {}
+        self._features: List[str] = []
+        self._attrs: Dict[str, List[str]] = {}
+        self._splits: List[str] = []
+        self._names: Dict[str, List[str]] = {}
+        self._finalized = False
+
+    # ------------------------------------------------------------------
+    def append_edges(self, key: EdgeTypeKey, src: np.ndarray,
+                     dst: np.ndarray,
+                     weight: Optional[np.ndarray] = None) -> None:
+        """Append a COO chunk of edges of type ``key`` (any order)."""
+        key = tuple(key)
+        src = np.ascontiguousarray(src, dtype=np.int64)
+        dst = np.ascontiguousarray(dst, dtype=np.int64)
+        if weight is None:
+            weight = np.ones(len(src), dtype=np.float64)
+        weight = np.ascontiguousarray(weight, dtype=np.float64)
+        if not (len(src) == len(dst) == len(weight)):
+            raise ValueError("src/dst/weight length mismatch")
+        src_type, _, dst_type = key
+        if len(src):
+            if src.min() < 0 or src.max() >= self.num_nodes[src_type]:
+                raise ValueError(f"src id out of range for {key}")
+            if dst.min() < 0 or dst.max() >= self.num_nodes[dst_type]:
+                raise ValueError(f"dst id out of range for {key}")
+        if key not in self._edge_files:
+            self._edge_keys.append(key)
+            stem = self._tmp / f"spill{len(self._edge_keys) - 1}"
+            self._edge_files[key] = {
+                "src": open(f"{stem}.src.bin", "ab"),
+                "dst": open(f"{stem}.dst.bin", "ab"),
+                "weight": open(f"{stem}.weight.bin", "ab"),
+                "stem": str(stem),
+            }
+            self._edge_counts[key] = 0
+        files = self._edge_files[key]
+        src.tofile(files["src"])
+        dst.tofile(files["dst"])
+        weight.tofile(files["weight"])
+        self._edge_counts[key] += len(src)
+
+    def set_features(self, node_type: str, features: np.ndarray) -> None:
+        """Write a full (already materialized) feature matrix."""
+        features = np.asarray(features, dtype=np.float64)
+        self._check_rows(node_type, features)
+        np.save(self.path / f"feat_{node_type}.npy", features)
+        if node_type not in self._features:
+            self._features.append(node_type)
+
+    def features_memmap(self, node_type: str, dim: int,
+                        dtype=np.float64) -> np.ndarray:
+        """Open a writable feature memmap for chunked row-by-row fill."""
+        out = np.lib.format.open_memmap(
+            self.path / f"feat_{node_type}.npy", mode="w+", dtype=dtype,
+            shape=(self.num_nodes[node_type], dim),
+        )
+        if node_type not in self._features:
+            self._features.append(node_type)
+        return out
+
+    def set_attr(self, node_type: str, name: str,
+                 values: np.ndarray) -> None:
+        values = np.asarray(values)
+        self._check_rows(node_type, values)
+        np.save(self.path / _attr_file(node_type, name), values)
+        self._attrs.setdefault(node_type, [])
+        if name not in self._attrs[node_type]:
+            self._attrs[node_type].append(name)
+
+    def set_split(self, name: str, ids: np.ndarray) -> None:
+        np.save(self.path / f"split_{name}.npy",
+                np.asarray(ids, dtype=np.int64))
+        if name not in self._splits:
+            self._splits.append(name)
+
+    def set_names(self, node_type: str, names: Sequence[str]) -> None:
+        """Optional human-readable node names (manifest-resident; meant
+        for current-scale stores, not million-node ones)."""
+        if len(names) != self.num_nodes[node_type]:
+            raise ValueError(f"names length mismatch for {node_type!r}")
+        self._names[node_type] = list(names)
+
+    def _check_rows(self, node_type: str, values: np.ndarray) -> None:
+        if values.shape[0] != self.num_nodes[node_type]:
+            raise ValueError(
+                f"rows ({values.shape[0]}) != node count "
+                f"({self.num_nodes[node_type]}) for {node_type!r}"
+            )
+
+    # ------------------------------------------------------------------
+    def finalize(self) -> GraphStore:
+        """Convert spills to CSC, write the manifest, return the store."""
+        if self._finalized:
+            raise RuntimeError("finalize() already called")
+        self._finalized = True
+        for i, key in enumerate(self._edge_keys):
+            files = self._edge_files[key]
+            for handle_name in ("src", "dst", "weight"):
+                files[handle_name].close()
+            self._spill_to_csc(i, key)
+        manifest = {
+            "format_version": STORE_FORMAT_VERSION,
+            "num_nodes": self.num_nodes,
+            "edge_types": [list(key) for key in self._edge_keys],
+            "num_edges": [self._edge_counts[key] for key in self._edge_keys],
+            "features": self._features,
+            "attrs": self._attrs,
+            "splits": self._splits,
+        }
+        if self._names:
+            manifest["names"] = self._names
+        atomic_write_text(self.path / _MANIFEST, json.dumps(manifest))
+        for stale in self._tmp.iterdir():
+            stale.unlink()
+        self._tmp.rmdir()
+        return GraphStore(self.path)
+
+    def _spill_to_csc(self, index: int, key: EdgeTypeKey) -> None:
+        """Two-pass chunked stable counting sort: COO spill → CSC files.
+
+        Pass 1 accumulates per-destination counts (→ ``indptr``); pass 2
+        re-reads the spill chunk by chunk, stably sorts each chunk by
+        destination, and scatters the chunk's runs into their final CSC
+        positions via a running per-destination write cursor.  Chunks
+        are processed in append order and the per-chunk sort is stable,
+        so within each destination the original append order survives —
+        the same order ``EdgeStructure``'s stable argsort produces.
+        """
+        stem = self._edge_files[key]["stem"]
+        num_edges = self._edge_counts[key]
+        num_dst = self.num_nodes[key[2]]
+        chunk = self.chunk_edges
+        out_stem = self.path / _edge_stem(index)
+        if num_edges == 0:  # mmap cannot map empty files
+            np.save(f"{out_stem}.indptr.npy",
+                    np.zeros(num_dst + 1, dtype=np.int64))
+            np.save(f"{out_stem}.indices.npy",
+                    np.empty(0, dtype=np.int64))
+            np.save(f"{out_stem}.weights.npy",
+                    np.empty(0, dtype=np.float64))
+            return
+        src_spill = np.memmap(f"{stem}.src.bin", dtype=np.int64, mode="r")
+        dst_spill = np.memmap(f"{stem}.dst.bin", dtype=np.int64, mode="r")
+        w_spill = np.memmap(f"{stem}.weight.bin", dtype=np.float64,
+                            mode="r")
+        counts = np.zeros(num_dst, dtype=np.int64)
+        for lo in range(0, num_edges, chunk):
+            part = np.asarray(dst_spill[lo:lo + chunk])
+            counts += np.bincount(part, minlength=num_dst)
+        indptr = np.zeros(num_dst + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        np.save(f"{out_stem}.indptr.npy", indptr)
+        indices = np.lib.format.open_memmap(
+            f"{out_stem}.indices.npy", mode="w+", dtype=np.int64,
+            shape=(num_edges,),
+        )
+        weights = np.lib.format.open_memmap(
+            f"{out_stem}.weights.npy", mode="w+", dtype=np.float64,
+            shape=(num_edges,),
+        )
+        cursor = indptr[:-1].copy()
+        for lo in range(0, num_edges, chunk):
+            dst_part = np.asarray(dst_spill[lo:lo + chunk])
+            order = np.argsort(dst_part, kind="stable")
+            sorted_dst = dst_part[order]
+            uniq, first, run = np.unique(sorted_dst, return_index=True,
+                                         return_counts=True)
+            within = np.arange(len(sorted_dst)) - np.repeat(first, run)
+            positions = np.repeat(cursor[uniq], run) + within
+            indices[positions] = np.asarray(src_spill[lo:lo + chunk])[order]
+            weights[positions] = np.asarray(w_spill[lo:lo + chunk])[order]
+            cursor[uniq] += run
+        indices.flush()
+        weights.flush()
+
+
+# ----------------------------------------------------------------------
+# Graph / dataset → store converters
+# ----------------------------------------------------------------------
+def write_store_from_graph(graph: HeteroGraph, path: Union[str, Path], *,
+                           splits: Optional[Dict[str, np.ndarray]] = None,
+                           include_names: bool = True) -> GraphStore:
+    """Persist an in-memory :class:`HeteroGraph` as an on-disk store."""
+    writer = StoreWriter(path, graph.num_nodes)
+    for key, edge in graph.edges.items():
+        writer.append_edges(key, edge.src, edge.dst, edge.weight)
+    for node_type, features in graph.node_features.items():
+        writer.set_features(node_type, features)
+    for node_type, attrs in graph.node_attrs.items():
+        for name, values in attrs.items():
+            writer.set_attr(node_type, name, values)
+    if include_names:
+        for node_type, names in graph.node_names.items():
+            writer.set_names(node_type, names)
+    for name, ids in (splits or {}).items():
+        writer.set_split(name, ids)
+    return writer.finalize()
+
+
+def write_store_from_dataset(dataset, path: Union[str, Path],
+                             **kwargs) -> GraphStore:
+    """Persist a :class:`~repro.data.dblp.CitationDataset` (graph +
+    temporal splits) as an on-disk store."""
+    splits = {"train": dataset.train_idx, "val": dataset.val_idx,
+              "test": dataset.test_idx}
+    return write_store_from_graph(dataset.graph, path, splits=splits,
+                                  **kwargs)
+
+
+# ----------------------------------------------------------------------
+# Scalable synthetic world → store
+# ----------------------------------------------------------------------
+def synthesize_store(path: Union[str, Path], num_papers: int, *,
+                     seed: int = 0,
+                     feature_dim: int = 32,
+                     papers_per_author: float = 4.0,
+                     venues_per_domain: int = 5,
+                     terms_per_domain: int = 28,
+                     generic_terms: int = 34,
+                     max_authors: int = 3,
+                     max_terms: int = 4,
+                     mean_references: float = 4.0,
+                     same_domain_author_prob: float = 0.70,
+                     same_domain_venue_prob: float = 0.85,
+                     year_min: int = 2004,
+                     year_max: int = 2020,
+                     chunk: int = 200_000) -> GraphStore:
+    """Stream a synthetic publication world of ``num_papers`` to a store.
+
+    Fully vectorized and chunked over papers: resident memory is
+    O(num_papers) small scalar arrays (years, domains, labels — ~8 bytes
+    each) plus O(chunk) working arrays, never the edge lists or feature
+    matrices, which stream straight to disk.  Plants the generator's
+    citation-driving factors (per-domain author prestige, venue
+    authority with off-domain discount, term significance driving a
+    label-correlated feature column) and draws citations only into
+    strictly earlier years with a recency bias.
+    """
+    from .dblp import TEST_FROM, TRAIN_BEFORE, VAL_YEAR
+    from .lexicon import DOMAIN_NAMES
+    from ..hetnet.schema import AUTHOR, PAPER, TERM, VENUE
+
+    rng = np.random.default_rng(seed)
+    num_domains = len(DOMAIN_NAMES)
+    num_authors = max(num_domains, int(num_papers / papers_per_author))
+    num_venues = num_domains * venues_per_domain
+    num_terms = num_domains * terms_per_domain + generic_terms
+
+    # Entity ground truth (O(entities) resident, tiny next to the edges).
+    author_domain = np.sort(np.concatenate([
+        np.arange(num_domains),  # every domain is inhabited
+        rng.integers(0, num_domains, size=num_authors - num_domains),
+    ]))
+    dom_start_a = np.searchsorted(author_domain,
+                                  np.arange(num_domains + 1))
+    dom_size_a = np.diff(dom_start_a)
+    prestige = rng.lognormal(0.0, 0.85, size=num_authors)
+    authority = rng.lognormal(0.0, 0.8, size=num_venues)
+    venue_domain = np.repeat(np.arange(num_domains), venues_per_domain)
+    term_domain = np.concatenate([
+        np.repeat(np.arange(num_domains), terms_per_domain),
+        np.full(generic_terms, -1),
+    ])
+    significance = rng.lognormal(0.0, 0.8, size=num_terms)
+    significance[term_domain < 0] = 0.0
+
+    years = rng.integers(year_min, year_max + 1,
+                         size=num_papers).astype(np.int64)
+    years.sort()  # temporal index order, like the object generator
+    domains = rng.integers(0, num_domains, size=num_papers)
+    labels = np.empty(num_papers, dtype=np.float64)
+
+    writer = StoreWriter(path, {PAPER: num_papers, AUTHOR: num_authors,
+                                VENUE: num_venues, TERM: num_terms})
+    paper_feat = writer.features_memmap(PAPER, feature_dim)
+
+    for lo in range(0, num_papers, chunk):
+        hi = min(lo + chunk, num_papers)
+        n = hi - lo
+        d = domains[lo:hi]
+
+        # Authorship: 1..max_authors authors, mostly from the home domain.
+        n_auth = rng.integers(1, max_authors + 1, size=n)
+        p_rep = np.repeat(np.arange(lo, hi, dtype=np.int64), n_auth)
+        d_rep = np.repeat(d, n_auth)
+        in_domain = rng.random(len(p_rep)) < same_domain_author_prob
+        pick = np.where(
+            in_domain,
+            dom_start_a[d_rep] + rng.integers(0, dom_size_a[d_rep]),
+            rng.integers(0, num_authors, size=len(p_rep)),
+        )
+        writer.append_edges((PAPER, "written_by", AUTHOR), p_rep, pick)
+        writer.append_edges((AUTHOR, "writes", PAPER), pick, p_rep)
+        paper_prestige = (
+            np.bincount(p_rep - lo, weights=prestige[pick], minlength=n)
+            / n_auth
+        )
+
+        # Venue: one per paper, mostly in-domain; off-domain discounted.
+        in_domain_v = rng.random(n) < same_domain_venue_prob
+        venue = np.where(
+            in_domain_v,
+            d * venues_per_domain + rng.integers(0, venues_per_domain,
+                                                 size=n),
+            rng.integers(0, num_venues, size=n),
+        )
+        paper_ids = np.arange(lo, hi, dtype=np.int64)
+        writer.append_edges((PAPER, "published_in", VENUE), paper_ids,
+                            venue)
+        writer.append_edges((VENUE, "publishes", PAPER), venue, paper_ids)
+        paper_authority = authority[venue] * np.where(
+            venue_domain[venue] == d, 1.0, 0.35
+        )
+
+        # Terms: 1..max_terms, mostly in-domain quality terms; the most
+        # significant in-domain term drives the label (hot-topic effect).
+        n_terms = rng.integers(1, max_terms + 1, size=n)
+        p_rep_t = np.repeat(np.arange(n, dtype=np.int64), n_terms)
+        d_rep_t = np.repeat(d, n_terms)
+        in_domain_t = rng.random(len(p_rep_t)) < 0.7
+        term = np.where(
+            in_domain_t,
+            d_rep_t * terms_per_domain + rng.integers(0, terms_per_domain,
+                                                      size=len(p_rep_t)),
+            rng.integers(0, num_terms, size=len(p_rep_t)),
+        )
+        writer.append_edges((PAPER, "mentions", TERM), p_rep_t + lo, term)
+        writer.append_edges((TERM, "mentioned_by", PAPER), term,
+                            p_rep_t + lo)
+        paper_sig = np.zeros(n, dtype=np.float64)
+        hit = term_domain[term] == d_rep_t
+        np.maximum.at(paper_sig, p_rep_t[hit], significance[term[hit]])
+
+        # Citations: into strictly earlier years only (years are sorted,
+        # so the eligible set of paper i is exactly [0, cut_i)); the max
+        # of two uniform draws biases references toward recent work.
+        cut = np.searchsorted(years, years[lo:hi], side="left")
+        n_ref = np.minimum(
+            rng.poisson(mean_references, size=n).astype(np.int64), cut
+        )
+        cut_rep = np.repeat(cut, n_ref)
+        refs = np.maximum(rng.integers(0, cut_rep),
+                          rng.integers(0, cut_rep))
+        writer.append_edges((PAPER, "cites", PAPER), refs,
+                            np.repeat(paper_ids, n_ref))
+
+        impact = (0.35 * paper_prestige + 0.25 * paper_authority
+                  + 0.40 * paper_sig)
+        labels[lo:hi] = 3.0 * impact * rng.lognormal(0.0, 0.15, size=n)
+
+        block = rng.normal(0.0, 1.0, size=(n, feature_dim))
+        block[:, 0] = impact  # label-correlated column
+        paper_feat[lo:hi] = block
+    paper_feat.flush()
+
+    # Entity features (streamed in chunks too — authors can be large).
+    for node_type, count in ((AUTHOR, num_authors), (VENUE, num_venues),
+                             (TERM, num_terms)):
+        out = writer.features_memmap(node_type, feature_dim)
+        for lo in range(0, count, chunk):
+            hi = min(lo + chunk, count)
+            out[lo:hi] = rng.normal(0.0, 1.0, size=(hi - lo, feature_dim))
+        out.flush()
+
+    writer.set_attr(PAPER, "year", years)
+    writer.set_attr(PAPER, "label", labels)
+    writer.set_attr(PAPER, "domain", domains)
+    writer.set_attr(AUTHOR, "primary_domain", author_domain)
+    writer.set_attr(VENUE, "domain", venue_domain)
+    writer.set_split("train", np.nonzero(years < TRAIN_BEFORE)[0])
+    writer.set_split("val", np.nonzero(years == VAL_YEAR)[0])
+    writer.set_split("test", np.nonzero(years >= TEST_FROM)[0])
+    return writer.finalize()

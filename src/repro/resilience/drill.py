@@ -8,6 +8,9 @@ reports PASS/FAIL per drill (non-zero exit on any failure):
                  state and predictions are **bitwise** identical to an
                  uninterrupted run.
 ``resume-gnn``   the same guarantee for the R-GCN baseline trainer.
+``sample-resume`` kill minibatch neighbor-sampled training mid-epoch,
+                 resume, assert the sampler replays the exact remaining
+                 batch sequence and predictions are **bitwise** identical.
 ``divergence``   poison one optimization step with NaN gradients, assert
                  the divergence guard rolls back exactly once, backs off
                  the learning rate, and training still completes.
@@ -152,6 +155,60 @@ def drill_resume_gnn(log: Callable[[str], None]) -> None:
         _check(np.array_equal(ref_pred, resumed.predict()),
                "resumed baseline predictions differ")
     log("baseline state + predictions bitwise identical after resume")
+
+
+def drill_sample_resume(log: Callable[[str], None]) -> None:
+    """Kill-and-resume mid-epoch under minibatch neighbor sampling.
+
+    The snapshot must carry the sampler's RNG + cursor state so the
+    resumed run replays the *exact remaining batch sequence* — the same
+    seed ids in the same order — and lands on bitwise-identical
+    predictions.
+    """
+    from ..data.sampling import MinibatchSampler
+
+    dataset = _tiny_dataset()
+
+    def make_sampler() -> MinibatchSampler:
+        return MinibatchSampler(batch_size=32, fanouts=5, replace=False,
+                                shuffle=True, seed=0, record_seeds=True)
+
+    reference = _tiny_estimator()
+    ref_sampler = make_sampler()
+    reference.fit(dataset, sampler=ref_sampler)
+    ref_pred = reference.predict()
+    ref_seeds = ref_sampler.seed_log
+    log(f"reference run: {len(ref_seeds)} sampled minibatches")
+
+    with tempfile.TemporaryDirectory() as tmp:
+        victim = _tiny_estimator()
+        victim_sampler = make_sampler()
+        try:
+            with faults.crash_at_outer(3):
+                victim.fit(dataset, sampler=victim_sampler,
+                           checkpoint_dir=tmp)
+            raise AssertionError("crash fault never fired")
+        except CrashInjected:
+            log(f"killed sampled training after "
+                f"{len(victim_sampler.seed_log)} minibatches")
+
+        resumed = _tiny_estimator()
+        resumed_sampler = make_sampler()
+        resumed.fit(dataset, sampler=resumed_sampler,
+                    checkpoint_dir=tmp, resume=True)
+        replayed = victim_sampler.seed_log + resumed_sampler.seed_log
+        _check(len(replayed) == len(ref_seeds),
+               "resumed run sampled a different number of minibatches")
+        _check(all(np.array_equal(a, b)
+                   for a, b in zip(replayed, ref_seeds)),
+               "resumed sampler did not replay the remaining batch "
+               "sequence of the uninterrupted run")
+        _check(np.array_equal(ref_pred, resumed.predict()),
+               "resumed sampled-training predictions differ from the "
+               "uninterrupted run")
+        log(f"resumed run replayed the remaining "
+            f"{len(resumed_sampler.seed_log)} minibatches identically")
+    log("sampler state + predictions bitwise identical after resume")
 
 
 def drill_divergence(log: Callable[[str], None]) -> None:
@@ -465,6 +522,7 @@ def drill_race(log: Callable[[str], None]) -> None:
 DRILLS: Dict[str, Callable[[Callable[[str], None]], None]] = {
     "resume": drill_resume,
     "resume-gnn": drill_resume_gnn,
+    "sample-resume": drill_sample_resume,
     "divergence": drill_divergence,
     "atomicity": drill_atomicity,
     "quarantine": drill_quarantine,

@@ -52,6 +52,30 @@ def test_committed_bench_serve_section_and_headline():
     assert sv["cold_speedup_vs_grad_forward"] >= 5.0
 
 
+def test_committed_bench_sampling_section():
+    """On-disk minibatch sampling acceptance: the committed report has
+    papers/s at 100k AND 1M papers, sampled without loading the store
+    into Python memory (tracemalloc peak ≪ store payload)."""
+    report = json.loads(BENCH_PERF.read_text())
+    sp = report["sampling"]
+    assert sp["batch_size"] > 0 and sp["fanouts"] > 0 and sp["hops"] >= 1
+    assert set(sp["scales"]) == {"100000", "1000000"}
+    for scale, entry in sp["scales"].items():
+        assert entry["num_papers"] == int(scale)
+        assert entry["papers_per_s"] > 0 and entry["batches_per_s"] > 0
+        assert entry["build_s"] > 0 and entry["store_edges"] > 0
+        assert entry["python_peak_bytes"] < entry["store_bytes"], scale
+    small = sp["scales"]["100000"]
+    big = sp["scales"]["1000000"]
+    # The store grows ~10x; the Python-side peak must not follow it —
+    # only O(num_papers) label bookkeeping scales, never edges/features.
+    assert big["store_bytes"] > 5 * small["store_bytes"]
+    assert big["python_peak_bytes"] < big["store_bytes"] / 10
+    # Throughput must not fall off a cliff at 10x scale (papers/s is
+    # per-seed work, which neighbor sampling keeps ~constant).
+    assert big["papers_per_s"] > small["papers_per_s"] / 4
+
+
 def test_regression_gate_accepts_its_own_baseline():
     """check_regression with --report pointed at the baseline itself
     must pass (0 %% drift < 25 %% threshold), without re-measuring."""
@@ -81,3 +105,19 @@ def test_perf_harness_quick_run(tmp_path):
     out = tmp_path / "BENCH_perf.json"
     out.write_text(json.dumps(report))
     assert json.loads(out.read_text())["bench"] == "BENCH_perf"
+
+
+@pytest.mark.perf
+def test_bench_sampling_small_scale():
+    """Execute the sampling benchmark itself at a reduced scale (the
+    100k/1M measurement is CLI-only: ``python -m benchmarks.perf
+    --section sampling``)."""
+    import sys
+
+    sys.path.insert(0, str(REPO_ROOT))
+    from benchmarks.perf import bench_sampling
+
+    section = bench_sampling(scales=(30_000,), batches=3)
+    entry = section["scales"]["30000"]
+    assert entry["papers_per_s"] > 0
+    assert entry["python_peak_bytes"] < entry["store_bytes"]

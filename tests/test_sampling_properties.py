@@ -1,0 +1,205 @@
+"""Property-based tests (hypothesis) on the neighbor-sampler invariants.
+
+The sampler gates minibatch training, so its contracts are pinned as
+properties over random seeds/fanouts rather than a handful of examples:
+every sampled edge must exist in the source, per-edge-type fanout caps
+must hold, the seed nodes must be present in every batch, a fixed seed
+must replay a bitwise-identical sample sequence, and sampling from the
+on-disk store must be indistinguishable from sampling from the
+in-memory graph.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import (
+    ItemSampler,
+    MinibatchSampler,
+    NeighborSampler,
+    TextArtifacts,
+    generate_world,
+    make_dblp_full,
+    write_store_from_graph,
+)
+from repro.hetnet.schema import PAPER
+
+from .conftest import tiny_config
+
+
+@pytest.fixture(scope="module")
+def world_pair(tmp_path_factory):
+    """(HeteroGraph, GraphStore) views of the same tiny world."""
+    world = generate_world(tiny_config(num_papers=120, num_authors=40))
+    dataset = make_dblp_full(world=world, text=TextArtifacts.fit(world,
+                                                                 dim=8))
+    path = tmp_path_factory.mktemp("sampling") / "store"
+    store = write_store_from_graph(dataset.graph, path)
+    return dataset.graph, store
+
+
+def _assert_subgraphs_equal(a, b):
+    assert set(a.nodes) == set(b.nodes)
+    for t in a.nodes:
+        assert np.array_equal(a.nodes[t], b.nodes[t])
+    assert set(a.edges) == set(b.edges)
+    for key in a.edges:
+        for x, y in zip(a.edges[key], b.edges[key]):
+            assert np.array_equal(x, y)
+    assert np.array_equal(a.seeds, b.seeds)
+    assert np.array_equal(a.seed_local, b.seed_local)
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000),
+       fanout=st.integers(min_value=1, max_value=6),
+       replace=st.booleans(),
+       hops=st.integers(min_value=1, max_value=3))
+def test_every_sampled_edge_exists(world_pair, seed, fanout, replace, hops):
+    graph, store = world_pair
+    sampler = NeighborSampler(store, fanout, hops=hops, replace=replace,
+                              seed=seed)
+    seeds = np.random.default_rng(seed).choice(
+        store.num_nodes[PAPER], size=12, replace=False)
+    sub = sampler.sample(seeds)
+    for key, (src_local, dst_local, weight) in sub.edges.items():
+        src_t, _, dst_t = key
+        src = sub.nodes[src_t][src_local]
+        dst = sub.nodes[dst_t][dst_local]
+        csc = store.csc(key)
+        for s, d, w in zip(src, dst, weight):
+            lo, hi = csc.indptr[d], csc.indptr[d + 1]
+            row = np.asarray(csc.indices[lo:hi])
+            hits = np.nonzero(row == s)[0]
+            assert len(hits), f"sampled edge {s}->{d} not in source {key}"
+            assert w in np.asarray(csc.weights[lo:hi])[hits]
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000),
+       fanout=st.integers(min_value=1, max_value=5),
+       replace=st.booleans())
+def test_fanout_caps_hold_per_edge_type(world_pair, seed, fanout, replace):
+    _, store = world_pair
+    sampler = NeighborSampler(store, fanout, hops=2, replace=replace,
+                              seed=seed)
+    seeds = np.random.default_rng(seed + 1).choice(
+        store.num_nodes[PAPER], size=16, replace=False)
+    sub = sampler.sample(seeds)
+    assert sub.total_edges > 0
+    for key, (_, dst_local, _) in sub.edges.items():
+        if not len(dst_local):
+            continue
+        # A node is expanded at most once per sample(), so per-dst edge
+        # counts are bounded by the fanout for both sampling modes.
+        counts = np.bincount(dst_local)
+        assert counts.max() <= fanout, (key, int(counts.max()), fanout)
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_per_edge_type_fanout_mapping(world_pair, seed):
+    """A dict fanout applies per edge type; 0 means 'do not expand'."""
+    _, store = world_pair
+    cites = (PAPER, "cites", PAPER)
+    fanouts = {cites: 3}  # all other types default to 0
+    sampler = NeighborSampler(store, fanouts, hops=2, seed=seed)
+    seeds = np.arange(20, 40)
+    sub = sampler.sample(seeds)
+    for key, (_, dst_local, _) in sub.edges.items():
+        if key == cites:
+            if len(dst_local):
+                assert np.bincount(dst_local).max() <= 3
+        else:
+            assert len(dst_local) == 0, f"{key} expanded despite fanout 0"
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000),
+       fanout=st.integers(min_value=1, max_value=5),
+       replace=st.booleans())
+def test_fixed_seed_is_bitwise_replayable(world_pair, seed, fanout,
+                                          replace):
+    _, store = world_pair
+    make = lambda: NeighborSampler(store, fanout, hops=2, replace=replace,
+                                   seed=seed)  # noqa: E731
+    a, b = make(), make()
+    rng = np.random.default_rng(seed + 2)
+    for _ in range(3):
+        seeds = rng.choice(store.num_nodes[PAPER], size=10, replace=False)
+        _assert_subgraphs_equal(a.sample(seeds), b.sample(seeds))
+    # ... and a different sampler seed genuinely changes the draw.
+    other = NeighborSampler(store, fanout, hops=2, replace=replace,
+                            seed=seed + 1)
+    seeds = rng.choice(store.num_nodes[PAPER], size=10, replace=False)
+    sub_a, sub_other = a.sample(seeds), other.sample(seeds)
+    if replace:  # without-replacement low fanouts may coincide
+        assert any(
+            not np.array_equal(sub_a.edges[k][0], sub_other.edges[k][0])
+            for k in sub_a.edges
+        )
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000),
+       fanout=st.integers(min_value=1, max_value=5),
+       hops=st.integers(min_value=1, max_value=3),
+       replace=st.booleans())
+def test_store_and_graph_sources_agree(world_pair, seed, fanout, hops,
+                                       replace):
+    """Sampling from the mmap store == sampling from the live graph."""
+    graph, store = world_pair
+    from_graph = NeighborSampler(graph, fanout, hops=hops, replace=replace,
+                                 seed=seed)
+    from_store = NeighborSampler(store, fanout, hops=hops, replace=replace,
+                                 seed=seed)
+    seeds = np.random.default_rng(seed + 3).choice(
+        graph.num_nodes[PAPER], size=12, replace=False)
+    _assert_subgraphs_equal(from_graph.sample(seeds),
+                            from_store.sample(seeds))
+
+
+@settings(max_examples=20, deadline=None)
+@given(num_items=st.integers(min_value=1, max_value=200),
+       batch_size=st.integers(min_value=1, max_value=64),
+       seed=st.integers(min_value=0, max_value=10_000))
+def test_item_sampler_epochs_are_permutations(num_items, batch_size, seed):
+    items = np.arange(1000, 1000 + num_items)
+    sampler = ItemSampler(items, batch_size, seed=seed)
+    for _ in range(2):  # two full epochs
+        epoch = [sampler.next_batch()
+                 for _ in range(sampler.batches_per_epoch)]
+        assert all(len(b) <= batch_size for b in epoch)
+        joined = np.concatenate(epoch)
+        assert np.array_equal(np.sort(joined), items)
+    # Resuming from a mid-epoch snapshot replays the identical tail.
+    fresh = ItemSampler(items, batch_size, seed=seed)
+    for _ in range(3):
+        fresh.next_batch()
+    clone = ItemSampler(items, batch_size, seed=seed)
+    clone.load_state_dict(fresh.state_dict())
+    for _ in range(sampler.batches_per_epoch + 2):
+        assert np.array_equal(fresh.next_batch(), clone.next_batch())
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000),
+       batch_size=st.integers(min_value=4, max_value=48))
+def test_minibatch_seeds_always_present(world_pair, seed, batch_size):
+    """Every minibatch contains its seed papers, correctly relabeled."""
+    graph, _ = world_pair
+    sampler = MinibatchSampler(batch_size=batch_size, fanouts=4,
+                               hops=2, seed=seed)
+    items = np.arange(graph.num_nodes[PAPER])
+    labels = np.random.default_rng(0).random(len(items))
+    sampler.bind(graph, items, labels)
+    covered = []
+    for _ in range(sampler.batches_per_epoch):
+        mb = sampler.next_minibatch()
+        paper_ids = mb.nodes[PAPER]
+        assert np.all(np.isin(mb.seeds, paper_ids))
+        assert np.array_equal(paper_ids[mb.batch.labeled_ids], mb.seeds)
+        assert np.array_equal(mb.batch.labels, labels[mb.seeds])
+        covered.append(mb.seeds)
+    assert np.array_equal(np.sort(np.concatenate(covered)), items)
