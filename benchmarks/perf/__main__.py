@@ -18,6 +18,17 @@ from . import (
     run_all,
 )
 
+
+def _bench_serving_async(quick: bool) -> dict:
+    # Imported lazily: the loadtest boots real servers and is only
+    # needed for the ``loadtest`` command / ``--section serving_async``.
+    from .loadtest import bench_serving_async
+
+    if quick:
+        return bench_serving_async(concurrency=64, per_client=5)
+    return bench_serving_async(concurrency=1000, per_client=5)
+
+
 #: Individually re-runnable report sections for ``--section``: measuring
 #: one subsystem must not require re-timing the whole harness.
 SECTIONS = {
@@ -32,41 +43,53 @@ SECTIONS = {
     "sampling": lambda quick: bench_sampling(
         scales=(20_000, 100_000) if quick else (100_000, 1_000_000),
         batches=5 if quick else 20),
+    "serving_async": _bench_serving_async,
 }
+
+#: Sections that ``run_all`` does not re-measure (they need their own
+#: entry point); preserved verbatim when the full harness rewrites the
+#: report so a plain ``python -m benchmarks.perf`` never drops them.
+PRESERVED_SECTIONS = ("serving_async",)
 
 
 def summarize(report: dict) -> str:
     lines = ["BENCH_perf summary", "=================="]
-    for case in report["ops"]:
+    for case in report.get("ops", []):
         lines.append(
             f"op {case['op']:<24} {case['speedup']:.2f}x  "
             f"tape {case['legacy_tape']['tape_nodes']}→"
             f"{case['fused_tape']['tape_nodes']} nodes"
         )
-    hp = report["hgn_passes"]
-    lines.append(f"hgn forward           {hp['forward_speedup']:.2f}x")
-    lines.append(f"hgn forward+backward  {hp['forward_backward_speedup']:.2f}x")
-    ce = report["cate_epochs"]
-    lines.append(
-        f"CATE-HGN epoch        {ce['epoch_speedup']:.2f}x  "
-        f"({ce['legacy']['epoch_mean_s']:.3f}s → "
-        f"{ce['fused']['epoch_mean_s']:.3f}s)"
-    )
-    for name, entry in report["baseline_epochs"].items():
+    hp = report.get("hgn_passes")
+    if hp:
+        lines.append(f"hgn forward           {hp['forward_speedup']:.2f}x")
+        lines.append(
+            f"hgn forward+backward  {hp['forward_backward_speedup']:.2f}x")
+    ce = report.get("cate_epochs")
+    if ce:
+        lines.append(
+            f"CATE-HGN epoch        {ce['epoch_speedup']:.2f}x  "
+            f"({ce['legacy']['epoch_mean_s']:.3f}s → "
+            f"{ce['fused']['epoch_mean_s']:.3f}s)"
+        )
+    for name, entry in report.get("baseline_epochs", {}).items():
         lines.append(f"{name:<9} epoch       {entry['epoch_speedup']:.2f}x")
-    sv = report["serve"]
-    lines.append(
-        f"serve cold query      {sv['cold_speedup_vs_grad_forward']:.0f}x  "
-        f"({sv['grad_forward']['mean_s'] * 1e3:.1f}ms → "
-        f"{sv['cold_single_query']['mean_s'] * 1e3:.3f}ms)"
-    )
-    lines.append(
-        f"serve warm query      {sv['warm_speedup_vs_grad_forward']:.0f}x  "
-        f"(→ {sv['warm_single_query']['mean_s'] * 1e3:.3f}ms)"
-    )
-    lines.append(
-        f"serve bulk            {sv['bulk']['papers_per_s']:,.0f} papers/s"
-    )
+    sv = report.get("serve")
+    if sv:
+        lines.append(
+            f"serve cold query      "
+            f"{sv['cold_speedup_vs_grad_forward']:.0f}x  "
+            f"({sv['grad_forward']['mean_s'] * 1e3:.1f}ms → "
+            f"{sv['cold_single_query']['mean_s'] * 1e3:.3f}ms)"
+        )
+        lines.append(
+            f"serve warm query      "
+            f"{sv['warm_speedup_vs_grad_forward']:.0f}x  "
+            f"(→ {sv['warm_single_query']['mean_s'] * 1e3:.3f}ms)"
+        )
+        lines.append(
+            f"serve bulk            {sv['bulk']['papers_per_s']:,.0f} papers/s"
+        )
     ct = report.get("contracts")
     if ct:  # absent in reports written before the contract layer existed
         frac = ct.get("scan_fraction_of_epoch")
@@ -91,11 +114,29 @@ def summarize(report: dict) -> str:
                 f"(store {entry['store_bytes'] / 2**20:,.0f} MiB, "
                 f"py peak {entry['python_peak_bytes'] / 2**20:.1f} MiB)"
             )
+    sa = report.get("serving_async")
+    if sa:  # absent until `python -m benchmarks.perf loadtest` has run
+        a, t = sa["async"], sa["threaded"]
+        lines.append(
+            f"serving_async @{sa['concurrency']} clients  "
+            f"{a['qps']:,.0f} QPS  p50 {a['p50_ms']:.1f}ms  "
+            f"p99 {a['p99_ms']:.1f}ms  "
+            f"mean batch {a['batching']['mean_batch_size']:.1f}"
+        )
+        lines.append(
+            f"  vs threaded          "
+            f"{t['qps']:,.0f} QPS  p50 {t['p50_ms']:.1f}ms  "
+            f"p99 {t['p99_ms']:.1f}ms  "
+            f"({sa['qps_speedup_vs_threaded']:.2f}x async)"
+        )
     return "\n".join(lines)
 
 
 def main() -> None:
     parser = argparse.ArgumentParser(prog="python -m benchmarks.perf")
+    parser.add_argument("command", nargs="?", choices=["loadtest"],
+                        help="loadtest: multi-client serving load test "
+                             "(asyncio vs threaded) → serving_async section")
     parser.add_argument("--quick", action="store_true",
                         help="fewer repeats / iterations (smoke run)")
     parser.add_argument("--output", type=Path, default=BENCH_PERF_PATH,
@@ -107,12 +148,20 @@ def main() -> None:
                              "merge into the existing report (repeatable)")
     args = parser.parse_args()
 
+    if args.command == "loadtest":
+        args.section = (args.section or []) + ["serving_async"]
     if args.section:
-        report = json.loads(args.output.read_text())
+        report = (json.loads(args.output.read_text())
+                  if args.output.exists() else {})
         for name in args.section:
             report[name] = SECTIONS[name](args.quick)
     else:
+        previous = (json.loads(args.output.read_text())
+                    if args.output.exists() else {})
         report = run_all(quick=args.quick)
+        for name in PRESERVED_SECTIONS:
+            if name in previous:
+                report[name] = previous[name]
     args.output.parent.mkdir(parents=True, exist_ok=True)
     args.output.write_text(json.dumps(report, indent=2) + "\n")
     print(summarize(report))

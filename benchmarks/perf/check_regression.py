@@ -71,10 +71,28 @@ def main() -> int:
         source = f"re-measured in {time.perf_counter() - start:.1f}s"
 
     limit = base_epoch * (1.0 + args.threshold)
-    verdict = "OK" if current <= limit else "REGRESSION"
+    failed = current > limit
+    verdict = "OK" if not failed else "REGRESSION"
     print(f"{verdict}: fused CATE-HGN epoch {current:.3f}s vs baseline "
           f"{base_epoch:.3f}s (limit {limit:.3f}s, {source})")
-    return 0 if current <= limit else 1
+
+    # Serving throughput gate: only meaningful when both reports carry a
+    # measured serving_async section (the loadtest is too heavy for the
+    # re-measure path).
+    if args.report is not None:
+        base_sa = baseline.get("serving_async")
+        fresh_sa = fresh.get("serving_async")
+        if base_sa and fresh_sa:
+            base_qps = base_sa["async"]["qps"]
+            cur_qps = fresh_sa["async"]["qps"]
+            floor = base_qps * (1.0 - args.threshold)
+            qps_failed = cur_qps < floor
+            failed = failed or qps_failed
+            print(f"{'REGRESSION' if qps_failed else 'OK'}: serving_async "
+                  f"{cur_qps:,.0f} QPS vs baseline {base_qps:,.0f} "
+                  f"(floor {floor:,.0f})")
+
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":

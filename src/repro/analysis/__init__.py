@@ -10,7 +10,7 @@ Three pillars (see ``DESIGN.md`` — "Correctness toolchain"):
 - :mod:`repro.analysis.lint` — repo-specific AST lint (rules R001-R006),
   runnable as ``python -m repro.analysis.lint src/`` or ``repro-lint``;
 - :mod:`repro.analysis.concurrency` — lock-discipline analysis: static
-  rules A001-A004 plus the tsan-lite runtime detector
+  rules A001-A005 plus the tsan-lite runtime detector
   (:func:`detect_races`, :class:`InstrumentedLock`).
 
 ``python -m repro.analysis gate`` runs lint + concurrency in one shot

@@ -3,7 +3,7 @@
 Two complementary prongs:
 
 * :mod:`repro.analysis.concurrency.static` — whole-program AST analysis
-  of lock discipline (rules A001-A004: guarded-attribute access,
+  of lock discipline (rules A001-A005: guarded-attribute access,
   deadlock cycles, lock-held blocking calls, re-entrant Lock).
 * :mod:`repro.analysis.concurrency.runtime` — opt-in runtime detector
   (:class:`InstrumentedLock`, :func:`detect_races`) that validates the

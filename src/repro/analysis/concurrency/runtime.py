@@ -275,6 +275,51 @@ class InstrumentedLock:
             return False
         return True
 
+    def _at_fork_reinit(self) -> None:
+        # Modules first imported inside a window may register their
+        # (instrumented) locks with os.register_at_fork — e.g.
+        # concurrent.futures.thread does at import time.
+        self._inner._at_fork_reinit()
+
+    # -- Condition protocol -------------------------------------------
+    # threading.Condition adopts the lock's _is_owned/_release_save/
+    # _acquire_restore when present.  Without these, Condition falls
+    # back to a non-blocking acquire probe, which is WRONG for an
+    # RLock: the owning thread's probe re-acquires and reports "not
+    # owned", so Condition.notify raises on a lock it holds.  That
+    # breaks every concurrent.futures.Future created inside a
+    # detect_races window (Future.__init__ calls Condition()) — e.g.
+    # an asyncio run_in_executor result would silently never resolve.
+    def _is_owned(self) -> bool:
+        probe = getattr(self._inner, "_is_owned", None)
+        if probe is not None:
+            return bool(probe())
+        # Plain Lock: stdlib Condition's own fallback semantics.
+        if self._inner.acquire(blocking=False):
+            self._inner.release()
+            return False
+        return True
+
+    def _release_save(self):
+        det = self._det()
+        if det is not None:
+            det.on_release(id(self))
+        saver = getattr(self._inner, "_release_save", None)
+        if saver is not None:
+            return saver()
+        self._inner.release()
+        return None
+
+    def _acquire_restore(self, state) -> None:
+        restorer = getattr(self._inner, "_acquire_restore", None)
+        if restorer is not None:
+            restorer(state)
+        else:
+            self._inner.acquire()
+        det = self._det()
+        if det is not None:
+            det.after_acquire(id(self), self._name, self._reentrant)
+
     def __enter__(self) -> bool:
         return self.acquire()
 

@@ -1,4 +1,4 @@
-"""Static lock-discipline analyzer for the repro codebase (rules A001-A004).
+"""Static lock-discipline analyzer for the repro codebase (rules A001-A005).
 
 The serving layer (``repro.serve``) runs every request on its own thread
 and protects shared state with hand-rolled ``threading.Lock``s.  The
@@ -30,6 +30,14 @@ A004
     Re-entrant acquisition of a non-reentrant ``threading.Lock``
     reachable through self-calls (guaranteed deadlock on first
     execution).
+A005
+    Blocking call inside an ``async def`` body: ``time.sleep``,
+    subprocess spawns, sync ``socket``/``urllib`` connects, and
+    ``open()`` written directly into a coroutine stall the event loop
+    for every connection it serves (the asyncio serving runtime of
+    DESIGN §16 is single-threaded).  Calls inside *nested* sync defs
+    are exempt — they run wherever they are later invoked, typically an
+    executor thread.
 
 Annotation grammar
 ------------------
@@ -92,6 +100,7 @@ ARULES: Dict[str, str] = {
     "A002": "lock-acquisition cycle (potential deadlock)",
     "A003": "blocking operation while holding a lock",
     "A004": "re-entrant acquisition of a non-reentrant Lock",
+    "A005": "blocking call inside an async def (stalls the event loop)",
 }
 
 #: Constructor leaf names that create a *non-reentrant* mutex.
@@ -811,6 +820,66 @@ def _check_a004(program: _Program) -> List[Violation]:
 
 
 # ----------------------------------------------------------------------
+# A005: blocking call inside an async def
+# ----------------------------------------------------------------------
+def _iter_async_body(func: ast.AsyncFunctionDef):
+    """Yield the nodes that execute *on the event loop* inside ``func``.
+
+    Nested function bodies are skipped: a nested sync ``def`` runs
+    wherever it is later called (possibly an executor thread, where
+    blocking is fine), and a nested ``async def`` is found separately
+    by the outer ``ast.walk`` so descending here would double-report.
+    """
+    stack: List[ast.AST] = list(func.body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.Lambda)):
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _check_a005(tree: ast.AST, path: str) -> List[Violation]:
+    """Flag event-loop stalls: sync sleeps / sockets / subprocess / file
+    I/O written directly into a coroutine body.
+
+    One blocking call in one handler freezes *every* connection the
+    loop is serving — the asyncio analogue of A003's
+    blocking-under-a-lock.  The fix is the same shape in every case:
+    ``await`` the asyncio equivalent, or push the call into an executor
+    (``loop.run_in_executor``).
+    """
+    found: List[Violation] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.AsyncFunctionDef):
+            continue
+        for sub in _iter_async_body(node):
+            if not isinstance(sub, ast.Call):
+                continue
+            chain = _attribute_chain(sub.func)
+            if not chain:
+                continue
+            dotted = ".".join(chain)
+            blocked = _match_blocking(dotted)
+            if blocked is None and dotted == "open":
+                blocked = "open"
+            if blocked:
+                found.append(
+                    Violation(
+                        "A005",
+                        path,
+                        sub.lineno,
+                        f"blocking {blocked}() inside async def "
+                        f"{node.name}() stalls the event loop; await the "
+                        "asyncio equivalent or dispatch it via "
+                        "loop.run_in_executor",
+                    )
+                )
+    return found
+
+
+# ----------------------------------------------------------------------
 # Driver
 # ----------------------------------------------------------------------
 def analyze_sources(
@@ -838,6 +907,8 @@ def analyze_sources(
             continue
         suppressed_by_path[path] = _suppressed_rules(source, ARULES)
         models.extend(_collect_models(tree, path, source))
+        if "A005" in active:
+            violations += _check_a005(tree, path)
 
     program = _Program(models)
     if "A001" in active:
@@ -881,7 +952,7 @@ def analyze_paths(
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis.concurrency",
-        description="Static lock-discipline analysis (rules A001-A004; "
+        description="Static lock-discipline analysis (rules A001-A005; "
         "see repro.analysis.concurrency.static docstring).",
     )
     parser.add_argument("paths", nargs="*", help="files or directories")

@@ -28,6 +28,12 @@ reports PASS/FAIL per drill (non-zero exit on any failure):
                  answered 200 from the cache/prior fallback chain — zero
                  5xx — and that a shadow-validation-failed hot reload
                  leaves the old engine serving.
+``batching``     the same zero-5xx guarantee under the asyncio runtime's
+                 cross-request dynamic batching: concurrent bursts, the
+                 engine killed mid-run, every coalesced request still
+                 answered 200 (degraded, from the prior) and every
+                 queued request resolved exactly once — nothing dropped,
+                 nothing double-answered.
 ``race``         inject the classic AB/BA lock inversion plus a
                  lock-held ``time.sleep`` and assert the tsan-lite
                  runtime detector (``repro.analysis.concurrency``)
@@ -519,6 +525,138 @@ def drill_race(log: Callable[[str], None]) -> None:
     log("race detector drill: both seeded hazards diagnosed")
 
 
+def drill_batching(log: Callable[[str], None]) -> None:
+    """Engine faults under concurrent *batched* load (asyncio runtime).
+
+    The dynamic batcher coalesces concurrent requests into shared
+    engine forwards, so one engine failure now threatens a whole batch
+    of clients at once.  This drill fires concurrent bursts at the
+    asyncio server, kills the engine mid-run (same
+    ``engine.predict`` fault site as the ``degrade`` drill), and
+    asserts the two invariants that make batching operable:
+
+    * **zero 5xx** — every fault-window request degrades to a 200 via
+      the breaker fallback chain (model → cache → prior), exactly as
+      unbatched requests would;
+    * **exactly one response per request** — nothing queued is dropped
+      or double-resolved, which the batcher's ``resolutions`` counter
+      and the admission accounting pin from both sides.
+    """
+    import json
+    import threading
+    import urllib.error
+    import urllib.request
+
+    from ..serve import (BackgroundAsyncServer, BatchSettings,
+                         CircuitBreaker, InferenceEngine, ServingRuntime,
+                         save_catehgn)
+
+    dataset = _tiny_dataset()
+    est = _tiny_estimator()
+    est.fit(dataset)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = save_catehgn(est, f"{tmp}/model.npz")
+        engine = InferenceEngine.from_checkpoint(path)
+        runtime = ServingRuntime(engine, breaker=CircuitBreaker(
+            failure_threshold=2, recovery_seconds=60.0))
+        # A generous wait watermark so the concurrent bursts reliably
+        # coalesce — the drill is about batched failure, not latency.
+        bg = BackgroundAsyncServer(
+            engine, runtime=runtime,
+            settings=BatchSettings(max_batch_size=64, max_wait_ms=20.0))
+        host, port = bg.start()
+        base = f"http://{host}:{port}"
+
+        def call(method: str, endpoint: str, body: Optional[dict] = None):
+            data = None if body is None else json.dumps(body).encode()
+            req = urllib.request.Request(
+                base + endpoint, data=data, method=method,
+                headers={"Content-Type": "application/json"})
+            try:
+                with urllib.request.urlopen(req, timeout=30) as resp:
+                    return resp.status, json.loads(resp.read())
+            except urllib.error.HTTPError as exc:
+                return exc.code, json.loads(exc.read())
+
+        def burst(threads: int, per_thread: int, id_offset: int):
+            """Concurrent predict burst; returns every (status, body)."""
+            results: List = []
+            results_lock = threading.Lock()
+            barrier = threading.Barrier(threads)
+
+            def worker(t: int) -> None:
+                barrier.wait()
+                for i in range(per_thread):
+                    pid = (id_offset + t * per_thread + i) % engine.num_papers
+                    out = call("POST", "/predict", {"paper_ids": [pid]})
+                    with results_lock:
+                        results.append(out)
+
+            pool = [threading.Thread(target=worker, args=(t,))
+                    for t in range(threads)]
+            for th in pool:
+                th.start()
+            for th in pool:
+                th.join(timeout=60)
+            _check(not any(th.is_alive() for th in pool),
+                   "burst worker hung — a queued request never got "
+                   "its response")
+            return results
+
+        try:
+            healthy = burst(8, 3, id_offset=0)
+            _check(len(healthy) == 24,
+                   f"expected 24 healthy responses, got {len(healthy)}")
+            _check(all(s == 200 and b["source"] == "model"
+                       and b["degraded"] is False for s, b in healthy),
+                   "healthy burst not fully served by the model")
+            log("healthy burst: 24/24 answered 200 from source=model")
+
+            with faults.fail_engine(times=10):
+                faulted = burst(8, 3, id_offset=24)
+            statuses = sorted({s for s, _ in faulted})
+            _check(len(faulted) == 24,
+                   f"expected 24 fault-window responses, got {len(faulted)}")
+            _check(statuses == [200],
+                   f"expected zero 5xx under engine fault, got {statuses}")
+            _check(all(b["degraded"] is True and b["source"] == "prior"
+                       for _, b in faulted),
+                   "fault-window responses not degraded prior fallbacks")
+            log("fault burst: 24/24 answered 200 (degraded, source=prior) "
+                "— zero 5xx")
+
+            status, health = call("GET", "/healthz")
+            _check(status == 200 and health["breaker"] == "open"
+                   and health["status"] == "degraded",
+                   f"healthz did not report the open breaker: {health}")
+
+            # Exactly-one-response accounting, from both sides: every
+            # admitted request was resolved exactly once, and every
+            # resolved future was observed as an HTTP response above.
+            status, metrics = call("GET", "/metrics")
+            batching = metrics["batching"]
+            _check(batching["admitted"] == 48,
+                   f"admission accounting off: {batching['admitted']} != 48")
+            _check(batching["batched_requests"] == 48,
+                   f"batch accounting off: "
+                   f"{batching['batched_requests']} != 48")
+            _check(bg.app.batcher.resolutions == 48,
+                   f"future resolutions off: "
+                   f"{bg.app.batcher.resolutions} != 48")
+            _check(batching["batches"] < 48,
+                   f"concurrent bursts never coalesced: "
+                   f"{batching['batches']} batches for 48 requests")
+            _check(batching["failed_batches"] == 0,
+                   f"batches surfaced failures despite the fallback "
+                   f"chain: {batching['failed_batches']}")
+            log(f"48 requests → {batching['batches']} batches "
+                f"(mean {batching['mean_batch_size']:.1f}), every future "
+                f"resolved exactly once")
+        finally:
+            bg.shutdown()
+
+
 DRILLS: Dict[str, Callable[[Callable[[str], None]], None]] = {
     "resume": drill_resume,
     "resume-gnn": drill_resume_gnn,
@@ -527,6 +665,7 @@ DRILLS: Dict[str, Callable[[Callable[[str], None]], None]] = {
     "atomicity": drill_atomicity,
     "quarantine": drill_quarantine,
     "degrade": drill_degrade,
+    "batching": drill_batching,
     "race": drill_race,
 }
 

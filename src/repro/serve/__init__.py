@@ -6,6 +6,16 @@ an :class:`InferenceEngine` (one tape-free forward per graph snapshot),
 and expose predictions over stdlib HTTP via ``python -m repro.serve``.
 """
 
+from .aio import (
+    AdmissionFull,
+    AdmissionQueue,
+    AsyncPredictionServer,
+    BackgroundAsyncServer,
+    BatchSettings,
+    BatchingMetrics,
+    DynamicBatcher,
+    serve_forever_aio,
+)
 from .breaker import CircuitBreaker
 from .cache import LRUCache
 from .checkpoint import (
@@ -33,9 +43,16 @@ from .service import (
 )
 
 __all__ = [
+    "AdmissionFull",
+    "AdmissionQueue",
+    "AsyncPredictionServer",
+    "BackgroundAsyncServer",
+    "BatchSettings",
+    "BatchingMetrics",
     "CHECKPOINT_FORMAT_VERSION",
     "Checkpoint",
     "CircuitBreaker",
+    "DynamicBatcher",
     "InferenceEngine",
     "InflightLimiter",
     "LRUCache",
@@ -55,4 +72,5 @@ __all__ = [
     "save_checkpoint",
     "save_gnn_baseline",
     "serve_forever",
+    "serve_forever_aio",
 ]

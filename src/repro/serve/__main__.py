@@ -30,6 +30,19 @@ def build_parser() -> argparse.ArgumentParser:
                         help="bulk-prediction micro-batch size")
     parser.add_argument("--quiet", action="store_true",
                         help="suppress per-request access logs")
+    aio = parser.add_argument_group("asyncio runtime (DESIGN §16)")
+    aio.add_argument("--aio", action="store_true",
+                     help="serve on the asyncio runtime with cross-request "
+                          "dynamic batching instead of the threaded server")
+    aio.add_argument("--max-batch-size", type=int, default=256,
+                     help="flush a batch once its coalesced cost (paper ids "
+                          "+ ranks) reaches this many units")
+    aio.add_argument("--max-wait-ms", type=float, default=2.0,
+                     help="flush a partial batch this many ms after its "
+                          "first request arrived")
+    aio.add_argument("--queue-depth", type=int, default=1024,
+                     help="admission queue bound; excess requests are shed "
+                          "with 503 + Retry-After")
     limits = parser.add_argument_group("limits (DESIGN §12)")
     limits.add_argument("--max-inflight", type=int, default=64,
                         help="max concurrently-executing requests; excess "
@@ -59,6 +72,16 @@ def main(argv=None) -> int:
                            max_inflight=args.max_inflight,
                            read_timeout=args.read_timeout,
                            deadline_seconds=args.deadline)
+    if args.aio:
+        from .aio import BatchSettings, serve_forever_aio
+
+        settings = BatchSettings(max_batch_size=args.max_batch_size,
+                                 max_wait_ms=args.max_wait_ms,
+                                 max_queue_depth=args.queue_depth)
+        serve_forever_aio(engine, host=args.host, port=args.port,
+                          verbose=not args.quiet, limits=limits,
+                          settings=settings)
+        return 0
     serve_forever(engine, host=args.host, port=args.port,
                   verbose=not args.quiet, limits=limits)
     return 0

@@ -1,16 +1,20 @@
 """Request metrics for the prediction service.
 
-Counts, error counts, and latency quantiles (p50/p99) per endpoint, kept
-in a bounded reservoir so a long-lived server does not grow without
-limit.  Thread-safe: the service handler runs under
-``ThreadingHTTPServer``.
+Counts, error counts, and latency quantiles (p50/p99) per endpoint.
+Latencies are kept in a bounded **reservoir sample**
+(:class:`LatencyReservoir`, Vitter's Algorithm R): O(1) insertion with
+no per-request allocation, a hard memory bound however long the server
+lives, and — unlike the sliding window it replaced — quantiles that
+stay representative of the *whole* request history instead of only the
+most recent burst.  Thread-safe: the service handler runs under
+``ThreadingHTTPServer`` (the asyncio runtime shares the class).
 """
 
 from __future__ import annotations
 
+import random
 import threading
-from collections import deque
-from typing import Deque, Dict
+from typing import Dict, List
 
 
 def _quantile(sorted_values, q: float) -> float:
@@ -21,14 +25,48 @@ def _quantile(sorted_values, q: float) -> float:
     return float(sorted_values[idx])
 
 
+class LatencyReservoir:
+    """Fixed-size uniform sample of a stream of latencies (Algorithm R).
+
+    The first ``capacity`` observations are kept verbatim; afterwards
+    each new observation replaces a random slot with probability
+    ``capacity / count``, which keeps every observation equally likely
+    to be in the sample.  The RNG is seeded so two servers fed the same
+    stream report the same quantiles.  NOT thread-safe on its own — the
+    owner serializes access (``ServiceMetrics`` under its lock, the
+    batcher on the event-loop thread).
+    """
+
+    __slots__ = ("capacity", "count", "values", "_rng")
+
+    def __init__(self, capacity: int = 2048, seed: int = 0) -> None:
+        self.capacity = max(1, int(capacity))
+        self.count = 0
+        self.values: List[float] = []
+        self._rng = random.Random(seed)
+
+    def add(self, value: float) -> None:
+        self.count += 1
+        if len(self.values) < self.capacity:
+            self.values.append(float(value))
+        else:
+            slot = self._rng.randrange(self.count)
+            if slot < self.capacity:
+                self.values[slot] = float(value)
+
+    def quantile(self, q: float) -> float:
+        return _quantile(sorted(self.values), q)
+
+
 class ServiceMetrics:
     """Per-endpoint request accounting.
 
     Beyond request/error counts and latency quantiles, the resilience
     counters record the server's failure-handling behaviour: ``shed``
-    (503s from the in-flight limiter), ``disconnects`` (clients that
-    hung up mid-request/response), and ``deadline_timeouts`` (requests
-    that finished past their deadline and were answered 504).
+    (503s from the in-flight limiter / admission queue), ``disconnects``
+    (clients that hung up mid-request/response), and
+    ``deadline_timeouts`` (requests that finished past their deadline
+    and were answered 504).
     """
 
     def __init__(self, window: int = 2048) -> None:
@@ -36,7 +74,7 @@ class ServiceMetrics:
         self._window = int(window)
         self._requests: Dict[str, int] = {}  # guarded-by: _lock
         self._errors: Dict[str, int] = {}  # guarded-by: _lock
-        self._latency: Dict[str, Deque[float]] = {}  # guarded-by: _lock
+        self._latency: Dict[str, LatencyReservoir] = {}  # guarded-by: _lock
         self._shed: Dict[str, int] = {}  # guarded-by: _lock
         self._disconnects: Dict[str, int] = {}  # guarded-by: _lock
         self._deadline: Dict[str, int] = {}  # guarded-by: _lock
@@ -47,10 +85,14 @@ class ServiceMetrics:
             self._requests[endpoint] = self._requests.get(endpoint, 0) + 1
             if error:
                 self._errors[endpoint] = self._errors.get(endpoint, 0) + 1
-            bucket = self._latency.setdefault(
-                endpoint, deque(maxlen=self._window)
-            )
-            bucket.append(float(seconds))
+            reservoir = self._latency.get(endpoint)
+            if reservoir is None:
+                # Endpoint-name-derived seed: deterministic, and distinct
+                # endpoints do not share a replacement sequence.
+                reservoir = LatencyReservoir(
+                    self._window, seed=len(self._latency))
+                self._latency[endpoint] = reservoir
+            reservoir.add(float(seconds))
 
     def record_shed(self, endpoint: str) -> None:
         """Count a request shed by the in-flight limiter (503)."""
@@ -76,7 +118,8 @@ class ServiceMetrics:
             names = (set(self._requests) | set(self._shed)
                      | set(self._disconnects) | set(self._deadline))
             for name in sorted(names):
-                lat = sorted(self._latency.get(name, ()))
+                reservoir = self._latency.get(name)
+                lat = sorted(reservoir.values) if reservoir else []
                 endpoints[name] = {
                     "requests": self._requests.get(name, 0),
                     "errors": self._errors.get(name, 0),

@@ -384,6 +384,11 @@ class ResilientHTTPServer(ThreadingHTTPServer):
     DISCONNECT_ERRORS = (BrokenPipeError, ConnectionResetError,
                          TimeoutError)
 
+    #: Deep listen backlog (socketserver's default is 5): a burst of
+    #: concurrent clients — e.g. the serving load test — must land in
+    #: the accept queue, not get reset at the kernel's front door.
+    request_queue_size = 1024
+
     @property
     def engine(self) -> InferenceEngine:
         """The live engine, read through the runtime (hot-reload aware)."""

@@ -1,4 +1,4 @@
-"""Static lock-discipline analyzer (A001-A004): seeded violations caught,
+"""Static lock-discipline analyzer (A001-A005): seeded violations caught,
 clean code passes, annotations and noqa suppression honoured."""
 
 import subprocess
@@ -248,6 +248,46 @@ class Nested:
 '''
 
 
+A005_BAD = """\
+import asyncio
+import subprocess
+import time
+
+
+async def handler(reader, writer):
+    time.sleep(0.1)
+    with open("/tmp/log") as fh:
+        data = fh.read()
+    subprocess.run(["true"])
+    await asyncio.sleep(0)
+    return data
+"""
+
+A005_CLEAN = """\
+import asyncio
+import time
+
+
+async def handler(loop):
+    await asyncio.sleep(0.1)
+    return await loop.run_in_executor(None, time.sleep, 0.1)
+
+
+def sync_helper():
+    time.sleep(0.1)  # not async: A005 does not apply
+"""
+
+A005_NESTED_SYNC = """\
+import time
+
+
+async def outer():
+    def blocking_callback():
+        time.sleep(0.1)  # runs on an executor thread, not the loop
+    return blocking_callback
+"""
+
+
 def analyze_str(*sources, rules=None):
     return analyze_sources(
         [(src, f"fixture_{i}.py") for i, src in enumerate(sources)],
@@ -381,11 +421,50 @@ class TestA004:
 
 
 # ----------------------------------------------------------------------
+# A005
+# ----------------------------------------------------------------------
+class TestA005:
+    def test_blocking_in_async_def_flagged(self):
+        a005 = [v for v in analyze_str(A005_BAD) if v.rule == "A005"]
+        assert sorted(v.line for v in a005) == [7, 8, 10]
+        joined = " ".join(v.message for v in a005)
+        assert "time.sleep" in joined
+        assert "open" in joined
+        assert "subprocess.run" in joined
+        assert all("handler" in v.message for v in a005)
+        assert all("run_in_executor" in v.message for v in a005)
+
+    def test_awaited_and_dispatched_clean(self):
+        assert [v for v in analyze_str(A005_CLEAN) if v.rule == "A005"] == []
+
+    def test_nested_sync_def_exempt(self):
+        assert [v for v in analyze_str(A005_NESTED_SYNC)
+                if v.rule == "A005"] == []
+
+    def test_noqa_suppresses(self):
+        suppressed = A005_BAD.replace(
+            "    time.sleep(0.1)",
+            "    time.sleep(0.1)  # noqa: A005",
+        ).replace(
+            '    with open("/tmp/log") as fh:',
+            '    with open("/tmp/log") as fh:  # noqa: A005',
+        ).replace(
+            '    subprocess.run(["true"])',
+            '    subprocess.run(["true"])  # noqa: A005',
+        )
+        assert [v for v in analyze_str(suppressed) if v.rule == "A005"] == []
+
+    def test_select_only_a005(self):
+        only = analyze_str(A005_BAD, A001_BAD, rules={"A005"})
+        assert rules_of(only) == ["A005"]
+
+
+# ----------------------------------------------------------------------
 # Driver / CLI
 # ----------------------------------------------------------------------
 class TestDriver:
     def test_rule_catalogue(self):
-        assert set(ARULES) == {"A001", "A002", "A003", "A004"}
+        assert set(ARULES) == {"A001", "A002", "A003", "A004", "A005"}
 
     def test_select_subset(self):
         only = analyze_str(A001_BAD, A004_BAD_DIRECT, rules={"A004"})

@@ -52,6 +52,45 @@ def test_committed_bench_serve_section_and_headline():
     assert sv["cold_speedup_vs_grad_forward"] >= 5.0
 
 
+def test_committed_bench_serving_async_section():
+    """Dynamic-batching acceptance on the committed loadtest report.
+
+    Pins the tentpole claims without re-running the (slow) 1k-client
+    loadtest: the asyncio runtime coalesced concurrent requests into
+    real multi-request batches (mean batch size > 1), out-threw the
+    threaded server on QPS, answered everything (histogram accounts for
+    every request, zero client errors), and the latency fields are
+    sane percentiles.
+    """
+    report = json.loads(BENCH_PERF.read_text())
+    sa = report["serving_async"]
+    assert sa["concurrency"] >= 64
+    assert sa["total_requests"] == (sa["concurrency"]
+                                    * sa["requests_per_client"])
+    for side in ("async", "threaded"):
+        res = sa[side]
+        assert res["requests"] == sa["total_requests"], side
+        assert res["errors"] == 0, side
+        assert res["qps"] > 0, side
+        assert 0 < res["p50_ms"] <= res["p99_ms"], side
+
+    batching = sa["async"]["batching"]
+    assert batching["mean_batch_size"] > 1.0
+    assert batching["coalesce_ratio"] > 1.0
+    assert batching["failed_batches"] == 0
+    # Every measured request is in exactly one batch: the histogram's
+    # weighted sum must equal the request count.
+    weighted = sum(int(size) * count for size, count
+                   in batching["batch_size_histogram"].items())
+    assert weighted == sa["async"]["requests"]
+    assert batching["batches"] == sum(
+        batching["batch_size_histogram"].values())
+    # The headline: batching beats thread-per-request on throughput.
+    assert sa["async"]["qps"] > sa["threaded"]["qps"]
+    assert sa["qps_speedup_vs_threaded"] == pytest.approx(
+        sa["async"]["qps"] / sa["threaded"]["qps"])
+
+
 def test_committed_bench_sampling_section():
     """On-disk minibatch sampling acceptance: the committed report has
     papers/s at 100k AND 1M papers, sampled without loading the store

@@ -162,6 +162,34 @@ class TestReentrancy:
             assert fired == [True]
             assert detector.violations == []
 
+    def test_condition_over_instrumented_rlock_notify(self):
+        """Bare Condition() builds on RLock(); notify needs _is_owned.
+
+        Without the Condition protocol on InstrumentedLock, the stdlib
+        falls back to a non-blocking acquire probe — which *succeeds*
+        on an RLock the caller owns, so notify() raises "cannot notify
+        on un-acquired lock" on a lock that is very much held.
+        """
+        with detect_races() as detector:
+            cond = threading.Condition()  # default lock: RLock()
+            with cond:
+                cond.notify_all()  # raised before the fix
+            assert detector.violations == []
+
+    def test_executor_future_resolves_inside_window(self):
+        """concurrent.futures inside a window must still deliver results.
+
+        Future.__init__ creates a Condition() — with the broken
+        ownership probe, set_result() died in notify_all and waiters
+        (e.g. asyncio run_in_executor) hung forever.
+        """
+        import concurrent.futures
+
+        with detect_races() as detector:
+            with concurrent.futures.ThreadPoolExecutor(1) as pool:
+                assert pool.submit(lambda: 41 + 1).result(timeout=10) == 42
+            assert detector.violations == []
+
 
 class TestLockHeldIO:
     def test_sleep_under_lock_detected(self):
