@@ -29,6 +29,22 @@ def _bench_serving_async(quick: bool) -> dict:
     return bench_serving_async(concurrency=1000, per_client=5)
 
 
+#: Mutable knobs the CLI sets before dispatching into ``SECTIONS``
+#: (the section callables only receive ``quick``).
+_OPTS = {"fleet_replicas": 2}
+
+
+def _bench_serving_fleet(quick: bool) -> dict:
+    from .loadtest import bench_serving_fleet
+
+    replicas = _OPTS["fleet_replicas"]
+    if quick:
+        return bench_serving_fleet(num_replicas=replicas,
+                                   concurrency=64, per_client=5)
+    return bench_serving_fleet(num_replicas=replicas,
+                               concurrency=1000, per_client=5)
+
+
 #: Individually re-runnable report sections for ``--section``: measuring
 #: one subsystem must not require re-timing the whole harness.
 SECTIONS = {
@@ -44,12 +60,13 @@ SECTIONS = {
         scales=(20_000, 100_000) if quick else (100_000, 1_000_000),
         batches=5 if quick else 20),
     "serving_async": _bench_serving_async,
+    "serving_fleet": _bench_serving_fleet,
 }
 
 #: Sections that ``run_all`` does not re-measure (they need their own
 #: entry point); preserved verbatim when the full harness rewrites the
 #: report so a plain ``python -m benchmarks.perf`` never drops them.
-PRESERVED_SECTIONS = ("serving_async",)
+PRESERVED_SECTIONS = ("serving_async", "serving_fleet")
 
 
 def summarize(report: dict) -> str:
@@ -129,6 +146,21 @@ def summarize(report: dict) -> str:
             f"p99 {t['p99_ms']:.1f}ms  "
             f"({sa['qps_speedup_vs_threaded']:.2f}x async)"
         )
+    sf = report.get("serving_fleet")
+    if sf:  # absent until `python -m benchmarks.perf loadtest --fleet N`
+        fl, fo = sf["fleet"], sf["failover"]
+        lines.append(
+            f"serving_fleet x{sf['num_replicas']} @{sf['concurrency']} "
+            f"clients  {fl['qps']:,.0f} QPS  p50 {fl['p50_ms']:.1f}ms  "
+            f"p99 {fl['p99_ms']:.1f}ms  "
+            f"({sf['fleet_qps_vs_single_async']:.2f}x single async)"
+        )
+        lines.append(
+            f"  failover blip        "
+            f"{fo['qps']:,.0f} QPS ({sf['failover_qps_fraction']:.2f}x "
+            f"steady)  errors {fo['errors']}  "
+            f"p99 {fo['p99_ms']:.1f}ms"
+        )
     return "\n".join(lines)
 
 
@@ -136,9 +168,15 @@ def main() -> None:
     parser = argparse.ArgumentParser(prog="python -m benchmarks.perf")
     parser.add_argument("command", nargs="?", choices=["loadtest"],
                         help="loadtest: multi-client serving load test "
-                             "(asyncio vs threaded) → serving_async section")
+                             "(asyncio vs threaded) → serving_async "
+                             "section; with --fleet N, replica fleet vs "
+                             "single async → serving_fleet section")
     parser.add_argument("--quick", action="store_true",
                         help="fewer repeats / iterations (smoke run)")
+    parser.add_argument("--fleet", type=int, metavar="N", default=None,
+                        help="with loadtest: measure an N-replica serving "
+                             "fleet (router + supervised subprocesses) → "
+                             "serving_fleet section")
     parser.add_argument("--output", type=Path, default=BENCH_PERF_PATH,
                         help=f"where to write the JSON report "
                              f"(default: {BENCH_PERF_PATH})")
@@ -148,8 +186,13 @@ def main() -> None:
                              "merge into the existing report (repeatable)")
     args = parser.parse_args()
 
+    if args.fleet is not None:
+        _OPTS["fleet_replicas"] = args.fleet
     if args.command == "loadtest":
-        args.section = (args.section or []) + ["serving_async"]
+        if args.fleet is not None:
+            args.section = (args.section or []) + ["serving_fleet"]
+        else:
+            args.section = (args.section or []) + ["serving_async"]
     if args.section:
         report = (json.loads(args.output.read_text())
                   if args.output.exists() else {})

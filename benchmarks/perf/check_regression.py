@@ -91,6 +91,24 @@ def main() -> int:
             print(f"{'REGRESSION' if qps_failed else 'OK'}: serving_async "
                   f"{cur_qps:,.0f} QPS vs baseline {base_qps:,.0f} "
                   f"(floor {floor:,.0f})")
+        base_sf = baseline.get("serving_fleet")
+        fresh_sf = fresh.get("serving_fleet")
+        if base_sf and fresh_sf:
+            base_qps = base_sf["fleet"]["qps"]
+            cur_qps = fresh_sf["fleet"]["qps"]
+            floor = base_qps * (1.0 - args.threshold)
+            qps_failed = cur_qps < floor
+            # The failover phase rides along: any non-200 under the
+            # mid-phase replica kill is a correctness regression, not a
+            # perf number to haggle over.
+            errors = int(fresh_sf["failover"]["errors"])
+            failed = failed or qps_failed or errors > 0
+            print(f"{'REGRESSION' if qps_failed else 'OK'}: serving_fleet "
+                  f"{cur_qps:,.0f} QPS vs baseline {base_qps:,.0f} "
+                  f"(floor {floor:,.0f})")
+            if errors:
+                print(f"REGRESSION: serving_fleet failover phase saw "
+                      f"{errors} non-200 responses (must be 0)")
 
     return 1 if failed else 0
 

@@ -259,3 +259,98 @@ def bench_serving_async(concurrency: int = 1000, per_client: int = 5,
         "qps_speedup_vs_threaded": float(
             async_result["qps"] / max(threaded_result["qps"], 1e-12)),
     }
+
+
+#: Batch settings of the replica subprocesses (``repro.fleet.replica``
+#: defaults) — the inline single-replica baseline runs with the *same*
+#: settings so the fleet comparison isolates routing + process count.
+FLEET_BATCH = dict(max_batch_size=256, max_wait_ms=2.0,
+                   max_queue_depth=4096)
+
+
+def bench_serving_fleet(num_replicas: int = 2, concurrency: int = 1000,
+                        per_client: int = 5, warmup_per_client: int = 2,
+                        seed: int = 7) -> Dict[str, object]:
+    """Fleet QPS / latency vs a single inline async replica + failover blip.
+
+    Three measured phases over the identical workload:
+
+    1. ``single_async`` — one in-process :class:`BackgroundAsyncServer`
+       (the DESIGN §16 runtime) with the replica subprocesses' batch
+       settings: the no-router, no-subprocess baseline.
+    2. ``fleet`` — ``num_replicas`` replica subprocesses behind the
+       consistent-hash router, steady state.
+    3. ``failover`` — the same fleet workload with one replica
+       SIGKILLed partway through the phase; errors must stay 0 (the
+       router retries ring successors) and the committed QPS fraction
+       quantifies the blip.
+
+    All engines run ``cache_size=0`` so every request pays a real head
+    application on both sides of the comparison.
+    """
+    import tempfile
+    import threading
+    from pathlib import Path
+
+    from repro.fleet import ServingFleet
+    from repro.serve import BackgroundAsyncServer, BatchSettings, InferenceEngine
+
+    dataset = bench_datasets()["full"]
+    est = CATEHGN(bench_config(outer_iters=2)).fit(dataset)
+    # The temp dir must outlive the fleet: replica subprocesses open the
+    # checkpoint from disk on every (re)start, unlike the inline engines.
+    with tempfile.TemporaryDirectory() as tmp:
+        path = est.save_checkpoint(Path(tmp) / "model")
+        engine = InferenceEngine.from_checkpoint(path, cache_size=0)
+        num_papers = int(engine.num_papers)
+        scripts = _workload(concurrency, per_client, num_papers, seed)
+        warmup = _workload(concurrency, warmup_per_client, num_papers,
+                           seed + 1)
+
+        # -- single inline async replica (baseline) ----------------------
+        bg = BackgroundAsyncServer(engine,
+                                   settings=BatchSettings(**FLEET_BATCH))
+        host, port = bg.start()
+        try:
+            single = _replay(host, port, scripts, warmup)
+        finally:
+            bg.shutdown()
+
+        # -- fleet: steady state, then failover ---------------------------
+        fleet = ServingFleet(str(path), num_replicas, cache_size=0)
+        host, port = fleet.start()
+        try:
+            steady = _replay(host, port, scripts, warmup)
+
+            kill_after = max(0.2, 0.4 * steady["wall_s"])
+            victim = fleet.supervisor.replica_names()[0]
+            timer = threading.Timer(
+                kill_after, fleet.supervisor.kill_replica, args=(victim,))
+            timer.start()
+            try:
+                failover = _replay(host, port, scripts, warmup_scripts=[])
+            finally:
+                timer.cancel()
+            restarts = fleet.supervisor.status()["replicas"][victim][
+                "restarts"]
+        finally:
+            fleet.shutdown()
+
+    return {
+        "num_replicas": int(num_replicas),
+        "concurrency": int(concurrency),
+        "requests_per_client": int(per_client),
+        "total_requests": int(concurrency * per_client),
+        "ids_per_request": IDS_PER_REQUEST,
+        "num_papers": num_papers,
+        "batch_settings": dict(FLEET_BATCH),
+        "single_async": single,
+        "fleet": steady,
+        "failover": {**failover, "killed_replica": victim,
+                     "kill_after_s": float(kill_after),
+                     "victim_restarts": int(restarts)},
+        "fleet_qps_vs_single_async": float(
+            steady["qps"] / max(single["qps"], 1e-12)),
+        "failover_qps_fraction": float(
+            failover["qps"] / max(steady["qps"], 1e-12)),
+    }

@@ -1,4 +1,4 @@
-"""Static lock-discipline analyzer for the repro codebase (rules A001-A005).
+"""Static lock-discipline analyzer for the repro codebase (rules A001-A006).
 
 The serving layer (``repro.serve``) runs every request on its own thread
 and protects shared state with hand-rolled ``threading.Lock``s.  The
@@ -38,6 +38,18 @@ A005
     DESIGN §16 is single-threaded).  Calls inside *nested* sync defs
     are exempt — they run wherever they are later invoked, typically an
     executor thread.
+A006
+    Unbounded wait on a process or pipe primitive: ``.join()`` /
+    ``.wait()`` with neither a positional timeout nor ``timeout=``, a
+    bare ``.recv()`` on a pipe, or ``.communicate()`` without
+    ``timeout=``.  The fleet layer (DESIGN §17) supervises child
+    processes that can die at any moment; a wait with no deadline on a
+    dead peer hangs the caller forever.  Every such call must carry a
+    deadline (``join(timeout=...)``, ``wait(timeout=...)``,
+    ``poll(timeout)`` before ``recv()``) and handle expiry.  Awaited
+    calls (``await event.wait()``) and calls wrapped in
+    ``asyncio.wait_for(...)`` are exempt — asyncio waits are
+    cancellable, not stuck.
 
 Annotation grammar
 ------------------
@@ -101,6 +113,7 @@ ARULES: Dict[str, str] = {
     "A003": "blocking operation while holding a lock",
     "A004": "re-entrant acquisition of a non-reentrant Lock",
     "A005": "blocking call inside an async def (stalls the event loop)",
+    "A006": "unbounded process/pipe wait (join/wait/recv without deadline)",
 }
 
 #: Constructor leaf names that create a *non-reentrant* mutex.
@@ -880,6 +893,72 @@ def _check_a005(tree: ast.AST, path: str) -> List[Violation]:
 
 
 # ----------------------------------------------------------------------
+# A006: unbounded waits on process / pipe primitives
+# ----------------------------------------------------------------------
+#: Method leaves that block on a peer process, with the fix hint shown
+#: in the violation message.
+_A006_METHODS = {
+    "join": "join(timeout=...)",
+    "wait": "wait(timeout=...)",
+    "recv": "poll(timeout) before recv()",
+    "communicate": "communicate(timeout=...)",
+}
+
+
+def _check_a006(tree: ast.AST, path: str) -> List[Violation]:
+    """Flag waits that can hang forever on a dead peer process.
+
+    The supervision loops of DESIGN §17 only work if every wait has a
+    deadline: a ``join()``/``wait()``/``recv()`` with no timeout on a
+    process that was SIGKILLed never returns, and the supervisor that
+    should have restarted it is the thing that is stuck.  Heuristics
+    keep the rule precise:
+
+    * a positional argument bounds ``join``/``wait`` (their first
+      parameter is the timeout) and disqualifies ``recv`` (a
+      ``socket.recv(n)`` reads bytes, it is not a pipe ``recv()``) —
+      so ``str.join(parts)`` / ``os.path.join(a, b)`` never match;
+    * ``await``-ed calls are exempt, as are calls passed to
+      ``asyncio.wait_for(...)``: asyncio waits are cancellable and
+      ``wait_for`` *is* the deadline.
+    """
+    bounded: Set[int] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Await) and isinstance(node.value, ast.Call):
+            bounded.add(id(node.value))
+        elif isinstance(node, ast.Call):
+            chain = _attribute_chain(node.func)
+            if chain and chain[-1] == "wait_for":
+                bounded.update(
+                    id(arg) for arg in node.args if isinstance(arg, ast.Call)
+                )
+    found: List[Violation] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call) or id(node) in bounded:
+            continue
+        if not isinstance(node.func, ast.Attribute):
+            continue
+        leaf = node.func.attr
+        if leaf not in _A006_METHODS:
+            continue
+        if any(kw.arg == "timeout" for kw in node.keywords):
+            continue
+        if leaf != "communicate" and node.args:
+            continue
+        found.append(
+            Violation(
+                "A006",
+                path,
+                node.lineno,
+                f"unbounded .{leaf}() hangs forever if the peer process "
+                f"dies; give it a deadline ({_A006_METHODS[leaf]}) and "
+                "handle expiry",
+            )
+        )
+    return found
+
+
+# ----------------------------------------------------------------------
 # Driver
 # ----------------------------------------------------------------------
 def analyze_sources(
@@ -909,6 +988,8 @@ def analyze_sources(
         models.extend(_collect_models(tree, path, source))
         if "A005" in active:
             violations += _check_a005(tree, path)
+        if "A006" in active:
+            violations += _check_a006(tree, path)
 
     program = _Program(models)
     if "A001" in active:
@@ -952,7 +1033,7 @@ def analyze_paths(
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis.concurrency",
-        description="Static lock-discipline analysis (rules A001-A005; "
+        description="Static lock-discipline analysis (rules A001-A006; "
         "see repro.analysis.concurrency.static docstring).",
     )
     parser.add_argument("paths", nargs="*", help="files or directories")

@@ -20,7 +20,7 @@ from .generator import (
     WorldConfig,
     generate_world,
 )
-from .io import load_graph, save_graph
+from .io import load_graph, mmap_npz, save_graph
 from .lexicon import DOMAIN_NAMES, DOMAIN_TERMS, GENERIC_TERMS
 from .sampling import (
     ItemSampler,
@@ -28,6 +28,7 @@ from .sampling import (
     MinibatchSampler,
     NeighborSampler,
     SampledSubgraph,
+    shard_items,
 )
 from .store import (
     STORE_FORMAT_VERSION,
@@ -58,6 +59,7 @@ __all__ = [
     "TEST_FROM",
     "save_graph",
     "load_graph",
+    "mmap_npz",
     "DOMAIN_NAMES",
     "DOMAIN_TERMS",
     "GENERIC_TERMS",
@@ -73,4 +75,5 @@ __all__ = [
     "MinibatchSampler",
     "NeighborSampler",
     "SampledSubgraph",
+    "shard_items",
 ]

@@ -1,13 +1,15 @@
-"""Graph serialization (npz + json sidecar)."""
+"""Graph serialization (npz + json sidecar) and npz memory-mapping."""
 
 from __future__ import annotations
 
 import io
 import json
+import os
+import shutil
 import zipfile
 import zlib
 from pathlib import Path
-from typing import Optional, Union
+from typing import Dict, Optional, Union
 
 import numpy as np
 
@@ -63,6 +65,120 @@ def save_graph(graph: HeteroGraph, path: Union[str, Path]) -> None:
     atomic_write_text(path.with_suffix(".json"), json.dumps(meta))
 
 
+# ----------------------------------------------------------------------
+# npz memory-mapping (serving-fleet checkpoint sharing, DESIGN §17)
+# ----------------------------------------------------------------------
+#: Directory suffix for the extracted-member cache next to an ``.npz``.
+MMAP_CACHE_SUFFIX = ".mmap"
+_MMAP_MANIFEST = "MANIFEST.json"
+
+
+def _mmap_manifest_valid(cache_dir: Path, digest: str) -> bool:
+    """Does ``cache_dir`` hold a complete extraction of this exact npz?"""
+    try:
+        manifest = json.loads((cache_dir / _MMAP_MANIFEST).read_text())
+    except (OSError, json.JSONDecodeError):
+        return False
+    if manifest.get("npz_sha256") != digest:
+        return False
+    members = manifest.get("members")
+    if not isinstance(members, dict):
+        return False
+    return all((cache_dir / rel).is_file() for rel in members.values())
+
+
+def _extract_npz_members(npz_path: Path, tmp_dir: Path,
+                         digest: str) -> Dict[str, str]:
+    """Stream every ``<name>.npy`` member of the zip into ``tmp_dir``.
+
+    ``zipfile`` verifies each member's CRC-32 as it decompresses, so a
+    truncated or bit-flipped npz fails here instead of producing a
+    corrupt cache.  Returns the name -> relative-path member map.
+    """
+    members: Dict[str, str] = {}
+    with zipfile.ZipFile(npz_path) as zf:
+        for info in zf.infolist():
+            if not info.filename.endswith(".npy"):
+                continue
+            name = info.filename[: -len(".npy")]
+            target = tmp_dir / info.filename
+            # Member names come from our own save_* writers, but never
+            # let a hostile zip escape the cache directory.
+            if not target.resolve().is_relative_to(tmp_dir.resolve()):
+                raise zipfile.BadZipFile(
+                    f"npz member {info.filename!r} escapes the cache dir"
+                )
+            target.parent.mkdir(parents=True, exist_ok=True)
+            with zf.open(info) as src, open(target, "wb") as dst:
+                shutil.copyfileobj(src, dst)
+            members[name] = info.filename
+    (tmp_dir / _MMAP_MANIFEST).write_text(
+        json.dumps({"npz_sha256": digest, "members": members})
+    )
+    return members
+
+
+def mmap_npz(npz_path: Union[str, Path]) -> Dict[str, np.ndarray]:
+    """Load an ``.npz``'s arrays as read-only memory maps.
+
+    ``np.load(..., mmap_mode=...)`` silently ignores mmap for zip
+    containers, so this extracts the (deflated) members **once** into a
+    sibling ``<file>.npz.mmap/`` cache of raw ``.npy`` files and then
+    ``np.load``\\ s each with ``mmap_mode="r"``.  Every process mapping
+    the same cache shares the OS page cache — N serving replicas pay one
+    checkpoint materialization between them, not N.
+
+    Integrity: extraction streams through zipfile's CRC-32 verification,
+    and the cache's manifest records the source npz's SHA-256; a cache
+    whose manifest does not match the current npz bytes is rebuilt from
+    scratch.  The cache is a *derived local artifact* — delete the
+    directory to force re-extraction.  Concurrent extractors (a fleet of
+    replicas cold-starting together) race benignly: each extracts into
+    its own temp dir and the first rename wins.
+
+    Members whose dtype cannot be memory-mapped fall back to a regular
+    in-memory load.
+    """
+    npz_path = Path(npz_path)
+    digest = file_sha256(npz_path)
+    cache_dir = npz_path.with_name(npz_path.name + MMAP_CACHE_SUFFIX)
+    if not _mmap_manifest_valid(cache_dir, digest):
+        tmp_dir = npz_path.with_name(
+            f".{npz_path.name}{MMAP_CACHE_SUFFIX}.tmp.{os.getpid()}"
+        )
+        shutil.rmtree(tmp_dir, ignore_errors=True)
+        tmp_dir.mkdir(parents=True)
+        try:
+            try:
+                _extract_npz_members(npz_path, tmp_dir, digest)
+            except zipfile.BadZipFile as exc:
+                raise ValueError(
+                    f"{npz_path} is corrupt (zip CRC mismatch or damaged "
+                    f"container): {exc}") from exc
+            try:
+                os.rename(tmp_dir, cache_dir)
+            except OSError:
+                # Lost the race to a concurrent extractor, or a stale
+                # cache occupies the name.  A valid cache is someone
+                # else's identical extraction — use it; a stale one is
+                # replaced.
+                if not _mmap_manifest_valid(cache_dir, digest):
+                    shutil.rmtree(cache_dir, ignore_errors=True)
+                    os.rename(tmp_dir, cache_dir)
+        finally:
+            shutil.rmtree(tmp_dir, ignore_errors=True)
+    manifest = json.loads((cache_dir / _MMAP_MANIFEST).read_text())
+    arrays: Dict[str, np.ndarray] = {}
+    for name, rel in manifest["members"].items():
+        member = cache_dir / rel
+        try:
+            arrays[name] = np.load(member, mmap_mode="r",
+                                   allow_pickle=False)
+        except ValueError:
+            arrays[name] = np.load(member, allow_pickle=False)
+    return arrays
+
+
 def _install_graph(meta: dict, arrays) -> HeteroGraph:
     """Materialize a graph from parsed save_graph artifacts, permissively.
 
@@ -99,7 +215,8 @@ def _install_graph(meta: dict, arrays) -> HeteroGraph:
 
 
 def load_graph(path: Union[str, Path], *,
-               policy: Optional[str] = None) -> HeteroGraph:
+               policy: Optional[str] = None,
+               mmap_mode: Optional[str] = None) -> HeteroGraph:
     """Load a graph previously written by :func:`save_graph`.
 
     Truncated/bit-flipped npz payloads and digest mismatches against the
@@ -114,8 +231,15 @@ def load_graph(path: Union[str, Path], *,
     :class:`~repro.contracts.ContractViolation` with a full report,
     ``"repair"`` returns a deterministically repaired graph, ``"warn"``
     returns the graph as-is after warning.
+
+    ``mmap_mode="r"`` loads the feature/edge arrays as read-only memory
+    maps through the :func:`mmap_npz` extraction cache, so a fleet of
+    replica processes mapping the same graph shares one copy in the OS
+    page cache instead of materializing it per process.
     """
     path = Path(path)
+    if mmap_mode not in (None, "r"):
+        raise ValueError(f"mmap_mode must be None or 'r', got {mmap_mode!r}")
     npz_path = path.with_suffix(".npz")
     try:
         meta = json.loads(path.with_suffix(".json").read_text())
@@ -139,7 +263,8 @@ def load_graph(path: Union[str, Path], *,
             f"writer died between the two files — re-export the graph"
         )
     try:
-        arrays = np.load(npz_path)
+        arrays = (mmap_npz(npz_path) if mmap_mode is not None
+                  else np.load(npz_path))
         graph = _install_graph(meta, arrays)
     except FileNotFoundError:
         raise

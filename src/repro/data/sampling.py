@@ -46,6 +46,7 @@ __all__ = [
     "MinibatchSampler",
     "NeighborSampler",
     "SampledSubgraph",
+    "shard_items",
 ]
 
 FanoutSpec = Union[int, Mapping[EdgeTypeKey, int]]
@@ -133,19 +134,58 @@ def _normalize_fanouts(fanouts: FanoutSpec,
 # ----------------------------------------------------------------------
 # ItemSampler
 # ----------------------------------------------------------------------
+def shard_items(items: np.ndarray, num_shards: int, shard: int) -> np.ndarray:
+    """Deterministic hash partition of an item array (DESIGN §17).
+
+    Each item goes to ``splitmix64(item) % num_shards`` — a pure function
+    of the item id, so every process computes the same partition without
+    coordination, the shards are disjoint and cover the input, and the
+    assignment is independent of item order.  Elastic training gives
+    each worker one shard of the labeled seed set; neighbor expansion
+    still reads the *full* CSC, so the halo (out-of-shard neighbors of
+    in-shard seeds) comes for free rather than via ghost-node exchange.
+    """
+    if num_shards < 1:
+        raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+    if not 0 <= shard < num_shards:
+        raise ValueError(f"shard must be in [0, {num_shards}), got {shard}")
+    items = np.asarray(items, dtype=np.intp)
+    if num_shards == 1:
+        return items.copy()
+    with np.errstate(over="ignore"):
+        z = items.astype(np.uint64) + np.uint64(0x9E3779B97F4A7C15)
+        z = (z ^ (z >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)
+        z = (z ^ (z >> np.uint64(27))) * np.uint64(0x94D049BB133111EB)
+        z = z ^ (z >> np.uint64(31))
+    return items[z % np.uint64(num_shards) == np.uint64(shard)]
+
+
 class ItemSampler:
     """Shuffled, resumable batches over a fixed item array.
 
     The permutation of epoch ``e`` is ``default_rng([seed, e])``'s, so
     ``state_dict()`` is just ``{"epoch", "cursor"}`` and a resumed
     sampler replays the identical remaining sequence.
+
+    ``num_shards``/``shard`` restrict the sampler to one
+    :func:`shard_items` partition of ``items`` — K shard-disjoint
+    samplers over the same item array cover it exactly once, each with
+    its own independent permutation stream (the shard index is folded
+    into the epoch-permutation seed so shards never correlate).
     """
 
     def __init__(self, items: np.ndarray, batch_size: int, *,
-                 shuffle: bool = True, seed: int = 0) -> None:
-        self.items = np.asarray(items, dtype=np.intp)
+                 shuffle: bool = True, seed: int = 0,
+                 num_shards: int = 1, shard: int = 0) -> None:
+        self.num_shards = int(num_shards)
+        self.shard = int(shard)
+        self.items = shard_items(items, self.num_shards, self.shard)
         if len(self.items) == 0:
-            raise ValueError("ItemSampler needs at least one item")
+            raise ValueError(
+                "ItemSampler needs at least one item"
+                + (f" (shard {shard}/{num_shards} of {len(items)} items "
+                   f"is empty — use fewer shards)" if num_shards > 1 else "")
+            )
         if batch_size <= 0:
             raise ValueError(f"batch_size must be positive, got {batch_size}")
         self.batch_size = int(batch_size)
@@ -164,7 +204,9 @@ class ItemSampler:
         if not self.shuffle:
             return np.arange(len(self.items))
         if self._perm is None or self._perm_epoch != self.epoch:
-            rng = np.random.default_rng([self.seed, self.epoch])
+            rng = np.random.default_rng(
+                [self.seed, self.epoch] if self.num_shards == 1
+                else [self.seed, self.epoch, self.num_shards, self.shard])
             self._perm = rng.permutation(len(self.items))
             self._perm_epoch = self.epoch
         return self._perm
@@ -189,7 +231,8 @@ class ItemSampler:
     def fingerprint(self) -> Dict[str, Any]:
         return {"num_items": len(self.items),
                 "batch_size": self.batch_size,
-                "shuffle": self.shuffle, "seed": self.seed}
+                "shuffle": self.shuffle, "seed": self.seed,
+                "num_shards": self.num_shards, "shard": self.shard}
 
 
 # ----------------------------------------------------------------------
@@ -394,13 +437,16 @@ class MinibatchSampler:
     def __init__(self, batch_size: int = 256, fanouts: FanoutSpec = 10, *,
                  hops: Optional[int] = None, replace: bool = False,
                  shuffle: bool = True, seed: int = 0,
-                 record_seeds: bool = False) -> None:
+                 record_seeds: bool = False,
+                 num_shards: int = 1, shard: int = 0) -> None:
         self.batch_size = int(batch_size)
         self.fanouts = fanouts
         self.hops = hops
         self.replace = bool(replace)
         self.shuffle = bool(shuffle)
         self.seed = int(seed)
+        self.num_shards = int(num_shards)
+        self.shard = int(shard)
         self.record_seeds = bool(record_seeds)
         #: Seed arrays of every emitted batch (when ``record_seeds``).
         self.seed_log: List[np.ndarray] = []
@@ -430,10 +476,14 @@ class MinibatchSampler:
             raise ValueError("hops not set: pass hops= to bind() or the "
                              "constructor")
         self._items = ItemSampler(seed_ids, self.batch_size,
-                                  shuffle=self.shuffle, seed=self.seed)
+                                  shuffle=self.shuffle, seed=self.seed,
+                                  num_shards=self.num_shards,
+                                  shard=self.shard)
         self._neighbors = NeighborSampler(
             self._source, self.fanouts, hops=hops, replace=self.replace,
-            seed=[self.seed, 1], seed_type=seed_type,
+            seed=([self.seed, 1] if self.num_shards == 1
+                  else [self.seed, 1, self.num_shards, self.shard]),
+            seed_type=seed_type,
         )
         total = self._source.num_nodes[seed_type]
         self._known = np.zeros(total, dtype=bool)
@@ -503,6 +553,8 @@ class MinibatchSampler:
             "replace": self.replace,
             "shuffle": self.shuffle,
             "seed": self.seed,
+            "num_shards": self.num_shards,
+            "shard": self.shard,
         }
         if self.bound:
             out["items"] = self._items.fingerprint()

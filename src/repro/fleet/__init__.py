@@ -1,0 +1,31 @@
+"""Self-healing serving fleet + elastic multi-process training (DESIGN §17).
+
+Serving: :class:`ServingFleet` runs N replica subprocesses (each the
+PR-8 asyncio server, memory-mapping a shared checkpoint) behind a
+consistent-hash router with health-probed failover, supervised restarts,
+and rolling checkpoint reloads.
+
+Training: :class:`ElasticTrainer` runs K worker processes over
+shard-disjoint minibatch partitions with a deterministic shared-memory
+gradient all-reduce and fingerprint-checked worker-death recovery.
+"""
+
+from .coordinator import ElasticResult, ElasticTrainer
+from .heartbeat import http_json, probe_once, wait_healthy
+from .ring import HashRing
+from .router import BackgroundRouter, FleetRouter
+from .supervisor import FleetSupervisor, ReplicaHandle, ServingFleet
+
+__all__ = [
+    "BackgroundRouter",
+    "ElasticResult",
+    "ElasticTrainer",
+    "FleetRouter",
+    "FleetSupervisor",
+    "HashRing",
+    "ReplicaHandle",
+    "ServingFleet",
+    "http_json",
+    "probe_once",
+    "wait_healthy",
+]

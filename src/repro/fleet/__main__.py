@@ -1,0 +1,66 @@
+"""``python -m repro.fleet``: run a self-healing serving fleet.
+
+Usage::
+
+    python -m repro.fleet model.npz --replicas 3 --port 8099
+
+Boots N replica subprocesses (asyncio servers, mmap-shared checkpoint)
+behind the consistent-hash router, supervised with automatic restarts.
+``GET /fleet/status`` on the router shows membership and restart counts;
+``POST /admin/reload {"path": ...}`` rolls the fleet onto a new
+checkpoint through the shadow-validation gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import signal
+import threading
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-fleet",
+        description="Serve a replicated, self-healing prediction fleet.",
+    )
+    parser.add_argument("checkpoint",
+                        help="path to a .npz checkpoint written by "
+                             "CATEHGN.save_checkpoint / save_catehgn")
+    parser.add_argument("--replicas", type=int, default=2)
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8099)
+    parser.add_argument("--cache-size", type=int, default=4096,
+                        help="per-replica LRU result-cache capacity")
+    parser.add_argument("--ring-seed", type=int, default=0)
+    parser.add_argument("--vnodes", type=int, default=64)
+    parser.add_argument("--no-mmap", action="store_true",
+                        help="replicas materialize the checkpoint privately")
+    parser.add_argument("--quiet", action="store_true")
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    from .supervisor import ServingFleet
+
+    fleet = ServingFleet(args.checkpoint, args.replicas,
+                         host=args.host, port=args.port,
+                         ring_seed=args.ring_seed, vnodes=args.vnodes,
+                         verbose=not args.quiet,
+                         cache_size=args.cache_size, mmap=not args.no_mmap)
+    host, port = fleet.start()
+    print(f"fleet of {args.replicas} replicas at http://{host}:{port} "
+          f"(status: /fleet/status)")
+    stop = threading.Event()
+    signal.signal(signal.SIGTERM, lambda *a: stop.set())
+    signal.signal(signal.SIGINT, lambda *a: stop.set())
+    try:
+        while not stop.wait(1.0):
+            pass
+    finally:
+        fleet.shutdown()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,284 @@
+"""Elastic data-parallel training coordinator (DESIGN §17).
+
+:class:`ElasticTrainer` drives K forked worker processes, each owning a
+shard-disjoint :class:`~repro.data.sampling.MinibatchSampler` partition
+of the labeled seed set (hash partition via
+:func:`~repro.data.sampling.shard_items`; neighbor expansion reads the
+full CSC, so out-of-shard halo nodes need no exchange).  Per step:
+
+1. publish the current flat parameter vector into shared memory;
+2. command every worker to compute its shard gradient;
+3. collect acks with **bounded** waits (``poll(timeout)`` — never an
+   unbounded ``join``/``recv``, analyzer rule A006);
+4. all-reduce: sum the K shared-memory gradient slices in a *seeded
+   permutation order* ``default_rng([seed, 11, step]).permutation(K)``,
+   divide by K, clip, Adam-step.
+
+Because float addition is not associative, a fixed K needs a fixed
+summation order for bitwise reproducibility — but that order must not
+depend on worker *arrival* order (which is racy) or shard index alone
+(which would hide order bugs); the seeded per-step permutation gives a
+deterministic yet step-varying order.
+
+Worker death (process exit, or a step ack that never arrives) is a
+handled event: the dead shard's sampler is rebuilt from its **last-acked
+state** — its state at the *start* of the in-flight step, since acks
+carry post-step sampler state — a replacement is forked, and the same
+step command is re-issued.  The replacement recomputes the identical
+minibatch and gradient (see :mod:`repro.fleet.worker`), so the whole
+run's trajectory fingerprint matches an undisturbed run's bitwise.
+"""
+
+from __future__ import annotations
+
+import copy
+import dataclasses
+import hashlib
+import multiprocessing
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from .worker import WorkerContext, flatten_arrays, worker_loop
+
+__all__ = ["ElasticResult", "ElasticTrainer"]
+
+#: Seconds the coordinator waits for one step's acks before giving up.
+STEP_TIMEOUT = 300.0
+#: Granularity of the coordinator's ack-polling sweep.
+POLL_INTERVAL = 0.05
+
+
+@dataclass
+class ElasticResult:
+    """Outcome of one elastic run."""
+
+    steps: int
+    num_workers: int
+    #: ``losses[t][s]`` — shard ``s``'s loss at step ``t``.
+    losses: List[List[float]] = field(default_factory=list)
+    #: ``seed_hashes[t][s]`` — hash of shard ``s``'s seed batch at ``t``.
+    seed_hashes: List[List[str]] = field(default_factory=list)
+    #: Chained digest over (step, per-shard seeds/grads, updated params).
+    fingerprint: str = ""
+    #: Final model parameters (plain copies).
+    state: Dict[str, np.ndarray] = field(default_factory=dict)
+    #: One record per worker death the run absorbed.
+    deaths: List[Dict[str, Any]] = field(default_factory=list)
+
+
+class _Worker:
+    """Coordinator-side handle: process + pipe + shard bookkeeping."""
+
+    def __init__(self, shard: int) -> None:
+        self.shard = shard
+        self.proc: Optional[multiprocessing.Process] = None
+        self.conn: Any = None
+        self.last_acked_state: Optional[Dict[str, Any]] = None
+        self.restarts = 0
+
+
+class ElasticTrainer:
+    """K-process data-parallel minibatch training over one estimator.
+
+    ``config`` is a :class:`~repro.core.model.CATEHGNConfig`; the
+    estimator is built exactly as ``CATEHGN.fit`` builds it (same graph,
+    same seeded init, same optimizer) but with zero outer iterations —
+    the elastic step loop then replaces the mini-iteration phase of
+    Algorithm 1.  Center updates and TE refinement stay out of scope
+    here (they are full-batch, serial phases; ROADMAP item 1 notes).
+    """
+
+    def __init__(self, config, num_workers: int = 2, *, steps: int = 8,
+                 batch_size: int = 32, fanouts=5,
+                 step_timeout: float = STEP_TIMEOUT,
+                 step_seed: Optional[int] = None) -> None:
+        if num_workers < 1:
+            raise ValueError("num_workers must be >= 1")
+        self.config = config
+        self.num_workers = int(num_workers)
+        self.steps = int(steps)
+        self.batch_size = int(batch_size)
+        self.fanouts = fanouts
+        self.step_timeout = float(step_timeout)
+        self.step_seed = int(config.seed if step_seed is None else step_seed)
+        self.estimator = None
+
+    # ------------------------------------------------------------------
+    def fit(self, dataset) -> ElasticResult:
+        from ..core.trainer import CATEHGN
+        from ..data.sampling import MinibatchSampler
+
+        try:
+            mp = multiprocessing.get_context("fork")
+        except ValueError as exc:  # pragma: no cover — non-POSIX only
+            raise RuntimeError(
+                "elastic training requires the fork start method "
+                "(workers inherit the built model copy-on-write)") from exc
+
+        # Build-but-don't-train: outer_iters=0 constructs the graph,
+        # batch, seeded model init, and Adam state, then skips the
+        # training loop entirely.
+        build_cfg = dataclasses.replace(self.config, outer_iters=0)
+        est = CATEHGN(build_cfg).fit(dataset)
+        self.estimator = est
+        cfg = est.config
+        params = est._main_params
+        opt = est._opt_main
+        shapes = [p.data.shape for p in params]
+        P = int(sum(int(np.prod(s)) for s in shapes))
+        K = self.num_workers
+
+        param_buf = mp.RawArray("d", P)
+        grad_buf = mp.RawArray("d", K * P)
+        param_np = np.frombuffer(param_buf, dtype=np.float64)
+        grad_np = np.frombuffer(grad_buf, dtype=np.float64).reshape(K, P)
+
+        labels_norm = est._normalize(dataset.labels[est._fit_idx])
+
+        def make_sampler(shard: int,
+                         state: Optional[Dict[str, Any]]) -> Any:
+            sampler = MinibatchSampler(
+                batch_size=self.batch_size, fanouts=self.fanouts,
+                replace=False, shuffle=True, seed=cfg.seed,
+                num_shards=K, shard=shard,
+            )
+            sampler.bind(est._graph, est._fit_idx, labels_norm,
+                         hops=cfg.num_layers)
+            if state is not None:
+                sampler.load_state_dict(copy.deepcopy(state))
+            return sampler
+
+        workers = [_Worker(s) for s in range(K)]
+
+        def spawn(worker: _Worker) -> None:
+            sampler = make_sampler(worker.shard, worker.last_acked_state)
+            parent_conn, child_conn = mp.Pipe()
+            ctx = WorkerContext(
+                shard=worker.shard, num_shards=K,
+                step_seed=self.step_seed, model=est.model, params=params,
+                sampler=sampler, use_label_inputs=cfg.use_label_inputs,
+                conn=child_conn, param_buf=param_buf, grad_buf=grad_buf,
+                param_count=P,
+            )
+            worker.proc = mp.Process(target=worker_loop, args=(ctx,),
+                                     daemon=True,
+                                     name=f"repro-elastic-{worker.shard}")
+            worker.proc.start()
+            child_conn.close()  # child's end lives in the child now
+            worker.conn = parent_conn
+
+        result = ElasticResult(steps=self.steps, num_workers=K)
+        chain = hashlib.blake2b(
+            f"elastic-v1|K={K}|steps={self.steps}".encode(), digest_size=16)
+        try:
+            for worker in workers:
+                spawn(worker)
+            for t in range(self.steps):
+                flatten_arrays([p.data for p in params], param_np)
+                for worker in workers:
+                    worker.conn.send(("step", t))
+                acks = self._collect_acks(workers, t, spawn, result)
+                for s in range(K):
+                    workers[s].last_acked_state = acks[s]["sampler_state"]
+                result.losses.append([acks[s]["loss"] for s in range(K)])
+                result.seed_hashes.append(
+                    [acks[s]["seeds_hash"] for s in range(K)])
+                self._reduce_and_step(grad_np, params, opt, cfg, t, K, P)
+                chain.update(str(t).encode())
+                for s in range(K):
+                    chain.update(acks[s]["seeds_hash"].encode())
+                    chain.update(acks[s]["grad_hash"].encode())
+                flatten_arrays([p.data for p in params], param_np)
+                chain.update(param_np.tobytes())
+        finally:
+            self._stop_workers(workers)
+        result.fingerprint = chain.hexdigest()
+        result.state = est.model.state_dict()
+        return result
+
+    # ------------------------------------------------------------------
+    def _collect_acks(self, workers: List[_Worker], t: int, spawn,
+                      result: ElasticResult) -> Dict[int, Dict[str, Any]]:
+        """Gather one ack per shard, respawning dead workers in place.
+
+        A worker that died mid-step gets a replacement built from its
+        last-acked sampler state; the same ``("step", t)`` command is
+        re-issued, and the replacement produces the bitwise-identical
+        gradient its predecessor owed.  Acks already buffered in a dead
+        worker's pipe are still drained first — a gradient is never
+        recomputed once acknowledged (exactly-once per (shard, step)).
+        """
+        acks: Dict[int, Dict[str, Any]] = {}
+        deadline = time.monotonic() + self.step_timeout
+        while len(acks) < len(workers):
+            if time.monotonic() > deadline:
+                raise RuntimeError(
+                    f"step {t}: shards "
+                    f"{sorted(set(range(len(workers))) - set(acks))} never "
+                    f"acked within {self.step_timeout}s")
+            for worker in workers:
+                if worker.shard in acks:
+                    continue
+                got = False
+                if worker.conn.poll(POLL_INTERVAL):
+                    try:
+                        msg = worker.conn.recv()  # noqa: A006 — bounded by the poll above
+                        got = True
+                    except (EOFError, OSError):
+                        got = False
+                    if got and msg.get("step") == t:
+                        acks[worker.shard] = msg
+                        continue
+                if not got and not worker.proc.is_alive():
+                    result.deaths.append({
+                        "step": t, "shard": worker.shard,
+                        "exitcode": worker.proc.exitcode,
+                        "restart": worker.restarts + 1,
+                    })
+                    worker.conn.close()
+                    worker.proc.join(timeout=10.0)
+                    worker.restarts += 1
+                    spawn(worker)
+                    worker.conn.send(("step", t))
+        return acks
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _reduce_and_step(grad_np: np.ndarray, params, opt, cfg,
+                         t: int, K: int, P: int) -> None:
+        order = np.random.default_rng([cfg.seed, 11, t]).permutation(K)
+        acc = np.zeros(P, dtype=np.float64)
+        for s in order:
+            acc += grad_np[s]
+        acc /= K
+        offset = 0
+        for param in params:
+            n = param.data.size
+            param.grad = acc[offset:offset + n].reshape(
+                param.data.shape).copy()
+            offset += n
+        opt.clip_grad_norm(cfg.grad_clip)
+        opt.step()
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _stop_workers(workers: List[_Worker]) -> None:
+        for worker in workers:
+            if worker.conn is not None:
+                try:
+                    worker.conn.send(("stop",))
+                except (BrokenPipeError, OSError):  # noqa: R005 — worker already dead
+                    pass
+        for worker in workers:
+            proc = worker.proc
+            if proc is None:
+                continue
+            proc.join(timeout=10.0)
+            if proc.is_alive():
+                proc.kill()
+                proc.join(timeout=10.0)
+            if worker.conn is not None:
+                worker.conn.close()

@@ -1,0 +1,78 @@
+"""Replica health probing: bounded HTTP GETs with exponential backoff.
+
+Every network wait here carries an explicit deadline (analyzer rule
+A006): a probe that could hang forever would turn the supervisor's
+monitor loop — the component responsible for *detecting* hangs — into
+one more thing that hangs.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import Optional, Tuple
+
+__all__ = ["probe_once", "wait_healthy", "http_json"]
+
+
+def http_json(host: str, port: int, method: str, path: str,
+              body: Optional[dict] = None,
+              timeout: float = 5.0) -> Tuple[int, dict]:
+    """One bounded HTTP request returning ``(status, parsed-json)``.
+
+    Connection-level failures propagate as ``OSError`` (callers decide
+    whether that means retry, failover, or dead); an unparsable body
+    becomes an empty dict rather than an exception, since probe callers
+    only branch on status.
+    """
+    conn = http.client.HTTPConnection(host, port, timeout=timeout)
+    try:
+        payload = None if body is None else json.dumps(body)
+        headers = {"Content-Type": "application/json"} if payload else {}
+        conn.request(method, path, body=payload, headers=headers)
+        resp = conn.getresponse()
+        raw = resp.read()
+        try:
+            parsed = json.loads(raw) if raw else {}
+        except json.JSONDecodeError:
+            parsed = {}
+        return resp.status, parsed
+    finally:
+        conn.close()
+
+
+def probe_once(host: str, port: int, *, path: str = "/healthz",
+               timeout: float = 2.0) -> bool:
+    """Is the replica answering its health endpoint right now?
+
+    ``degraded`` still counts as alive — a saturated queue or open
+    breaker is the replica's own overload story, not a death signal the
+    supervisor should respond to with a restart.
+    """
+    try:
+        status, _ = http_json(host, port, "GET", path, timeout=timeout)
+    except OSError:
+        return False
+    return status == 200
+
+
+def wait_healthy(host: str, port: int, *, deadline: float = 30.0,
+                 initial: float = 0.05, cap: float = 1.0,
+                 path: str = "/healthz") -> bool:
+    """Poll until healthy or the deadline passes; backoff doubles to ``cap``.
+
+    Used when admitting a (re)started replica to the ring: probing at a
+    fixed tight interval would hammer a replica that is busy paging in
+    its checkpoint, while a fixed slow interval would add seconds of
+    avoidable failover window after a crash.
+    """
+    t0 = time.monotonic()
+    delay = initial
+    while time.monotonic() - t0 < deadline:
+        if probe_once(host, port, path=path,
+                      timeout=min(2.0, max(0.2, deadline / 10))):
+            return True
+        time.sleep(min(delay, cap))
+        delay *= 2.0
+    return False

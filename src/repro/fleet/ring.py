@@ -1,0 +1,130 @@
+"""Seeded consistent-hash ring with virtual nodes (DESIGN §17).
+
+The router keys every request onto this ring so repeated requests for
+the same papers land on the same replica — which is what keeps that
+replica's LRU prediction cache hot.  Three properties matter and are
+property-tested in ``tests/test_fleet_ring.py``:
+
+- **balance**: with enough virtual nodes per member, keys spread close
+  to evenly across members;
+- **minimal remap**: adding or removing one member only remaps the keys
+  that ring segment owned — everything else keeps its assignment (an
+  ordinary ``hash(key) % n`` would reshuffle almost every key and cold
+  every cache on each membership change);
+- **determinism**: positions come from ``blake2b`` over ``(seed, name)``,
+  never from Python's salted ``hash()``, so every process that builds a
+  ring with the same seed and members computes the same assignment.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Dict, Iterable, List, Optional, Tuple
+
+__all__ = ["HashRing"]
+
+
+class HashRing:
+    """Consistent hashing over named nodes, ``vnodes`` points per node."""
+
+    def __init__(self, nodes: Iterable[str] = (), *, vnodes: int = 64,
+                 seed: int = 0) -> None:
+        if vnodes < 1:
+            raise ValueError(f"vnodes must be >= 1, got {vnodes}")
+        self.vnodes = int(vnodes)
+        self.seed = int(seed)
+        #: sorted ring positions, parallel to :attr:`_owners`.
+        self._points: List[int] = []
+        self._owners: List[str] = []
+        self._members: Dict[str, Tuple[int, ...]] = {}
+        for node in nodes:
+            self.add(node)
+
+    # ------------------------------------------------------------------
+    def _point(self, label: str) -> int:
+        digest = hashlib.blake2b(
+            f"{self.seed}:{label}".encode(), digest_size=8).digest()
+        return int.from_bytes(digest, "big")
+
+    # ------------------------------------------------------------------
+    # Membership
+    # ------------------------------------------------------------------
+    @property
+    def nodes(self) -> Tuple[str, ...]:
+        """Current members, sorted (a stable view for status reports)."""
+        return tuple(sorted(self._members))
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def __contains__(self, node: str) -> bool:
+        return node in self._members
+
+    def add(self, node: str) -> None:
+        """Insert ``node``'s virtual points; idempotent."""
+        if node in self._members:
+            return
+        points = []
+        for i in range(self.vnodes):
+            point = self._point(f"{node}#{i}")
+            idx = bisect.bisect_left(self._points, point)
+            # blake2b collisions at 64 bits are ignorable, but keep the
+            # parallel arrays consistent if one ever lands: first owner
+            # at a point wins and the duplicate vnode is dropped.
+            if idx < len(self._points) and self._points[idx] == point:
+                continue
+            self._points.insert(idx, point)
+            self._owners.insert(idx, node)
+            points.append(point)
+        self._members[node] = tuple(points)
+
+    def remove(self, node: str) -> None:
+        """Drop ``node``'s virtual points; idempotent."""
+        points = self._members.pop(node, None)
+        if points is None:
+            return
+        for point in points:
+            idx = bisect.bisect_left(self._points, point)
+            if idx < len(self._points) and self._points[idx] == point:
+                del self._points[idx]
+                del self._owners[idx]
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def lookup(self, key: str) -> str:
+        """The member owning ``key`` — first vnode clockwise from it."""
+        owner = self._owner_index(key)
+        return self._owners[owner]
+
+    def successors(self, key: str, count: Optional[int] = None) -> List[str]:
+        """Distinct members in ring order starting at ``key``'s owner.
+
+        This is the failover order: the router tries ``successors(key)[0]``
+        (the affinity owner) first and walks down the list when a node
+        refuses connections or times out.
+        """
+        if not self._members:
+            return []
+        if count is None:
+            count = len(self._members)
+        start = self._owner_index(key)
+        out: List[str] = []
+        seen = set()
+        n = len(self._owners)
+        for i in range(n):
+            owner = self._owners[(start + i) % n]
+            if owner not in seen:
+                seen.add(owner)
+                out.append(owner)
+                if len(out) >= count:
+                    break
+        return out
+
+    def _owner_index(self, key: str) -> int:
+        if not self._points:
+            raise LookupError("hash ring has no members")
+        point = self._point(f"key:{key}")
+        idx = bisect.bisect_right(self._points, point)
+        return idx % len(self._points)

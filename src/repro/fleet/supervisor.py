@@ -1,0 +1,385 @@
+"""Replica lifecycle: spawn, probe, restart, drain, rolling reload.
+
+The supervisor is the self-healing half of the fleet (DESIGN §17).  A
+monitor thread probes every replica at a fixed cadence and declares one
+dead on either signal:
+
+- **process exit** — ``Popen.poll()`` returns a code (crash, OOM-kill,
+  the drill's SIGKILL); or
+- **missed heartbeats** — ``miss_threshold`` consecutive failed
+  ``/healthz`` probes (a live process that stopped serving is just as
+  dead to clients).
+
+Repair is drain-first: the replica leaves the router's hash ring
+*before* anything else happens, so new requests fail over to ring
+successors instead of piling 5xx onto a corpse; then the process is
+respawned with capped exponential backoff and only re-enters the ring
+after ``/healthz`` answers.  Rolling reload reuses the same drain
+machinery and the PR-5 shadow-validation gate: the first replica is the
+canary — if its own ``/admin/reload`` gate rejects the checkpoint (409),
+the rest of the fleet never sees it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from .heartbeat import http_json, probe_once, wait_healthy
+from .router import BackgroundRouter, FleetRouter
+
+__all__ = ["FleetSupervisor", "ReplicaHandle", "ServingFleet"]
+
+#: Cadence of the monitor thread's probe sweep.
+PROBE_INTERVAL = 0.5
+#: Consecutive failed probes before a live process is declared dead.
+MISS_THRESHOLD = 3
+#: Restart backoff: first delay, doubling to the cap.
+RESTART_BACKOFF = 0.2
+RESTART_BACKOFF_CAP = 5.0
+#: Seconds a fresh replica gets to bind + report before spawn fails.
+SPAWN_DEADLINE = 60.0
+
+
+class ReplicaHandle:
+    """One supervised replica subprocess and its last-known address."""
+
+    def __init__(self, name: str, work_dir: Path) -> None:
+        self.name = name
+        self.work_dir = work_dir
+        self.proc: Optional[subprocess.Popen] = None
+        self.host: Optional[str] = None
+        self.port: Optional[int] = None
+        self.restarts = 0
+        self.consecutive_failures = 0
+        self.missed_probes = 0
+
+    @property
+    def state_file(self) -> Path:
+        return self.work_dir / f"{self.name}.state.json"
+
+    @property
+    def log_file(self) -> Path:
+        return self.work_dir / f"{self.name}.log"
+
+
+class FleetSupervisor:
+    """Spawns ``num_replicas`` servers and keeps them alive."""
+
+    def __init__(self, checkpoint: str, num_replicas: int = 2, *,
+                 cache_size: int = 4096, micro_batch: int = 256,
+                 mmap: bool = True, probe_interval: float = PROBE_INTERVAL,
+                 miss_threshold: int = MISS_THRESHOLD,
+                 restart_backoff: float = RESTART_BACKOFF,
+                 restart_backoff_cap: float = RESTART_BACKOFF_CAP,
+                 work_dir: Optional[Path] = None,
+                 router: Optional[FleetRouter] = None) -> None:
+        if num_replicas < 1:
+            raise ValueError("num_replicas must be >= 1")
+        self.checkpoint = str(checkpoint)
+        self.num_replicas = num_replicas
+        self.cache_size = cache_size
+        self.micro_batch = micro_batch
+        self.mmap = mmap
+        self.probe_interval = probe_interval
+        self.miss_threshold = miss_threshold
+        self.restart_backoff = restart_backoff
+        self.restart_backoff_cap = restart_backoff_cap
+        self.router = router
+        self._tmp = None  # not-guarded: start/shutdown only, one control thread
+        if work_dir is None:
+            self._tmp = tempfile.TemporaryDirectory(prefix="repro-fleet-")
+            work_dir = Path(self._tmp.name)
+        self.work_dir = Path(work_dir)
+        self._replicas: Dict[str, ReplicaHandle] = {}  # guarded-by: _lock
+        self._lock = threading.RLock()
+        self._stop = threading.Event()
+        self._monitor = None  # not-guarded: start/shutdown only, one control thread
+        self._reload_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Spawn every replica, wait for health, start the monitor."""
+        for i in range(self.num_replicas):
+            handle = ReplicaHandle(f"replica-{i}", self.work_dir)
+            with self._lock:
+                self._replicas[handle.name] = handle
+            self._spawn(handle)
+            if not self._await_ready(handle, SPAWN_DEADLINE):
+                self.shutdown()
+                raise RuntimeError(
+                    f"{handle.name} did not become healthy within "
+                    f"{SPAWN_DEADLINE}s — see {handle.log_file}")
+            self._admit(handle)
+        self._monitor = threading.Thread(target=self._monitor_loop,
+                                         daemon=True,
+                                         name="repro-fleet-supervisor")
+        self._monitor.start()
+
+    def shutdown(self, timeout: float = 15.0) -> None:
+        self._stop.set()
+        if self._monitor is not None:
+            self._monitor.join(timeout)
+            self._monitor = None
+        with self._lock:
+            handles = list(self._replicas.values())
+        for handle in handles:
+            if self.router is not None:
+                self.router.drop_member(handle.name)
+            proc = handle.proc
+            if proc is not None and proc.poll() is None:
+                proc.terminate()
+        for handle in handles:
+            proc = handle.proc
+            if proc is None:
+                continue
+            try:
+                proc.wait(timeout=timeout)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                proc.wait(timeout=timeout)
+        if self._tmp is not None:
+            self._tmp.cleanup()
+            self._tmp = None
+
+    # ------------------------------------------------------------------
+    # Spawning
+    # ------------------------------------------------------------------
+    def _spawn(self, handle: ReplicaHandle) -> None:
+        handle.state_file.unlink(missing_ok=True)
+        cmd = [sys.executable, "-m", "repro.fleet.replica",
+               "--checkpoint", self.checkpoint,
+               "--state-file", str(handle.state_file),
+               "--cache-size", str(self.cache_size),
+               "--micro-batch", str(self.micro_batch)]
+        if not self.mmap:
+            cmd.append("--no-mmap")
+        env = dict(os.environ)
+        # The replica must import repro exactly as this process does,
+        # even when the caller relied on an installed path or cwd.
+        env["PYTHONPATH"] = os.pathsep.join(
+            [p for p in sys.path if p] +
+            [env.get("PYTHONPATH", "")]).strip(os.pathsep)
+        log = open(handle.log_file, "ab")
+        try:
+            handle.proc = subprocess.Popen(cmd, stdout=log, stderr=log,
+                                           stdin=subprocess.DEVNULL, env=env)
+        finally:
+            log.close()
+        handle.host = handle.port = None
+        handle.missed_probes = 0
+
+    def _await_ready(self, handle: ReplicaHandle, deadline: float) -> bool:
+        """Wait for the state file, then for ``/healthz``."""
+        t0 = time.monotonic()
+        while time.monotonic() - t0 < deadline:
+            proc = handle.proc
+            if proc is None or proc.poll() is not None:
+                return False
+            if handle.state_file.is_file():
+                try:
+                    state = json.loads(handle.state_file.read_text())
+                except (OSError, json.JSONDecodeError):
+                    state = None
+                if state:
+                    handle.host = state["host"]
+                    handle.port = int(state["port"])
+                    remaining = deadline - (time.monotonic() - t0)
+                    return wait_healthy(handle.host, handle.port,
+                                        deadline=max(1.0, remaining))
+            time.sleep(0.05)
+        return False
+
+    def _admit(self, handle: ReplicaHandle) -> None:
+        if self.router is not None and handle.host is not None:
+            self.router.set_member(handle.name, handle.host, handle.port)
+
+    # ------------------------------------------------------------------
+    # Monitoring + self-healing
+    # ------------------------------------------------------------------
+    def _monitor_loop(self) -> None:
+        while not self._stop.wait(self.probe_interval):
+            with self._lock:
+                handles = list(self._replicas.values())
+            for handle in handles:
+                if self._stop.is_set():
+                    return
+                if self._is_dead(handle):
+                    self._restart(handle)
+
+    def _is_dead(self, handle: ReplicaHandle) -> bool:
+        proc = handle.proc
+        if proc is None or proc.poll() is not None:
+            return True
+        if handle.host is None:
+            return False  # still booting; _await_ready owns this window
+        if probe_once(handle.host, handle.port, timeout=2.0):
+            handle.missed_probes = 0
+            handle.consecutive_failures = 0
+            return False
+        handle.missed_probes += 1
+        return handle.missed_probes >= self.miss_threshold
+
+    def _restart(self, handle: ReplicaHandle) -> None:
+        """Drain → backoff → respawn → await health → re-admit."""
+        if self.router is not None:
+            self.router.drop_member(handle.name)
+        proc = handle.proc
+        if proc is not None and proc.poll() is None:
+            proc.kill()  # unresponsive but alive: stop it holding the port
+            try:
+                proc.wait(timeout=10.0)
+            except subprocess.TimeoutExpired:  # noqa: R005 — zombie reaped by next poll
+                pass
+        delay = min(self.restart_backoff_cap,
+                    self.restart_backoff * (2 ** handle.consecutive_failures))
+        handle.consecutive_failures += 1
+        if self._stop.wait(delay):
+            return
+        self._spawn(handle)
+        handle.restarts += 1
+        if self._await_ready(handle, SPAWN_DEADLINE):
+            self._admit(handle)
+        # On failure: leave it out of the ring; the next monitor sweep
+        # sees the dead process and retries with a longer backoff.
+
+    # ------------------------------------------------------------------
+    # Drill / test hooks and status
+    # ------------------------------------------------------------------
+    def kill_replica(self, name: str) -> int:
+        """SIGKILL a replica (the drill's crash injection); returns its pid."""
+        with self._lock:
+            handle = self._replicas[name]
+        proc = handle.proc
+        if proc is None or proc.poll() is not None:
+            raise RuntimeError(f"{name} is not running")
+        pid = proc.pid
+        os.kill(pid, signal.SIGKILL)
+        return pid
+
+    def replica_names(self) -> List[str]:
+        with self._lock:
+            return sorted(self._replicas)
+
+    def replica_address(self, name: str) -> Tuple[str, int]:
+        with self._lock:
+            handle = self._replicas[name]
+        if handle.host is None:
+            raise RuntimeError(f"{name} has no bound address yet")
+        return handle.host, handle.port
+
+    def status(self) -> dict:
+        with self._lock:
+            handles = list(self._replicas.values())
+        replicas = {}
+        for handle in handles:
+            proc = handle.proc
+            replicas[handle.name] = {
+                "pid": proc.pid if proc is not None else None,
+                "alive": proc is not None and proc.poll() is None,
+                "host": handle.host,
+                "port": handle.port,
+                "restarts": handle.restarts,
+                "missed_probes": handle.missed_probes,
+            }
+        return {"checkpoint": self.checkpoint, "replicas": replicas}
+
+    # ------------------------------------------------------------------
+    # Rolling reload
+    # ------------------------------------------------------------------
+    def rolling_reload(self, path: str) -> dict:
+        """Swap the fleet onto a new checkpoint one replica at a time.
+
+        The first live replica is the canary: its ``/admin/reload`` runs
+        the full PR-5 shadow-validation gate in-process.  A 409 there
+        aborts the roll with zero replicas swapped; any later failure
+        stops the roll and reports how far it got (already-swapped
+        replicas keep the new model — both models passed the gate, so a
+        mixed fleet serves validated predictions either way).
+        """
+        with self._reload_lock:
+            names = self.replica_names()
+            swapped: List[str] = []
+            for name in names:
+                with self._lock:
+                    handle = self._replicas[name]
+                if handle.host is None:
+                    continue
+                if self.router is not None:
+                    self.router.drop_member(name)
+                try:
+                    status, payload = http_json(
+                        handle.host, handle.port, "POST", "/admin/reload",
+                        {"path": path}, timeout=300.0)
+                except OSError as exc:
+                    status, payload = 0, {"error": f"replica unreachable: {exc}"}
+                finally:
+                    if self.router is not None:
+                        self._admit(handle)
+                if status != 200:
+                    return {"reloaded": False,
+                            "canary": names[0] if names else None,
+                            "aborted_at": name, "swapped": swapped,
+                            "error": payload.get("error", f"HTTP {status}"),
+                            "report": payload.get("report")}
+                swapped.append(name)
+            return {"reloaded": bool(swapped), "swapped": swapped,
+                    "checkpoint": path}
+
+
+class ServingFleet:
+    """Router + supervisor, wired and started together.
+
+    ::
+
+        fleet = ServingFleet("model.npz", num_replicas=3)
+        host, port = fleet.start()
+        ... point clients at http://host:port ...
+        fleet.shutdown()
+    """
+
+    def __init__(self, checkpoint: str, num_replicas: int = 2, *,
+                 host: str = "127.0.0.1", port: int = 0,
+                 ring_seed: int = 0, vnodes: int = 64,
+                 verbose: bool = False, **supervisor_kwargs) -> None:
+        self.supervisor = FleetSupervisor(checkpoint, num_replicas,
+                                          **supervisor_kwargs)
+        self.router = FleetRouter(ring_seed=ring_seed, vnodes=vnodes,
+                                  status_provider=self.supervisor.status,
+                                  reload_handler=self.supervisor.rolling_reload,
+                                  verbose=verbose)
+        self.supervisor.router = self.router
+        self._bg = BackgroundRouter(self.router, host, port)
+        self._started = False
+
+    def start(self) -> Tuple[str, int]:
+        bound = self._bg.start()
+        try:
+            self.supervisor.start()
+        except BaseException:
+            self._bg.shutdown()
+            raise
+        self._started = True
+        return bound
+
+    def shutdown(self) -> None:
+        self.supervisor.shutdown()
+        self._bg.shutdown()
+        self._started = False
+
+    def __enter__(self) -> "ServingFleet":
+        self.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()

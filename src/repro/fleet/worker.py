@@ -1,0 +1,150 @@
+"""Elastic training worker: one shard of the minibatch stream (DESIGN §17).
+
+Workers are **forked** from the coordinator after it has built the model,
+graph, and per-shard samplers, so they inherit everything by copy-on-write
+— no pickling, no re-materialization.  The step protocol over the pipe:
+
+    coordinator → worker:  ("step", t)   |  ("stop",)
+    worker → coordinator:  {"step": t, "shard": s, "loss": float,
+                            "seeds_hash": ..., "grad_hash": ...,
+                            "sampler_state": <sampler.state_dict()>}
+
+Per step the worker (1) copies the coordinator-published flat parameter
+vector out of shared memory into its private model, (2) samples its
+shard's next minibatch, (3) runs forward/backward with a step-keyed RNG
+``default_rng([seed, 7, shard, step])``, and (4) writes its flattened
+gradient into its slice of the shared gradient buffer.
+
+Determinism contract: the gradient a worker produces for ``(shard, t)``
+is a pure function of (published params, sampler state at t, shard, t).
+Nothing depends on wall clock, pid, or arrival order — which is what
+lets a replacement worker, respawned from the last-acked sampler state,
+recompute *bitwise* the gradient its dead predecessor owed.
+
+The fault site ``fleet.worker.step`` fires before the forward pass;
+``faults.kill_worker(shard, step)`` turns it into an ``os._exit`` —
+hard death, no cleanup — which the worker-death drill uses.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from dataclasses import dataclass
+from typing import Any, Dict, List
+
+import numpy as np
+
+from ..resilience import faults
+
+__all__ = ["WorkerContext", "worker_loop", "flatten_arrays",
+           "load_flat_params"]
+
+#: Seconds a worker waits for the next command before concluding the
+#: coordinator is gone and exiting (orphan cleanup).
+COMMAND_TIMEOUT = 600.0
+
+
+def flatten_arrays(arrays: List[np.ndarray], out: np.ndarray) -> None:
+    """Concatenate ``arrays`` raveled into the preallocated flat ``out``."""
+    offset = 0
+    for arr in arrays:
+        n = arr.size
+        out[offset:offset + n] = arr.ravel()
+        offset += n
+
+
+def load_flat_params(params, flat: np.ndarray) -> None:
+    """Copy a flat vector back into ``param.data`` slices, in order."""
+    offset = 0
+    for param in params:
+        n = param.data.size
+        param.data[...] = flat[  # repro-lint: disable=R001 — param load, like load_state_dict
+            offset:offset + n].reshape(param.data.shape)
+        offset += n
+
+
+@dataclass
+class WorkerContext:
+    """Everything a forked worker needs, captured before the fork."""
+
+    shard: int
+    num_shards: int
+    step_seed: int            # folded into the per-step loss RNG
+    model: Any                # CATEHGNModel (inherited, mutated privately)
+    params: List[Any]         # main-parameter list, coordinator's order
+    sampler: Any              # bound shard MinibatchSampler
+    use_label_inputs: bool
+    conn: Any                 # multiprocessing.Connection (child end)
+    param_buf: Any            # shared flat params, length P
+    grad_buf: Any             # shared flat grads, length K * P
+    param_count: int
+
+
+def _step_batch(ctx: WorkerContext):
+    """Sample the shard's next minibatch, with label-input channels."""
+    mb = ctx.sampler.next_minibatch()
+    batch = mb.batch
+    if ctx.use_label_inputs:
+        batch = batch.with_label_inputs(mb.input_local, mb.input_values,
+                                        batch.labeled_ids, batch.labels)
+    return mb, batch
+
+
+def _run_step(ctx: WorkerContext, step: int,
+              param_view: np.ndarray,
+              grad_view: np.ndarray) -> Dict[str, Any]:
+    load_flat_params(ctx.params, param_view)
+    mb, batch = _step_batch(ctx)
+    faults.fire("fleet.worker.step", shard=ctx.shard, step=step)
+    rng = np.random.default_rng([ctx.step_seed, 7, ctx.shard, step])
+    state = ctx.model.forward_state(batch)
+    loss = ctx.model.hgn_loss(state, batch, rng)
+    for param in ctx.params:
+        param.zero_grad()
+    loss.backward()
+    flat = np.zeros(ctx.param_count, dtype=np.float64)
+    offset = 0
+    for param in ctx.params:
+        n = param.data.size
+        if param.grad is not None:
+            flat[offset:offset + n] = param.grad.ravel()
+        offset += n
+    grad_view[:] = flat
+    return {
+        "step": step,
+        "shard": ctx.shard,
+        "loss": float(loss.data),
+        "seeds_hash": hashlib.blake2b(
+            np.ascontiguousarray(mb.seeds).tobytes(),
+            digest_size=8).hexdigest(),
+        "grad_hash": hashlib.blake2b(flat.tobytes(),
+                                     digest_size=8).hexdigest(),
+        "sampler_state": ctx.sampler.state_dict(),
+    }
+
+
+def worker_loop(ctx: WorkerContext) -> None:
+    """Process entry point: serve step commands until told to stop."""
+    param_view = np.frombuffer(ctx.param_buf,
+                               dtype=np.float64)[:ctx.param_count]
+    grads = np.frombuffer(ctx.grad_buf, dtype=np.float64)
+    lo = ctx.shard * ctx.param_count
+    grad_view = grads[lo:lo + ctx.param_count]
+    while True:
+        if not ctx.conn.poll(COMMAND_TIMEOUT):
+            os._exit(3)  # coordinator vanished; don't linger as an orphan
+        try:
+            msg = ctx.conn.recv()  # noqa: A006 — bounded by the poll above
+        except (EOFError, OSError):
+            os._exit(3)
+        if msg[0] == "stop":
+            ctx.conn.close()
+            return
+        if msg[0] != "step":
+            continue
+        ack = _run_step(ctx, int(msg[1]), param_view, grad_view)
+        try:
+            ctx.conn.send(ack)
+        except (BrokenPipeError, OSError):
+            os._exit(3)

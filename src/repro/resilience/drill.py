@@ -38,6 +38,18 @@ reports PASS/FAIL per drill (non-zero exit on any failure):
                  lock-held ``time.sleep`` and assert the tsan-lite
                  runtime detector (``repro.analysis.concurrency``)
                  diagnoses both before anything can deadlock.
+``fleet``        SIGKILL a serving-fleet replica under 1000-client
+                 concurrent load, assert **zero 5xx** and exactly one
+                 response per request (failover retries are invisible to
+                 clients), the supervisor restarts the replica and
+                 re-admits it to the hash ring, and the prediction
+                 caches re-warm with bitwise-identical answers.
+``worker-death`` kill one elastic-training worker mid-run (hard
+                 ``os._exit`` at a chosen shard/step), assert the
+                 coordinator reassigns the shard from its last-acked
+                 sampler state and the run's remaining batch sequence,
+                 trajectory fingerprint, and final parameters are
+                 **bitwise** identical to an undisturbed run's.
 
 These are the same scenarios the test suite pins; the CLI exists so an
 operator can re-certify the machinery on their own box in seconds::
@@ -586,7 +598,7 @@ def drill_batching(log: Callable[[str], None]) -> None:
             barrier = threading.Barrier(threads)
 
             def worker(t: int) -> None:
-                barrier.wait()
+                barrier.wait(timeout=30)
                 for i in range(per_thread):
                     pid = (id_offset + t * per_thread + i) % engine.num_papers
                     out = call("POST", "/predict", {"paper_ids": [pid]})
@@ -657,6 +669,150 @@ def drill_batching(log: Callable[[str], None]) -> None:
             bg.shutdown()
 
 
+def drill_fleet(log: Callable[[str], None]) -> None:
+    """Replica death under 1000-client load: zero 5xx, exactly-once.
+
+    Boots a 2-replica :class:`~repro.fleet.ServingFleet`, drives 1000
+    concurrent keep-alive clients through the consistent-hash router,
+    and SIGKILLs one replica mid-load.  Asserts:
+
+    * every scripted request gets **exactly one** response, all 200 —
+      the router's failover (retry ring successors on connection
+      errors; predictions are idempotent) absorbs the death invisibly;
+    * the supervisor restarts the dead replica and re-admits it to the
+      ring (visible in ``/fleet/status`` with ``restarts >= 1``);
+    * caches re-warm: the same request body answered before the kill
+      is answered bitwise-identically after recovery, and the fleet's
+      aggregate cache counters show hits again.
+    """
+    import threading
+
+    from ..fleet import ServingFleet
+    from ..fleet.client import predict_scripts, run_load
+    from ..fleet.heartbeat import http_json
+    from ..serve import save_catehgn
+
+    dataset = _tiny_dataset()
+    est = _tiny_estimator()
+    est.fit(dataset)
+    num_papers = dataset.num_papers
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = save_catehgn(est, f"{tmp}/model.npz")
+        fleet = ServingFleet(str(path), 2, probe_interval=0.2)
+        host, port = fleet.start()
+        try:
+            probe_body = {"paper_ids": [3, 1, 4]}
+            status, before = http_json(host, port, "POST", "/predict",
+                                       probe_body)
+            _check(status == 200, f"warmup predict failed: {status}")
+
+            clients, per_client = 1000, 2
+            scripts = predict_scripts(clients, per_client, num_papers,
+                                      seed=23)
+            holder: List = []
+            load = threading.Thread(
+                target=lambda: holder.append(
+                    run_load(host, port, scripts)))
+            load.start()
+            time.sleep(0.5)  # let the load ramp before pulling a replica
+            victim = fleet.supervisor.replica_names()[0]
+            pid = fleet.supervisor.kill_replica(victim)
+            log(f"killed {victim} (pid {pid}) mid-load")
+            load.join(timeout=240)
+            _check(not load.is_alive(), "load generator hung")
+            result = holder[0]
+
+            total = clients * per_client
+            _check(result.failures == 0,
+                   f"{result.failures} requests never answered "
+                   f"(exactly-once broken on the drop side)")
+            _check(len(result.statuses) == total,
+                   f"expected {total} responses, got {len(result.statuses)} "
+                   f"(exactly-once broken on the duplicate side)")
+            _check(result.server_errors() == 0,
+                   f"5xx leaked through failover: "
+                   f"{sorted(set(result.statuses))}")
+            _check(result.count(200) == total,
+                   f"non-200 responses: {sorted(set(result.statuses))}")
+            log(f"{total}/{total} requests answered 200 through the kill "
+                f"window — zero 5xx")
+
+            deadline = time.monotonic() + 60
+            healed = False
+            while time.monotonic() < deadline:
+                status, snap = http_json(host, port, "GET", "/fleet/status")
+                rep = snap["replicas"][victim]
+                if (status == 200 and rep["alive"] and rep["restarts"] >= 1
+                        and victim in snap["ring"]):
+                    healed = True
+                    break
+                time.sleep(0.2)
+            _check(healed, f"supervisor never restarted {victim}")
+            log(f"supervisor restarted {victim} and re-admitted it "
+                f"to the ring")
+
+            status, after = http_json(host, port, "POST", "/predict",
+                                      probe_body)
+            _check(status == 200 and after == before,
+                   "post-recovery predictions differ from pre-kill")
+            http_json(host, port, "POST", "/predict", probe_body)
+            status, metrics = http_json(host, port, "GET", "/metrics")
+            hits = sum(r.get("cache", {}).get("hits", 0)
+                       for r in metrics["replicas"].values()
+                       if isinstance(r, dict))
+            _check(hits > 0, "prediction caches never re-warmed")
+            log("caches re-warmed; answers bitwise-identical to pre-kill")
+        finally:
+            fleet.shutdown()
+
+
+def drill_worker_death(log: Callable[[str], None]) -> None:
+    """Elastic training absorbs a worker kill bitwise.
+
+    Runs the K=2 elastic trainer undisturbed for a reference, then
+    reruns it with ``faults.kill_worker(shard=1, step=2)`` — a hard
+    ``os._exit`` in the worker process, no cleanup.  The coordinator
+    must detect the death, rebuild the shard's sampler from its
+    last-acked snapshot state, re-issue the in-flight step, and finish
+    with the **bitwise-identical** remaining batch sequence (per-step
+    seed hashes), trajectory fingerprint, and final parameters.
+    """
+    from ..fleet import ElasticTrainer
+
+    dataset = _tiny_dataset()
+    config = _tiny_estimator().config
+
+    reference = ElasticTrainer(config, num_workers=2, steps=4).fit(dataset)
+    _check(reference.deaths == [],
+           f"undisturbed run reported deaths: {reference.deaths}")
+    log(f"reference run: fingerprint {reference.fingerprint[:16]}…")
+
+    with faults.kill_worker(shard=1, step=2):
+        survived = ElasticTrainer(config, num_workers=2, steps=4).fit(dataset)
+    _check(len(survived.deaths) == 1,
+           f"expected exactly one worker death, got {survived.deaths}")
+    death = survived.deaths[0]
+    _check(death["shard"] == 1 and death["step"] == 2,
+           f"death recorded at the wrong site: {death}")
+    log(f"worker shard={death['shard']} killed at step {death['step']} "
+        f"(exit {death['exitcode']}), coordinator respawned it")
+
+    _check(survived.seed_hashes == reference.seed_hashes,
+           "remaining batch sequence diverged after reassignment")
+    _check(survived.fingerprint == reference.fingerprint,
+           f"trajectory fingerprint diverged: {survived.fingerprint[:16]}… "
+           f"!= {reference.fingerprint[:16]}…")
+    _check(set(survived.state) == set(reference.state)
+           and all(np.array_equal(survived.state[k], reference.state[k])
+                   for k in reference.state),
+           "final parameters are not bitwise-identical")
+    _check(survived.losses == reference.losses,
+           "per-shard loss trajectory diverged")
+    log("killed run matches reference bitwise: batch sequence, "
+        "fingerprint, final parameters")
+
+
 DRILLS: Dict[str, Callable[[Callable[[str], None]], None]] = {
     "resume": drill_resume,
     "resume-gnn": drill_resume_gnn,
@@ -667,6 +823,8 @@ DRILLS: Dict[str, Callable[[Callable[[str], None]], None]] = {
     "degrade": drill_degrade,
     "batching": drill_batching,
     "race": drill_race,
+    "fleet": drill_fleet,
+    "worker-death": drill_worker_death,
 }
 
 

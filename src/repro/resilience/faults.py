@@ -24,6 +24,7 @@ Instrumented sites
 ``ingest.record``        ctx: ``index, paper, papers`` (per generated paper)
 ``ingest.graph``         ctx: ``graph``               (finished ingestion graph)
 ``engine.predict``       ctx: ``ids``                 (serving, per predict call)
+``fleet.worker.step``    ctx: ``shard, step``         (elastic worker, per step)
 
 Every site call also receives ``count`` — the 1-based number of times the
 site has fired under the active injector — so ``raise_at_op`` can target
@@ -58,6 +59,7 @@ __all__ = [
     "poison_graph",
     "fail_engine",
     "slow_engine",
+    "kill_worker",
 ]
 
 #: Stack of armed injectors; the innermost one receives ``fire`` calls.
@@ -328,6 +330,45 @@ class FaultInjector:
                         lambda ctx: ctx["count"] <= times, action,
                         label=f"slow_engine({seconds})", once=False)
 
+    # -- elastic-training faults (DESIGN §17) ---------------------------
+    def kill_worker(self, shard: int, step: int) -> "FaultInjector":
+        """``os._exit`` the training worker for ``shard`` at ``step``.
+
+        Hard process death — no exception, no cleanup, exactly what
+        SIGKILL or an OOM kill looks like to the coordinator.  The
+        injector is armed in the *coordinator* before it forks workers
+        (children inherit the armed stack), but fires only inside the
+        worker whose shard matches.
+
+        Per-process ``once`` bookkeeping cannot make this one-shot: the
+        replacement worker the coordinator respawns replays the same
+        ``(shard, step)`` and inherits a fresh copy of the armed stack,
+        so it would die too, forever.  A filesystem token provides the
+        cross-process exactly-once: the first worker to claim it (atomic
+        ``O_CREAT | O_EXCL``) dies; every later worker sees the claimed
+        token and runs through.
+        """
+        import os as _os
+        import tempfile as _tempfile
+
+        fd, token = _tempfile.mkstemp(prefix="repro-kill-worker-")
+        _os.close(fd)
+        _os.unlink(token)  # the *absence* of the token means "armed"
+
+        def action(ctx: Dict[str, Any]) -> None:
+            try:
+                claimed = _os.open(token, _os.O_CREAT | _os.O_EXCL
+                                   | _os.O_WRONLY)
+            except FileExistsError:
+                return  # a previous incarnation already died here
+            _os.close(claimed)
+            _os._exit(17)
+
+        return self.add(
+            "fleet.worker.step",
+            lambda ctx: ctx["shard"] == shard and ctx["step"] == step,
+            action, label=f"kill_worker({shard}, {step})", once=False)
+
 
 def _raiser(message: str) -> Callable[[Dict[str, Any]], None]:
     def action(ctx: Dict[str, Any]) -> None:
@@ -380,3 +421,7 @@ def fail_engine(times: int = 1, exc_type: type = RuntimeError) -> FaultInjector:
 
 def slow_engine(seconds: float, times: int = 1) -> FaultInjector:
     return FaultInjector().slow_engine(seconds, times)
+
+
+def kill_worker(shard: int, step: int) -> FaultInjector:
+    return FaultInjector().kill_worker(shard, step)

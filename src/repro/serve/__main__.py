@@ -28,6 +28,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="LRU result-cache capacity (0 disables)")
     parser.add_argument("--micro-batch", type=int, default=256,
                         help="bulk-prediction micro-batch size")
+    parser.add_argument("--mmap", action="store_true",
+                        help="memory-map the checkpoint and graph arrays "
+                             "(read-only) so co-located replicas share one "
+                             "copy via the OS page cache")
     parser.add_argument("--quiet", action="store_true",
                         help="suppress per-request access logs")
     aio = parser.add_argument_group("asyncio runtime (DESIGN §16)")
@@ -67,6 +71,7 @@ def main(argv=None) -> int:
     engine = InferenceEngine.from_checkpoint(
         args.checkpoint, cache_size=args.cache_size,
         micro_batch=args.micro_batch,
+        mmap_mode="r" if args.mmap else None,
     )
     limits = ServiceLimits(max_body_bytes=args.max_body_bytes,
                            max_inflight=args.max_inflight,

@@ -99,6 +99,12 @@ class AsyncPredictionServer:
                 await writer.wait_closed()
             except (BrokenPipeError, ConnectionResetError, OSError):  # noqa: R005 — connection already gone
                 pass
+            except asyncio.CancelledError:  # noqa: R005 — server shutdown cancelled the drain
+                # stop() closing the loop cancels handlers mid-drain;
+                # the transport is torn down either way, and re-raising
+                # from a finally would just spam the loop's exception
+                # handler for every lingering keep-alive connection.
+                pass
 
     async def _handle_one(self, reader: asyncio.StreamReader,
                           writer: asyncio.StreamWriter) -> bool:

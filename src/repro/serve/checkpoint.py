@@ -24,6 +24,7 @@ understand with a clear error instead of mis-reading them.
 
 from __future__ import annotations
 
+import contextlib
 import inspect
 import io
 import json
@@ -99,19 +100,40 @@ def save_checkpoint(path: Union[str, Path], meta: Dict[str, Any],
     return out
 
 
-def load_checkpoint(path: Union[str, Path]) -> Checkpoint:
+def load_checkpoint(path: Union[str, Path], *,
+                    mmap_mode: Optional[str] = None) -> Checkpoint:
     """Read a checkpoint written by :func:`save_checkpoint`.
 
     Raises ``ValueError`` for files that are not checkpoints or carry an
     unknown ``format_version``, and
     :class:`~repro.resilience.CheckpointCorruptError` for files that are
     truncated, bit-flipped, or fail their embedded checksum.
+
+    ``mmap_mode="r"`` returns the parameter/extra arrays as read-only
+    memory maps through the :func:`repro.data.mmap_npz` extraction
+    cache: N serving replicas loading the same checkpoint share its
+    pages through the OS page cache instead of materializing N private
+    copies.  Integrity on this path is enforced at extraction time (the
+    zip CRCs are verified as members stream out, and the cache manifest
+    pins the npz's SHA-256), so the per-load ``content_sha256`` pass —
+    which would fault in and hash every page — is skipped.
     """
     base = _base_path(path)
     npz_path = base.with_suffix(".npz")
+    if mmap_mode not in (None, "r"):
+        raise ValueError(f"mmap_mode must be None or 'r', got {mmap_mode!r}")
     try:
-        with np.load(npz_path, allow_pickle=False) as arrays:
-            if _META_KEY not in arrays:
+        with contextlib.ExitStack() as stack:
+            if mmap_mode is None:
+                arrays = stack.enter_context(
+                    np.load(npz_path, allow_pickle=False))
+                files = list(arrays.files)
+            else:
+                from ..data.io import mmap_npz
+
+                arrays = mmap_npz(npz_path)
+                files = list(arrays)
+            if _META_KEY not in files:
                 raise ValueError(
                     f"{npz_path} is not a repro.serve checkpoint "
                     f"(missing {_META_KEY!r} metadata entry)"
@@ -125,7 +147,7 @@ def load_checkpoint(path: Union[str, Path]) -> Checkpoint:
                     f"{CHECKPOINT_FORMAT_VERSION}"
                 )
             state, extras, payload = {}, {}, {}
-            for key in arrays.files:
+            for key in files:
                 if key.startswith(_PARAM_PREFIX):
                     state[key[len(_PARAM_PREFIX):]] = arrays[key]
                     payload[key] = state[key[len(_PARAM_PREFIX):]]
@@ -141,7 +163,7 @@ def load_checkpoint(path: Union[str, Path]) -> Checkpoint:
             f"truncated or corrupted — restore from a previous checkpoint"
         ) from exc
     expected = meta.get("content_sha256")  # absent in pre-checksum files
-    if expected is not None:
+    if expected is not None and mmap_mode is None:
         actual = content_digest(payload)
         if actual != expected:
             raise CheckpointCorruptError(
@@ -250,16 +272,25 @@ class RestoredCATEHGN:
         return np.maximum(raw * self.label_std + self.label_mean, 0.0)
 
 
-def restore_catehgn(path: Union[str, Path]) -> RestoredCATEHGN:
-    """Rebuild model + inference batch from a CATE-HGN checkpoint."""
-    ckpt = load_checkpoint(path)
+def restore_catehgn(path: Union[str, Path], *,
+                    mmap_mode: Optional[str] = None) -> RestoredCATEHGN:
+    """Rebuild model + inference batch from a CATE-HGN checkpoint.
+
+    ``mmap_mode="r"`` memory-maps both the checkpoint arrays and the
+    graph sidecar (see :func:`load_checkpoint`), so N fleet replicas
+    restoring the same checkpoint share its bulk data — graph features,
+    text-embedding vectors — through the OS page cache.  Model weights
+    are still copied into private writable arrays by ``load_state_dict``
+    (they are small relative to the graph payload).
+    """
+    ckpt = load_checkpoint(path, mmap_mode=mmap_mode)
     if ckpt.kind != "catehgn":
         raise ValueError(
             f"expected a 'catehgn' checkpoint, got kind={ckpt.kind!r} "
             f"(use load_gnn_baseline for baseline checkpoints)"
         )
     meta = ckpt.meta
-    graph = load_graph(ckpt.path.parent / meta["graph"])
+    graph = load_graph(ckpt.path.parent / meta["graph"], mmap_mode=mmap_mode)
     # save_graph preserves edge insertion order, which fixes the Eq. 13
     # summation order; assert the invariant instead of silently reordering.
     saved_keys = [tuple(k) for k in meta["edge_type_keys"]]

@@ -64,9 +64,10 @@ class InferenceEngine:
     # ------------------------------------------------------------------
     @classmethod
     def from_checkpoint(cls, path: Union[str, Path], cache_size: int = 4096,
-                        micro_batch: int = 256) -> "InferenceEngine":
-        return cls(restore_catehgn(path), cache_size=cache_size,
-                   micro_batch=micro_batch)
+                        micro_batch: int = 256,
+                        mmap_mode: Optional[str] = None) -> "InferenceEngine":
+        return cls(restore_catehgn(path, mmap_mode=mmap_mode),
+                   cache_size=cache_size, micro_batch=micro_batch)
 
     # ------------------------------------------------------------------
     @property

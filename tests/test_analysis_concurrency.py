@@ -423,6 +423,67 @@ class TestA004:
 # ----------------------------------------------------------------------
 # A005
 # ----------------------------------------------------------------------
+A006_BAD = """\
+import subprocess
+
+
+def reap(proc, conn, thread):
+    thread.join()
+    proc.wait()
+    msg = conn.recv()
+    out, err = proc.communicate()
+    return msg, out
+"""
+
+A006_CLEAN = """\
+import asyncio
+import os
+
+
+def reap(proc, conn, thread, stop):
+    thread.join(timeout=10)
+    proc.wait(timeout=10)
+    stop.wait(0.5)
+    if conn.poll(5.0):
+        msg = conn.recv()  # noqa: A006 — bounded by the poll above
+    out, err = proc.communicate(timeout=10)
+    parts = ", ".join(["a", "b"])
+    path = os.path.join("/tmp", "x")
+    data = sock.recv(4096)
+    return msg, out, parts, path, data
+
+
+async def waiter(event):
+    await event.wait()
+    await asyncio.wait_for(event.wait(), 5.0)
+"""
+
+
+class TestA006:
+    def test_unbounded_waits_flagged(self):
+        a006 = [v for v in analyze_str(A006_BAD) if v.rule == "A006"]
+        assert sorted(v.line for v in a006) == [5, 6, 7, 8]
+        joined = " ".join(v.message for v in a006)
+        assert ".join" in joined and ".wait" in joined
+        assert ".recv" in joined and ".communicate" in joined
+        assert all("deadline" in v.message for v in a006)
+
+    def test_bounded_awaited_and_string_joins_clean(self):
+        assert [v for v in analyze_str(A006_CLEAN)
+                if v.rule == "A006"] == []
+
+    def test_noqa_suppresses(self):
+        suppressed = "\n".join(
+            line + "  # noqa: A006" if line.strip() else line
+            for line in A006_BAD.splitlines())
+        assert [v for v in analyze_str(suppressed)
+                if v.rule == "A006"] == []
+
+    def test_select_only_a006(self):
+        only = analyze_str(A006_BAD, A001_BAD, rules={"A006"})
+        assert rules_of(only) == ["A006"]
+
+
 class TestA005:
     def test_blocking_in_async_def_flagged(self):
         a005 = [v for v in analyze_str(A005_BAD) if v.rule == "A005"]
@@ -464,7 +525,8 @@ class TestA005:
 # ----------------------------------------------------------------------
 class TestDriver:
     def test_rule_catalogue(self):
-        assert set(ARULES) == {"A001", "A002", "A003", "A004", "A005"}
+        assert set(ARULES) == {"A001", "A002", "A003", "A004", "A005",
+                               "A006"}
 
     def test_select_subset(self):
         only = analyze_str(A001_BAD, A004_BAD_DIRECT, rules={"A004"})
@@ -490,13 +552,15 @@ class TestDriver:
         assert main([str(good)]) == 0
         assert main([str(bad), "--format", "json"]) == 1
         report = json.loads(capsys.readouterr().out)
-        assert report["count"] == 4
-        assert all(v["rule"] == "A003" for v in report["violations"])
+        # The unbounded Thread.join is both a blocking-under-lock (A003)
+        # and a missing-deadline wait (A006).
+        assert report["count"] == 5
+        assert {v["rule"] for v in report["violations"]} == {"A003", "A006"}
 
     def test_cli_ignore(self, tmp_path):
         f = tmp_path / "bad.py"
         f.write_text(A003_BAD)
-        assert main([str(f), "--ignore", "A003"]) == 0
+        assert main([str(f), "--ignore", "A003,A006"]) == 0
 
     def test_module_entrypoint_runs(self, tmp_path):
         bad = tmp_path / "bad.py"

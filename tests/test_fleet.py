@@ -1,0 +1,260 @@
+"""Integration tests for the self-healing fleet (DESIGN §17).
+
+Serving side: a real 2-replica fleet — subprocess replicas behind the
+consistent-hash router — answers exactly like the inline engine, pins
+request affinity (the router's raison d'être for cache locality),
+survives a replica SIGKILL under concurrent load without surfacing a
+single non-200, and rolls reloads through the shadow-validation gate
+(bad candidates leave every replica on the old checkpoint).
+
+Elastic side: the hash shard partition is disjoint and covering, a
+fixed (seed, K) replays a bitwise-identical trajectory, and a worker
+killed mid-run is replaced without perturbing that trajectory.
+"""
+
+import http.client
+import json
+import shutil
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import CATEHGN
+from repro.data.sampling import shard_items
+from repro.eval.runner import default_cate_config
+from repro.fleet import ElasticTrainer, ServingFleet, http_json
+from repro.fleet.client import predict_scripts, run_load
+from repro.resilience import faults
+from repro.serve import InferenceEngine, save_catehgn
+
+
+@pytest.fixture(scope="module")
+def fitted(tiny_dataset):
+    config = default_cate_config(dim=16, seed=0, outer_iters=2, mini_iters=2)
+    return CATEHGN(config).fit(tiny_dataset)
+
+
+@pytest.fixture(scope="module")
+def checkpoint_path(fitted, tmp_path_factory):
+    root = tmp_path_factory.mktemp("fleet_ckpt")
+    return save_catehgn(fitted, root / "model.npz")
+
+
+@pytest.fixture(scope="module")
+def fleet(checkpoint_path):
+    f = ServingFleet(str(checkpoint_path), 2, probe_interval=0.2)
+    host, port = f.start()
+    try:
+        yield f, host, port
+    finally:
+        f.shutdown()
+
+
+def _request_raw(host, port, body):
+    """One POST /predict returning (status, headers, parsed body)."""
+    conn = http.client.HTTPConnection(host, port, timeout=30)
+    try:
+        conn.request("POST", "/predict", json.dumps(body),
+                     {"Content-Type": "application/json"})
+        resp = conn.getresponse()
+        payload = json.loads(resp.read() or b"{}")
+        return resp.status, dict(resp.getheaders()), payload
+    finally:
+        conn.close()
+
+
+# ---------------------------------------------------------------------------
+# Serving fleet
+# ---------------------------------------------------------------------------
+
+class TestServingFleet:
+    def test_parity_with_inline_engine(self, fleet, checkpoint_path):
+        _, host, port = fleet
+        engine = InferenceEngine.from_checkpoint(checkpoint_path)
+        ids = list(range(0, int(engine.num_papers), 5))
+        status, body = http_json(host, port, "POST", "/predict",
+                                 {"paper_ids": ids})
+        assert status == 200
+        assert np.allclose(body["predictions"], engine.predict(ids),
+                           rtol=0, atol=0)
+
+    def test_affinity_and_replica_header(self, fleet):
+        _, host, port = fleet
+        body = {"paper_ids": [1, 2, 3]}
+        owners = {_request_raw(host, port, body)[1]["X-Fleet-Replica"]
+                  for _ in range(5)}
+        # Consistent hashing: the identical request always lands on the
+        # same replica (that is what makes per-replica caches useful).
+        assert len(owners) == 1
+
+        spread = {_request_raw(host, port,
+                               {"paper_ids": [i]})[1]["X-Fleet-Replica"]
+                  for i in range(40)}
+        assert spread == {"replica-0", "replica-1"}
+
+    def test_status_healthz_metrics(self, fleet):
+        _, host, port = fleet
+        status, snap = http_json(host, port, "GET", "/fleet/status")
+        assert status == 200
+        assert sorted(snap["ring"]) == ["replica-0", "replica-1"]
+        assert all(r["alive"] for r in snap["replicas"].values())
+
+        status, health = http_json(host, port, "GET", "/healthz")
+        assert status == 200 and health["members"] == 2
+
+        http_json(host, port, "POST", "/predict", {"paper_ids": [4]})
+        status, metrics = http_json(host, port, "GET", "/metrics")
+        assert status == 200
+        assert set(metrics["replicas"]) == {"replica-0", "replica-1"}
+
+    def test_unroutable_method_404(self, fleet):
+        _, host, port = fleet
+        status, _body = http_json(host, port, "GET", "/no-such-endpoint")
+        assert status == 404
+
+
+class TestSelfHealing:
+    def test_replica_kill_under_load_zero_errors(self, checkpoint_path):
+        f = ServingFleet(str(checkpoint_path), 2, probe_interval=0.2)
+        host, port = f.start()
+        try:
+            scripts = predict_scripts(50, 4, 50, seed=5)
+            holder = []
+            load = threading.Thread(
+                target=lambda: holder.append(run_load(host, port, scripts)))
+            load.start()
+            time.sleep(0.2)
+            victim = f.supervisor.replica_names()[0]
+            f.supervisor.kill_replica(victim)
+            load.join(timeout=120)
+            assert not load.is_alive()
+            result = holder[0]
+            assert result.failures == 0
+            assert result.server_errors() == 0
+            assert result.count(200) == result.total == 200
+
+            deadline = time.monotonic() + 60
+            while time.monotonic() < deadline:
+                _, snap = http_json(host, port, "GET", "/fleet/status")
+                rep = snap["replicas"][victim]
+                if rep["alive"] and rep["restarts"] >= 1 \
+                        and victim in snap["ring"]:
+                    break
+                time.sleep(0.2)
+            else:  # pragma: no cover
+                pytest.fail(f"{victim} never restarted")
+        finally:
+            f.shutdown()
+
+
+class TestRollingReload:
+    def test_good_reload_swaps_every_replica(self, checkpoint_path,
+                                             tmp_path):
+        new_dir = tmp_path / "next"
+        new_dir.mkdir()
+        for name in ("model.npz", "model_graph.npz", "model_graph.json"):
+            shutil.copy(checkpoint_path.parent / name, new_dir / name)
+        f = ServingFleet(str(checkpoint_path), 2, probe_interval=0.2)
+        host, port = f.start()
+        try:
+            status, before = http_json(host, port, "POST", "/predict",
+                                       {"paper_ids": [7, 8]})
+            assert status == 200
+            status, report = http_json(
+                host, port, "POST", "/admin/reload",
+                {"path": str(new_dir / "model.npz")}, timeout=300)
+            assert status == 200, report
+            assert report["reloaded"] is True
+            assert sorted(report["swapped"]) == ["replica-0", "replica-1"]
+            status, after = http_json(host, port, "POST", "/predict",
+                                      {"paper_ids": [7, 8]})
+            assert status == 200
+            assert after["predictions"] == before["predictions"]
+        finally:
+            f.shutdown()
+
+    def test_bad_candidate_aborts_with_old_checkpoint_serving(
+            self, checkpoint_path, tmp_path):
+        junk = tmp_path / "junk.npz"
+        np.savez(junk, a=np.zeros(3))
+        f = ServingFleet(str(checkpoint_path), 2, probe_interval=0.2)
+        host, port = f.start()
+        try:
+            status, before = http_json(host, port, "POST", "/predict",
+                                       {"paper_ids": [1, 2]})
+            status, report = http_json(host, port, "POST", "/admin/reload",
+                                       {"path": str(junk)}, timeout=300)
+            assert status == 409
+            assert report["reloaded"] is False
+            assert report.get("swapped") in ([], None, 0)
+            status, after = http_json(host, port, "POST", "/predict",
+                                      {"paper_ids": [1, 2]})
+            assert status == 200
+            assert after["predictions"] == before["predictions"]
+        finally:
+            f.shutdown()
+
+
+# ---------------------------------------------------------------------------
+# Elastic training
+# ---------------------------------------------------------------------------
+
+def _elastic_config():
+    return default_cate_config(dim=8, seed=0, outer_iters=2, mini_iters=1)
+
+
+class TestShardPartition:
+    def test_disjoint_and_covering(self):
+        items = np.arange(501, dtype=np.intp)
+        for k in (1, 2, 3, 5):
+            shards = [shard_items(items, k, s) for s in range(k)]
+            assert sum(len(s) for s in shards) == len(items)
+            assert np.array_equal(
+                np.sort(np.concatenate(shards)), items)
+
+    def test_order_independent(self):
+        items = np.arange(200, dtype=np.intp)
+        rng = np.random.default_rng(3)
+        shuffled = rng.permutation(items)
+        a = set(shard_items(items, 3, 1).tolist())
+        b = set(shard_items(shuffled, 3, 1).tolist())
+        assert a == b
+
+    def test_single_shard_is_identity(self):
+        items = np.arange(40, dtype=np.intp)
+        assert np.array_equal(shard_items(items, 1, 0), items)
+
+    def test_invalid_shard_rejected(self):
+        items = np.arange(10, dtype=np.intp)
+        with pytest.raises(ValueError):
+            shard_items(items, 2, 2)
+        with pytest.raises(ValueError):
+            shard_items(items, 0, 0)
+
+
+class TestElasticTraining:
+    def test_fixed_seed_is_bitwise_reproducible(self, tiny_dataset):
+        runs = [ElasticTrainer(_elastic_config(), num_workers=2,
+                               steps=3).fit(tiny_dataset)
+                for _ in range(2)]
+        assert runs[0].fingerprint == runs[1].fingerprint
+        assert runs[0].seed_hashes == runs[1].seed_hashes
+        assert runs[0].losses == runs[1].losses
+        assert set(runs[0].state) == set(runs[1].state)
+        for key in runs[0].state:
+            assert np.array_equal(runs[0].state[key], runs[1].state[key])
+
+    def test_worker_kill_resumes_bitwise(self, tiny_dataset):
+        reference = ElasticTrainer(_elastic_config(), num_workers=2,
+                                   steps=3).fit(tiny_dataset)
+        assert reference.deaths == []
+        with faults.kill_worker(shard=0, step=1):
+            survived = ElasticTrainer(_elastic_config(), num_workers=2,
+                                      steps=3).fit(tiny_dataset)
+        assert [(d["step"], d["shard"]) for d in survived.deaths] == [(1, 0)]
+        assert survived.fingerprint == reference.fingerprint
+        assert survived.seed_hashes == reference.seed_hashes
+        for key in reference.state:
+            assert np.array_equal(survived.state[key], reference.state[key])

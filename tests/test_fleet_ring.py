@@ -1,0 +1,184 @@
+"""Property-based tests (hypothesis) on the consistent-hash ring.
+
+The ring decides which replica answers which request, so its contracts
+are pinned as properties over random node sets and key streams rather
+than a handful of examples: lookups must be deterministic for a fixed
+seed, keys must spread across members within a statistical balance
+envelope, membership changes must remap only the keys that *had* to
+move (the whole point of consistent hashing), and the failover order
+``successors(key)`` must enumerate every member exactly once starting
+with the owner.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fleet import HashRing
+
+#: Distinct node-name alphabets so generated names never collide with
+#: the fixed members used in remap tests.
+node_names = st.lists(
+    st.text(alphabet="abcdefghij", min_size=1, max_size=8),
+    min_size=1, max_size=8, unique=True)
+
+
+def _keys(n: int):
+    return [f"key-{i}" for i in range(n)]
+
+
+# ---------------------------------------------------------------------------
+# Determinism
+# ---------------------------------------------------------------------------
+
+@settings(max_examples=30, deadline=None)
+@given(nodes=node_names, seed=st.integers(min_value=0, max_value=2**32 - 1))
+def test_lookup_deterministic_for_fixed_seed(nodes, seed):
+    a = HashRing(nodes, seed=seed)
+    b = HashRing(seed=seed)
+    # Same membership reached through a different insertion order must
+    # produce the identical ring (the point set is order-free).
+    for name in reversed(nodes):
+        b.add(name)
+    for key in _keys(200):
+        assert a.lookup(key) == b.lookup(key)
+        assert a.successors(key) == b.successors(key)
+
+
+@settings(max_examples=20, deadline=None)
+@given(nodes=node_names,
+       seed_a=st.integers(min_value=0, max_value=2**16),
+       seed_b=st.integers(min_value=0, max_value=2**16))
+def test_seed_changes_placement_but_not_contract(nodes, seed_a, seed_b):
+    ra, rb = HashRing(nodes, seed=seed_a), HashRing(nodes, seed=seed_b)
+    for key in _keys(50):
+        assert ra.lookup(key) in nodes
+        assert rb.lookup(key) in nodes
+    if seed_a == seed_b:
+        assert [ra.lookup(k) for k in _keys(50)] == \
+            [rb.lookup(k) for k in _keys(50)]
+
+
+# ---------------------------------------------------------------------------
+# Balance
+# ---------------------------------------------------------------------------
+
+@settings(max_examples=15, deadline=None)
+@given(num_nodes=st.integers(min_value=2, max_value=8),
+       seed=st.integers(min_value=0, max_value=2**16))
+def test_keys_spread_across_all_members(num_nodes, seed):
+    nodes = [f"replica-{i}" for i in range(num_nodes)]
+    ring = HashRing(nodes, seed=seed)
+    counts = {n: 0 for n in nodes}
+    total = 2000
+    for key in _keys(total):
+        counts[ring.lookup(key)] += 1
+    # Every member owns traffic, and no member exceeds 3x its fair
+    # share — loose enough for 64 vnodes' variance, tight enough to
+    # catch a broken point set (all keys on one node).
+    assert all(c > 0 for c in counts.values())
+    fair = total / num_nodes
+    assert max(counts.values()) < 3.0 * fair
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**16))
+def test_balance_tightens_with_vnodes(seed):
+    nodes = [f"replica-{i}" for i in range(4)]
+    spreads = []
+    for vnodes in (4, 256):
+        ring = HashRing(nodes, vnodes=vnodes, seed=seed)
+        counts = {n: 0 for n in nodes}
+        for key in _keys(2000):
+            counts[ring.lookup(key)] += 1
+        arr = np.array(list(counts.values()), dtype=float)
+        spreads.append(arr.max() / max(arr.min(), 1.0))
+    # Not strictly monotonic for every seed, but 64x more vnodes must
+    # never make the spread dramatically worse.
+    assert spreads[1] <= spreads[0] * 1.5
+
+
+# ---------------------------------------------------------------------------
+# Minimal remap
+# ---------------------------------------------------------------------------
+
+@settings(max_examples=20, deadline=None)
+@given(num_nodes=st.integers(min_value=2, max_value=8),
+       seed=st.integers(min_value=0, max_value=2**16))
+def test_remove_only_remaps_the_dead_nodes_keys(num_nodes, seed):
+    nodes = [f"replica-{i}" for i in range(num_nodes)]
+    ring = HashRing(nodes, seed=seed)
+    keys = _keys(500)
+    before = {k: ring.lookup(k) for k in keys}
+    victim = nodes[0]
+    ring.remove(victim)
+    for k in keys:
+        after = ring.lookup(k)
+        if before[k] != victim:
+            assert after == before[k], \
+                f"{k} moved {before[k]} -> {after} though its owner lived"
+        else:
+            assert after != victim
+
+
+@settings(max_examples=20, deadline=None)
+@given(num_nodes=st.integers(min_value=1, max_value=7),
+       seed=st.integers(min_value=0, max_value=2**16))
+def test_add_only_steals_keys_for_the_new_node(num_nodes, seed):
+    nodes = [f"replica-{i}" for i in range(num_nodes)]
+    ring = HashRing(nodes, seed=seed)
+    keys = _keys(500)
+    before = {k: ring.lookup(k) for k in keys}
+    ring.add("newcomer")
+    for k in keys:
+        after = ring.lookup(k)
+        assert after == before[k] or after == "newcomer", \
+            f"{k} moved {before[k]} -> {after}, not to the newcomer"
+
+
+@settings(max_examples=15, deadline=None)
+@given(num_nodes=st.integers(min_value=2, max_value=6),
+       seed=st.integers(min_value=0, max_value=2**16))
+def test_remove_then_readd_restores_placement(num_nodes, seed):
+    nodes = [f"replica-{i}" for i in range(num_nodes)]
+    ring = HashRing(nodes, seed=seed)
+    keys = _keys(300)
+    before = {k: ring.lookup(k) for k in keys}
+    ring.remove(nodes[1])
+    ring.add(nodes[1])
+    assert {k: ring.lookup(k) for k in keys} == before
+
+
+# ---------------------------------------------------------------------------
+# Failover order
+# ---------------------------------------------------------------------------
+
+@settings(max_examples=20, deadline=None)
+@given(nodes=node_names, seed=st.integers(min_value=0, max_value=2**16))
+def test_successors_enumerate_every_member_once(nodes, seed):
+    ring = HashRing(nodes, seed=seed)
+    for key in _keys(50):
+        order = ring.successors(key)
+        assert order[0] == ring.lookup(key)
+        assert sorted(order) == sorted(nodes)
+        assert len(set(order)) == len(order)
+
+
+def test_empty_ring_raises():
+    ring = HashRing()
+    try:
+        ring.lookup("anything")
+    except LookupError:
+        pass
+    else:  # pragma: no cover
+        raise AssertionError("lookup on an empty ring must raise")
+
+
+def test_add_remove_idempotent():
+    ring = HashRing(["a", "b"], seed=3)
+    ring.add("a")
+    ring.remove("zzz-not-there")
+    assert ring.nodes == ("a", "b")
+    ring.remove("b")
+    ring.remove("b")
+    assert ring.nodes == ("a",)

@@ -91,6 +91,37 @@ def test_committed_bench_serving_async_section():
         sa["async"]["qps"] / sa["threaded"]["qps"])
 
 
+def test_committed_bench_serving_fleet_section():
+    """Fleet acceptance on the committed ``loadtest --fleet N`` report.
+
+    Pins the robustness claims without re-running the loadtest: every
+    phase (single-replica baseline, fleet steady state, failover with a
+    mid-phase replica SIGKILL) answered every request with zero errors
+    — the failover phase in particular proves the router's ring
+    retries absorbed a replica death without surfacing a single 5xx —
+    the killed replica was restarted by the supervisor, and the
+    latency/QPS fields are sane.
+    """
+    report = json.loads(BENCH_PERF.read_text())
+    sf = report["serving_fleet"]
+    assert sf["num_replicas"] >= 2
+    assert sf["concurrency"] >= 64
+    assert sf["total_requests"] == (sf["concurrency"]
+                                    * sf["requests_per_client"])
+    for phase in ("single_async", "fleet", "failover"):
+        res = sf[phase]
+        assert res["requests"] == sf["total_requests"], phase
+        assert res["errors"] == 0, phase
+        assert res["qps"] > 0, phase
+        assert 0 < res["p50_ms"] <= res["p99_ms"], phase
+    assert sf["failover"]["victim_restarts"] >= 1
+    assert sf["failover"]["kill_after_s"] > 0
+    assert sf["fleet_qps_vs_single_async"] == pytest.approx(
+        sf["fleet"]["qps"] / sf["single_async"]["qps"])
+    assert sf["failover_qps_fraction"] == pytest.approx(
+        sf["failover"]["qps"] / sf["fleet"]["qps"])
+
+
 def test_committed_bench_sampling_section():
     """On-disk minibatch sampling acceptance: the committed report has
     papers/s at 100k AND 1M papers, sampled without loading the store

@@ -1,0 +1,144 @@
+"""Memory-mapped checkpoint loading: no-copy guarantee, parity, safety.
+
+``mmap_mode="r"`` exists so N fleet replicas can share one page-cache
+copy of the graph payload instead of materializing N private heaps.
+These tests pin the contract from both ends: the arrays really are
+read-only memmaps backed by the extraction cache (not silent copies —
+``np.load`` *ignores* ``mmap_mode`` for zip containers, which is easy
+to regress), a tracemalloc ceiling proves the Python heap never pays
+for the payload, predictions are bitwise-identical to the regular
+loader's, the sibling cache is reused across loads, and a corrupted
+npz is rejected at extraction time (the mmap path skips the whole-file
+digest check, so the zip CRC *is* the integrity story).
+"""
+
+import tracemalloc
+
+import numpy as np
+import pytest
+
+from repro.core import CATEHGN
+from repro.data import load_graph, save_graph
+from repro.data.io import MMAP_CACHE_SUFFIX, mmap_npz
+from repro.eval.runner import default_cate_config
+from repro.serve import InferenceEngine, load_checkpoint, save_catehgn
+
+
+@pytest.fixture(scope="module")
+def checkpoint_path(tiny_dataset, tmp_path_factory):
+    config = default_cate_config(dim=16, seed=0, outer_iters=2, mini_iters=2)
+    est = CATEHGN(config).fit(tiny_dataset)
+    root = tmp_path_factory.mktemp("mmap_ckpt")
+    return save_catehgn(est, root / "model.npz")
+
+
+class TestMmapNpz:
+    def test_members_are_readonly_memmaps(self, tmp_path):
+        path = tmp_path / "arrays.npz"
+        np.savez(path, a=np.arange(12.0).reshape(3, 4),
+                 b=np.array([1, 2, 3], dtype=np.int64))
+        loaded = mmap_npz(path)
+        assert set(loaded) == {"a", "b"}
+        for name in ("a", "b"):
+            assert isinstance(loaded[name], np.memmap)
+            assert not loaded[name].flags.writeable
+        assert np.array_equal(loaded["a"],
+                              np.arange(12.0).reshape(3, 4))
+
+    def test_cache_dir_reused_across_loads(self, tmp_path):
+        path = tmp_path / "arrays.npz"
+        np.savez(path, a=np.zeros(5))
+        mmap_npz(path)
+        cache = path.with_name(path.name + MMAP_CACHE_SUFFIX)
+        assert cache.is_dir()
+        stamp = {p.name: p.stat().st_mtime_ns for p in cache.iterdir()}
+        mmap_npz(path)
+        assert {p.name: p.stat().st_mtime_ns
+                for p in cache.iterdir()} == stamp
+
+    def test_rewritten_npz_invalidates_cache(self, tmp_path):
+        path = tmp_path / "arrays.npz"
+        np.savez(path, a=np.zeros(4))
+        assert float(mmap_npz(path)["a"][0]) == 0.0
+        np.savez(path, a=np.full(4, 7.0))
+        assert float(mmap_npz(path)["a"][0]) == 7.0
+
+    def test_corrupt_member_rejected(self, tmp_path):
+        path = tmp_path / "arrays.npz"
+        np.savez(path, payload=np.arange(4096.0))
+        raw = bytearray(path.read_bytes())
+        # Flip bytes in the middle of the stored member data; the zip
+        # CRC check at extraction must catch it.
+        mid = len(raw) // 2
+        for i in range(mid, mid + 8):
+            raw[i] ^= 0xFF
+        path.write_bytes(bytes(raw))
+        with pytest.raises((ValueError, OSError)):
+            mmap_npz(path)
+
+
+class TestMmapCheckpoint:
+    def test_checkpoint_arrays_memmapped(self, checkpoint_path):
+        ckpt = load_checkpoint(checkpoint_path, mmap_mode="r")
+        assert any(isinstance(a, np.memmap) for a in ckpt.state.values())
+
+    def test_graph_arrays_memmapped(self, tiny_dataset, tmp_path):
+        def backed_by_memmap(arr):
+            while arr is not None:
+                if isinstance(arr, np.memmap):
+                    return True
+                arr = getattr(arr, "base", None)
+            return False
+
+        save_graph(tiny_dataset.graph, tmp_path / "g")
+        graph = load_graph(tmp_path / "g", mmap_mode="r")
+        feats = graph.node_features
+        assert feats and all(backed_by_memmap(a) for a in feats.values())
+
+    def test_invalid_mode_rejected(self, checkpoint_path):
+        with pytest.raises(ValueError, match="mmap_mode"):
+            load_checkpoint(checkpoint_path, mmap_mode="r+")
+
+    def test_prediction_parity_bitwise(self, checkpoint_path):
+        regular = InferenceEngine.from_checkpoint(checkpoint_path)
+        mapped = InferenceEngine.from_checkpoint(checkpoint_path,
+                                                 mmap_mode="r")
+        ids = list(range(0, int(regular.num_papers), 7))
+        a = regular.predict(ids)
+        b = mapped.predict(ids)
+        assert np.array_equal(a, b)
+        assert np.array_equal(regular.predict_all(), mapped.predict_all())
+
+    def test_tracemalloc_ceiling(self, tmp_path):
+        """The array payload must not land on the Python heap.
+
+        An 8 MiB payload loaded through ``mmap_npz`` (warm extraction
+        cache) must allocate a small fraction of its size — the bytes
+        stay in the page cache; only ndarray headers hit the heap.
+        ``np.load`` on the same file pays the full payload, which pins
+        that the ceiling is real and not just a tiny workload.
+        """
+        payload = 8 * 2**20
+        arr = np.arange(payload // 8, dtype=np.float64)
+        path = tmp_path / "big.npz"
+        np.savez(path, payload=arr)
+        mmap_npz(path)  # warm the extraction cache outside the trace
+
+        def traced(load):
+            tracemalloc.start()
+            try:
+                before, _ = tracemalloc.get_traced_memory()
+                loaded = load()
+                total = float(np.asarray(loaded["payload"][:16]).sum())
+                after, _ = tracemalloc.get_traced_memory()
+            finally:
+                tracemalloc.stop()
+            assert total == float(arr[:16].sum())
+            return after - before
+
+        mmap_heap = traced(lambda: mmap_npz(path))
+        copy_heap = traced(
+            lambda: dict(np.load(path, allow_pickle=False).items()))
+        assert mmap_heap < 0.1 * payload, \
+            f"mmap load allocated {mmap_heap} bytes of {payload}"
+        assert copy_heap > 0.9 * payload  # the comparison is meaningful
