@@ -45,6 +45,16 @@ def _bench_serving_fleet(quick: bool) -> dict:
                                concurrency=1000, per_client=5)
 
 
+def _bench_elastic_tcp(quick: bool) -> dict:
+    from .elastic import bench_elastic_tcp
+
+    if quick:
+        return bench_elastic_tcp(worker_counts=(2,), steps=4,
+                                 concurrency=32)
+    return bench_elastic_tcp(worker_counts=(2, 4), steps=8,
+                             concurrency=100)
+
+
 #: Individually re-runnable report sections for ``--section``: measuring
 #: one subsystem must not require re-timing the whole harness.
 SECTIONS = {
@@ -61,12 +71,13 @@ SECTIONS = {
         batches=5 if quick else 20),
     "serving_async": _bench_serving_async,
     "serving_fleet": _bench_serving_fleet,
+    "elastic_tcp": _bench_elastic_tcp,
 }
 
 #: Sections that ``run_all`` does not re-measure (they need their own
 #: entry point); preserved verbatim when the full harness rewrites the
 #: report so a plain ``python -m benchmarks.perf`` never drops them.
-PRESERVED_SECTIONS = ("serving_async", "serving_fleet")
+PRESERVED_SECTIONS = ("serving_async", "serving_fleet", "elastic_tcp")
 
 
 def summarize(report: dict) -> str:
@@ -161,6 +172,26 @@ def summarize(report: dict) -> str:
             f"steady)  errors {fo['errors']}  "
             f"p99 {fo['p99_ms']:.1f}ms"
         )
+    et = report.get("elastic_tcp")
+    if et:  # absent until `python -m benchmarks.perf --section elastic_tcp`
+        for count, entry in et["by_workers"].items():
+            match = "ok" if entry["fingerprint_match"] else "MISMATCH"
+            lines.append(
+                f"elastic K={count} step     "
+                f"shm {entry['shm']['step_mean_s'] * 1e3:.0f}ms  "
+                f"tcp {entry['tcp']['step_mean_s'] * 1e3:.0f}ms "
+                f"({entry['tcp_overhead']:.2f}x)  bitwise {match}  "
+                f"errors {entry['transport_errors']}"
+            )
+        to = et["takeover"]
+        if to["takeover_s"] is not None:
+            lines.append(
+                f"router takeover       "
+                f"{to['blackout_s'] * 1e3:.0f}ms kill→promoted "
+                f"(rebind {to['takeover_s'] * 1e3:.0f}ms)  "
+                f"{to['requests_failed']}/{to['requests_total']} "
+                f"requests failed"
+            )
     return "\n".join(lines)
 
 

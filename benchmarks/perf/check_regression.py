@@ -109,6 +109,37 @@ def main() -> int:
             if errors:
                 print(f"REGRESSION: serving_fleet failover phase saw "
                       f"{errors} non-200 responses (must be 0)")
+        fresh_et = fresh.get("elastic_tcp")
+        if fresh_et:
+            # Pure correctness gates: the socket transport must replay
+            # the shared-memory trajectory bit-for-bit with zero
+            # transport-level errors, and the standby takeover must not
+            # fail a single client request.  No baseline needed.
+            for count, entry in sorted(fresh_et["by_workers"].items()):
+                errors = int(entry["transport_errors"])
+                mismatch = not entry["fingerprint_match"]
+                if errors or mismatch:
+                    failed = True
+                    reason = " and ".join(
+                        ([f"{errors} transport errors"] if errors else [])
+                        + (["shm/tcp fingerprint mismatch"]
+                           if mismatch else []))
+                    print(f"REGRESSION: elastic_tcp K={count} saw {reason} "
+                          f"(must be 0 errors, bitwise match)")
+                else:
+                    print(f"OK: elastic_tcp K={count} bitwise match, "
+                          f"0 transport errors "
+                          f"({entry['tcp_overhead']:.2f}x shm step time)")
+            dropped = int(fresh_et["takeover"]["requests_failed"])
+            if dropped:
+                failed = True
+                print(f"REGRESSION: router takeover failed {dropped} "
+                      f"client requests (must be 0)")
+            else:
+                takeover_s = fresh_et["takeover"]["takeover_s"]
+                shown = (f"{takeover_s * 1e3:.0f}ms"
+                         if takeover_s is not None else "n/a")
+                print(f"OK: router takeover {shown}, 0 failed requests")
 
     return 1 if failed else 0
 

@@ -1,0 +1,136 @@
+"""Elastic-training transport benchmark (DESIGN §18).
+
+``python -m benchmarks.perf --section elastic_tcp`` times the K-worker
+all-reduce training step over both gradient transports — the same-host
+shared-memory fast path and the length-prefixed socket layer — and
+measures the warm-standby router takeover.
+
+Per worker count the section reports the per-step wall time of each
+transport (a one-step run is timed separately and subtracted, so the
+figure isolates the steady-state step from graph build + worker spawn),
+the TCP overhead factor, and two correctness fields the regression gate
+enforces: ``fingerprint_match`` (the TCP run must replay the
+shared-memory trajectory bit-for-bit) and ``transport_errors`` (RPC
+handler errors + codec errors, required to be zero — a lossy or
+corrupting transport that still converges is not a pass).
+
+The takeover phase boots a ``ServingFleet(standby=True)``, drives a
+keep-alive client load, SIGKILLs the active router mid-run, and commits
+the standby's measured promotion latency plus the number of client
+requests that failed across the switch (required to be zero).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, Sequence
+
+from ..common import bench_config, bench_datasets
+
+#: Delay between starting the client load and killing the active
+#: router: long enough that the kill lands mid-load, short enough that
+#: plenty of requests remain to exercise the promoted twin.
+KILL_AFTER_S = 0.3
+
+
+def _time_fit(config, dataset, *, num_workers: int, steps: int,
+              transport: str):
+    from repro.fleet import ElasticTrainer
+
+    start = time.perf_counter()
+    result = ElasticTrainer(config, num_workers=num_workers, steps=steps,
+                            transport=transport).fit(dataset)
+    return time.perf_counter() - start, result
+
+
+def bench_elastic_tcp(worker_counts: Sequence[int] = (2, 4),
+                      steps: int = 8, concurrency: int = 100,
+                      per_client: int = 4,
+                      seed: int = 7) -> Dict[str, object]:
+    """shm-vs-tcp all-reduce step time per K + standby takeover latency."""
+    from repro.core import CATEHGN
+    from repro.fleet import ServingFleet
+    from repro.fleet.client import predict_scripts, run_load
+
+    dataset = bench_datasets()["full"]
+    config = bench_config(dim=16, outer_iters=2, mini_iters=1)
+
+    by_workers: Dict[str, dict] = {}
+    for num_workers in worker_counts:
+        entry: Dict[str, object] = {}
+        results = {}
+        for transport in ("shm", "tcp"):
+            # The one-step run pays the same estimator build + worker
+            # spawn as the measured run; the difference is pure steps.
+            setup_s, _ = _time_fit(config, dataset,
+                                   num_workers=num_workers, steps=1,
+                                   transport=transport)
+            wall_s, result = _time_fit(config, dataset,
+                                       num_workers=num_workers,
+                                       steps=steps, transport=transport)
+            results[transport] = result
+            entry[transport] = {
+                "wall_s": float(wall_s),
+                "setup_s": float(setup_s),
+                "step_mean_s": float((wall_s - setup_s) / (steps - 1)),
+            }
+        rpc = {key: int(value) for key, value
+               in results["tcp"].transport_stats["rpc"].items()}
+        entry["tcp"]["rpc"] = rpc
+        entry["fingerprint_match"] = bool(
+            results["tcp"].fingerprint == results["shm"].fingerprint)
+        entry["transport_errors"] = rpc["errors"] + rpc["codec_errors"]
+        entry["deaths"] = len(results["tcp"].deaths)
+        entry["tcp_overhead"] = float(
+            entry["tcp"]["step_mean_s"]
+            / max(entry["shm"]["step_mean_s"], 1e-12))
+        by_workers[str(num_workers)] = entry
+
+    # -- warm-standby takeover under load --------------------------------
+    import tempfile
+    from pathlib import Path
+
+    est = CATEHGN(bench_config(outer_iters=2)).fit(dataset)
+    with tempfile.TemporaryDirectory() as tmp:
+        path = est.save_checkpoint(Path(tmp) / "model")
+        fleet = ServingFleet(str(path), 2, probe_interval=0.2,
+                             standby=True)
+        host, port = fleet.start()
+        try:
+            scripts = predict_scripts(concurrency, per_client,
+                                      int(dataset.num_papers), seed=seed)
+            holder = []
+            load = threading.Thread(
+                target=lambda: holder.append(run_load(host, port, scripts)))
+            load.start()
+            time.sleep(KILL_AFTER_S)
+            kill_t0 = time.perf_counter()
+            fleet.kill_active()
+            promoted = fleet.standby.promoted.wait(10)
+            # Kill → promoted: lease-expiry detection plus the port
+            # rebind — the window clients bridge with retries.
+            blackout_s = time.perf_counter() - kill_t0
+            load.join(timeout=120)
+            takeover_s = fleet.standby.takeover_seconds
+            syncs = fleet.standby.syncs
+        finally:
+            fleet.shutdown()
+    result = holder[0]
+
+    return {
+        "steps": int(steps),
+        "worker_counts": [int(k) for k in worker_counts],
+        "num_papers": int(dataset.num_papers),
+        "by_workers": by_workers,
+        "takeover": {
+            "promoted": bool(promoted),
+            "blackout_s": float(blackout_s),
+            "takeover_s": float(takeover_s) if takeover_s else None,
+            "membership_syncs": int(syncs),
+            "concurrency": int(concurrency),
+            "requests_total": int(result.total),
+            "requests_failed": int(result.failures
+                                   + result.server_errors()),
+        },
+    }

@@ -1,4 +1,4 @@
-"""Static lock-discipline analyzer for the repro codebase (rules A001-A006).
+"""Static lock-discipline analyzer for the repro codebase (rules A001-A007).
 
 The serving layer (``repro.serve``) runs every request on its own thread
 and protects shared state with hand-rolled ``threading.Lock``s.  The
@@ -50,6 +50,18 @@ A006
     calls (``await event.wait()``) and calls wrapped in
     ``asyncio.wait_for(...)`` are exempt — asyncio waits are
     cancellable, not stuck.
+A007
+    Network call hygiene, two shapes.  (a) A ``socket.socket()`` bound
+    to a name with no ``settimeout(...)`` call on that name anywhere in
+    the same scope: a timeout-less socket turns every ``recv``/
+    ``accept``/``connect`` on it into an unbounded wait — the
+    socket-level twin of A006.  (b) A retry loop whose backoff grows
+    without a cap: ``delay *= 2`` inside a loop, with ``delay`` fed
+    straight into a ``sleep``/``wait`` and never clamped by ``min()``
+    — one flaky peer and the retry interval runs away to minutes.
+    The blessed shapes are ``sock.settimeout(...)`` right after
+    creation and :func:`repro.fleet.transport.backoff_delays` (capped,
+    seeded jitter) for every retry schedule.
 
 Annotation grammar
 ------------------
@@ -114,6 +126,7 @@ ARULES: Dict[str, str] = {
     "A004": "re-entrant acquisition of a non-reentrant Lock",
     "A005": "blocking call inside an async def (stalls the event loop)",
     "A006": "unbounded process/pipe wait (join/wait/recv without deadline)",
+    "A007": "socket without settimeout, or retry backoff without a cap",
 }
 
 #: Constructor leaf names that create a *non-reentrant* mutex.
@@ -959,6 +972,160 @@ def _check_a006(tree: ast.AST, path: str) -> List[Violation]:
 
 
 # ----------------------------------------------------------------------
+# A007: timeout-less sockets and uncapped retry backoff
+# ----------------------------------------------------------------------
+def _a007_scopes(tree: ast.AST) -> Iterable[Tuple[ast.AST, List[ast.stmt]]]:
+    """Yield ``(scope_node, body)`` for the module and every def.
+
+    A socket created in one function and configured in another cannot be
+    matched statically, so creation and ``settimeout`` are required to
+    share a scope — which is also the only shape the tree uses.
+    """
+    yield tree, list(getattr(tree, "body", []))
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node, list(node.body)
+
+
+def _scope_walk(body: Sequence[ast.stmt]) -> Iterable[ast.AST]:
+    """Walk ``body`` without descending into nested function scopes."""
+    stack: List[ast.AST] = list(body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.Lambda)):
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _is_socket_ctor(call: ast.Call) -> bool:
+    chain = _attribute_chain(call.func)
+    if not chain:
+        return False
+    dotted = ".".join(chain)
+    return (dotted == "socket"          # from socket import socket
+            or dotted == "socket.socket"
+            or dotted.endswith(".socket.socket"))
+
+
+def _target_repr(node: ast.AST) -> Optional[str]:
+    """Dotted name a socket is bound to (``sock``, ``self._sock``)."""
+    chain = _attribute_chain(node)
+    return ".".join(chain) if chain else None
+
+
+def _a007_sockets(body: Sequence[ast.stmt], path: str) -> List[Violation]:
+    created: List[Tuple[str, int]] = []
+    bounded: Set[str] = set()
+    for node in _scope_walk(body):
+        if isinstance(node, ast.Assign):
+            if isinstance(node.value, ast.Call) and _is_socket_ctor(node.value):
+                for target in node.targets:
+                    name = _target_repr(target)
+                    if name:
+                        created.append((name, node.lineno))
+        elif isinstance(node, ast.withitem):
+            if (isinstance(node.context_expr, ast.Call)
+                    and _is_socket_ctor(node.context_expr)
+                    and node.optional_vars is not None):
+                name = _target_repr(node.optional_vars)
+                if name:
+                    created.append((name, node.context_expr.lineno))
+        elif isinstance(node, ast.Call):
+            if (isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "settimeout"):
+                name = _target_repr(node.func.value)
+                if name:
+                    bounded.add(name)
+    return [
+        Violation(
+            "A007",
+            path,
+            lineno,
+            f"socket {name!r} never gets a settimeout(); every recv/"
+            "accept/connect on it can hang forever — call "
+            f"{name}.settimeout(...) right after creation",
+        )
+        for name, lineno in created
+        if name not in bounded
+    ]
+
+
+#: Call leaves whose argument is a delay the caller sleeps/waits for.
+_A007_SLEEPERS = {"sleep", "wait"}
+
+
+def _a007_backoff(loop: ast.AST, path: str) -> List[Violation]:
+    body = list(getattr(loop, "body", [])) + list(getattr(loop, "orelse", []))
+    nodes = list(_scope_walk(body))
+    growers: Dict[str, int] = {}
+    for node in nodes:
+        if (isinstance(node, ast.AugAssign)
+                and isinstance(node.op, ast.Mult)
+                and isinstance(node.target, ast.Name)
+                and isinstance(node.value, ast.Constant)
+                and isinstance(node.value.value, (int, float))
+                and node.value.value > 1):
+            growers.setdefault(node.target.id, node.lineno)
+    if not growers:
+        return []
+    capped: Set[str] = set()
+    slept: Set[str] = set()
+    for node in nodes:
+        if not isinstance(node, ast.Call):
+            continue
+        chain = _attribute_chain(node.func)
+        if not chain:
+            continue
+        if chain[-1] == "min":
+            # min(cap, delay) anywhere in the loop caps the grower,
+            # whether inline in the sleep or via delay = min(cap, delay).
+            for arg in ast.walk(node):
+                if isinstance(arg, ast.Name) and arg.id in growers:
+                    capped.add(arg.id)
+        elif chain[-1] in _A007_SLEEPERS:
+            args = list(node.args) + [
+                kw.value for kw in node.keywords if kw.arg == "timeout"
+            ]
+            for arg in args:
+                if isinstance(arg, ast.Name) and arg.id in growers:
+                    slept.add(arg.id)
+    return [
+        Violation(
+            "A007",
+            path,
+            growers[name],
+            f"retry backoff {name!r} doubles forever with no cap; one "
+            "flaky peer and the retry interval runs away — clamp it "
+            f"(e.g. {name} = min(cap, {name} * 2)) or draw delays from "
+            "repro.fleet.transport.backoff_delays()",
+        )
+        for name in sorted(slept)
+        if name not in capped
+    ]
+
+
+def _check_a007(tree: ast.AST, path: str) -> List[Violation]:
+    """Flag timeout-less sockets and uncapped retry backoff.
+
+    Both shapes are the quiet precursors of the hangs A006 catches at
+    the call site: a socket created without ``settimeout`` makes every
+    later ``recv``/``accept`` unbounded, and an uncapped ``delay *= 2``
+    retry loop converts one flaky peer into minutes of dead air.  The
+    transport layer's :func:`~repro.fleet.transport.backoff_delays`
+    (capped, seeded jitter) is the sanctioned retry schedule.
+    """
+    found: List[Violation] = []
+    for _scope, body in _a007_scopes(tree):
+        found += _a007_sockets(body, path)
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.While, ast.For, ast.AsyncFor)):
+            found += _a007_backoff(node, path)
+    return found
+
+
+# ----------------------------------------------------------------------
 # Driver
 # ----------------------------------------------------------------------
 def analyze_sources(
@@ -990,6 +1157,8 @@ def analyze_sources(
             violations += _check_a005(tree, path)
         if "A006" in active:
             violations += _check_a006(tree, path)
+        if "A007" in active:
+            violations += _check_a007(tree, path)
 
     program = _Program(models)
     if "A001" in active:
@@ -1033,7 +1202,7 @@ def analyze_paths(
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis.concurrency",
-        description="Static lock-discipline analysis (rules A001-A006; "
+        description="Static lock-discipline analysis (rules A001-A007; "
         "see repro.analysis.concurrency.static docstring).",
     )
     parser.add_argument("paths", nargs="*", help="files or directories")

@@ -1,29 +1,49 @@
-"""Self-healing serving fleet + elastic multi-process training (DESIGN §17).
+"""Self-healing serving fleet + elastic multi-process training (DESIGN §17–§18).
 
 Serving: :class:`ServingFleet` runs N replica subprocesses (each the
 PR-8 asyncio server, memory-mapping a shared checkpoint) behind a
 consistent-hash router with health-probed failover, supervised restarts,
-and rolling checkpoint reloads.
+lease-based membership, rolling checkpoint reloads, and an optional
+warm-standby router twin that takes over the public port if the active
+router dies.
 
 Training: :class:`ElasticTrainer` runs K worker processes over
-shard-disjoint minibatch partitions with a deterministic shared-memory
-gradient all-reduce and fingerprint-checked worker-death recovery.
+shard-disjoint minibatch partitions with a deterministic gradient
+all-reduce — shared-memory on one host, or the fault-hardened
+:mod:`~repro.fleet.transport` socket layer across machines (same
+bitwise trajectory either way) — with fingerprint-checked worker-death
+recovery and epoch fencing against zombie workers.
 """
 
 from .coordinator import ElasticResult, ElasticTrainer
 from .heartbeat import http_json, probe_once, wait_healthy
 from .ring import HashRing
 from .router import BackgroundRouter, FleetRouter
+from .standby import RouterControl, RouterStandby
 from .supervisor import FleetSupervisor, ReplicaHandle, ServingFleet
+from .transport import (CallTimeout, CodecError, FaultyTransport,
+                        FenceRegistry, LeaseTable, PeerDead, RpcClient,
+                        RpcError, RpcServer)
 
 __all__ = [
     "BackgroundRouter",
+    "CallTimeout",
+    "CodecError",
     "ElasticResult",
     "ElasticTrainer",
+    "FaultyTransport",
+    "FenceRegistry",
     "FleetRouter",
     "FleetSupervisor",
     "HashRing",
+    "LeaseTable",
+    "PeerDead",
     "ReplicaHandle",
+    "RouterControl",
+    "RouterStandby",
+    "RpcClient",
+    "RpcError",
+    "RpcServer",
     "ServingFleet",
     "http_json",
     "probe_once",

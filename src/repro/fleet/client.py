@@ -23,7 +23,9 @@ from typing import Dict, List, Sequence, Tuple
 __all__ = ["LoadResult", "run_load", "predict_scripts"]
 
 #: Re-dial attempts per request before recording a client-side failure.
-CLIENT_RETRIES = 5
+#: Sized so the cumulative backoff (~3.1s) comfortably covers a router
+#: standby takeover window (lease TTL + detection + rebind, ~1.5s).
+CLIENT_RETRIES = 6
 #: First retry backoff; doubles per attempt.
 RETRY_BACKOFF = 0.05
 #: Per-request wall-clock bound (connect + write + read).

@@ -1,4 +1,4 @@
-"""Elastic data-parallel training coordinator (DESIGN §17).
+"""Elastic data-parallel training coordinator (DESIGN §17–§18).
 
 :class:`ElasticTrainer` drives K forked worker processes, each owning a
 shard-disjoint :class:`~repro.data.sampling.MinibatchSampler` partition
@@ -6,27 +6,36 @@ of the labeled seed set (hash partition via
 :func:`~repro.data.sampling.shard_items`; neighbor expansion reads the
 full CSC, so out-of-shard halo nodes need no exchange).  Per step:
 
-1. publish the current flat parameter vector into shared memory;
+1. publish the current flat parameter vector (shared memory or RPC);
 2. command every worker to compute its shard gradient;
 3. collect acks with **bounded** waits (``poll(timeout)`` — never an
    unbounded ``join``/``recv``, analyzer rule A006);
-4. all-reduce: sum the K shared-memory gradient slices in a *seeded
-   permutation order* ``default_rng([seed, 11, step]).permutation(K)``,
-   divide by K, clip, Adam-step.
+4. all-reduce: sum the K gradient slices in a *seeded permutation
+   order* ``default_rng([seed, 11, step]).permutation(K)``, divide by
+   K, clip, Adam-step.
 
 Because float addition is not associative, a fixed K needs a fixed
 summation order for bitwise reproducibility — but that order must not
 depend on worker *arrival* order (which is racy) or shard index alone
 (which would hide order bugs); the seeded per-step permutation gives a
-deterministic yet step-varying order.
+deterministic yet step-varying order.  The order, the step kernel, and
+the fingerprint chain are shared by both transports, which is why a
+fixed ``(seed, K)`` replays the same trajectory **bitwise** whether the
+gradients travel through shared memory (``transport="shm"``, the local
+fast path) or sockets (``transport="tcp"``, the cross-machine path).
 
-Worker death (process exit, or a step ack that never arrives) is a
-handled event: the dead shard's sampler is rebuilt from its **last-acked
-state** — its state at the *start* of the in-flight step, since acks
-carry post-step sampler state — a replacement is forked, and the same
-step command is re-issued.  The replacement recomputes the identical
-minibatch and gradient (see :mod:`repro.fleet.worker`), so the whole
-run's trajectory fingerprint matches an undisturbed run's bitwise.
+Worker death is a handled event on both transports.  Shared memory
+detects it by process exit; TCP detects process exit *or* an expired
+**heartbeat lease** (a partitioned worker stops renewing).  Either way
+the dead shard's sampler is rebuilt from its **last-acked state** — its
+state at the *start* of the in-flight step, since acks carry post-step
+sampler state — a replacement is forked, and the same step is
+re-issued; the replacement recomputes the identical minibatch and
+gradient.  On TCP the replacement is additionally born with an advanced
+**fencing generation**: if the "dead" predecessor was merely
+partitioned and later reconnects, every call it makes is rejected as
+``fenced`` — recorded, never reduced — so a zombie cannot corrupt a
+step it no longer owns.
 """
 
 from __future__ import annotations
@@ -35,13 +44,16 @@ import copy
 import dataclasses
 import hashlib
 import multiprocessing
+import threading
 import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
-from .worker import WorkerContext, flatten_arrays, worker_loop
+from .transport import FenceRegistry, LeaseTable, RpcServer
+from .worker import (TcpWorkerContext, WorkerContext, flatten_arrays,
+                     tcp_worker_loop, worker_loop)
 
 __all__ = ["ElasticResult", "ElasticTrainer"]
 
@@ -49,6 +61,10 @@ __all__ = ["ElasticResult", "ElasticTrainer"]
 STEP_TIMEOUT = 300.0
 #: Granularity of the coordinator's ack-polling sweep.
 POLL_INTERVAL = 0.05
+#: Default TCP worker lease TTL.  Generous: a lease only has to outlive
+#: one step's compute (workers renew on every RPC) — drills shrink it to
+#: detect a partition quickly.
+LEASE_TTL = 30.0
 
 
 @dataclass
@@ -57,6 +73,8 @@ class ElasticResult:
 
     steps: int
     num_workers: int
+    #: Which transport carried the gradients ("shm" or "tcp").
+    transport: str = "shm"
     #: ``losses[t][s]`` — shard ``s``'s loss at step ``t``.
     losses: List[List[float]] = field(default_factory=list)
     #: ``seed_hashes[t][s]`` — hash of shard ``s``'s seed batch at ``t``.
@@ -67,10 +85,14 @@ class ElasticResult:
     state: Dict[str, np.ndarray] = field(default_factory=dict)
     #: One record per worker death the run absorbed.
     deaths: List[Dict[str, Any]] = field(default_factory=list)
+    #: One record per fenced (stale-generation) call rejected (tcp only).
+    fenced: List[Dict[str, Any]] = field(default_factory=list)
+    #: Transport counters (tcp only): rpc server + codec error counts.
+    transport_stats: Dict[str, Any] = field(default_factory=dict)
 
 
 class _Worker:
-    """Coordinator-side handle: process + pipe + shard bookkeeping."""
+    """Coordinator-side handle: process + channel + shard bookkeeping."""
 
     def __init__(self, shard: int) -> None:
         self.shard = shard
@@ -78,6 +100,74 @@ class _Worker:
         self.conn: Any = None
         self.last_acked_state: Optional[Dict[str, Any]] = None
         self.restarts = 0
+
+
+class _TcpState:
+    """Coordinator state the RPC handler threads serve to workers.
+
+    ``params_vec`` is replaced wholesale each step (never mutated), so a
+    handler may hand the current reference to the codec without copying.
+    """
+
+    def __init__(self, num_shards: int, param_count: int,
+                 lease_ttl: float) -> None:
+        self.lock = threading.Lock()
+        self.params_vec: Optional[np.ndarray] = None  # guarded-by: lock
+        self.step: Optional[int] = None  # guarded-by: lock
+        self.acks: Dict[int, Dict[str, Any]] = {}  # guarded-by: lock
+        self.grads = np.zeros((num_shards, param_count),
+                              dtype=np.float64)  # guarded-by: lock
+        self.stopping = False  # guarded-by: lock
+        self.param_count = param_count
+        self.fences = FenceRegistry()
+        self.leases = LeaseTable(lease_ttl)
+
+    @staticmethod
+    def _name(shard: int) -> str:
+        return f"shard-{shard}"
+
+    # -- RPC handlers (run on RpcServer connection threads) -------------
+    def handle_get_command(self, payload: dict) -> dict:
+        shard = int(payload["shard"])
+        gen = int(payload["gen"])
+        name = self._name(shard)
+        if not self.fences.check(name, gen, context="get_command"):
+            return {"cmd": "fenced"}
+        self.leases.renew(name)
+        with self.lock:
+            if self.stopping:
+                return {"cmd": "stop"}
+            if self.step is None or shard in self.acks:
+                return {"cmd": "wait"}
+            return {"cmd": "step", "step": self.step,
+                    "params": self.params_vec}
+
+    def handle_push_result(self, payload: dict) -> dict:
+        shard = int(payload["shard"])
+        gen = int(payload["gen"])
+        step = int(payload["step"])
+        name = self._name(shard)
+        if not self.fences.check(name, gen, context="push_result"):
+            return {"cmd": "fenced", "status": "fenced"}
+        self.leases.renew(name)
+        grad = np.asarray(payload["grad"], dtype=np.float64)
+        if grad.shape != (self.param_count,):
+            return {"status": "bad_shape"}
+        with self.lock:
+            if self.step != step:
+                # An answer to a step the coordinator already closed out.
+                return {"status": "stale_step"}
+            if shard in self.acks:
+                return {"status": "dup"}
+            self.grads[shard, :] = grad
+            self.acks[shard] = {
+                "step": step, "shard": shard,
+                "loss": float(payload["loss"]),
+                "seeds_hash": str(payload["seeds_hash"]),
+                "grad_hash": str(payload["grad_hash"]),
+                "sampler_state": payload["sampler_state"],
+            }
+        return {"status": "ok"}
 
 
 class ElasticTrainer:
@@ -89,14 +179,30 @@ class ElasticTrainer:
     the elastic step loop then replaces the mini-iteration phase of
     Algorithm 1.  Center updates and TE refinement stay out of scope
     here (they are full-batch, serial phases; ROADMAP item 1 notes).
+
+    ``transport`` selects the gradient-exchange path: ``"shm"`` (shared
+    memory, same-host fast path) or ``"tcp"`` (the DESIGN §18 socket
+    transport with leases and fencing).  ``endpoint_factory(shard, gen,
+    address)`` — tcp only — maps a worker generation to the coordinator
+    address it should dial; drills use it to route one generation
+    through a :class:`~repro.fleet.transport.FaultyTransport` proxy.
     """
 
     def __init__(self, config, num_workers: int = 2, *, steps: int = 8,
                  batch_size: int = 32, fanouts=5,
                  step_timeout: float = STEP_TIMEOUT,
-                 step_seed: Optional[int] = None) -> None:
+                 step_seed: Optional[int] = None,
+                 transport: str = "shm",
+                 lease_ttl: float = LEASE_TTL,
+                 host: str = "127.0.0.1",
+                 endpoint_factory: Optional[
+                     Callable[[int, int, Tuple[str, int]],
+                              Tuple[str, int]]] = None) -> None:
         if num_workers < 1:
             raise ValueError("num_workers must be >= 1")
+        if transport not in ("shm", "tcp"):
+            raise ValueError(f"unknown transport {transport!r} "
+                             "(expected 'shm' or 'tcp')")
         self.config = config
         self.num_workers = int(num_workers)
         self.steps = int(steps)
@@ -104,6 +210,10 @@ class ElasticTrainer:
         self.fanouts = fanouts
         self.step_timeout = float(step_timeout)
         self.step_seed = int(config.seed if step_seed is None else step_seed)
+        self.transport = transport
+        self.lease_ttl = float(lease_ttl)
+        self.host = host
+        self.endpoint_factory = endpoint_factory
         self.estimator = None
 
     # ------------------------------------------------------------------
@@ -126,15 +236,9 @@ class ElasticTrainer:
         self.estimator = est
         cfg = est.config
         params = est._main_params
-        opt = est._opt_main
         shapes = [p.data.shape for p in params]
         P = int(sum(int(np.prod(s)) for s in shapes))
         K = self.num_workers
-
-        param_buf = mp.RawArray("d", P)
-        grad_buf = mp.RawArray("d", K * P)
-        param_np = np.frombuffer(param_buf, dtype=np.float64)
-        grad_np = np.frombuffer(grad_buf, dtype=np.float64).reshape(K, P)
 
         labels_norm = est._normalize(dataset.labels[est._fit_idx])
 
@@ -150,6 +254,20 @@ class ElasticTrainer:
             if state is not None:
                 sampler.load_state_dict(copy.deepcopy(state))
             return sampler
+
+        if self.transport == "tcp":
+            return self._fit_tcp(mp, est, cfg, params, P, K, make_sampler)
+        return self._fit_shm(mp, est, cfg, params, P, K, make_sampler)
+
+    # ------------------------------------------------------------------
+    # Shared memory (local fast path)
+    # ------------------------------------------------------------------
+    def _fit_shm(self, mp, est, cfg, params, P: int, K: int,
+                 make_sampler) -> ElasticResult:
+        param_buf = mp.RawArray("d", P)
+        grad_buf = mp.RawArray("d", K * P)
+        param_np = np.frombuffer(param_buf, dtype=np.float64)
+        grad_np = np.frombuffer(grad_buf, dtype=np.float64).reshape(K, P)
 
         workers = [_Worker(s) for s in range(K)]
 
@@ -170,9 +288,9 @@ class ElasticTrainer:
             child_conn.close()  # child's end lives in the child now
             worker.conn = parent_conn
 
-        result = ElasticResult(steps=self.steps, num_workers=K)
-        chain = hashlib.blake2b(
-            f"elastic-v1|K={K}|steps={self.steps}".encode(), digest_size=16)
+        result = ElasticResult(steps=self.steps, num_workers=K,
+                               transport="shm")
+        chain = self._new_chain(K)
         try:
             for worker in workers:
                 spawn(worker)
@@ -183,21 +301,183 @@ class ElasticTrainer:
                 acks = self._collect_acks(workers, t, spawn, result)
                 for s in range(K):
                     workers[s].last_acked_state = acks[s]["sampler_state"]
-                result.losses.append([acks[s]["loss"] for s in range(K)])
-                result.seed_hashes.append(
-                    [acks[s]["seeds_hash"] for s in range(K)])
-                self._reduce_and_step(grad_np, params, opt, cfg, t, K, P)
-                chain.update(str(t).encode())
-                for s in range(K):
-                    chain.update(acks[s]["seeds_hash"].encode())
-                    chain.update(acks[s]["grad_hash"].encode())
-                flatten_arrays([p.data for p in params], param_np)
-                chain.update(param_np.tobytes())
+                self._record_step(result, chain, acks, grad_np, params,
+                                  est._opt_main, cfg, t, K, P, param_np)
         finally:
             self._stop_workers(workers)
         result.fingerprint = chain.hexdigest()
         result.state = est.model.state_dict()
         return result
+
+    # ------------------------------------------------------------------
+    # TCP (cross-machine path, DESIGN §18)
+    # ------------------------------------------------------------------
+    def _fit_tcp(self, mp, est, cfg, params, P: int, K: int,
+                 make_sampler) -> ElasticResult:
+        st = _TcpState(K, P, self.lease_ttl)
+        server = RpcServer({"get_command": st.handle_get_command,
+                            "push_result": st.handle_push_result},
+                           host=self.host)
+        address = server.start()
+        param_np = np.zeros(P, dtype=np.float64)
+        workers = [_Worker(s) for s in range(K)]
+        zombies: List[multiprocessing.Process] = []
+
+        def endpoint(shard: int, gen: int) -> Tuple[str, int]:
+            if self.endpoint_factory is not None:
+                return tuple(self.endpoint_factory(shard, gen, address))
+            return address
+
+        def spawn(worker: _Worker) -> None:
+            name = _TcpState._name(worker.shard)
+            gen = st.fences.current(name)
+            sampler = make_sampler(worker.shard, worker.last_acked_state)
+            ctx = TcpWorkerContext(
+                shard=worker.shard, num_shards=K, gen=gen,
+                step_seed=self.step_seed, model=est.model, params=params,
+                sampler=sampler, use_label_inputs=cfg.use_label_inputs,
+                endpoint=endpoint(worker.shard, gen), param_count=P,
+            )
+            worker.proc = mp.Process(
+                target=tcp_worker_loop, args=(ctx,), daemon=True,
+                name=f"repro-elastic-tcp-{worker.shard}-g{gen}")
+            worker.proc.start()
+            st.leases.grant(name)
+
+        result = ElasticResult(steps=self.steps, num_workers=K,
+                               transport="tcp")
+        chain = self._new_chain(K)
+        try:
+            for worker in workers:
+                spawn(worker)
+            for t in range(self.steps):
+                flatten_arrays([p.data for p in params], param_np)
+                with st.lock:
+                    st.params_vec = param_np.copy()
+                    st.acks = {}
+                    st.step = t
+                acks = self._collect_tcp_acks(st, workers, zombies, t,
+                                              spawn, result)
+                with st.lock:
+                    st.step = None  # close the step: late pushes are stale
+                for s in range(K):
+                    workers[s].last_acked_state = acks[s]["sampler_state"]
+                self._record_step(result, chain, acks, st.grads, params,
+                                  est._opt_main, cfg, t, K, P, param_np)
+        finally:
+            with st.lock:
+                st.stopping = True
+                st.step = None
+            self._stop_tcp_workers(workers, zombies)
+            server.stop()
+        result.fingerprint = chain.hexdigest()
+        result.state = est.model.state_dict()
+        result.fenced = st.fences.rejections
+        with server._lock:
+            counters = dict(server.counters)
+        result.transport_stats = {
+            "rpc": counters,
+            "restarts": {w.shard: w.restarts for w in workers},
+        }
+        return result
+
+    def _collect_tcp_acks(self, st: _TcpState, workers: List[_Worker],
+                          zombies: List[multiprocessing.Process], t: int,
+                          spawn, result: ElasticResult
+                          ) -> Dict[int, Dict[str, Any]]:
+        """Await one accepted result per shard, replacing dead workers.
+
+        Death has two signals here: the process exited (crash,
+        ``kill_worker``), or its heartbeat lease lapsed (a partitioned
+        or wedged worker stops renewing).  Either way the shard's fence
+        advances *before* the replacement spawns, so anything the old
+        generation still sends is rejected — a lease-expired worker that
+        is in fact alive is kept as a zombie until it fences itself out.
+        """
+        deadline = time.monotonic() + self.step_timeout
+        while True:
+            with st.lock:
+                if len(st.acks) >= len(workers):
+                    return dict(st.acks)
+                done = set(st.acks)
+            if time.monotonic() > deadline:
+                missing = sorted(set(range(len(workers))) - done)
+                raise RuntimeError(
+                    f"step {t}: shards {missing} never delivered a "
+                    f"result within {self.step_timeout}s")
+            lapsed = set(st.leases.expired())
+            for worker in workers:
+                if worker.shard in done:
+                    continue
+                name = _TcpState._name(worker.shard)
+                proc_dead = not worker.proc.is_alive()
+                lease_dead = name in lapsed
+                if not (proc_dead or lease_dead):
+                    continue
+                with st.lock:
+                    if worker.shard in st.acks:
+                        # Its push landed between our snapshot and the
+                        # lease sweep — not a death this step; a truly
+                        # dead process is caught on the next step.
+                        continue
+                result.deaths.append({
+                    "step": t, "shard": worker.shard,
+                    "reason": "exit" if proc_dead else "lease",
+                    "exitcode": worker.proc.exitcode,
+                    "gen": st.fences.current(name),
+                    "restart": worker.restarts + 1,
+                })
+                st.fences.advance(name)
+                if proc_dead:
+                    worker.proc.join(timeout=10.0)
+                else:
+                    # Alive but untrusted: fence it out, keep the corpse
+                    # handle so shutdown can reap it if it never fences.
+                    zombies.append(worker.proc)
+                with st.lock:
+                    late = st.acks.get(worker.shard)
+                if late is not None:
+                    # Fence raced an accepted push: the result counts, so
+                    # the replacement resumes from *post-step* state.
+                    worker.last_acked_state = late["sampler_state"]
+                worker.restarts += 1
+                spawn(worker)
+            time.sleep(POLL_INTERVAL)
+
+    def _stop_tcp_workers(self, workers: List[_Worker],
+                          zombies: List[multiprocessing.Process]) -> None:
+        """Drain: workers see ``stop`` on their next poll; reap stragglers."""
+        procs = [w.proc for w in workers if w.proc is not None] + zombies
+        deadline = time.monotonic() + 10.0
+        for proc in procs:
+            proc.join(timeout=max(0.1, deadline - time.monotonic()))
+        for proc in procs:
+            if proc.is_alive():
+                proc.kill()
+                proc.join(timeout=10.0)
+
+    # ------------------------------------------------------------------
+    # Shared helpers
+    # ------------------------------------------------------------------
+    def _new_chain(self, K: int):
+        # Deliberately transport-free: the fingerprint is a claim about
+        # the *trajectory*, and the trajectory must not depend on how
+        # the gradients traveled.
+        return hashlib.blake2b(
+            f"elastic-v1|K={K}|steps={self.steps}".encode(), digest_size=16)
+
+    def _record_step(self, result: ElasticResult, chain, acks,
+                     grad_np: np.ndarray, params, opt, cfg, t: int,
+                     K: int, P: int, param_np: np.ndarray) -> None:
+        result.losses.append([acks[s]["loss"] for s in range(K)])
+        result.seed_hashes.append([acks[s]["seeds_hash"] for s in range(K)])
+        self._reduce_and_step(grad_np, params, opt, cfg, t, K, P)
+        chain.update(str(t).encode())
+        for s in range(K):
+            chain.update(acks[s]["seeds_hash"].encode())
+            chain.update(acks[s]["grad_hash"].encode())
+        flatten_arrays([p.data for p in params], param_np)
+        chain.update(param_np.tobytes())
 
     # ------------------------------------------------------------------
     def _collect_acks(self, workers: List[_Worker], t: int, spawn,

@@ -4,6 +4,14 @@ Every network wait here carries an explicit deadline (analyzer rule
 A006): a probe that could hang forever would turn the supervisor's
 monitor loop — the component responsible for *detecting* hangs — into
 one more thing that hangs.
+
+Backoff is capped *and jittered* (analyzer rule A007 guards the cap):
+N replicas restarting together — a rolling reload, a host reboot —
+would otherwise re-probe in thundering-herd lockstep, hammering a
+router or replica at the exact moments it is busiest coming back.  The
+jitter is **seeded** from the probed endpoint, so each replica's retry
+schedule is de-correlated from its peers' yet fully deterministic — a
+timing test can pin the exact delay sequence.
 """
 
 from __future__ import annotations
@@ -11,9 +19,12 @@ from __future__ import annotations
 import http.client
 import json
 import time
-from typing import Optional, Tuple
+import zlib
+from typing import Iterator, Optional, Tuple
 
-__all__ = ["probe_once", "wait_healthy", "http_json"]
+from .transport import backoff_delays
+
+__all__ = ["probe_once", "wait_healthy", "http_json", "probe_delays"]
 
 
 def http_json(host: str, port: int, method: str, path: str,
@@ -57,22 +68,39 @@ def probe_once(host: str, port: int, *, path: str = "/healthz",
     return status == 200
 
 
+def probe_delays(host: str, port: int, *, initial: float = 0.05,
+                 cap: float = 1.0,
+                 jitter_seed: Optional[int] = None) -> Iterator[float]:
+    """The seeded jittered backoff schedule :func:`wait_healthy` sleeps.
+
+    The default seed hashes the probed endpoint, so two replicas
+    restarting in the same instant draw *different* delay sequences
+    (no herd) while any one endpoint's sequence is reproducible (the
+    seeded timing test pins it).
+    """
+    if jitter_seed is None:
+        jitter_seed = zlib.crc32(f"{host}:{port}".encode("utf-8"))
+    return backoff_delays(initial, cap, seed=jitter_seed)
+
+
 def wait_healthy(host: str, port: int, *, deadline: float = 30.0,
                  initial: float = 0.05, cap: float = 1.0,
-                 path: str = "/healthz") -> bool:
+                 path: str = "/healthz",
+                 jitter_seed: Optional[int] = None) -> bool:
     """Poll until healthy or the deadline passes; backoff doubles to ``cap``.
 
     Used when admitting a (re)started replica to the ring: probing at a
     fixed tight interval would hammer a replica that is busy paging in
     its checkpoint, while a fixed slow interval would add seconds of
-    avoidable failover window after a crash.
+    avoidable failover window after a crash.  Delays come from
+    :func:`probe_delays` — capped, exponential, endpoint-seeded jitter.
     """
     t0 = time.monotonic()
-    delay = initial
+    delays = probe_delays(host, port, initial=initial, cap=cap,
+                          jitter_seed=jitter_seed)
     while time.monotonic() - t0 < deadline:
         if probe_once(host, port, path=path,
                       timeout=min(2.0, max(0.2, deadline / 10))):
             return True
-        time.sleep(min(delay, cap))
-        delay *= 2.0
+        time.sleep(next(delays))
     return False

@@ -71,6 +71,10 @@ class FleetRouter:
         self._server: Optional[asyncio.base_events.Server] = None
         self._counters = {"requests": 0, "forwarded": 0, "failovers": 0,
                           "unroutable": 0}  # guarded-by: _lock
+        # Sequence-numbered membership op log: the warm standby mirrors
+        # the ring by replaying ops it has not seen (DESIGN §18).
+        self._member_seq = 0  # guarded-by: _lock
+        self._member_log: List[dict] = []  # guarded-by: _lock
 
     # ------------------------------------------------------------------
     # Membership (called from the supervisor thread)
@@ -79,6 +83,10 @@ class FleetRouter:
         with self._lock:
             self._addrs[name] = (host, port)
             self.ring.add(name)
+            self._member_seq += 1
+            self._member_log.append({"seq": self._member_seq, "op": "set",
+                                     "name": name, "host": host,
+                                     "port": int(port)})
 
     def drop_member(self, name: str) -> None:
         """Drain: stop routing *new* requests at ``name``.
@@ -90,12 +98,29 @@ class FleetRouter:
         with self._lock:
             self.ring.remove(name)
             stale = self._pools.pop(name, [])
+            self._member_seq += 1
+            self._member_log.append({"seq": self._member_seq, "op": "drop",
+                                     "name": name})
         for _, writer in stale:
             writer.close()
 
     def members(self) -> Dict[str, Tuple[str, int]]:
         with self._lock:
             return {n: self._addrs[n] for n in self.ring.nodes}
+
+    def membership_since(self, since: int) -> Tuple[int, List[dict]]:
+        """Ops later than sequence ``since``, for standby mirroring."""
+        with self._lock:
+            return (self._member_seq,
+                    [op for op in self._member_log if op["seq"] > since])
+
+    def apply_membership(self, ops: List[dict]) -> None:
+        """Replay a peer's op log into this (mirror) router."""
+        for op in ops:
+            if op.get("op") == "set":
+                self.set_member(op["name"], op["host"], int(op["port"]))
+            elif op.get("op") == "drop":
+                self.drop_member(op["name"])
 
     # ------------------------------------------------------------------
     # Serving
@@ -410,8 +435,12 @@ class BackgroundRouter:
         return self._bound
 
     def shutdown(self, timeout: float = 30.0) -> None:
-        if self._loop is not None and self._stop_event is not None:
-            self._loop.call_soon_threadsafe(self._stop_event.set)
+        if self._loop is not None and self._stop_event is not None \
+                and not self._loop.is_closed():
+            try:
+                self._loop.call_soon_threadsafe(self._stop_event.set)
+            except RuntimeError:  # noqa: R005 — loop closed between check and call: already down
+                pass
         if self._thread is not None:
             self._thread.join(timeout)
             self._thread = None
@@ -429,5 +458,26 @@ class BackgroundRouter:
             self._ready.set()
             await self._stop_event.wait()
             await self.router.stop()
+            # Drain in-flight connection handlers ourselves: cancelling
+            # and *gathering* them retrieves their CancelledErrors, so a
+            # router killed mid-forward never spills "exception was
+            # never retrieved" tracebacks into drill/test output.  The
+            # handler filter covers CPython 3.11's StreamReaderProtocol
+            # done-callback, which calls task.exception() on the
+            # cancelled task and re-raises the CancelledError into the
+            # loop's exception handler.
+            def _quiet_cancelled(loop: asyncio.AbstractEventLoop,
+                                 context: dict) -> None:
+                if isinstance(context.get("exception"),
+                              asyncio.CancelledError):
+                    return  # expected: handlers axed mid-shutdown
+                loop.default_exception_handler(context)
+
+            self._loop.set_exception_handler(_quiet_cancelled)
+            pending = [t for t in asyncio.all_tasks()
+                       if t is not asyncio.current_task()]
+            for task in pending:
+                task.cancel()
+            await asyncio.gather(*pending, return_exceptions=True)
 
         asyncio.run(_main())

@@ -1,0 +1,194 @@
+"""Warm-standby router: mirror, lease, take over (DESIGN §18).
+
+The :class:`~repro.fleet.router.FleetRouter` is the fleet's only public
+address, which made it the last single point of failure.  This module
+removes it with a two-node active/standby pair over the DESIGN §18
+transport:
+
+- the **active** router serves the public port and exposes its
+  membership op log through :class:`RouterControl` (one ``sync`` RPC);
+- the **standby** (:class:`RouterStandby`) keeps a warm mirror
+  :class:`~repro.fleet.router.FleetRouter` — same ring seed, same vnode
+  count, membership replayed from the op log — and treats each
+  successful sync as a renewal of the active's **lease**;
+- when the lease expires (the active died, or is partitioned badly
+  enough that it can no longer prove liveness), the standby binds the
+  *same public host:port* — retrying until the dead active's socket is
+  released — and starts serving.  Identical ring seed + replayed
+  membership means the promoted router computes the same affinity
+  placements the active would have, so replica caches stay warm through
+  the failover.
+
+Clients never learn any of this happened: the public address is
+unchanged, and the connection-refused window between death and takeover
+is shorter than a client's retry budget
+(:data:`repro.fleet.client.CLIENT_RETRIES`), so a router kill under
+load completes with zero failed requests — which is exactly what the
+``router-failover`` drill asserts.
+
+Split-brain note: the standby only promotes when the active has stopped
+answering *its own control port* for a full lease TTL, and it takes the
+public port by binding it — the OS will not let both serve the same
+address, so the port itself is the arbiter of who is active.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Optional, Tuple
+
+from .router import BackgroundRouter, FleetRouter
+from .transport import (CallTimeout, LeaseTable, PeerDead, RpcClient,
+                        RpcError, RpcServer, backoff_delays)
+
+__all__ = ["RouterControl", "RouterStandby"]
+
+#: Default lease the active must keep renewing (by answering syncs).
+ACTIVE_LEASE_TTL = 0.75
+#: Standby sync cadence; several fit inside one TTL so one lost sync
+#: does not trigger a takeover.
+SYNC_INTERVAL = 0.15
+#: Per-sync RPC deadline — well under the TTL, so a hung active cannot
+#: stall the standby past its own detection window.
+SYNC_DEADLINE = 0.5
+#: How long the standby keeps retrying to bind the public port.
+TAKEOVER_DEADLINE = 30.0
+
+
+class RouterControl:
+    """Active-side control endpoint: serves the membership op log.
+
+    Deliberately tiny — one read-only method — so the standby's view of
+    the active is exactly "answers syncs with a growing op log".  The
+    RPC port doubles as the active's liveness signal: this server dying
+    with the router is what lets the standby detect a whole-process
+    death with no extra machinery.
+    """
+
+    def __init__(self, router: FleetRouter, *,
+                 host: str = "127.0.0.1") -> None:
+        self.router = router
+        self._server = RpcServer({"sync": self._handle_sync}, host=host)
+        self._started = False
+
+    def start(self) -> Tuple[str, int]:
+        address = self._server.start()
+        self._started = True
+        return address
+
+    def stop(self) -> None:
+        if self._started:
+            self._server.stop()
+            self._started = False
+
+    def _handle_sync(self, payload: dict) -> dict:
+        seq, ops = self.router.membership_since(int(payload.get("since", 0)))
+        return {"seq": seq, "ops": ops}
+
+
+class RouterStandby:
+    """Warm mirror of the active router, promoted on lease expiry."""
+
+    def __init__(self, control_addr: Tuple[str, int],
+                 public_addr: Tuple[str, int], *,
+                 ring_seed: int = 0, vnodes: int = 64,
+                 status_provider: Optional[Callable[[], dict]] = None,
+                 reload_handler: Optional[Callable[[str], dict]] = None,
+                 lease_ttl: float = ACTIVE_LEASE_TTL,
+                 sync_interval: float = SYNC_INTERVAL,
+                 on_promote: Optional[
+                     Callable[["RouterStandby"], None]] = None,
+                 jitter_seed: Optional[int] = None) -> None:
+        # The mirror must be ring-identical to the active (same seed,
+        # same vnodes) or the promoted router would re-shuffle affinity
+        # and cold-start every replica cache.
+        self.router = FleetRouter(ring_seed=ring_seed, vnodes=vnodes,
+                                  status_provider=status_provider,
+                                  reload_handler=reload_handler)
+        self._control_addr = control_addr
+        self._public_addr = public_addr
+        self._leases = LeaseTable(lease_ttl)
+        self._sync_interval = float(sync_interval)
+        self._on_promote = on_promote
+        self._jitter_seed = jitter_seed
+        self._synced_seq = 0
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None  # not-guarded: start/stop only, one control thread
+        self._bg: Optional[BackgroundRouter] = None  # not-guarded: written by the standby thread before `promoted` is set
+        #: Set once the standby is serving the public port.
+        self.promoted = threading.Event()
+        #: Lease-expiry → serving latency of the takeover, for the bench.
+        self.takeover_seconds: Optional[float] = None
+        self.syncs = 0
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        self._leases.grant("active")  # the active gets one full TTL to speak
+        self._stop.clear()
+        self._thread = threading.Thread(target=self._loop, daemon=True,
+                                        name="repro-router-standby")
+        self._thread.start()
+
+    def stop(self, timeout: float = 15.0) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=timeout)
+            self._thread = None
+        if self._bg is not None:
+            self._bg.shutdown(timeout=timeout)
+            self._bg = None
+
+    # ------------------------------------------------------------------
+    def _loop(self) -> None:
+        client = RpcClient(self._control_addr[0], self._control_addr[1],
+                           jitter_seed=self._jitter_seed)
+        try:
+            while not self._stop.is_set():
+                try:
+                    resp = client.call("sync", {"since": self._synced_seq},
+                                       deadline=SYNC_DEADLINE)
+                except (PeerDead, CallTimeout, RpcError):  # noqa: R005 — the lease decides, not one failure
+                    pass
+                else:
+                    self.router.apply_membership(resp.get("ops", []))
+                    self._synced_seq = int(resp.get("seq", self._synced_seq))
+                    self._leases.renew("active")
+                    self.syncs += 1
+                if not self._leases.held("active"):
+                    self._take_over()
+                    return
+                self._stop.wait(self._sync_interval)
+        finally:
+            client.close()
+
+    def _take_over(self) -> None:
+        """Bind the public address the dead active was serving.
+
+        The active's listening socket may take a beat to be released
+        (the OS, not us, owns that timing), so binding retries with
+        seeded jittered backoff up to :data:`TAKEOVER_DEADLINE`.
+        """
+        t0 = time.monotonic()
+        delays = backoff_delays(0.02, 0.5, seed=self._jitter_seed)
+        deadline = t0 + TAKEOVER_DEADLINE
+        while not self._stop.is_set():
+            bg = BackgroundRouter(self.router, self._public_addr[0],
+                                  self._public_addr[1])
+            try:
+                bg.start(timeout=10.0)
+            except RuntimeError:
+                bg.shutdown(timeout=5.0)
+                if time.monotonic() > deadline:
+                    raise RuntimeError(
+                        f"standby could not bind "
+                        f"{self._public_addr} within "
+                        f"{TAKEOVER_DEADLINE}s of lease expiry")
+                time.sleep(next(delays))
+                continue
+            self._bg = bg
+            self.takeover_seconds = time.monotonic() - t0
+            self.promoted.set()
+            if self._on_promote is not None:
+                self._on_promote(self)
+            return

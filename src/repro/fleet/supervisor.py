@@ -6,9 +6,14 @@ dead on either signal:
 
 - **process exit** — ``Popen.poll()`` returns a code (crash, OOM-kill,
   the drill's SIGKILL); or
-- **missed heartbeats** — ``miss_threshold`` consecutive failed
-  ``/healthz`` probes (a live process that stopped serving is just as
-  dead to clients).
+- **lease expiry** — each successful ``/healthz`` probe renews the
+  replica's heartbeat lease
+  (:class:`~repro.fleet.transport.LeaseTable`, TTL =
+  ``miss_threshold × probe_interval``); a live process whose lease
+  lapses has stopped proving liveness and is just as dead to clients.
+  The lease is the *only* membership authority: a replica is drained
+  the moment its lease is gone, before any state it might still serve
+  is trusted (DESIGN §18).
 
 Repair is drain-first: the replica leaves the router's hash ring
 *before* anything else happens, so new requests fail over to ring
@@ -35,6 +40,8 @@ from typing import Dict, List, Optional, Tuple
 
 from .heartbeat import http_json, probe_once, wait_healthy
 from .router import BackgroundRouter, FleetRouter
+from .standby import RouterControl, RouterStandby
+from .transport import LeaseTable
 
 __all__ = ["FleetSupervisor", "ReplicaHandle", "ServingFleet"]
 
@@ -94,6 +101,12 @@ class FleetSupervisor:
         self.restart_backoff = restart_backoff
         self.restart_backoff_cap = restart_backoff_cap
         self.router = router
+        #: Heartbeat leases — the membership authority.  TTL covers
+        #: ``miss_threshold`` probe sweeps, so the declare-dead timing
+        #: matches the old consecutive-miss counter while tolerating an
+        #: early probe landing just before a slow one.
+        self.leases = LeaseTable(
+            max(0.1, float(miss_threshold) * float(probe_interval)))
         self._tmp = None  # not-guarded: start/shutdown only, one control thread
         if work_dir is None:
             self._tmp = tempfile.TemporaryDirectory(prefix="repro-fleet-")
@@ -201,8 +214,10 @@ class FleetSupervisor:
         return False
 
     def _admit(self, handle: ReplicaHandle) -> None:
-        if self.router is not None and handle.host is not None:
-            self.router.set_member(handle.name, handle.host, handle.port)
+        if handle.host is not None:
+            self.leases.grant(handle.name)
+            if self.router is not None:
+                self.router.set_member(handle.name, handle.host, handle.port)
 
     # ------------------------------------------------------------------
     # Monitoring + self-healing
@@ -224,14 +239,16 @@ class FleetSupervisor:
         if handle.host is None:
             return False  # still booting; _await_ready owns this window
         if probe_once(handle.host, handle.port, timeout=2.0):
+            self.leases.renew(handle.name)
             handle.missed_probes = 0
             handle.consecutive_failures = 0
             return False
-        handle.missed_probes += 1
-        return handle.missed_probes >= self.miss_threshold
+        handle.missed_probes += 1  # observability only; the lease decides
+        return not self.leases.held(handle.name)
 
     def _restart(self, handle: ReplicaHandle) -> None:
         """Drain → backoff → respawn → await health → re-admit."""
+        self.leases.drop(handle.name)
         if self.router is not None:
             self.router.drop_member(handle.name)
         proc = handle.proc
@@ -284,6 +301,7 @@ class FleetSupervisor:
         replicas = {}
         for handle in handles:
             proc = handle.proc
+            lease = self.leases.remaining(handle.name)
             replicas[handle.name] = {
                 "pid": proc.pid if proc is not None else None,
                 "alive": proc is not None and proc.poll() is None,
@@ -291,6 +309,8 @@ class FleetSupervisor:
                 "port": handle.port,
                 "restarts": handle.restarts,
                 "missed_probes": handle.missed_probes,
+                "lease_remaining": (round(max(0.0, lease), 3)
+                                    if lease is not None else None),
             }
         return {"checkpoint": self.checkpoint, "replicas": replicas}
 
@@ -337,6 +357,27 @@ class FleetSupervisor:
                     "checkpoint": path}
 
 
+class _RouterFacade:
+    """Membership indirection: the supervisor writes to *whichever*
+    router is currently serving the public port.  Promotion flips
+    ``current`` (a single attribute store, atomic under the GIL), so
+    membership updates made after a takeover land on the promoted
+    router instead of the corpse.
+    """
+
+    def __init__(self, router: FleetRouter) -> None:
+        self.current = router
+
+    def set_member(self, name: str, host: str, port: int) -> None:
+        self.current.set_member(name, host, port)
+
+    def drop_member(self, name: str) -> None:
+        self.current.drop_member(name)
+
+    def members(self):
+        return self.current.members()
+
+
 class ServingFleet:
     """Router + supervisor, wired and started together.
 
@@ -346,11 +387,19 @@ class ServingFleet:
         host, port = fleet.start()
         ... point clients at http://host:port ...
         fleet.shutdown()
+
+    With ``standby=True`` a warm twin mirrors the router's ring over the
+    DESIGN §18 transport and takes over the public port if the active
+    router dies (``kill_active()`` simulates exactly that death); the
+    supervisor keeps feeding membership to whichever router currently
+    holds the port, via an internal facade.
     """
 
     def __init__(self, checkpoint: str, num_replicas: int = 2, *,
                  host: str = "127.0.0.1", port: int = 0,
                  ring_seed: int = 0, vnodes: int = 64,
+                 standby: bool = False,
+                 standby_lease_ttl: Optional[float] = None,
                  verbose: bool = False, **supervisor_kwargs) -> None:
         self.supervisor = FleetSupervisor(checkpoint, num_replicas,
                                           **supervisor_kwargs)
@@ -358,23 +407,79 @@ class ServingFleet:
                                   status_provider=self.supervisor.status,
                                   reload_handler=self.supervisor.rolling_reload,
                                   verbose=verbose)
-        self.supervisor.router = self.router
+        self._facade = _RouterFacade(self.router)
+        self.supervisor.router = self._facade
         self._bg = BackgroundRouter(self.router, host, port)
+        self._ring_seed = ring_seed
+        self._vnodes = vnodes
+        self._use_standby = bool(standby)
+        self._standby_lease_ttl = standby_lease_ttl
+        self.control: Optional[RouterControl] = None
+        self.standby: Optional[RouterStandby] = None
         self._started = False
 
     def start(self) -> Tuple[str, int]:
         bound = self._bg.start()
+        if self._use_standby:
+            self.control = RouterControl(self.router)
+            control_addr = self.control.start()
+            kwargs = {}
+            if self._standby_lease_ttl is not None:
+                kwargs["lease_ttl"] = self._standby_lease_ttl
+            self.standby = RouterStandby(
+                control_addr, bound,
+                ring_seed=self._ring_seed, vnodes=self._vnodes,
+                status_provider=self.supervisor.status,
+                reload_handler=self.supervisor.rolling_reload,
+                on_promote=self._on_promote, jitter_seed=self._ring_seed,
+                **kwargs)
+            self.standby.start()
         try:
             self.supervisor.start()
         except BaseException:
-            self._bg.shutdown()
+            self._teardown_routers()
             raise
         self._started = True
         return bound
 
+    def kill_active(self) -> None:
+        """Kill the active router mid-flight (the failover drill's axe).
+
+        Stops the public listener *and* the control server with no
+        warning to the standby — exactly the blast radius of the router
+        process dying.  The supervisor and replicas are untouched; the
+        standby notices the lease lapse and takes the port over.
+        """
+        if not self._use_standby:
+            raise RuntimeError("kill_active() requires standby=True")
+        if self.control is not None:
+            self.control.stop()
+        self._bg.shutdown()
+
+    def _on_promote(self, standby: RouterStandby) -> None:
+        # Flip supervisor membership writes to the promoted router, then
+        # close any sync gap: re-assert every currently-admitted replica
+        # (set_member is idempotent; the supervisor's leases are the
+        # authority on who belongs).
+        self._facade.current = standby.router
+        snapshot = self.supervisor.status()["replicas"]
+        for name in self.supervisor.leases.members():
+            info = snapshot.get(name)
+            if info and info["alive"] and info["host"] is not None:
+                standby.router.set_member(name, info["host"], info["port"])
+
+    def _teardown_routers(self) -> None:
+        if self.standby is not None:
+            self.standby.stop()
+            self.standby = None
+        if self.control is not None:
+            self.control.stop()
+            self.control = None
+        self._bg.shutdown()
+
     def shutdown(self) -> None:
         self.supervisor.shutdown()
-        self._bg.shutdown()
+        self._teardown_routers()
         self._started = False
 
     def __enter__(self) -> "ServingFleet":

@@ -2,47 +2,73 @@
 
 Workers are **forked** from the coordinator after it has built the model,
 graph, and per-shard samplers, so they inherit everything by copy-on-write
-— no pickling, no re-materialization.  The step protocol over the pipe:
+— no pickling, no re-materialization.  Two transports share one compute
+core (:func:`compute_step`):
+
+**Shared memory** (local fast path) — the step protocol over the pipe:
 
     coordinator → worker:  ("step", t)   |  ("stop",)
     worker → coordinator:  {"step": t, "shard": s, "loss": float,
                             "seeds_hash": ..., "grad_hash": ...,
                             "sampler_state": <sampler.state_dict()>}
 
-Per step the worker (1) copies the coordinator-published flat parameter
-vector out of shared memory into its private model, (2) samples its
-shard's next minibatch, (3) runs forward/backward with a step-keyed RNG
-``default_rng([seed, 7, shard, step])``, and (4) writes its flattened
-gradient into its slice of the shared gradient buffer.
+**TCP** (cross-machine path, DESIGN §18) — the worker *pulls* over
+:class:`~repro.fleet.transport.RpcClient`: ``get_command(shard, gen)``
+returns ``step`` (with the published parameter vector), ``wait``,
+``fenced``, or ``stop``; gradients return via ``push_result``.  Every
+call carries the worker's **fencing generation**: once the coordinator
+declares a worker dead and respawns its shard, the stale predecessor's
+next call is answered ``fenced`` and it exits instead of corrupting a
+step.  All waits are deadline-bounded; a coordinator silent for
+``COMMAND_TIMEOUT`` means the worker is an orphan and exits.
+
+Per step the worker (1) loads the coordinator-published flat parameter
+vector into its private model, (2) samples its shard's next minibatch,
+(3) runs forward/backward with a step-keyed RNG
+``default_rng([seed, 7, shard, step])``, and (4) hands back its
+flattened gradient (shared-memory slice or RPC payload).
 
 Determinism contract: the gradient a worker produces for ``(shard, t)``
 is a pure function of (published params, sampler state at t, shard, t).
-Nothing depends on wall clock, pid, or arrival order — which is what
-lets a replacement worker, respawned from the last-acked sampler state,
-recompute *bitwise* the gradient its dead predecessor owed.
+Nothing depends on wall clock, pid, arrival order, *or transport* —
+which is what lets a replacement worker, respawned from the last-acked
+sampler state, recompute *bitwise* the gradient its dead predecessor
+owed, and what makes the shm and tcp trajectories byte-identical.
 
-The fault site ``fleet.worker.step`` fires before the forward pass;
-``faults.kill_worker(shard, step)`` turns it into an ``os._exit`` —
-hard death, no cleanup — which the worker-death drill uses.
+The fault site ``fleet.worker.step`` fires before the forward pass on
+both transports; ``faults.kill_worker(shard, step)`` turns it into an
+``os._exit`` — hard death, no cleanup — which the drills use.
 """
 
 from __future__ import annotations
 
 import hashlib
 import os
+import time
 from dataclasses import dataclass
-from typing import Any, Dict, List
+from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
 from ..resilience import faults
+from .transport import CallTimeout, PeerDead, RpcClient, RpcError
 
-__all__ = ["WorkerContext", "worker_loop", "flatten_arrays",
+__all__ = ["WorkerContext", "TcpWorkerContext", "worker_loop",
+           "tcp_worker_loop", "compute_step", "flatten_arrays",
            "load_flat_params"]
 
 #: Seconds a worker waits for the next command before concluding the
 #: coordinator is gone and exiting (orphan cleanup).
 COMMAND_TIMEOUT = 600.0
+#: Per-RPC deadline for a TCP worker's control calls.  Short enough that
+#: a partitioned worker cycles fast (and discovers its fencing promptly
+#: after the partition heals), long enough for a gradient-sized payload.
+CALL_DEADLINE = 2.0
+#: Idle pause between ``get_command`` polls when the answer was "wait".
+WAIT_POLL = 0.02
+#: Exit codes: orphaned (coordinator gone) vs fenced (successor active).
+EXIT_ORPHANED = 3
+EXIT_FENCED = 4
 
 
 def flatten_arrays(arrays: List[np.ndarray], out: np.ndarray) -> None:
@@ -91,10 +117,16 @@ def _step_batch(ctx: WorkerContext):
     return mb, batch
 
 
-def _run_step(ctx: WorkerContext, step: int,
-              param_view: np.ndarray,
-              grad_view: np.ndarray) -> Dict[str, Any]:
-    load_flat_params(ctx.params, param_view)
+def compute_step(ctx, step: int,
+                 param_vec: np.ndarray) -> Tuple[np.ndarray, Dict[str, Any]]:
+    """The transport-independent step kernel: params in, gradient out.
+
+    Returns ``(flat_gradient, ack)``.  Bitwise determinism lives here:
+    both transports call this exact function, so a fixed (published
+    params, sampler state, shard, step) yields the identical gradient
+    bytes whether they travel through shared memory or a socket.
+    """
+    load_flat_params(ctx.params, param_vec)
     mb, batch = _step_batch(ctx)
     faults.fire("fleet.worker.step", shard=ctx.shard, step=step)
     rng = np.random.default_rng([ctx.step_seed, 7, ctx.shard, step])
@@ -110,8 +142,7 @@ def _run_step(ctx: WorkerContext, step: int,
         if param.grad is not None:
             flat[offset:offset + n] = param.grad.ravel()
         offset += n
-    grad_view[:] = flat
-    return {
+    ack = {
         "step": step,
         "shard": ctx.shard,
         "loss": float(loss.data),
@@ -122,6 +153,15 @@ def _run_step(ctx: WorkerContext, step: int,
                                      digest_size=8).hexdigest(),
         "sampler_state": ctx.sampler.state_dict(),
     }
+    return flat, ack
+
+
+def _run_step(ctx: WorkerContext, step: int,
+              param_view: np.ndarray,
+              grad_view: np.ndarray) -> Dict[str, Any]:
+    flat, ack = compute_step(ctx, step, param_view)
+    grad_view[:] = flat
+    return ack
 
 
 def worker_loop(ctx: WorkerContext) -> None:
@@ -148,3 +188,80 @@ def worker_loop(ctx: WorkerContext) -> None:
             ctx.conn.send(ack)
         except (BrokenPipeError, OSError):
             os._exit(3)
+
+
+# ---------------------------------------------------------------------------
+# TCP transport (DESIGN §18)
+# ---------------------------------------------------------------------------
+
+@dataclass
+class TcpWorkerContext:
+    """Everything a forked TCP worker needs, captured before the fork."""
+
+    shard: int
+    num_shards: int
+    gen: int                  # fencing generation this worker was born with
+    step_seed: int
+    model: Any
+    params: List[Any]
+    sampler: Any
+    use_label_inputs: bool
+    endpoint: Tuple[str, int]  # coordinator RPC address (or a drill proxy)
+    param_count: int
+
+
+def tcp_worker_loop(ctx: TcpWorkerContext) -> None:
+    """Process entry point: pull step commands over the transport.
+
+    The loop caches its last computed ``(step, gradient, ack)`` so a
+    re-issued step — a push lost to the network, a coordinator that has
+    not yet registered the result — is answered from cache rather than
+    recomputed: ``compute_step`` advances the sampler, so recomputing
+    would silently burn the *next* minibatch and fork the trajectory.
+    """
+    client = RpcClient(ctx.endpoint[0], ctx.endpoint[1],
+                       jitter_seed=1009 + ctx.shard)
+    last_contact = time.monotonic()
+    last_step: Optional[int] = None
+    last_flat: Optional[np.ndarray] = None
+    last_ack: Optional[Dict[str, Any]] = None
+    while True:
+        if time.monotonic() - last_contact > COMMAND_TIMEOUT:
+            os._exit(EXIT_ORPHANED)  # coordinator unreachable for too long
+        try:
+            resp = client.call("get_command",
+                               {"shard": ctx.shard, "gen": ctx.gen},
+                               deadline=CALL_DEADLINE)
+        except (PeerDead, CallTimeout, RpcError):  # noqa: R005 — retry until COMMAND_TIMEOUT
+            continue
+        last_contact = time.monotonic()
+        cmd = resp.get("cmd")
+        if cmd == "stop":
+            client.close()
+            return
+        if cmd == "fenced":
+            os._exit(EXIT_FENCED)  # a successor owns this shard now
+        if cmd == "wait":
+            time.sleep(WAIT_POLL)
+            continue
+        if cmd != "step":
+            continue
+        step = int(resp["step"])
+        if step != last_step:
+            flat, ack = compute_step(
+                ctx, step, np.asarray(resp["params"], dtype=np.float64))
+            last_step, last_flat, last_ack = step, flat, ack
+        try:
+            pushed = client.call(
+                "push_result",
+                {"shard": ctx.shard, "gen": ctx.gen, "step": last_step,
+                 "grad": last_flat, "loss": last_ack["loss"],
+                 "seeds_hash": last_ack["seeds_hash"],
+                 "grad_hash": last_ack["grad_hash"],
+                 "sampler_state": last_ack["sampler_state"]},
+                deadline=CALL_DEADLINE)
+        except (PeerDead, CallTimeout, RpcError):  # noqa: R005 — re-poll; push retries from cache
+            continue
+        last_contact = time.monotonic()
+        if pushed.get("status") == "fenced":
+            os._exit(EXIT_FENCED)

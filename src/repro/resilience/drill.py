@@ -50,6 +50,19 @@ reports PASS/FAIL per drill (non-zero exit on any failure):
                  sampler state and the run's remaining batch sequence,
                  trajectory fingerprint, and final parameters are
                  **bitwise** identical to an undisturbed run's.
+``netsplit``     partition the coordinator↔worker link mid-step in
+                 TCP elastic training (frame-level fault at the exact
+                 ``push_result``), assert the worker's lease lapses,
+                 its replacement runs at an advanced fence generation,
+                 the healed **zombie's stale push is rejected at the
+                 fence**, and the trajectory stays **bitwise**
+                 identical to an undisturbed shared-memory run.
+``router-failover`` kill the active fleet router under 1000-client
+                 concurrent load with a warm standby armed, assert the
+                 standby takes over the public port with **zero failed
+                 requests and zero 5xx**, the ring survives intact,
+                 and the promoted router serves bitwise-identical
+                 predictions.
 
 These are the same scenarios the test suite pins; the CLI exists so an
 operator can re-certify the machinery on their own box in seconds::
@@ -813,6 +826,167 @@ def drill_worker_death(log: Callable[[str], None]) -> None:
         "fingerprint, final parameters")
 
 
+def drill_netsplit(log: Callable[[str], None]) -> None:
+    """A mid-step netsplit must fence the zombie and stay bitwise.
+
+    Runs the K=2 elastic trainer over the TCP transport with one
+    worker's link routed through a :class:`FaultyTransport` proxy, and
+    arms a frame-level partition that black-holes the link at the exact
+    ``push_result`` of step 1.  The coordinator must see the lease
+    lapse, fence the shard, and respawn it from the last-acked sampler
+    state; when the partition heals, the zombie predecessor's stale
+    push must be **rejected at the fence** (never reduced); and the
+    final trajectory — fingerprint, per-step seed hashes, parameters —
+    must be bitwise identical to an undisturbed *shared-memory* run,
+    proving cross-transport parity under partition in one stroke.
+    """
+    import threading
+
+    from ..fleet import ElasticTrainer
+    from ..fleet.transport import FaultyTransport
+
+    dataset = _tiny_dataset()
+    config = _tiny_estimator().config
+
+    reference = ElasticTrainer(config, num_workers=2, steps=3).fit(dataset)
+    _check(reference.transport == "shm" and reference.deaths == [],
+           f"undisturbed shm reference not clean: {reference.deaths}")
+    log(f"shm reference: fingerprint {reference.fingerprint[:16]}…")
+
+    proxies: Dict[str, FaultyTransport] = {}
+
+    def endpoint_factory(shard: int, gen: int, address):
+        # Only the first incarnation of shard 1 rides the faulty link;
+        # its fenced replacement dials the coordinator directly.
+        if shard == 1 and gen == 0:
+            proxy = FaultyTransport(address, link="victim")
+            addr = proxy.start()
+            proxies["victim"] = proxy
+            return addr
+        return address
+
+    def healer() -> None:
+        deadline = time.monotonic() + 60
+        while time.monotonic() < deadline:
+            proxy = proxies.get("victim")
+            if proxy is not None and proxy.partitioned:
+                time.sleep(1.5)  # let fencing + respawn land first
+                proxy.set_partitioned(False)
+                return
+            time.sleep(0.05)
+
+    with faults.partition_at("push_result", step=1, link="victim"):
+        threading.Thread(target=healer, daemon=True).start()
+        result = ElasticTrainer(config, num_workers=2, steps=3,
+                                transport="tcp", lease_ttl=1.0,
+                                endpoint_factory=endpoint_factory,
+                                ).fit(dataset)
+    proxies["victim"].stop()
+
+    _check([(d["step"], d["shard"], d["reason"]) for d in result.deaths]
+           == [(1, 1, "lease")],
+           f"expected one lease death of shard 1 at step 1: "
+           f"{result.deaths}")
+    log(f"partition at step 1: shard 1 lease lapsed, respawned at "
+        f"gen {result.deaths[0]['gen'] + 1}")
+    _check(any(r["member"] == "shard-1" and r["stale_gen"] == 0
+               for r in result.fenced),
+           f"healed zombie was never fenced: {result.fenced}")
+    log(f"zombie's stale push rejected at the fence "
+        f"({len(result.fenced)} rejection(s))")
+    _check(result.fingerprint == reference.fingerprint,
+           f"trajectory fingerprint diverged: {result.fingerprint[:16]}… "
+           f"!= {reference.fingerprint[:16]}…")
+    _check(result.seed_hashes == reference.seed_hashes,
+           "remaining batch sequence diverged across the partition")
+    _check(set(result.state) == set(reference.state)
+           and all(np.array_equal(result.state[k], reference.state[k])
+                   for k in reference.state),
+           "final parameters are not bitwise-identical")
+    log("TCP run under netsplit matches the shm reference bitwise")
+
+
+def drill_router_failover(log: Callable[[str], None]) -> None:
+    """Kill the active router under 1000-client load: zero failures.
+
+    Boots a 2-replica fleet with a warm-standby router mirroring ring
+    membership over the transport, drives 1000 concurrent keep-alive
+    clients, and kills the active router (public listener + control
+    server, no warning) mid-load.  Asserts the standby notices the
+    lease lapse, binds the same public port, and that **every scripted
+    request is answered 200** — no failures, no 5xx — with the ring
+    intact and predictions bitwise-identical through the promoted twin.
+    """
+    import threading
+
+    from ..fleet import ServingFleet
+    from ..fleet.client import predict_scripts, run_load
+    from ..fleet.heartbeat import http_json
+    from ..serve import save_catehgn
+
+    dataset = _tiny_dataset()
+    est = _tiny_estimator()
+    est.fit(dataset)
+    num_papers = dataset.num_papers
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = save_catehgn(est, f"{tmp}/model.npz")
+        fleet = ServingFleet(str(path), 2, probe_interval=0.2,
+                             standby=True)
+        host, port = fleet.start()
+        try:
+            probe_body = {"paper_ids": [3, 1, 4]}
+            status, before = http_json(host, port, "POST", "/predict",
+                                       probe_body)
+            _check(status == 200, f"warmup predict failed: {status}")
+
+            clients, per_client = 1000, 2
+            scripts = predict_scripts(clients, per_client, num_papers,
+                                      seed=29)
+            holder: List = []
+            load = threading.Thread(
+                target=lambda: holder.append(
+                    run_load(host, port, scripts)))
+            load.start()
+            time.sleep(0.5)  # let the load ramp before pulling the router
+            fleet.kill_active()
+            log("killed the active router (listener + control) mid-load")
+            load.join(timeout=240)
+            _check(not load.is_alive(), "load generator hung")
+            result = holder[0]
+
+            _check(fleet.standby.promoted.wait(10),
+                   "standby never promoted")
+            log(f"standby took the public port over in "
+                f"{fleet.standby.takeover_seconds * 1000:.1f} ms after "
+                f"{fleet.standby.syncs} membership syncs")
+
+            total = clients * per_client
+            _check(result.failures == 0,
+                   f"{result.failures} requests never answered through "
+                   f"the takeover window")
+            _check(result.server_errors() == 0,
+                   f"5xx leaked through the takeover: "
+                   f"{sorted(set(result.statuses))}")
+            _check(result.count(200) == result.total == total,
+                   f"non-200 responses: {sorted(set(result.statuses))}")
+            log(f"{total}/{total} requests answered 200 through the "
+                f"router kill — zero failures, zero 5xx")
+
+            status, snap = http_json(host, port, "GET", "/fleet/status")
+            _check(status == 200
+                   and sorted(snap["ring"]) == ["replica-0", "replica-1"],
+                   f"ring not intact through takeover: {snap.get('ring')}")
+            status, after = http_json(host, port, "POST", "/predict",
+                                      probe_body)
+            _check(status == 200 and after == before,
+                   "post-takeover predictions differ from pre-kill")
+            log("ring intact; predictions bitwise-identical through "
+                "the promoted router")
+        finally:
+            fleet.shutdown()
+
+
 DRILLS: Dict[str, Callable[[Callable[[str], None]], None]] = {
     "resume": drill_resume,
     "resume-gnn": drill_resume_gnn,
@@ -825,6 +999,8 @@ DRILLS: Dict[str, Callable[[Callable[[str], None]], None]] = {
     "race": drill_race,
     "fleet": drill_fleet,
     "worker-death": drill_worker_death,
+    "netsplit": drill_netsplit,
+    "router-failover": drill_router_failover,
 }
 
 

@@ -25,6 +25,11 @@ Instrumented sites
 ``ingest.graph``         ctx: ``graph``               (finished ingestion graph)
 ``engine.predict``       ctx: ``ids``                 (serving, per predict call)
 ``fleet.worker.step``    ctx: ``shard, step``         (elastic worker, per step)
+``fleet.transport.frame`` ctx: ``event, link, direction, method, step``
+                         (FaultyTransport, per proxied frame; ``event`` is a
+                         mutable :class:`~repro.fleet.transport.FrameEvent`
+                         whose ``drop``/``delay_s``/``duplicate``/
+                         ``partition`` fields the action sets)
 
 Every site call also receives ``count`` — the 1-based number of times the
 site has fired under the active injector — so ``raise_at_op`` can target
@@ -60,6 +65,10 @@ __all__ = [
     "fail_engine",
     "slow_engine",
     "kill_worker",
+    "drop_frame",
+    "delay_frame",
+    "dup_frame",
+    "partition_at",
 ]
 
 #: Stack of armed injectors; the innermost one receives ``fire`` calls.
@@ -369,6 +378,108 @@ class FaultInjector:
             lambda ctx: ctx["shard"] == shard and ctx["step"] == step,
             action, label=f"kill_worker({shard}, {step})", once=False)
 
+    # -- transport faults (DESIGN §18) ----------------------------------
+    @staticmethod
+    def _frame_match(method: Optional[str], step: Optional[int],
+                     link: Optional[str], direction: Optional[str]
+                     ) -> Callable[[Dict[str, Any]], bool]:
+        def when(ctx: Dict[str, Any]) -> bool:
+            if method is not None and ctx.get("method") != method:
+                return False
+            if step is not None and ctx.get("step") != step:
+                return False
+            if link is not None and ctx.get("link") != link:
+                return False
+            if direction is not None and ctx.get("direction") != direction:
+                return False
+            return True
+
+        return when
+
+    def drop_frame(self, method: Optional[str] = None, *,
+                   step: Optional[int] = None, link: Optional[str] = None,
+                   direction: Optional[str] = None,
+                   times: int = 1) -> "FaultInjector":
+        """Silently discard matching frames crossing a FaultyTransport.
+
+        The receiver simply never sees the message — the sender's
+        deadline, not an error, is what surfaces the loss.
+        """
+
+        def action(ctx: Dict[str, Any]) -> None:
+            ctx["event"].drop = True
+
+        return self.add("fleet.transport.frame",
+                        self._and_count(self._frame_match(
+                            method, step, link, direction), times),
+                        action, label=f"drop_frame({method})", once=False)
+
+    def delay_frame(self, seconds: float, method: Optional[str] = None, *,
+                    step: Optional[int] = None, link: Optional[str] = None,
+                    direction: Optional[str] = None,
+                    times: int = 1) -> "FaultInjector":
+        """Hold matching frames for ``seconds`` before forwarding them."""
+
+        def action(ctx: Dict[str, Any]) -> None:
+            ctx["event"].delay_s = seconds
+
+        return self.add("fleet.transport.frame",
+                        self._and_count(self._frame_match(
+                            method, step, link, direction), times),
+                        action, label=f"delay_frame({seconds})", once=False)
+
+    def dup_frame(self, method: Optional[str] = None, *,
+                  step: Optional[int] = None, link: Optional[str] = None,
+                  direction: Optional[str] = None,
+                  times: int = 1) -> "FaultInjector":
+        """Forward matching frames twice with the same sequence number.
+
+        The receiving decoder rejects the replay (:class:`CodecError`),
+        tears the connection down, and the sender reconnects — the
+        at-least-once path the RPC layer's dedup exists for.
+        """
+
+        def action(ctx: Dict[str, Any]) -> None:
+            ctx["event"].duplicate = True
+
+        return self.add("fleet.transport.frame",
+                        self._and_count(self._frame_match(
+                            method, step, link, direction), times),
+                        action, label=f"dup_frame({method})", once=False)
+
+    def partition_at(self, method: Optional[str] = None, *,
+                     step: Optional[int] = None, link: Optional[str] = None,
+                     direction: Optional[str] = None) -> "FaultInjector":
+        """Black-hole the link from the first matching frame onward.
+
+        The matching frame itself is dropped and the proxy's partition
+        latch flips: nothing crosses in either direction until the drill
+        heals it with ``proxy.set_partitioned(False)``.  This is the
+        netsplit primitive — deterministic (keyed on method/step, not
+        wall clock), so the drill partitions the exact step it means to.
+        """
+
+        def action(ctx: Dict[str, Any]) -> None:
+            ctx["event"].partition = True
+
+        return self.add("fleet.transport.frame",
+                        self._frame_match(method, step, link, direction),
+                        action, label=f"partition_at({method}, {step})")
+
+    @staticmethod
+    def _and_count(when: Callable[[Dict[str, Any]], bool],
+                   times: int) -> Callable[[Dict[str, Any]], bool]:
+        """Limit a stateless matcher to its first ``times`` matches."""
+        seen = {"n": 0}
+
+        def bounded(ctx: Dict[str, Any]) -> bool:
+            if seen["n"] >= times or not when(ctx):
+                return False
+            seen["n"] += 1
+            return True
+
+        return bounded
+
 
 def _raiser(message: str) -> Callable[[Dict[str, Any]], None]:
     def action(ctx: Dict[str, Any]) -> None:
@@ -425,3 +536,20 @@ def slow_engine(seconds: float, times: int = 1) -> FaultInjector:
 
 def kill_worker(shard: int, step: int) -> FaultInjector:
     return FaultInjector().kill_worker(shard, step)
+
+
+def drop_frame(method: Optional[str] = None, **kw: Any) -> FaultInjector:
+    return FaultInjector().drop_frame(method, **kw)
+
+
+def delay_frame(seconds: float, method: Optional[str] = None,
+                **kw: Any) -> FaultInjector:
+    return FaultInjector().delay_frame(seconds, method, **kw)
+
+
+def dup_frame(method: Optional[str] = None, **kw: Any) -> FaultInjector:
+    return FaultInjector().dup_frame(method, **kw)
+
+
+def partition_at(method: Optional[str] = None, **kw: Any) -> FaultInjector:
+    return FaultInjector().partition_at(method, **kw)

@@ -521,12 +521,110 @@ class TestA005:
 
 
 # ----------------------------------------------------------------------
+# A007
+# ----------------------------------------------------------------------
+A007_BAD = """\
+import socket
+import time
+
+
+def dial(host, port):
+    sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    sock.connect((host, port))
+    return sock
+
+
+def retry(conn):
+    delay = 0.05
+    while True:
+        try:
+            return conn.ping()
+        except OSError:
+            time.sleep(delay)
+            delay *= 2
+"""
+
+A007_CLEAN = """\
+import socket
+import time
+
+
+def dial(host, port):
+    sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    sock.settimeout(5.0)
+    sock.connect((host, port))
+    return sock
+
+
+def dial_with(host):
+    with socket.socket() as s:
+        s.settimeout(1.0)
+        s.connect((host, 80))
+
+
+class Client:
+    def connect(self):
+        self._sock = socket.socket()
+        self._sock.settimeout(2.0)
+
+
+def retry_inline_cap(conn):
+    delay = 0.05
+    while True:
+        try:
+            return conn.ping()
+        except OSError:
+            time.sleep(min(delay, 1.0))
+            delay *= 2
+
+
+def retry_reassign_cap(conn, stop):
+    delay = 0.05
+    while not stop.wait(timeout=min(delay, 1.0)):
+        conn.ping()
+        delay *= 2
+
+
+def not_a_backoff(items):
+    total = 1
+    for item in items:
+        total *= 2
+    return total
+"""
+
+
+class TestA007:
+    def test_socket_and_uncapped_backoff_flagged(self):
+        a007 = [v for v in analyze_str(A007_BAD) if v.rule == "A007"]
+        assert sorted(v.line for v in a007) == [6, 18]
+        joined = " ".join(v.message for v in a007)
+        assert "settimeout" in joined
+        assert "cap" in joined and "backoff_delays" in joined
+
+    def test_timeouts_and_caps_clean(self):
+        assert [v for v in analyze_str(A007_CLEAN)
+                if v.rule == "A007"] == []
+
+    def test_noqa_suppresses(self):
+        suppressed = "\n".join(
+            line + "  # noqa: A007" if line.strip() else line
+            for line in A007_BAD.splitlines())
+        assert [v for v in analyze_str(suppressed)
+                if v.rule == "A007"] == []
+
+    def test_select_only_a007(self):
+        only = analyze_str(A007_BAD, A001_BAD, rules={"A007"})
+        assert rules_of(only) == ["A007"]
+        assert len(only) == 2
+
+
+# ----------------------------------------------------------------------
 # Driver / CLI
 # ----------------------------------------------------------------------
 class TestDriver:
     def test_rule_catalogue(self):
         assert set(ARULES) == {"A001", "A002", "A003", "A004", "A005",
-                               "A006"}
+                               "A006", "A007"}
 
     def test_select_subset(self):
         only = analyze_str(A001_BAD, A004_BAD_DIRECT, rules={"A004"})

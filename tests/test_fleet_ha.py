@@ -1,0 +1,210 @@
+"""Cross-machine elastic training + router failover (DESIGN §18).
+
+TCP side: ``ElasticTrainer(transport="tcp")`` must replay the exact
+bitwise trajectory of the shared-memory transport at the same
+(seed, K) — including after a worker SIGKILL and after a mid-step
+network partition whose fenced zombie is rejected at the reduce.
+
+Router side: a ``ServingFleet(standby=True)`` keeps a warm-standby
+router mirroring ring membership over the transport; killing the
+active router under concurrent load loses zero requests, and the
+promoted router keeps healing replicas afterwards.
+"""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import CATEHGN
+from repro.eval.runner import default_cate_config
+from repro.fleet import ElasticTrainer, ServingFleet, http_json
+from repro.fleet.client import predict_scripts, run_load
+from repro.fleet.transport import FaultyTransport
+from repro.resilience import faults
+from repro.serve import save_catehgn
+
+
+def _elastic_config():
+    return default_cate_config(dim=8, seed=0, outer_iters=2, mini_iters=1)
+
+
+@pytest.fixture(scope="module")
+def shm_reference(tiny_dataset):
+    """The shared-memory trajectory every TCP run must reproduce."""
+    return ElasticTrainer(_elastic_config(), num_workers=2,
+                          steps=3).fit(tiny_dataset)
+
+
+def _assert_same_trajectory(result, reference):
+    assert result.fingerprint == reference.fingerprint
+    assert result.seed_hashes == reference.seed_hashes
+    assert result.losses == reference.losses
+    assert set(result.state) == set(reference.state)
+    for key in reference.state:
+        assert np.array_equal(result.state[key], reference.state[key])
+
+
+# ---------------------------------------------------------------------------
+# TCP elastic training
+# ---------------------------------------------------------------------------
+
+class TestTcpElastic:
+    def test_tcp_matches_shm_bitwise(self, tiny_dataset, shm_reference):
+        tcp = ElasticTrainer(_elastic_config(), num_workers=2, steps=3,
+                             transport="tcp").fit(tiny_dataset)
+        assert tcp.transport == "tcp"
+        assert shm_reference.transport == "shm"
+        _assert_same_trajectory(tcp, shm_reference)
+        assert tcp.deaths == [] and tcp.fenced == []
+        rpc = tcp.transport_stats["rpc"]
+        assert rpc["codec_errors"] == 0
+        assert rpc["requests"] > 0
+
+    def test_worker_kill_over_tcp_resumes_bitwise(self, tiny_dataset,
+                                                  shm_reference):
+        with faults.kill_worker(shard=0, step=1):
+            survived = ElasticTrainer(
+                _elastic_config(), num_workers=2, steps=3,
+                transport="tcp").fit(tiny_dataset)
+        assert [(d["step"], d["shard"], d["reason"])
+                for d in survived.deaths] == [(1, 0, "exit")]
+        assert survived.transport_stats["restarts"][0] == 1
+        _assert_same_trajectory(survived, shm_reference)
+
+    def test_netsplit_fences_zombie_and_stays_bitwise(self, tiny_dataset,
+                                                      shm_reference):
+        """Partition one worker mid-step: lease lapses, replacement is
+        spawned at an advanced fence generation, and the healed zombie's
+        stale push is rejected — with the trajectory unperturbed."""
+        proxies = {}
+
+        def endpoint_factory(shard, gen, address):
+            if shard == 1 and gen == 0:
+                proxy = FaultyTransport(address, link="victim")
+                addr = proxy.start()
+                proxies["victim"] = proxy
+                return addr
+            return address
+
+        def healer():
+            deadline = time.monotonic() + 60
+            while time.monotonic() < deadline:
+                proxy = proxies.get("victim")
+                if proxy is not None and proxy.partitioned:
+                    time.sleep(1.5)  # let fencing + respawn land first
+                    proxy.set_partitioned(False)
+                    return
+                time.sleep(0.05)
+
+        with faults.partition_at("push_result", step=1, link="victim"):
+            threading.Thread(target=healer, daemon=True).start()
+            result = ElasticTrainer(
+                _elastic_config(), num_workers=2, steps=3,
+                transport="tcp", lease_ttl=1.0,
+                endpoint_factory=endpoint_factory).fit(tiny_dataset)
+        proxies["victim"].stop()
+        assert [(d["step"], d["shard"], d["reason"])
+                for d in result.deaths] == [(1, 1, "lease")]
+        assert any(r["member"] == "shard-1" and r["stale_gen"] == 0
+                   for r in result.fenced)
+        _assert_same_trajectory(result, shm_reference)
+
+    def test_unknown_transport_rejected(self):
+        with pytest.raises(ValueError, match="transport"):
+            ElasticTrainer(_elastic_config(), num_workers=2,
+                           transport="carrier-pigeon")
+
+
+# ---------------------------------------------------------------------------
+# Warm-standby router failover
+# ---------------------------------------------------------------------------
+
+class TestStandbyFailover:
+    def test_kill_active_router_under_load_zero_failures(
+            self, tiny_dataset, tmp_path):
+        config = default_cate_config(dim=16, seed=0, outer_iters=2,
+                                     mini_iters=2)
+        fitted = CATEHGN(config).fit(tiny_dataset)
+        ckpt = save_catehgn(fitted, tmp_path / "model.npz")
+
+        fleet = ServingFleet(str(ckpt), 2, probe_interval=0.2,
+                             standby=True)
+        host, port = fleet.start()
+        try:
+            status, body = http_json(host, port, "POST", "/predict",
+                                     {"paper_ids": [1, 2]})
+            assert status == 200
+            before = body["predictions"]
+
+            scripts = predict_scripts(50, 4, 50, seed=5)
+            holder = []
+            load = threading.Thread(
+                target=lambda: holder.append(run_load(host, port, scripts)))
+            load.start()
+            time.sleep(0.3)
+            fleet.kill_active()
+            load.join(timeout=120)
+            assert not load.is_alive()
+            assert fleet.standby.promoted.wait(10)
+
+            result = holder[0]
+            assert result.failures == 0
+            assert result.server_errors() == 0
+            assert result.count(200) == result.total == 200
+            assert fleet.standby.syncs > 0
+
+            # Same port, same answers, full ring — through the twin.
+            status, body = http_json(host, port, "POST", "/predict",
+                                     {"paper_ids": [1, 2]})
+            assert status == 200 and body["predictions"] == before
+            status, snap = http_json(host, port, "GET", "/fleet/status")
+            assert status == 200
+            assert sorted(snap["ring"]) == ["replica-0", "replica-1"]
+
+            # The promoted router still heals replica deaths.
+            victim = fleet.supervisor.replica_names()[0]
+            fleet.supervisor.kill_replica(victim)
+            deadline = time.monotonic() + 60
+            while time.monotonic() < deadline:
+                _, snap = http_json(host, port, "GET", "/fleet/status")
+                rep = snap["replicas"][victim]
+                if rep["alive"] and rep["restarts"] >= 1 \
+                        and victim in snap["ring"]:
+                    break
+                time.sleep(0.2)
+            else:  # pragma: no cover
+                pytest.fail(f"{victim} never healed after takeover")
+        finally:
+            fleet.shutdown()
+
+    def test_kill_active_requires_standby(self, tiny_dataset, tmp_path):
+        config = default_cate_config(dim=16, seed=0, outer_iters=2,
+                                     mini_iters=2)
+        fitted = CATEHGN(config).fit(tiny_dataset)
+        ckpt = save_catehgn(fitted, tmp_path / "plain.npz")
+        fleet = ServingFleet(str(ckpt), 1, probe_interval=0.2)
+        fleet.start()
+        try:
+            with pytest.raises(RuntimeError, match="standby"):
+                fleet.kill_active()
+        finally:
+            fleet.shutdown()
+
+    def test_standby_replica_leases_visible_in_status(self, tiny_dataset,
+                                                      tmp_path):
+        config = default_cate_config(dim=16, seed=0, outer_iters=2,
+                                     mini_iters=2)
+        fitted = CATEHGN(config).fit(tiny_dataset)
+        ckpt = save_catehgn(fitted, tmp_path / "lease.npz")
+        fleet = ServingFleet(str(ckpt), 1, probe_interval=0.2)
+        host, port = fleet.start()
+        try:
+            status, snap = http_json(host, port, "GET", "/fleet/status")
+            assert status == 200
+            for replica in snap["replicas"].values():
+                assert replica["lease_remaining"] is not None
+                assert replica["lease_remaining"] > 0
+        finally:
+            fleet.shutdown()

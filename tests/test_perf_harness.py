@@ -122,6 +122,41 @@ def test_committed_bench_serving_fleet_section():
         sf["failover"]["qps"] / sf["fleet"]["qps"])
 
 
+def test_committed_bench_elastic_tcp_section():
+    """Elastic-transport acceptance on the committed ``--section
+    elastic_tcp`` report.
+
+    Pins the DESIGN §18 claims without re-running the benchmark: at
+    every measured worker count the socket transport replayed the
+    shared-memory trajectory bit-for-bit with zero transport-level
+    errors and no worker deaths, the per-step timings are sane, and the
+    warm-standby takeover promoted without failing a single client
+    request across the router kill.
+    """
+    report = json.loads(BENCH_PERF.read_text())
+    et = report["elastic_tcp"]
+    assert et["steps"] >= 2
+    assert set(et["by_workers"]) == {str(k) for k in et["worker_counts"]}
+    for count, entry in et["by_workers"].items():
+        assert entry["fingerprint_match"] is True, count
+        assert entry["transport_errors"] == 0, count
+        assert entry["deaths"] == 0, count
+        for transport in ("shm", "tcp"):
+            timing = entry[transport]
+            assert 0 < timing["step_mean_s"] <= timing["wall_s"], count
+        rpc = entry["tcp"]["rpc"]
+        assert rpc["requests"] > 0 and rpc["codec_errors"] == 0, count
+        assert entry["tcp_overhead"] == pytest.approx(
+            entry["tcp"]["step_mean_s"] / entry["shm"]["step_mean_s"])
+    to = et["takeover"]
+    assert to["promoted"] is True
+    assert to["requests_failed"] == 0
+    assert to["requests_total"] > 0
+    assert to["membership_syncs"] > 0
+    assert to["takeover_s"] is not None and to["takeover_s"] > 0
+    assert to["blackout_s"] >= to["takeover_s"]
+
+
 def test_committed_bench_sampling_section():
     """On-disk minibatch sampling acceptance: the committed report has
     papers/s at 100k AND 1M papers, sampled without loading the store

@@ -1,0 +1,404 @@
+"""Unit + integration tests for the fleet TCP transport (DESIGN §18).
+
+Covers the layers bottom-up: message packing, frame codec, backoff /
+jitter schedules (including the seeded heartbeat probe schedule),
+fencing and leases, the RPC client/server pair, and the fault-injection
+proxy.  The property-based codec fuzzing lives in
+``test_transport_codec.py``; whole-trainer TCP parity and router
+failover live in ``test_fleet_ha.py``.
+"""
+
+import itertools
+import socket
+import threading
+import time
+import zlib
+
+import numpy as np
+import pytest
+
+import repro.fleet.heartbeat as heartbeat
+from repro.fleet.transport import (
+    Codec,
+    CodecError,
+    CallTimeout,
+    FaultyTransport,
+    FenceRegistry,
+    FrameDecoder,
+    LeaseTable,
+    PeerDead,
+    RpcClient,
+    RpcError,
+    RpcServer,
+    backoff_delays,
+    pack_message,
+    unpack_message,
+)
+from repro.resilience import faults
+
+
+# ----------------------------------------------------------------------
+# Message packing
+# ----------------------------------------------------------------------
+class TestPackMessage:
+    def test_roundtrip_nested_tree_with_arrays(self):
+        grad = np.random.default_rng(3).standard_normal(17)
+        msg = {
+            "method": "push_result",
+            "payload": {
+                "grad": grad,
+                "counts": np.arange(5, dtype=np.int32),
+                "meta": {"loss": 0.25, "tags": ["a", "b"], "ok": True,
+                         "none": None},
+            },
+        }
+        out = unpack_message(pack_message(msg))
+        assert out["method"] == "push_result"
+        assert out["payload"]["meta"] == msg["payload"]["meta"]
+        # bit-exact: the whole TCP-vs-shm bitwise-parity story rests here
+        assert out["payload"]["grad"].dtype == np.float64
+        assert out["payload"]["grad"].tobytes() == grad.tobytes()
+        assert np.array_equal(out["payload"]["counts"],
+                              msg["payload"]["counts"])
+
+    def test_numpy_scalars_become_python(self):
+        out = unpack_message(pack_message({"n": np.int64(7),
+                                           "x": np.float64(0.5)}))
+        assert out == {"n": 7, "x": 0.5}
+        assert type(out["n"]) is int and type(out["x"]) is float
+
+    def test_reserved_key_and_non_str_keys_rejected(self):
+        with pytest.raises(CodecError):
+            pack_message({"__nd__": 1})
+        with pytest.raises(CodecError):
+            pack_message({3: "x"})
+
+    def test_unsupported_type_rejected(self):
+        with pytest.raises(CodecError):
+            pack_message({"f": object()})
+
+    def test_truncated_payload_rejected(self):
+        payload = pack_message({"grad": np.ones(8)})
+        with pytest.raises(CodecError):
+            unpack_message(payload[:-4])
+
+    def test_trailing_garbage_rejected(self):
+        payload = pack_message({"x": 1})
+        with pytest.raises(CodecError):
+            unpack_message(payload + b"\x00\x01")
+
+
+# ----------------------------------------------------------------------
+# Frame codec
+# ----------------------------------------------------------------------
+class TestFrameCodec:
+    def test_roundtrip_byte_at_a_time(self):
+        codec = Codec()
+        stream = b"".join(
+            codec.encode_message({"i": i}, seq) for seq, i in
+            enumerate([0, 1, 2]))
+        decoder = FrameDecoder()
+        frames = []
+        for idx in range(len(stream)):
+            frames.extend(decoder.feed(stream[idx:idx + 1]))
+        assert [unpack_message(f)["i"] for f in frames] == [0, 1, 2]
+
+    def test_crc_corruption_raises(self):
+        frame = bytearray(Codec().encode_message({"x": 1}, 0))
+        frame[-1] ^= 0xFF
+        with pytest.raises(CodecError, match="checksum"):
+            FrameDecoder().feed(bytes(frame))
+
+    def test_duplicate_frame_raises(self):
+        frame = Codec().encode_message({"x": 1}, 0)
+        decoder = FrameDecoder()
+        decoder.feed(frame)
+        with pytest.raises(CodecError, match="sequence"):
+            decoder.feed(frame)
+
+    def test_garbage_prefix_raises_even_before_full_header(self):
+        with pytest.raises(CodecError, match="magic"):
+            FrameDecoder().feed(b"GET / HTTP/1.1\r\n")
+
+    def test_oversize_length_rejected_without_reading(self):
+        codec = Codec(max_frame=64)
+        frame = Codec().encode_frame(b"z" * 128, 0)
+        with pytest.raises(CodecError, match="cap"):
+            FrameDecoder(max_frame=64).feed(frame)
+        with pytest.raises(CodecError):
+            codec.encode_frame(b"z" * 128, 0)
+
+    def test_poisoned_decoder_stays_poisoned(self):
+        decoder = FrameDecoder()
+        with pytest.raises(CodecError):
+            decoder.feed(b"XX")
+        with pytest.raises(CodecError, match="poisoned"):
+            decoder.feed(Codec().encode_message({"x": 1}, 0))
+
+
+# ----------------------------------------------------------------------
+# Backoff + the seeded heartbeat probe schedule
+# ----------------------------------------------------------------------
+class TestBackoff:
+    def test_seeded_sequence_is_deterministic_and_capped(self):
+        a = list(itertools.islice(backoff_delays(0.05, 1.0, seed=7), 12))
+        b = list(itertools.islice(backoff_delays(0.05, 1.0, seed=7), 12))
+        assert a == b
+        for n, delay in enumerate(a):
+            base = min(1.0, 0.05 * 2 ** n)
+            assert base * 0.5 <= delay <= base
+        assert a[-1] <= 1.0
+
+    def test_distinct_seeds_decorrelate(self):
+        a = list(itertools.islice(backoff_delays(0.05, 1.0, seed=1), 8))
+        b = list(itertools.islice(backoff_delays(0.05, 1.0, seed=2), 8))
+        assert a != b
+
+    def test_invalid_shapes_rejected(self):
+        with pytest.raises(ValueError):
+            next(backoff_delays(0.0, 1.0))
+        with pytest.raises(ValueError):
+            next(backoff_delays(0.05, 1.0, jitter=1.5))
+
+    def test_probe_delays_default_seed_is_endpoint_hash(self):
+        expected_seed = zlib.crc32(b"10.0.0.9:8443")
+        got = list(itertools.islice(
+            heartbeat.probe_delays("10.0.0.9", 8443), 10))
+        want = list(itertools.islice(
+            backoff_delays(0.05, 1.0, seed=expected_seed), 10))
+        assert got == want
+
+    def test_wait_healthy_sleeps_exactly_the_seeded_schedule(self, monkeypatch):
+        """The timing test that pins the jittered probe schedule."""
+        slept = []
+        clock = {"t": 0.0}
+        monkeypatch.setattr(heartbeat, "probe_once",
+                            lambda *a, **k: False)
+        monkeypatch.setattr(heartbeat.time, "monotonic",
+                            lambda: clock["t"])
+
+        def fake_sleep(seconds):
+            slept.append(seconds)
+            clock["t"] += seconds
+
+        monkeypatch.setattr(heartbeat.time, "sleep", fake_sleep)
+        assert not heartbeat.wait_healthy("127.0.0.1", 9999, deadline=6.0)
+        seed = zlib.crc32(b"127.0.0.1:9999")
+        expected = list(itertools.islice(
+            backoff_delays(0.05, 1.0, seed=seed), len(slept)))
+        assert slept == expected
+        assert len(slept) >= 8  # several doublings happened under the cap
+
+
+# ----------------------------------------------------------------------
+# Fencing + leases
+# ----------------------------------------------------------------------
+class TestFenceRegistry:
+    def test_generations_are_monotonic_and_stale_is_logged(self):
+        fences = FenceRegistry()
+        assert fences.current("shard-0") == 0
+        assert fences.check("shard-0", 0, "push")
+        assert fences.advance("shard-0") == 1
+        assert fences.advance("shard-0") == 2
+        assert not fences.check("shard-0", 1, "push_result")
+        assert fences.check("shard-0", 2)
+        [rejection] = fences.rejections
+        assert rejection == {"member": "shard-0", "stale_gen": 1,
+                             "current_gen": 2, "context": "push_result"}
+
+    def test_members_are_independent(self):
+        fences = FenceRegistry()
+        fences.advance("a")
+        assert fences.check("b", 0)
+        assert not fences.check("a", 0)
+
+
+class TestLeaseTable:
+    def test_expiry_drains_only_lapsed_members(self):
+        clock = {"t": 0.0}
+        leases = LeaseTable(ttl=1.0, clock=lambda: clock["t"])
+        leases.grant("w0")
+        leases.grant("w1")
+        clock["t"] = 0.6
+        leases.renew("w1")
+        clock["t"] = 1.2
+        assert leases.expired() == ["w0"]
+        assert leases.members() == ["w1"]
+        assert leases.expired() == []  # w0 already drained
+        assert not leases.held("w0") and leases.held("w1")
+
+    def test_remaining_and_validation(self):
+        clock = {"t": 0.0}
+        leases = LeaseTable(ttl=2.0, clock=lambda: clock["t"])
+        assert leases.remaining("ghost") is None
+        leases.grant("w")
+        clock["t"] = 0.5
+        assert leases.remaining("w") == pytest.approx(1.5)
+        with pytest.raises(ValueError):
+            LeaseTable(ttl=0.0)
+
+
+# ----------------------------------------------------------------------
+# RPC client/server
+# ----------------------------------------------------------------------
+@pytest.fixture()
+def echo_server():
+    calls = {"n": 0}
+
+    def echo(payload):
+        calls["n"] += 1
+        out = dict(payload)
+        if "vec" in out:
+            out["vec"] = out["vec"] * 2.0
+        return out
+
+    def slow(payload):
+        time.sleep(payload.get("seconds", 1.0))
+        return {"done": True}
+
+    def boom(payload):
+        raise ValueError("injected handler fault")
+
+    server = RpcServer({"echo": echo, "slow": slow, "boom": boom})
+    host, port = server.start()
+    try:
+        yield server, host, port, calls
+    finally:
+        server.stop()
+
+
+class TestRpc:
+    def test_echo_roundtrip_with_arrays(self, echo_server):
+        server, host, port, _calls = echo_server
+        client = RpcClient(host, port, jitter_seed=0)
+        try:
+            out = client.call("echo", {"vec": np.arange(4.0), "tag": "t"})
+            assert out["tag"] == "t"
+            assert np.array_equal(out["vec"], np.arange(4.0) * 2.0)
+        finally:
+            client.close()
+        assert server.counters["requests"] >= 1
+        assert server.counters["codec_errors"] == 0
+
+    def test_handler_error_is_rpc_error_and_connection_survives(
+            self, echo_server):
+        _server, host, port, _calls = echo_server
+        client = RpcClient(host, port, jitter_seed=0)
+        try:
+            with pytest.raises(RpcError, match="injected handler fault"):
+                client.call("boom")
+            with pytest.raises(RpcError, match="unknown method"):
+                client.call("nope")
+            assert client.call("echo", {"x": 1}) == {"x": 1}
+        finally:
+            client.close()
+
+    def test_call_timeout_then_stale_response_discarded(self, echo_server):
+        _server, host, port, _calls = echo_server
+        client = RpcClient(host, port, jitter_seed=0)
+        try:
+            t0 = time.monotonic()
+            with pytest.raises(CallTimeout):
+                client.call("slow", {"seconds": 1.0}, deadline=0.25)
+            assert time.monotonic() - t0 < 0.9
+            # The late answer to the timed-out call must not be
+            # mis-delivered as the answer to this one.
+            out = client.call("slow", {"seconds": 0.0}, deadline=5.0)
+            assert out == {"done": True}
+            assert client.stats["timeouts"] == 1
+            assert client.stats["stale_responses"] >= 1
+        finally:
+            client.close()
+
+    def test_peer_dead_is_bounded(self):
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        client = RpcClient("127.0.0.1", port, jitter_seed=0)
+        t0 = time.monotonic()
+        with pytest.raises(PeerDead):
+            client.call("echo", deadline=0.4)
+        assert time.monotonic() - t0 < 2.0
+
+    def test_reconnect_and_resend_after_server_restart(self, echo_server):
+        server, host, port, _calls = echo_server
+        client = RpcClient(host, port, jitter_seed=0)
+        try:
+            assert client.call("echo", {"x": 1}) == {"x": 1}
+            server.stop()
+            restarted = RpcServer(server.handlers, host=host, port=port)
+            restarted.start()
+            try:
+                assert client.call("echo", {"x": 2},
+                                   deadline=5.0) == {"x": 2}
+            finally:
+                restarted.stop()
+        finally:
+            client.close()
+
+
+# ----------------------------------------------------------------------
+# Fault-injection proxy
+# ----------------------------------------------------------------------
+@pytest.fixture()
+def proxied_echo(echo_server):
+    _server, host, port, calls = echo_server
+    proxy = FaultyTransport((host, port), link="test-link")
+    phost, pport = proxy.start()
+    client = RpcClient(phost, pport, jitter_seed=0)
+    try:
+        yield proxy, client, calls
+    finally:
+        client.close()
+        proxy.stop()
+
+
+class TestFaultyTransport:
+    def test_passthrough_preserves_payloads(self, proxied_echo):
+        proxy, client, _calls = proxied_echo
+        vec = np.random.default_rng(0).standard_normal(9)
+        out = client.call("echo", {"vec": vec})
+        assert out["vec"].tobytes() == (vec * 2.0).tobytes()
+        assert proxy.counters["forwarded"] >= 2
+        assert proxy.counters["dropped"] == 0
+
+    def test_dropped_request_times_out_then_recovers(self, proxied_echo):
+        proxy, client, _calls = proxied_echo
+        with faults.drop_frame("echo", link="test-link", direction="up"):
+            with pytest.raises(CallTimeout):
+                client.call("echo", {"x": 1}, deadline=0.4)
+            # times=1: the retry crosses untouched.
+            assert client.call("echo", {"x": 2},
+                               deadline=5.0) == {"x": 2}
+        assert proxy.counters["dropped"] == 1
+
+    def test_duplicated_frame_rejected_then_resent(self, proxied_echo):
+        proxy, client, _calls = proxied_echo
+        with faults.dup_frame("echo", link="test-link", direction="up"):
+            # The server's decoder sees a replayed sequence number,
+            # severs the stream, and the client reconnects + re-sends.
+            assert client.call("echo", {"x": 3},
+                               deadline=5.0) == {"x": 3}
+        assert proxy.counters["duplicated"] == 1
+
+    def test_partition_latches_until_healed(self, proxied_echo):
+        proxy, client, _calls = proxied_echo
+        assert client.call("echo", {"x": 0}) == {"x": 0}
+        proxy.set_partitioned(True)
+        with pytest.raises((CallTimeout, PeerDead)):
+            client.call("echo", {"x": 1}, deadline=0.5)
+        proxy.set_partitioned(False)
+        assert client.call("echo", {"x": 2}, deadline=5.0) == {"x": 2}
+
+    def test_partition_at_method_trips_on_the_exact_frame(
+            self, proxied_echo):
+        proxy, client, _calls = proxied_echo
+        with faults.partition_at("slow", link="test-link"):
+            assert client.call("echo", {"x": 1}) == {"x": 1}
+            assert not proxy.partitioned
+            with pytest.raises((CallTimeout, PeerDead)):
+                client.call("slow", {"seconds": 0.0}, deadline=0.5)
+            assert proxy.partitioned
+        proxy.set_partitioned(False)
+        assert client.call("echo", {"x": 2}, deadline=5.0) == {"x": 2}
